@@ -1,0 +1,96 @@
+// Ablation: the limited fan-out parameter n (Section 4.4).
+//
+// "Because each proxy receives 1/n of the total requests, a larger n
+// results in a higher cache hit ratio for each proxy. During hot key
+// events, selecting a smaller n facilitates load distribution across a
+// larger number of proxies (= N/n)."
+//
+// The harness sweeps n for a fixed fleet of N proxies and reports both
+// sides of the trade-off: aggregate proxy cache hit ratio, and the
+// hottest single proxy's share of a hot key's traffic.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+using namespace abase;
+
+int main() {
+  bench::PrintHeader("Ablation: limited fan-out hash parameter n");
+
+  const uint32_t kProxies = 24;
+  std::printf("%8s %10s | %14s | %22s\n", "n", "fanout/key", "proxy hit%",
+              "hot-key max proxy share");
+
+  for (uint32_t n : {1u, 2u, 4u, 8u, 12u, 24u}) {
+    sim::SimOptions opts;
+    opts.seed = 55;
+    opts.node.wfq.cpu_budget_ru = 200000;
+    opts.proxy.cache.capacity_bytes = 128ull << 10;  // Tight proxy memory.
+    sim::ClusterSim cluster(opts);
+    PoolId pool = cluster.AddPool(4);
+
+    meta::TenantConfig cfg;
+    cfg.id = 1;
+    cfg.name = "fanout-sweep";
+    cfg.tenant_quota_ru = 1e6;
+    cfg.num_partitions = 8;
+    cfg.num_proxies = kProxies;
+    cfg.num_proxy_groups = n;
+    (void)cluster.AddTenant(cfg, pool);
+
+    sim::WorkloadProfile p;
+    p.base_qps = 5000;
+    p.read_ratio = 1.0;
+    p.num_keys = 20000;
+    p.key_dist = sim::KeyDist::kHotSpot;  // One dominant hot key...
+    p.hot_fraction = 1.0 / 20000;         // exactly 1 key...
+    p.hot_share = 0.3;                    // ...taking 30% of traffic.
+    p.value_bytes = 256;
+    cluster.SetWorkload(1, p);
+    bench::PreloadTenant(cluster, 1, p.num_keys, p.value_bytes);
+
+    cluster.RunTicks(60);
+
+    // Aggregate proxy hit ratio.
+    uint64_t proxy_hits = 0, reads = 0;
+    const auto& h = cluster.History(1);
+    for (size_t i = 20; i < h.size(); i++) {
+      proxy_hits += h[i].proxy_hits;
+      reads += h[i].proxy_hits + h[i].reads_completed;
+    }
+    double hit =
+        reads == 0 ? 0 : 100.0 * static_cast<double>(proxy_hits) /
+                             static_cast<double>(reads);
+
+    // Hot-key concentration: requests for the hot key per proxy.
+    const auto* rt = cluster.Tenant(1);
+    uint64_t hot_total = 0, hot_max = 0;
+    for (const auto& px : rt->proxies) {
+      // Hot key is t1:k0; probe each proxy's request counter via its
+      // cache stats — instead measure by routing simulation:
+      (void)px;
+    }
+    // Directly measure the router's spread for the hot key.
+    Rng probe_rng(7);
+    std::vector<uint64_t> per_proxy(kProxies, 0);
+    for (int i = 0; i < 100000; i++) {
+      per_proxy[rt->router->Route("t1:k0", probe_rng)]++;
+      hot_total++;
+    }
+    for (uint64_t c : per_proxy) hot_max = std::max(hot_max, c);
+    double max_share = 100.0 * static_cast<double>(hot_max) /
+                       static_cast<double>(hot_total);
+
+    std::printf("%8u %10u | %13.1f%% | %20.1f%%\n", n,
+                rt->router->FanoutPerKey(), hit, max_share);
+  }
+
+  std::printf(
+      "\n -> Trade-off per the paper: hit ratio grows with n while a hot "
+      "key concentrates on fewer proxies (max share ~ n/N); operators pick "
+      "n per tenant.\n");
+  return 0;
+}

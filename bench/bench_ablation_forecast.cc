@@ -1,0 +1,128 @@
+// Ablation: the ensemble forecaster vs its components (Section 5.2).
+//
+// Four series families exercise the paper's three issues: clean daily
+// periodicity, odd 3.5-day periods, trend shifts, and consistent
+// non-periodic bursts. For each, the harness backtests ProphetLite
+// alone, historical average alone, and the full ensemble (denoise +
+// changepoint truncation + weighted blend + burst fallback), reporting
+// forecast MAE on a 7-day holdout plus the max-underprediction that
+// drives throttling risk.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "forecast/ensemble.h"
+#include "forecast/historical_average.h"
+#include "forecast/prophet_lite.h"
+#include "forecast/psd.h"
+#include "sim/workload.h"
+
+using namespace abase;
+
+namespace {
+
+struct Case {
+  std::string name;
+  TimeSeries series;  // 37 days: 30 train + 7 holdout.
+};
+
+double Mae(const TimeSeries& pred, const TimeSeries& truth) {
+  size_t n = std::min(pred.size(), truth.size());
+  double s = 0;
+  for (size_t i = 0; i < n; i++) s += std::fabs(pred[i] - truth[i]);
+  return n > 0 ? s / static_cast<double>(n) : 0;
+}
+
+/// How far the forecast's max undershoots the truth's max (throttling
+/// risk; positive = dangerous underprediction).
+double MaxUnderprediction(const TimeSeries& pred, const TimeSeries& truth) {
+  return truth.Max() - pred.Max();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation: ensemble forecasting vs components");
+
+  Rng rng(99);
+  std::vector<Case> cases;
+  {
+    sim::SeriesSpec s;
+    s.hours = 37 * 24;
+    s.base = 1000;
+    s.seasons.push_back({24, 300});
+    s.noise_sigma = 25;
+    cases.push_back({"daily period", sim::GenerateSeries(s, rng)});
+  }
+  {
+    sim::SeriesSpec s;  // The paper's odd 3.5-day TTL period.
+    s.hours = 37 * 24;
+    s.base = 1000;
+    s.seasons.push_back({84, 350});
+    s.noise_sigma = 25;
+    cases.push_back({"3.5-day period", sim::GenerateSeries(s, rng)});
+  }
+  {
+    sim::SeriesSpec s;  // Trend shift 10 days before the end of training.
+    s.hours = 37 * 24;
+    s.base = 800;
+    s.seasons.push_back({24, 150});
+    s.noise_sigma = 20;
+    s.level_shift_at_hour = 20 * 24;
+    s.level_shift_factor = 2.2;
+    cases.push_back({"trend shift", sim::GenerateSeries(s, rng)});
+  }
+  {
+    sim::SeriesSpec s;  // Non-periodic daily bursts at random hours.
+    s.hours = 37 * 24;
+    s.base = 500;
+    s.noise_sigma = 15;
+    for (size_t day = 0; day < 37; day++) {
+      s.bursts.push_back({day * 24 + 4 + rng.NextUint64(16), 2, 1800.0});
+    }
+    cases.push_back({"non-periodic bursts", sim::GenerateSeries(s, rng)});
+  }
+
+  std::printf("%-22s | %10s %10s %10s | %s\n", "series", "Prophet",
+              "HistAvg", "Ensemble", "max-underpred (Ens)");
+  for (const auto& c : cases) {
+    const size_t horizon = 7 * 24;
+    std::vector<double> head(c.series.values().begin(),
+                             c.series.values().end() -
+                                 static_cast<ptrdiff_t>(horizon));
+    TimeSeries train(std::move(head));
+    TimeSeries truth = c.series.Tail(horizon);
+
+    double period = forecast::DetectDominantPeriod(train);
+
+    forecast::ProphetOptions popt;
+    popt.period_samples = period;
+    double prophet_mae = 1e18;
+    auto pfit = forecast::ProphetLite::Fit(train, popt);
+    if (pfit.ok()) prophet_mae = Mae(pfit.value().Forecast(horizon), truth);
+
+    forecast::HistoricalAverage hmodel(train, period);
+    double hist_mae = Mae(hmodel.Forecast(horizon), truth);
+
+    double ens_mae = 1e18, under = 0;
+    auto ens = forecast::EnsembleForecast(train, TimeSeries(), horizon);
+    if (ens.ok()) {
+      ens_mae = Mae(ens.value().prediction, truth);
+      under = MaxUnderprediction(ens.value().prediction, truth);
+      if (ens.value().burst_fallback) {
+        under = truth.Max() - ens.value().predicted_max;
+      }
+    }
+    std::printf("%-22s | %10.1f %10.1f %10.1f | %18.1f\n", c.name.c_str(),
+                prophet_mae, hist_mae, ens_mae, under);
+  }
+  std::printf(
+      "\n -> The ensemble should be at or near the best component on every "
+      "family and, via the burst fallback, avoid the large max-"
+      "underprediction that pure models show on non-periodic bursts "
+      "(Issue 3).\n");
+  return 0;
+}

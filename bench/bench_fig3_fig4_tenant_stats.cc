@@ -1,0 +1,182 @@
+// Figures 3 and 4 reproduction: production statistics of one resource
+// pool.
+//
+// Figure 3: scatter of tenants by (RU, storage, read ratio) — we print
+// each tenant's coordinates normalized by the median, plus the
+// correlation the paper describes (higher RU/storage ratio => more
+// read-heavy).
+//
+// Figure 4: percentile curves across tenants for latency-to-SLA, cache
+// hit ratio, read ratio, and average K-V size. Paper anchors: all
+// tenants < 66% of SLA, p90 < 24%, p50 < 11.2%; cache hit p50 93.5%;
+// read ratio p50 39.3%; KV size p50 0.12KB / p90 50KB / p99 308KB.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "sim/cluster_sim.h"
+
+using namespace abase;
+
+int main() {
+  bench::PrintHeader("Figures 3-4: tenant distribution & metric percentiles");
+
+  const int kTenants = 48;
+  sim::SimOptions opts;
+  opts.seed = 7;
+  opts.node.wfq.cpu_budget_ru = 300000;
+  opts.node.disk.read_iops_capacity = 2e6;
+  sim::ClusterSim cluster(opts);
+  PoolId pool = cluster.AddPool(12);
+  Rng rng(1234);
+
+  // Tenant population mirroring Figure 3/4's marginals: log-normal QPS
+  // and value sizes (median ~0.12KB with a heavy upper tail), a bimodal
+  // read-ratio mix (write-heavy pipeline tenants vs read-heavy serving
+  // tenants), and mixed key skews.
+  for (int i = 0; i < kTenants; i++) {
+    meta::TenantConfig cfg;
+    cfg.id = static_cast<TenantId>(i + 1);
+    cfg.name = "tenant" + std::to_string(i + 1);
+    cfg.tenant_quota_ru = 3e5;
+    cfg.num_partitions = 4;
+    cfg.num_proxies = 4;
+    cfg.num_proxy_groups = 2;
+    if (!cluster.AddTenant(cfg, pool).ok()) continue;
+
+    sim::WorkloadProfile p;
+    bool write_heavy = rng.NextBool(0.5);  // Paper: p50 read ratio 39.3%.
+    p.read_ratio = write_heavy ? rng.NextDouble() * 0.4
+                               : 0.6 + rng.NextDouble() * 0.4;
+    // The paper's Figure 3 structure: read-heavy serving tenants run hot
+    // and small (high RU : storage); write-heavy pipeline tenants
+    // accumulate data (low RU : storage).
+    double qps_scale = write_heavy ? 0.6 : 1.6;
+    p.base_qps =
+        std::min(4000.0, rng.NextLogNormal(std::log(250), 1.0) * qps_scale);
+    p.num_keys = write_heavy ? 4000 + rng.NextUint64(60000)
+                             : 1000 + rng.NextUint64(12000);
+    p.zipf_theta = 0.85 + rng.NextDouble() * 0.14;  // Hot working sets.
+    // Value-size mixture matching Figure 4d's heavy tail: mostly ~0.1KB,
+    // a mid-size band, and a few very large tenants.
+    double pick = rng.NextDouble();
+    if (pick < 0.72) {
+      p.value_bytes = static_cast<uint64_t>(
+          std::clamp(rng.NextLogNormal(std::log(110), 0.6), 16.0, 2e3));
+    } else if (pick < 0.92) {
+      p.value_bytes = static_cast<uint64_t>(
+          std::clamp(rng.NextLogNormal(std::log(8e3), 0.9), 2e3, 8e4));
+    } else {
+      p.value_bytes = static_cast<uint64_t>(
+          std::clamp(rng.NextLogNormal(std::log(2e5), 0.7), 8e4, 5e5));
+    }
+    p.value_sigma = 0.4;
+    cluster.SetWorkload(cfg.id, p);
+    // Every tenant arrives with its dataset already stored.
+    bench::PreloadTenant(cluster, cfg.id, p.num_keys, p.value_bytes,
+                         p.value_sigma);
+  }
+
+  const size_t kWarmup = 30, kMeasure = 30;
+  cluster.RunTicks(kWarmup + kMeasure);
+
+  // ---- Figure 3: tenant scatter ------------------------------------------
+  struct TenantPoint {
+    double ru, storage, read_ratio;
+  };
+  std::vector<TenantPoint> points;
+  for (int i = 0; i < kTenants; i++) {
+    TenantId id = static_cast<TenantId>(i + 1);
+    auto w = bench::Aggregate(cluster, id, kWarmup, kWarmup + kMeasure);
+    double bytes = 0;
+    for (const auto& n : cluster.nodes()) {
+      for (const auto* rep : n->Replicas()) {
+        if (rep->tenant == id && rep->is_primary) {
+          bytes += static_cast<double>(rep->engine->ApproximateDataBytes());
+        }
+      }
+    }
+    points.push_back({w.ru_per_sec, bytes, w.read_ratio});
+  }
+  std::vector<double> rus, stos;
+  for (const auto& p : points) {
+    rus.push_back(p.ru);
+    stos.push_back(p.storage);
+  }
+  double med_ru = ExactPercentile(rus, 50);
+  double med_sto = ExactPercentile(stos, 50);
+
+  std::printf("\nFigure 3 scatter (normalized by median, log-ish axes):\n");
+  std::printf("%8s %12s %12s %10s\n", "tenant", "RU/median", "Sto/median",
+              "ReadRatio");
+  for (size_t i = 0; i < points.size(); i++) {
+    std::printf("%8zu %12.3f %12.3f %9.0f%%\n", i + 1,
+                points[i].ru / std::max(1.0, med_ru),
+                points[i].storage / std::max(1.0, med_sto),
+                points[i].read_ratio * 100);
+  }
+  // Paper's observation: tenants in the lower-right (high RU:storage)
+  // skew read-heavy. Check the correlation sign.
+  std::vector<double> ratio_log, readr;
+  for (const auto& p : points) {
+    if (p.storage > 0 && p.ru > 0) {
+      ratio_log.push_back(std::log(p.ru / p.storage));
+      readr.push_back(p.read_ratio);
+    }
+  }
+  std::printf("corr(log(RU/storage), read_ratio) = %.3f  (paper: positive)\n",
+              PearsonCorrelation(ratio_log, readr));
+
+  // ---- Figure 4: percentiles across tenants -------------------------------
+  const double kSlaMicros = 5000;  // 5 ms SLA (strict online serving).
+  std::vector<double> lat_to_sla_max, lat_to_sla_p90, lat_to_sla_p50;
+  std::vector<double> hit_ratios, read_ratios, kv_sizes;
+  for (int i = 0; i < kTenants; i++) {
+    TenantId id = static_cast<TenantId>(i + 1);
+    const auto* rt = cluster.Tenant(id);
+    if (rt == nullptr || rt->latency_hist.count() == 0) continue;
+    lat_to_sla_max.push_back(rt->latency_hist.max() / kSlaMicros * 100);
+    lat_to_sla_p90.push_back(rt->latency_hist.P90() / kSlaMicros * 100);
+    lat_to_sla_p50.push_back(rt->latency_hist.P50() / kSlaMicros * 100);
+    auto w = bench::Aggregate(cluster, id, kWarmup, kWarmup + kMeasure);
+    hit_ratios.push_back(w.cache_hit_ratio * 100);
+    read_ratios.push_back(w.read_ratio * 100);
+    if (rt->value_bytes_count > 0) {
+      kv_sizes.push_back(static_cast<double>(rt->value_bytes_sum) /
+                         static_cast<double>(rt->value_bytes_count) / 1024.0);
+    }
+  }
+
+  std::printf("\nFigure 4a — Latency as %% of SLA across tenants:\n");
+  std::printf("  max-of-max: %6.1f%%   (paper: max 66.0%%)\n",
+              ExactPercentile(lat_to_sla_max, 100));
+  std::printf("  p90 tenant (p90 latency): %6.1f%%   (paper: 24.0%%)\n",
+              ExactPercentile(lat_to_sla_p90, 90));
+  std::printf("  p50 tenant (p50 latency): %6.1f%%   (paper: 11.2%%)\n",
+              ExactPercentile(lat_to_sla_p50, 50));
+
+  std::printf("\nFigure 4b — Cache hit ratio across tenants:\n");
+  std::printf("  p99: %5.1f%%  p90: %5.1f%%  p50: %5.1f%%   "
+              "(paper: 100 / 99.9 / 93.5)\n",
+              ExactPercentile(hit_ratios, 99), ExactPercentile(hit_ratios, 90),
+              ExactPercentile(hit_ratios, 50));
+
+  std::printf("\nFigure 4c — Read ratio across tenants:\n");
+  std::printf("  p99: %5.1f%%  p90: %5.1f%%  p50: %5.1f%%   "
+              "(paper: 99.9 / 97.6 / 39.3)\n",
+              ExactPercentile(read_ratios, 99),
+              ExactPercentile(read_ratios, 90),
+              ExactPercentile(read_ratios, 50));
+
+  std::printf("\nFigure 4d — Average K-V size (KB) across tenants:\n");
+  std::printf("  p99: %7.1f  p90: %7.1f  p50: %7.2f   "
+              "(paper: 308 / 50 / 0.12)\n",
+              ExactPercentile(kv_sizes, 99), ExactPercentile(kv_sizes, 90),
+              ExactPercentile(kv_sizes, 50));
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Figure 8 reproduction: predictive autoscaling.
+//
+// (a) A scaling case: disk usage with 24-hour periodicity and an upward
+//     trend; on day 10 the forecaster predicts usage will breach 85% of
+//     quota within a week and raises the quota so predicted usage stays
+//     below 65%. The harness prints the usage/quota/forecast series.
+//
+// (b) Oncall reduction: six simulated months of many tenants with
+//     drifting workloads, comparing weekly throttling "oncalls" under
+//     reactive scaling vs ABase's predictive policy. The paper reports
+//     ~65% fewer oncalls after deployment.
+#include <cstdio>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "sim/workload.h"
+
+using namespace abase;
+
+namespace {
+
+// ---- Figure 8a -----------------------------------------------------------
+
+void RunScalingCase() {
+  std::printf("\nFigure 8a: a scaling case (disk usage, 21 days)\n");
+
+  // 24h-periodic disk usage with a rising trend (the paper's search
+  // business example).
+  sim::SeriesSpec spec;
+  spec.hours = 21 * 24;
+  spec.base = 500;
+  spec.trend_per_day = 22;
+  spec.seasons.push_back({24, 60});
+  spec.noise_sigma = 8;
+  Rng rng(42);
+  TimeSeries usage = sim::GenerateSeries(spec, rng);
+
+  autoscale::ScalingPolicy policy;
+  policy.history_hours = 30 * 24;
+  autoscale::Autoscaler scaler(policy);
+
+  double quota = 1100;  // Initial tenant storage quota.
+  std::printf("%6s %12s %12s %14s %10s\n", "day", "usage(avg)", "quota",
+              "forecastMax", "action");
+
+  size_t scaled_on_day = 0;
+  for (size_t day = 7; day <= 21; day++) {
+    TimeSeries history(std::vector<double>(
+        usage.values().begin(),
+        usage.values().begin() + static_cast<ptrdiff_t>(day * 24)));
+    auto d = scaler.Decide(history, TimeSeries(), quota, 8, 1e12, 0, -1,
+                           static_cast<Micros>(day) * kMicrosPerDay);
+    const char* action = "-";
+    if (d.ok() &&
+        d.value().action == autoscale::ScalingDecision::Action::kScaleUp) {
+      quota = d.value().new_quota;
+      action = "SCALE UP";
+      if (scaled_on_day == 0) scaled_on_day = day;
+    }
+    double day_avg = history.Tail(24).Mean();
+    std::printf("%6zu %12.0f %12.0f %14.0f %10s\n", day, day_avg, quota,
+                d.ok() ? d.value().forecast_max : 0.0, action);
+  }
+
+  // Shape check: the quota was raised before usage ever crossed 85%.
+  bool throttled = false;
+  for (size_t h = 0; h < usage.size(); h++) {
+    // Replay: quota before scale day is 1100.
+    double q = (h / 24 < scaled_on_day) ? 1100 : quota;
+    if (usage[h] > q) throttled = true;
+  }
+  std::printf(
+      " -> proactive scale-up on day %zu; user throttling avoided: %s "
+      "(paper: quota raised ahead of usage, no throttling)\n",
+      scaled_on_day, throttled ? "NO (unexpected)" : "YES");
+}
+
+// ---- Figure 8b -----------------------------------------------------------
+
+/// One simulated tenant month-series + a scaling policy = weekly oncall
+/// counts. An "oncall" is a week in which the tenant experienced
+/// throttling (usage above quota).
+struct OncallResult {
+  std::vector<int> weekly;  ///< Oncalls per week across all tenants.
+  int total = 0;
+};
+
+OncallResult SimulateOncalls(bool predictive, uint64_t seed) {
+  const int kTenants = 60;
+  const size_t kWeeks = 26;
+  const size_t kHours = kWeeks * 7 * 24;
+  Rng rng(seed);
+
+  OncallResult result;
+  result.weekly.assign(kWeeks, 0);
+
+  autoscale::ScalingPolicy policy;
+  autoscale::Autoscaler scaler(policy);
+  autoscale::ReactiveScaler reactive;
+
+  for (int t = 0; t < kTenants; t++) {
+    // Tenant usage: periodic + drifting trend; some tenants ramp hard
+    // (the Double-11-style growth the paper highlights).
+    sim::SeriesSpec spec;
+    spec.hours = kHours;
+    spec.base = 800 + rng.NextDouble() * 600;
+    spec.trend_per_day = rng.NextDouble() * 14 - 2;  // Mostly growing.
+    spec.seasons.push_back({24, spec.base * (0.1 + 0.2 * rng.NextDouble())});
+    if (rng.NextBool(0.3)) {
+      spec.seasons.push_back({168, spec.base * 0.15});
+    }
+    spec.noise_sigma = spec.base * 0.03;
+    TimeSeries usage = sim::GenerateSeries(spec, rng);
+
+    double quota = spec.base * 1.6;
+    Micros last_scale_down = -1;
+
+    for (size_t week = 0; week < kWeeks; week++) {
+      size_t week_start = week * 7 * 24;
+      // Policy runs at the start of each week on history so far.
+      if (week >= 5) {  // Both policies need some history.
+        if (predictive) {
+          TimeSeries history(std::vector<double>(
+              usage.values().begin(),
+              usage.values().begin() +
+                  static_cast<ptrdiff_t>(week_start)));
+          auto d = scaler.Decide(history, TimeSeries(), quota, 8, 1e12, 10,
+                                 last_scale_down,
+                                 static_cast<Micros>(week_start) *
+                                     kMicrosPerHour);
+          if (d.ok() && d.value().action !=
+                            autoscale::ScalingDecision::Action::kNone) {
+            if (d.value().action ==
+                autoscale::ScalingDecision::Action::kScaleDown) {
+              last_scale_down =
+                  static_cast<Micros>(week_start) * kMicrosPerHour;
+            }
+            quota = d.value().new_quota;
+          }
+        } else {
+          // Reactive: looks only at current usage.
+          auto d = reactive.Decide(usage[week_start], quota);
+          if (d.action != autoscale::ScalingDecision::Action::kNone) {
+            quota = d.new_quota;
+          }
+        }
+      }
+      // Did this tenant get throttled this week?
+      bool throttled = false;
+      for (size_t h = week_start;
+           h < std::min(kHours, week_start + 7 * 24); h++) {
+        if (usage[h] > quota) {
+          throttled = true;
+          // Any real system reacts to hard throttling eventually: the
+          // reactive baseline bumps the quota after the pain, which is
+          // exactly the oncall the paper counts.
+          if (!predictive) quota = usage[h] / 0.65;
+        }
+      }
+      if (throttled) {
+        result.weekly[week]++;
+        result.total++;
+      }
+    }
+  }
+  return result;
+}
+
+void RunOncallComparison() {
+  std::printf("\nFigure 8b: weekly oncall (throttling) counts, 26 weeks, 60 "
+              "tenants\n");
+  OncallResult reactive = SimulateOncalls(/*predictive=*/false, 2024);
+  OncallResult predictive = SimulateOncalls(/*predictive=*/true, 2024);
+
+  std::printf("%6s %20s %22s\n", "week", "reactive oncalls",
+              "predictive oncalls");
+  for (size_t w = 0; w < reactive.weekly.size(); w++) {
+    std::printf("%6zu %20d %22d\n", w + 1, reactive.weekly[w],
+                predictive.weekly[w]);
+  }
+  double reduction =
+      reactive.total == 0
+          ? 0
+          : 100.0 * (reactive.total - predictive.total) / reactive.total;
+  std::printf(
+      "\n -> totals: reactive=%d predictive=%d; reduction=%.0f%% "
+      "(paper: ~65%% fewer oncalls after deploying autoscaling)\n",
+      reactive.total, predictive.total, reduction);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 8: predictive autoscaling");
+  RunScalingCase();
+  RunOncallComparison();
+  return 0;
+}

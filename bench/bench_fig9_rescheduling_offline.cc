@@ -1,0 +1,138 @@
+// Figure 9 reproduction: offline rescheduling of a 1000-DataNode
+// resource pool.
+//
+// The pool starts with highly dispersed per-node RU and storage
+// utilization (replicas placed with deliberate skew and diverse
+// RU:storage profiles, mirroring Figure 3's tenant diversity). Running
+// Algorithm 2 to convergence should concentrate the per-node utilization
+// scatter around the pool optimum. The paper reports a 74.5% reduction
+// in the stddev of RU usage and an 84.8% reduction in storage usage
+// variance.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "resched/rescheduler.h"
+
+using namespace abase;
+
+namespace {
+
+/// Prints a coarse 10-bucket histogram of per-node utilization.
+void PrintUtilizationHistogram(const resched::PoolModel& pool,
+                               resched::Resource r, const char* label) {
+  int buckets[10] = {0};
+  for (const auto& n : pool.nodes()) {
+    double u = n.Utilization(r);
+    int b = std::min(9, static_cast<int>(u * 10));
+    buckets[std::max(0, b)]++;
+  }
+  std::printf("  %s utilization histogram (nodes per 10%% bucket):\n    ",
+              label);
+  for (int b = 0; b < 10; b++) std::printf("%5d", buckets[b]);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 9: offline rescheduling, 1000 DataNodes");
+
+  const int kNodes = 1000;
+  const int kReplicas = 6000;
+  const int kTenants = 120;
+
+  resched::PoolModel pool;
+  for (NodeId i = 0; i < kNodes; i++) {
+    pool.AddNode(i, /*ru_capacity=*/10000, /*storage_capacity=*/4e9);
+  }
+
+  // Diverse tenants: some RU-heavy (search/e-commerce), some
+  // storage-heavy (direct messages), some balanced — placed skewed: each
+  // tenant's replicas clump onto a contiguous slice of nodes, producing
+  // the dispersed "before" picture of Figure 9a.
+  Rng rng(2025);
+  uint32_t partition = 0;
+  for (int t = 0; t < kTenants; t++) {
+    double ru_scale, sto_scale;
+    double style = rng.NextDouble();
+    if (style < 0.33) {  // RU-heavy.
+      ru_scale = rng.NextLogNormal(std::log(900), 0.5);
+      sto_scale = rng.NextLogNormal(std::log(4e7), 0.6);
+    } else if (style < 0.66) {  // Storage-heavy.
+      ru_scale = rng.NextLogNormal(std::log(120), 0.5);
+      sto_scale = rng.NextLogNormal(std::log(4e8), 0.5);
+    } else {  // Balanced.
+      ru_scale = rng.NextLogNormal(std::log(400), 0.5);
+      sto_scale = rng.NextLogNormal(std::log(1.5e8), 0.5);
+    }
+    int replicas = kReplicas / kTenants;
+    NodeId base = static_cast<NodeId>(rng.NextUint64(kNodes));
+    for (int r = 0; r < replicas; r++) {
+      resched::ReplicaLoad load;
+      load.tenant = static_cast<TenantId>(t + 1);
+      load.partition = partition++;
+      load.replica_index = 0;
+      // Hour-of-day shaped RU load (diurnal peaks at tenant-specific
+      // hours) so the 24-slot max aggregation matters.
+      int peak_hour = static_cast<int>(rng.NextUint64(24));
+      for (int h = 0; h < 24; h++) {
+        double phase =
+            std::cos(2.0 * M_PI * (h - peak_hour) / 24.0) * 0.4 + 0.6;
+        load.ru.v[h] = ru_scale * phase;
+      }
+      load.storage = LoadVector::Constant(sto_scale);
+      // Skewed placement: clumped within a 40-node window.
+      NodeId target =
+          (base + static_cast<NodeId>(rng.NextUint64(40))) % kNodes;
+      pool.nodes()[target].AddReplica(std::move(load));
+    }
+  }
+
+  double ru_stddev_before =
+      pool.UtilizationStddev(resched::Resource::kRu);
+  double sto_stddev_before =
+      pool.UtilizationStddev(resched::Resource::kStorage);
+  std::printf("\nBefore rescheduling (Figure 9a):\n");
+  std::printf("  RU util: mean=%.3f stddev=%.4f max=%.3f\n",
+              pool.MeanUtilization(resched::Resource::kRu), ru_stddev_before,
+              pool.MaxUtilization(resched::Resource::kRu));
+  std::printf("  Storage util: mean=%.3f stddev=%.4f max=%.3f\n",
+              pool.MeanUtilization(resched::Resource::kStorage),
+              sto_stddev_before,
+              pool.MaxUtilization(resched::Resource::kStorage));
+  PrintUtilizationHistogram(pool, resched::Resource::kRu, "RU");
+  PrintUtilizationHistogram(pool, resched::Resource::kStorage, "Storage");
+
+  resched::ReschedOptions opts;
+  opts.theta = 0.05;
+  resched::IntraPoolRescheduler rescheduler(opts);
+  auto moves = rescheduler.RunToConvergence(&pool, /*max_rounds=*/120);
+
+  double ru_stddev_after = pool.UtilizationStddev(resched::Resource::kRu);
+  double sto_stddev_after =
+      pool.UtilizationStddev(resched::Resource::kStorage);
+  std::printf("\nAfter rescheduling (Figure 9b): %zu migrations\n",
+              moves.size());
+  std::printf("  RU util: mean=%.3f stddev=%.4f max=%.3f\n",
+              pool.MeanUtilization(resched::Resource::kRu), ru_stddev_after,
+              pool.MaxUtilization(resched::Resource::kRu));
+  std::printf("  Storage util: mean=%.3f stddev=%.4f max=%.3f\n",
+              pool.MeanUtilization(resched::Resource::kStorage),
+              sto_stddev_after,
+              pool.MaxUtilization(resched::Resource::kStorage));
+  PrintUtilizationHistogram(pool, resched::Resource::kRu, "RU");
+  PrintUtilizationHistogram(pool, resched::Resource::kStorage, "Storage");
+
+  double ru_reduction =
+      100.0 * (1.0 - ru_stddev_after / ru_stddev_before);
+  double sto_var_reduction =
+      100.0 * (1.0 - (sto_stddev_after * sto_stddev_after) /
+                         (sto_stddev_before * sto_stddev_before));
+  std::printf(
+      "\n -> RU usage stddev reduction: %.1f%% (paper: 74.5%%)\n"
+      " -> Storage usage variance reduction: %.1f%% (paper: 84.8%%)\n",
+      ru_reduction, sto_var_reduction);
+  return 0;
+}

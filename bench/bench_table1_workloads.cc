@@ -1,0 +1,203 @@
+// Table 1 reproduction: "Diverse application scenarios and workload
+// characteristics of ABase in ByteDance business."
+//
+// Seven tenant profiles mirroring the paper's business lines run against
+// one resource pool; the harness reports the same columns the paper does
+// (normalized throughput, normalized storage, cache hit ratio, read
+// ratio, mean K-V size, TTL). Absolute scale is the simulator's, but the
+// *relationships* — which workloads are throughput- vs storage-heavy,
+// whose hit ratios are high vs near zero — should match the paper.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+using namespace abase;
+
+namespace {
+
+struct BusinessLine {
+  const char* name;
+  const char* workload;
+  sim::WorkloadProfile profile;
+  const char* ttl_label;
+};
+
+std::vector<BusinessLine> MakeBusinessLines() {
+  // QPS values are the paper's normalized throughputs scaled to
+  // simulator size (x1 normalized = 2 QPS here); storage follows from
+  // value sizes and key counts.
+  std::vector<BusinessLine> lines;
+
+  {  // Social Media (Douyin) - Comment: tiny values, all reads, warm.
+    sim::WorkloadProfile p;
+    p.base_qps = 500;  // normalized 250
+    p.read_ratio = 1.0;
+    p.num_keys = 120000;
+    p.zipf_theta = 0.85;
+    p.value_bytes = 100;  // 0.1 KB
+    lines.push_back({"SocialMedia(Douyin)", "Comment", p, "-"});
+  }
+  {  // Social Media - Direct message: low traffic, big storage.
+    sim::WorkloadProfile p;
+    p.base_qps = 50;  // normalized 25
+    p.read_ratio = 1.0;
+    p.num_keys = 64000;
+    p.zipf_theta = 0.92;
+    p.value_bytes = 1024;  // 1 KB
+    lines.push_back({"SocialMedia(Douyin)", "Direct message", p, "-"});
+  }
+  {  // E-Commerce - Metadata tags: hot reads, high hit ratio.
+    sim::WorkloadProfile p;
+    p.base_qps = 1150;  // normalized 575
+    p.read_ratio = 1.0;
+    p.num_keys = 8000;
+    p.zipf_theta = 0.95;
+    p.value_bytes = 1024;
+    lines.push_back({"E-Commerce", "Metadata tags", p, "-"});
+  }
+  {  // Search - Forward sorted data: hottest reads, ~99% hits.
+    sim::WorkloadProfile p;
+    p.base_qps = 3000;  // normalized 1500
+    p.read_ratio = 1.0;
+    p.num_keys = 4000;
+    p.zipf_theta = 0.99;
+    p.value_bytes = 1024;
+    lines.push_back({"Search", "Forward sorted data", p, "-"});
+  }
+  {  // Advertisement - message joiner: write-heavy, read-once, TTL 3h.
+    sim::WorkloadProfile p;
+    p.base_qps = 5500;  // normalized 2750
+    p.read_ratio = 0.25;
+    p.num_keys = 4000000;  // Most data read at most once.
+    p.key_dist = sim::KeyDist::kUniform;
+    p.value_bytes = 10240;  // 10 KB
+    p.ttl = 3 * kMicrosPerHour;
+    lines.push_back({"Advertisement", "For message joiner", p, "3 hours"});
+  }
+  {  // Recommendation - deduplication: balanced, TTL 15 days.
+    sim::WorkloadProfile p;
+    p.base_qps = 10650;  // normalized 5325
+    p.read_ratio = 0.5;
+    p.num_keys = 300000;
+    p.zipf_theta = 0.9;
+    p.value_bytes = 2048;  // 2 KB
+    p.ttl = 15 * kMicrosPerDay;
+    lines.push_back({"Recommendation", "For deduplication", p, "15 days"});
+  }
+  {  // LLM - remote KV cache: huge values, bypasses caching.
+    sim::WorkloadProfile p;
+    p.base_qps = 1000;  // normalized 10000 (scaled down for value size).
+    p.read_ratio = 0.85;
+    p.num_keys = 8000;
+    p.key_dist = sim::KeyDist::kUniform;  // Token prefixes rarely repeat.
+    p.value_bytes = 64 * 1024;  // Scaled stand-in for 5 MB payloads.
+    p.value_sigma = 0.1;
+    p.ttl = 1 * kMicrosPerDay;
+    lines.push_back({"LargeLanguageModel", "Remote K-V Cache", p, "1 days"});
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 1: Diverse application scenarios and workload characteristics");
+
+  auto lines = MakeBusinessLines();
+
+  sim::SimOptions opts;
+  opts.node.wfq.cpu_budget_ru = 500000;  // Ample capacity: measure shape.
+  opts.node.cache.capacity_bytes = 24ull << 20;
+  opts.node.disk.read_iops_capacity = 2e6;
+  opts.proxy.cache.capacity_bytes = 2ull << 20;
+  sim::ClusterSim cluster(opts);
+  PoolId pool = cluster.AddPool(8);
+
+  for (size_t i = 0; i < lines.size(); i++) {
+    meta::TenantConfig cfg;
+    cfg.id = static_cast<TenantId>(i + 1);
+    cfg.name = lines[i].workload;
+    cfg.tenant_quota_ru = 4e6;  // No throttling in this experiment.
+    cfg.num_partitions = 8;
+    cfg.num_proxies = 4;
+    cfg.num_proxy_groups = 2;
+    if (cluster.AddTenant(cfg, pool).ok()) {
+      // LLM bypasses the proxy cache by design (paper: cache ratio 0).
+      if (std::string(lines[i].name) == "LargeLanguageModel") {
+        cluster.SetProxyCacheEnabled(cfg.id, false);
+      }
+      cluster.SetWorkload(cfg.id, lines[i].profile);
+      // Read-heavy tenants come with an existing dataset; write-heavy
+      // pipelines (Advertisement) populate their own keys.
+      if (lines[i].profile.read_ratio >= 0.5) {
+        bench::PreloadTenant(cluster, cfg.id, lines[i].profile.num_keys,
+                             lines[i].profile.value_bytes,
+                             lines[i].profile.value_sigma);
+      }
+    }
+  }
+
+  const size_t kWarmup = 40, kMeasure = 40;
+  cluster.RunTicks(kWarmup + kMeasure);
+
+  std::printf(
+      "%-22s %-20s %10s %10s %9s %8s %10s %10s\n", "Business line",
+      "Workload", "NormThru", "NormStor", "CacheHit", "ReadPct", "MeanKV(B)",
+      "TTL");
+  std::printf(
+      "%-22s %-20s %10s %10s %9s %8s %10s %10s\n", "(paper order)", "",
+      "(meas.)", "(meas.)", "(meas.)", "(meas.)", "(meas.)", "(cfg)");
+
+  // Normalization unit: the smallest tenant's throughput/storage, like
+  // the paper's "empirical standard unit".
+  std::vector<bench::WindowStats> stats;
+  std::vector<double> storage(lines.size(), 0);
+  for (size_t i = 0; i < lines.size(); i++) {
+    TenantId id = static_cast<TenantId>(i + 1);
+    stats.push_back(
+        bench::Aggregate(cluster, id, kWarmup, kWarmup + kMeasure));
+    // Storage: sum the tenant's primary replica footprints.
+    double bytes = 0;
+    for (const auto& n : cluster.nodes()) {
+      for (const auto* rep : n->Replicas()) {
+        if (rep->tenant == id && rep->is_primary) {
+          bytes += static_cast<double>(rep->engine->ApproximateDataBytes());
+        }
+      }
+    }
+    storage[i] = bytes;
+  }
+  double thr_unit = 1e18, sto_unit = 1e18;
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (stats[i].success_qps > 1) thr_unit = std::min(thr_unit, stats[i].success_qps);
+    if (storage[i] > 1) sto_unit = std::min(sto_unit, storage[i]);
+  }
+
+  for (size_t i = 0; i < lines.size(); i++) {
+    const auto* rt = cluster.Tenant(static_cast<TenantId>(i + 1));
+    double mean_kv =
+        rt != nullptr && rt->value_bytes_count > 0
+            ? static_cast<double>(rt->value_bytes_sum) /
+                  static_cast<double>(rt->value_bytes_count)
+            : 0;
+    std::printf("%-22s %-20s %10.0f %10.0f %8.0f%% %7.0f%% %10.0f %10s\n",
+                lines[i].name, lines[i].workload,
+                stats[i].success_qps / thr_unit * 25,
+                storage[i] / sto_unit * 125, stats[i].cache_hit_ratio * 100,
+                stats[i].read_ratio * 100, mean_kv, lines[i].ttl_label);
+  }
+
+  std::printf(
+      "\nShape checks vs paper Table 1:\n"
+      " - Search/E-Commerce cache hit ratios should be the highest (>90%% "
+      "paper).\n"
+      " - Advertisement hit ratio should be the lowest of cached tenants "
+      "(18%% paper) - read-once pattern.\n"
+      " - LLM hit ratio ~0 (cache bypassed by design).\n"
+      " - Direct message: lowest throughput but storage-heavy.\n");
+  return 0;
+}

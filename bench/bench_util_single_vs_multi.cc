@@ -1,0 +1,131 @@
+// Section 6.4 reproduction: machine utilization, single-tenant ABase-Pre
+// vs multi-tenant ABase.
+//
+// The paper reports average machine utilization rising from CPU 17% /
+// Mem 52% / Disk 27% (single-tenant) to CPU 44% / 63% / 46%
+// (multi-tenant). Two effects drive this:
+//  1. single-tenant machines are sized for each tenant's peak and cannot
+//     share slack; multi-tenant pooling packs diverse tenants together;
+//  2. single-tenant deployments must cap utilization at 2/3 to absorb a
+//     3/2 load spike when one of three replicas fails, while N-node
+//     pools only take a 1/N spike (Section 3.3).
+//
+// The harness packs a diverse tenant population both ways and reports
+// average per-machine utilization for CPU(RU), memory(cache), and disk.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+
+using namespace abase;
+
+namespace {
+
+struct TenantDemand {
+  double cpu_peak;   // RU/s at peak.
+  double cpu_mean;   // RU/s average over the day.
+  double mem_bytes;  // Working set (cache) demand.
+  double disk_bytes; // Storage footprint.
+};
+
+struct MachineSpec {
+  double cpu = 10000;        // RU/s.
+  double mem = 8e9;          // Bytes.
+  double disk = 4e12;        // Bytes.
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Section 6.4: utilization, single-tenant vs multi-tenant");
+
+  Rng rng(7);
+  const int kTenants = 200;
+  std::vector<TenantDemand> tenants;
+  for (int i = 0; i < kTenants; i++) {
+    TenantDemand d;
+    double style = rng.NextDouble();
+    // Diverse RU:storage profiles (Table 1): throughput-heavy,
+    // storage-heavy, or balanced; peak-to-mean ~2-4x.
+    if (style < 0.35) {  // Throughput-heavy serving tenants.
+      d.cpu_peak = rng.NextLogNormal(std::log(22000), 0.5);
+      d.disk_bytes = rng.NextLogNormal(std::log(1.2e12), 0.6);
+    } else if (style < 0.7) {  // Storage-heavy pipelines.
+      d.cpu_peak = rng.NextLogNormal(std::log(3500), 0.5);
+      d.disk_bytes = rng.NextLogNormal(std::log(8e12), 0.5);
+    } else {  // Balanced.
+      d.cpu_peak = rng.NextLogNormal(std::log(9000), 0.4);
+      d.disk_bytes = rng.NextLogNormal(std::log(3.5e12), 0.5);
+    }
+    d.cpu_mean = d.cpu_peak / (2.0 + 2.0 * rng.NextDouble());
+    d.mem_bytes = rng.NextLogNormal(std::log(6e9), 0.5);
+    tenants.push_back(d);
+  }
+
+  MachineSpec machine;
+
+  // ---- Single-tenant (ABase-Pre): each tenant gets dedicated machines
+  // sized for its peak, AND utilization must stay below 2/3 so the
+  // remaining replicas absorb a one-of-three node failure.
+  const double kSingleTenantCap = 2.0 / 3.0;
+  double st_machines = 0, st_cpu_used = 0, st_mem_used = 0, st_disk_used = 0;
+  for (const auto& t : tenants) {
+    double need = std::max({t.cpu_peak / (machine.cpu * kSingleTenantCap),
+                            t.mem_bytes / (machine.mem * kSingleTenantCap),
+                            t.disk_bytes / (machine.disk * kSingleTenantCap)});
+    double machines = std::max(3.0, std::ceil(need));  // >= 3 replicas.
+    st_machines += machines;
+    st_cpu_used += t.cpu_mean;
+    st_mem_used += t.mem_bytes;
+    st_disk_used += t.disk_bytes;
+  }
+  double st_cpu = st_cpu_used / (st_machines * machine.cpu) * 100;
+  double st_mem = st_mem_used / (st_machines * machine.mem) * 100;
+  double st_disk = st_disk_used / (st_machines * machine.disk) * 100;
+
+  // ---- Multi-tenant (ABase): one shared pool. Peaks are not aligned
+  // (diverse diurnal phases), so pool capacity is sized for the sum of
+  // means plus headroom: 20% idle reserve + 1/N failure spike (N-node
+  // redundancy instead of the 3/2 single-tenant spike).
+  double mt_cpu_mean = 0, mt_mem = 0, mt_disk = 0, mt_cpu_peak_sum = 0;
+  for (const auto& t : tenants) {
+    mt_cpu_mean += t.cpu_mean;
+    mt_cpu_peak_sum += t.cpu_peak;
+    mt_mem += t.mem_bytes;
+    mt_disk += t.disk_bytes;
+  }
+  // Statistical multiplexing: the pool's aggregate peak is far below the
+  // sum of individual peaks; with independent peak hours the aggregate
+  // peak ~ mean + (peak-mean)/sqrt(#tenants-ish). Use a measured-style
+  // factor: aggregate peak = mean * 1.35.
+  double pool_peak = mt_cpu_mean * 1.35;
+  const double kIdleReserve = 1.25;  // Lessons: >= 20% idle resources.
+  double mt_machines = std::max(
+      {std::ceil(pool_peak * kIdleReserve / machine.cpu),
+       std::ceil(mt_mem * kIdleReserve / machine.mem),
+       std::ceil(mt_disk * kIdleReserve / machine.disk)});
+  double mt_cpu = mt_cpu_mean / (mt_machines * machine.cpu) * 100;
+  double mt_mem_pct = mt_mem / (mt_machines * machine.mem) * 100;
+  double mt_disk_pct = mt_disk / (mt_machines * machine.disk) * 100;
+
+  std::printf("\n%-28s %10s %10s %10s %12s\n", "Deployment", "CPU", "Memory",
+              "Disk", "machines");
+  std::printf("%-28s %9.0f%% %9.0f%% %9.0f%% %12.0f\n",
+              "Single-tenant (ABase-Pre)", st_cpu, st_mem, st_disk,
+              st_machines);
+  std::printf("%-28s %9.0f%% %9.0f%% %9.0f%% %12.0f\n",
+              "Multi-tenant (ABase)", mt_cpu, mt_mem_pct, mt_disk_pct,
+              mt_machines);
+  std::printf("%-28s %9s %9s %9s\n", "Paper: single-tenant", "17%", "52%",
+              "27%");
+  std::printf("%-28s %9s %9s %9s\n", "Paper: multi-tenant", "44%", "63%",
+              "46%");
+  std::printf(
+      "\nShape check: multi-tenant pooling should roughly double CPU and "
+      "disk utilization while memory improves moderately, with far fewer "
+      "machines.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Double-11 predictive autoscaling (paper Sections 2.2 and 5): an
+// e-commerce tenant's traffic ramps toward a shopping festival. The
+// predictive autoscaler forecasts the ramp from the 30-day history and
+// raises the quota ahead of demand; a reactive baseline only reacts
+// after users already hit throttling.
+#include <cstdio>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "common/rng.h"
+#include "core/abase.h"
+#include "sim/workload.h"
+
+using namespace abase;
+
+int main() {
+  std::printf("=== Double-11 predictive autoscaling demo ===\n\n");
+
+  // 45 days of hourly RU usage: daily cycle + steep festival ramp in the
+  // last two weeks.
+  sim::SeriesSpec spec;
+  spec.hours = 45 * 24;
+  spec.base = 20000;
+  spec.seasons.push_back({24, 5000});
+  spec.noise_sigma = 600;
+  Rng rng(1111);
+  TimeSeries usage = sim::GenerateSeries(spec, rng);
+  for (size_t h = 31 * 24; h < usage.size(); h++) {
+    double days_in = (static_cast<double>(h) - 31 * 24) / 24.0;
+    usage[h] *= 1.0 + 0.09 * days_in;  // ~9%/day festival ramp.
+  }
+
+  autoscale::Autoscaler predictive;
+  autoscale::ReactiveScaler reactive;
+
+  double pq = 45000, rq = 45000;  // Both start with the same quota.
+  Micros last_down = -1;
+  int predictive_throttled_hours = 0, reactive_throttled_hours = 0;
+
+  std::printf("%5s %10s %14s %14s %10s\n", "day", "peakUsage",
+              "predictiveQ", "reactiveQ", "events");
+  for (size_t day = 30; day < 45; day++) {
+    // Run both policies each morning on the history so far.
+    TimeSeries history(std::vector<double>(
+        usage.values().begin(),
+        usage.values().begin() + static_cast<ptrdiff_t>(day * 24)));
+    auto d = predictive.Decide(history, TimeSeries(), pq, 16, 1e12, 100,
+                               last_down,
+                               static_cast<Micros>(day) * kMicrosPerDay);
+    const char* event = "";
+    if (d.ok() &&
+        d.value().action != autoscale::ScalingDecision::Action::kNone) {
+      pq = d.value().new_quota;
+      event = d.value().action ==
+                      autoscale::ScalingDecision::Action::kScaleUp
+                  ? "predictive UP"
+                  : "predictive DOWN";
+      if (d.value().action ==
+          autoscale::ScalingDecision::Action::kScaleDown) {
+        last_down = static_cast<Micros>(day) * kMicrosPerDay;
+      }
+    }
+    auto rd = reactive.Decide(usage[day * 24], rq);
+    if (rd.action == autoscale::ScalingDecision::Action::kScaleUp) {
+      rq = rd.new_quota;
+    }
+
+    // Count throttled hours through the day.
+    double peak = 0;
+    for (size_t h = day * 24; h < (day + 1) * 24 && h < usage.size(); h++) {
+      peak = std::max(peak, usage[h]);
+      if (usage[h] > pq) predictive_throttled_hours++;
+      if (usage[h] > rq) {
+        reactive_throttled_hours++;
+        rq = usage[h] / 0.65;  // Emergency oncall bump (the pain).
+      }
+    }
+    std::printf("%5zu %10.0f %14.0f %14.0f %10s\n", day, peak, pq, rq,
+                event);
+  }
+
+  std::printf(
+      "\nThrottled tenant-hours across the festival: predictive=%d, "
+      "reactive=%d\n",
+      predictive_throttled_hours, reactive_throttled_hours);
+  std::printf(
+      "The predictive policy scales before demand arrives (paper Figure 8; "
+      "~65%% fewer oncalls in production).\n");
+  return 0;
+}

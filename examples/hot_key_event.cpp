@@ -1,0 +1,95 @@
+// Hot-key event (paper Sections 2.2 and 4.4): a social-media tenant gets
+// hit by a viral post. The "last mile" problem: partitioning cannot help
+// because one key concentrates the traffic on one partition. The example
+// shows the proxy layer absorbing the event — the AU-LRU cache serves
+// the hot key, and the limited fan-out grouping spreads the remaining
+// pressure over N/n proxies.
+#include <cstdio>
+
+#include "core/abase.h"
+
+using namespace abase;
+
+int main() {
+  std::printf("=== Hot-key event demo ===\n\n");
+
+  Cluster cluster;
+  PoolId pool = cluster.CreatePool(4);
+
+  meta::TenantConfig config;
+  config.id = 1;
+  config.name = "social-media";
+  config.tenant_quota_ru = 100000;
+  config.num_partitions = 8;
+  config.num_proxies = 12;
+  config.num_proxy_groups = 4;  // Fan-out per key = 12/4 = 3 proxies.
+  Status st = cluster.CreateTenant(config, pool);
+  if (!st.ok()) return 1;
+
+  // Normal traffic: zipf reads over the comment key space.
+  sim::WorkloadProfile profile;
+  profile.base_qps = 2000;
+  profile.read_ratio = 0.95;
+  profile.num_keys = 50000;
+  profile.zipf_theta = 0.9;
+  profile.value_bytes = 128;
+  // The viral moment: from t=30s, 15x traffic, 80% of it on ~5 keys.
+  profile.bursts.push_back({30 * kMicrosPerSecond, 90 * kMicrosPerSecond,
+                            15.0});
+  cluster.AttachWorkload(1, profile);
+
+  auto snapshot = [&](const char* label, size_t from, size_t to) {
+    const auto& h = cluster.sim().History(1);
+    uint64_t ok = 0, err = 0, proxy_hits = 0, reads = 0;
+    double lat = 0, latn = 0;
+    for (size_t i = from; i < to && i < h.size(); i++) {
+      ok += h[i].ok;
+      err += h[i].errors;
+      proxy_hits += h[i].proxy_hits;
+      reads += h[i].proxy_hits + h[i].reads_completed;
+      lat += h[i].latency_sum;
+      latn += static_cast<double>(h[i].latency_count);
+    }
+    double secs = static_cast<double>(to - from);
+    std::printf("%-24s okQPS=%7.0f errQPS=%6.0f proxyHit=%5.1f%% "
+                "meanLat=%6.0fus\n",
+                label, ok / secs, err / secs,
+                reads ? 100.0 * proxy_hits / reads : 0.0,
+                latn > 0 ? lat / latn : 0.0);
+  };
+
+  cluster.RunTicks(30);
+  snapshot("before (normal)", 10, 30);
+
+  // Flip the access pattern to the viral hot set at burst start: a hot
+  // event is overwhelmingly reads (everyone opens the same post).
+  sim::WorkloadProfile* p = cluster.sim().MutableWorkload(1);
+  p->key_dist = sim::KeyDist::kHotSpot;
+  p->hot_fraction = 0.0001;  // 5 hot keys.
+  p->hot_share = 0.8;
+  p->read_ratio = 1.0;
+
+  cluster.RunTicks(60);
+  snapshot("during hot-key burst", 70, 90);
+
+  // Where did the hot-key traffic land? Count per-proxy cache hits.
+  const auto* rt = cluster.sim().Tenant(1);
+  std::printf("\nPer-proxy cache hits during the event (fan-out %u of %u "
+              "proxies per key):\n  ",
+              rt->router->FanoutPerKey(), config.num_proxies);
+  for (const auto& px : rt->proxies) {
+    std::printf("%llu ", static_cast<unsigned long long>(px->stats().cache_hits));
+  }
+  std::printf("\n\nNotes:\n"
+              " - The AU-LRU proxy cache absorbs most hot-key reads; the "
+              "DataNode sees a fraction of the surge.\n"
+              " - Each hot key is spread across its ProxyGroup (3 proxies), "
+              "balancing the residual load; smaller n would spread wider.\n"
+              " - Active update keeps refreshing the hot entries before "
+              "expiry: refresh fetches = background, clients never stall.\n");
+  uint64_t refreshes = 0;
+  for (const auto& px : rt->proxies) refreshes += px->stats().refresh_fetches;
+  std::printf("   total active-update refresh fetches: %llu\n",
+              static_cast<unsigned long long>(refreshes));
+  return 0;
+}

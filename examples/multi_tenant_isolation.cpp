@@ -1,0 +1,86 @@
+// Multi-tenant isolation demo (paper Section 4): three tenants share a
+// small pool; one goes rogue with a 30x burst. The hierarchical request
+// restriction (proxy quota -> partition quota -> dual-layer WFQ) keeps
+// the other two tenants' service and latency intact.
+#include <cstdio>
+
+#include "core/abase.h"
+
+using namespace abase;
+
+namespace {
+
+void PrintWindow(Cluster& cluster, const char* label, size_t from,
+                 size_t to) {
+  std::printf("%-22s", label);
+  for (TenantId id = 1; id <= 3; id++) {
+    const auto& h = cluster.sim().History(id);
+    uint64_t ok = 0, thr = 0;
+    double lat = 0, latn = 0;
+    for (size_t i = from; i < to && i < h.size(); i++) {
+      ok += h[i].ok;
+      thr += h[i].throttled;
+      lat += h[i].latency_sum;
+      latn += static_cast<double>(h[i].latency_count);
+    }
+    double secs = static_cast<double>(to - from);
+    std::printf(" | T%u ok=%6.0f thr=%6.0f lat=%6.0fus", id, ok / secs,
+                thr / secs, latn > 0 ? lat / latn : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Multi-tenant isolation demo ===\n\n");
+
+  ClusterOptions copts;
+  copts.sim.node.wfq.cpu_budget_ru = 20000;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(2);
+
+  for (TenantId id = 1; id <= 3; id++) {
+    meta::TenantConfig cfg;
+    cfg.id = id;
+    cfg.name = "tenant" + std::to_string(id);
+    cfg.tenant_quota_ru = 6000;
+    cfg.num_partitions = 4;
+    cfg.num_proxies = 4;
+    cfg.num_proxy_groups = 2;
+    cfg.replicas = 2;
+    if (!cluster.CreateTenant(cfg, pool).ok()) return 1;
+
+    sim::WorkloadProfile p;
+    p.base_qps = 1500;
+    p.read_ratio = id == 2 ? 0.3 : 0.9;  // Tenant 2 is write-heavy.
+    p.num_keys = 5000;
+    p.zipf_theta = 0.9;
+    p.value_bytes = id == 3 ? 4096 : 512;  // Tenant 3 runs large values.
+    // Tenant 1 goes rogue: 30x burst from t=40 to t=100.
+    if (id == 1) {
+      p.bursts.push_back({40 * kMicrosPerSecond, 100 * kMicrosPerSecond,
+                          30.0});
+    }
+    cluster.AttachWorkload(id, p);
+  }
+
+  cluster.RunTicks(40);
+  PrintWindow(cluster, "normal", 20, 40);
+
+  cluster.RunTicks(60);
+  PrintWindow(cluster, "tenant-1 30x burst", 80, 100);
+
+  cluster.RunTicks(40);
+  PrintWindow(cluster, "after burst", 120, 140);
+
+  std::printf(
+      "\nWhat happened during the burst:\n"
+      " - Tenant 1's proxies threw away everything beyond 2x its fair "
+      "share (throttle column) before it could reach the shared nodes.\n"
+      " - Partition quotas capped what did arrive; the dual-layer WFQ "
+      "scheduled the survivors against tenants 2-3 by quota share.\n"
+      " - Tenants 2 and 3 kept their full service and flat latency — the "
+      "paper's Figure 6/7 behaviour, combined.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: stand up an ABase cluster, create a tenant, and use the
+// Redis-style client API.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "core/abase.h"
+
+using namespace abase;
+
+int main() {
+  // 1. A cluster with one resource pool of four DataNodes.
+  Cluster cluster;
+  PoolId pool = cluster.CreatePool(4);
+
+  // 2. A tenant: 4 partitions x 3 replicas, a 50k RU/s quota, and a
+  //    4-proxy fleet in 2 limited-fan-out groups.
+  meta::TenantConfig config;
+  config.id = 1;
+  config.name = "quickstart";
+  config.tenant_quota_ru = 50000;
+  config.num_partitions = 4;
+  config.num_proxies = 4;
+  config.num_proxy_groups = 2;
+  config.replicas = 3;
+  Status st = cluster.CreateTenant(config, pool);
+  if (!st.ok()) {
+    std::printf("CreateTenant failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Redis-style commands through the tenant's proxies.
+  Client client = cluster.OpenClient(1);
+
+  (void)client.Set("user:1001", "alice");
+  (void)client.Set("session:1001", "token-xyz", /*ttl=*/30 * kMicrosPerSecond);
+  (void)client.HSet("profile:1001", "city", "berlin");
+  (void)client.HSet("profile:1001", "lang", "de");
+
+  auto user = client.Get("user:1001");
+  std::printf("GET user:1001       -> %s\n",
+              user.ok() ? user.value().c_str() : user.status().ToString().c_str());
+
+  auto city = client.HGet("profile:1001", "city");
+  std::printf("HGET profile city   -> %s\n",
+              city.ok() ? city.value().c_str() : "?");
+
+  auto len = client.HLen("profile:1001");
+  std::printf("HLEN profile:1001   -> %llu\n",
+              static_cast<unsigned long long>(len.value_or(0)));
+
+  auto all = client.HGetAll("profile:1001");
+  std::printf("HGETALL profile     ->\n%s", all.ok() ? all.value().c_str() : "");
+
+  // TTL expiry: advance simulated time past the session TTL.
+  cluster.RunTicks(31);
+  auto session = client.Get("session:1001");
+  std::printf("GET session (31s)   -> %s (TTL elapsed)\n",
+              session.status().ToString().c_str());
+
+  (void)client.Del("user:1001");
+  auto gone = client.Get("user:1001");
+  std::printf("GET after DEL       -> %s\n", gone.status().ToString().c_str());
+
+  std::printf("\nquickstart finished.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#include "autoscale/autoscaler.h"
+
+#include <algorithm>
+
+namespace abase {
+namespace autoscale {
+
+Result<ScalingDecision> Autoscaler::Decide(
+    const TimeSeries& usage, const TimeSeries& quota_series,
+    double current_quota, uint32_t num_partitions,
+    double partition_quota_upper, double partition_quota_lower,
+    Micros last_scale_down, Micros now) const {
+  if (current_quota <= 0 || num_partitions == 0) {
+    return Status::InvalidArgument("bad quota/partition inputs");
+  }
+
+  // Forecast Umax over the next 7 days from the trailing 30-day window.
+  TimeSeries window = usage.Tail(policy_.history_hours);
+  TimeSeries quota_window = quota_series.size() == usage.size()
+                                ? quota_series.Tail(policy_.history_hours)
+                                : TimeSeries();
+  auto fc = forecast::EnsembleForecast(window, quota_window,
+                                       policy_.forecast_horizon_hours,
+                                       forecast_options_);
+  ABASE_RETURN_IF_ERROR(fc.status());
+  const double u_max = fc.value().predicted_max;
+
+  ScalingDecision d;
+  d.forecast = std::move(fc).value();
+  d.forecast_max = u_max;
+  d.old_quota = current_quota;
+  d.new_quota = current_quota;
+
+  if (u_max > policy_.upper_threshold * current_quota) {
+    // Algorithm 1 lines 1-6: scale up; split if QP exceeds UP.
+    d.action = ScalingDecision::Action::kScaleUp;
+    d.new_quota = u_max / policy_.target_utilization;
+    double qp = d.new_quota / static_cast<double>(num_partitions);
+    d.partition_split = qp > partition_quota_upper;
+  } else if (u_max < policy_.lower_threshold * current_quota) {
+    // Algorithm 1 lines 7-10: scale down with a 7-day cooldown; keep the
+    // partition quota at or above LOWER for burst headroom.
+    bool cooled_down = last_scale_down < 0 ||
+                       now - last_scale_down >= policy_.scale_down_cooldown;
+    if (cooled_down) {
+      d.action = ScalingDecision::Action::kScaleDown;
+      double target = u_max / policy_.target_utilization;
+      double floor_quota =
+          partition_quota_lower * static_cast<double>(num_partitions);
+      d.new_quota = std::max(target, floor_quota);
+      if (d.new_quota >= current_quota) {
+        d.action = ScalingDecision::Action::kNone;  // Floor negates it.
+        d.new_quota = current_quota;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace autoscale
+}  // namespace abase

@@ -1,0 +1,93 @@
+#include "cache/au_lru.h"
+
+#include <cassert>
+
+namespace abase {
+namespace cache {
+
+AuLruCache::AuLruCache(AuLruOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  assert(clock_ != nullptr);
+}
+
+bool AuLruCache::Put(const std::string& key, std::string value,
+                     uint64_t charge, Micros ttl) {
+  if (charge > options_.capacity_bytes) return false;
+  if (ttl <= 0) ttl = options_.default_ttl;
+  auto it = map_.find(key);
+  if (it != map_.end()) RemoveEntry(it->second);
+  EvictUntilFits(charge);
+  lru_.push_front(Entry{key, std::move(value), charge,
+                        clock_->NowMicros() + ttl, /*hits_this_period=*/0,
+                        /*refresh_flagged=*/false});
+  map_[key] = lru_.begin();
+  used_ += charge;
+  stats_.inserts++;
+  return true;
+}
+
+AuLookup AuLruCache::Get(const std::string& key) {
+  AuLookup out;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    stats_.misses++;
+    return out;
+  }
+  Entry& e = *it->second;
+  const Micros now = clock_->NowMicros();
+  if (now >= e.expire_at) {
+    // Lazily expire: a passive LRU would now forward this (possibly hot)
+    // key to the DataNode — exactly the spike AU-LRU avoids via refresh.
+    stats_.expired++;
+    stats_.misses++;
+    RemoveEntry(it->second);
+    return out;
+  }
+  out.hit = true;
+  out.value = e.value;
+  stats_.hits++;
+  e.hits_this_period++;
+  if (!e.refresh_flagged && e.hits_this_period >= options_.refresh_min_hits &&
+      e.expire_at - now <= options_.refresh_window) {
+    e.refresh_flagged = true;
+    out.needs_refresh = true;
+    refresh_queue_.push_back(key);
+    refresh_requests_++;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return out;
+}
+
+bool AuLruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  RemoveEntry(it->second);
+  return true;
+}
+
+bool AuLruCache::Contains(const std::string& key) const {
+  return map_.count(key) > 0;
+}
+
+std::vector<std::string> AuLruCache::TakeRefreshQueue() {
+  std::vector<std::string> out;
+  out.swap(refresh_queue_);
+  return out;
+}
+
+void AuLruCache::EvictUntilFits(uint64_t incoming) {
+  while (used_ + incoming > options_.capacity_bytes && !lru_.empty()) {
+    auto victim = std::prev(lru_.end());
+    stats_.evictions++;
+    RemoveEntry(victim);
+  }
+}
+
+void AuLruCache::RemoveEntry(std::list<Entry>::iterator it) {
+  used_ -= it->charge;
+  map_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace cache
+}  // namespace abase

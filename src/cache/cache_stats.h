@@ -1,0 +1,27 @@
+// Shared cache counters reported by every cache implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace abase {
+namespace cache {
+
+/// Monotonic counters; diff across a window for rates.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t expired = 0;  ///< Entries dropped because their TTL elapsed.
+
+  uint64_t lookups() const { return hits + misses; }
+
+  /// Hit ratio in [0, 1]; 0 when no lookups have happened.
+  double HitRatio() const {
+    uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+};
+
+}  // namespace cache
+}  // namespace abase

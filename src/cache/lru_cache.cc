@@ -1,0 +1,66 @@
+#include "cache/lru_cache.h"
+
+namespace abase {
+namespace cache {
+
+LruCache::LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool LruCache::Put(const std::string& key, std::string value,
+                   uint64_t charge) {
+  if (charge > capacity_) return false;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_ -= it->second->charge;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  EvictUntilFits(charge);
+  lru_.push_front(Entry{key, std::move(value), charge});
+  map_[key] = lru_.begin();
+  used_ += charge;
+  stats_.inserts++;
+  return true;
+}
+
+std::optional<std::string> LruCache::Get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+bool LruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  used_ -= it->second->charge;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+bool LruCache::Contains(const std::string& key) const {
+  return map_.count(key) > 0;
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  used_ = 0;
+}
+
+void LruCache::EvictUntilFits(uint64_t incoming) {
+  while (used_ + incoming > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    used_ -= victim.charge;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+}  // namespace cache
+}  // namespace abase

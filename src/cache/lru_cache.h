@@ -1,0 +1,58 @@
+// Plain byte-bounded LRU cache: the baseline the paper's SA-LRU and AU-LRU
+// are compared against.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/cache_stats.h"
+
+namespace abase {
+namespace cache {
+
+/// Least-recently-used cache bounded by total payload bytes. Entries larger
+/// than the capacity are rejected rather than thrashing the whole cache.
+class LruCache {
+ public:
+  explicit LruCache(uint64_t capacity_bytes);
+
+  /// Inserts or refreshes `key`. `charge` is the entry's byte footprint.
+  /// Returns false if the entry alone exceeds capacity (not inserted).
+  bool Put(const std::string& key, std::string value, uint64_t charge);
+
+  /// Looks up `key`, promoting it to most-recent on hit.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Removes `key` if present; returns true if something was erased.
+  bool Erase(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return capacity_; }
+  size_t entry_count() const { return map_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    uint64_t charge;
+  };
+
+  void EvictUntilFits(uint64_t incoming);
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<Entry> lru_;  ///< Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace cache
+}  // namespace abase

@@ -1,0 +1,145 @@
+#include "cache/sa_lru.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abase {
+namespace cache {
+
+SaLruCache::SaLruCache(SaLruOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  assert(options_.num_classes >= 1);
+  classes_.resize(static_cast<size_t>(options_.num_classes));
+}
+
+int SaLruCache::ClassFor(uint64_t charge) const {
+  uint64_t bound = options_.min_class_bytes;
+  for (int c = 0; c < options_.num_classes - 1; c++) {
+    if (charge <= bound) return c;
+    bound *= 2;
+  }
+  return options_.num_classes - 1;
+}
+
+bool SaLruCache::Put(const std::string& key, std::string value,
+                     uint64_t charge, Micros expire_at) {
+  if (charge > options_.capacity_bytes) return false;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
+    sc.bytes -= it->second->charge;
+    used_ -= it->second->charge;
+    sc.lru.erase(it->second);
+    map_.erase(it);
+  }
+  EvictUntilFits(charge);
+  int cls = ClassFor(charge);
+  SizeClass& sc = classes_[static_cast<size_t>(cls)];
+  sc.lru.push_front(Entry{key, std::move(value), charge, cls, expire_at});
+  map_[key] = sc.lru.begin();
+  sc.bytes += charge;
+  used_ += charge;
+  stats_.inserts++;
+  return true;
+}
+
+std::optional<std::string> SaLruCache::Get(const std::string& key) {
+  Micros ignored;
+  return GetWithExpiry(key, &ignored);
+}
+
+std::optional<std::string> SaLruCache::GetWithExpiry(const std::string& key,
+                                                     Micros* expire_at) {
+  *expire_at = 0;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    stats_.misses++;
+    return std::nullopt;
+  }
+  if (it->second->expire_at != 0 && clock_ != nullptr &&
+      clock_->NowMicros() >= it->second->expire_at) {
+    stats_.expired++;
+    stats_.misses++;
+    Erase(key);
+    return std::nullopt;
+  }
+  stats_.hits++;
+  *expire_at = it->second->expire_at;
+  SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
+  sc.recent_hits += 1.0;
+  sc.lru.splice(sc.lru.begin(), sc.lru, it->second);
+  return it->second->value;
+}
+
+bool SaLruCache::Erase(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
+  sc.bytes -= it->second->charge;
+  used_ -= it->second->charge;
+  sc.lru.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+bool SaLruCache::Contains(const std::string& key) const {
+  return map_.count(key) > 0;
+}
+
+int SaLruCache::VictimClass() const {
+  // Lowest recent-hit density (hits per byte) among non-empty classes.
+  // Ties break toward the *largest* size class: with equal density, evicting
+  // big items frees more room per displaced hit.
+  int victim = -1;
+  double best_density = 0;
+  for (int c = options_.num_classes - 1; c >= 0; c--) {
+    const SizeClass& sc = classes_[static_cast<size_t>(c)];
+    if (sc.bytes == 0) continue;
+    double density = sc.recent_hits / static_cast<double>(sc.bytes);
+    if (victim < 0 || density < best_density) {
+      victim = c;
+      best_density = density;
+    }
+  }
+  return victim;
+}
+
+void SaLruCache::EvictUntilFits(uint64_t incoming) {
+  while (used_ + incoming > options_.capacity_bytes) {
+    int victim_class = VictimClass();
+    if (victim_class < 0) break;  // Cache empty.
+    SizeClass& sc = classes_[static_cast<size_t>(victim_class)];
+    const Entry& victim = sc.lru.back();
+    used_ -= victim.charge;
+    sc.bytes -= victim.charge;
+    map_.erase(victim.key);
+    sc.lru.pop_back();
+    stats_.evictions++;
+    DecayHits();
+  }
+}
+
+void SaLruCache::DecayHits() {
+  for (SizeClass& sc : classes_) sc.recent_hits *= options_.hit_decay;
+}
+
+std::vector<uint64_t> SaLruCache::ClassBytes() const {
+  std::vector<uint64_t> out;
+  out.reserve(classes_.size());
+  for (const SizeClass& sc : classes_) out.push_back(sc.bytes);
+  return out;
+}
+
+std::vector<double> SaLruCache::ClassDensity() const {
+  std::vector<double> out;
+  out.reserve(classes_.size());
+  for (const SizeClass& sc : classes_) {
+    out.push_back(sc.bytes == 0
+                      ? 0.0
+                      : sc.recent_hits / static_cast<double>(sc.bytes));
+  }
+  return out;
+}
+
+}  // namespace cache
+}  // namespace abase

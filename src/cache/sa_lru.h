@@ -1,0 +1,104 @@
+// SA-LRU — Size-Aware LRU (paper Section 4.4, DataNode-layer cache).
+//
+// Entries are grouped into size classes (powers of two of the payload
+// size). Each class keeps its own LRU list and hit counters. When space is
+// needed, the victim class is the one with the lowest *hit density* —
+// recent hits per cached byte — so large, rarely-hit items are evicted
+// before small, frequently-hit ones. This is the paper's "individual
+// eviction policies for items of different sizes": retaining small data
+// (cheap to keep, high aggregate hit yield) improves the overall hit ratio
+// under mixed KV sizes.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "common/clock.h"
+
+namespace abase {
+namespace cache {
+
+/// Tuning knobs for SA-LRU.
+struct SaLruOptions {
+  uint64_t capacity_bytes = 64ull << 20;
+  /// Smallest size class covers (0, min_class_bytes]; each further class
+  /// doubles the upper bound.
+  uint64_t min_class_bytes = 256;
+  int num_classes = 8;
+  /// Hit counters decay by this factor whenever the cache evicts, so the
+  /// density score tracks *recent* utility rather than all-time counts.
+  double hit_decay = 0.98;
+};
+
+/// Size-aware LRU cache. Single-threaded (per-DataNode, serialized by the
+/// simulator); wrap externally if shared.
+class SaLruCache {
+ public:
+  /// `clock` is required only when entries carry expirations; without it
+  /// all entries are treated as immortal.
+  explicit SaLruCache(SaLruOptions options = {},
+                      const Clock* clock = nullptr);
+
+  /// Inserts or refreshes `key` with the given byte footprint. Oversized
+  /// entries (charge > capacity) are rejected. `expire_at` of 0 means no
+  /// expiry; a value's cache lifetime must not outlive its engine TTL.
+  bool Put(const std::string& key, std::string value, uint64_t charge,
+           Micros expire_at = 0);
+
+  /// Lookup; promotes within the entry's size class on hit. Expired
+  /// entries are erased and count as misses.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Like Get, and also reports the entry's expiry deadline (0 = none)
+  /// so callers can propagate TTLs to downstream caches.
+  std::optional<std::string> GetWithExpiry(const std::string& key,
+                                           Micros* expire_at);
+
+  bool Erase(const std::string& key);
+  bool Contains(const std::string& key) const;
+
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+  size_t entry_count() const { return map_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Bytes currently held by each size class (diagnostics / tests).
+  std::vector<uint64_t> ClassBytes() const;
+  /// Recent-hit density score of each class (hits per byte).
+  std::vector<double> ClassDensity() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    uint64_t charge;
+    int size_class;
+    Micros expire_at;  ///< 0 = never.
+  };
+  struct SizeClass {
+    std::list<Entry> lru;  ///< Front = most recent.
+    uint64_t bytes = 0;
+    double recent_hits = 0;  ///< Decayed hit counter.
+  };
+
+  int ClassFor(uint64_t charge) const;
+  /// Picks the class with the lowest hit density that holds any bytes.
+  int VictimClass() const;
+  void EvictUntilFits(uint64_t incoming);
+  void DecayHits();
+
+  SaLruOptions options_;
+  const Clock* clock_;
+  std::vector<SizeClass> classes_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  uint64_t used_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace cache
+}  // namespace abase

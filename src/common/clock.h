@@ -1,0 +1,50 @@
+// Time abstraction. All simulation code reads time through a Clock so that
+// experiments are deterministic and can be fast-forwarded.
+#pragma once
+
+#include <cstdint>
+
+namespace abase {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr Micros kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Source of "now". Implementations must be monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since the clock's epoch.
+  virtual Micros NowMicros() const = 0;
+};
+
+/// Deterministic, manually-advanced clock used by the cluster simulator and
+/// by all tests. Starts at 0.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(Micros start = 0) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+
+  /// Advances time. `delta` must be non-negative (monotonicity).
+  void Advance(Micros delta) {
+    if (delta > 0) now_ += delta;
+  }
+  void AdvanceSeconds(double s) {
+    Advance(static_cast<Micros>(s * kMicrosPerSecond));
+  }
+  /// Jumps directly to `t` if `t` is in the future; no-op otherwise.
+  void SetTime(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace abase

@@ -1,0 +1,32 @@
+// Hashing utilities: FNV-1a for routing / partitioning decisions (stable
+// across platforms, unlike std::hash), and a 32-bit mix for bloom filters.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace abase {
+
+/// FNV-1a 64-bit. Stable across builds; used for key → partition routing
+/// and the proxy-group limited fan-out hash.
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Finalizer from MurmurHash3; decorrelates sequential inputs. Used to
+/// derive independent bloom-filter probe positions from one base hash.
+inline uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace abase

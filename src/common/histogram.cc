@@ -1,0 +1,17 @@
+#include "common/histogram.h"
+
+namespace abase {
+
+double ExactPercentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+}  // namespace abase

@@ -1,0 +1,147 @@
+// Latency / size histogram with percentile queries, plus a plain running
+// statistics accumulator. Used by the simulator to report the per-tenant
+// latency and KV-size distributions in Figures 4-7.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace abase {
+
+/// Exponentially-bucketed histogram (RocksDB HistogramImpl style): buckets
+/// grow geometrically so percentile error is bounded by the growth factor
+/// while memory stays O(#buckets).
+class Histogram {
+ public:
+  /// `max_value` is the largest representable sample; larger samples clamp.
+  explicit Histogram(double max_value = 1e12, double growth = 1.3)
+      : growth_(growth) {
+    double bound = 1.0;
+    bounds_.push_back(bound);
+    while (bound < max_value) {
+      bound *= growth_;
+      bounds_.push_back(bound);
+    }
+    counts_.assign(bounds_.size(), 0);
+  }
+
+  void Add(double value) {
+    if (value < 0) value = 0;
+    size_t idx = BucketFor(value);
+    counts_[idx]++;
+    count_++;
+    sum_ += value;
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = count_ == 1 ? value : std::max(max_, value);
+  }
+
+  void Merge(const Histogram& other) {
+    // Histograms must share bucketization to merge.
+    if (other.count_ == 0) return;
+    for (size_t i = 0; i < counts_.size() && i < other.counts_.size(); i++) {
+      counts_[i] += other.counts_[i];
+    }
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void Reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0;
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Value at percentile p in [0, 100], linearly interpolated within the
+  /// bucket. Returns 0 for an empty histogram.
+  double Percentile(double p) const {
+    if (count_ == 0) return 0;
+    if (p <= 0) return min_;
+    if (p >= 100) return max_;
+    double target = p / 100.0 * static_cast<double>(count_);
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts_.size(); i++) {
+      uint64_t next = cum + counts_[i];
+      if (static_cast<double>(next) >= target && counts_[i] > 0) {
+        double lo = i == 0 ? 0 : bounds_[i - 1];
+        double hi = bounds_[i];
+        double frac = (target - static_cast<double>(cum)) /
+                      static_cast<double>(counts_[i]);
+        double v = lo + frac * (hi - lo);
+        return std::clamp(v, min_, max_);
+      }
+      cum = next;
+    }
+    return max_;
+  }
+
+  double P50() const { return Percentile(50); }
+  double P90() const { return Percentile(90); }
+  double P99() const { return Percentile(99); }
+
+ private:
+  size_t BucketFor(double value) const {
+    // Binary search the first bound >= value.
+    size_t lo = 0, hi = bounds_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (bounds_[mid] >= value)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }
+
+  double growth_;
+  std::vector<double> bounds_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Running mean / variance (Welford) without storing samples.
+class RunningStats {
+ public:
+  void Add(double x) {
+    n_++;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ < 2 ? 0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Exact percentile over a stored sample vector; for offline analysis where
+/// sample counts are modest (e.g., per-tenant aggregates across a pool).
+double ExactPercentile(std::vector<double> values, double p);
+
+}  // namespace abase

@@ -1,0 +1,95 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+namespace abase {
+
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: shape mismatch");
+  }
+  for (size_t col = 0; col < n; col++) {
+    // Partial pivot: bring the largest |value| in this column to the
+    // diagonal for numerical stability.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; r++) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-12) {
+      return Status::InvalidArgument("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; c++) std::swap(a.at(col, c), a.at(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    double inv = 1.0 / a.at(col, col);
+    for (size_t r = col + 1; r < n; r++) {
+      double factor = a.at(r, col) * inv;
+      if (factor == 0) continue;
+      for (size_t c = col; c < n; c++) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (size_t c = ri + 1; c < n; c++) acc -= a.at(ri, c) * x[c];
+    x[ri] = acc / a.at(ri, ri);
+  }
+  return x;
+}
+
+Result<std::vector<double>> RidgeRegression(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            double lambda) {
+  const size_t n = x.rows();
+  const size_t k = x.cols();
+  if (y.size() != n || n == 0 || k == 0) {
+    return Status::InvalidArgument("RidgeRegression: shape mismatch");
+  }
+  // Normal equations: (X^T X + lambda I) w = X^T y.
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (size_t i = 0; i < n; i++) {
+    for (size_t a_ = 0; a_ < k; a_++) {
+      double xia = x.at(i, a_);
+      if (xia == 0) continue;
+      xty[a_] += xia * y[i];
+      for (size_t b_ = a_; b_ < k; b_++) {
+        xtx.at(a_, b_) += xia * x.at(i, b_);
+      }
+    }
+  }
+  for (size_t a_ = 0; a_ < k; a_++) {
+    for (size_t b_ = 0; b_ < a_; b_++) xtx.at(a_, b_) = xtx.at(b_, a_);
+    xtx.at(a_, a_) += lambda;
+  }
+  return SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0;
+  const size_t n = a.size();
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; i++) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; i++) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va < 1e-12 || vb < 1e-12) return 0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace abase

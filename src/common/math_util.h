@@ -1,0 +1,45 @@
+// Small dense linear algebra needed by the forecasting module: ridge
+// least-squares via normal equations with Gaussian elimination. Problem
+// sizes are tiny (tens of basis functions), so O(n^3) is fine.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace abase {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+ private:
+  size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square with rows == b.size(). Fails on (near-)singular A.
+Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                              std::vector<double> b);
+
+/// Ridge regression: minimizes |X w - y|^2 + lambda |w|^2 and returns w.
+/// X is n x k with n >= 1, y has n entries. lambda >= 0.
+Result<std::vector<double>> RidgeRegression(const Matrix& x,
+                                            const std::vector<double>& y,
+                                            double lambda);
+
+/// Pearson correlation of two equal-length vectors (0 if degenerate).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace abase

@@ -1,0 +1,72 @@
+// Sliding-window estimators used by the RU model (Section 4.1 of the paper):
+// E[S_read] and E[R_hit] are moving averages over the last k requests.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace abase {
+
+/// Mean of the last `window` samples. O(1) update.
+class MovingAverage {
+ public:
+  explicit MovingAverage(size_t window, double initial = 0.0)
+      : window_(window == 0 ? 1 : window), initial_(initial) {}
+
+  void Add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+    if (samples_.size() > window_) {
+      sum_ -= samples_.front();
+      samples_.pop_front();
+    }
+  }
+
+  /// Returns the configured initial value until the first sample arrives.
+  double Value() const {
+    if (samples_.empty()) return initial_;
+    return sum_ / static_cast<double>(samples_.size());
+  }
+
+  size_t count() const { return samples_.size(); }
+  size_t window() const { return window_; }
+
+  void Reset() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+ private:
+  size_t window_;
+  double initial_;
+  std::deque<double> samples_;
+  double sum_ = 0;
+};
+
+/// Exponentially-weighted moving average; used where a fixed window is too
+/// coarse (e.g., per-queue service-rate tracking).
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha, double initial = 0.0)
+      : alpha_(alpha), value_(initial) {}
+
+  void Add(double x) {
+    if (!seeded_) {
+      value_ = x;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * x + (1 - alpha_) * value_;
+    }
+  }
+
+  double Value() const { return value_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_;
+  bool seeded_ = false;
+};
+
+}  // namespace abase

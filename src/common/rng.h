@@ -1,0 +1,137 @@
+// Seeded random number generation with the distributions the workload
+// generators need (uniform, Zipfian, log-normal, Poisson).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace abase {
+
+/// Deterministic RNG. Every simulator component takes an explicit seed so
+/// all experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n) {
+    assert(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and stddev.
+  double NextGaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double NextLogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Poisson-distributed count with the given mean.
+  int64_t NextPoisson(double mean) {
+    if (mean <= 0) return 0;
+    return std::poisson_distribution<int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipfian key sampler over [0, n) with skew `theta` (YCSB-style; theta in
+/// (0, 1), larger = more skew). Uses the Gray et al. rejection-free method
+/// with precomputed zeta.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta)
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    assert(theta > 0 && theta < 1);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest key.
+  uint64_t Next(Rng& rng) const {
+    double u = rng.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// Samples from an explicit discrete distribution (weights need not sum
+/// to 1). Used for hot-key workloads where a handful of keys take a fixed
+/// share of traffic.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    double total = 0;
+    for (double& w : cumulative_) {
+      assert(w >= 0);
+      total += w;
+      w = total;
+    }
+    total_ = total;
+  }
+
+  /// Index in [0, weights.size()).
+  size_t Next(Rng& rng) const {
+    double u = rng.NextDouble() * total_;
+    size_t lo = 0, hi = cumulative_.size();
+    while (lo + 1 < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid - 1] <= u)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0;
+};
+
+}  // namespace abase

@@ -1,0 +1,130 @@
+// Status / Result error model (RocksDB/Arrow style). Library code reports
+// failures through these types; exceptions are not used on any hot path.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace abase {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        ///< Key / entity does not exist.
+  kInvalidArgument, ///< Caller passed a malformed or out-of-range argument.
+  kThrottled,       ///< Request rejected by quota admission control.
+  kResourceExhausted, ///< Capacity (queue, memory, disk) exhausted.
+  kUnavailable,     ///< Target node/partition is down or migrating.
+  kCorruption,      ///< Stored data failed an integrity check.
+  kNotSupported,    ///< Operation not implemented for this entity.
+  kInternal,        ///< Invariant violation inside the library.
+};
+
+/// Human-readable name for a StatusCode (stable, for logs and tests).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a message only on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Throttled(std::string msg = "") {
+    return Status(StatusCode::kThrottled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsThrottled() const { return code_ == StatusCode::kThrottled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of T or an error Status. Accessing the value of a failed
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : value_(std::move(value)) {}
+  /* implicit */ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace abase
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define ABASE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::abase::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)

@@ -1,0 +1,92 @@
+#include "common/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+
+double TimeSeries::Max() const {
+  if (values_.empty()) return 0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Min() const {
+  if (values_.empty()) return 0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Mean() const {
+  if (values_.empty()) return 0;
+  double s = 0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double TimeSeries::Stddev() const {
+  if (values_.size() < 2) return 0;
+  double m = Mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+TimeSeries TimeSeries::Tail(size_t n) const {
+  if (n >= values_.size()) return *this;
+  std::vector<double> out(values_.end() - static_cast<ptrdiff_t>(n),
+                          values_.end());
+  return TimeSeries(std::move(out), step_hours_);
+}
+
+TimeSeries TimeSeries::DownsampleMax(size_t factor) const {
+  if (factor <= 1) return *this;
+  std::vector<double> out;
+  out.reserve(values_.size() / factor + 1);
+  for (size_t i = 0; i < values_.size(); i += factor) {
+    double m = values_[i];
+    for (size_t j = i + 1; j < std::min(i + factor, values_.size()); j++) {
+      m = std::max(m, values_[j]);
+    }
+    out.push_back(m);
+  }
+  return TimeSeries(std::move(out), step_hours_ * static_cast<double>(factor));
+}
+
+TimeSeries TimeSeries::DownsampleMean(size_t factor) const {
+  if (factor <= 1) return *this;
+  std::vector<double> out;
+  out.reserve(values_.size() / factor + 1);
+  for (size_t i = 0; i < values_.size(); i += factor) {
+    double s = 0;
+    size_t n = 0;
+    for (size_t j = i; j < std::min(i + factor, values_.size()); j++) {
+      s += values_[j];
+      n++;
+    }
+    out.push_back(s / static_cast<double>(n));
+  }
+  return TimeSeries(std::move(out), step_hours_ * static_cast<double>(factor));
+}
+
+Result<TimeSeries> TimeSeries::Minus(const TimeSeries& other) const {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("series size mismatch");
+  }
+  std::vector<double> out(size());
+  for (size_t i = 0; i < size(); i++) out[i] = values_[i] - other[i];
+  return TimeSeries(std::move(out), step_hours_);
+}
+
+LoadVector LoadVector::FromHourlySeries(const TimeSeries& hourly) {
+  LoadVector lv;
+  bool seen[24] = {false};
+  for (size_t i = 0; i < hourly.size(); i++) {
+    int hour = static_cast<int>(i % 24);
+    if (!seen[hour] || hourly[i] > lv.v[hour]) {
+      lv.v[hour] = hourly[i];
+      seen[hour] = true;
+    }
+  }
+  return lv;
+}
+
+}  // namespace abase

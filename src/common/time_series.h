@@ -1,0 +1,93 @@
+// Uniformly-sampled time series container used throughout the forecasting
+// and rescheduling modules (Section 5 of the paper): 30-day usage histories
+// downsampled to 1-hour points, 24-point hour-of-day load vectors, etc.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace abase {
+
+/// A uniformly-spaced series of doubles with a step size in hours.
+/// Index 0 is the oldest point.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::vector<double> values, double step_hours = 1.0)
+      : values_(std::move(values)), step_hours_(step_hours) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double step_hours() const { return step_hours_; }
+
+  double operator[](size_t i) const { return values_[i]; }
+  double& operator[](size_t i) { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  void Append(double v) { values_.push_back(v); }
+
+  double Max() const;
+  double Min() const;
+  double Mean() const;
+  double Stddev() const;
+
+  /// Last `n` points as a new series (whole series if n >= size).
+  TimeSeries Tail(size_t n) const;
+
+  /// Downsamples by an integer factor, aggregating each block with max
+  /// (the paper aggregates hourly loads by max within hour-of-day).
+  TimeSeries DownsampleMax(size_t factor) const;
+
+  /// Downsamples by an integer factor using the mean of each block.
+  TimeSeries DownsampleMean(size_t factor) const;
+
+  /// Element-wise difference (this - other); series must match in size.
+  Result<TimeSeries> Minus(const TimeSeries& other) const;
+
+ private:
+  std::vector<double> values_;
+  double step_hours_ = 1.0;
+};
+
+/// Fixed 24-slot hour-of-day load vector (paper Section 5.3, "Load
+/// Indicator"): hourly averages over a window, aggregated by max within
+/// each hour-of-day slot.
+struct LoadVector {
+  double v[24] = {0};
+
+  double MaxLoad() const {
+    double m = v[0];
+    for (int i = 1; i < 24; i++)
+      if (v[i] > m) m = v[i];
+    return m;
+  }
+
+  LoadVector& operator+=(const LoadVector& o) {
+    for (int i = 0; i < 24; i++) v[i] += o.v[i];
+    return *this;
+  }
+  LoadVector& operator-=(const LoadVector& o) {
+    for (int i = 0; i < 24; i++) v[i] -= o.v[i];
+    return *this;
+  }
+  friend LoadVector operator+(LoadVector a, const LoadVector& b) {
+    a += b;
+    return a;
+  }
+
+  /// Builds a load vector from an hourly series: slot h takes the max of
+  /// all points whose hour-of-day is h.
+  static LoadVector FromHourlySeries(const TimeSeries& hourly);
+
+  /// Uniform load vector (all 24 slots equal).
+  static LoadVector Constant(double value) {
+    LoadVector lv;
+    for (int i = 0; i < 24; i++) lv.v[i] = value;
+    return lv;
+  }
+};
+
+}  // namespace abase

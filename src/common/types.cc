@@ -1,0 +1,41 @@
+#include "common/types.h"
+
+namespace abase {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+      return "GET";
+    case OpType::kSet:
+      return "SET";
+    case OpType::kDel:
+      return "DEL";
+    case OpType::kHSet:
+      return "HSET";
+    case OpType::kHGet:
+      return "HGET";
+    case OpType::kHLen:
+      return "HLEN";
+    case OpType::kHGetAll:
+      return "HGETALL";
+    case OpType::kExpire:
+      return "EXPIRE";
+  }
+  return "UNKNOWN";
+}
+
+const char* RequestClassName(RequestClass rc) {
+  switch (rc) {
+    case RequestClass::kSmallRead:
+      return "SmallRead";
+    case RequestClass::kLargeRead:
+      return "LargeRead";
+    case RequestClass::kSmallWrite:
+      return "SmallWrite";
+    case RequestClass::kLargeWrite:
+      return "LargeWrite";
+  }
+  return "Unknown";
+}
+
+}  // namespace abase

@@ -1,0 +1,79 @@
+// Shared identifier and request-description types used across the proxy,
+// data-node, scheduling and control planes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace abase {
+
+using TenantId = uint32_t;
+using PartitionId = uint32_t;  ///< Partition index within a tenant's table.
+using NodeId = uint32_t;       ///< DataNode id within the whole deployment.
+using PoolId = uint32_t;       ///< Resource pool id.
+using ProxyId = uint32_t;      ///< Proxy instance id within a tenant.
+
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// Redis-style command classes recognized by the RU model (Section 4.1).
+enum class OpType {
+  kGet,      ///< Point read.
+  kSet,      ///< Point write.
+  kDel,      ///< Delete.
+  kHSet,     ///< Hash-field write.
+  kHGet,     ///< Hash-field read.
+  kHLen,     ///< Complex read: field count of a hash.
+  kHGetAll,  ///< Complex read: full scan of a hash (HLen + scan stages).
+  kExpire,   ///< TTL update (metadata write).
+};
+
+/// True for commands that read state (includes complex reads).
+inline bool IsReadOp(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+    case OpType::kHGet:
+    case OpType::kHLen:
+    case OpType::kHGetAll:
+      return true;
+    case OpType::kSet:
+    case OpType::kDel:
+    case OpType::kHSet:
+    case OpType::kExpire:
+      return false;
+  }
+  return false;
+}
+
+const char* OpTypeName(OpType op);
+
+/// WFQ request class (Section 4.3): requests are partitioned into four
+/// independent dual-layer queues by direction and size so heavyweight
+/// requests do not sit in front of lightweight ones.
+enum class RequestClass {
+  kSmallRead = 0,
+  kLargeRead = 1,
+  kSmallWrite = 2,
+  kLargeWrite = 3,
+};
+
+constexpr int kNumRequestClasses = 4;
+
+const char* RequestClassName(RequestClass rc);
+
+/// Boundary between "small" and "large" requests, in value bytes. The paper
+/// does not publish the production threshold; 4 KiB (two RU units) separates
+/// the 0.1-2 KB social/e-commerce items from the 10 KB-5 MB ad/LLM items in
+/// Table 1.
+constexpr uint64_t kLargeRequestBytes = 4096;
+
+/// Classifies a request by direction and (estimated) value size.
+inline RequestClass ClassifyRequest(bool is_read, uint64_t value_bytes) {
+  if (is_read) {
+    return value_bytes >= kLargeRequestBytes ? RequestClass::kLargeRead
+                                             : RequestClass::kSmallRead;
+  }
+  return value_bytes >= kLargeRequestBytes ? RequestClass::kLargeWrite
+                                           : RequestClass::kSmallWrite;
+}
+
+}  // namespace abase

@@ -1,0 +1,197 @@
+#include "core/abase.h"
+
+namespace abase {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options),
+      sim_(options.sim),
+      autoscaler_(options.scaling),
+      rescheduler_(options.resched) {}
+
+PoolId Cluster::CreatePool(size_t num_nodes) {
+  return sim_.AddPool(num_nodes);
+}
+
+Status Cluster::CreateTenant(const meta::TenantConfig& config, PoolId pool,
+                             proxy::RoutingMode mode) {
+  return sim_.AddTenant(config, pool, mode);
+}
+
+Client Cluster::OpenClient(TenantId tenant) { return Client(this, tenant); }
+
+void Cluster::AttachWorkload(TenantId tenant,
+                             const sim::WorkloadProfile& profile) {
+  sim_.SetWorkload(tenant, profile);
+}
+
+size_t Cluster::RunRescheduling(PoolId pool) {
+  resched::PoolModel model = sim_.BuildPoolModel(pool);
+  auto migrations = rescheduler_.Run(&model);
+  return sim_.ApplyMigrations(migrations);
+}
+
+Result<autoscale::ScalingDecision> Cluster::RunAutoscaler(
+    TenantId tenant, const TimeSeries& usage_history) {
+  const meta::TenantMeta* meta = sim_.meta().GetTenant(tenant);
+  if (meta == nullptr) return Status::NotFound("no such tenant");
+  auto decision = autoscaler_.Decide(
+      usage_history, TimeSeries(), meta->tenant_quota_ru,
+      static_cast<uint32_t>(meta->partitions.size()),
+      meta->config.partition_quota_upper, meta->config.partition_quota_lower,
+      meta->last_scale_down, sim_.clock().NowMicros());
+  ABASE_RETURN_IF_ERROR(decision.status());
+  if (decision.value().action != autoscale::ScalingDecision::Action::kNone) {
+    ABASE_RETURN_IF_ERROR(
+        sim_.meta().SetTenantQuota(tenant, decision.value().new_quota));
+  }
+  return decision;
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(Cluster* cluster, TenantId tenant)
+    : cluster_(cluster), tenant_(tenant) {
+  // Distinct id space per tenant, away from workload-generated ids.
+  next_req_id_ = (static_cast<uint64_t>(tenant) << 40) | (1ull << 39);
+}
+
+Client::CallResult Client::Call(OpType op, const std::string& key,
+                                const std::string& field,
+                                const std::string& value, Micros ttl) {
+  ClientRequest req;
+  req.req_id = next_req_id_++;
+  req.tenant = tenant_;
+  req.op = op;
+  req.key = key;
+  req.field = field;
+  req.value = value;
+  req.ttl = ttl;
+  req.issued_at = cluster_->sim().clock().NowMicros();
+  req.track_outcome = true;
+  cluster_->sim().InjectRequest(req);
+
+  // A request completes within a few ticks unless the node defers it
+  // under load; 64 ticks is far beyond any sane backlog for a
+  // synchronous client.
+  for (int i = 0; i < 64; i++) {
+    cluster_->sim().Tick();
+    if (auto out = cluster_->sim().TakeOutcome(req.req_id)) {
+      return CallResult{out->status, std::move(out->value)};
+    }
+  }
+  return CallResult{Status::Internal("request lost in simulation"), ""};
+}
+
+Status Client::Set(const std::string& key, const std::string& value,
+                   Micros ttl) {
+  return Call(OpType::kSet, key, "", value, ttl).status;
+}
+
+Result<std::string> Client::Get(const std::string& key) {
+  CallResult r = Call(OpType::kGet, key, "", "", 0);
+  if (!r.status.ok()) return r.status;
+  return std::move(r.value);
+}
+
+std::vector<Result<std::string>> Client::MGet(
+    const std::vector<std::string>& keys) {
+  // Inject the whole batch before ticking, so the limited fan-out router
+  // spreads it across proxy groups within one round.
+  std::vector<uint64_t> ids;
+  ids.reserve(keys.size());
+  for (const std::string& key : keys) {
+    ClientRequest req;
+    req.req_id = next_req_id_++;
+    req.tenant = tenant_;
+    req.op = OpType::kGet;
+    req.key = key;
+    req.issued_at = cluster_->sim().clock().NowMicros();
+    req.track_outcome = true;
+    cluster_->sim().InjectRequest(req);
+    ids.push_back(req.req_id);
+  }
+
+  std::vector<Result<std::string>> results(
+      keys.size(), Result<std::string>(Status::Internal("pending")));
+  size_t resolved = 0;
+  for (int tick = 0; tick < 64 && resolved < keys.size(); tick++) {
+    cluster_->sim().Tick();
+    for (size_t i = 0; i < ids.size(); i++) {
+      if (auto out = cluster_->sim().TakeOutcome(ids[i])) {
+        results[i] = out->status.ok()
+                         ? Result<std::string>(std::move(out->value))
+                         : Result<std::string>(out->status);
+        resolved++;
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<Status> Client::MSet(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  std::vector<uint64_t> ids;
+  ids.reserve(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    ClientRequest req;
+    req.req_id = next_req_id_++;
+    req.tenant = tenant_;
+    req.op = OpType::kSet;
+    req.key = key;
+    req.value = value;
+    req.issued_at = cluster_->sim().clock().NowMicros();
+    req.track_outcome = true;
+    cluster_->sim().InjectRequest(req);
+    ids.push_back(req.req_id);
+  }
+  std::vector<Status> results(pairs.size(), Status::Internal("pending"));
+  size_t resolved = 0;
+  for (int tick = 0; tick < 64 && resolved < pairs.size(); tick++) {
+    cluster_->sim().Tick();
+    for (size_t i = 0; i < ids.size(); i++) {
+      if (results[i].code() == StatusCode::kInternal) {
+        if (auto out = cluster_->sim().TakeOutcome(ids[i])) {
+          results[i] = out->status;
+          resolved++;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+Status Client::Del(const std::string& key) {
+  return Call(OpType::kDel, key, "", "", 0).status;
+}
+
+Status Client::HSet(const std::string& key, const std::string& field,
+                    const std::string& value) {
+  return Call(OpType::kHSet, key, field, value, 0).status;
+}
+
+Result<std::string> Client::HGet(const std::string& key,
+                                 const std::string& field) {
+  CallResult r = Call(OpType::kHGet, key, field, "", 0);
+  if (!r.status.ok()) return r.status;
+  return std::move(r.value);
+}
+
+Result<std::string> Client::HGetAll(const std::string& key) {
+  CallResult r = Call(OpType::kHGetAll, key, "", "", 0);
+  if (!r.status.ok()) return r.status;
+  return std::move(r.value);
+}
+
+Result<uint64_t> Client::HLen(const std::string& key) {
+  CallResult r = Call(OpType::kHLen, key, "", "", 0);
+  if (!r.status.ok()) return r.status;
+  return static_cast<uint64_t>(std::stoull(r.value));
+}
+
+Status Client::Expire(const std::string& key, Micros ttl) {
+  return Call(OpType::kExpire, key, "", "", ttl).status;
+}
+
+}  // namespace abase

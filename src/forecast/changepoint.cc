@@ -1,0 +1,65 @@
+#include "forecast/changepoint.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace forecast {
+
+namespace {
+
+/// Sum of squared errors of values[lo, hi) around their mean.
+double SegmentSse(const std::vector<double>& v, size_t lo, size_t hi) {
+  if (hi <= lo + 1) return 0;
+  double mean = 0;
+  for (size_t i = lo; i < hi; i++) mean += v[i];
+  mean /= static_cast<double>(hi - lo);
+  double sse = 0;
+  for (size_t i = lo; i < hi; i++) sse += (v[i] - mean) * (v[i] - mean);
+  return sse;
+}
+
+void Segment(const std::vector<double>& v, size_t lo, size_t hi,
+             size_t min_segment, double min_gain_ratio, size_t max_points,
+             std::vector<size_t>* out) {
+  if (out->size() >= max_points) return;
+  if (hi - lo < 2 * min_segment) return;
+  double base = SegmentSse(v, lo, hi);
+  if (base <= 0) return;
+
+  size_t best = 0;
+  double best_gain = 0;
+  // O(n) per candidate split is fine: input series are <= ~720 points.
+  for (size_t split = lo + min_segment; split + min_segment <= hi; split++) {
+    double gain = base - SegmentSse(v, lo, split) - SegmentSse(v, split, hi);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = split;
+    }
+  }
+  if (best == 0 || best_gain / base < min_gain_ratio) return;
+  out->push_back(best);
+  Segment(v, lo, best, min_segment, min_gain_ratio, max_points, out);
+  Segment(v, best, hi, min_segment, min_gain_ratio, max_points, out);
+}
+
+}  // namespace
+
+std::vector<size_t> DetectChangePoints(const TimeSeries& series,
+                                       size_t min_segment,
+                                       double min_gain_ratio,
+                                       size_t max_points) {
+  std::vector<size_t> out;
+  Segment(series.values(), 0, series.size(), min_segment, min_gain_ratio,
+          max_points, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t LastChangePoint(const TimeSeries& series) {
+  auto points = DetectChangePoints(series);
+  return points.empty() ? 0 : points.back();
+}
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,28 @@
+// Trend change-point detection (paper Section 5.2, Issue 1/2: "we utilize
+// change point detection methods to identify trend shifts, thereby
+// focusing the forecasting algorithms more on recent data changes").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time_series.h"
+
+namespace abase {
+namespace forecast {
+
+/// Binary-segmentation mean-shift detector: recursively splits the series
+/// at the point that maximizes the between-segment variance reduction,
+/// while the gain exceeds `min_gain_ratio` of the segment's variance and
+/// segments stay >= `min_segment` points.
+std::vector<size_t> DetectChangePoints(const TimeSeries& series,
+                                       size_t min_segment = 24,
+                                       double min_gain_ratio = 0.15,
+                                       size_t max_points = 6);
+
+/// Index of the last detected trend shift (0 if none): forecasting models
+/// can down-weight or drop data before it.
+size_t LastChangePoint(const TimeSeries& series);
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,110 @@
+#include "forecast/denoise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace abase {
+namespace forecast {
+
+namespace {
+
+/// Median of a window of `series` centered at i (clamped to bounds).
+double LocalMedian(const std::vector<double>& v, size_t i, size_t window) {
+  size_t lo = i >= window / 2 ? i - window / 2 : 0;
+  size_t hi = std::min(v.size(), lo + window);
+  if (hi - lo == 0) return 0;
+  std::vector<double> w(v.begin() + static_cast<ptrdiff_t>(lo),
+                        v.begin() + static_cast<ptrdiff_t>(hi));
+  std::nth_element(w.begin(), w.begin() + static_cast<ptrdiff_t>(w.size() / 2),
+                   w.end());
+  return w[w.size() / 2];
+}
+
+/// Robust deviation estimate: median absolute deviation scaled to sigma.
+double LocalMad(const std::vector<double>& v, size_t i, size_t window,
+                double median) {
+  size_t lo = i >= window / 2 ? i - window / 2 : 0;
+  size_t hi = std::min(v.size(), lo + window);
+  std::vector<double> dev;
+  dev.reserve(hi - lo);
+  for (size_t j = lo; j < hi; j++) dev.push_back(std::fabs(v[j] - median));
+  if (dev.empty()) return 0;
+  std::nth_element(dev.begin(),
+                   dev.begin() + static_cast<ptrdiff_t>(dev.size() / 2),
+                   dev.end());
+  return dev[dev.size() / 2] * 1.4826;  // MAD -> sigma for Gaussian data.
+}
+
+/// Marks indices whose value exceeds local median + sigma * MAD.
+std::vector<bool> SpikeMask(const std::vector<double>& v,
+                            const DenoiseOptions& options) {
+  std::vector<bool> mask(v.size(), false);
+  for (size_t i = 0; i < v.size(); i++) {
+    double med = LocalMedian(v, i, options.local_window);
+    double mad = LocalMad(v, i, options.local_window, med);
+    if (mad <= 0) mad = std::max(1e-9, 0.05 * std::fabs(med));
+    if (v[i] > med + options.spike_sigma * mad) mask[i] = true;
+  }
+  return mask;
+}
+
+}  // namespace
+
+TimeSeries RemoveSimultaneousSpikes(const TimeSeries& usage,
+                                    const TimeSeries& quota,
+                                    const DenoiseOptions& options) {
+  TimeSeries out = usage;
+  if (usage.size() != quota.size() || usage.empty()) return out;
+  auto usage_spikes = SpikeMask(usage.values(), options);
+  auto quota_spikes = SpikeMask(quota.values(), options);
+  for (size_t i = 0; i < usage.size(); i++) {
+    if (usage_spikes[i] && quota_spikes[i]) {
+      // Both metrics spiking together is (per the paper) practically
+      // impossible — treat as a recording artifact and replace with the
+      // local median.
+      out[i] = LocalMedian(usage.values(), i, options.local_window);
+    }
+  }
+  return out;
+}
+
+TimeSeries RemoveSporadicPeaks(const TimeSeries& usage,
+                               const DenoiseOptions& options) {
+  TimeSeries out = usage;
+  if (usage.empty()) return out;
+  const auto& v = usage.values();
+  auto spikes = SpikeMask(v, options);
+  for (size_t i = 0; i < v.size(); i++) {
+    if (!spikes[i]) continue;
+    // Recurring peaks (another spike of comparable height within the
+    // recurrence window) are genuine workload behaviour; keep them.
+    bool recurring = false;
+    size_t lo = i >= options.recurrence_window ? i - options.recurrence_window
+                                               : 0;
+    size_t hi = std::min(v.size(), i + options.recurrence_window + 1);
+    for (size_t j = lo; j < hi && !recurring; j++) {
+      if (j == i || !spikes[j]) continue;
+      // "Comparable height" and not immediately adjacent (a single
+      // multi-sample burst still counts as one event).
+      if (j + 3 < i || j > i + 3) {
+        if (v[j] > 0.5 * v[i]) recurring = true;
+      }
+    }
+    if (!recurring) {
+      double med = LocalMedian(v, i, options.local_window);
+      double mad = LocalMad(v, i, options.local_window, med);
+      out[i] = med + options.spike_sigma * std::max(mad, 0.0);
+    }
+  }
+  return out;
+}
+
+TimeSeries Denoise(const TimeSeries& usage, const TimeSeries& quota,
+                   const DenoiseOptions& options) {
+  return RemoveSporadicPeaks(
+      RemoveSimultaneousSpikes(usage, quota, options), options);
+}
+
+}  // namespace forecast
+}  // namespace abase

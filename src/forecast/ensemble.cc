@@ -1,0 +1,123 @@
+#include "forecast/ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "forecast/changepoint.h"
+#include "forecast/historical_average.h"
+#include "forecast/prophet_lite.h"
+#include "forecast/psd.h"
+
+namespace abase {
+namespace forecast {
+
+namespace {
+
+/// Mean absolute error between a forecast and the truth.
+double Mae(const TimeSeries& pred, const TimeSeries& truth) {
+  size_t n = std::min(pred.size(), truth.size());
+  if (n == 0) return 1e18;
+  double acc = 0;
+  for (size_t i = 0; i < n; i++) acc += std::fabs(pred[i] - truth[i]);
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<ForecastResult> EnsembleForecast(const TimeSeries& usage,
+                                        const TimeSeries& quota,
+                                        size_t horizon,
+                                        const EnsembleOptions& options) {
+  if (usage.size() < options.min_history) {
+    return Status::InvalidArgument("history too short for forecasting");
+  }
+  ForecastResult out;
+
+  // 1. Denoise (multi-metric collaboration needs a matching quota series).
+  TimeSeries clean = quota.size() == usage.size()
+                         ? Denoise(usage, quota, options.denoise)
+                         : RemoveSporadicPeaks(usage, options.denoise);
+
+  // 2. Focus on data after the last trend shift, keeping at least the
+  //    minimum history so the models stay identifiable.
+  size_t cp = LastChangePoint(clean);
+  if (cp > 0 && clean.size() - cp >= options.min_history) {
+    out.truncated_at = cp;
+    clean = clean.Tail(clean.size() - cp);
+  }
+
+  // 3. Period detection on the cleaned, truncated series.
+  out.detected_period = DetectDominantPeriod(clean);
+
+  // 4. Backtest both models on a holdout tail to derive ensemble weights.
+  size_t holdout = std::min(options.holdout_samples, clean.size() / 4);
+  TimeSeries train = clean;
+  TimeSeries truth;
+  if (holdout >= 8) {
+    std::vector<double> head(clean.values().begin(),
+                             clean.values().end() -
+                                 static_cast<ptrdiff_t>(holdout));
+    train = TimeSeries(std::move(head), clean.step_hours());
+    truth = clean.Tail(holdout);
+  }
+
+  ProphetOptions popt;
+  popt.period_samples = out.detected_period;
+  double prophet_err = 1e18, hist_err = 1e18;
+  if (holdout >= 8) {
+    auto pfit = ProphetLite::Fit(train, popt);
+    if (pfit.ok()) prophet_err = Mae(pfit.value().Forecast(holdout), truth);
+    HistoricalAverage hfit(train, out.detected_period);
+    hist_err = Mae(hfit.Forecast(holdout), truth);
+  }
+
+  // Inverse-error weighting with an epsilon floor; if neither model
+  // backtested (tiny history), split evenly.
+  double wp = 1.0 / (prophet_err + 1e-9);
+  double wh = 1.0 / (hist_err + 1e-9);
+  if (prophet_err >= 1e17 && hist_err >= 1e17) wp = wh = 1.0;
+  out.prophet_weight = wp / (wp + wh);
+  out.historical_weight = wh / (wp + wh);
+
+  // 5. Refit both models on the full cleaned history and blend.
+  TimeSeries prophet_pred;
+  auto pfull = ProphetLite::Fit(clean, popt);
+  if (pfull.ok()) {
+    prophet_pred = pfull.value().Forecast(horizon);
+  } else {
+    out.prophet_weight = 0;
+    out.historical_weight = 1;
+  }
+  HistoricalAverage hfull(clean, out.detected_period);
+  TimeSeries hist_pred = hfull.Forecast(horizon);
+
+  std::vector<double> blended(horizon, 0.0);
+  for (size_t h = 0; h < horizon; h++) {
+    double p = prophet_pred.size() > h ? prophet_pred[h] : 0.0;
+    double v = out.prophet_weight * p + out.historical_weight * hist_pred[h];
+    blended[h] = std::max(0.0, v);
+  }
+  out.prediction = TimeSeries(std::move(blended), clean.step_hours());
+  out.predicted_max = out.prediction.Max();
+
+  // 6. Issue 3 — consistent non-periodic bursts: if the blend sits far
+  //    below recently observed peaks, trust the most recent period's
+  //    history instead of down-forecasting.
+  size_t burst_window = std::min(options.burst_window, clean.size());
+  double recent_max = clean.Tail(burst_window).Max();
+  if (recent_max > 0 &&
+      out.predicted_max < options.burst_fallback_ratio * recent_max) {
+    out.burst_fallback = true;
+    TimeSeries recent = clean.Tail(std::min(horizon, clean.size()));
+    std::vector<double> fb(horizon);
+    for (size_t h = 0; h < horizon; h++) {
+      fb[h] = recent[h % recent.size()];
+    }
+    out.prediction = TimeSeries(std::move(fb), clean.step_hours());
+    out.predicted_max = std::max(out.prediction.Max(), recent_max);
+  }
+  return out;
+}
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,54 @@
+// Ensemble workload forecaster — the paper's full Section 5.2 pipeline:
+//   denoise (multi-metric spike filter + sporadic peak removal)
+//   → change-point truncation (focus on data after the last trend shift)
+//   → PSD period detection
+//   → weighted ensemble of ProphetLite and HistoricalAverage, weights from
+//     holdout backtest error
+//   → consistent non-periodic-burst fallback: if the ensemble forecast is
+//     far below recent observed peaks, use the most recent period's
+//     history directly (Issue 3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "common/time_series.h"
+#include "forecast/denoise.h"
+
+namespace abase {
+namespace forecast {
+
+/// Ensemble knobs.
+struct EnsembleOptions {
+  DenoiseOptions denoise;
+  size_t holdout_samples = 48;  ///< Backtest window for model weighting.
+  /// Burst fallback triggers when forecast max < this fraction of the
+  /// recent observed max.
+  double burst_fallback_ratio = 0.7;
+  /// Recent window (samples) whose max defines "recent observed peak".
+  size_t burst_window = 7 * 24;
+  size_t min_history = 48;
+};
+
+/// A forecast with provenance, for the autoscaler and the ablation bench.
+struct ForecastResult {
+  TimeSeries prediction;
+  double predicted_max = 0;
+  double prophet_weight = 0;
+  double historical_weight = 0;
+  double detected_period = 0;
+  bool burst_fallback = false;  ///< Issue-3 path taken.
+  size_t truncated_at = 0;      ///< History index of the last trend shift.
+};
+
+/// Forecasts `horizon` samples of usage from `usage` history (hourly).
+/// `quota` (same length; pass an empty series to skip) enables the
+/// multi-metric denoising step.
+Result<ForecastResult> EnsembleForecast(const TimeSeries& usage,
+                                        const TimeSeries& quota,
+                                        size_t horizon,
+                                        const EnsembleOptions& options = {});
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,65 @@
+#include "forecast/historical_average.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace forecast {
+
+HistoricalAverage::HistoricalAverage(const TimeSeries& history,
+                                     double period_samples,
+                                     size_t num_periods)
+    : history_(history), num_periods_(num_periods) {
+  const size_t n = history.size();
+  size_t period = static_cast<size_t>(std::llround(period_samples));
+  if (period >= 2 && n >= period) {
+    period_ = period;
+    phase_mean_.assign(period_, 0.0);
+    std::vector<size_t> counts(period_, 0);
+    // Average each phase over the trailing num_periods cycles.
+    size_t start =
+        n > period_ * num_periods_ ? n - period_ * num_periods_ : 0;
+    for (size_t t = start; t < n; t++) {
+      size_t phase = t % period_;
+      phase_mean_[phase] += history[t];
+      counts[phase]++;
+    }
+    for (size_t p = 0; p < period_; p++) {
+      if (counts[p] > 0) phase_mean_[p] /= static_cast<double>(counts[p]);
+    }
+  }
+  // Fallback mean over the trailing window.
+  size_t tail = std::min<size_t>(n, 24 * 7);
+  flat_mean_ = history.Tail(tail).Mean();
+}
+
+TimeSeries HistoricalAverage::Forecast(size_t horizon) const {
+  std::vector<double> out;
+  out.reserve(horizon);
+  const size_t n = history_.size();
+  for (size_t h = 0; h < horizon; h++) {
+    if (period_ >= 2) {
+      out.push_back(phase_mean_[(n + h) % period_]);
+    } else {
+      out.push_back(flat_mean_);
+    }
+  }
+  return TimeSeries(std::move(out));
+}
+
+TimeSeries HistoricalAverage::FittedValues() const {
+  std::vector<double> out;
+  const size_t n = history_.size();
+  out.reserve(n);
+  for (size_t t = 0; t < n; t++) {
+    if (period_ >= 2) {
+      out.push_back(phase_mean_[t % period_]);
+    } else {
+      out.push_back(flat_mean_);
+    }
+  }
+  return TimeSeries(std::move(out));
+}
+
+}  // namespace forecast
+}  // namespace abase

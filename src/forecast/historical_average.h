@@ -1,0 +1,38 @@
+// Historical-average forecaster [39]: a seasonal-naive model that predicts
+// each future point as the average of the same phase across recent
+// periods. Stable under minimal trend change — the ensemble's anchor.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time_series.h"
+
+namespace abase {
+namespace forecast {
+
+/// Seasonal historical-average model.
+class HistoricalAverage {
+ public:
+  /// `period_samples` of 0 disables seasonality: forecasts flat at the
+  /// recent mean. `num_periods` bounds how many trailing cycles are
+  /// averaged.
+  HistoricalAverage(const TimeSeries& history, double period_samples,
+                    size_t num_periods = 4);
+
+  /// Forecasts `horizon` samples past the end of the history.
+  TimeSeries Forecast(size_t horizon) const;
+
+  /// In-sample one-period-back fitted values for backtesting (prediction
+  /// for t uses the phase average excluding the final period).
+  TimeSeries FittedValues() const;
+
+ private:
+  TimeSeries history_;
+  size_t period_ = 0;  ///< Rounded period in samples; 0 = aperiodic.
+  size_t num_periods_;
+  std::vector<double> phase_mean_;  ///< Mean per phase slot.
+  double flat_mean_ = 0;
+};
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,117 @@
+#include "forecast/prophet_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "forecast/psd.h"
+
+namespace abase {
+namespace forecast {
+
+std::vector<double> ProphetLite::BasisRow(double t) const {
+  std::vector<double> row;
+  row.reserve(2 + changepoints_.size() + 2 * options_.fourier_order);
+  // Intercept + base slope.
+  row.push_back(1.0);
+  row.push_back(t);
+  // Piecewise-linear trend: hinge at each changepoint.
+  for (double cp : changepoints_) {
+    row.push_back(t > cp ? t - cp : 0.0);
+  }
+  // Fourier seasonality.
+  if (period_ > 0) {
+    for (size_t k = 1; k <= options_.fourier_order; k++) {
+      double arg = 2.0 * M_PI * static_cast<double>(k) * t / period_;
+      row.push_back(std::sin(arg));
+      row.push_back(std::cos(arg));
+    }
+  }
+  return row;
+}
+
+Result<ProphetLite> ProphetLite::Fit(const TimeSeries& history,
+                                     ProphetOptions options) {
+  const size_t n = history.size();
+  if (n < 16) return Status::InvalidArgument("history too short");
+
+  ProphetLite model;
+  model.options_ = options;
+  model.history_len_ = n;
+
+  // Seasonal period: caller-specified or PSD-detected.
+  model.period_ = options.period_samples > 0
+                      ? options.period_samples
+                      : DetectDominantPeriod(history);
+  if (model.period_ > 0 &&
+      static_cast<double>(n) < 2.0 * model.period_) {
+    // Under two full cycles the seasonal fit is unidentifiable; drop it.
+    model.period_ = 0;
+  }
+
+  // Evenly spaced changepoints over the first 80% of history.
+  size_t cps = std::min(options.num_changepoints, n / 8);
+  for (size_t i = 1; i <= cps; i++) {
+    model.changepoints_.push_back(0.8 * static_cast<double>(n) *
+                                  static_cast<double>(i) /
+                                  static_cast<double>(cps + 1));
+  }
+
+  const size_t k = 2 + model.changepoints_.size() +
+                   (model.period_ > 0 ? 2 * options.fourier_order : 0);
+  Matrix x(n, k);
+  std::vector<double> y(n);
+  for (size_t t = 0; t < n; t++) {
+    auto row = model.BasisRow(static_cast<double>(t));
+    for (size_t j = 0; j < k; j++) x.at(t, j) = row[j];
+    y[t] = history[t];
+  }
+
+  // Per-block ridge: build an augmented system by scaling — use a single
+  // lambda as a compromise, but penalize changepoint columns more by
+  // pre-scaling them down (equivalent to a larger per-column penalty).
+  const double cp_scale =
+      std::sqrt(options.seasonal_ridge /
+                std::max(options.changepoint_ridge, 1e-9));
+  for (size_t t = 0; t < n; t++) {
+    for (size_t j = 0; j < model.changepoints_.size(); j++) {
+      x.at(t, 2 + j) *= cp_scale;
+    }
+  }
+  auto fit = RidgeRegression(x, y, options.seasonal_ridge);
+  if (!fit.ok()) return fit.status();
+  model.weights_ = std::move(fit).value();
+  // Fold the column scaling back into the weights.
+  for (size_t j = 0; j < model.changepoints_.size(); j++) {
+    model.weights_[2 + j] *= cp_scale;
+  }
+  return model;
+}
+
+TimeSeries ProphetLite::Forecast(size_t horizon) const {
+  std::vector<double> out;
+  out.reserve(horizon);
+  for (size_t h = 0; h < horizon; h++) {
+    double t = static_cast<double>(history_len_ + h);
+    auto row = BasisRow(t);
+    double v = 0;
+    for (size_t j = 0; j < row.size(); j++) v += row[j] * weights_[j];
+    out.push_back(std::max(0.0, v));  // Usage cannot be negative.
+  }
+  return TimeSeries(std::move(out));
+}
+
+TimeSeries ProphetLite::FittedValues() const {
+  std::vector<double> out;
+  out.reserve(history_len_);
+  for (size_t t = 0; t < history_len_; t++) {
+    auto row = BasisRow(static_cast<double>(t));
+    double v = 0;
+    for (size_t j = 0; j < row.size(); j++) v += row[j] * weights_[j];
+    out.push_back(v);
+  }
+  return TimeSeries(std::move(out));
+}
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,64 @@
+// ProphetLite: a deterministic reimplementation of the Prophet [41]
+// components the paper relies on — piecewise-linear trend with
+// changepoints plus Fourier seasonality — fit by ridge-regularised least
+// squares instead of Stan. Sufficient for the point forecasts that drive
+// scaling decisions (DESIGN.md substitution table).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_series.h"
+
+namespace abase {
+namespace forecast {
+
+/// Model hyperparameters.
+struct ProphetOptions {
+  /// Candidate trend changepoints, evenly spaced over the first 80% of
+  /// the history (Prophet's default layout).
+  size_t num_changepoints = 12;
+  /// Fourier harmonics for the seasonal component.
+  size_t fourier_order = 4;
+  /// Ridge penalty on changepoint slope adjustments (sparsity stand-in
+  /// for Prophet's Laplace prior).
+  double changepoint_ridge = 10.0;
+  /// Ridge penalty on seasonal coefficients.
+  double seasonal_ridge = 1.0;
+  /// Seasonal period in samples; 0 = detect via PSD.
+  double period_samples = 0;
+};
+
+/// Fitted ProphetLite model.
+class ProphetLite {
+ public:
+  /// Fits trend + seasonality to `history`. Fails on degenerate input
+  /// (shorter than 2 periods or 16 points).
+  static Result<ProphetLite> Fit(const TimeSeries& history,
+                                 ProphetOptions options = {});
+
+  /// Forecasts `horizon` samples past the end of the history.
+  TimeSeries Forecast(size_t horizon) const;
+
+  /// In-sample fitted values (for backtesting / ensemble weighting).
+  TimeSeries FittedValues() const;
+
+  double period_samples() const { return period_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  ProphetLite() = default;
+
+  /// Basis row for time index t (in samples from the history start).
+  std::vector<double> BasisRow(double t) const;
+
+  ProphetOptions options_;
+  double period_ = 0;        ///< 0 = no seasonal component.
+  size_t history_len_ = 0;
+  std::vector<double> changepoints_;  ///< Times of trend kinks.
+  std::vector<double> weights_;       ///< Fitted coefficients.
+};
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,54 @@
+#include "forecast/psd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace forecast {
+
+std::vector<PeriodComponent> Periodogram(const TimeSeries& series) {
+  std::vector<PeriodComponent> out;
+  const size_t n = series.size();
+  if (n < 8) return out;
+  const double mean = series.Mean();
+
+  // Direct DFT over frequencies k = 2 .. n/2 (k=1 is the whole-window
+  // trend, excluded; k >= n/2 aliases).
+  for (size_t k = 2; k <= n / 2; k++) {
+    double re = 0, im = 0;
+    const double w = 2.0 * M_PI * static_cast<double>(k) /
+                     static_cast<double>(n);
+    for (size_t t = 0; t < n; t++) {
+      double v = series[t] - mean;
+      re += v * std::cos(w * static_cast<double>(t));
+      im -= v * std::sin(w * static_cast<double>(t));
+    }
+    double power = (re * re + im * im) / static_cast<double>(n);
+    out.push_back(PeriodComponent{
+        static_cast<double>(n) / static_cast<double>(k), power});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeriodComponent& a, const PeriodComponent& b) {
+              return a.power > b.power;
+            });
+  return out;
+}
+
+double DetectDominantPeriod(const TimeSeries& series,
+                            double min_power_ratio) {
+  auto spectrum = Periodogram(series);
+  if (spectrum.empty()) return 0;
+  double total_var = series.Stddev();
+  total_var = total_var * total_var * static_cast<double>(series.size());
+  if (total_var <= 0) return 0;
+  const PeriodComponent& top = spectrum.front();
+  if (top.power / total_var < min_power_ratio) return 0;
+  return top.period_samples;
+}
+
+bool HasPeriodicity(const TimeSeries& series) {
+  return DetectDominantPeriod(series) > 0;
+}
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,35 @@
+// Period detection via power spectral density (paper Section 5.2: "we
+// initially use PSD analysis to determine the time series' periodicity").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time_series.h"
+
+namespace abase {
+namespace forecast {
+
+/// One detected periodic component.
+struct PeriodComponent {
+  double period_samples = 0;  ///< Period length in sample steps.
+  double power = 0;           ///< Spectral power (relative).
+};
+
+/// Computes the periodogram of `series` (mean removed) by direct DFT and
+/// returns candidate periods sorted by descending power. Periods shorter
+/// than 2 samples or longer than size/2 are excluded. O(n^2) — series here
+/// are <= ~720 hourly points.
+std::vector<PeriodComponent> Periodogram(const TimeSeries& series);
+
+/// Dominant period in samples, or 0 when no component carries at least
+/// `min_power_ratio` of the strongest-component power relative to total
+/// variance (aperiodic series).
+double DetectDominantPeriod(const TimeSeries& series,
+                            double min_power_ratio = 0.04);
+
+/// True when the series has a meaningful periodic structure.
+bool HasPeriodicity(const TimeSeries& series);
+
+}  // namespace forecast
+}  // namespace abase

@@ -1,0 +1,124 @@
+#include "meta/capacity_planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace meta {
+
+const char* CapacityRuleName(CapacityViolation::Rule rule) {
+  switch (rule) {
+    case CapacityViolation::Rule::kPoolTooSmallForTenant:
+      return "PoolTooSmallForTenant";
+    case CapacityViolation::Rule::kInsufficientIdle:
+      return "InsufficientIdle";
+    case CapacityViolation::Rule::kTooManyTenants:
+      return "TooManyTenants";
+    case CapacityViolation::Rule::kPoolTooLarge:
+      return "PoolTooLarge";
+    case CapacityViolation::Rule::kInsufficientBurstHeadroom:
+      return "InsufficientBurstHeadroom";
+  }
+  return "Unknown";
+}
+
+std::vector<CapacityViolation> CapacityPlanner::Audit(
+    const PoolSnapshot& pool) const {
+  std::vector<CapacityViolation> out;
+  const double capacity = pool.TotalCapacity();
+  const double max_quota = pool.MaxTenantQuota();
+  const double idle = pool.IdleCapacity();
+
+  if (max_quota > 0 && capacity < rules_.pool_to_tenant_ratio * max_quota) {
+    out.push_back(
+        {CapacityViolation::Rule::kPoolTooSmallForTenant,
+         "pool capacity " + std::to_string(capacity) + " < " +
+             std::to_string(rules_.pool_to_tenant_ratio) +
+             "x largest tenant quota " + std::to_string(max_quota)});
+  }
+  if (capacity > 0 && idle < rules_.min_idle_fraction * capacity) {
+    out.push_back({CapacityViolation::Rule::kInsufficientIdle,
+                   "idle " + std::to_string(idle) + " < " +
+                       std::to_string(rules_.min_idle_fraction * 100) +
+                       "% of capacity " + std::to_string(capacity)});
+  }
+  if (pool.tenant_quotas_ru.size() > rules_.max_tenants_per_pool) {
+    out.push_back({CapacityViolation::Rule::kTooManyTenants,
+                   std::to_string(pool.tenant_quotas_ru.size()) +
+                       " tenants > limit " +
+                       std::to_string(rules_.max_tenants_per_pool)});
+  }
+  if (pool.node_count > rules_.max_nodes_per_pool) {
+    out.push_back({CapacityViolation::Rule::kPoolTooLarge,
+                   std::to_string(pool.node_count) + " nodes > limit " +
+                       std::to_string(rules_.max_nodes_per_pool)});
+  }
+  if (max_quota > 0 && idle < rules_.burst_headroom_factor * max_quota) {
+    out.push_back(
+        {CapacityViolation::Rule::kInsufficientBurstHeadroom,
+         "idle " + std::to_string(idle) + " cannot absorb a 2x burst of "
+             "the largest tenant (quota " +
+             std::to_string(max_quota) + ")"});
+  }
+  return out;
+}
+
+bool CapacityPlanner::CanAdmitTenant(const PoolSnapshot& pool,
+                                     double quota_ru) const {
+  PoolSnapshot next = pool;
+  next.tenant_quotas_ru.push_back(quota_ru);
+  return Audit(next).empty();
+}
+
+Result<size_t> CapacityPlanner::RequiredNodes(
+    const std::vector<double>& tenant_quotas_ru,
+    double node_capacity_ru) const {
+  if (node_capacity_ru <= 0) {
+    return Status::InvalidArgument("node capacity must be positive");
+  }
+  if (tenant_quotas_ru.size() > rules_.max_tenants_per_pool) {
+    return Status::InvalidArgument("tenant count exceeds per-pool limit");
+  }
+  double allocated = 0, max_quota = 0;
+  for (double q : tenant_quotas_ru) {
+    allocated += q;
+    max_quota = std::max(max_quota, q);
+  }
+  // Capacity must satisfy, simultaneously:
+  //   C >= ratio * max_quota
+  //   C >= allocated / (1 - idle_fraction)
+  //   C >= allocated + headroom * max_quota
+  double needed = std::max(
+      {rules_.pool_to_tenant_ratio * max_quota,
+       allocated / (1.0 - rules_.min_idle_fraction),
+       allocated + rules_.burst_headroom_factor * max_quota});
+  size_t nodes =
+      static_cast<size_t>(std::ceil(needed / node_capacity_ru));
+  nodes = std::max<size_t>(nodes, 1);
+  if (nodes > rules_.max_nodes_per_pool) {
+    return Status::ResourceExhausted(
+        "tenant set requires more nodes than the pool-scale limit");
+  }
+  return nodes;
+}
+
+double CapacityPlanner::MaxAdmissibleTenantQuota(
+    const PoolSnapshot& pool) const {
+  const double capacity = pool.TotalCapacity();
+  const double allocated = pool.AllocatedQuota();
+  // q must satisfy:
+  //   capacity >= ratio * q                      -> q <= capacity/ratio
+  //   idle' = capacity - allocated - q >= idle_fraction * capacity
+  //   idle' >= headroom * max(q, current_max)
+  double by_ratio = capacity / rules_.pool_to_tenant_ratio;
+  double by_idle =
+      capacity * (1.0 - rules_.min_idle_fraction) - allocated;
+  // Burst headroom, assuming the new tenant becomes the largest:
+  //   capacity - allocated - q >= headroom * q
+  double by_burst = (capacity - allocated) /
+                    (1.0 + rules_.burst_headroom_factor);
+  return std::max(0.0, std::min({by_ratio, by_idle, by_burst}));
+}
+
+}  // namespace meta
+}  // namespace abase

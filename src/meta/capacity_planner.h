@@ -1,0 +1,106 @@
+// Capacity planning rules — paper Section 7, "Lessons in Practice".
+//
+// The operational invariants ByteDance converged on:
+//  * Resource allocation: a pool's capacity must be at least 10x any
+//    single tenant's quota, and at least 20% of the pool must stay idle.
+//  * Resource isolation: cap the number of tenants per pool and the
+//    pool's total scale (bound the failure radius); cap any tenant's
+//    quota relative to the pool.
+//  * Spiky workloads: idle resources must exceed the largest tenant
+//    quota so any tenant can at least double its quota short-term.
+//
+// The planner audits a pool against these rules and sizes new pools so
+// the rules hold by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace abase {
+namespace meta {
+
+/// Operational limits (defaults mirror the paper's stated practice).
+struct CapacityRules {
+  /// Pool capacity >= this multiple of the largest tenant quota.
+  double pool_to_tenant_ratio = 10.0;
+  /// Fraction of pool capacity that must remain idle (unallocated).
+  double min_idle_fraction = 0.20;
+  /// Failure-radius bounds.
+  size_t max_tenants_per_pool = 100;
+  size_t max_nodes_per_pool = 2000;
+  /// Every tenant must be able to at least double its quota short-term:
+  /// idle capacity >= burst_headroom_factor x the largest tenant quota.
+  double burst_headroom_factor = 1.0;
+};
+
+/// One rule violation found by an audit.
+struct CapacityViolation {
+  enum class Rule {
+    kPoolTooSmallForTenant,   ///< capacity < ratio x tenant quota.
+    kInsufficientIdle,        ///< idle < min_idle_fraction.
+    kTooManyTenants,
+    kPoolTooLarge,
+    kInsufficientBurstHeadroom,
+  };
+  Rule rule;
+  std::string detail;
+};
+
+const char* CapacityRuleName(CapacityViolation::Rule rule);
+
+/// Immutable snapshot of a pool for auditing.
+struct PoolSnapshot {
+  size_t node_count = 0;
+  double node_capacity_ru = 0;          ///< Per-node RU/s capacity.
+  std::vector<double> tenant_quotas_ru; ///< Current quota per tenant.
+
+  double TotalCapacity() const {
+    return static_cast<double>(node_count) * node_capacity_ru;
+  }
+  double AllocatedQuota() const {
+    double s = 0;
+    for (double q : tenant_quotas_ru) s += q;
+    return s;
+  }
+  double IdleCapacity() const { return TotalCapacity() - AllocatedQuota(); }
+  double MaxTenantQuota() const {
+    double m = 0;
+    for (double q : tenant_quotas_ru) m = std::max(m, q);
+    return m;
+  }
+};
+
+/// Audits and sizes pools against the Section 7 rules.
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(CapacityRules rules = {}) : rules_(rules) {}
+
+  /// All rule violations in the snapshot (empty = healthy).
+  std::vector<CapacityViolation> Audit(const PoolSnapshot& pool) const;
+
+  /// True when the pool can admit a new tenant with `quota_ru` without
+  /// violating any rule afterwards.
+  bool CanAdmitTenant(const PoolSnapshot& pool, double quota_ru) const;
+
+  /// Minimum node count so a pool of `node_capacity_ru` nodes can host
+  /// `tenant_quotas_ru` within the rules. Fails if the tenant set itself
+  /// is inadmissible (e.g., too many tenants).
+  Result<size_t> RequiredNodes(const std::vector<double>& tenant_quotas_ru,
+                               double node_capacity_ru) const;
+
+  /// Largest quota any single tenant may hold in this pool (the paper:
+  /// "we correspondingly regulate the maximum quota for each tenant").
+  double MaxAdmissibleTenantQuota(const PoolSnapshot& pool) const;
+
+  const CapacityRules& rules() const { return rules_; }
+
+ private:
+  CapacityRules rules_;
+};
+
+}  // namespace meta
+}  // namespace abase

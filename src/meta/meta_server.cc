@@ -1,0 +1,329 @@
+#include "meta/meta_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace abase {
+namespace meta {
+
+MetaServer::MetaServer(const Clock* clock) : clock_(clock) {
+  assert(clock_ != nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+PoolId MetaServer::CreatePool(std::vector<node::DataNode*> nodes) {
+  pools_.push_back(std::move(nodes));
+  return static_cast<PoolId>(pools_.size() - 1);
+}
+
+Status MetaServer::AddNodeToPool(PoolId pool, node::DataNode* node) {
+  if (pool >= pools_.size()) return Status::InvalidArgument("no such pool");
+  pools_[pool].push_back(node);
+  return Status::OK();
+}
+
+Status MetaServer::RemoveNodeFromPool(PoolId pool, NodeId node) {
+  if (pool >= pools_.size()) return Status::InvalidArgument("no such pool");
+  auto& nodes = pools_[pool];
+  auto it = std::find_if(nodes.begin(), nodes.end(),
+                         [&](node::DataNode* n) { return n->id() == node; });
+  if (it == nodes.end()) return Status::NotFound("node not in pool");
+  if ((*it)->replica_count() > 0) {
+    return Status::InvalidArgument("node still hosts replicas");
+  }
+  nodes.erase(it);
+  return Status::OK();
+}
+
+const std::vector<node::DataNode*>& MetaServer::PoolNodes(
+    PoolId pool) const {
+  static const std::vector<node::DataNode*> kEmpty;
+  return pool < pools_.size() ? pools_[pool] : kEmpty;
+}
+
+node::DataNode* MetaServer::FindNode(PoolId pool, NodeId id) const {
+  if (pool >= pools_.size()) return nullptr;
+  for (node::DataNode* n : pools_[pool]) {
+    if (n->id() == id) return n;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tenants
+// ---------------------------------------------------------------------------
+
+node::DataNode* MetaServer::PickNodeForReplica(PoolId pool, TenantId tenant,
+                                               PartitionId partition) const {
+  // AZs already used by this partition's replicas: placing in a fresh AZ
+  // is strictly preferred (Section 3.1), falling back to AZ reuse only
+  // when no conflict-free node exists.
+  std::set<uint32_t> used_azs;
+  for (node::DataNode* n : pools_[pool]) {
+    if (n->HasReplica(tenant, partition)) used_azs.insert(n->az());
+  }
+
+  node::DataNode* best = nullptr;
+  bool best_fresh_az = false;
+  double best_quota = 0;
+  for (node::DataNode* n : pools_[pool]) {
+    if (n->HasReplica(tenant, partition)) continue;  // Replica safety.
+    bool fresh = used_azs.count(n->az()) == 0;
+    double q = n->TotalPartitionQuota();
+    if (best == nullptr || (fresh && !best_fresh_az) ||
+        (fresh == best_fresh_az && q < best_quota)) {
+      best = n;
+      best_fresh_az = fresh;
+      best_quota = q;
+    }
+  }
+  return best;
+}
+
+Status MetaServer::CreateTenant(const TenantConfig& config, PoolId pool) {
+  if (pool >= pools_.size()) return Status::InvalidArgument("no such pool");
+  if (tenants_.count(config.id) > 0) {
+    return Status::InvalidArgument("tenant id already exists");
+  }
+  if (config.num_partitions == 0 || config.replicas < 1) {
+    return Status::InvalidArgument("bad partition/replica count");
+  }
+  if (pools_[pool].size() < static_cast<size_t>(config.replicas)) {
+    return Status::ResourceExhausted("pool smaller than replica count");
+  }
+
+  TenantMeta meta;
+  meta.config = config;
+  meta.pool = pool;
+  meta.tenant_quota_ru = config.tenant_quota_ru;
+  meta.monitor.SetTenantQuota(config.tenant_quota_ru);
+  double partition_quota =
+      config.tenant_quota_ru / static_cast<double>(config.num_partitions);
+
+  for (PartitionId p = 0; p < config.num_partitions; p++) {
+    PartitionPlacement placement;
+    for (int r = 0; r < config.replicas; r++) {
+      node::DataNode* n = PickNodeForReplica(pool, config.id, p);
+      if (n == nullptr) {
+        return Status::ResourceExhausted("no placeable node for replica");
+      }
+      n->AddReplica(config.id, p, partition_quota, /*is_primary=*/r == 0);
+      placement.replicas.push_back(n->id());
+    }
+    meta.partitions.push_back(std::move(placement));
+  }
+  tenants_.emplace(config.id, std::move(meta));
+  return Status::OK();
+}
+
+const TenantMeta* MetaServer::GetTenant(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantId> MetaServer::TenantIds() const {
+  std::vector<TenantId> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, meta] : tenants_) out.push_back(id);
+  return out;
+}
+
+PartitionId MetaServer::PartitionFor(TenantId tenant,
+                                     std::string_view key) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.partitions.empty()) return 0;
+  return static_cast<PartitionId>(
+      Fnv1a64(key) % it->second.partitions.size());
+}
+
+NodeId MetaServer::PrimaryFor(TenantId tenant, PartitionId partition) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return kInvalidNode;
+  if (partition >= it->second.partitions.size()) return kInvalidNode;
+  return it->second.partitions[partition].primary();
+}
+
+// ---------------------------------------------------------------------------
+// Scaling
+// ---------------------------------------------------------------------------
+
+void MetaServer::PushPartitionQuotas(TenantMeta& meta) {
+  double pq = meta.PartitionQuota();
+  for (PartitionId p = 0; p < meta.partitions.size(); p++) {
+    for (NodeId nid : meta.partitions[p].replicas) {
+      node::DataNode* n = FindNode(meta.pool, nid);
+      if (n != nullptr) n->SetPartitionQuota(meta.config.id, p, pq);
+    }
+  }
+}
+
+Status MetaServer::SetTenantQuota(TenantId tenant, double new_quota_ru) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  TenantMeta& meta = it->second;
+  if (new_quota_ru <= 0) return Status::InvalidArgument("quota must be > 0");
+
+  if (new_quota_ru < meta.tenant_quota_ru) {
+    meta.last_scale_down = clock_->NowMicros();
+  }
+  meta.tenant_quota_ru = new_quota_ru;
+  meta.monitor.SetTenantQuota(new_quota_ru);
+
+  // Algorithm 1 lines 4-6: split when the partition quota exceeds UP.
+  while (meta.PartitionQuota() > meta.config.partition_quota_upper) {
+    ABASE_RETURN_IF_ERROR(SplitPartitions(tenant));
+  }
+  PushPartitionQuotas(meta);
+  return Status::OK();
+}
+
+Status MetaServer::SplitPartitions(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  TenantMeta& meta = it->second;
+
+  // Each partition p spawns a sibling p' = p + old_count. The sibling is
+  // placed fresh (least-loaded); in production the key range would be
+  // migrated — the simulator re-shards synthetic keyspaces instead (see
+  // DESIGN.md substitution table).
+  size_t old_count = meta.partitions.size();
+  double new_pq = meta.tenant_quota_ru / static_cast<double>(old_count * 2);
+  for (size_t p = 0; p < old_count; p++) {
+    PartitionId child = static_cast<PartitionId>(old_count + p);
+    PartitionPlacement placement;
+    for (int r = 0; r < meta.config.replicas; r++) {
+      node::DataNode* n =
+          PickNodeForReplica(meta.pool, meta.config.id, child);
+      if (n == nullptr) {
+        return Status::ResourceExhausted("no placeable node for split");
+      }
+      n->AddReplica(meta.config.id, child, new_pq, r == 0);
+      placement.replicas.push_back(n->id());
+    }
+    meta.partitions.push_back(std::move(placement));
+  }
+  PushPartitionQuotas(meta);
+  return Status::OK();
+}
+
+Status MetaServer::MigrateReplica(TenantId tenant, PartitionId partition,
+                                  NodeId from, NodeId to) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  TenantMeta& meta = it->second;
+  if (partition >= meta.partitions.size()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  node::DataNode* src = FindNode(meta.pool, from);
+  node::DataNode* dst = FindNode(meta.pool, to);
+  if (src == nullptr || dst == nullptr) {
+    return Status::NotFound("node not in tenant pool");
+  }
+  if (!src->HasReplica(tenant, partition)) {
+    return Status::NotFound("source does not host replica");
+  }
+  if (dst->HasReplica(tenant, partition)) {
+    return Status::InvalidArgument("destination already hosts replica");
+  }
+  auto& reps = meta.partitions[partition].replicas;
+  auto rit = std::find(reps.begin(), reps.end(), from);
+  if (rit == reps.end()) return Status::Internal("placement out of sync");
+  bool was_primary = rit == reps.begin();
+
+  double pq = meta.PartitionQuota();
+  src->RemoveReplica(tenant, partition);
+  dst->AddReplica(tenant, partition, pq, was_primary);
+  *rit = to;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Failure recovery
+// ---------------------------------------------------------------------------
+
+Result<RecoveryReport> MetaServer::FailNode(
+    PoolId pool, NodeId node, double rebuild_bandwidth_bytes_per_sec) {
+  node::DataNode* failed = FindNode(pool, node);
+  if (failed == nullptr) return Status::NotFound("node not in pool");
+
+  RecoveryReport report;
+
+  // Snapshot the replicas the failed node hosted.
+  struct LostReplica {
+    TenantId tenant;
+    PartitionId partition;
+    double quota;
+    uint64_t bytes;
+  };
+  std::vector<LostReplica> lost;
+  for (const node::PartitionReplica* rep : failed->Replicas()) {
+    lost.push_back(LostReplica{rep->tenant, rep->partition,
+                               rep->partition_quota_ru,
+                               rep->engine->ApproximateDataBytes()});
+  }
+
+  // Remove the node from the pool topology first so placement never
+  // targets it, then rebuild each lost replica on a surviving node.
+  auto& nodes = pools_[pool];
+  nodes.erase(std::remove(nodes.begin(), nodes.end(), failed), nodes.end());
+
+  std::map<NodeId, uint64_t> bytes_per_target;
+  for (const LostReplica& lr : lost) {
+    // Fix up tenant placement metadata.
+    auto tit = tenants_.find(lr.tenant);
+    node::DataNode* target =
+        PickNodeForReplica(pool, lr.tenant, lr.partition);
+    if (target == nullptr) {
+      return Status::ResourceExhausted("no survivor can host replica");
+    }
+    target->AddReplica(lr.tenant, lr.partition, lr.quota,
+                       /*is_primary=*/false);
+    bytes_per_target[target->id()] += lr.bytes;
+    report.replicas_rebuilt++;
+    report.bytes_rebuilt += lr.bytes;
+    if (tit != tenants_.end() &&
+        lr.partition < tit->second.partitions.size()) {
+      auto& reps = tit->second.partitions[lr.partition].replicas;
+      std::replace(reps.begin(), reps.end(), node, target->id());
+    }
+    failed->RemoveReplica(lr.tenant, lr.partition);
+  }
+
+  // Recovery-time model (Section 3.3): the parallel rebuild is bounded by
+  // the most-loaded target's share, streamed from many sources at disk
+  // bandwidth; a single replacement node must ingest everything alone.
+  report.parallel_sources = bytes_per_target.size();
+  uint64_t max_target_bytes = 0;
+  for (const auto& [nid, b] : bytes_per_target) {
+    max_target_bytes = std::max(max_target_bytes, b);
+  }
+  report.parallel_recovery_seconds =
+      static_cast<double>(max_target_bytes) / rebuild_bandwidth_bytes_per_sec;
+  report.single_node_recovery_seconds =
+      static_cast<double>(report.bytes_rebuilt) /
+      rebuild_bandwidth_bytes_per_sec;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous proxy traffic control
+// ---------------------------------------------------------------------------
+
+bool MetaServer::ReportProxyTraffic(TenantId tenant,
+                                    double aggregate_ru_per_sec) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return false;
+  return it->second.monitor.ObserveAggregateRuPerSec(aggregate_ru_per_sec);
+}
+
+bool MetaServer::IsClamped(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.monitor.clamped();
+}
+
+}  // namespace meta
+}  // namespace abase

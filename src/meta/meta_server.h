@@ -1,0 +1,159 @@
+// MetaServer — paper Section 3.2 (Control Plane) and Section 3.3
+// (Recovery and Robustness).
+//
+// The centralized management component: global metadata (tenants,
+// partitions, replica placement), key routing, pool health, parallel
+// replica reconstruction after node failure, tenant quota scaling with
+// partition split, and the asynchronous proxy-traffic clamp loop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "node/data_node.h"
+#include "quota/quota.h"
+
+namespace abase {
+namespace meta {
+
+/// Static description of a tenant at creation time.
+struct TenantConfig {
+  TenantId id = 0;
+  std::string name;
+  double tenant_quota_ru = 10000;
+  uint64_t storage_quota_bytes = 1ull << 30;
+  uint32_t num_partitions = 4;
+  uint32_t num_proxies = 4;
+  uint32_t num_proxy_groups = 2;
+  int replicas = 3;
+  /// Partition quota upper bound: exceeding it triggers a split
+  /// (Algorithm 1's UP).
+  double partition_quota_upper = 50000;
+  /// Partition quota floor kept after down-scaling (Algorithm 1's LOWER).
+  double partition_quota_lower = 200;
+};
+
+/// Placement of one partition: replica nodes; index 0 is the primary.
+struct PartitionPlacement {
+  std::vector<NodeId> replicas;
+  NodeId primary() const {
+    return replicas.empty() ? kInvalidNode : replicas[0];
+  }
+};
+
+/// Live tenant metadata.
+struct TenantMeta {
+  TenantConfig config;
+  PoolId pool = 0;
+  double tenant_quota_ru = 0;  ///< Current (scaled) quota.
+  std::vector<PartitionPlacement> partitions;
+  quota::TenantTrafficMonitor monitor{0};
+  Micros last_scale_down = -1;
+
+  double PartitionQuota() const {
+    return partitions.empty()
+               ? tenant_quota_ru
+               : tenant_quota_ru / static_cast<double>(partitions.size());
+  }
+};
+
+/// Outcome of a node-failure recovery, contrasting the multi-tenant
+/// parallel rebuild with a single-replacement-node rebuild (Section 3.3).
+struct RecoveryReport {
+  size_t replicas_rebuilt = 0;
+  uint64_t bytes_rebuilt = 0;
+  size_t parallel_sources = 0;
+  double parallel_recovery_seconds = 0;  ///< N-node parallel rebuild.
+  double single_node_recovery_seconds = 0;  ///< Classic replacement node.
+};
+
+/// Centralized control plane over a set of resource pools.
+class MetaServer {
+ public:
+  explicit MetaServer(const Clock* clock);
+
+  // -- Topology ---------------------------------------------------------------
+
+  /// Registers a pool of DataNodes (non-owning pointers).
+  PoolId CreatePool(std::vector<node::DataNode*> nodes);
+
+  /// Adds a node to an existing pool (inter-pool rescheduling support).
+  Status AddNodeToPool(PoolId pool, node::DataNode* node);
+  Status RemoveNodeFromPool(PoolId pool, NodeId node);
+
+  const std::vector<node::DataNode*>& PoolNodes(PoolId pool) const;
+
+  // -- Tenants ----------------------------------------------------------------
+
+  /// Creates a tenant: places num_partitions x replicas across the pool
+  /// (least-loaded placement, one replica per node per partition) and
+  /// installs partition quotas on the hosting nodes.
+  Status CreateTenant(const TenantConfig& config, PoolId pool);
+
+  const TenantMeta* GetTenant(TenantId tenant) const;
+  std::vector<TenantId> TenantIds() const;
+
+  /// Hash-routes a key to its partition.
+  PartitionId PartitionFor(TenantId tenant, std::string_view key) const;
+
+  /// Primary node currently serving (tenant, partition).
+  NodeId PrimaryFor(TenantId tenant, PartitionId partition) const;
+
+  // -- Scaling (invoked by the Autoscaler) -------------------------------------
+
+  /// Applies a new tenant quota, propagating partition quotas to nodes.
+  /// Triggers a partition split when the per-partition quota exceeds the
+  /// configured upper bound (Algorithm 1 lines 4-6).
+  Status SetTenantQuota(TenantId tenant, double new_quota_ru);
+
+  /// Doubles the tenant's partition count, halving partition quotas.
+  Status SplitPartitions(TenantId tenant);
+
+  /// Moves one replica of (tenant, partition) from node `from` to node
+  /// `to`, updating placement metadata (used by the rescheduler bridge).
+  Status MigrateReplica(TenantId tenant, PartitionId partition, NodeId from,
+                        NodeId to);
+
+  // -- Failure recovery ---------------------------------------------------------
+
+  /// Simulates the loss of `node`: every replica it hosted is rebuilt on
+  /// surviving pool nodes in parallel. Returns the recovery-time model
+  /// contrasting multi-tenant parallel rebuild vs a single replacement
+  /// node limited by its own disk bandwidth.
+  Result<RecoveryReport> FailNode(PoolId pool, NodeId node,
+                                  double rebuild_bandwidth_bytes_per_sec =
+                                      200.0 * 1024 * 1024);
+
+  // -- Asynchronous proxy traffic control ---------------------------------------
+
+  /// Ingests one monitoring interval's aggregate proxy RU/s for a tenant;
+  /// returns the clamp directive the proxies should apply.
+  bool ReportProxyTraffic(TenantId tenant, double aggregate_ru_per_sec);
+
+  bool IsClamped(TenantId tenant) const;
+
+ private:
+  node::DataNode* FindNode(PoolId pool, NodeId id) const;
+
+  /// Least-loaded placement: picks the pool node with the smallest total
+  /// partition quota that does not already hold a replica of (tenant,
+  /// partition). Returns nullptr if none qualifies.
+  node::DataNode* PickNodeForReplica(PoolId pool, TenantId tenant,
+                                     PartitionId partition) const;
+
+  void PushPartitionQuotas(TenantMeta& meta);
+
+  const Clock* clock_;
+  std::vector<std::vector<node::DataNode*>> pools_;
+  std::map<TenantId, TenantMeta> tenants_;
+};
+
+}  // namespace meta
+}  // namespace abase

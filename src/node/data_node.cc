@@ -1,0 +1,499 @@
+#include "node/data_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abase {
+namespace node {
+
+namespace {
+
+/// Serializes a hash map the way HGETALL returns it over the wire.
+std::string SerializeHash(const std::map<std::string, std::string>& hash) {
+  std::string out;
+  for (const auto& [f, v] : hash) {
+    out += f;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+constexpr uint64_t kDiskBlockBytes = 4096;
+
+}  // namespace
+
+DataNode::DataNode(NodeId id, DataNodeOptions options, const Clock* clock)
+    : id_(id),
+      options_(options),
+      clock_(clock),
+      cache_(options.cache, clock),
+      disk_(options.disk),
+      wfq_(options.wfq) {
+  assert(clock_ != nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+void DataNode::AddReplica(TenantId tenant, PartitionId partition,
+                          double partition_quota_ru, bool is_primary) {
+  PartitionReplica rep;
+  rep.tenant = tenant;
+  rep.partition = partition;
+  rep.partition_quota_ru = partition_quota_ru;
+  rep.is_primary = is_primary;
+  rep.engine = std::make_unique<storage::LsmEngine>(options_.lsm, clock_);
+  rep.quota =
+      std::make_unique<quota::PartitionQuota>(partition_quota_ru, clock_);
+  rep.quota->SetEnabled(quota_enforcement_);
+  replicas_[ReplicaKey(tenant, partition)] = std::move(rep);
+}
+
+bool DataNode::RemoveReplica(TenantId tenant, PartitionId partition) {
+  return replicas_.erase(ReplicaKey(tenant, partition)) > 0;
+}
+
+bool DataNode::HasReplica(TenantId tenant, PartitionId partition) const {
+  return replicas_.count(ReplicaKey(tenant, partition)) > 0;
+}
+
+void DataNode::SetPartitionQuota(TenantId tenant, PartitionId partition,
+                                 double partition_quota_ru) {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  if (it == replicas_.end()) return;
+  it->second.partition_quota_ru = partition_quota_ru;
+  it->second.quota->SetBaseQuota(partition_quota_ru);
+}
+
+void DataNode::SetPartitionQuotaEnforcement(bool enabled) {
+  quota_enforcement_ = enabled;
+  for (auto& [key, rep] : replicas_) rep.quota->SetEnabled(enabled);
+}
+
+uint64_t DataNode::StoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& [key, rep] : replicas_) {
+    total += rep.engine->ApproximateDataBytes();
+  }
+  return total;
+}
+
+double DataNode::TotalPartitionQuota() const {
+  double total = 0;
+  for (const auto& [key, rep] : replicas_) total += rep.partition_quota_ru;
+  return total;
+}
+
+std::vector<const PartitionReplica*> DataNode::Replicas() const {
+  std::vector<const PartitionReplica*> out;
+  out.reserve(replicas_.size());
+  for (const auto& [key, rep] : replicas_) out.push_back(&rep);
+  return out;
+}
+
+storage::LsmEngine* DataNode::EngineFor(TenantId tenant,
+                                        PartitionId partition) {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  return it == replicas_.end() ? nullptr : it->second.engine.get();
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+// ---------------------------------------------------------------------------
+
+std::string DataNode::CacheKeyFor(const NodeRequest& req) const {
+  std::string key;
+  key.reserve(req.key.size() + 16);
+  key += std::to_string(req.tenant);
+  key += '|';
+  key += std::to_string(req.partition);
+  key += '|';
+  key += req.key;
+  return key;
+}
+
+void DataNode::Submit(const NodeRequest& req) {
+  tick_stats_.submitted++;
+  auto it = replicas_.find(ReplicaKey(req.tenant, req.partition));
+  if (it == replicas_.end()) {
+    NodeResponse resp;
+    resp.req_id = req.req_id;
+    resp.tenant = req.tenant;
+    resp.partition = req.partition;
+    resp.op = req.op;
+    resp.key = req.key;
+    resp.status = Status::Unavailable("partition not hosted");
+    resp.served_by = ServedBy::kRejected;
+    resp.background_refresh = req.background_refresh;
+    responses_.push_back(std::move(resp));
+    return;
+  }
+  PartitionReplica& rep = it->second;
+
+  // Partition-quota admission at the request-queue entry point. Rejecting
+  // is not free: the node burns CPU to produce the error (Figure 6).
+  if (!rep.quota->TryAdmit(req.estimated_ru)) {
+    pending_reject_ru_ += options_.reject_cpu_ru;
+    tick_stats_.rejected_quota++;
+    NodeResponse resp;
+    resp.req_id = req.req_id;
+    resp.tenant = req.tenant;
+    resp.partition = req.partition;
+    resp.op = req.op;
+    resp.key = req.key;
+    resp.status = Status::Throttled("partition quota exceeded");
+    resp.served_by = ServedBy::kRejected;
+    resp.latency = options_.cpu_service_micros;
+    resp.background_refresh = req.background_refresh;
+    responses_.push_back(std::move(resp));
+    return;
+  }
+
+  PendingContext ctx;
+  ctx.req = req;
+  ctx.admitted_at = clock_->NowMicros();
+  pending_[req.req_id] = std::move(ctx);
+
+  sched::SchedRequest sreq;
+  sreq.req_id = req.req_id;
+  sreq.tenant = req.tenant;
+  sreq.partition = req.partition;
+  sreq.is_read = IsReadOp(req.op);
+  sreq.cls = ClassifyRequest(sreq.is_read, req.value_size_hint);
+  sreq.cpu_cost_ru = std::max(0.1, req.estimated_ru);
+  double total_quota = TotalPartitionQuota();
+  sreq.quota_share =
+      total_quota > 0 ? rep.partition_quota_ru / total_quota : 1.0;
+  sreq.quota_share = std::max(sreq.quota_share, 1e-6);
+  wfq_.Enqueue(sreq);
+}
+
+sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
+  sched::CacheProbe probe;
+  auto pit = pending_.find(sreq.req_id);
+  if (pit == pending_.end()) {
+    // Timed out of the queue before the scheduler reached it.
+    probe.canceled = true;
+    return probe;
+  }
+  PendingContext& ctx = pit->second;
+  const NodeRequest& req = ctx.req;
+
+  if (!IsReadOp(req.op)) {
+    // Writes are absorbed by the WAL + memtable (CPU layer); flush and
+    // compaction I/O is charged to the disk as background load below, in
+    // ExecuteOnEngine.
+    probe.hit = false;
+    probe.needs_io = false;
+    return probe;
+  }
+
+  // Reads: DataNode cache first (GET and HGETALL payloads are cached).
+  // The hit's value and TTL are retained so completion reuses them.
+  if (req.op == OpType::kGet || req.op == OpType::kHGetAll) {
+    Micros expire_at = 0;
+    if (auto v = cache_.GetWithExpiry(CacheKeyFor(req), &expire_at)) {
+      ctx.probed = true;
+      ctx.probe_status = Status::OK();
+      ctx.probe_value = std::move(*v);
+      ctx.probe_io.expire_at = expire_at;
+      probe.hit = true;
+      probe.needs_io = false;
+      return probe;
+    }
+  }
+
+  // Cache miss: execute the engine read now to learn the I/O footprint,
+  // and retain the outcome so completion does not re-execute it. The
+  // I/O-WFQ stage then models the disk service for the blocks read.
+  storage::ReadIo io;
+  PartitionReplica& rep = replicas_[ReplicaKey(req.tenant, req.partition)];
+  switch (req.op) {
+    case OpType::kGet: {
+      auto r = rep.engine->Get(req.key, &io);
+      ctx.probe_status = r.ok() ? Status::OK() : r.status();
+      if (r.ok()) ctx.probe_value = std::move(r).value();
+      break;
+    }
+    case OpType::kHGet: {
+      auto r = rep.engine->HGet(req.key, req.field, &io);
+      ctx.probe_status = r.ok() ? Status::OK() : r.status();
+      if (r.ok()) ctx.probe_value = std::move(r).value();
+      break;
+    }
+    case OpType::kHLen: {
+      auto r = rep.engine->HLen(req.key, &io);
+      ctx.probe_status = r.ok() ? Status::OK() : r.status();
+      if (r.ok()) {
+        ctx.probe_value = std::to_string(r.value());
+        ctx.probe_hash_fields = r.value();
+      }
+      break;
+    }
+    case OpType::kHGetAll: {
+      auto r = rep.engine->HGetAll(req.key, &io);
+      ctx.probe_status = r.ok() ? Status::OK() : r.status();
+      if (r.ok()) {
+        ctx.probe_hash_fields = r.value().size();
+        ctx.probe_value = SerializeHash(r.value());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  ctx.probed = true;
+  ctx.probe_io = io;
+  probe.hit = false;
+  probe.needs_io = io.block_reads > 0;
+  probe.io_blocks = std::max(io.block_reads, 0);
+  return probe;
+}
+
+NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
+                                       PartitionReplica& rep,
+                                       ServedBy served_by,
+                                       Micros extra_latency) {
+  const NodeRequest& req = ctx.req;
+  NodeResponse resp;
+  resp.req_id = req.req_id;
+  resp.tenant = req.tenant;
+  resp.partition = req.partition;
+  resp.op = req.op;
+  resp.key = req.key;
+  resp.background_refresh = req.background_refresh;
+
+  const std::string cache_key = CacheKeyFor(req);
+  uint64_t flushed_before = rep.engine->stats().flushed_bytes +
+                            rep.engine->stats().compaction_write_bytes;
+
+  bool cache_hit = served_by == ServedBy::kNodeCache;
+  switch (req.op) {
+    case OpType::kGet: {
+      resp.status = ctx.probe_status;
+      resp.value = std::move(ctx.probe_value);
+      if (!cache_hit && resp.status.ok()) {
+        cache_.Put(cache_key, resp.value, resp.value.size() + 32,
+                   ctx.probe_io.expire_at);
+      }
+      resp.value_bytes = resp.value.size();
+      resp.actual_ru =
+          ru::ActualReadCharge(resp.value_bytes, cache_hit, ru_model_.options());
+      break;
+    }
+    case OpType::kHGet: {
+      resp.status = ctx.probe_status;
+      resp.value = std::move(ctx.probe_value);
+      resp.value_bytes = resp.value.size();
+      resp.actual_ru =
+          ru::ActualReadCharge(resp.value_bytes, cache_hit, ru_model_.options());
+      break;
+    }
+    case OpType::kHLen: {
+      resp.status = ctx.probe_status;
+      resp.value = std::move(ctx.probe_value);
+      resp.value_bytes = 8;
+      resp.actual_ru = 1.0;  // Metadata-only cost (Section 4.1).
+      break;
+    }
+    case OpType::kHGetAll: {
+      resp.status = ctx.probe_status;
+      resp.value = std::move(ctx.probe_value);
+      if (!cache_hit && resp.status.ok()) {
+        cache_.Put(cache_key, resp.value, resp.value.size() + 32,
+                   ctx.probe_io.expire_at);
+        ru_model_.RecordHashShape(ctx.probe_hash_fields, resp.value.size());
+      }
+      resp.value_bytes = resp.value.size();
+      // HGETALL = HLen stage + scan stage.
+      resp.actual_ru = 1.0 + ru::ActualReadCharge(resp.value_bytes, cache_hit,
+                                                  ru_model_.options());
+      break;
+    }
+    case OpType::kSet: {
+      resp.status = rep.engine->Put(req.key, req.value, req.ttl);
+      resp.value_bytes = req.value.size();
+      resp.actual_ru = ru::ActualWriteCharge(resp.value_bytes,
+                                             req.replicas,
+                                             ru_model_.options());
+      // Write-through: the node cache carries the new value so hot
+      // read-after-write keys keep hitting.
+      if (resp.status.ok()) {
+        Micros expire_at = req.ttl > 0 ? clock_->NowMicros() + req.ttl : 0;
+        cache_.Put(cache_key, req.value, req.value.size() + 32, expire_at);
+      } else {
+        cache_.Erase(cache_key);
+      }
+      break;
+    }
+    case OpType::kDel: {
+      resp.status = rep.engine->Delete(req.key);
+      resp.value_bytes = req.key.size();
+      resp.actual_ru = ru::ActualWriteCharge(resp.value_bytes,
+                                             req.replicas,
+                                             ru_model_.options());
+      cache_.Erase(cache_key);
+      break;
+    }
+    case OpType::kHSet: {
+      resp.status = rep.engine->HSet(req.key, req.field, req.value);
+      resp.value_bytes = req.field.size() + req.value.size();
+      resp.actual_ru = ru::ActualWriteCharge(resp.value_bytes,
+                                             req.replicas,
+                                             ru_model_.options());
+      cache_.Erase(cache_key);
+      break;
+    }
+    case OpType::kExpire: {
+      resp.status = rep.engine->Expire(req.key, req.ttl);
+      resp.value_bytes = 8;
+      resp.actual_ru = 1.0;
+      break;
+    }
+  }
+
+  // Background flush/compaction writes triggered by this operation are
+  // charged to the disk (they congest it) but not to this request's
+  // latency.
+  uint64_t flushed_after = rep.engine->stats().flushed_bytes +
+                           rep.engine->stats().compaction_write_bytes;
+  if (flushed_after > flushed_before) {
+    int blocks = static_cast<int>(
+        (flushed_after - flushed_before + kDiskBlockBytes - 1) /
+        kDiskBlockBytes);
+    disk_.ChargeWrite(blocks);
+  }
+
+  resp.served_by = cache_hit ? ServedBy::kNodeCache : served_by;
+  if (IsReadOp(req.op) && ctx.probed && ctx.probe_io.expire_at > 0) {
+    Micros remaining = ctx.probe_io.expire_at - clock_->NowMicros();
+    resp.ttl_remaining = remaining > 0 ? remaining : 1;
+  }
+
+  // Settle the difference between the admission estimate and the actual
+  // charge against the partition's bucket.
+  rep.quota->SettleActual(req.estimated_ru, resp.actual_ru);
+  tenant_ru_this_tick_[req.tenant] += resp.actual_ru;
+  rep.ru_this_tick += resp.actual_ru;
+
+  // Latency: base CPU service inflated by an M/M/1-style queueing factor
+  // at high CPU utilization, plus whole ticks spent deferred (backlog)
+  // and any disk service time. Sub-millisecond at light load; tens of
+  // milliseconds near saturation; seconds only once the node is
+  // genuinely backlogged across ticks.
+  double util = std::min(0.98, tick_stats_.wfq.cpu_ru_used /
+                                   std::max(1.0, options_.wfq.cpu_budget_ru));
+  Micros queueing = static_cast<Micros>(
+      static_cast<double>(options_.cpu_service_micros) * 2.0 * util /
+      (1.0 - util));
+  resp.latency = options_.cpu_service_micros + queueing +
+                 static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond +
+                 extra_latency;
+  return resp;
+}
+
+void DataNode::CompleteRequest(const sched::SchedRequest& sreq,
+                               sched::SchedOutcome outcome) {
+  auto pit = pending_.find(sreq.req_id);
+  if (pit == pending_.end()) return;
+  PendingContext& ctx = pit->second;
+  PartitionReplica& rep =
+      replicas_[ReplicaKey(ctx.req.tenant, ctx.req.partition)];
+
+  ServedBy served_by = ServedBy::kNodeCpu;
+  Micros extra_latency = 0;
+  switch (outcome) {
+    case sched::SchedOutcome::kServedFromCache:
+      served_by = ServedBy::kNodeCache;
+      tick_stats_.cache_hits++;
+      break;
+    case sched::SchedOutcome::kServedFromCpu:
+      served_by = ServedBy::kNodeCpu;
+      break;
+    case sched::SchedOutcome::kServedFromDisk:
+      served_by = ServedBy::kDisk;
+      extra_latency = disk_.ChargeRead(std::max(1, sreq.io_blocks));
+      tick_stats_.disk_served++;
+      break;
+    case sched::SchedOutcome::kDeferred:
+      return;  // Still queued; not completed this tick.
+  }
+
+  NodeResponse resp = ExecuteOnEngine(ctx, rep, served_by, extra_latency);
+  tick_stats_.completed++;
+  tick_stats_.cpu_ru_used += resp.actual_ru;
+  responses_.push_back(std::move(resp));
+  pending_.erase(pit);
+}
+
+void DataNode::Tick() {
+  disk_.ResetWindow();
+
+  // CPU burned on rejections shrinks the WFQ's budget this tick.
+  sched::DualWfqOptions wfq_opts = options_.wfq;
+  wfq_opts.cpu_budget_ru = std::max(
+      options_.wfq.cpu_budget_ru * 0.05,
+      options_.wfq.cpu_budget_ru - pending_reject_ru_);
+  tick_stats_.reject_cpu_ru = pending_reject_ru_;
+  pending_reject_ru_ = 0;
+  wfq_.set_options(wfq_opts);
+
+  tick_stats_.wfq = wfq_.RunTick(
+      [this](const sched::SchedRequest& r) { return ProbeRequest(r); },
+      [this](const sched::SchedRequest& r, sched::SchedOutcome o) {
+        CompleteRequest(r, o);
+      });
+
+  // Anything still pending waited a full tick; requests beyond the queue
+  // deadline fail now (their WFQ entries are lazily discarded when the
+  // scheduler reaches them).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingContext& ctx = it->second;
+    ctx.wait_ticks++;
+    if (ctx.wait_ticks > options_.queue_timeout_ticks) {
+      NodeResponse resp;
+      resp.req_id = ctx.req.req_id;
+      resp.tenant = ctx.req.tenant;
+      resp.partition = ctx.req.partition;
+      resp.op = ctx.req.op;
+      resp.key = ctx.req.key;
+      resp.status = Status::ResourceExhausted("queue deadline exceeded");
+      resp.served_by = ServedBy::kRejected;
+      resp.latency = static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond;
+      resp.background_refresh = ctx.req.background_refresh;
+      responses_.push_back(std::move(resp));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Fold per-replica tick RU into the EWMA the rescheduler reads.
+  constexpr double kRuEwmaAlpha = 0.2;
+  for (auto& [key, rep] : replicas_) {
+    rep.ru_rate = kRuEwmaAlpha * rep.ru_this_tick +
+                  (1 - kRuEwmaAlpha) * rep.ru_rate;
+    rep.ru_this_tick = 0;
+  }
+
+  last_tick_tenant_ru_ = std::move(tenant_ru_this_tick_);
+  tenant_ru_this_tick_.clear();
+}
+
+std::vector<NodeResponse> DataNode::TakeResponses() {
+  std::vector<NodeResponse> out;
+  out.swap(responses_);
+  return out;
+}
+
+NodeTickStats DataNode::TakeTickStats() {
+  NodeTickStats out = tick_stats_;
+  tick_stats_ = NodeTickStats{};
+  return out;
+}
+
+}  // namespace node
+}  // namespace abase

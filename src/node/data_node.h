@@ -1,0 +1,189 @@
+// DataNode — paper Section 3.2 (Data Plane) and Figure 2.
+//
+// One DataNode owns a disk (DiskModel), a size-aware cache (SA-LRU), a
+// four-class dual-layer WFQ, and a set of partition replicas, each backed
+// by its own LSM engine and guarded by a partition quota at the request
+// queue entry point. The node runs in discrete one-second ticks driven by
+// the cluster simulator: requests submitted during a tick are admitted (or
+// rejected) immediately, scheduled by the WFQ when the tick runs, and
+// their responses drained by the caller afterwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/sa_lru.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/types.h"
+#include "node/request.h"
+#include "quota/quota.h"
+#include "ru/request_unit.h"
+#include "sched/dual_layer_wfq.h"
+#include "storage/disk_model.h"
+#include "storage/lsm_engine.h"
+
+namespace abase {
+namespace node {
+
+/// Per-node configuration. CPU per-tick budget lives in `wfq`
+/// (cpu_budget_ru) and cache sizing in `cache` (capacity_bytes).
+struct DataNodeOptions {
+  double ru_capacity = 12000;  ///< Nominal RU capacity (rescheduler denominator).
+  uint64_t storage_capacity = 64ull << 30;
+  /// CPU RU burned rejecting one over-quota request at the request queue.
+  /// This is why unthrottled bursts hurt co-tenants (Figure 6): the node
+  /// pays to say "no".
+  double reject_cpu_ru = 0.25;
+  /// Requests still queued after this many ticks fail with a queue
+  /// deadline error instead of waiting forever (bounded backlog).
+  int queue_timeout_ticks = 2;
+  Micros cpu_service_micros = 150;  ///< Base CPU service time per request.
+  sched::DualWfqOptions wfq;
+  storage::DiskOptions disk;
+  storage::LsmOptions lsm;
+  cache::SaLruOptions cache;
+  int replicas = 3;  ///< Replication factor used for write RU charging.
+};
+
+/// A partition replica hosted on this node.
+struct PartitionReplica {
+  TenantId tenant = 0;
+  PartitionId partition = 0;
+  double partition_quota_ru = 1000;  ///< Fair share (tenant quota / #parts).
+  bool is_primary = true;
+  std::unique_ptr<storage::LsmEngine> engine;
+  std::unique_ptr<quota::PartitionQuota> quota;
+  double ru_this_tick = 0;  ///< RU served in the current tick.
+  double ru_rate = 0;       ///< EWMA of RU/s (rescheduler load input).
+};
+
+/// Node-level counters for one tick (drained with TakeTickStats).
+struct NodeTickStats {
+  uint64_t submitted = 0;
+  uint64_t rejected_quota = 0;  ///< Partition-quota rejections.
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t disk_served = 0;
+  double cpu_ru_used = 0;
+  double reject_cpu_ru = 0;
+  sched::TickStats wfq;
+};
+
+/// A single simulated DataNode.
+class DataNode {
+ public:
+  DataNode(NodeId id, DataNodeOptions options, const Clock* clock);
+
+  // -- Topology -------------------------------------------------------------
+
+  /// Places a replica of (tenant, partition) on this node.
+  void AddReplica(TenantId tenant, PartitionId partition,
+                  double partition_quota_ru, bool is_primary);
+
+  /// Drops a replica; returns false if not hosted here.
+  bool RemoveReplica(TenantId tenant, PartitionId partition);
+
+  bool HasReplica(TenantId tenant, PartitionId partition) const;
+
+  /// Updates the partition quota after tenant scaling.
+  void SetPartitionQuota(TenantId tenant, PartitionId partition,
+                         double partition_quota_ru);
+
+  /// Enables/disables partition-quota admission (Figure 7 ablation).
+  void SetPartitionQuotaEnforcement(bool enabled);
+
+  // -- Request path ---------------------------------------------------------
+
+  /// Admits `req` into the request queue. Over-quota requests are rejected
+  /// here (burning reject_cpu_ru of the node's CPU) and produce an
+  /// immediate Throttled response.
+  void Submit(const NodeRequest& req);
+
+  /// Runs one scheduling tick: WFQ over everything admitted so far.
+  void Tick();
+
+  /// Responses completed since the last drain.
+  std::vector<NodeResponse> TakeResponses();
+
+  /// Stats of the last tick.
+  NodeTickStats TakeTickStats();
+
+  // -- Introspection --------------------------------------------------------
+
+  NodeId id() const { return id_; }
+  const DataNodeOptions& options() const { return options_; }
+
+  /// Availability zone this node lives in (paper Section 3.1: partition
+  /// replicas spread across AZs). Assigned by the deployment.
+  uint32_t az() const { return az_; }
+  void set_az(uint32_t az) { az_ = az; }
+  size_t replica_count() const { return replicas_.size(); }
+  const cache::SaLruCache& data_cache() const { return cache_; }
+  storage::DiskModel& disk() { return disk_; }
+
+  /// Bytes of data stored across all replicas on this node.
+  uint64_t StoredBytes() const;
+
+  /// Sum of hosted partition quotas (denominator of wPartition).
+  double TotalPartitionQuota() const;
+
+  /// All replicas hosted (for the rescheduler).
+  std::vector<const PartitionReplica*> Replicas() const;
+
+  storage::LsmEngine* EngineFor(TenantId tenant, PartitionId partition);
+
+  /// Per-tenant RU served in the last completed tick (for load metrics).
+  const std::map<TenantId, double>& LastTickTenantRu() const {
+    return last_tick_tenant_ru_;
+  }
+
+ private:
+  struct PendingContext {
+    NodeRequest req;
+    Micros admitted_at = 0;
+    int wait_ticks = 0;
+    // Engine read outcome captured at probe time so the completion stage
+    // does not re-execute (and double-count) the read.
+    bool probed = false;
+    Status probe_status;
+    std::string probe_value;       ///< Payload (serialized for HGETALL).
+    uint64_t probe_hash_fields = 0;
+    storage::ReadIo probe_io;
+  };
+
+  static uint64_t ReplicaKey(TenantId tenant, PartitionId partition) {
+    return (static_cast<uint64_t>(tenant) << 32) | partition;
+  }
+
+  sched::CacheProbe ProbeRequest(const sched::SchedRequest& sreq);
+  void CompleteRequest(const sched::SchedRequest& sreq,
+                       sched::SchedOutcome outcome);
+  NodeResponse ExecuteOnEngine(PendingContext& ctx, PartitionReplica& rep,
+                               ServedBy served_by, Micros extra_latency);
+  std::string CacheKeyFor(const NodeRequest& req) const;
+
+  NodeId id_;
+  uint32_t az_ = 0;
+  DataNodeOptions options_;
+  const Clock* clock_;
+  cache::SaLruCache cache_;
+  storage::DiskModel disk_;
+  sched::DualLayerWfq wfq_;
+  std::map<uint64_t, PartitionReplica> replicas_;
+  ru::RuEstimator ru_model_;
+  bool quota_enforcement_ = true;
+
+  std::map<uint64_t, PendingContext> pending_;  ///< By req_id.
+  std::vector<NodeResponse> responses_;
+  NodeTickStats tick_stats_;
+  std::map<TenantId, double> tenant_ru_this_tick_;
+  std::map<TenantId, double> last_tick_tenant_ru_;
+  double pending_reject_ru_ = 0;  ///< CPU burned on rejections this tick.
+};
+
+}  // namespace node
+}  // namespace abase

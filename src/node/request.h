@@ -1,0 +1,75 @@
+// Request/response structs exchanged between the proxy plane and the data
+// plane (in production: the Redis-protocol payload; here: in-process
+// structs carrying the same routing and cost information).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace abase {
+
+/// A client operation as issued by a tenant application.
+struct ClientRequest {
+  uint64_t req_id = 0;
+  TenantId tenant = 0;
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string field;  ///< Hash commands only.
+  std::string value;  ///< Writes only.
+  Micros ttl = 0;     ///< SET/EXPIRE.
+  Micros issued_at = 0;
+  /// When true, the simulator records this request's final outcome so a
+  /// synchronous caller (abase::Client) can retrieve it.
+  bool track_outcome = false;
+};
+
+/// A request forwarded by a proxy to a DataNode.
+struct NodeRequest {
+  uint64_t req_id = 0;
+  TenantId tenant = 0;
+  PartitionId partition = 0;
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string field;
+  std::string value;
+  Micros ttl = 0;
+  Micros issued_at = 0;
+  double estimated_ru = 1.0;       ///< Proxy-side cache-aware estimate.
+  uint64_t value_size_hint = 0;    ///< For WFQ small/large classification.
+  bool background_refresh = false; ///< AU-LRU active-update re-fetch.
+  int replicas = 3;                ///< Tenant replication (write RU fan-out).
+};
+
+/// Where a completed request was ultimately served.
+enum class ServedBy {
+  kProxyCache,
+  kNodeCache,
+  kNodeCpu,   ///< Write absorbed by memtable / metadata op.
+  kDisk,
+  kRejected,  ///< Throttled at some admission point.
+};
+
+/// A DataNode's reply to a forwarded request.
+struct NodeResponse {
+  uint64_t req_id = 0;
+  TenantId tenant = 0;
+  PartitionId partition = 0;
+  OpType op = OpType::kGet;
+  Status status;
+  std::string key;
+  std::string value;          ///< Read payload (value or serialized hash).
+  uint64_t value_bytes = 0;   ///< Actual bytes returned/written.
+  double actual_ru = 0;       ///< Charge computed by the node.
+  Micros latency = 0;         ///< Data-plane service latency.
+  ServedBy served_by = ServedBy::kNodeCpu;
+  bool background_refresh = false;
+  /// Remaining engine TTL of a read value (0 = none/unknown). Caps how
+  /// long the proxy may cache it.
+  Micros ttl_remaining = 0;
+};
+
+}  // namespace abase

@@ -1,0 +1,80 @@
+// Limited fan-out hash routing — paper Section 4.4 (client side).
+//
+// A tenant's N proxies are divided into n ProxyGroups. Each request is
+// hashed by key to one group, then sent to a random proxy inside that
+// group. Every proxy therefore sees 1/n of the key space: larger n gives
+// each proxy a denser view of its keys (higher cache hit ratio); smaller n
+// spreads a hot key across more proxies (N/n of them), relieving hot-key
+// pressure. n tunes that trade-off.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace abase {
+namespace proxy {
+
+/// Routing policy for a tenant's proxy fleet.
+enum class RoutingMode {
+  kRandom,         ///< Baseline: uniform random proxy (no key affinity).
+  kLimitedFanout,  ///< Paper: hash to a group, random proxy within it.
+  kFullHash,       ///< n == N: one proxy per key (max hit ratio, max
+                   ///< hot-key concentration).
+};
+
+/// Stateless router from key to proxy index for one tenant.
+class LimitedFanoutRouter {
+ public:
+  /// `num_proxies` = N, `num_groups` = n (clamped into [1, N]).
+  LimitedFanoutRouter(uint32_t num_proxies, uint32_t num_groups,
+                      RoutingMode mode = RoutingMode::kLimitedFanout)
+      : num_proxies_(num_proxies),
+        num_groups_(num_groups == 0 ? 1 : num_groups),
+        mode_(mode) {
+    assert(num_proxies_ >= 1);
+    if (num_groups_ > num_proxies_) num_groups_ = num_proxies_;
+    if (mode_ == RoutingMode::kFullHash) num_groups_ = num_proxies_;
+  }
+
+  /// Picks the destination proxy for `key`.
+  ProxyId Route(std::string_view key, Rng& rng) const {
+    if (mode_ == RoutingMode::kRandom) {
+      return static_cast<ProxyId>(rng.NextUint64(num_proxies_));
+    }
+    uint32_t group = static_cast<uint32_t>(Fnv1a64(key) % num_groups_);
+    // Proxies are striped across groups: group g owns proxies
+    // {g, g+n, g+2n, ...}, so group sizes differ by at most one.
+    uint32_t group_size = GroupSize(group);
+    uint32_t member = static_cast<uint32_t>(rng.NextUint64(group_size));
+    return static_cast<ProxyId>(group + member * num_groups_);
+  }
+
+  /// Number of proxies a single key's traffic can reach (hot-key spread).
+  uint32_t FanoutPerKey() const {
+    return mode_ == RoutingMode::kRandom ? num_proxies_ : GroupSize(0);
+  }
+
+  uint32_t num_proxies() const { return num_proxies_; }
+  uint32_t num_groups() const { return num_groups_; }
+  RoutingMode mode() const { return mode_; }
+
+ private:
+  uint32_t GroupSize(uint32_t group) const {
+    // Striped layout: groups with index < (N mod n) hold one extra proxy.
+    uint32_t base = num_proxies_ / num_groups_;
+    uint32_t extra = num_proxies_ % num_groups_;
+    return base + (group < extra ? 1 : 0);
+  }
+
+  uint32_t num_proxies_;
+  uint32_t num_groups_;
+  RoutingMode mode_;
+};
+
+}  // namespace proxy
+}  // namespace abase

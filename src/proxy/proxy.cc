@@ -1,0 +1,178 @@
+#include "proxy/proxy.h"
+
+#include <cassert>
+#include <utility>
+
+namespace abase {
+namespace proxy {
+
+Proxy::Proxy(ProxyId id, TenantId tenant, double proxy_quota_ru,
+             ProxyOptions options, const Clock* clock,
+             std::function<PartitionId(const std::string&)> partition_of)
+    : id_(id),
+      tenant_(tenant),
+      options_(options),
+      clock_(clock),
+      partition_of_(std::move(partition_of)),
+      cache_(options.cache, clock),
+      quota_(proxy_quota_ru, clock),
+      ru_(options.ru),
+      cache_enabled_(options.cache_enabled),
+      quota_enabled_(options.quota_enabled) {
+  assert(clock_ != nullptr);
+}
+
+std::string Proxy::CacheKeyFor(TenantId tenant,
+                               const std::string& key) const {
+  std::string out = std::to_string(tenant);
+  out += '|';
+  out += key;
+  return out;
+}
+
+double Proxy::EstimateRu(const ClientRequest& req) const {
+  switch (req.op) {
+    case OpType::kSet:
+      return ru_.WriteRu(req.value.size(), options_.replicas);
+    case OpType::kHSet:
+      return ru_.WriteRu(req.field.size() + req.value.size(),
+                         options_.replicas);
+    case OpType::kDel:
+      return ru_.WriteRu(req.key.size(), options_.replicas);
+    case OpType::kExpire:
+      return 1.0;
+    case OpType::kGet:
+    case OpType::kHGet:
+      return ru_.EstimateReadRu();
+    case OpType::kHLen:
+      return ru_.EstimateHLenRu();
+    case OpType::kHGetAll:
+      return ru_.EstimateHGetAllRu();
+  }
+  return 1.0;
+}
+
+ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
+  stats_.requests++;
+  ProxyHandleResult out;
+
+  // 1. Proxy cache: hits return immediately — no throttling, no charge
+  //    (Section 4.1: "requests that hit the proxy cache are directly
+  //    returned without throttling or charges").
+  if (cache_enabled_ && req.op == OpType::kGet) {
+    cache::AuLookup lk = cache_.Get(CacheKeyFor(req.tenant, req.key));
+    if (lk.hit) {
+      stats_.cache_hits++;
+      out.action = ProxyHandleResult::Action::kServedFromCache;
+      out.value = std::move(lk.value);
+      out.latency = options_.cache_hit_latency;
+      return out;
+    }
+  }
+
+  // 2. Proxy quota: block excess traffic here, before it can consume
+  //    shared DataNode resources.
+  double estimate = EstimateRu(req);
+  if (quota_enabled_ && !quota_.TryAdmit(estimate)) {
+    stats_.throttled++;
+    out.action = ProxyHandleResult::Action::kThrottled;
+    out.latency = options_.cache_hit_latency;  // Fast local rejection.
+    return out;
+  }
+  stats_.admitted_ru += estimate;
+  admitted_since_report_ += estimate;
+
+  // 3. Forward to the data plane.
+  stats_.forwarded++;
+  NodeRequest fwd;
+  fwd.req_id = req.req_id;
+  fwd.tenant = req.tenant;
+  fwd.partition = partition_of_(req.key);
+  fwd.op = req.op;
+  fwd.key = req.key;
+  fwd.field = req.field;
+  fwd.value = req.value;
+  fwd.ttl = req.ttl;
+  fwd.issued_at = req.issued_at;
+  fwd.estimated_ru = estimate;
+  fwd.value_size_hint = IsReadOp(req.op)
+                            ? static_cast<uint64_t>(ru_.ExpectedReadBytes())
+                            : req.value.size();
+  fwd.replicas = options_.replicas;
+  inflight_estimates_[req.req_id] = estimate;
+  out.action = ProxyHandleResult::Action::kForward;
+  out.forward = std::move(fwd);
+  return out;
+}
+
+void Proxy::OnResponse(const NodeResponse& resp) {
+  // Settle estimate vs. actual.
+  auto it = inflight_estimates_.find(resp.req_id);
+  if (it != inflight_estimates_.end()) {
+    if (quota_enabled_ && resp.served_by != ServedBy::kRejected) {
+      quota_.SettleActual(it->second, resp.actual_ru);
+    }
+    inflight_estimates_.erase(it);
+  }
+  stats_.charged_ru += resp.actual_ru;
+
+  // Update the cache-aware read estimators from data-plane outcomes.
+  // Only genuine DataNode-cache hits count as hits: they are the
+  // responses whose charge carried the cache discount. kNodeCpu covers
+  // memtable/bloom-only reads, which are charged at full read cost.
+  if (IsReadOp(resp.op) && resp.served_by != ServedBy::kRejected) {
+    ru::ReadServedBy served = resp.served_by == ServedBy::kNodeCache
+                                  ? ru::ReadServedBy::kDataNodeCache
+                                  : ru::ReadServedBy::kDisk;
+    if (resp.op == OpType::kGet || resp.op == OpType::kHGet) {
+      ru_.ChargeRead(resp.value_bytes, served);
+    } else if (resp.op == OpType::kHGetAll) {
+      ru_.ChargeHGetAll(resp.value_bytes, served);
+    }
+  }
+
+  // Fill the proxy cache with successful GET payloads (including
+  // background refreshes, which renew the TTL). A value with an engine
+  // TTL may not be cached past its expiry.
+  if (cache_enabled_ && resp.op == OpType::kGet && resp.status.ok()) {
+    Micros ttl = 0;  // Default TTL.
+    if (resp.ttl_remaining > 0) {
+      ttl = std::min(resp.ttl_remaining, options_.cache.default_ttl);
+    }
+    cache_.Put(CacheKeyFor(resp.tenant, resp.key), resp.value,
+               resp.value.size() + 32, ttl);
+  }
+}
+
+std::vector<NodeRequest> Proxy::TakeRefreshFetches() {
+  std::vector<NodeRequest> out;
+  if (!cache_enabled_) return out;
+  for (std::string& cache_key : cache_.TakeRefreshQueue()) {
+    // Cache keys are "tenant|key"; strip the prefix.
+    size_t sep = cache_key.find('|');
+    if (sep == std::string::npos) continue;
+    std::string key = cache_key.substr(sep + 1);
+    NodeRequest req;
+    req.req_id = refresh_req_id_++;
+    req.tenant = tenant_;
+    req.partition = partition_of_(key);
+    req.op = OpType::kGet;
+    req.key = std::move(key);
+    req.issued_at = clock_->NowMicros();
+    req.estimated_ru = ru_.EstimateReadRu();
+    req.value_size_hint = static_cast<uint64_t>(ru_.ExpectedReadBytes());
+    req.background_refresh = true;
+    stats_.refresh_fetches++;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+double Proxy::ReportAndResetAdmittedRu() {
+  double out = admitted_since_report_;
+  admitted_since_report_ = 0;
+  return out;
+}
+
+}  // namespace proxy
+}  // namespace abase

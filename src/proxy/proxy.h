@@ -1,0 +1,132 @@
+// Tenant proxy — paper Sections 3.2, 4.2 and 4.4.
+//
+// Each tenant owns a fleet of proxies. A proxy:
+//  * serves reads from its AU-LRU cache (free: no quota charge, no
+//    data-plane traffic);
+//  * enforces the proxy-level quota with 2x autonomous headroom,
+//    rejecting excess traffic *before* it can reach shared DataNodes;
+//  * estimates request RUs cache-awarely for admission control;
+//  * actively refreshes hot cache entries that approach expiry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/au_lru.h"
+#include "common/clock.h"
+#include "common/types.h"
+#include "node/request.h"
+#include "quota/quota.h"
+#include "ru/request_unit.h"
+
+namespace abase {
+namespace proxy {
+
+/// Per-proxy configuration.
+struct ProxyOptions {
+  cache::AuLruOptions cache;
+  ru::RuOptions ru;
+  bool cache_enabled = true;
+  bool quota_enabled = true;
+  Micros cache_hit_latency = 80;    ///< Client-visible proxy-hit latency.
+  Micros forward_hop_latency = 120; ///< Added per data-plane round trip.
+  int replicas = 3;                 ///< For write RU estimation.
+};
+
+/// Cumulative proxy counters.
+struct ProxyStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t throttled = 0;
+  uint64_t forwarded = 0;
+  uint64_t refresh_fetches = 0;
+  double admitted_ru = 0;  ///< Estimated RU admitted through the quota.
+  double charged_ru = 0;   ///< Actual RU charged after settlement.
+};
+
+/// What the proxy decided to do with a client request.
+struct ProxyHandleResult {
+  enum class Action { kServedFromCache, kThrottled, kForward };
+  Action action = Action::kForward;
+  NodeRequest forward;  ///< Valid when action == kForward.
+  std::string value;    ///< Valid when served from cache.
+  Micros latency = 0;   ///< Client-visible latency for local outcomes.
+};
+
+/// One proxy instance.
+class Proxy {
+ public:
+  /// `partition_of` maps a key to its partition (routing metadata pulled
+  /// from the MetaServer).
+  Proxy(ProxyId id, TenantId tenant, double proxy_quota_ru,
+        ProxyOptions options, const Clock* clock,
+        std::function<PartitionId(const std::string&)> partition_of);
+
+  /// Handles one client request: cache → quota → forward.
+  ProxyHandleResult Handle(const ClientRequest& req);
+
+  /// Ingests a data-plane response: settles the quota against the actual
+  /// charge, updates RU estimators, and fills the cache.
+  void OnResponse(const NodeResponse& resp);
+
+  /// Background re-fetches for cache entries flagged by AU-LRU's active
+  /// update. The caller forwards these to the data plane like normal
+  /// requests (they are marked background_refresh).
+  std::vector<NodeRequest> TakeRefreshFetches();
+
+  /// Drops the cached value of `key` (write invalidation: the simulator
+  /// broadcasts this to the tenant's proxies when a write is routed).
+  void InvalidateCache(const std::string& key) {
+    cache_.Erase(CacheKeyFor(tenant_, key));
+  }
+
+  // -- Control-plane hooks ---------------------------------------------------
+
+  /// MetaServer clamp directive (asynchronous traffic control).
+  void SetClamped(bool clamped) { quota_.SetClamped(clamped); }
+  bool clamped() const { return quota_.clamped(); }
+
+  /// Re-bases the per-proxy quota after tenant scaling.
+  void SetBaseQuota(double proxy_quota_ru) {
+    quota_.SetBaseQuota(proxy_quota_ru);
+  }
+
+  /// RU admitted since the last report (the MetaServer polls this).
+  double ReportAndResetAdmittedRu();
+
+  // -- Introspection ----------------------------------------------------------
+
+  ProxyId id() const { return id_; }
+  TenantId tenant() const { return tenant_; }
+  const ProxyStats& stats() const { return stats_; }
+  const cache::AuLruCache& cache() const { return cache_; }
+  const ru::RuEstimator& ru_estimator() const { return ru_; }
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  void set_quota_enabled(bool enabled) { quota_enabled_ = enabled; }
+
+ private:
+  double EstimateRu(const ClientRequest& req) const;
+  std::string CacheKeyFor(TenantId tenant, const std::string& key) const;
+
+  ProxyId id_;
+  TenantId tenant_;
+  ProxyOptions options_;
+  const Clock* clock_;
+  std::function<PartitionId(const std::string&)> partition_of_;
+  cache::AuLruCache cache_;
+  quota::ProxyQuota quota_;
+  ru::RuEstimator ru_;
+  bool cache_enabled_;
+  bool quota_enabled_;
+  ProxyStats stats_;
+  double admitted_since_report_ = 0;
+  /// Estimates for in-flight forwards, keyed by req_id (for settlement).
+  std::unordered_map<uint64_t, double> inflight_estimates_;
+  uint64_t refresh_req_id_ = (1ull << 62);  ///< Id space for refreshes.
+};
+
+}  // namespace proxy
+}  // namespace abase

@@ -1,0 +1,138 @@
+// Hierarchical request restriction — paper Section 4.2.
+//
+// Proxy level: each proxy receives proxy_quota = tenant_quota / #proxies
+// and may autonomously serve up to 2x that (asynchronous control, no
+// per-request round trip to the MetaServer). The MetaServer monitors
+// aggregate tenant traffic and, when it exceeds the tenant quota, directs
+// proxies back to their standard 1x quota.
+//
+// Partition level: partition_quota = tenant_quota / #partitions; a
+// DataNode rejects, at the request-queue entry point, traffic that would
+// push a partition beyond 3x its partition_quota (hash partitioning keeps
+// per-partition traffic roughly even, so 3x headroom covers normal skew).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/clock.h"
+#include "common/types.h"
+#include "quota/token_bucket.h"
+
+namespace abase {
+namespace quota {
+
+/// Autonomy multiplier a proxy enjoys until the MetaServer clamps it.
+constexpr double kProxyAutonomyFactor = 2.0;
+/// Partition ceiling relative to its fair share.
+constexpr double kPartitionQuotaFactor = 3.0;
+
+/// Per-proxy RU limiter.
+class ProxyQuota {
+ public:
+  /// `proxy_quota_ru`: this proxy's fair share (tenant quota / #proxies).
+  ProxyQuota(double proxy_quota_ru, const Clock* clock)
+      : base_quota_(proxy_quota_ru),
+        clamped_(false),
+        bucket_(proxy_quota_ru * kProxyAutonomyFactor, 1.0, clock) {}
+
+  /// Admission check for an estimated request cost.
+  bool TryAdmit(double estimated_ru) { return bucket_.TryConsume(estimated_ru); }
+
+  /// Settles the difference between estimate and actual charge.
+  void SettleActual(double estimated_ru, double actual_ru) {
+    bucket_.ForceConsume(actual_ru - estimated_ru);
+  }
+
+  /// MetaServer direction: clamp to standard quota (true) or restore the
+  /// 2x autonomous ceiling (false).
+  void SetClamped(bool clamped) {
+    if (clamped == clamped_) return;
+    clamped_ = clamped;
+    bucket_.SetRate(clamped ? base_quota_
+                            : base_quota_ * kProxyAutonomyFactor);
+  }
+
+  /// Re-bases the fair share after tenant scaling or proxy fleet resize.
+  void SetBaseQuota(double proxy_quota_ru) {
+    base_quota_ = proxy_quota_ru;
+    bucket_.SetRate(clamped_ ? base_quota_
+                             : base_quota_ * kProxyAutonomyFactor);
+  }
+
+  bool clamped() const { return clamped_; }
+  double base_quota() const { return base_quota_; }
+
+ private:
+  double base_quota_;
+  bool clamped_;
+  TokenBucket bucket_;
+};
+
+/// Per-partition RU limiter enforced at the DataNode request queue.
+/// Sustained admission matches the partition quota; the bucket holds 3x
+/// depth so a partition "never surpasses three times its partition_quota"
+/// instantaneously but converges to 1x under sustained pressure (this is
+/// why Figure 7 shows tenant 1 capped at exactly the partition quota).
+class PartitionQuota {
+ public:
+  PartitionQuota(double partition_quota_ru, const Clock* clock)
+      : base_quota_(partition_quota_ru),
+        enabled_(true),
+        bucket_(partition_quota_ru, kPartitionQuotaFactor, clock) {}
+
+  /// Admission at the queue entry point. When disabled (for the Figure 7
+  /// ablation), everything is admitted.
+  bool TryAdmit(double estimated_ru) {
+    if (!enabled_) return true;
+    return bucket_.TryConsume(estimated_ru);
+  }
+
+  void SettleActual(double estimated_ru, double actual_ru) {
+    if (!enabled_) return;
+    bucket_.ForceConsume(actual_ru - estimated_ru);
+  }
+
+  void SetBaseQuota(double partition_quota_ru) {
+    base_quota_ = partition_quota_ru;
+    bucket_.SetRate(partition_quota_ru);
+  }
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  double base_quota() const { return base_quota_; }
+
+ private:
+  double base_quota_;
+  bool enabled_;
+  TokenBucket bucket_;
+};
+
+/// MetaServer-side monitor for one tenant's proxy fleet: aggregates
+/// reported proxy traffic and decides the clamp state asynchronously
+/// (paper: "the MetaServer continuously monitors each proxy's traffic and,
+/// if exceeded, directs the proxies to revert to their standard quota").
+class TenantTrafficMonitor {
+ public:
+  /// `tenant_quota_ru`: total RU/s the tenant purchased.
+  explicit TenantTrafficMonitor(double tenant_quota_ru)
+      : tenant_quota_(tenant_quota_ru) {}
+
+  /// Ingests one monitoring interval's aggregate RU/s across all proxies
+  /// and returns the clamp directive to broadcast.
+  bool ObserveAggregateRuPerSec(double aggregate_ru_per_sec) {
+    clamped_ = aggregate_ru_per_sec > tenant_quota_;
+    return clamped_;
+  }
+
+  void SetTenantQuota(double tenant_quota_ru) { tenant_quota_ = tenant_quota_ru; }
+  double tenant_quota() const { return tenant_quota_; }
+  bool clamped() const { return clamped_; }
+
+ private:
+  double tenant_quota_;
+  bool clamped_ = false;
+};
+
+}  // namespace quota
+}  // namespace abase

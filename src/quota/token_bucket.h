@@ -1,0 +1,76 @@
+// Token bucket used by both levels of the hierarchical request restriction
+// (paper Section 4.2). Tokens are RUs; refill rate is the quota in RU/s.
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace abase {
+namespace quota {
+
+/// Continuous-refill token bucket. Deterministic given a Clock.
+class TokenBucket {
+ public:
+  /// `rate_per_sec`: sustained RU/s. `burst_seconds`: bucket depth as a
+  /// multiple of one second of quota (1.0 = classic one-second burst).
+  TokenBucket(double rate_per_sec, double burst_seconds, const Clock* clock)
+      : rate_(rate_per_sec),
+        burst_seconds_(burst_seconds),
+        clock_(clock),
+        tokens_(rate_per_sec * burst_seconds),
+        last_refill_(clock->NowMicros()) {}
+
+  /// Attempts to take `cost` tokens; returns false (and consumes nothing)
+  /// if insufficient tokens are available.
+  bool TryConsume(double cost) {
+    Refill();
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Unconditionally consumes (may drive tokens negative). Used where the
+  /// charge is only known after execution (actual read bytes). The
+  /// deficit is bounded at one bucket depth so a burst of underestimated
+  /// requests cannot starve the tenant indefinitely.
+  void ForceConsume(double cost) {
+    Refill();
+    tokens_ = std::max(tokens_ - cost, -rate_ * burst_seconds_);
+  }
+
+  /// Current token level (post-refill).
+  double Available() {
+    Refill();
+    return tokens_;
+  }
+
+  /// Changes the sustained rate; the bucket depth rescales with it.
+  void SetRate(double rate_per_sec) {
+    Refill();
+    double max_tokens = rate_per_sec * burst_seconds_;
+    rate_ = rate_per_sec;
+    tokens_ = std::min(tokens_, max_tokens);
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  void Refill() {
+    Micros now = clock_->NowMicros();
+    if (now <= last_refill_) return;
+    double elapsed_sec = static_cast<double>(now - last_refill_) /
+                         static_cast<double>(kMicrosPerSecond);
+    tokens_ = std::min(tokens_ + elapsed_sec * rate_, rate_ * burst_seconds_);
+    last_refill_ = now;
+  }
+
+  double rate_;
+  double burst_seconds_;
+  const Clock* clock_;
+  double tokens_;
+  Micros last_refill_;
+};
+
+}  // namespace quota
+}  // namespace abase

@@ -1,0 +1,139 @@
+#include "resched/pool_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace resched {
+
+void NodeModel::AddReplica(ReplicaLoad replica) {
+  ru_sum_ += replica.ru;
+  storage_sum_ += replica.storage;
+  replicas_.push_back(std::move(replica));
+}
+
+Result<ReplicaLoad> NodeModel::RemoveReplica(TenantId tenant,
+                                             PartitionId partition,
+                                             uint32_t replica_index) {
+  for (size_t i = 0; i < replicas_.size(); i++) {
+    const ReplicaLoad& r = replicas_[i];
+    if (r.tenant == tenant && r.partition == partition &&
+        r.replica_index == replica_index) {
+      ReplicaLoad out = replicas_[i];
+      ru_sum_ -= out.ru;
+      storage_sum_ -= out.storage;
+      replicas_.erase(replicas_.begin() + static_cast<ptrdiff_t>(i));
+      return out;
+    }
+  }
+  return Status::NotFound("replica not on node");
+}
+
+bool NodeModel::HasReplicaOf(TenantId tenant, PartitionId partition) const {
+  for (const ReplicaLoad& r : replicas_) {
+    if (r.tenant == tenant && r.partition == partition) return true;
+  }
+  return false;
+}
+
+size_t NodeModel::ReplicaCountOfTenant(TenantId tenant) const {
+  size_t n = 0;
+  for (const ReplicaLoad& r : replicas_) {
+    if (r.tenant == tenant) n++;
+  }
+  return n;
+}
+
+double NodeModel::UtilizationWith(Resource r, const ReplicaLoad& replica) const {
+  LoadVector sum = (r == Resource::kRu ? ru_sum_ : storage_sum_);
+  sum += (r == Resource::kRu ? replica.ru : replica.storage);
+  return sum.MaxLoad() / capacity(r);
+}
+
+double NodeModel::UtilizationWithout(Resource r,
+                                     const ReplicaLoad& replica) const {
+  LoadVector sum = (r == Resource::kRu ? ru_sum_ : storage_sum_);
+  sum -= (r == Resource::kRu ? replica.ru : replica.storage);
+  return sum.MaxLoad() / capacity(r);
+}
+
+double NodeModel::Deviation(double optimal_ru, double optimal_storage) const {
+  double dr = Utilization(Resource::kRu) - optimal_ru;
+  double ds = Utilization(Resource::kStorage) - optimal_storage;
+  return std::sqrt(dr * dr + ds * ds);
+}
+
+double NodeModel::DeviationWith(const ReplicaLoad& replica, double optimal_ru,
+                                double optimal_storage) const {
+  double dr = UtilizationWith(Resource::kRu, replica) - optimal_ru;
+  double ds = UtilizationWith(Resource::kStorage, replica) - optimal_storage;
+  return std::sqrt(dr * dr + ds * ds);
+}
+
+double NodeModel::DeviationWithout(const ReplicaLoad& replica,
+                                   double optimal_ru,
+                                   double optimal_storage) const {
+  double dr = UtilizationWithout(Resource::kRu, replica) - optimal_ru;
+  double ds =
+      UtilizationWithout(Resource::kStorage, replica) - optimal_storage;
+  return std::sqrt(dr * dr + ds * ds);
+}
+
+NodeModel* PoolModel::FindNode(NodeId id) {
+  for (NodeModel& n : nodes_) {
+    if (n.id() == id) return &n;
+  }
+  return nullptr;
+}
+
+double PoolModel::OptimalLoad(Resource r) const {
+  double load = 0, cap = 0;
+  for (const NodeModel& n : nodes_) {
+    load += n.Load(r);
+    cap += n.capacity(r);
+  }
+  return cap > 0 ? load / cap : 0;
+}
+
+double PoolModel::UtilizationStddev(Resource r) const {
+  if (nodes_.size() < 2) return 0;
+  double mean = MeanUtilization(r);
+  double acc = 0;
+  for (const NodeModel& n : nodes_) {
+    double d = n.Utilization(r) - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(nodes_.size() - 1));
+}
+
+double PoolModel::MaxUtilization(Resource r) const {
+  double m = 0;
+  for (const NodeModel& n : nodes_) m = std::max(m, n.Utilization(r));
+  return m;
+}
+
+double PoolModel::MeanUtilization(Resource r) const {
+  if (nodes_.empty()) return 0;
+  double acc = 0;
+  for (const NodeModel& n : nodes_) acc += n.Utilization(r);
+  return acc / static_cast<double>(nodes_.size());
+}
+
+size_t PoolModel::TotalReplicaCount() const {
+  size_t n = 0;
+  for (const NodeModel& node : nodes_) n += node.replicas().size();
+  return n;
+}
+
+size_t PoolModel::TenantReplicaCount(TenantId tenant) const {
+  size_t n = 0;
+  for (const NodeModel& node : nodes_) n += node.ReplicaCountOfTenant(tenant);
+  return n;
+}
+
+void PoolModel::ClearMigrationFlags() {
+  for (NodeModel& n : nodes_) n.is_migrating = false;
+}
+
+}  // namespace resched
+}  // namespace abase

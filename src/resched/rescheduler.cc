@@ -1,0 +1,292 @@
+#include "resched/rescheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace resched {
+
+NodeDivision DivideNodes(const PoolModel& pool, Resource resource,
+                         double theta) {
+  NodeDivision div;
+  double optimal = pool.OptimalLoad(resource);
+  for (const NodeModel& n : pool.nodes()) {
+    double u = n.Utilization(resource);
+    if (u <= optimal - theta) {
+      div.low.push_back(n.id());
+    } else if (u <= optimal) {
+      div.medium.push_back(n.id());
+    } else {
+      div.high.push_back(n.id());
+    }
+  }
+  return div;
+}
+
+bool IntraPoolRescheduler::CanPlace(const PoolModel& pool,
+                                    const NodeModel& dst,
+                                    const ReplicaLoad& replica,
+                                    double optimal_ru,
+                                    double optimal_storage) const {
+  // Replica safety: never co-locate two replicas of the same partition.
+  if (dst.HasReplicaOf(replica.tenant, replica.partition)) return false;
+
+  // Tenant replica-count balance: the move must not concentrate one
+  // tenant's replicas on this node.
+  size_t tenant_total = pool.TenantReplicaCount(replica.tenant);
+  size_t fair = (tenant_total + pool.nodes().size() - 1) /
+                std::max<size_t>(1, pool.nodes().size());
+  if (dst.ReplicaCountOfTenant(replica.tenant) + 1 >
+      fair + options_.tenant_balance_slack) {
+    return false;
+  }
+
+  // The destination must not itself be pushed into the high-load set:
+  // post-move utilization may reach at most optimal + theta on either
+  // resource (theta is the same division slack as S_L/S_M/S_H).
+  if (dst.UtilizationWith(Resource::kRu, replica) >
+      optimal_ru + options_.theta) {
+    return false;
+  }
+  if (dst.UtilizationWith(Resource::kStorage, replica) >
+      optimal_storage + options_.theta) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<Migration> IntraPoolRescheduler::Run(PoolModel* pool) const {
+  std::vector<Migration> executed;
+  pool->ClearMigrationFlags();
+
+  const double opt_ru = pool->OptimalLoad(Resource::kRu);
+  const double opt_sto = pool->OptimalLoad(Resource::kStorage);
+
+  for (Resource resource : {Resource::kRu, Resource::kStorage}) {
+    NodeDivision div = DivideNodes(*pool, resource, options_.theta);
+
+    for (NodeId src_id : div.high) {
+      NodeModel* src = pool->FindNode(src_id);
+      if (src == nullptr || src->is_migrating) continue;
+
+      // Find the (replica, destination) pair with the best gain.
+      double best_gain = 0;
+      const ReplicaLoad* best_replica = nullptr;
+      NodeModel* best_dst = nullptr;
+
+      for (const ReplicaLoad& re : src->replicas()) {
+        for (NodeId dst_id : div.low) {
+          NodeModel* dst = pool->FindNode(dst_id);
+          if (dst == nullptr || dst->is_migrating) continue;
+          if (!CanPlace(*pool, *dst, re, opt_ru, opt_sto)) continue;
+
+          // Migration gain: reduction of the max L2 deviation across the
+          // two nodes (paper's G).
+          double before = std::max(src->Deviation(opt_ru, opt_sto),
+                                   dst->Deviation(opt_ru, opt_sto));
+          double after =
+              std::max(src->DeviationWithout(re, opt_ru, opt_sto),
+                       dst->DeviationWith(re, opt_ru, opt_sto));
+          double gain = before - after;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_replica = &re;
+            best_dst = dst;
+          }
+        }
+      }
+
+      if (best_gain > 0 && best_replica != nullptr && best_dst != nullptr) {
+        Migration m;
+        m.tenant = best_replica->tenant;
+        m.partition = best_replica->partition;
+        m.replica_index = best_replica->replica_index;
+        m.from = src->id();
+        m.to = best_dst->id();
+        m.gain = best_gain;
+        m.driving_resource = resource;
+        auto moved =
+            src->RemoveReplica(m.tenant, m.partition, m.replica_index);
+        if (moved.ok()) {
+          best_dst->AddReplica(std::move(moved).value());
+          src->is_migrating = true;
+          best_dst->is_migrating = true;
+          executed.push_back(m);
+        }
+      }
+    }
+  }
+  return executed;
+}
+
+std::vector<Migration> IntraPoolRescheduler::RunToConvergence(
+    PoolModel* pool, size_t max_rounds) const {
+  std::vector<Migration> all;
+  for (size_t round = 0; round < max_rounds; round++) {
+    auto moves = Run(pool);
+    if (moves.empty()) break;
+    all.insert(all.end(), moves.begin(), moves.end());
+  }
+  return all;
+}
+
+std::vector<Migration> IntraPoolRescheduler::BalanceReplicaCounts(
+    PoolModel* pool) const {
+  std::vector<Migration> executed;
+  if (pool->nodes().empty()) return executed;
+
+  // For each tenant, move replicas from over-count to under-count nodes
+  // using the same gain-guarded heuristic skeleton as phase 2.
+  std::vector<TenantId> tenants;
+  for (const NodeModel& n : pool->nodes()) {
+    for (const ReplicaLoad& r : n.replicas()) {
+      if (std::find(tenants.begin(), tenants.end(), r.tenant) ==
+          tenants.end()) {
+        tenants.push_back(r.tenant);
+      }
+    }
+  }
+
+  const double opt_ru = pool->OptimalLoad(Resource::kRu);
+  const double opt_sto = pool->OptimalLoad(Resource::kStorage);
+
+  for (TenantId tenant : tenants) {
+    size_t total = pool->TenantReplicaCount(tenant);
+    size_t fair = (total + pool->nodes().size() - 1) / pool->nodes().size();
+
+    bool moved = true;
+    while (moved) {
+      moved = false;
+      // Most-loaded node for this tenant above fair share.
+      NodeModel* src = nullptr;
+      for (NodeModel& n : pool->nodes()) {
+        if (n.ReplicaCountOfTenant(tenant) > fair &&
+            (src == nullptr || n.ReplicaCountOfTenant(tenant) >
+                                   src->ReplicaCountOfTenant(tenant))) {
+          src = &n;
+        }
+      }
+      if (src == nullptr) break;
+      // Least-loaded placeable destination.
+      NodeModel* dst = nullptr;
+      const ReplicaLoad* re = nullptr;
+      for (const ReplicaLoad& candidate : src->replicas()) {
+        if (candidate.tenant != tenant) continue;
+        for (NodeModel& n : pool->nodes()) {
+          if (&n == src) continue;
+          if (n.ReplicaCountOfTenant(tenant) + 1 >=
+              src->ReplicaCountOfTenant(tenant)) {
+            continue;  // Would not improve the balance.
+          }
+          if (n.HasReplicaOf(tenant, candidate.partition)) continue;
+          if (dst == nullptr || n.ReplicaCountOfTenant(tenant) <
+                                    dst->ReplicaCountOfTenant(tenant)) {
+            dst = &n;
+            re = &candidate;
+          }
+        }
+        if (dst != nullptr) break;
+      }
+      if (dst == nullptr || re == nullptr) break;
+
+      Migration m;
+      m.tenant = re->tenant;
+      m.partition = re->partition;
+      m.replica_index = re->replica_index;
+      m.from = src->id();
+      m.to = dst->id();
+      m.gain = std::max(src->Deviation(opt_ru, opt_sto),
+                        dst->Deviation(opt_ru, opt_sto));
+      auto taken = src->RemoveReplica(m.tenant, m.partition, m.replica_index);
+      if (!taken.ok()) break;
+      dst->AddReplica(std::move(taken).value());
+      executed.push_back(m);
+      moved = true;
+    }
+  }
+  return executed;
+}
+
+InterPoolResult InterPoolRescheduler::Run(PoolModel* donor,
+                                          PoolModel* receiver,
+                                          size_t max_nodes) const {
+  InterPoolResult result;
+
+  for (size_t moved = 0; moved < max_nodes; moved++) {
+    // Pick the donor's least-utilized node (combined deviation below the
+    // donor optimal on both dimensions).
+    NodeModel* victim = nullptr;
+    double victim_util = 0;
+    for (NodeModel& n : donor->nodes()) {
+      double u = n.Utilization(Resource::kRu) +
+                 n.Utilization(Resource::kStorage);
+      if (victim == nullptr || u < victim_util) {
+        victim = &n;
+        victim_util = u;
+      }
+    }
+    if (victim == nullptr || donor->nodes().size() <= 1) break;
+
+    // Vacate: migrate every replica to a placeable donor sibling.
+    const double opt_ru = donor->OptimalLoad(Resource::kRu);
+    const double opt_sto = donor->OptimalLoad(Resource::kStorage);
+    bool vacated = true;
+    std::vector<ReplicaLoad> to_move = victim->replicas();
+    for (const ReplicaLoad& re : to_move) {
+      NodeModel* dst = nullptr;
+      double best_dev = 0;
+      for (NodeModel& n : donor->nodes()) {
+        if (&n == victim) continue;
+        if (n.HasReplicaOf(re.tenant, re.partition)) continue;
+        double dev = n.DeviationWith(re, opt_ru, opt_sto);
+        if (dst == nullptr || dev < best_dev) {
+          dst = &n;
+          best_dev = dev;
+        }
+      }
+      if (dst == nullptr) {
+        vacated = false;
+        break;
+      }
+      Migration m;
+      m.tenant = re.tenant;
+      m.partition = re.partition;
+      m.replica_index = re.replica_index;
+      m.from = victim->id();
+      m.to = dst->id();
+      m.driving_resource = Resource::kRu;
+      auto taken = victim->RemoveReplica(m.tenant, m.partition,
+                                         m.replica_index);
+      if (!taken.ok()) {
+        vacated = false;
+        break;
+      }
+      dst->AddReplica(std::move(taken).value());
+      result.vacate_migrations.push_back(m);
+    }
+    if (!vacated) break;
+
+    // Reassign the empty node to the receiver pool.
+    NodeId vid = victim->id();
+    double ru_cap = victim->capacity(Resource::kRu);
+    double sto_cap = victim->capacity(Resource::kStorage);
+    auto& dn = donor->nodes();
+    dn.erase(std::remove_if(dn.begin(), dn.end(),
+                            [&](const NodeModel& n) { return n.id() == vid; }),
+             dn.end());
+    receiver->AddNode(vid, ru_cap, sto_cap);
+    result.reassigned_nodes.push_back(vid);
+  }
+
+  // Re-balance both pools.
+  auto a = intra_.RunToConvergence(receiver);
+  auto b = intra_.RunToConvergence(donor);
+  result.rebalance_migrations.insert(result.rebalance_migrations.end(),
+                                     a.begin(), a.end());
+  result.rebalance_migrations.insert(result.rebalance_migrations.end(),
+                                     b.begin(), b.end());
+  return result;
+}
+
+}  // namespace resched
+}  // namespace abase

@@ -1,0 +1,100 @@
+#include "ru/request_unit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace ru {
+
+double ActualReadCharge(uint64_t bytes, bool datanode_cache_hit,
+                        const RuOptions& options) {
+  double full = std::max(
+      1.0, static_cast<double>(bytes) / static_cast<double>(options.unit_bytes));
+  return datanode_cache_hit ? full * options.cache_hit_cpu_fraction : full;
+}
+
+double ActualWriteCharge(uint64_t bytes, int replicas,
+                         const RuOptions& options) {
+  double per_write = std::max(
+      1.0, static_cast<double>(bytes) / static_cast<double>(options.unit_bytes));
+  return per_write * std::max(1, replicas);
+}
+
+RuEstimator::RuEstimator(RuOptions options)
+    : options_(options),
+      read_bytes_(options.window_k, options.initial_read_bytes),
+      hit_ratio_(options.window_k, options.initial_hit_ratio),
+      hash_len_(options.window_k, 8.0),
+      field_bytes_(options.window_k, 64.0) {}
+
+double RuEstimator::BytesToRu(double bytes) const {
+  // Minimum one RU per unit touched: even a tiny request costs a lookup.
+  return std::max(1.0, bytes / static_cast<double>(options_.unit_bytes));
+}
+
+double RuEstimator::WriteRu(uint64_t value_bytes, int replicas) const {
+  // One direct write plus (r-1) replica synchronizations, each S/U.
+  double per_write = BytesToRu(static_cast<double>(value_bytes));
+  return per_write * std::max(1, replicas);
+}
+
+double RuEstimator::EstimateReadRu() const {
+  double expected_miss = 1.0 - hit_ratio_.Value();
+  // Floor at a small CPU-only cost: a 100%-hit workload still burns CPU.
+  double ru = BytesToRu(read_bytes_.Value()) * expected_miss;
+  return std::max(ru, options_.cache_hit_cpu_fraction);
+}
+
+double RuEstimator::EstimateReadRuCacheBlind() const {
+  return BytesToRu(read_bytes_.Value());
+}
+
+double RuEstimator::ChargeRead(uint64_t actual_bytes,
+                               ReadServedBy served_by) {
+  if (served_by == ReadServedBy::kProxyCache) {
+    // Never reached the data plane: no charge, no estimator update (the
+    // data-plane hit ratio must reflect data-plane traffic only).
+    return 0.0;
+  }
+  bool hit = served_by == ReadServedBy::kDataNodeCache;
+  read_bytes_.Add(static_cast<double>(actual_bytes));
+  hit_ratio_.Add(hit ? 1.0 : 0.0);
+  double full = BytesToRu(static_cast<double>(actual_bytes));
+  return hit ? full * options_.cache_hit_cpu_fraction : full;
+}
+
+double RuEstimator::EstimateHLenRu() const {
+  // Metadata-only: reads the hash header, independent of field count.
+  return 1.0;
+}
+
+double RuEstimator::EstimateHGetAllRu() const {
+  // Decomposition per the paper: HLen stage + scan stage, estimated
+  // separately. The scan touches E[len] fields of E[field bytes] each.
+  double scan_bytes = hash_len_.Value() * field_bytes_.Value();
+  double expected_miss = 1.0 - hit_ratio_.Value();
+  double scan_ru =
+      std::max(BytesToRu(scan_bytes) * expected_miss,
+               options_.cache_hit_cpu_fraction);
+  return EstimateHLenRu() + scan_ru;
+}
+
+void RuEstimator::RecordHashShape(uint64_t field_count,
+                                  uint64_t total_bytes) {
+  hash_len_.Add(static_cast<double>(field_count));
+  if (field_count > 0) {
+    field_bytes_.Add(static_cast<double>(total_bytes) /
+                     static_cast<double>(field_count));
+  }
+}
+
+double RuEstimator::ChargeHGetAll(uint64_t total_bytes,
+                                  ReadServedBy served_by) {
+  // HLen stage always costs its unit; the scan stage is charged like a
+  // read of the returned payload.
+  if (served_by == ReadServedBy::kProxyCache) return 0.0;
+  return EstimateHLenRu() + ChargeRead(total_bytes, served_by);
+}
+
+}  // namespace ru
+}  // namespace abase

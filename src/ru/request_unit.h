@@ -1,0 +1,109 @@
+// Normalized Request Unit (RU) model — paper Section 4.1.
+//
+// RUs quantify a request's CPU + memory + disk consumption and are the
+// currency of quotas, billing and the CPU-WFQ. The model is cache-aware:
+//   RU_write = r * S_write / U           (r = replica count)
+//   RU_read  = E[S_read] * (1 - E[R_hit]) / U     (estimate, for control)
+// where U is the unit byte size (2 KB) and E[.] are moving averages over
+// the last k requests. Reads are *charged* on the actual bytes returned;
+// proxy-cache hits are never charged at all.
+#pragma once
+
+#include <cstdint>
+
+#include "common/moving_average.h"
+#include "common/types.h"
+
+namespace abase {
+namespace ru {
+
+/// RU model constants.
+struct RuOptions {
+  uint64_t unit_bytes = 2048;  ///< U: bytes per RU (paper: 2KB).
+  size_t window_k = 128;       ///< k: moving-average window for E[.].
+  /// CPU-only fraction charged when a read is served from the DataNode
+  /// cache (no disk I/O happened, but CPU and memory were consumed).
+  double cache_hit_cpu_fraction = 0.2;
+  /// Default assumed hit ratio before any history accumulates.
+  double initial_hit_ratio = 0.0;
+  /// Default assumed read size before any history accumulates.
+  double initial_read_bytes = 1024;
+};
+
+/// Where a read was ultimately served from; determines its charge.
+enum class ReadServedBy {
+  kProxyCache,     ///< Returned by the proxy; free (never reaches quota).
+  kDataNodeCache,  ///< CPU/memory only.
+  kDisk,           ///< Full cost.
+};
+
+/// Actual RU charge for a completed read, independent of any estimator
+/// state (used node-side where the true bytes and hit status are known).
+double ActualReadCharge(uint64_t bytes, bool datanode_cache_hit,
+                        const RuOptions& options);
+
+/// Actual RU charge for a completed write including replica fan-out.
+double ActualWriteCharge(uint64_t bytes, int replicas,
+                         const RuOptions& options);
+
+/// Per-tenant (per-table) RU estimator. Tracks the moving averages that
+/// make read-cost prediction cache-aware, and computes charges.
+class RuEstimator {
+ public:
+  explicit RuEstimator(RuOptions options = {});
+
+  // -- Writes ---------------------------------------------------------------
+
+  /// RU for one logical write of `value_bytes`, including the r-1 replica
+  /// synchronization writes (total charge r * S/U).
+  double WriteRu(uint64_t value_bytes, int replicas) const;
+
+  // -- Reads ----------------------------------------------------------------
+
+  /// Cache-aware *estimate* used by admission control before the read
+  /// executes: E[S_read] * (1 - E[R_hit]) / U.
+  double EstimateReadRu() const;
+
+  /// Cache-blind estimate (ablation baseline): E[S_read] / U.
+  double EstimateReadRuCacheBlind() const;
+
+  /// Actual charge once the read completed. Also feeds the moving
+  /// averages. Proxy hits charge 0 (and do not update E[.], since they
+  /// never reached the data plane).
+  double ChargeRead(uint64_t actual_bytes, ReadServedBy served_by);
+
+  // -- Complex reads (paper: HLen / HGetAll) --------------------------------
+
+  /// HLEN estimate: metadata-only read, one unit of CPU work scaled by
+  /// the expected hash size's index footprint.
+  double EstimateHLenRu() const;
+
+  /// HGETALL decomposes into HLen + a scan of E[len] fields of E[field
+  /// size] bytes each; each stage is estimated separately and summed.
+  double EstimateHGetAllRu() const;
+
+  /// Records the observed shape of a hash after a complex read executed.
+  void RecordHashShape(uint64_t field_count, uint64_t total_bytes);
+
+  /// Charge for a completed HGETALL returning `total_bytes`.
+  double ChargeHGetAll(uint64_t total_bytes, ReadServedBy served_by);
+
+  // -- Observed state --------------------------------------------------------
+
+  double ExpectedReadBytes() const { return read_bytes_.Value(); }
+  double ExpectedHitRatio() const { return hit_ratio_.Value(); }
+  double ExpectedHashLen() const { return hash_len_.Value(); }
+  const RuOptions& options() const { return options_; }
+
+ private:
+  double BytesToRu(double bytes) const;
+
+  RuOptions options_;
+  MovingAverage read_bytes_;  ///< E[S_read].
+  MovingAverage hit_ratio_;   ///< E[R_hit] over data-plane reads.
+  MovingAverage hash_len_;    ///< E[#fields] for complex reads.
+  MovingAverage field_bytes_; ///< E[bytes per hash field].
+};
+
+}  // namespace ru
+}  // namespace abase

@@ -1,0 +1,43 @@
+#include "sched/wfq_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abase {
+namespace sched {
+
+void WfqQueue::Push(const SchedRequest& req, double cost) {
+  assert(req.quota_share > 0);
+  double weighted_cost = cost / req.quota_share;
+  // Start time: an idle tenant resumes at the current virtual time, not at
+  // its stale preVFT (which would grant it an unfair catch-up burst).
+  double start = vtime_;
+  auto it = pre_vft_.find(req.tenant);
+  if (it != pre_vft_.end()) start = std::max(start, it->second);
+  double vft = start + weighted_cost;
+  pre_vft_[req.tenant] = vft;
+  heap_.push(Item{req, vft, tie_counter_++});
+}
+
+SchedRequest WfqQueue::Pop() {
+  double vft;
+  return PopWithVft(&vft);
+}
+
+SchedRequest WfqQueue::PopWithVft(double* vft) {
+  assert(!heap_.empty());
+  Item item = heap_.top();
+  heap_.pop();
+  vtime_ = std::max(vtime_, item.vft);
+  *vft = item.vft;
+  return item.req;
+}
+
+void WfqQueue::Reinsert(const SchedRequest& req, double vft) {
+  // The tenant's preVFT already advanced past `vft` when the request was
+  // first pushed, so reinserting must not advance it again.
+  heap_.push(Item{req, vft, tie_counter_++});
+}
+
+}  // namespace sched
+}  // namespace abase

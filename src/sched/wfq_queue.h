@@ -1,0 +1,81 @@
+// Weighted Fair Queueing primitive — paper Section 4.3.
+//
+// A min-heap ordered by Virtual Finish Time:
+//   wReqCost(Q_i) = Cost(Q_i) / (Q_i / sum Q_p)        (partition-quota weight)
+//   VFT(Q_i)      = preVFT_{T_i} + wReqCost(Q_i)
+// The per-tenant preVFT accumulates, so a tenant with a large quota or
+// cheap requests cannot be prioritized indefinitely; an idle tenant's
+// preVFT is brought forward to the queue's virtual time when it becomes
+// busy again (standard WFQ start-time rule).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace abase {
+namespace sched {
+
+/// A request as seen by the DataNode scheduler.
+struct SchedRequest {
+  uint64_t req_id = 0;         ///< Opaque handle owned by the caller.
+  TenantId tenant = 0;
+  PartitionId partition = 0;
+  RequestClass cls = RequestClass::kSmallRead;
+  bool is_read = true;
+  double cpu_cost_ru = 1.0;    ///< Rule 1: CPU-WFQ cost is the RU.
+  int io_blocks = 1;           ///< Rule 1: I/O-WFQ cost is the IOPS count.
+  /// wPartition: this request's partition-quota share of all partition
+  /// quotas hosted on the node (in (0, 1]). Set by the DataNode.
+  double quota_share = 1.0;
+};
+
+/// One WFQ heap. Not thread-safe; the DataNode serializes access.
+class WfqQueue {
+ public:
+  /// Enqueues with the given cost (RU for CPU-WFQ, blocks for I/O-WFQ).
+  void Push(const SchedRequest& req, double cost);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  /// Tenant of the minimum-VFT request (undefined when empty).
+  TenantId PeekTenant() const { return heap_.top().req.tenant; }
+  double PeekVft() const { return heap_.top().vft; }
+
+  /// Pops the minimum-VFT request and advances the queue's virtual time.
+  SchedRequest Pop();
+
+  /// Pops and also reports the popped request's VFT (for deferral).
+  SchedRequest PopWithVft(double* vft);
+
+  /// Re-inserts a previously-popped request with its original VFT,
+  /// without advancing the tenant's preVFT (used when a rule defers an
+  /// already-scheduled request to the next tick).
+  void Reinsert(const SchedRequest& req, double vft);
+
+  /// Queue virtual time = VFT of the last popped request.
+  double VirtualTime() const { return vtime_; }
+
+ private:
+  struct Item {
+    SchedRequest req;
+    double vft;
+    uint64_t tie;  ///< FIFO among equal VFTs: smaller = earlier arrival.
+    bool operator>(const Item& o) const {
+      if (vft != o.vft) return vft > o.vft;
+      return tie > o.tie;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap_;
+  std::unordered_map<TenantId, double> pre_vft_;
+  double vtime_ = 0;
+  uint64_t tie_counter_ = 0;
+};
+
+}  // namespace sched
+}  // namespace abase

@@ -1,0 +1,378 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abase {
+namespace sim {
+
+ClusterSim::ClusterSim(SimOptions options)
+    : options_(options), clock_(0), rng_(options.seed) {
+  meta_ = std::make_unique<meta::MetaServer>(&clock_);
+}
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+PoolId ClusterSim::AddPool(size_t num_nodes) {
+  return AddPool(num_nodes, options_.node);
+}
+
+PoolId ClusterSim::AddPool(size_t num_nodes,
+                           const node::DataNodeOptions& node_options) {
+  std::vector<node::DataNode*> raw;
+  constexpr uint32_t kAvailabilityZones = 3;
+  for (size_t i = 0; i < num_nodes; i++) {
+    nodes_.push_back(std::make_unique<node::DataNode>(next_node_id_++,
+                                                      node_options, &clock_));
+    nodes_.back()->set_az(static_cast<uint32_t>(i) % kAvailabilityZones);
+    raw.push_back(nodes_.back().get());
+  }
+  return meta_->CreatePool(std::move(raw));
+}
+
+Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
+                             proxy::RoutingMode mode) {
+  ABASE_RETURN_IF_ERROR(meta_->CreateTenant(config, pool));
+
+  TenantRuntime rt;
+  rt.config = config;
+  rt.routing_mode = mode;
+  rt.router = std::make_unique<proxy::LimitedFanoutRouter>(
+      config.num_proxies, config.num_proxy_groups, mode);
+
+  double proxy_quota =
+      config.tenant_quota_ru / static_cast<double>(config.num_proxies);
+  TenantId tid = config.id;
+  for (uint32_t p = 0; p < config.num_proxies; p++) {
+    proxy::ProxyOptions popt = options_.proxy;
+    popt.replicas = config.replicas;
+    rt.proxies.push_back(std::make_unique<proxy::Proxy>(
+        p, tid, proxy_quota, popt, &clock_,
+        [this, tid](const std::string& key) {
+          return meta_->PartitionFor(tid, key);
+        }));
+  }
+  tenants_.emplace(config.id, std::move(rt));
+  return Status::OK();
+}
+
+void ClusterSim::SetWorkload(TenantId tenant, const WorkloadProfile& profile) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  it->second.workload = std::make_unique<WorkloadGenerator>(
+      tenant, profile, options_.seed ^ (0x9e3779b9ull * (tenant + 1)));
+}
+
+void ClusterSim::PreloadKeys(TenantId tenant, uint64_t num_keys,
+                             uint64_t value_bytes, double value_sigma) {
+  Rng rng(977 * (static_cast<uint64_t>(tenant) + 1));
+  for (uint64_t i = 0; i < num_keys; i++) {
+    std::string key =
+        "t" + std::to_string(tenant) + ":k" + std::to_string(i);
+    PartitionId part = meta_->PartitionFor(tenant, key);
+    node::DataNode* n = FindNode(meta_->PrimaryFor(tenant, part));
+    if (n == nullptr) continue;
+    storage::LsmEngine* engine = n->EngineFor(tenant, part);
+    if (engine == nullptr) continue;
+    double bytes = rng.NextLogNormal(
+        std::log(static_cast<double>(std::max<uint64_t>(1, value_bytes))),
+        value_sigma);
+    size_t len = static_cast<size_t>(
+        std::min(std::max(bytes, 1.0), 1024.0 * 1024));
+    (void)engine->Put(key, std::string(len, 'v'));
+  }
+}
+
+WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || it->second.workload == nullptr) return nullptr;
+  return &it->second.workload->profile();
+}
+
+node::DataNode* ClusterSim::FindNode(NodeId id) {
+  for (auto& n : nodes_) {
+    if (n->id() == id) return n.get();
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment switches
+// ---------------------------------------------------------------------------
+
+void ClusterSim::SetProxyQuotaEnabled(TenantId tenant, bool enabled) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  for (auto& p : it->second.proxies) p->set_quota_enabled(enabled);
+}
+
+void ClusterSim::SetProxyCacheEnabled(TenantId tenant, bool enabled) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  for (auto& p : it->second.proxies) p->set_cache_enabled(enabled);
+}
+
+void ClusterSim::SetPartitionQuotaEnabled(bool enabled) {
+  for (auto& n : nodes_) n->SetPartitionQuotaEnforcement(enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Request routing
+// ---------------------------------------------------------------------------
+
+void ClusterSim::InjectRequest(const ClientRequest& req) {
+  injected_.push_back(req);
+}
+
+void ClusterSim::RouteClientRequest(const ClientRequest& req) {
+  auto it = tenants_.find(req.tenant);
+  if (it == tenants_.end()) return;
+  TenantRuntime& rt = it->second;
+  rt.current.issued++;
+
+  // Writes invalidate the key across the tenant's proxy caches (a
+  // write-through invalidation broadcast; keeps the synchronous client
+  // API read-your-writes while the paper's model remains eventually
+  // consistent under races).
+  if (!IsReadOp(req.op)) {
+    for (auto& p : rt.proxies) p->InvalidateCache(req.key);
+  }
+
+  size_t proxy_index = rt.router->Route(req.key, rng_);
+  proxy::Proxy& px = *rt.proxies[proxy_index];
+  proxy::ProxyHandleResult res = px.Handle(req);
+
+  switch (res.action) {
+    case proxy::ProxyHandleResult::Action::kServedFromCache:
+      rt.current.ok++;
+      rt.current.proxy_hits++;
+      rt.current.latency_sum += static_cast<double>(res.latency);
+      rt.current.latency_max = std::max(rt.current.latency_max, res.latency);
+      rt.current.latency_count++;
+      rt.latency_hist.Add(static_cast<double>(res.latency));
+      rt.value_bytes_sum += res.value.size();
+      rt.value_bytes_count++;
+      if (req.track_outcome) {
+        outcomes_[req.req_id] = ClientOutcome{Status::OK(), res.value};
+      }
+      break;
+    case proxy::ProxyHandleResult::Action::kThrottled:
+      rt.current.errors++;
+      rt.current.throttled++;
+      if (req.track_outcome) {
+        outcomes_[req.req_id] =
+            ClientOutcome{Status::Throttled("proxy quota"), ""};
+      }
+      break;
+    case proxy::ProxyHandleResult::Action::kForward: {
+      NodeId nid = meta_->PrimaryFor(req.tenant, res.forward.partition);
+      node::DataNode* n = FindNode(nid);
+      if (n == nullptr) {
+        rt.current.errors++;
+        if (req.track_outcome) {
+          outcomes_[req.req_id] =
+              ClientOutcome{Status::Unavailable("no primary"), ""};
+        }
+        break;
+      }
+      inflight_[res.forward.req_id] = {req.tenant, proxy_index};
+      if (req.track_outcome) tracked_.insert(req.req_id);
+      n->Submit(res.forward);
+      break;
+    }
+  }
+}
+
+std::optional<ClusterSim::ClientOutcome> ClusterSim::TakeOutcome(
+    uint64_t req_id) {
+  auto it = outcomes_.find(req_id);
+  if (it == outcomes_.end()) return std::nullopt;
+  ClientOutcome out = std::move(it->second);
+  outcomes_.erase(it);
+  return out;
+}
+
+void ClusterSim::DeliverResponse(const NodeResponse& resp) {
+  auto inf = inflight_.find(resp.req_id);
+  TenantId tenant = resp.tenant;
+  size_t proxy_index = 0;
+  bool tracked = false;
+  if (inf != inflight_.end()) {
+    tenant = inf->second.first;
+    proxy_index = inf->second.second;
+    tracked = true;
+    inflight_.erase(inf);
+  }
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantRuntime& rt = it->second;
+
+  if (tracked || resp.background_refresh) {
+    if (proxy_index < rt.proxies.size()) {
+      rt.proxies[proxy_index]->OnResponse(resp);
+    }
+  }
+  if (resp.background_refresh) return;  // Not client-visible.
+
+  if (auto t = tracked_.find(resp.req_id); t != tracked_.end()) {
+    outcomes_[resp.req_id] = ClientOutcome{resp.status, resp.value};
+    tracked_.erase(t);
+  }
+
+  Micros client_latency = resp.latency + options_.proxy.forward_hop_latency;
+  // NotFound is a successfully-served answer, not a failure.
+  if (resp.status.ok() || resp.status.IsNotFound()) {
+    rt.current.ok++;
+    rt.current.latency_sum += static_cast<double>(client_latency);
+    rt.current.latency_max = std::max(rt.current.latency_max, client_latency);
+    rt.current.latency_count++;
+    rt.latency_hist.Add(static_cast<double>(client_latency));
+    if (IsReadOp(resp.op)) {
+      rt.current.reads_completed++;
+      if (resp.served_by == ServedBy::kNodeCache) {
+        rt.current.node_cache_hits++;
+      } else if (resp.served_by == ServedBy::kDisk) {
+        rt.current.disk_reads++;
+      }
+      rt.value_bytes_sum += resp.value_bytes;
+      rt.value_bytes_count++;
+    } else {
+      rt.value_bytes_sum += resp.value_bytes;
+      rt.value_bytes_count++;
+    }
+  } else {
+    rt.current.errors++;
+    if (resp.status.IsThrottled()) rt.current.throttled++;
+  }
+  rt.current.ru_charged += resp.actual_ru;
+}
+
+// ---------------------------------------------------------------------------
+// Tick loop
+// ---------------------------------------------------------------------------
+
+void ClusterSim::Tick() {
+  // 1. Generate and route client traffic.
+  for (auto& [tid, rt] : tenants_) {
+    if (rt.workload != nullptr) {
+      for (ClientRequest& req :
+           rt.workload->Tick(clock_.NowMicros(), options_.tick)) {
+        RouteClientRequest(req);
+      }
+    }
+  }
+  for (const ClientRequest& req : injected_) RouteClientRequest(req);
+  injected_.clear();
+
+  // 2. AU-LRU active-update refresh fetches (background traffic).
+  for (auto& [tid, rt] : tenants_) {
+    for (size_t p = 0; p < rt.proxies.size(); p++) {
+      for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
+        NodeId nid = meta_->PrimaryFor(tid, req.partition);
+        node::DataNode* n = FindNode(nid);
+        if (n == nullptr) continue;
+        inflight_[req.req_id] = {tid, p};
+        n->Submit(req);
+      }
+    }
+  }
+
+  // 3. Data plane scheduling.
+  for (auto& n : nodes_) n->Tick();
+
+  // 4. Response delivery.
+  for (auto& n : nodes_) {
+    for (const NodeResponse& resp : n->TakeResponses()) {
+      DeliverResponse(resp);
+    }
+  }
+
+  // 5. Asynchronous proxy traffic control.
+  tick_count_++;
+  if (options_.meta_report_interval_ticks > 0 &&
+      tick_count_ % static_cast<uint64_t>(
+                        options_.meta_report_interval_ticks) ==
+          0) {
+    double interval_sec =
+        static_cast<double>(options_.meta_report_interval_ticks) *
+        static_cast<double>(options_.tick) /
+        static_cast<double>(kMicrosPerSecond);
+    for (auto& [tid, rt] : tenants_) {
+      double total = 0;
+      for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
+      bool clamp = meta_->ReportProxyTraffic(tid, total / interval_sec);
+      for (auto& p : rt.proxies) p->SetClamped(clamp);
+    }
+  }
+
+  FinalizeTickMetrics();
+  clock_.Advance(options_.tick);
+}
+
+void ClusterSim::RunTicks(size_t n) {
+  for (size_t i = 0; i < n; i++) Tick();
+}
+
+void ClusterSim::FinalizeTickMetrics() {
+  for (auto& [tid, rt] : tenants_) {
+    rt.history.push_back(rt.current);
+    rt.current = TenantTickMetrics{};
+  }
+}
+
+const std::vector<TenantTickMetrics>& ClusterSim::History(
+    TenantId tenant) const {
+  static const std::vector<TenantTickMetrics> kEmpty;
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? kEmpty : it->second.history;
+}
+
+const TenantRuntime* ClusterSim::Tenant(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+TenantRuntime* ClusterSim::MutableTenant(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Rescheduler bridge
+// ---------------------------------------------------------------------------
+
+resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
+  resched::PoolModel model;
+  for (node::DataNode* n : meta_->PoolNodes(pool)) {
+    resched::NodeModel& nm = model.AddNode(
+        n->id(), n->options().ru_capacity,
+        static_cast<double>(n->options().storage_capacity));
+    for (const node::PartitionReplica* rep : n->Replicas()) {
+      resched::ReplicaLoad rl;
+      rl.tenant = rep->tenant;
+      rl.partition = rep->partition;
+      rl.replica_index = rep->is_primary ? 0 : 1;
+      rl.ru = LoadVector::Constant(rep->ru_rate);
+      rl.storage = LoadVector::Constant(
+          static_cast<double>(rep->engine->ApproximateDataBytes()));
+      nm.AddReplica(std::move(rl));
+    }
+  }
+  return model;
+}
+
+size_t ClusterSim::ApplyMigrations(
+    const std::vector<resched::Migration>& migrations) {
+  size_t applied = 0;
+  for (const resched::Migration& m : migrations) {
+    if (meta_->MigrateReplica(m.tenant, m.partition, m.from, m.to).ok()) {
+      applied++;
+    }
+  }
+  return applied;
+}
+
+}  // namespace sim
+}  // namespace abase

@@ -1,0 +1,198 @@
+// ClusterSim — the deterministic discrete-time cluster that stands in for
+// ByteDance's production fleet (DESIGN.md substitution table).
+//
+// Each one-second tick:
+//   1. every tenant's workload generator emits client requests;
+//   2. the limited fan-out router picks a proxy; the proxy serves from its
+//      AU-LRU cache, throttles against its quota, or forwards;
+//   3. forwarded requests reach the primary DataNode of their partition,
+//      pass partition-quota admission, and queue in the dual-layer WFQ;
+//   4. every DataNode runs its scheduling tick; responses flow back to the
+//      proxies (cache fill + quota settlement) and into tenant metrics;
+//   5. every `meta_report_interval` ticks, aggregate proxy traffic is
+//      reported to the MetaServer, which issues clamp directives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "meta/meta_server.h"
+#include "node/data_node.h"
+#include "proxy/fanout_router.h"
+#include "proxy/proxy.h"
+#include "resched/pool_model.h"
+#include "resched/rescheduler.h"
+#include "sim/workload.h"
+
+namespace abase {
+namespace sim {
+
+/// Cluster-wide simulation options.
+struct SimOptions {
+  uint64_t seed = 42;
+  node::DataNodeOptions node;
+  proxy::ProxyOptions proxy;
+  Micros tick = kMicrosPerSecond;
+  int meta_report_interval_ticks = 5;
+};
+
+/// Per-tenant metrics for one tick.
+struct TenantTickMetrics {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;     ///< Data-plane errors + proxy throttles.
+  uint64_t throttled = 0;  ///< Subset of errors: quota rejections.
+  uint64_t proxy_hits = 0;
+  uint64_t node_cache_hits = 0;
+  uint64_t disk_reads = 0;
+  uint64_t reads_completed = 0;
+  double ru_charged = 0;
+  double latency_sum = 0;  ///< Micros, over ok responses.
+  Micros latency_max = 0;
+  uint64_t latency_count = 0;
+
+  double SuccessQps(double tick_seconds) const {
+    return static_cast<double>(ok) / tick_seconds;
+  }
+  double ErrorQps(double tick_seconds) const {
+    return static_cast<double>(errors) / tick_seconds;
+  }
+  double MeanLatency() const {
+    return latency_count == 0 ? 0 : latency_sum /
+                                        static_cast<double>(latency_count);
+  }
+  /// Combined cache hit ratio over completed reads (proxy + DataNode), the
+  /// quantity the paper plots in Figure 5.
+  double CacheHitRatio() const {
+    uint64_t reads = proxy_hits + reads_completed;
+    return reads == 0 ? 0
+                      : static_cast<double>(proxy_hits + node_cache_hits) /
+                            static_cast<double>(reads);
+  }
+};
+
+/// One simulated tenant: proxies + router + workload + metrics.
+struct TenantRuntime {
+  meta::TenantConfig config;
+  proxy::RoutingMode routing_mode = proxy::RoutingMode::kLimitedFanout;
+  std::unique_ptr<proxy::LimitedFanoutRouter> router;
+  std::vector<std::unique_ptr<proxy::Proxy>> proxies;
+  std::unique_ptr<WorkloadGenerator> workload;
+  TenantTickMetrics current;
+  std::vector<TenantTickMetrics> history;
+  Histogram latency_hist{1e9};  ///< Cumulative client latency (us).
+  uint64_t value_bytes_sum = 0;
+  uint64_t value_bytes_count = 0;
+};
+
+/// The cluster.
+class ClusterSim {
+ public:
+  explicit ClusterSim(SimOptions options = {});
+
+  // -- Topology ---------------------------------------------------------------
+
+  /// Creates `num_nodes` DataNodes and registers them as a pool.
+  PoolId AddPool(size_t num_nodes);
+  PoolId AddPool(size_t num_nodes, const node::DataNodeOptions& node_options);
+
+  /// Creates a tenant (metadata + replicas + proxy fleet).
+  Status AddTenant(const meta::TenantConfig& config, PoolId pool,
+                   proxy::RoutingMode mode =
+                       proxy::RoutingMode::kLimitedFanout);
+
+  /// Attaches a workload generator to a tenant.
+  void SetWorkload(TenantId tenant, const WorkloadProfile& profile);
+
+  /// Bulk-loads `num_keys` values straight into the tenant's primary
+  /// engines — the dataset an onboarded production tenant already has.
+  /// Key naming matches WorkloadGenerator ("t<tenant>:k<index>").
+  void PreloadKeys(TenantId tenant, uint64_t num_keys, uint64_t value_bytes,
+                   double value_sigma = 0.3);
+
+  /// Mutable workload profile for scenario scripting mid-run.
+  WorkloadProfile* MutableWorkload(TenantId tenant);
+
+  // -- Execution ----------------------------------------------------------------
+
+  void Tick();
+  void RunTicks(size_t n);
+
+  /// Injects one client request ahead of the next tick (tests and the
+  /// synchronous abase::Client facade).
+  void InjectRequest(const ClientRequest& req);
+
+  /// Final outcome of a tracked request (see ClientRequest::track_outcome).
+  struct ClientOutcome {
+    Status status;
+    std::string value;
+  };
+
+  /// Retrieves (and removes) the outcome of a tracked request, if it has
+  /// completed.
+  std::optional<ClientOutcome> TakeOutcome(uint64_t req_id);
+
+  // -- Experiment switches --------------------------------------------------------
+
+  void SetProxyQuotaEnabled(TenantId tenant, bool enabled);
+  void SetProxyCacheEnabled(TenantId tenant, bool enabled);
+  void SetPartitionQuotaEnabled(bool enabled);  ///< All nodes.
+
+  // -- Metrics -----------------------------------------------------------------
+
+  const std::vector<TenantTickMetrics>& History(TenantId tenant) const;
+  const TenantRuntime* Tenant(TenantId tenant) const;
+  TenantRuntime* MutableTenant(TenantId tenant);
+
+  // -- Component access -----------------------------------------------------------
+
+  SimClock& clock() { return clock_; }
+  meta::MetaServer& meta() { return *meta_; }
+  node::DataNode* FindNode(NodeId id);
+  const std::vector<std::unique_ptr<node::DataNode>>& nodes() const {
+    return nodes_;
+  }
+  Rng& rng() { return rng_; }
+  const SimOptions& options() const { return options_; }
+
+  // -- Rescheduler bridge -----------------------------------------------------------
+
+  /// Snapshots the pool into the rescheduler's load model, using each
+  /// replica's RU EWMA and engine footprint as (flat) load vectors.
+  resched::PoolModel BuildPoolModel(PoolId pool) const;
+
+  /// Applies planned migrations to the live topology via the MetaServer.
+  /// Returns how many were applied successfully.
+  size_t ApplyMigrations(const std::vector<resched::Migration>& migrations);
+
+ private:
+  void RouteClientRequest(const ClientRequest& req);
+  void DeliverResponse(const NodeResponse& resp);
+  void FinalizeTickMetrics();
+
+  SimOptions options_;
+  SimClock clock_;
+  Rng rng_;
+  std::unique_ptr<meta::MetaServer> meta_;
+  std::vector<std::unique_ptr<node::DataNode>> nodes_;
+  std::map<TenantId, TenantRuntime> tenants_;
+  std::vector<ClientRequest> injected_;
+  /// req_id -> (tenant, proxy index) for response routing.
+  std::map<uint64_t, std::pair<TenantId, size_t>> inflight_;
+  std::map<uint64_t, ClientOutcome> outcomes_;  ///< Tracked completions.
+  std::set<uint64_t> tracked_;  ///< Forwarded requests awaiting outcome.
+  NodeId next_node_id_ = 0;
+  uint64_t tick_count_ = 0;
+};
+
+}  // namespace sim
+}  // namespace abase

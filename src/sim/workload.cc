@@ -1,0 +1,151 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace sim {
+
+WorkloadGenerator::WorkloadGenerator(TenantId tenant, WorkloadProfile profile,
+                                     uint64_t seed)
+    : tenant_(tenant), profile_(profile), rng_(seed) {
+  if (profile_.key_dist == KeyDist::kZipfian && profile_.num_keys > 1) {
+    zipf_ = std::make_unique<ZipfianGenerator>(profile_.num_keys,
+                                               profile_.zipf_theta);
+  }
+}
+
+double WorkloadGenerator::ExpectedQps(Micros now) const {
+  double qps = profile_.base_qps;
+  double days = static_cast<double>(now) / static_cast<double>(kMicrosPerDay);
+  if (profile_.trend_per_day != 0) {
+    qps *= std::pow(1.0 + profile_.trend_per_day, days);
+  }
+  if (profile_.diurnal_amplitude > 0) {
+    double hours = static_cast<double>(now) /
+                   static_cast<double>(kMicrosPerHour);
+    qps *= 1.0 + profile_.diurnal_amplitude *
+                     std::sin(2.0 * M_PI * hours /
+                              profile_.diurnal_period_hours);
+  }
+  for (const auto& burst : profile_.bursts) {
+    if (now >= burst.start && now < burst.end) qps *= burst.multiplier;
+  }
+  return std::max(0.0, qps);
+}
+
+std::string WorkloadGenerator::KeyAt(uint64_t index) const {
+  // Stable key naming; hash-scrambled so adjacent ranks do not share
+  // partition routing.
+  return "t" + std::to_string(tenant_) + ":k" + std::to_string(index);
+}
+
+uint64_t WorkloadGenerator::SampleKeyIndex() {
+  switch (profile_.key_dist) {
+    case KeyDist::kUniform:
+      return rng_.NextUint64(std::max<uint64_t>(1, profile_.num_keys));
+    case KeyDist::kZipfian:
+      // Scenario scripts mutate the profile mid-run (Figure 5): rebuild
+      // the sampler lazily whenever its parameters drift.
+      if (profile_.num_keys > 1 &&
+          (zipf_ == nullptr || zipf_->n() != profile_.num_keys ||
+           zipf_->theta() != profile_.zipf_theta)) {
+        zipf_ = std::make_unique<ZipfianGenerator>(profile_.num_keys,
+                                                   profile_.zipf_theta);
+      }
+      return zipf_ != nullptr ? zipf_->Next(rng_) : 0;
+    case KeyDist::kHotSpot: {
+      uint64_t hot_keys = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(profile_.num_keys) *
+                                   profile_.hot_fraction));
+      if (rng_.NextBool(profile_.hot_share)) {
+        return rng_.NextUint64(hot_keys);
+      }
+      uint64_t cold = profile_.num_keys > hot_keys
+                          ? profile_.num_keys - hot_keys
+                          : 1;
+      return hot_keys + rng_.NextUint64(cold);
+    }
+  }
+  return 0;
+}
+
+std::string WorkloadGenerator::MakeValue() {
+  double bytes = profile_.value_bytes > 0
+                     ? rng_.NextLogNormal(
+                           std::log(static_cast<double>(profile_.value_bytes)),
+                           profile_.value_sigma)
+                     : 0;
+  size_t n = static_cast<size_t>(std::clamp(bytes, 1.0, 8.0 * 1024 * 1024));
+  return std::string(n, 'v');
+}
+
+std::vector<ClientRequest> WorkloadGenerator::Tick(Micros now,
+                                                   Micros tick_len) {
+  double expected = ExpectedQps(now) * static_cast<double>(tick_len) /
+                    static_cast<double>(kMicrosPerSecond);
+  int64_t count = rng_.NextPoisson(expected);
+
+  std::vector<ClientRequest> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; i++) {
+    ClientRequest req;
+    req.req_id = (static_cast<uint64_t>(tenant_) << 40) | next_req_id_++;
+    req.tenant = tenant_;
+    req.issued_at = now;
+    uint64_t key_index = SampleKeyIndex();
+    req.key = KeyAt(key_index);
+
+    bool is_hash = rng_.NextBool(profile_.hash_op_fraction);
+    bool is_read = rng_.NextBool(profile_.read_ratio);
+    if (is_hash) {
+      req.field = "f" + std::to_string(rng_.NextUint64(profile_.hash_fields));
+      if (is_read) {
+        // Mix of field reads and whole-hash scans / length queries.
+        double pick = rng_.NextDouble();
+        req.op = pick < 0.6 ? OpType::kHGet
+                            : (pick < 0.85 ? OpType::kHGetAll : OpType::kHLen);
+      } else {
+        req.op = OpType::kHSet;
+        req.value = MakeValue();
+      }
+    } else if (is_read) {
+      req.op = OpType::kGet;
+    } else {
+      req.op = OpType::kSet;
+      req.value = MakeValue();
+      req.ttl = profile_.ttl;
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+TimeSeries GenerateSeries(const SeriesSpec& spec, Rng& rng) {
+  std::vector<double> v(spec.hours, spec.base);
+  for (size_t h = 0; h < spec.hours; h++) {
+    double t_days = static_cast<double>(h) / 24.0;
+    v[h] += spec.trend_per_day * t_days;
+    for (const auto& s : spec.seasons) {
+      v[h] += s.amplitude *
+              std::sin(2.0 * M_PI * static_cast<double>(h) / s.period_hours);
+    }
+    if (spec.noise_sigma > 0) v[h] += rng.NextGaussian(0, spec.noise_sigma);
+  }
+  for (const auto& b : spec.bursts) {
+    for (size_t h = b.at_hour;
+         h < std::min(spec.hours, b.at_hour + b.duration_hours); h++) {
+      v[h] += b.add;
+    }
+  }
+  if (spec.level_shift_at_hour > 0) {
+    for (size_t h = spec.level_shift_at_hour; h < spec.hours; h++) {
+      v[h] *= spec.level_shift_factor;
+    }
+  }
+  for (double& x : v) x = std::max(0.0, x);
+  return TimeSeries(std::move(v));
+}
+
+}  // namespace sim
+}  // namespace abase

@@ -1,0 +1,121 @@
+// Synthetic tenant workload generation — the repo's stand-in for
+// ByteDance's production traffic (paper Section 2). A WorkloadProfile
+// captures the statistical shape of one business line (throughput,
+// read ratio, KV size, key skew, TTL, traffic dynamics); the generator
+// turns it into a deterministic per-tick stream of client requests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/time_series.h"
+#include "common/types.h"
+#include "node/request.h"
+
+namespace abase {
+namespace sim {
+
+/// Key-popularity distribution.
+enum class KeyDist {
+  kUniform,
+  kZipfian,  ///< YCSB-style skew.
+  kHotSpot,  ///< A small hot set takes a fixed share (hot-key events).
+};
+
+/// Statistical description of one tenant's workload.
+struct WorkloadProfile {
+  // Traffic volume.
+  double base_qps = 100;
+  /// Sinusoidal diurnal swing as a fraction of base (0 = flat).
+  double diurnal_amplitude = 0;
+  double diurnal_period_hours = 24;
+  /// Multiplicative traffic growth per simulated day (0 = none).
+  double trend_per_day = 0;
+  /// Scripted burst windows (absolute sim time).
+  struct Burst {
+    Micros start = 0;
+    Micros end = 0;
+    double multiplier = 1.0;
+  };
+  std::vector<Burst> bursts;
+
+  // Operation mix.
+  double read_ratio = 1.0;      ///< Fraction of ops that read.
+  double hash_op_fraction = 0;  ///< Fraction of ops on hash tables.
+  uint32_t hash_fields = 8;     ///< Fields per hash key.
+
+  // Key space.
+  uint64_t num_keys = 10000;
+  KeyDist key_dist = KeyDist::kZipfian;
+  double zipf_theta = 0.9;
+  double hot_fraction = 0.001;  ///< kHotSpot: fraction of keys that are hot.
+  double hot_share = 0.9;       ///< kHotSpot: traffic share of the hot set.
+
+  // Values.
+  uint64_t value_bytes = 1024;
+  double value_sigma = 0.3;  ///< Log-normal spread around value_bytes.
+  Micros ttl = 0;            ///< 0 = no TTL.
+};
+
+/// Deterministic request stream for one tenant.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(TenantId tenant, WorkloadProfile profile, uint64_t seed);
+
+  /// Requests for one tick of length `tick_len` at sim time `now`.
+  std::vector<ClientRequest> Tick(Micros now, Micros tick_len);
+
+  /// Expected (pre-noise) QPS at time `now` given the traffic shape.
+  double ExpectedQps(Micros now) const;
+
+  /// Mutable profile for scenario scripting (e.g., Figure 5 schedules
+  /// flip skew or traffic mid-run).
+  WorkloadProfile& profile() { return profile_; }
+  const WorkloadProfile& profile() const { return profile_; }
+
+  uint64_t requests_generated() const { return next_req_id_; }
+
+ private:
+  std::string KeyAt(uint64_t index) const;
+  uint64_t SampleKeyIndex();
+  std::string MakeValue();
+
+  TenantId tenant_;
+  WorkloadProfile profile_;
+  Rng rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  uint64_t next_req_id_ = 1;
+};
+
+/// Specification of a synthetic hourly metric series (usage history for
+/// the forecasting / autoscaling experiments).
+struct SeriesSpec {
+  size_t hours = 30 * 24;
+  double base = 1000;
+  double trend_per_day = 0;  ///< Additive slope per day.
+  struct Season {
+    double period_hours = 24;
+    double amplitude = 0;  ///< Absolute amplitude.
+  };
+  std::vector<Season> seasons;
+  double noise_sigma = 0;  ///< Gaussian noise, absolute.
+  struct SeriesBurst {
+    size_t at_hour = 0;
+    size_t duration_hours = 1;
+    double add = 0;
+  };
+  std::vector<SeriesBurst> bursts;
+  /// Optional level shift (trend change): multiply everything after it.
+  size_t level_shift_at_hour = 0;  ///< 0 = none.
+  double level_shift_factor = 1.0;
+};
+
+/// Generates the series described by `spec` (deterministic given rng).
+TimeSeries GenerateSeries(const SeriesSpec& spec, Rng& rng);
+
+}  // namespace sim
+}  // namespace abase

@@ -1,0 +1,40 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abase {
+namespace storage {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (expected_keys == 0) expected_keys = 1;
+  if (bits_per_key < 1) bits_per_key = 1;
+  bit_count_ = expected_keys * static_cast<size_t>(bits_per_key);
+  bit_count_ = std::max<size_t>(bit_count_, 64);
+  // Optimal probe count: ln(2) * bits/key, clamped to a sane range.
+  num_probes_ = std::clamp(
+      static_cast<int>(0.69 * static_cast<double>(bits_per_key)), 1, 30);
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_probes_; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+    bits_[bit / 64] |= (1ULL << (bit % 64));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1);
+  for (int i = 0; i < num_probes_; i++) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;
+    if ((bits_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace abase

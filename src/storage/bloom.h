@@ -1,0 +1,36 @@
+// Blocked-free simple bloom filter for SSTable key membership tests.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace abase {
+namespace storage {
+
+/// Standard bloom filter with k probes derived from a single 64-bit hash
+/// (double hashing). Sized at construction for an expected key count.
+class BloomFilter {
+ public:
+  /// `bits_per_key` trades memory for false-positive rate; 10 bits/key
+  /// gives ~1% FPR, which is what RocksDB uses by default.
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  void Add(std::string_view key);
+
+  /// False negatives never occur; false positives at the configured rate.
+  bool MayContain(std::string_view key) const;
+
+  size_t bit_count() const { return bit_count_; }
+  int num_probes() const { return num_probes_; }
+
+ private:
+  size_t bit_count_;
+  int num_probes_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,94 @@
+// DiskModel: per-DataNode disk cost accounting for the simulator. The LSM
+// engine reports how many data-block reads an operation needed; the disk
+// model converts block operations into service time and enforces an IOPS
+// ceiling per simulated second, which is what the I/O-WFQ arbitrates.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace abase {
+namespace storage {
+
+/// Static disk characteristics (defaults approximate one NVMe-class disk
+/// shared by a DataNode, scaled down so simulations stay fast).
+struct DiskOptions {
+  double read_iops_capacity = 50000;   ///< Block reads per second.
+  double write_iops_capacity = 30000;  ///< Block writes per second.
+  Micros read_service_micros = 80;     ///< Service time per block read.
+  Micros write_service_micros = 100;   ///< Service time per block write.
+};
+
+/// Tracks disk utilization within the current one-second accounting window.
+/// Deterministic: no queuing theory, just capacity consumption plus a
+/// linear congestion penalty when the window is nearly full.
+class DiskModel {
+ public:
+  explicit DiskModel(DiskOptions options = {}) : options_(options) {}
+
+  /// Begins a new accounting window (the simulator calls this each tick).
+  void ResetWindow() {
+    window_reads_ = 0;
+    window_writes_ = 0;
+  }
+
+  /// True if the disk can absorb `blocks` more reads this window.
+  bool CanRead(int blocks) const {
+    return window_reads_ + blocks <=
+           static_cast<int64_t>(options_.read_iops_capacity);
+  }
+  bool CanWrite(int blocks) const {
+    return window_writes_ + blocks <=
+           static_cast<int64_t>(options_.write_iops_capacity);
+  }
+
+  /// Charges `blocks` read operations and returns their service time,
+  /// inflated when the window is loaded (queueing delay approximation).
+  Micros ChargeRead(int blocks) {
+    window_reads_ += blocks;
+    total_reads_ += blocks;
+    return static_cast<Micros>(static_cast<double>(blocks) *
+                               static_cast<double>(options_.read_service_micros) *
+                               CongestionFactor(ReadUtilization()));
+  }
+
+  Micros ChargeWrite(int blocks) {
+    window_writes_ += blocks;
+    total_writes_ += blocks;
+    return static_cast<Micros>(
+        static_cast<double>(blocks) *
+        static_cast<double>(options_.write_service_micros) *
+        CongestionFactor(WriteUtilization()));
+  }
+
+  /// Fraction of this window's read IOPS budget consumed, in [0, 1+].
+  double ReadUtilization() const {
+    return static_cast<double>(window_reads_) / options_.read_iops_capacity;
+  }
+  double WriteUtilization() const {
+    return static_cast<double>(window_writes_) / options_.write_iops_capacity;
+  }
+
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t total_writes() const { return total_writes_; }
+  const DiskOptions& options() const { return options_; }
+
+ private:
+  /// Latency multiplier: flat until 70% utilization, then grows linearly
+  /// to 4x at 100% (an M/M/1-flavoured knee without randomness).
+  static double CongestionFactor(double util) {
+    if (util <= 0.7) return 1.0;
+    double over = util - 0.7;
+    return 1.0 + over * 10.0;
+  }
+
+  DiskOptions options_;
+  int64_t window_reads_ = 0;
+  int64_t window_writes_ = 0;
+  uint64_t total_reads_ = 0;
+  uint64_t total_writes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,363 @@
+#include "storage/lsm_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abase {
+namespace storage {
+
+LsmEngine::LsmEngine(LsmOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  assert(clock_ != nullptr);
+  levels_.resize(static_cast<size_t>(options_.max_levels));
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void LsmEngine::WriteEntry(const std::string& key, ValueEntry entry) {
+  entry.seq = next_seq_++;
+  if (options_.enable_wal) wal_.Append(key, entry);
+  mem_.Put(key, std::move(entry));
+  stats_.puts++;
+  MaybeFlush();
+}
+
+Status LsmEngine::Put(const std::string& key, std::string value, Micros ttl) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  Micros expire_at = ttl > 0 ? clock_->NowMicros() + ttl : 0;
+  WriteEntry(key, ValueEntry::String(std::move(value), 0, expire_at));
+  return Status::OK();
+}
+
+Status LsmEngine::Delete(const std::string& key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  WriteEntry(key, ValueEntry::Tombstone(0));
+  return Status::OK();
+}
+
+Status LsmEngine::HSet(const std::string& key, const std::string& field,
+                       std::string value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  // Read-modify-write on the merged view: the memtable stores whole-hash
+  // versions, so an HSET rewrites the hash with one field changed.
+  ReadIo io;
+  const ValueEntry* cur = FindEntry(key, &io);
+  ValueEntry next;
+  next.type = ValueType::kHash;
+  if (cur != nullptr && cur->type == ValueType::kHash) {
+    next.hash = cur->hash;
+    next.expire_at = cur->expire_at;
+  }
+  next.hash[field] = std::move(value);
+  WriteEntry(key, std::move(next));
+  return Status::OK();
+}
+
+Status LsmEngine::Expire(const std::string& key, Micros ttl) {
+  ReadIo io;
+  const ValueEntry* cur = FindEntry(key, &io);
+  if (cur == nullptr) return Status::NotFound("EXPIRE on missing key");
+  ValueEntry next = *cur;
+  next.expire_at = ttl > 0 ? clock_->NowMicros() + ttl : 0;
+  WriteEntry(key, std::move(next));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
+
+const ValueEntry* LsmEngine::FindEntry(std::string_view key, ReadIo* io) {
+  stats_.gets++;
+  if (const ValueEntry* e = mem_.Get(key); e != nullptr) {
+    stats_.memtable_hits++;
+    if (io != nullptr) io->memtable_hit = true;
+    if (e->IsTombstone()) return nullptr;
+    if (e->IsExpiredAt(clock_->NowMicros())) {
+      stats_.expired_dropped++;
+      return nullptr;
+    }
+    if (io != nullptr) {
+      io->found = true;
+      io->expire_at = e->expire_at;
+    }
+    return e;
+  }
+  // Probe runs newest-to-oldest: level order, and within a level the
+  // most recently added run first.
+  for (const auto& level : levels_) {
+    for (auto it = level.rbegin(); it != level.rend(); ++it) {
+      SstProbe probe = (*it)->Get(key);
+      if (probe.block_reads == 0) {
+        stats_.bloom_filtered++;
+        continue;
+      }
+      stats_.block_reads += static_cast<uint64_t>(probe.block_reads);
+      if (io != nullptr) io->block_reads += probe.block_reads;
+      if (probe.entry == nullptr) continue;  // Bloom false positive.
+      if (probe.entry->IsTombstone()) return nullptr;
+      if (probe.entry->IsExpiredAt(clock_->NowMicros())) {
+        stats_.expired_dropped++;
+        return nullptr;
+      }
+      if (io != nullptr) {
+        io->found = true;
+        io->expire_at = probe.entry->expire_at;
+      }
+      return probe.entry;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::string> LsmEngine::Get(std::string_view key, ReadIo* io) {
+  ReadIo local;
+  const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);
+  if (e == nullptr || e->type != ValueType::kString) {
+    return Status::NotFound("key absent");
+  }
+  return e->str;
+}
+
+Result<std::string> LsmEngine::HGet(std::string_view key,
+                                    std::string_view field, ReadIo* io) {
+  ReadIo local;
+  const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);
+  if (e == nullptr || e->type != ValueType::kHash) {
+    return Status::NotFound("hash absent");
+  }
+  auto it = e->hash.find(std::string(field));
+  if (it == e->hash.end()) return Status::NotFound("field absent");
+  return it->second;
+}
+
+Result<uint64_t> LsmEngine::HLen(std::string_view key, ReadIo* io) {
+  ReadIo local;
+  const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);
+  if (e == nullptr || e->type != ValueType::kHash) {
+    return Status::NotFound("hash absent");
+  }
+  return static_cast<uint64_t>(e->hash.size());
+}
+
+Result<std::map<std::string, std::string>> LsmEngine::HGetAll(
+    std::string_view key, ReadIo* io) {
+  ReadIo local;
+  const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);
+  if (e == nullptr || e->type != ValueType::kHash) {
+    return Status::NotFound("hash absent");
+  }
+  return e->hash;
+}
+
+// ---------------------------------------------------------------------------
+// Range scans
+// ---------------------------------------------------------------------------
+
+std::vector<LsmEngine::ScanEntry> LsmEngine::Scan(std::string_view start,
+                                                  std::string_view end,
+                                                  size_t limit) {
+  // Merge newest-first: the memtable first, then runs from newest to
+  // oldest. emplace() keeps the first (newest) version of each key.
+  std::map<std::string, const ValueEntry*> merged;
+  auto in_range = [&](const std::string& k) {
+    return k >= start && (end.empty() || k < end);
+  };
+
+  for (auto it = mem_.entries().lower_bound(std::string(start));
+       it != mem_.entries().end() && in_range(it->first); ++it) {
+    merged.emplace(it->first, &it->second);
+    // Over-collect per source: older sources may fill gaps between the
+    // first `limit` visible keys once tombstones are dropped.
+    if (merged.size() >= limit * 2 + 16) break;
+  }
+  for (const auto& level : levels_) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
+      const auto& rows = (*rit)->rows();
+      auto row = std::lower_bound(
+          rows.begin(), rows.end(), start,
+          [](const auto& r, std::string_view k) { return r.first < k; });
+      size_t taken = 0;
+      for (; row != rows.end() && in_range(row->first) &&
+             taken < limit * 2 + 16;
+           ++row, ++taken) {
+        merged.emplace(row->first, &row->second);
+      }
+    }
+  }
+
+  std::vector<ScanEntry> out;
+  const Micros now = clock_->NowMicros();
+  for (const auto& [key, entry] : merged) {
+    if (out.size() >= limit) break;
+    if (entry->IsTombstone() || entry->IsExpiredAt(now)) continue;
+    ScanEntry se;
+    se.key = key;
+    if (entry->type == ValueType::kString) {
+      se.value = entry->str;
+    } else {
+      for (const auto& [f, v] : entry->hash) {
+        se.value += f;
+        se.value += '=';
+        se.value += v;
+        se.value += '\n';
+      }
+    }
+    out.push_back(std::move(se));
+  }
+  return out;
+}
+
+std::vector<LsmEngine::ScanEntry> LsmEngine::ScanPrefix(
+    std::string_view prefix, size_t limit) {
+  std::string end(prefix);
+  // Successor of the prefix: bump the last byte (dropping trailing 0xff).
+  while (!end.empty() && static_cast<unsigned char>(end.back()) == 0xff) {
+    end.pop_back();
+  }
+  if (!end.empty()) end.back() = static_cast<char>(end.back() + 1);
+  return Scan(prefix, end, limit);
+}
+
+// ---------------------------------------------------------------------------
+// Flush & compaction
+// ---------------------------------------------------------------------------
+
+void LsmEngine::MaybeFlush() {
+  if (mem_.approximate_bytes() >= options_.memtable_flush_bytes) Flush();
+}
+
+void LsmEngine::Flush() {
+  if (mem_.empty()) {
+    MaybeCompact();
+    return;
+  }
+  std::vector<std::pair<std::string, ValueEntry>> rows;
+  rows.reserve(mem_.entry_count());
+  uint64_t max_seq = 0;
+  for (const auto& [key, entry] : mem_.entries()) {
+    rows.emplace_back(key, entry);
+    max_seq = std::max(max_seq, entry.seq);
+  }
+  auto sst = std::make_shared<SsTable>(next_sst_id_++, std::move(rows));
+  stats_.flush_count++;
+  stats_.flushed_bytes += sst->data_bytes();
+  levels_[0].push_back(std::move(sst));
+  mem_ = MemTable();
+  if (options_.enable_wal) wal_.TruncateThrough(max_seq);
+  while (MaybeCompact()) {
+  }
+}
+
+bool LsmEngine::MaybeCompact() {
+  for (size_t level = 0; level < levels_.size(); level++) {
+    if (levels_[level].size() >
+        static_cast<size_t>(options_.runs_per_level_trigger)) {
+      CompactLevel(level);
+      return true;
+    }
+  }
+  return false;
+}
+
+void LsmEngine::CompactLevel(size_t level) {
+  const bool is_bottom = level + 1 >= levels_.size();
+  const size_t target = is_bottom ? level : level + 1;
+
+  // Newest-first ordering: within a level, later index = newer.
+  std::vector<SsTablePtr> inputs;
+  for (auto it = levels_[level].rbegin(); it != levels_[level].rend(); ++it) {
+    inputs.push_back(*it);
+  }
+  if (!is_bottom) {
+    // Fold the existing target-level runs in as the oldest inputs so the
+    // target keeps a single merged run per compaction.
+    for (auto it = levels_[target].rbegin(); it != levels_[target].rend();
+         ++it) {
+      inputs.push_back(*it);
+    }
+  }
+
+  uint64_t read_bytes = 0;
+  for (const auto& run : inputs) read_bytes += run->data_bytes();
+
+  // Tombstones and expired entries may only be dropped when merging into
+  // the bottom level (no older version can exist below it).
+  const bool drop_deletes = target + 1 >= levels_.size();
+  auto merged_rows = MergeRuns(inputs, drop_deletes);
+
+  levels_[level].clear();
+  if (!is_bottom) levels_[target].clear();
+  if (!merged_rows.empty()) {
+    auto merged =
+        std::make_shared<SsTable>(next_sst_id_++, std::move(merged_rows));
+    stats_.compaction_write_bytes += merged->data_bytes();
+    levels_[target].push_back(std::move(merged));
+  }
+  stats_.compaction_count++;
+  stats_.compaction_read_bytes += read_bytes;
+}
+
+std::vector<std::pair<std::string, ValueEntry>> LsmEngine::MergeRuns(
+    const std::vector<SsTablePtr>& runs_newest_first, bool drop_deletes) {
+  // K-way merge by key; on ties the newest run (lowest input index) wins.
+  std::map<std::string, ValueEntry> merged;
+  for (const auto& run : runs_newest_first) {
+    for (const auto& [key, entry] : run->rows()) {
+      merged.emplace(key, entry);  // No overwrite: first (newest) wins.
+    }
+  }
+  std::vector<std::pair<std::string, ValueEntry>> rows;
+  rows.reserve(merged.size());
+  const Micros now = clock_->NowMicros();
+  for (auto& [key, entry] : merged) {
+    if (drop_deletes &&
+        (entry.IsTombstone() || entry.IsExpiredAt(now))) {
+      stats_.expired_dropped += entry.IsExpiredAt(now) ? 1 : 0;
+      continue;
+    }
+    rows.emplace_back(key, std::move(entry));
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery & introspection
+// ---------------------------------------------------------------------------
+
+void LsmEngine::CrashAndRecover() {
+  mem_ = MemTable();
+  if (!options_.enable_wal) return;
+  // Replay preserves original sequence numbers so ordering against
+  // flushed runs stays correct.
+  for (const WalRecord& rec : wal_.records()) {
+    mem_.Put(rec.key, rec.entry);
+  }
+}
+
+uint64_t LsmEngine::ApproximateDataBytes() const {
+  uint64_t total = mem_.approximate_bytes();
+  for (const auto& level : levels_) {
+    for (const auto& run : level) total += run->data_bytes();
+  }
+  return total;
+}
+
+std::vector<size_t> LsmEngine::LevelRunCounts() const {
+  std::vector<size_t> counts;
+  counts.reserve(levels_.size());
+  for (const auto& level : levels_) counts.push_back(level.size());
+  return counts;
+}
+
+double LsmEngine::WriteAmplification() const {
+  if (stats_.flushed_bytes == 0) return 0;
+  return static_cast<double>(stats_.flushed_bytes +
+                             stats_.compaction_write_bytes) /
+         static_cast<double>(stats_.flushed_bytes);
+}
+
+}  // namespace storage
+}  // namespace abase

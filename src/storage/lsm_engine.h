@@ -1,0 +1,176 @@
+// LsmEngine: the local storage engine backing each DataNode — the repo's
+// stand-in for ByteDance's LavaStore [43]. A real (memory-backed) LSM tree:
+// WAL → memtable → size-tiered levels of bloom-filtered SSTables, with TTL
+// expiry at read time and at compaction. Every data-block probe is counted
+// so the scheduling layer can charge realistic disk I/O.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+
+namespace abase {
+namespace storage {
+
+/// Engine tuning knobs.
+struct LsmOptions {
+  /// Memtable flush threshold in bytes.
+  uint64_t memtable_flush_bytes = 4ull << 20;
+  /// A level holding this many runs triggers a merge into the next level.
+  int runs_per_level_trigger = 4;
+  /// Maximum number of levels (the last level compacts in place).
+  int max_levels = 5;
+  /// Whether mutations are logged for crash recovery.
+  bool enable_wal = true;
+};
+
+/// Cumulative engine counters (monotonic; diff across a window for rates).
+struct LsmStats {
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t block_reads = 0;          ///< Data-block reads across all gets.
+  uint64_t bloom_filtered = 0;       ///< Probes answered "no" by bloom.
+  uint64_t flush_count = 0;
+  uint64_t flushed_bytes = 0;
+  uint64_t compaction_count = 0;
+  uint64_t compaction_read_bytes = 0;
+  uint64_t compaction_write_bytes = 0;
+  uint64_t expired_dropped = 0;      ///< TTL'd entries discarded.
+};
+
+/// Per-operation I/O outcome, consumed by the DataNode to decide whether a
+/// request needs the I/O-WFQ layer and how many IOPS to charge.
+struct ReadIo {
+  bool memtable_hit = false;
+  int block_reads = 0;
+  bool found = false;
+  Micros expire_at = 0;  ///< Found entry's TTL deadline (0 = none).
+};
+
+/// Single-partition LSM key-value engine. Not internally synchronized: the
+/// DataNode serializes access per partition (matching the simulator's
+/// deterministic execution).
+class LsmEngine {
+ public:
+  LsmEngine(LsmOptions options, const Clock* clock);
+
+  // -- String commands ----------------------------------------------------
+
+  /// SET. `ttl` of 0 means no expiry; otherwise the value expires at
+  /// now + ttl.
+  Status Put(const std::string& key, std::string value, Micros ttl = 0);
+
+  /// GET. NotFound for absent, deleted, or expired keys. If `io` is
+  /// non-null it receives the probe cost breakdown.
+  Result<std::string> Get(std::string_view key, ReadIo* io = nullptr);
+
+  /// DEL. OK even if the key did not exist (writes a tombstone).
+  Status Delete(const std::string& key);
+
+  // -- Hash commands -------------------------------------------------------
+
+  /// HSET: sets one field of the hash at `key`, creating the hash if
+  /// needed. Read-modify-write through the merged view.
+  Status HSet(const std::string& key, const std::string& field,
+              std::string value);
+
+  /// HGET one field. NotFound if key or field absent.
+  Result<std::string> HGet(std::string_view key, std::string_view field,
+                           ReadIo* io = nullptr);
+
+  /// HLEN: number of fields. NotFound if the key is absent.
+  Result<uint64_t> HLen(std::string_view key, ReadIo* io = nullptr);
+
+  /// HGETALL: the full field map. NotFound if the key is absent.
+  Result<std::map<std::string, std::string>> HGetAll(std::string_view key,
+                                                     ReadIo* io = nullptr);
+
+  // -- Range scans ----------------------------------------------------------
+
+  /// One visible key/value in a scan result.
+  struct ScanEntry {
+    std::string key;
+    std::string value;  ///< String payload, or serialized hash fields.
+  };
+
+  /// Merged range scan over [start, end): newest version per key wins;
+  /// tombstoned and expired keys are skipped. Returns at most `limit`
+  /// entries in key order. An empty `end` means "to the last key".
+  std::vector<ScanEntry> Scan(std::string_view start, std::string_view end,
+                              size_t limit = 100);
+
+  /// Prefix scan convenience wrapper over Scan().
+  std::vector<ScanEntry> ScanPrefix(std::string_view prefix,
+                                    size_t limit = 100);
+
+  // -- TTL ------------------------------------------------------------------
+
+  /// EXPIRE: (re)sets the TTL of an existing key.
+  Status Expire(const std::string& key, Micros ttl);
+
+  // -- Maintenance ----------------------------------------------------------
+
+  /// Flushes the memtable to a level-0 run (no-op when empty) and runs any
+  /// triggered compactions.
+  void Flush();
+
+  /// Runs one round of size-tiered compaction if any level exceeds its
+  /// run-count trigger. Returns true if a merge happened.
+  bool MaybeCompact();
+
+  /// Simulates a process crash: discards the memtable, then replays the
+  /// WAL. With WAL disabled, unflushed writes are lost (by design).
+  void CrashAndRecover();
+
+  // -- Introspection --------------------------------------------------------
+
+  const LsmStats& stats() const { return stats_; }
+  uint64_t memtable_bytes() const { return mem_.approximate_bytes(); }
+
+  /// Approximate on-"disk" + in-memory data footprint. Counts duplicate
+  /// versions across runs (like physical LSM space usage before GC).
+  uint64_t ApproximateDataBytes() const;
+
+  /// Number of runs per level, outermost index = level.
+  std::vector<size_t> LevelRunCounts() const;
+
+  /// Write amplification so far: (flushed + compaction written) / flushed.
+  double WriteAmplification() const;
+
+ private:
+  /// Merged lookup across memtable and all runs; returns the newest
+  /// visible entry or nullptr. Fills `io`.
+  const ValueEntry* FindEntry(std::string_view key, ReadIo* io);
+
+  void WriteEntry(const std::string& key, ValueEntry entry);
+  void MaybeFlush();
+  void CompactLevel(size_t level);
+
+  /// Merges runs (newest first) into one sorted row set, dropping shadowed
+  /// versions, and — when `drop_deletes` — tombstones and expired entries.
+  std::vector<std::pair<std::string, ValueEntry>> MergeRuns(
+      const std::vector<SsTablePtr>& runs_newest_first, bool drop_deletes);
+
+  LsmOptions options_;
+  const Clock* clock_;
+  MemTable mem_;
+  WriteAheadLog wal_;
+  /// levels_[0] is newest; within a level, later index = newer run.
+  std::vector<std::vector<SsTablePtr>> levels_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_sst_id_ = 1;
+  LsmStats stats_;
+};
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,37 @@
+#include "storage/memtable.h"
+
+namespace abase {
+namespace storage {
+
+void MemTable::Put(const std::string& key, ValueEntry entry) {
+  auto it = table_.find(key);
+  uint64_t new_bytes = EntryBytes(key, entry);
+  if (it != table_.end()) {
+    bytes_ -= EntryBytes(key, it->second);
+    it->second = std::move(entry);
+  } else {
+    table_.emplace(key, std::move(entry));
+  }
+  bytes_ += new_bytes;
+}
+
+const ValueEntry* MemTable::Get(std::string_view key) const {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+ValueEntry* MemTable::GetMutable(std::string_view key) {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void MemTable::AdjustBytes(int64_t delta) {
+  if (delta < 0 && static_cast<uint64_t>(-delta) > bytes_) {
+    bytes_ = 0;
+  } else {
+    bytes_ = static_cast<uint64_t>(static_cast<int64_t>(bytes_) + delta);
+  }
+}
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,56 @@
+// In-memory write buffer of the LSM engine: an ordered map from key to the
+// latest ValueEntry, with byte accounting that drives flush decisions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "storage/value.h"
+
+namespace abase {
+namespace storage {
+
+/// Ordered mutable key→value buffer. Not internally synchronized; the
+/// engine serializes access.
+class MemTable {
+ public:
+  /// Inserts or replaces the entry for `key`.
+  void Put(const std::string& key, ValueEntry entry);
+
+  /// Latest entry for `key`, including tombstones (callers must check).
+  const ValueEntry* Get(std::string_view key) const;
+
+  /// Mutable access for read-modify-write commands (HSET on an existing
+  /// hash). Returns nullptr if absent.
+  ValueEntry* GetMutable(std::string_view key);
+
+  size_t entry_count() const { return table_.size(); }
+  uint64_t approximate_bytes() const { return bytes_; }
+  bool empty() const { return table_.empty(); }
+
+  /// Ordered iteration for flush.
+  const std::map<std::string, ValueEntry, std::less<>>& entries() const {
+    return table_;
+  }
+
+  /// Re-derives the byte accounting after in-place mutation via
+  /// GetMutable. `delta` may be negative.
+  void AdjustBytes(int64_t delta);
+
+ private:
+  static uint64_t EntryBytes(const std::string& key, const ValueEntry& e) {
+    return key.size() + e.PayloadBytes() + kEntryOverhead;
+  }
+
+  /// Fixed per-entry overhead (seq, type, TTL, node pointers).
+  static constexpr uint64_t kEntryOverhead = 48;
+
+  std::map<std::string, ValueEntry, std::less<>> table_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace abase

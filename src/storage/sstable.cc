@@ -1,0 +1,37 @@
+#include "storage/sstable.h"
+
+#include <algorithm>
+
+namespace abase {
+namespace storage {
+
+SsTable::SsTable(uint64_t id,
+                 std::vector<std::pair<std::string, ValueEntry>> rows)
+    : id_(id), rows_(std::move(rows)), bloom_(rows_.size()) {
+  for (const auto& [key, entry] : rows_) {
+    bloom_.Add(key);
+    data_bytes_ += key.size() + entry.PayloadBytes();
+  }
+  if (!rows_.empty()) {
+    min_key_ = rows_.front().first;
+    max_key_ = rows_.back().first;
+  }
+}
+
+SstProbe SsTable::Get(std::string_view key) const {
+  SstProbe probe;
+  if (!KeyInRange(key) || !bloom_.MayContain(key)) return probe;
+  // Bloom said "maybe": charge one data-block read whether or not the key
+  // is actually present (a false positive still reads the block).
+  probe.block_reads = 1;
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key,
+      [](const auto& row, std::string_view k) { return row.first < k; });
+  if (it != rows_.end() && it->first == key) {
+    probe.entry = &it->second;
+  }
+  return probe;
+}
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,63 @@
+// Immutable sorted run with a bloom filter and block-granular I/O
+// accounting. Data lives in memory (the simulator's "disk"), but every
+// probe that reaches the run's data blocks counts as one disk read so the
+// I/O-WFQ and DiskModel see realistic load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "storage/bloom.h"
+#include "storage/value.h"
+
+namespace abase {
+namespace storage {
+
+/// Result of probing one SSTable.
+struct SstProbe {
+  const ValueEntry* entry = nullptr;  ///< nullptr if key absent.
+  int block_reads = 0;  ///< Data-block reads charged (0 if bloom-filtered).
+};
+
+/// An immutable sorted string table built from a flushed memtable or a
+/// compaction merge.
+class SsTable {
+ public:
+  /// Builds from sorted (key, entry) pairs. `id` is unique per engine.
+  SsTable(uint64_t id, std::vector<std::pair<std::string, ValueEntry>> rows);
+
+  /// Point lookup. Bloom-negative probes cost no block reads; positive
+  /// probes cost one block read (the sparse index is assumed resident).
+  SstProbe Get(std::string_view key) const;
+
+  uint64_t id() const { return id_; }
+  size_t entry_count() const { return rows_.size(); }
+  uint64_t data_bytes() const { return data_bytes_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  /// True if `key` falls in [min_key, max_key] (cheap pre-filter).
+  bool KeyInRange(std::string_view key) const {
+    return !rows_.empty() && key >= min_key_ && key <= max_key_;
+  }
+
+  const std::vector<std::pair<std::string, ValueEntry>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  uint64_t id_;
+  std::vector<std::pair<std::string, ValueEntry>> rows_;
+  BloomFilter bloom_;
+  uint64_t data_bytes_ = 0;
+  std::string min_key_, max_key_;
+};
+
+using SsTablePtr = std::shared_ptr<const SsTable>;
+
+}  // namespace storage
+}  // namespace abase

@@ -1,0 +1,65 @@
+// Value representation for the storage engine: Redis-style string and hash
+// values with optional TTL and tombstones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+
+namespace abase {
+namespace storage {
+
+/// Value kind stored under a key.
+enum class ValueType : uint8_t {
+  kString = 0,
+  kHash = 1,
+  kTombstone = 2,  ///< Deletion marker; removed at bottom-level compaction.
+};
+
+/// A versioned value. `seq` orders versions of the same key across runs;
+/// higher sequence wins. `expire_at` of 0 means "no TTL".
+struct ValueEntry {
+  ValueType type = ValueType::kString;
+  uint64_t seq = 0;
+  Micros expire_at = 0;
+  std::string str;                          ///< kString payload.
+  std::map<std::string, std::string> hash;  ///< kHash payload (field→value).
+
+  bool IsTombstone() const { return type == ValueType::kTombstone; }
+
+  /// True if this entry has a TTL that has elapsed at time `now`.
+  bool IsExpiredAt(Micros now) const {
+    return expire_at != 0 && now >= expire_at;
+  }
+
+  /// Approximate in-memory footprint of the payload in bytes; drives
+  /// memtable flush thresholds and cache charging.
+  uint64_t PayloadBytes() const {
+    if (type == ValueType::kString) return str.size();
+    uint64_t total = 0;
+    for (const auto& [f, v] : hash) total += f.size() + v.size();
+    return total;
+  }
+
+  static ValueEntry String(std::string value, uint64_t seq,
+                           Micros expire_at = 0) {
+    ValueEntry e;
+    e.type = ValueType::kString;
+    e.seq = seq;
+    e.expire_at = expire_at;
+    e.str = std::move(value);
+    return e;
+  }
+
+  static ValueEntry Tombstone(uint64_t seq) {
+    ValueEntry e;
+    e.type = ValueType::kTombstone;
+    e.seq = seq;
+    return e;
+  }
+};
+
+}  // namespace storage
+}  // namespace abase

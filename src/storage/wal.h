@@ -1,0 +1,59 @@
+// Minimal write-ahead log. Records are kept in memory; the engine replays
+// them to rebuild the memtable after a simulated crash, which the recovery
+// tests and the MetaServer failure experiments rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/value.h"
+
+namespace abase {
+namespace storage {
+
+/// One logical WAL record: a full key/value mutation.
+struct WalRecord {
+  std::string key;
+  ValueEntry entry;
+};
+
+/// Append-only log with truncation at flush boundaries.
+class WriteAheadLog {
+ public:
+  void Append(std::string key, const ValueEntry& entry) {
+    bytes_ += key.size() + entry.PayloadBytes();
+    records_.push_back(WalRecord{std::move(key), entry});
+  }
+
+  /// Drops all records up to and including sequence `seq` (called after
+  /// the memtable covering those records has been flushed).
+  void TruncateThrough(uint64_t seq) {
+    size_t keep_from = 0;
+    while (keep_from < records_.size() &&
+           records_[keep_from].entry.seq <= seq) {
+      bytes_ -= records_[keep_from].key.size() +
+                records_[keep_from].entry.PayloadBytes();
+      keep_from++;
+    }
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+
+  const std::vector<WalRecord>& records() const { return records_; }
+  size_t record_count() const { return records_.size(); }
+  uint64_t bytes() const { return bytes_; }
+
+  void Clear() {
+    records_.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::vector<WalRecord> records_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace abase

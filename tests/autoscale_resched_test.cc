@@ -1,0 +1,297 @@
+// Tests for the predictive autoscaler (Algorithm 1) and the
+// multi-resource rescheduler (Algorithm 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autoscale/autoscaler.h"
+#include "common/rng.h"
+#include "resched/pool_model.h"
+#include "resched/rescheduler.h"
+#include "sim/workload.h"
+
+namespace abase {
+namespace {
+
+// ------------------------------------------------------------- Autoscaler --
+
+TimeSeries RisingDailySeries(double start, double per_day,
+                             size_t hours = 30 * 24) {
+  sim::SeriesSpec spec;
+  spec.hours = hours;
+  spec.base = start;
+  spec.trend_per_day = per_day;
+  spec.seasons.push_back({24, start * 0.1});
+  spec.noise_sigma = start * 0.01;
+  Rng rng(31);
+  return sim::GenerateSeries(spec, rng);
+}
+
+TEST(AutoscalerTest, ScalesUpWhenForecastExceedsUpperThreshold) {
+  autoscale::Autoscaler scaler;
+  // Usage climbing through the 10000 quota: ~12500 by day 30, +250/day.
+  TimeSeries usage = RisingDailySeries(5000, 250);
+  auto d = scaler.Decide(usage, TimeSeries(), /*current_quota=*/10000,
+                         /*num_partitions=*/8, /*upper=*/1e9, /*lower=*/0,
+                         /*last_scale_down=*/-1, /*now=*/0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().action, autoscale::ScalingDecision::Action::kScaleUp);
+  // New quota sized so forecast sits at the 0.65 target.
+  EXPECT_NEAR(d.value().new_quota, d.value().forecast_max / 0.65, 1.0);
+  EXPECT_GT(d.value().new_quota, 10000);
+}
+
+TEST(AutoscalerTest, StaysPutInsideBand) {
+  autoscale::Autoscaler scaler;
+  TimeSeries usage = RisingDailySeries(7500, 0);  // ~75% of quota: in band.
+  auto d = scaler.Decide(usage, TimeSeries(), 10000, 8, 1e9, 0, -1, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().action, autoscale::ScalingDecision::Action::kNone);
+  EXPECT_DOUBLE_EQ(d.value().new_quota, 10000);
+}
+
+TEST(AutoscalerTest, ScaleDownRequiresCooldown) {
+  autoscale::Autoscaler scaler;
+  TimeSeries usage = RisingDailySeries(2000, 0);  // 20% of quota.
+  // Scaled down 1 day ago: cooldown (7d) blocks.
+  auto blocked = scaler.Decide(usage, TimeSeries(), 10000, 8, 1e9, 0,
+                               /*last_scale_down=*/9 * kMicrosPerDay,
+                               /*now=*/10 * kMicrosPerDay);
+  ASSERT_TRUE(blocked.ok());
+  EXPECT_EQ(blocked.value().action,
+            autoscale::ScalingDecision::Action::kNone);
+  // 8 days since the last down-scale: allowed.
+  auto allowed = scaler.Decide(usage, TimeSeries(), 10000, 8, 1e9, 0,
+                               /*last_scale_down=*/1 * kMicrosPerDay,
+                               /*now=*/10 * kMicrosPerDay);
+  ASSERT_TRUE(allowed.ok());
+  EXPECT_EQ(allowed.value().action,
+            autoscale::ScalingDecision::Action::kScaleDown);
+  EXPECT_LT(allowed.value().new_quota, 10000);
+}
+
+TEST(AutoscalerTest, ScaleDownRespectsPartitionQuotaFloor) {
+  autoscale::Autoscaler scaler;
+  TimeSeries usage = RisingDailySeries(100, 0);  // Tiny usage.
+  auto d = scaler.Decide(usage, TimeSeries(), 10000, 8, 1e9,
+                         /*lower=*/500, -1, 0);
+  ASSERT_TRUE(d.ok());
+  // Floor: 500 x 8 partitions = 4000 even though usage warrants less.
+  EXPECT_EQ(d.value().action, autoscale::ScalingDecision::Action::kScaleDown);
+  EXPECT_DOUBLE_EQ(d.value().new_quota, 4000);
+}
+
+TEST(AutoscalerTest, SplitFlaggedWhenPartitionQuotaExceedsUpperBound) {
+  autoscale::Autoscaler scaler;
+  TimeSeries usage = RisingDailySeries(40000, 1500);
+  auto d = scaler.Decide(usage, TimeSeries(), 50000, 4, /*upper=*/15000, 0,
+                         -1, 0);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d.value().action, autoscale::ScalingDecision::Action::kScaleUp);
+  EXPECT_TRUE(d.value().partition_split);
+}
+
+TEST(AutoscalerTest, BadInputsRejected) {
+  autoscale::Autoscaler scaler;
+  TimeSeries usage = RisingDailySeries(100, 0);
+  EXPECT_FALSE(scaler.Decide(usage, TimeSeries(), 0, 4, 1, 0, -1, 0).ok());
+  EXPECT_FALSE(
+      scaler.Decide(usage, TimeSeries(), 1000, 0, 1, 0, -1, 0).ok());
+  EXPECT_FALSE(scaler
+                   .Decide(TimeSeries({1, 2, 3}), TimeSeries(), 1000, 4, 1,
+                           0, -1, 0)
+                   .ok());
+}
+
+TEST(ReactiveScalerTest, OnlyReactsAfterThreshold) {
+  autoscale::ReactiveScaler reactive;
+  auto none = reactive.Decide(800, 1000);
+  EXPECT_EQ(none.action, autoscale::ScalingDecision::Action::kNone);
+  auto up = reactive.Decide(950, 1000);
+  EXPECT_EQ(up.action, autoscale::ScalingDecision::Action::kScaleUp);
+  EXPECT_NEAR(up.new_quota, 950 / 0.65, 1e-6);
+}
+
+// ------------------------------------------------------------- PoolModel --
+
+resched::ReplicaLoad MakeReplica(TenantId t, PartitionId p, uint32_t idx,
+                                 double ru, double storage) {
+  resched::ReplicaLoad r;
+  r.tenant = t;
+  r.partition = p;
+  r.replica_index = idx;
+  r.ru = LoadVector::Constant(ru);
+  r.storage = LoadVector::Constant(storage);
+  return r;
+}
+
+TEST(PoolModelTest, LoadAggregation) {
+  resched::NodeModel n(1, 1000, 10000);
+  n.AddReplica(MakeReplica(1, 0, 0, 100, 2000));
+  n.AddReplica(MakeReplica(2, 0, 0, 300, 1000));
+  EXPECT_DOUBLE_EQ(n.Load(resched::Resource::kRu), 400);
+  EXPECT_DOUBLE_EQ(n.Utilization(resched::Resource::kRu), 0.4);
+  EXPECT_DOUBLE_EQ(n.Utilization(resched::Resource::kStorage), 0.3);
+}
+
+TEST(PoolModelTest, HypotheticalAddRemove) {
+  resched::NodeModel n(1, 1000, 10000);
+  n.AddReplica(MakeReplica(1, 0, 0, 100, 2000));
+  auto extra = MakeReplica(2, 1, 0, 200, 3000);
+  EXPECT_DOUBLE_EQ(n.UtilizationWith(resched::Resource::kRu, extra), 0.3);
+  EXPECT_DOUBLE_EQ(n.Utilization(resched::Resource::kRu), 0.1);  // Unchanged.
+  auto first = MakeReplica(1, 0, 0, 100, 2000);
+  EXPECT_DOUBLE_EQ(n.UtilizationWithout(resched::Resource::kRu, first), 0.0);
+}
+
+TEST(PoolModelTest, RemoveReplicaReturnsLoad) {
+  resched::NodeModel n(1, 1000, 10000);
+  n.AddReplica(MakeReplica(1, 0, 0, 100, 2000));
+  auto removed = n.RemoveReplica(1, 0, 0);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_DOUBLE_EQ(n.Load(resched::Resource::kRu), 0);
+  EXPECT_TRUE(n.RemoveReplica(1, 0, 0).status().IsNotFound());
+}
+
+TEST(PoolModelTest, OptimalLoadIsPoolAverage) {
+  resched::PoolModel pool;
+  pool.AddNode(1, 1000, 10000).AddReplica(MakeReplica(1, 0, 0, 800, 1000));
+  pool.AddNode(2, 1000, 10000).AddReplica(MakeReplica(1, 1, 0, 200, 1000));
+  EXPECT_DOUBLE_EQ(pool.OptimalLoad(resched::Resource::kRu), 0.5);
+  EXPECT_DOUBLE_EQ(pool.MaxUtilization(resched::Resource::kRu), 0.8);
+  EXPECT_DOUBLE_EQ(pool.MeanUtilization(resched::Resource::kRu), 0.5);
+  EXPECT_GT(pool.UtilizationStddev(resched::Resource::kRu), 0.0);
+}
+
+TEST(PoolModelTest, DivisionBuckets) {
+  resched::PoolModel pool;
+  pool.AddNode(1, 1000, 1e9).AddReplica(MakeReplica(1, 0, 0, 900, 1));
+  pool.AddNode(2, 1000, 1e9).AddReplica(MakeReplica(1, 1, 0, 500, 1));
+  pool.AddNode(3, 1000, 1e9).AddReplica(MakeReplica(1, 2, 0, 100, 1));
+  // Optimal RU = 0.5; theta 0.05: node1 (0.9) high, node2 (0.5) medium,
+  // node3 (0.1) low.
+  auto div = DivideNodes(pool, resched::Resource::kRu, 0.05);
+  ASSERT_EQ(div.high.size(), 1u);
+  EXPECT_EQ(div.high[0], 1u);
+  ASSERT_EQ(div.medium.size(), 1u);
+  EXPECT_EQ(div.medium[0], 2u);
+  ASSERT_EQ(div.low.size(), 1u);
+  EXPECT_EQ(div.low[0], 3u);
+}
+
+// ------------------------------------------------------------ Rescheduler --
+
+TEST(ReschedulerTest, SingleMigrationReducesImbalance) {
+  resched::PoolModel pool;
+  auto& hot = pool.AddNode(1, 1000, 1e9);
+  hot.AddReplica(MakeReplica(1, 0, 0, 400, 10));
+  hot.AddReplica(MakeReplica(1, 1, 0, 400, 10));
+  pool.AddNode(2, 1000, 1e9);  // Empty cold node.
+
+  resched::IntraPoolRescheduler rescheduler;
+  auto moves = rescheduler.Run(&pool);
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].from, 1u);
+  EXPECT_EQ(moves[0].to, 2u);
+  EXPECT_GT(moves[0].gain, 0.0);
+  EXPECT_DOUBLE_EQ(pool.MaxUtilization(resched::Resource::kRu), 0.4);
+}
+
+TEST(ReschedulerTest, NeverColocatesSamePartition) {
+  resched::PoolModel pool;
+  auto& hot = pool.AddNode(1, 1000, 1e9);
+  hot.AddReplica(MakeReplica(1, 0, 0, 900, 10));
+  auto& cold = pool.AddNode(2, 1000, 1e9);
+  cold.AddReplica(MakeReplica(1, 0, 1, 10, 10));  // Same partition!
+  resched::IntraPoolRescheduler rescheduler;
+  auto moves = rescheduler.Run(&pool);
+  EXPECT_TRUE(moves.empty());  // Only destination already hosts partition 0.
+}
+
+TEST(ReschedulerTest, BalancedPoolIsStable) {
+  resched::PoolModel pool;
+  for (NodeId i = 1; i <= 4; i++) {
+    pool.AddNode(i, 1000, 1e9)
+        .AddReplica(MakeReplica(1, i, 0, 500, 100));
+  }
+  resched::IntraPoolRescheduler rescheduler;
+  EXPECT_TRUE(rescheduler.Run(&pool).empty());
+}
+
+TEST(ReschedulerTest, ConvergenceReducesStddevSubstantially) {
+  // Synthetic diverse pool: RU-heavy, storage-heavy and mixed replicas on
+  // random nodes (a miniature Figure 9).
+  resched::PoolModel pool;
+  const int kNodes = 40;
+  for (NodeId i = 0; i < kNodes; i++) pool.AddNode(i, 10000, 1e9);
+  Rng rng(77);
+  uint32_t pid = 0;
+  for (int r = 0; r < 300; r++) {
+    NodeId target = static_cast<NodeId>(rng.NextUint64(kNodes / 4));
+    double ru = rng.NextLogNormal(std::log(200), 1.0);
+    double sto = rng.NextLogNormal(std::log(1e7), 1.2);
+    pool.nodes()[target].AddReplica(
+        MakeReplica(1 + (pid % 10), pid, 0, ru, sto));
+    pid++;
+  }
+  double ru_before = pool.UtilizationStddev(resched::Resource::kRu);
+  double sto_before = pool.UtilizationStddev(resched::Resource::kStorage);
+
+  resched::IntraPoolRescheduler rescheduler;
+  auto moves = rescheduler.RunToConvergence(&pool);
+  EXPECT_FALSE(moves.empty());
+
+  double ru_after = pool.UtilizationStddev(resched::Resource::kRu);
+  double sto_after = pool.UtilizationStddev(resched::Resource::kStorage);
+  // The paper reports ~74.5% / 84.8% reductions at 1000-node scale; even a
+  // small pool must cut both dimensions sharply.
+  EXPECT_LT(ru_after, ru_before * 0.5);
+  EXPECT_LT(sto_after, sto_before * 0.6);
+  // Replica count preserved.
+  EXPECT_EQ(pool.TotalReplicaCount(), 300u);
+}
+
+TEST(ReschedulerTest, BalanceReplicaCountsPhase) {
+  resched::PoolModel pool;
+  auto& crowded = pool.AddNode(1, 1e9, 1e9);
+  for (uint32_t p = 0; p < 6; p++) {
+    crowded.AddReplica(MakeReplica(7, p, 0, 10, 10));
+  }
+  pool.AddNode(2, 1e9, 1e9);
+  pool.AddNode(3, 1e9, 1e9);
+  resched::IntraPoolRescheduler rescheduler;
+  auto moves = rescheduler.BalanceReplicaCounts(&pool);
+  EXPECT_FALSE(moves.empty());
+  // Tenant 7's replicas spread: no node holds more than fair+slack.
+  for (const auto& n : pool.nodes()) {
+    EXPECT_LE(n.ReplicaCountOfTenant(7), 3u);
+  }
+  EXPECT_EQ(pool.TenantReplicaCount(7), 6u);
+}
+
+TEST(InterPoolTest, MovesNodeFromColdToHotPool) {
+  resched::PoolModel donor, receiver;
+  // Donor: 4 nearly-idle nodes.
+  for (NodeId i = 0; i < 4; i++) {
+    donor.AddNode(i, 1000, 1e9)
+        .AddReplica(MakeReplica(1, i, 0, 50, 100));
+  }
+  // Receiver: 2 hot nodes.
+  for (NodeId i = 10; i < 12; i++) {
+    auto& n = receiver.AddNode(i, 1000, 1e9);
+    n.AddReplica(MakeReplica(2, i, 0, 700, 100));
+    n.AddReplica(MakeReplica(2, i + 10, 0, 200, 100));
+  }
+  resched::InterPoolRescheduler inter;
+  auto result = inter.Run(&donor, &receiver, 1);
+  ASSERT_EQ(result.reassigned_nodes.size(), 1u);
+  EXPECT_EQ(donor.nodes().size(), 3u);
+  EXPECT_EQ(receiver.nodes().size(), 3u);
+  // All donor replicas survived the vacate.
+  EXPECT_EQ(donor.TotalReplicaCount(), 4u);
+  // Receiver pressure relieved by rebalancing onto the new node.
+  EXPECT_LT(receiver.MaxUtilization(resched::Resource::kRu), 0.9);
+}
+
+}  // namespace
+}  // namespace abase

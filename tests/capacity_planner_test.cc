@@ -1,0 +1,155 @@
+// Tests for the Section 7 capacity-planning rules.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "meta/capacity_planner.h"
+
+namespace abase {
+namespace meta {
+namespace {
+
+PoolSnapshot Pool(size_t nodes, double node_ru,
+                  std::vector<double> quotas) {
+  PoolSnapshot p;
+  p.node_count = nodes;
+  p.node_capacity_ru = node_ru;
+  p.tenant_quotas_ru = std::move(quotas);
+  return p;
+}
+
+bool HasViolation(const std::vector<CapacityViolation>& v,
+                  CapacityViolation::Rule rule) {
+  for (const auto& x : v) {
+    if (x.rule == rule) return true;
+  }
+  return false;
+}
+
+TEST(CapacityPlannerTest, HealthyPoolPasses) {
+  CapacityPlanner planner;
+  // 100 nodes x 10k = 1M capacity; largest tenant 100k (10x), allocated
+  // 300k (30%), idle 700k.
+  auto violations =
+      planner.Audit(Pool(100, 10000, {50000, 50000, 100000, 100000}));
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(CapacityPlannerTest, PoolTooSmallForWhale) {
+  CapacityPlanner planner;
+  // 5 nodes x 10k = 50k capacity; a 20k tenant needs a 200k pool (10x).
+  auto violations = planner.Audit(Pool(5, 10000, {20000}));
+  EXPECT_TRUE(HasViolation(violations,
+                           CapacityViolation::Rule::kPoolTooSmallForTenant));
+}
+
+TEST(CapacityPlannerTest, InsufficientIdleDetected) {
+  CapacityPlanner planner;
+  // Capacity 1M; allocated 900k -> idle 10% < 20%.
+  std::vector<double> quotas(18, 50000.0);
+  auto violations = planner.Audit(Pool(100, 10000, quotas));
+  EXPECT_TRUE(
+      HasViolation(violations, CapacityViolation::Rule::kInsufficientIdle));
+}
+
+TEST(CapacityPlannerTest, BurstHeadroomRule) {
+  CapacityRules rules;
+  rules.min_idle_fraction = 0.0;  // Isolate the burst rule.
+  rules.pool_to_tenant_ratio = 1.0;
+  CapacityPlanner planner(rules);
+  // Capacity 500k; largest tenant 100k; idle 500-420=80k < 100k.
+  std::vector<double> quotas = {100000, 80000, 80000, 80000, 80000};
+  auto violations = planner.Audit(Pool(50, 10000, quotas));
+  EXPECT_TRUE(HasViolation(
+      violations, CapacityViolation::Rule::kInsufficientBurstHeadroom));
+}
+
+TEST(CapacityPlannerTest, FailureRadiusLimits) {
+  CapacityRules rules;
+  rules.max_tenants_per_pool = 3;
+  rules.max_nodes_per_pool = 10;
+  CapacityPlanner planner(rules);
+  auto violations =
+      planner.Audit(Pool(20, 10000, {100, 100, 100, 100}));
+  EXPECT_TRUE(
+      HasViolation(violations, CapacityViolation::Rule::kTooManyTenants));
+  EXPECT_TRUE(
+      HasViolation(violations, CapacityViolation::Rule::kPoolTooLarge));
+}
+
+TEST(CapacityPlannerTest, CanAdmitTenantChecksPostState) {
+  CapacityPlanner planner;
+  PoolSnapshot pool = Pool(100, 10000, {50000});
+  EXPECT_TRUE(planner.CanAdmitTenant(pool, 80000));
+  // A 200k tenant would need a 2M pool (10x rule).
+  EXPECT_FALSE(planner.CanAdmitTenant(pool, 200000));
+}
+
+TEST(CapacityPlannerTest, RequiredNodesSatisfiesAllRules) {
+  CapacityPlanner planner;
+  std::vector<double> quotas = {50000, 30000, 20000};
+  auto nodes = planner.RequiredNodes(quotas, 10000);
+  ASSERT_TRUE(nodes.ok());
+  // Whatever it returns must audit clean.
+  PoolSnapshot pool = Pool(nodes.value(), 10000, quotas);
+  EXPECT_TRUE(planner.Audit(pool).empty())
+      << "nodes=" << nodes.value();
+  // And one fewer node must NOT be enough (minimality).
+  if (nodes.value() > 1) {
+    PoolSnapshot smaller = Pool(nodes.value() - 1, 10000, quotas);
+    EXPECT_FALSE(planner.Audit(smaller).empty());
+  }
+}
+
+TEST(CapacityPlannerTest, RequiredNodesRejectsBadInputs) {
+  CapacityPlanner planner;
+  EXPECT_FALSE(planner.RequiredNodes({100}, 0).ok());
+  CapacityRules rules;
+  rules.max_tenants_per_pool = 1;
+  CapacityPlanner small(rules);
+  EXPECT_FALSE(small.RequiredNodes({100, 100}, 1000).ok());
+}
+
+TEST(CapacityPlannerTest, MaxAdmissibleQuotaIsAdmissible) {
+  CapacityPlanner planner;
+  PoolSnapshot pool = Pool(100, 10000, {50000, 50000});
+  double q = planner.MaxAdmissibleTenantQuota(pool);
+  EXPECT_GT(q, 0);
+  EXPECT_TRUE(planner.CanAdmitTenant(pool, q * 0.999));
+  EXPECT_FALSE(planner.CanAdmitTenant(pool, q * 1.2));
+}
+
+TEST(CapacityPlannerTest, RuleNamesStable) {
+  EXPECT_STREQ(
+      CapacityRuleName(CapacityViolation::Rule::kInsufficientIdle),
+      "InsufficientIdle");
+  EXPECT_STREQ(
+      CapacityRuleName(CapacityViolation::Rule::kPoolTooSmallForTenant),
+      "PoolTooSmallForTenant");
+}
+
+// Property sweep: RequiredNodes always yields a clean audit across random
+// tenant sets.
+class PlannerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PlannerPropertyTest, RequiredNodesAlwaysAuditsClean) {
+  Rng rng(GetParam());
+  CapacityPlanner planner;
+  for (int trial = 0; trial < 50; trial++) {
+    size_t n = 1 + rng.NextUint64(30);
+    std::vector<double> quotas;
+    for (size_t i = 0; i < n; i++) {
+      quotas.push_back(rng.NextLogNormal(std::log(20000), 1.0));
+    }
+    auto nodes = planner.RequiredNodes(quotas, 10000);
+    if (!nodes.ok()) continue;  // Hit the pool-scale cap: acceptable.
+    PoolSnapshot pool = Pool(nodes.value(), 10000, quotas);
+    EXPECT_TRUE(planner.Audit(pool).empty()) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace meta
+}  // namespace abase

@@ -1,0 +1,288 @@
+// Edge cases and failure injection across modules: degenerate inputs,
+// zero-capacity resources, crash loops, expiry races, and preload/sim
+// plumbing.
+#include <gtest/gtest.h>
+
+#include "cache/sa_lru.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "forecast/ensemble.h"
+#include "forecast/psd.h"
+#include "resched/rescheduler.h"
+#include "sim/cluster_sim.h"
+#include "storage/lsm_engine.h"
+
+namespace abase {
+namespace {
+
+// ----------------------------------------------------------- LSM crashes --
+
+TEST(EdgeCaseTest, RepeatedCrashLoopsNeverLoseAcknowledgedWrites) {
+  SimClock clock;
+  storage::LsmOptions opts;
+  opts.memtable_flush_bytes = 1024;
+  storage::LsmEngine engine(opts, &clock);
+  for (int round = 0; round < 20; round++) {
+    std::string key = "crash" + std::to_string(round);
+    ASSERT_TRUE(engine.Put(key, "v" + std::to_string(round)).ok());
+    engine.CrashAndRecover();  // Crash immediately after every write.
+    auto v = engine.Get(key);
+    ASSERT_TRUE(v.ok()) << "lost write in round " << round;
+    EXPECT_EQ(v.value(), "v" + std::to_string(round));
+  }
+}
+
+TEST(EdgeCaseTest, CrashDuringCompactionWindowKeepsData) {
+  SimClock clock;
+  storage::LsmOptions opts;
+  opts.memtable_flush_bytes = 512;
+  opts.runs_per_level_trigger = 1;  // Compact aggressively.
+  storage::LsmEngine engine(opts, &clock);
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(engine.Put("k" + std::to_string(i % 40),
+                           std::string(64, 'x')).ok());
+    if (i % 17 == 0) engine.CrashAndRecover();
+  }
+  for (int i = 0; i < 40; i++) {
+    EXPECT_TRUE(engine.Get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(EdgeCaseTest, TtlBoundaryExactInstant) {
+  SimClock clock;
+  storage::LsmEngine engine(storage::LsmOptions{}, &clock);
+  ASSERT_TRUE(engine.Put("k", "v", 100).ok());
+  clock.Advance(99);
+  EXPECT_TRUE(engine.Get("k").ok());  // One microsecond before expiry.
+  clock.Advance(1);
+  EXPECT_TRUE(engine.Get("k").status().IsNotFound());  // Exactly at it.
+}
+
+TEST(EdgeCaseTest, ZeroTtlMeansImmortal) {
+  SimClock clock;
+  storage::LsmEngine engine(storage::LsmOptions{}, &clock);
+  ASSERT_TRUE(engine.Put("k", "v", 0).ok());
+  clock.Advance(1000ll * kMicrosPerDay);
+  EXPECT_TRUE(engine.Get("k").ok());
+}
+
+TEST(EdgeCaseTest, HashTtlAppliesToWholeKey) {
+  SimClock clock;
+  storage::LsmEngine engine(storage::LsmOptions{}, &clock);
+  ASSERT_TRUE(engine.HSet("h", "f", "v").ok());
+  ASSERT_TRUE(engine.Expire("h", 10).ok());
+  clock.Advance(11);
+  EXPECT_TRUE(engine.HGet("h", "f").status().IsNotFound());
+  EXPECT_TRUE(engine.HLen("h").status().IsNotFound());
+}
+
+// --------------------------------------------------------- SA-LRU expiry --
+
+TEST(EdgeCaseTest, SaLruExpiredEntryCountsAsMissAndIsErased) {
+  SimClock clock;
+  cache::SaLruOptions opts;
+  opts.capacity_bytes = 4096;
+  cache::SaLruCache cache(opts, &clock);
+  cache.Put("k", "v", 100, /*expire_at=*/500);
+  EXPECT_TRUE(cache.Get("k").has_value());
+  clock.Advance(500);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_FALSE(cache.Contains("k"));
+  EXPECT_EQ(cache.stats().expired, 1u);
+}
+
+TEST(EdgeCaseTest, SaLruWithoutClockIgnoresExpiry) {
+  cache::SaLruCache cache{cache::SaLruOptions{}};  // No clock.
+  cache.Put("k", "v", 100, /*expire_at=*/1);
+  EXPECT_TRUE(cache.Get("k").has_value());  // Immortal without a clock.
+}
+
+TEST(EdgeCaseTest, SaLruGetWithExpiryReportsDeadline) {
+  SimClock clock;
+  cache::SaLruCache cache(cache::SaLruOptions{}, &clock);
+  cache.Put("k", "v", 100, /*expire_at=*/12345);
+  Micros expire_at = 0;
+  auto v = cache.GetWithExpiry("k", &expire_at);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(expire_at, 12345);
+}
+
+// ------------------------------------------------------------- Forecast --
+
+TEST(EdgeCaseTest, ForecastConstantSeries) {
+  TimeSeries flat(std::vector<double>(200, 500.0));
+  auto fc = forecast::EnsembleForecast(flat, TimeSeries(), 48);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_NEAR(fc.value().predicted_max, 500.0, 50.0);
+}
+
+TEST(EdgeCaseTest, ForecastAllZeroSeries) {
+  TimeSeries zero(std::vector<double>(200, 0.0));
+  auto fc = forecast::EnsembleForecast(zero, TimeSeries(), 48);
+  ASSERT_TRUE(fc.ok());
+  EXPECT_LE(fc.value().predicted_max, 1e-6);
+}
+
+TEST(EdgeCaseTest, PsdConstantSeriesHasNoPeriod) {
+  TimeSeries flat(std::vector<double>(100, 3.0));
+  EXPECT_DOUBLE_EQ(forecast::DetectDominantPeriod(flat), 0.0);
+}
+
+// ----------------------------------------------------------- Rescheduler --
+
+TEST(EdgeCaseTest, EmptyPoolIsStable) {
+  resched::PoolModel pool;
+  resched::IntraPoolRescheduler rescheduler;
+  EXPECT_TRUE(rescheduler.Run(&pool).empty());
+  EXPECT_DOUBLE_EQ(pool.OptimalLoad(resched::Resource::kRu), 0.0);
+}
+
+TEST(EdgeCaseTest, SingleNodePoolCannotMigrate) {
+  resched::PoolModel pool;
+  auto& n = pool.AddNode(1, 1000, 1e9);
+  resched::ReplicaLoad r;
+  r.tenant = 1;
+  r.ru = LoadVector::Constant(999);
+  r.storage = LoadVector::Constant(1);
+  n.AddReplica(r);
+  resched::IntraPoolRescheduler rescheduler;
+  EXPECT_TRUE(rescheduler.Run(&pool).empty());
+}
+
+// --------------------------------------------------------------- Cluster --
+
+TEST(EdgeCaseTest, PreloadedKeysReadableThroughDataPlane) {
+  sim::ClusterSim cluster;
+  PoolId pool = cluster.AddPool(3);
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "preload";
+  cfg.tenant_quota_ru = 10000;
+  cfg.num_partitions = 4;
+  cfg.num_proxies = 2;
+  cfg.num_proxy_groups = 1;
+  ASSERT_TRUE(cluster.AddTenant(cfg, pool).ok());
+  cluster.PreloadKeys(1, 50, 256);
+
+  ClientRequest req;
+  req.req_id = 7;
+  req.tenant = 1;
+  req.op = OpType::kGet;
+  req.key = "t1:k17";  // Generator-style key name.
+  req.track_outcome = true;
+  cluster.InjectRequest(req);
+  cluster.RunTicks(3);
+  auto out = cluster.TakeOutcome(7);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->status.ok());
+  EXPECT_FALSE(out->value.empty());
+}
+
+TEST(EdgeCaseTest, UnknownTenantRequestIsDropped) {
+  sim::ClusterSim cluster;
+  cluster.AddPool(2);
+  ClientRequest req;
+  req.req_id = 1;
+  req.tenant = 99;  // Never created.
+  req.op = OpType::kGet;
+  req.key = "k";
+  req.track_outcome = true;
+  cluster.InjectRequest(req);
+  cluster.RunTicks(2);  // Must not crash; outcome never materializes.
+  EXPECT_FALSE(cluster.TakeOutcome(1).has_value());
+}
+
+TEST(EdgeCaseTest, QueueDeadlineFailsStaleRequests) {
+  SimClock clock;
+  node::DataNodeOptions opts;
+  opts.wfq.cpu_budget_ru = 1;  // Nearly no capacity: everything queues.
+  opts.queue_timeout_ticks = 2;
+  node::DataNode node(1, opts, &clock);
+  node.AddReplica(1, 0, 1000, true);
+  for (uint64_t i = 0; i < 50; i++) {
+    NodeRequest r;
+    r.req_id = i + 1;
+    r.tenant = 1;
+    r.partition = 0;
+    r.op = OpType::kGet;
+    r.key = "k";
+    r.estimated_ru = 1.0;
+    node.Submit(r);
+  }
+  size_t deadline_failures = 0;
+  for (int t = 0; t < 6; t++) {
+    node.Tick();
+    clock.Advance(kMicrosPerSecond);
+    for (const auto& resp : node.TakeResponses()) {
+      if (resp.status.IsResourceExhausted()) deadline_failures++;
+    }
+  }
+  EXPECT_GT(deadline_failures, 30u);  // The backlog fails fast, not never.
+}
+
+TEST(EdgeCaseTest, ZeroQpsWorkloadProducesNoTraffic) {
+  sim::ClusterSim cluster;
+  PoolId pool = cluster.AddPool(2);
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "idle";
+  cfg.tenant_quota_ru = 1000;
+  cfg.num_partitions = 2;
+  cfg.num_proxies = 2;
+  cfg.num_proxy_groups = 1;
+  cfg.replicas = 2;
+  ASSERT_TRUE(cluster.AddTenant(cfg, pool).ok());
+  sim::WorkloadProfile p;
+  p.base_qps = 0;
+  cluster.SetWorkload(1, p);
+  cluster.RunTicks(5);
+  for (const auto& tick : cluster.History(1)) {
+    EXPECT_EQ(tick.issued, 0u);
+  }
+}
+
+// Property sweep: cluster conservation — every issued request is either
+// served, throttled, errored, or still pending; never silently lost.
+class ConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationTest, RequestsNeverVanish) {
+  sim::SimOptions opts;
+  opts.seed = 77;
+  opts.node.wfq.cpu_budget_ru = 4000;
+  sim::ClusterSim cluster(opts);
+  PoolId pool = cluster.AddPool(2);
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "conserve";
+  cfg.tenant_quota_ru = 3000;
+  cfg.num_partitions = 2;
+  cfg.num_proxies = 2;
+  cfg.num_proxy_groups = 1;
+  cfg.replicas = 2;
+  ASSERT_TRUE(cluster.AddTenant(cfg, pool).ok());
+  sim::WorkloadProfile p;
+  p.base_qps = 3000 * GetParam();  // Sweep under/over quota.
+  p.read_ratio = 0.6;
+  p.num_keys = 5000;
+  cluster.SetWorkload(1, p);
+  cluster.RunTicks(20);
+  // Let the pipeline fully drain.
+  sim::WorkloadProfile* mp = cluster.MutableWorkload(1);
+  mp->base_qps = 0;
+  cluster.RunTicks(5);
+
+  uint64_t issued = 0, accounted = 0;
+  for (const auto& tick : cluster.History(1)) {
+    issued += tick.issued;
+    accounted += tick.ok + tick.errors;
+  }
+  // Background refreshes are not client requests; client requests must
+  // all be accounted once drained.
+  EXPECT_EQ(issued, accounted);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, ConservationTest,
+                         ::testing::Values(0.2, 0.8, 1.5, 4.0));
+
+}  // namespace
+}  // namespace abase

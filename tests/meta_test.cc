@@ -1,0 +1,251 @@
+// Tests for the MetaServer (Section 3.2 control plane, Section 3.3
+// recovery): placement, routing, scaling with partition split, replica
+// migration, and parallel failure recovery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/clock.h"
+#include "meta/meta_server.h"
+
+namespace abase {
+namespace meta {
+namespace {
+
+class MetaTest : public ::testing::Test {
+ protected:
+  MetaTest() : clock_(0), meta_(&clock_) {
+    for (NodeId i = 0; i < 6; i++) {
+      nodes_.push_back(std::make_unique<node::DataNode>(
+          i, node::DataNodeOptions{}, &clock_));
+    }
+    std::vector<node::DataNode*> raw;
+    for (auto& n : nodes_) raw.push_back(n.get());
+    pool_ = meta_.CreatePool(raw);
+  }
+
+  TenantConfig Config(TenantId id, uint32_t partitions = 4,
+                      int replicas = 3) {
+    TenantConfig c;
+    c.id = id;
+    c.name = "tenant" + std::to_string(id);
+    c.tenant_quota_ru = 8000;
+    c.num_partitions = partitions;
+    c.replicas = replicas;
+    return c;
+  }
+
+  SimClock clock_;
+  MetaServer meta_;
+  std::vector<std::unique_ptr<node::DataNode>> nodes_;
+  PoolId pool_ = 0;
+};
+
+TEST_F(MetaTest, CreateTenantPlacesAllReplicas) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  const TenantMeta* t = meta_.GetTenant(1);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->partitions.size(), 4u);
+  size_t total = 0;
+  for (const auto& p : t->partitions) {
+    EXPECT_EQ(p.replicas.size(), 3u);
+    // Replica safety: three distinct nodes per partition.
+    std::set<NodeId> uniq(p.replicas.begin(), p.replicas.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    total += p.replicas.size();
+  }
+  // All replicas physically exist on nodes.
+  size_t hosted = 0;
+  for (auto& n : nodes_) hosted += n->replica_count();
+  EXPECT_EQ(hosted, total);
+}
+
+TEST_F(MetaTest, DuplicateTenantRejected) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  EXPECT_FALSE(meta_.CreateTenant(Config(1), pool_).ok());
+}
+
+TEST_F(MetaTest, PoolSmallerThanReplicasRejected) {
+  std::vector<std::unique_ptr<node::DataNode>> tiny;
+  std::vector<node::DataNode*> raw;
+  for (NodeId i = 100; i < 102; i++) {
+    tiny.push_back(std::make_unique<node::DataNode>(
+        i, node::DataNodeOptions{}, &clock_));
+    raw.push_back(tiny.back().get());
+  }
+  PoolId small_pool = meta_.CreatePool(raw);
+  EXPECT_TRUE(meta_.CreateTenant(Config(9, 2, 3), small_pool)
+                  .IsResourceExhausted());
+}
+
+TEST_F(MetaTest, ReplicasSpreadAcrossAvailabilityZones) {
+  // 6 nodes in 3 AZs (2 each): every partition's 3 replicas must land in
+  // 3 distinct AZs (paper Section 3.1).
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    nodes_[i]->set_az(static_cast<uint32_t>(i % 3));
+  }
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  for (const auto& placement : meta_.GetTenant(1)->partitions) {
+    std::set<uint32_t> azs;
+    for (NodeId nid : placement.replicas) {
+      for (auto& n : nodes_) {
+        if (n->id() == nid) azs.insert(n->az());
+      }
+    }
+    EXPECT_EQ(azs.size(), 3u);
+  }
+}
+
+TEST_F(MetaTest, AzPreferenceFallsBackWhenZonesExhausted) {
+  // All nodes in ONE AZ: placement still succeeds (replica safety only).
+  for (auto& n : nodes_) n->set_az(7);
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  EXPECT_EQ(meta_.GetTenant(1)->partitions.size(), 4u);
+}
+
+TEST_F(MetaTest, PlacementBalancesQuota) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 6, 3), pool_).ok());
+  // 18 replicas over 6 nodes: least-loaded placement keeps counts even.
+  size_t min_count = 99, max_count = 0;
+  for (auto& n : nodes_) {
+    min_count = std::min(min_count, n->replica_count());
+    max_count = std::max(max_count, n->replica_count());
+  }
+  EXPECT_LE(max_count - min_count, 1u);
+}
+
+TEST_F(MetaTest, KeyRoutingStableAndInRange) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  PartitionId p1 = meta_.PartitionFor(1, "user:12345");
+  EXPECT_EQ(p1, meta_.PartitionFor(1, "user:12345"));
+  EXPECT_LT(p1, 4u);
+  NodeId primary = meta_.PrimaryFor(1, p1);
+  EXPECT_NE(primary, kInvalidNode);
+  EXPECT_EQ(meta_.PrimaryFor(1, 99), kInvalidNode);
+  EXPECT_EQ(meta_.PrimaryFor(42, 0), kInvalidNode);
+}
+
+TEST_F(MetaTest, SetTenantQuotaPropagatesPartitionQuotas) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  ASSERT_TRUE(meta_.SetTenantQuota(1, 16000).ok());
+  const TenantMeta* t = meta_.GetTenant(1);
+  EXPECT_DOUBLE_EQ(t->tenant_quota_ru, 16000);
+  EXPECT_DOUBLE_EQ(t->PartitionQuota(), 4000);
+}
+
+TEST_F(MetaTest, ScaleUpTriggersSplitWhenPartitionQuotaExceedsUpperBound) {
+  TenantConfig c = Config(1, 2, 2);
+  c.partition_quota_upper = 3000;
+  ASSERT_TRUE(meta_.CreateTenant(c, pool_).ok());
+  // 2 partitions; quota 20000 -> QP 10000 > 3000: splits until <= 3000.
+  ASSERT_TRUE(meta_.SetTenantQuota(1, 20000).ok());
+  const TenantMeta* t = meta_.GetTenant(1);
+  EXPECT_GE(t->partitions.size(), 8u);
+  EXPECT_LE(t->PartitionQuota(), 3000.0);
+}
+
+TEST_F(MetaTest, ScaleDownRecordsTimestamp) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  clock_.Advance(kMicrosPerDay);
+  ASSERT_TRUE(meta_.SetTenantQuota(1, 4000).ok());
+  EXPECT_EQ(meta_.GetTenant(1)->last_scale_down, kMicrosPerDay);
+}
+
+TEST_F(MetaTest, InvalidQuotaRejected) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  EXPECT_FALSE(meta_.SetTenantQuota(1, -5).ok());
+  EXPECT_TRUE(meta_.SetTenantQuota(77, 100).IsNotFound());
+}
+
+TEST_F(MetaTest, MigrateReplicaMovesDataAndMetadata) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  const TenantMeta* t = meta_.GetTenant(1);
+  NodeId from = t->partitions[0].replicas[0];
+  // Find a node not hosting partition 0.
+  NodeId to = kInvalidNode;
+  for (auto& n : nodes_) {
+    if (!n->HasReplica(1, 0)) {
+      to = n->id();
+      break;
+    }
+  }
+  ASSERT_NE(to, kInvalidNode);
+  ASSERT_TRUE(meta_.MigrateReplica(1, 0, from, to).ok());
+  EXPECT_EQ(meta_.GetTenant(1)->partitions[0].replicas[0], to);
+  // Double-migration to an occupied node fails.
+  EXPECT_FALSE(meta_.MigrateReplica(1, 0, to, to).ok());
+}
+
+TEST_F(MetaTest, FailNodeRebuildsAllReplicasInParallel) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 6, 3), pool_).ok());
+  NodeId victim = nodes_[0]->id();
+  size_t victim_replicas = nodes_[0]->replica_count();
+  ASSERT_GT(victim_replicas, 0u);
+
+  auto report = meta_.FailNode(pool_, victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().replicas_rebuilt, victim_replicas);
+  // The failed node hosts nothing afterwards; survivors host everything.
+  EXPECT_EQ(nodes_[0]->replica_count(), 0u);
+  size_t hosted = 0;
+  for (size_t i = 1; i < nodes_.size(); i++) {
+    hosted += nodes_[i]->replica_count();
+  }
+  EXPECT_EQ(hosted, 18u);
+  // Placement metadata no longer references the failed node.
+  for (const auto& p : meta_.GetTenant(1)->partitions) {
+    for (NodeId nid : p.replicas) EXPECT_NE(nid, victim);
+  }
+}
+
+TEST_F(MetaTest, ParallelRecoveryFasterThanSingleNode) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 6, 3), pool_).ok());
+  // Write some data so replicas have bytes.
+  for (auto& n : nodes_) {
+    for (const node::PartitionReplica* rep : n->Replicas()) {
+      auto* engine = n->EngineFor(rep->tenant, rep->partition);
+      for (int i = 0; i < 20; i++) {
+        ASSERT_TRUE(
+            engine->Put("key" + std::to_string(i), std::string(1024, 'x'))
+                .ok());
+      }
+    }
+  }
+  auto report = meta_.FailNode(pool_, nodes_[0]->id());
+  ASSERT_TRUE(report.ok());
+  // Section 3.3: multi-node parallel rebuild beats the single-replacement
+  // rebuild whenever the lost replicas spread over >1 target.
+  EXPECT_GT(report.value().parallel_sources, 1u);
+  EXPECT_LT(report.value().parallel_recovery_seconds,
+            report.value().single_node_recovery_seconds);
+}
+
+TEST_F(MetaTest, ProxyTrafficClampLoop) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  EXPECT_FALSE(meta_.ReportProxyTraffic(1, 7000));  // Below 8000 quota.
+  EXPECT_FALSE(meta_.IsClamped(1));
+  EXPECT_TRUE(meta_.ReportProxyTraffic(1, 9000));
+  EXPECT_TRUE(meta_.IsClamped(1));
+  EXPECT_FALSE(meta_.ReportProxyTraffic(1, 3000));  // Recovers.
+}
+
+TEST_F(MetaTest, AddRemoveNodeFromPool) {
+  auto extra = std::make_unique<node::DataNode>(
+      99, node::DataNodeOptions{}, &clock_);
+  ASSERT_TRUE(meta_.AddNodeToPool(pool_, extra.get()).ok());
+  EXPECT_EQ(meta_.PoolNodes(pool_).size(), 7u);
+  ASSERT_TRUE(meta_.RemoveNodeFromPool(pool_, 99).ok());
+  EXPECT_EQ(meta_.PoolNodes(pool_).size(), 6u);
+  EXPECT_TRUE(meta_.RemoveNodeFromPool(pool_, 99).IsNotFound());
+}
+
+TEST_F(MetaTest, RemoveNodeWithReplicasRefused) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
+  NodeId busy = meta_.GetTenant(1)->partitions[0].replicas[0];
+  EXPECT_FALSE(meta_.RemoveNodeFromPool(pool_, busy).ok());
+}
+
+}  // namespace
+}  // namespace meta
+}  // namespace abase

@@ -1,0 +1,220 @@
+// Tests for the DataNode (Section 3.2 data plane): admission, WFQ
+// integration, cache behaviour, rejection cost, and replica management.
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "node/data_node.h"
+
+namespace abase {
+namespace node {
+namespace {
+
+DataNodeOptions SmallNodeOptions() {
+  DataNodeOptions o;
+  o.wfq.cpu_budget_ru = 1000;
+  o.cache.capacity_bytes = 1 << 20;
+  return o;
+}
+
+NodeRequest MakeSet(uint64_t id, TenantId t, PartitionId p,
+                    const std::string& key, const std::string& value) {
+  NodeRequest r;
+  r.req_id = id;
+  r.tenant = t;
+  r.partition = p;
+  r.op = OpType::kSet;
+  r.key = key;
+  r.value = value;
+  r.estimated_ru = 1.0;
+  r.value_size_hint = value.size();
+  return r;
+}
+
+NodeRequest MakeGet(uint64_t id, TenantId t, PartitionId p,
+                    const std::string& key) {
+  NodeRequest r;
+  r.req_id = id;
+  r.tenant = t;
+  r.partition = p;
+  r.op = OpType::kGet;
+  r.key = key;
+  r.estimated_ru = 1.0;
+  r.value_size_hint = 64;
+  return r;
+}
+
+class DataNodeTest : public ::testing::Test {
+ protected:
+  DataNodeTest() : clock_(0), node_(1, SmallNodeOptions(), &clock_) {
+    node_.AddReplica(/*tenant=*/1, /*partition=*/0,
+                     /*partition_quota_ru=*/1000, /*is_primary=*/true);
+  }
+
+  std::vector<NodeResponse> TickAndDrain() {
+    node_.Tick();
+    clock_.Advance(kMicrosPerSecond);
+    return node_.TakeResponses();
+  }
+
+  SimClock clock_;
+  DataNode node_;
+};
+
+TEST_F(DataNodeTest, SetThenGetRoundTrip) {
+  node_.Submit(MakeSet(1, 1, 0, "k", "hello"));
+  auto r1 = TickAndDrain();
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_TRUE(r1[0].status.ok());
+  EXPECT_EQ(r1[0].served_by, ServedBy::kNodeCpu);
+
+  node_.Submit(MakeGet(2, 1, 0, "k"));
+  auto r2 = TickAndDrain();
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_TRUE(r2[0].status.ok());
+  EXPECT_EQ(r2[0].value, "hello");
+}
+
+TEST_F(DataNodeTest, SecondGetHitsNodeCache) {
+  node_.Submit(MakeSet(1, 1, 0, "k", "v"));
+  TickAndDrain();
+  node_.Submit(MakeGet(2, 1, 0, "k"));
+  auto r1 = TickAndDrain();
+  ASSERT_EQ(r1.size(), 1u);
+
+  node_.Submit(MakeGet(3, 1, 0, "k"));
+  auto r2 = TickAndDrain();
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].served_by, ServedBy::kNodeCache);
+  // Cache hit charges only the CPU fraction.
+  EXPECT_LT(r2[0].actual_ru, r1[0].actual_ru + 1e-9);
+}
+
+TEST_F(DataNodeTest, WriteThroughCacheServesNewValue) {
+  node_.Submit(MakeSet(1, 1, 0, "k", "v1"));
+  TickAndDrain();
+  node_.Submit(MakeGet(2, 1, 0, "k"));
+  TickAndDrain();  // Cache filled.
+  node_.Submit(MakeSet(3, 1, 0, "k", "v2"));
+  TickAndDrain();  // Write-through updates the cached value.
+  node_.Submit(MakeGet(4, 1, 0, "k"));
+  auto r = TickAndDrain();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].value, "v2");  // Never the stale v1.
+  EXPECT_EQ(r[0].served_by, ServedBy::kNodeCache);
+}
+
+TEST_F(DataNodeTest, UnknownPartitionUnavailable) {
+  node_.Submit(MakeGet(1, 9, 5, "k"));
+  auto r = TickAndDrain();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].status.IsUnavailable());
+}
+
+TEST_F(DataNodeTest, PartitionQuotaRejectsBeyondTriple) {
+  // Partition quota 1000 -> 3000 burst tokens. Estimated 1 RU each.
+  int rejected = 0;
+  for (uint64_t i = 0; i < 5000; i++) {
+    node_.Submit(MakeGet(10 + i, 1, 0, "k" + std::to_string(i)));
+  }
+  auto responses = TickAndDrain();
+  for (const auto& resp : responses) {
+    if (resp.status.IsThrottled()) rejected++;
+  }
+  EXPECT_GT(rejected, 1500);  // ~2000 rejected (5000 - 3000 admitted).
+  NodeTickStats stats = node_.TakeTickStats();
+  EXPECT_GT(stats.rejected_quota, 0u);
+  EXPECT_GT(stats.reject_cpu_ru, 0.0);
+}
+
+TEST_F(DataNodeTest, DisablingQuotaAdmitsEverything) {
+  node_.SetPartitionQuotaEnforcement(false);
+  for (uint64_t i = 0; i < 5000; i++) {
+    node_.Submit(MakeGet(10 + i, 1, 0, "k"));
+  }
+  node_.Tick();
+  NodeTickStats stats = node_.TakeTickStats();
+  EXPECT_EQ(stats.rejected_quota, 0u);
+}
+
+TEST_F(DataNodeTest, HashOpsThroughNode) {
+  NodeRequest hset = MakeSet(1, 1, 0, "h", "v");
+  hset.op = OpType::kHSet;
+  hset.field = "f1";
+  node_.Submit(hset);
+  TickAndDrain();
+
+  NodeRequest hlen = MakeGet(2, 1, 0, "h");
+  hlen.op = OpType::kHLen;
+  node_.Submit(hlen);
+  auto r = TickAndDrain();
+  ASSERT_EQ(r.size(), 1u);
+  ASSERT_TRUE(r[0].status.ok());
+  EXPECT_EQ(r[0].value, "1");
+
+  NodeRequest hga = MakeGet(3, 1, 0, "h");
+  hga.op = OpType::kHGetAll;
+  node_.Submit(hga);
+  auto r2 = TickAndDrain();
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].value, "f1=v\n");
+}
+
+TEST_F(DataNodeTest, ReplicaManagement) {
+  EXPECT_TRUE(node_.HasReplica(1, 0));
+  node_.AddReplica(2, 3, 500, false);
+  EXPECT_EQ(node_.replica_count(), 2u);
+  EXPECT_DOUBLE_EQ(node_.TotalPartitionQuota(), 1500.0);
+  EXPECT_TRUE(node_.RemoveReplica(2, 3));
+  EXPECT_FALSE(node_.RemoveReplica(2, 3));
+  EXPECT_EQ(node_.replica_count(), 1u);
+}
+
+TEST_F(DataNodeTest, SetPartitionQuotaPropagates) {
+  node_.SetPartitionQuota(1, 0, 2500);
+  EXPECT_DOUBLE_EQ(node_.TotalPartitionQuota(), 2500.0);
+}
+
+TEST_F(DataNodeTest, TenantRuTracked) {
+  node_.Submit(MakeSet(1, 1, 0, "k", std::string(2048, 'x')));
+  node_.Tick();
+  const auto& ru = node_.LastTickTenantRu();
+  ASSERT_TRUE(ru.count(1));
+  EXPECT_GT(ru.at(1), 0.0);
+}
+
+TEST_F(DataNodeTest, RejectionBurnsCpuBudget) {
+  // A flood of rejected traffic must shrink the next tick's CPU budget —
+  // the Figure 6 co-tenant damage mechanism.
+  for (uint64_t i = 0; i < 50000; i++) {
+    node_.Submit(MakeGet(10 + i, 1, 0, "k"));
+  }
+  node_.Tick();
+  NodeTickStats stats = node_.TakeTickStats();
+  // Rejections happened and consumed meaningful CPU.
+  EXPECT_GT(stats.rejected_quota, 40000u);
+  EXPECT_GT(stats.reject_cpu_ru, 1000.0);
+}
+
+TEST_F(DataNodeTest, StoredBytesGrowWithWrites) {
+  uint64_t before = node_.StoredBytes();
+  for (uint64_t i = 0; i < 50; i++) {
+    node_.Submit(MakeSet(10 + i, 1, 0, "k" + std::to_string(i),
+                         std::string(1024, 'd')));
+  }
+  TickAndDrain();
+  EXPECT_GT(node_.StoredBytes(), before + 40 * 1024);
+}
+
+TEST_F(DataNodeTest, ReplicaRuEwmaUpdates) {
+  for (uint64_t i = 0; i < 100; i++) {
+    node_.Submit(MakeSet(10 + i, 1, 0, "k" + std::to_string(i), "v"));
+  }
+  node_.Tick();
+  auto replicas = node_.Replicas();
+  ASSERT_EQ(replicas.size(), 1u);
+  EXPECT_GT(replicas[0]->ru_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace node
+}  // namespace abase

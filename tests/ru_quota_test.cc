@@ -1,0 +1,247 @@
+// Tests for the RU model (Section 4.1) and hierarchical request
+// restriction (Section 4.2).
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "quota/quota.h"
+#include "quota/token_bucket.h"
+#include "ru/request_unit.h"
+
+namespace abase {
+namespace {
+
+// ------------------------------------------------------------------- RU --
+
+TEST(RuTest, WriteRuScalesWithSizeAndReplicas) {
+  ru::RuEstimator est;
+  // 2KB value = 1 RU per write, x3 replicas.
+  EXPECT_DOUBLE_EQ(est.WriteRu(2048, 3), 3.0);
+  // 4KB = 2 RU per write.
+  EXPECT_DOUBLE_EQ(est.WriteRu(4096, 3), 6.0);
+  // Tiny writes floor at 1 RU per replica write.
+  EXPECT_DOUBLE_EQ(est.WriteRu(10, 3), 3.0);
+  EXPECT_DOUBLE_EQ(est.WriteRu(2048, 1), 1.0);
+}
+
+TEST(RuTest, CacheAwareReadEstimateTracksHitRatio) {
+  ru::RuOptions opts;
+  opts.initial_read_bytes = 2048;
+  opts.initial_hit_ratio = 0.0;
+  ru::RuEstimator est(opts);
+  double cold = est.EstimateReadRu();  // No hits expected: full cost.
+  EXPECT_NEAR(cold, 1.0, 1e-9);
+
+  // Feed 100% data-node cache hits: estimate collapses to the CPU floor.
+  for (int i = 0; i < 200; i++) {
+    est.ChargeRead(2048, ru::ReadServedBy::kDataNodeCache);
+  }
+  EXPECT_NEAR(est.ExpectedHitRatio(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.EstimateReadRu(), opts.cache_hit_cpu_fraction);
+
+  // Cache-blind baseline ignores the hit ratio entirely.
+  EXPECT_DOUBLE_EQ(est.EstimateReadRuCacheBlind(), 1.0);
+}
+
+TEST(RuTest, ProxyHitsAreFreeAndInvisible) {
+  ru::RuEstimator est;
+  double before = est.ExpectedHitRatio();
+  double charge = est.ChargeRead(4096, ru::ReadServedBy::kProxyCache);
+  EXPECT_DOUBLE_EQ(charge, 0.0);
+  EXPECT_DOUBLE_EQ(est.ExpectedHitRatio(), before);  // No estimator update.
+}
+
+TEST(RuTest, DiskReadChargedOnActualBytes) {
+  ru::RuEstimator est;
+  EXPECT_DOUBLE_EQ(est.ChargeRead(4096, ru::ReadServedBy::kDisk), 2.0);
+  // DataNode-cache hit charges the CPU fraction of the full cost.
+  EXPECT_DOUBLE_EQ(est.ChargeRead(4096, ru::ReadServedBy::kDataNodeCache),
+                   2.0 * est.options().cache_hit_cpu_fraction);
+}
+
+TEST(RuTest, MovingAverageWindowAdapts) {
+  ru::RuOptions opts;
+  opts.window_k = 10;
+  ru::RuEstimator est(opts);
+  for (int i = 0; i < 10; i++) est.ChargeRead(1000, ru::ReadServedBy::kDisk);
+  EXPECT_NEAR(est.ExpectedReadBytes(), 1000, 1e-9);
+  for (int i = 0; i < 10; i++) est.ChargeRead(5000, ru::ReadServedBy::kDisk);
+  EXPECT_NEAR(est.ExpectedReadBytes(), 5000, 1e-9);  // Window displaced.
+}
+
+TEST(RuTest, ComplexReadDecomposition) {
+  ru::RuEstimator est;
+  EXPECT_DOUBLE_EQ(est.EstimateHLenRu(), 1.0);
+  // Teach the estimator a hash shape: 100 fields x 200B = 20KB scans.
+  for (int i = 0; i < 50; i++) est.RecordHashShape(100, 20000);
+  double hga = est.EstimateHGetAllRu();
+  // HLen stage (1) + scan stage (~20000/2048 with no hits) ≈ 10.7.
+  EXPECT_GT(hga, 9.0);
+  EXPECT_LT(hga, 12.0);
+}
+
+TEST(RuTest, ChargeHGetAllIncludesBothStages) {
+  ru::RuEstimator est;
+  double charge = est.ChargeHGetAll(20480, ru::ReadServedBy::kDisk);
+  EXPECT_DOUBLE_EQ(charge, 1.0 + 10.0);
+  EXPECT_DOUBLE_EQ(est.ChargeHGetAll(20480, ru::ReadServedBy::kProxyCache),
+                   0.0);
+}
+
+TEST(RuTest, FreeFunctionChargesMatchEstimator) {
+  ru::RuOptions opts;
+  EXPECT_DOUBLE_EQ(ru::ActualReadCharge(4096, false, opts), 2.0);
+  EXPECT_DOUBLE_EQ(ru::ActualReadCharge(4096, true, opts),
+                   2.0 * opts.cache_hit_cpu_fraction);
+  EXPECT_DOUBLE_EQ(ru::ActualWriteCharge(2048, 3, opts), 3.0);
+}
+
+// ------------------------------------------------------------ TokenBucket --
+
+TEST(TokenBucketTest, ConsumesAndRefills) {
+  SimClock clock;
+  quota::TokenBucket bucket(100, 1.0, &clock);  // 100 RU/s, 100 burst.
+  EXPECT_TRUE(bucket.TryConsume(100));
+  EXPECT_FALSE(bucket.TryConsume(1));
+  clock.Advance(kMicrosPerSecond / 2);  // Refill 50.
+  EXPECT_TRUE(bucket.TryConsume(50));
+  EXPECT_FALSE(bucket.TryConsume(1));
+}
+
+TEST(TokenBucketTest, BurstCapped) {
+  SimClock clock;
+  quota::TokenBucket bucket(100, 1.0, &clock);
+  clock.Advance(100 * kMicrosPerSecond);  // Long idle.
+  EXPECT_NEAR(bucket.Available(), 100, 1e-9);  // Capped at 1s of quota.
+}
+
+TEST(TokenBucketTest, ForceConsumeGoesNegative) {
+  SimClock clock;
+  quota::TokenBucket bucket(100, 1.0, &clock);
+  bucket.ForceConsume(150);
+  EXPECT_LT(bucket.Available(), 0);
+  EXPECT_FALSE(bucket.TryConsume(1));
+  clock.Advance(kMicrosPerSecond);  // +100 -> 50.
+  EXPECT_TRUE(bucket.TryConsume(50));
+}
+
+TEST(TokenBucketTest, RateChangeRescalesDepth) {
+  SimClock clock;
+  quota::TokenBucket bucket(100, 1.0, &clock);
+  bucket.SetRate(10);
+  EXPECT_LE(bucket.Available(), 10.0);
+  clock.Advance(10 * kMicrosPerSecond);
+  EXPECT_NEAR(bucket.Available(), 10.0, 1e-9);
+}
+
+TEST(TokenBucketTest, LongRunThroughputMatchesRate) {
+  SimClock clock;
+  quota::TokenBucket bucket(1000, 1.0, &clock);
+  double consumed = 0;
+  for (int sec = 0; sec < 100; sec++) {
+    // Try to consume far more than the rate every second.
+    for (int i = 0; i < 50; i++) {
+      if (bucket.TryConsume(50)) consumed += 50;
+    }
+    clock.Advance(kMicrosPerSecond);
+  }
+  double rate = consumed / 100.0;
+  EXPECT_NEAR(rate, 1000.0, 60.0);  // Within burst slack of the rate.
+}
+
+// ------------------------------------------------------------ ProxyQuota --
+
+TEST(ProxyQuotaTest, AutonomousDoubleHeadroom) {
+  SimClock clock;
+  quota::ProxyQuota pq(100, &clock);  // Fair share 100 RU/s.
+  // Unclamped: bucket rate 200.
+  double admitted = 0;
+  while (pq.TryAdmit(10)) admitted += 10;
+  EXPECT_NEAR(admitted, 200, 1e-9);
+}
+
+TEST(ProxyQuotaTest, ClampRevertsToStandardQuota) {
+  SimClock clock;
+  quota::ProxyQuota pq(100, &clock);
+  pq.SetClamped(true);
+  clock.Advance(10 * kMicrosPerSecond);  // Full refill at clamped rate.
+  double admitted = 0;
+  while (pq.TryAdmit(10)) admitted += 10;
+  EXPECT_NEAR(admitted, 100, 1e-9);
+  pq.SetClamped(false);
+  clock.Advance(10 * kMicrosPerSecond);
+  admitted = 0;
+  while (pq.TryAdmit(10)) admitted += 10;
+  EXPECT_NEAR(admitted, 200, 1e-9);
+}
+
+TEST(ProxyQuotaTest, SettleReconcilesEstimates) {
+  SimClock clock;
+  quota::ProxyQuota pq(100, &clock);
+  ASSERT_TRUE(pq.TryAdmit(50));  // Estimate 50.
+  pq.SettleActual(50, 10);       // Actually cost 10: 40 refunded.
+  double admitted = 0;
+  while (pq.TryAdmit(10)) admitted += 10;
+  EXPECT_NEAR(admitted, 190, 1e-9);
+}
+
+TEST(ProxyQuotaTest, RebaseQuota) {
+  SimClock clock;
+  quota::ProxyQuota pq(100, &clock);
+  pq.SetBaseQuota(500);
+  clock.Advance(10 * kMicrosPerSecond);
+  double admitted = 0;
+  while (pq.TryAdmit(100)) admitted += 100;
+  EXPECT_NEAR(admitted, 1000, 1e-9);  // 2x of the new base.
+}
+
+// -------------------------------------------------------- PartitionQuota --
+
+TEST(PartitionQuotaTest, TripleHeadroomBurstOnly) {
+  SimClock clock;
+  quota::PartitionQuota pq(1000, &clock);
+  double admitted = 0;
+  while (pq.TryAdmit(100)) admitted += 100;
+  // The instantaneous burst allowance is 3x the partition quota...
+  EXPECT_NEAR(admitted, 3000, 1e-9);
+  // ...but refill happens at 1x, so the next second admits only 1000.
+  clock.Advance(kMicrosPerSecond);
+  admitted = 0;
+  while (pq.TryAdmit(100)) admitted += 100;
+  EXPECT_NEAR(admitted, 1000, 1e-9);
+}
+
+TEST(PartitionQuotaTest, DisabledAdmitsEverything) {
+  SimClock clock;
+  quota::PartitionQuota pq(10, &clock);
+  pq.SetEnabled(false);
+  for (int i = 0; i < 1000; i++) EXPECT_TRUE(pq.TryAdmit(100));
+}
+
+TEST(PartitionQuotaTest, SustainedRateConvergesToPartitionQuota) {
+  // Figure 7: under a sustained skewed burst, the throttled partition's
+  // success rate settles at the partition quota itself.
+  SimClock clock;
+  quota::PartitionQuota pq(1000, &clock);
+  double admitted = 0;
+  for (int sec = 0; sec < 50; sec++) {
+    while (pq.TryAdmit(100)) admitted += 100;
+    clock.Advance(kMicrosPerSecond);
+  }
+  EXPECT_NEAR(admitted / 50.0, 1000, 100);
+}
+
+// -------------------------------------------------- TenantTrafficMonitor --
+
+TEST(TenantMonitorTest, ClampsAboveQuotaOnly) {
+  quota::TenantTrafficMonitor mon(1000);
+  EXPECT_FALSE(mon.ObserveAggregateRuPerSec(900));
+  EXPECT_FALSE(mon.clamped());
+  EXPECT_TRUE(mon.ObserveAggregateRuPerSec(1100));
+  EXPECT_TRUE(mon.clamped());
+  // Traffic subsides: clamp released (asynchronous control loop).
+  EXPECT_FALSE(mon.ObserveAggregateRuPerSec(800));
+  EXPECT_FALSE(mon.clamped());
+}
+
+}  // namespace
+}  // namespace abase

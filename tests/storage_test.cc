@@ -1,0 +1,471 @@
+// Tests for src/storage: bloom filters, memtable, SSTables, the LSM
+// engine (LavaStore stand-in), WAL recovery, and the disk model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "storage/bloom.h"
+#include "storage/disk_model.h"
+#include "storage/lsm_engine.h"
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+
+namespace abase {
+namespace storage {
+namespace {
+
+// ----------------------------------------------------------------- Bloom --
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bf(1000);
+  for (int i = 0; i < 1000; i++) bf.Add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_TRUE(bf.MayContain("key" + std::to_string(i)));
+  }
+}
+
+class BloomFprTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomFprTest, FalsePositiveRateBounded) {
+  const int bits_per_key = GetParam();
+  BloomFilter bf(2000, bits_per_key);
+  for (int i = 0; i < 2000; i++) bf.Add("in" + std::to_string(i));
+  int fp = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; i++) {
+    if (bf.MayContain("out" + std::to_string(i))) fp++;
+  }
+  double fpr = static_cast<double>(fp) / probes;
+  // Theoretical FPR ~ 0.61^bits_per_key; allow generous slack.
+  double bound = std::pow(0.6185, bits_per_key) * 2.5 + 0.002;
+  EXPECT_LT(fpr, bound) << "bits_per_key=" << bits_per_key;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsSweep, BloomFprTest,
+                         ::testing::Values(4, 8, 10, 16));
+
+TEST(BloomTest, EmptyFilterRejectsEverything) {
+  BloomFilter bf(100);
+  EXPECT_FALSE(bf.MayContain("anything"));
+}
+
+// -------------------------------------------------------------- MemTable --
+
+TEST(MemTableTest, PutGetReplace) {
+  MemTable mt;
+  mt.Put("a", ValueEntry::String("1", 1));
+  mt.Put("b", ValueEntry::String("2", 2));
+  ASSERT_NE(mt.Get("a"), nullptr);
+  EXPECT_EQ(mt.Get("a")->str, "1");
+  mt.Put("a", ValueEntry::String("updated", 3));
+  EXPECT_EQ(mt.Get("a")->str, "updated");
+  EXPECT_EQ(mt.entry_count(), 2u);
+  EXPECT_EQ(mt.Get("zz"), nullptr);
+}
+
+TEST(MemTableTest, ByteAccountingTracksReplacement) {
+  MemTable mt;
+  mt.Put("k", ValueEntry::String(std::string(100, 'x'), 1));
+  uint64_t b1 = mt.approximate_bytes();
+  mt.Put("k", ValueEntry::String(std::string(10, 'x'), 2));
+  uint64_t b2 = mt.approximate_bytes();
+  EXPECT_EQ(b1 - b2, 90u);
+}
+
+TEST(MemTableTest, TombstonesStored) {
+  MemTable mt;
+  mt.Put("k", ValueEntry::Tombstone(1));
+  ASSERT_NE(mt.Get("k"), nullptr);
+  EXPECT_TRUE(mt.Get("k")->IsTombstone());
+}
+
+// --------------------------------------------------------------- SsTable --
+
+std::vector<std::pair<std::string, ValueEntry>> MakeRows(int n) {
+  std::vector<std::pair<std::string, ValueEntry>> rows;
+  for (int i = 0; i < n; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "k%05d", i);
+    rows.emplace_back(buf, ValueEntry::String("v" + std::to_string(i),
+                                              static_cast<uint64_t>(i + 1)));
+  }
+  return rows;
+}
+
+TEST(SsTableTest, PointLookupChargesOneBlock) {
+  SsTable sst(1, MakeRows(100));
+  SstProbe p = sst.Get("k00042");
+  ASSERT_NE(p.entry, nullptr);
+  EXPECT_EQ(p.entry->str, "v42");
+  EXPECT_EQ(p.block_reads, 1);
+}
+
+TEST(SsTableTest, BloomFiltersOutOfRangeFree) {
+  SsTable sst(1, MakeRows(100));
+  SstProbe p = sst.Get("zzz");  // Out of key range entirely.
+  EXPECT_EQ(p.entry, nullptr);
+  EXPECT_EQ(p.block_reads, 0);
+}
+
+TEST(SsTableTest, MinMaxKeys) {
+  SsTable sst(1, MakeRows(10));
+  EXPECT_EQ(sst.min_key(), "k00000");
+  EXPECT_EQ(sst.max_key(), "k00009");
+  EXPECT_TRUE(sst.KeyInRange("k00005"));
+  EXPECT_FALSE(sst.KeyInRange("a"));
+}
+
+// ------------------------------------------------------------- LsmEngine --
+
+class LsmEngineTest : public ::testing::Test {
+ protected:
+  LsmEngineTest() : clock_(0) {
+    LsmOptions opts;
+    opts.memtable_flush_bytes = 4096;  // Tiny: force flushes quickly.
+    opts.runs_per_level_trigger = 2;
+    opts.max_levels = 3;
+    engine_ = std::make_unique<LsmEngine>(opts, &clock_);
+  }
+  SimClock clock_;
+  std::unique_ptr<LsmEngine> engine_;
+};
+
+TEST_F(LsmEngineTest, PutGetRoundTrip) {
+  ASSERT_TRUE(engine_->Put("k1", "hello").ok());
+  auto v = engine_->Get("k1");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "hello");
+}
+
+TEST_F(LsmEngineTest, GetMissingIsNotFound) {
+  EXPECT_TRUE(engine_->Get("missing").status().IsNotFound());
+}
+
+TEST_F(LsmEngineTest, EmptyKeyRejected) {
+  EXPECT_FALSE(engine_->Put("", "v").ok());
+  EXPECT_FALSE(engine_->Delete("").ok());
+}
+
+TEST_F(LsmEngineTest, DeleteHidesKeyAcrossFlush) {
+  ASSERT_TRUE(engine_->Put("k", "v").ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->Delete("k").ok());
+  EXPECT_TRUE(engine_->Get("k").status().IsNotFound());
+  engine_->Flush();
+  EXPECT_TRUE(engine_->Get("k").status().IsNotFound());
+}
+
+TEST_F(LsmEngineTest, OverwriteLatestWinsAcrossRuns) {
+  ASSERT_TRUE(engine_->Put("k", "v1").ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->Put("k", "v2").ok());
+  engine_->Flush();
+  auto v = engine_->Get("k");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "v2");
+}
+
+TEST_F(LsmEngineTest, TtlExpiresValues) {
+  ASSERT_TRUE(engine_->Put("k", "v", 10 * kMicrosPerSecond).ok());
+  EXPECT_TRUE(engine_->Get("k").ok());
+  clock_.Advance(11 * kMicrosPerSecond);
+  EXPECT_TRUE(engine_->Get("k").status().IsNotFound());
+}
+
+TEST_F(LsmEngineTest, ExpireCommandSetsAndClearsTtl) {
+  ASSERT_TRUE(engine_->Put("k", "v").ok());
+  ASSERT_TRUE(engine_->Expire("k", 5 * kMicrosPerSecond).ok());
+  clock_.Advance(6 * kMicrosPerSecond);
+  EXPECT_TRUE(engine_->Get("k").status().IsNotFound());
+  EXPECT_TRUE(engine_->Expire("missing", 1).IsNotFound());
+}
+
+TEST_F(LsmEngineTest, HashCommands) {
+  ASSERT_TRUE(engine_->HSet("h", "f1", "v1").ok());
+  ASSERT_TRUE(engine_->HSet("h", "f2", "v2").ok());
+  auto f1 = engine_->HGet("h", "f1");
+  ASSERT_TRUE(f1.ok());
+  EXPECT_EQ(f1.value(), "v1");
+  auto len = engine_->HLen("h");
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(len.value(), 2u);
+  auto all = engine_->HGetAll("h");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);
+  EXPECT_EQ(all.value().at("f2"), "v2");
+  EXPECT_TRUE(engine_->HGet("h", "zz").status().IsNotFound());
+  EXPECT_TRUE(engine_->HLen("nope").status().IsNotFound());
+}
+
+TEST_F(LsmEngineTest, HashSurvivesFlushAndUpdates) {
+  ASSERT_TRUE(engine_->HSet("h", "f1", "v1").ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->HSet("h", "f2", "v2").ok());
+  auto all = engine_->HGetAll("h");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), 2u);  // f1 merged from the flushed run.
+}
+
+TEST_F(LsmEngineTest, FlushAndCompactionProgress) {
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(
+        engine_->Put("key" + std::to_string(i), std::string(64, 'x')).ok());
+  }
+  EXPECT_GT(engine_->stats().flush_count, 0u);
+  EXPECT_GT(engine_->stats().compaction_count, 0u);
+  // All data still readable after compactions.
+  for (int i = 0; i < 500; i += 37) {
+    EXPECT_TRUE(engine_->Get("key" + std::to_string(i)).ok()) << i;
+  }
+  // Level run counts respect the trigger.
+  for (size_t c : engine_->LevelRunCounts()) {
+    EXPECT_LE(c, 3u);  // trigger(2) + 1 transient.
+  }
+}
+
+TEST_F(LsmEngineTest, WriteAmplificationAtLeastOne) {
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(engine_->Put("k" + std::to_string(i % 50),
+                             std::string(128, 'a')).ok());
+  }
+  EXPECT_GE(engine_->WriteAmplification(), 1.0);
+}
+
+TEST_F(LsmEngineTest, CrashRecoveryReplaysWal) {
+  ASSERT_TRUE(engine_->Put("durable", "yes").ok());
+  engine_->CrashAndRecover();
+  auto v = engine_->Get("durable");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "yes");
+}
+
+TEST(LsmEngineNoWalTest, CrashLosesUnflushedWrites) {
+  SimClock clock;
+  LsmOptions opts;
+  opts.enable_wal = false;
+  LsmEngine engine(opts, &clock);
+  ASSERT_TRUE(engine.Put("volatile", "gone").ok());
+  engine.CrashAndRecover();
+  EXPECT_TRUE(engine.Get("volatile").status().IsNotFound());
+}
+
+TEST(LsmEngineNoWalTest, CrashKeepsFlushedWrites) {
+  SimClock clock;
+  LsmOptions opts;
+  opts.enable_wal = false;
+  LsmEngine engine(opts, &clock);
+  ASSERT_TRUE(engine.Put("flushed", "kept").ok());
+  engine.Flush();
+  ASSERT_TRUE(engine.Put("unflushed", "lost").ok());
+  engine.CrashAndRecover();
+  EXPECT_TRUE(engine.Get("flushed").ok());
+  EXPECT_TRUE(engine.Get("unflushed").status().IsNotFound());
+}
+
+TEST_F(LsmEngineTest, ReadIoReportsMemtableVsDisk) {
+  ASSERT_TRUE(engine_->Put("hot", "v").ok());
+  ReadIo io;
+  ASSERT_TRUE(engine_->Get("hot", &io).ok());
+  EXPECT_TRUE(io.memtable_hit);
+  EXPECT_EQ(io.block_reads, 0);
+
+  engine_->Flush();
+  ReadIo io2;
+  ASSERT_TRUE(engine_->Get("hot", &io2).ok());
+  EXPECT_FALSE(io2.memtable_hit);
+  EXPECT_GE(io2.block_reads, 1);
+}
+
+TEST_F(LsmEngineTest, BloomAvoidsBlockReadsForMisses) {
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(engine_->Put("present" + std::to_string(i), "v").ok());
+  }
+  engine_->Flush();
+  uint64_t before = engine_->stats().block_reads;
+  for (int i = 0; i < 200; i++) {
+    engine_->Get("absent" + std::to_string(i));
+  }
+  uint64_t blocks = engine_->stats().block_reads - before;
+  // ~1% bloom FPR: 200 misses should cost only a handful of block reads.
+  EXPECT_LT(blocks, 20u);
+}
+
+TEST_F(LsmEngineTest, TombstonesDroppedAtBottomCompaction) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(engine_->Put("k" + std::to_string(i), std::string(64, 'v'))
+                    .ok());
+  }
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(engine_->Delete("k" + std::to_string(i)).ok());
+  }
+  // Force everything down to the bottom level.
+  for (int round = 0; round < 10; round++) engine_->Flush();
+  while (engine_->MaybeCompact()) {
+  }
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(engine_->Get("k" + std::to_string(i)).status().IsNotFound());
+  }
+}
+
+TEST_F(LsmEngineTest, ScanMergesAcrossLevels) {
+  ASSERT_TRUE(engine_->Put("scan:a", "1").ok());
+  ASSERT_TRUE(engine_->Put("scan:c", "3").ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->Put("scan:b", "2").ok());
+  ASSERT_TRUE(engine_->Put("scan:c", "3-updated").ok());  // Newer wins.
+  auto rows = engine_->Scan("scan:", "scan;~");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, "scan:a");
+  EXPECT_EQ(rows[1].key, "scan:b");
+  EXPECT_EQ(rows[2].key, "scan:c");
+  EXPECT_EQ(rows[2].value, "3-updated");
+}
+
+TEST_F(LsmEngineTest, ScanSkipsTombstonesAndExpired) {
+  ASSERT_TRUE(engine_->Put("s:1", "a").ok());
+  ASSERT_TRUE(engine_->Put("s:2", "b").ok());
+  ASSERT_TRUE(engine_->Put("s:3", "c", 5 * kMicrosPerSecond).ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->Delete("s:2").ok());
+  clock_.Advance(6 * kMicrosPerSecond);  // s:3 expires.
+  auto rows = engine_->ScanPrefix("s:");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].key, "s:1");
+}
+
+TEST_F(LsmEngineTest, ScanHonorsLimitAndOrder) {
+  for (int i = 0; i < 50; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "k%03d", i);
+    ASSERT_TRUE(engine_->Put(buf, "v").ok());
+    if (i % 7 == 0) engine_->Flush();
+  }
+  auto rows = engine_->Scan("k010", "k030", 10);
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().key, "k010");
+  for (size_t i = 1; i < rows.size(); i++) {
+    EXPECT_LT(rows[i - 1].key, rows[i].key);
+  }
+}
+
+TEST_F(LsmEngineTest, ScanPrefixMatchesReferenceModel) {
+  std::map<std::string, std::string> reference;
+  Rng rng(55);
+  for (int i = 0; i < 600; i++) {
+    std::string key = "p" + std::to_string(rng.NextUint64(3)) + ":" +
+                      std::to_string(rng.NextUint64(100));
+    if (rng.NextBool(0.8)) {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(engine_->Put(key, value).ok());
+      reference[key] = value;
+    } else {
+      ASSERT_TRUE(engine_->Delete(key).ok());
+      reference.erase(key);
+    }
+  }
+  for (const char* prefix : {"p0:", "p1:", "p2:"}) {
+    auto rows = engine_->ScanPrefix(prefix, 1000);
+    std::vector<std::pair<std::string, std::string>> expected;
+    for (const auto& [k, v] : reference) {
+      if (k.rfind(prefix, 0) == 0) expected.emplace_back(k, v);
+    }
+    ASSERT_EQ(rows.size(), expected.size()) << prefix;
+    for (size_t i = 0; i < rows.size(); i++) {
+      EXPECT_EQ(rows[i].key, expected[i].first);
+      EXPECT_EQ(rows[i].value, expected[i].second);
+    }
+  }
+}
+
+TEST_F(LsmEngineTest, ScanEmptyRange) {
+  ASSERT_TRUE(engine_->Put("x", "v").ok());
+  EXPECT_TRUE(engine_->Scan("y", "z").empty());
+  EXPECT_TRUE(engine_->ScanPrefix("nothing").empty());
+}
+
+// Property test: the engine must agree with an in-memory reference model
+// under a randomized op stream, across flushes and compactions.
+class LsmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LsmPropertyTest, MatchesReferenceModel) {
+  SimClock clock;
+  LsmOptions opts;
+  opts.memtable_flush_bytes = 2048;
+  opts.runs_per_level_trigger = 2;
+  LsmEngine engine(opts, &clock);
+  std::map<std::string, std::string> reference;
+  Rng rng(GetParam());
+
+  for (int step = 0; step < 2000; step++) {
+    std::string key = "k" + std::to_string(rng.NextUint64(200));
+    double action = rng.NextDouble();
+    if (action < 0.5) {
+      std::string value = "v" + std::to_string(rng.NextUint64(100000));
+      ASSERT_TRUE(engine.Put(key, value).ok());
+      reference[key] = value;
+    } else if (action < 0.65) {
+      ASSERT_TRUE(engine.Delete(key).ok());
+      reference.erase(key);
+    } else {
+      auto got = engine.Get(key);
+      auto ref = reference.find(key);
+      if (ref == reference.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key << " step " << step;
+      } else {
+        ASSERT_TRUE(got.ok()) << key << " step " << step;
+        EXPECT_EQ(got.value(), ref->second);
+      }
+    }
+    if (step % 500 == 499) engine.CrashAndRecover();  // WAL must cover.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------- DiskModel --
+
+TEST(DiskModelTest, ChargesServiceTime) {
+  DiskModel disk;
+  Micros t = disk.ChargeRead(10);
+  EXPECT_EQ(t, 10 * disk.options().read_service_micros);
+  EXPECT_EQ(disk.total_reads(), 10u);
+}
+
+TEST(DiskModelTest, CongestionInflatesLatency) {
+  DiskOptions opts;
+  opts.read_iops_capacity = 1000;
+  DiskModel disk(opts);
+  Micros base = disk.ChargeRead(1);
+  disk.ChargeRead(898);  // ~90% utilization.
+  Micros loaded = disk.ChargeRead(1);
+  EXPECT_GT(loaded, base);
+}
+
+TEST(DiskModelTest, WindowResetRestoresCapacity) {
+  DiskOptions opts;
+  opts.read_iops_capacity = 100;
+  DiskModel disk(opts);
+  disk.ChargeRead(100);
+  EXPECT_FALSE(disk.CanRead(1));
+  disk.ResetWindow();
+  EXPECT_TRUE(disk.CanRead(100));
+  EXPECT_EQ(disk.total_reads(), 100u);  // Totals persist.
+}
+
+TEST(DiskModelTest, ReadWriteIndependentBudgets) {
+  DiskOptions opts;
+  opts.read_iops_capacity = 10;
+  opts.write_iops_capacity = 10;
+  DiskModel disk(opts);
+  disk.ChargeRead(10);
+  EXPECT_FALSE(disk.CanRead(1));
+  EXPECT_TRUE(disk.CanWrite(10));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace abase
