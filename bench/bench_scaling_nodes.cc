@@ -1,0 +1,148 @@
+// Data-plane scaling: ticks/sec vs node count and NodeSchedule worker
+// count. This is the perf trajectory for the parallel executor — the
+// refactor's payoff is that within a tick, DataNodes are independent
+// between Submit() and TakeResponses(), so their WFQ ticks fan out across
+// a worker pool while serial/parallel results stay bit-identical
+// (tests/pipeline_test.cc proves the identity).
+//
+// Emits a human-readable table and writes the run's machine-readable
+// record to BENCH_scaling_nodes.json (overwritten per run; CI archives
+// it as an artifact for trend tracking).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace abase {
+namespace bench {
+namespace {
+
+struct RunResult {
+  size_t nodes = 0;
+  size_t tenants = 0;
+  int workers = 0;  ///< 1 = serial reference executor.
+  double ticks_per_sec = 0;
+  uint64_t requests_completed = 0;
+};
+
+meta::TenantConfig ScalingTenant(TenantId id, uint32_t partitions) {
+  meta::TenantConfig c;
+  c.id = id;
+  c.name = "t" + std::to_string(id);
+  c.tenant_quota_ru = 40000;
+  c.num_partitions = partitions;
+  c.num_proxies = 4;
+  c.num_proxy_groups = 2;
+  return c;
+}
+
+RunResult RunOnce(size_t num_nodes, size_t num_tenants, int workers,
+                  size_t warmup_ticks, size_t timed_ticks) {
+  sim::SimOptions opt;
+  opt.seed = 99;
+  opt.data_plane_workers = workers;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(num_nodes);
+
+  // Enough partitions that every node hosts replicas of every tenant.
+  uint32_t partitions = static_cast<uint32_t>(num_nodes);
+  for (TenantId t = 1; t <= num_tenants; t++) {
+    (void)sim.AddTenant(ScalingTenant(t, partitions), pool);
+    sim.PreloadKeys(t, /*num_keys=*/2000, /*value_bytes=*/512);
+    sim::WorkloadProfile profile;
+    profile.base_qps = 1500;
+    profile.read_ratio = 0.8;
+    profile.num_keys = 2000;
+    profile.value_bytes = 512;
+    sim.SetWorkload(t, profile);
+  }
+
+  sim.RunTicks(warmup_ticks);
+
+  auto start = std::chrono::steady_clock::now();
+  sim.RunTicks(timed_ticks);
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+
+  RunResult r;
+  r.nodes = num_nodes;
+  r.tenants = num_tenants;
+  r.workers = workers;
+  r.ticks_per_sec =
+      seconds > 0 ? static_cast<double>(timed_ticks) / seconds : 0;
+  for (TenantId t = 1; t <= num_tenants; t++) {
+    const auto& h = sim.History(t);
+    for (size_t i = warmup_ticks; i < h.size(); i++) {
+      r.requests_completed += h[i].ok;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abase
+
+int main() {
+  using abase::bench::RunOnce;
+  using abase::bench::RunResult;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  abase::bench::PrintHeader(
+      "Scaling: ticks/sec vs node count and data-plane workers "
+      "(hardware threads: " +
+      std::to_string(hw) + ")");
+
+  const std::vector<size_t> node_counts = {4, 8, 16};
+  const std::vector<int> worker_counts = {1, 2, 4};
+  constexpr size_t kTenants = 8;
+  constexpr size_t kWarmup = 2;
+  constexpr size_t kTimed = 8;
+
+  std::printf("%8s %8s %9s %12s %12s %10s\n", "nodes", "tenants", "workers",
+              "ticks/sec", "reqs_ok", "speedup");
+  std::vector<RunResult> results;
+  for (size_t nodes : node_counts) {
+    double serial_tps = 0;
+    for (int workers : worker_counts) {
+      RunResult r = RunOnce(nodes, kTenants, workers, kWarmup, kTimed);
+      if (workers == 1) serial_tps = r.ticks_per_sec;
+      double speedup = serial_tps > 0 ? r.ticks_per_sec / serial_tps : 0;
+      std::printf("%8zu %8zu %9d %12.2f %12llu %9.2fx\n", r.nodes, r.tenants,
+                  r.workers, r.ticks_per_sec,
+                  static_cast<unsigned long long>(r.requests_completed),
+                  speedup);
+      results.push_back(r);
+    }
+  }
+  if (hw < 4) {
+    std::printf(
+        "\nNote: only %u hardware thread(s) available — parallel speedup "
+        "needs >= `workers` cores to materialize.\n",
+        hw);
+  }
+
+  // Machine-readable trend record.
+  FILE* f = std::fopen("BENCH_scaling_nodes.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\"bench\":\"scaling_nodes\",\"hardware_threads\":%u,"
+                    "\"results\":[",
+                 hw);
+    for (size_t i = 0; i < results.size(); i++) {
+      const RunResult& r = results[i];
+      std::fprintf(f,
+                   "%s{\"nodes\":%zu,\"tenants\":%zu,\"workers\":%d,"
+                   "\"ticks_per_sec\":%.3f,\"requests_ok\":%llu}",
+                   i == 0 ? "" : ",", r.nodes, r.tenants, r.workers,
+                   r.ticks_per_sec,
+                   static_cast<unsigned long long>(r.requests_completed));
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scaling_nodes.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "common/executor.h"
+
+#include <algorithm>
+
+namespace abase {
+
+ParallelExecutor::ParallelExecutor(int num_workers)
+    : num_workers_(std::max(1, num_workers)) {
+  threads_.reserve(static_cast<size_t>(num_workers_ - 1));
+  for (int i = 0; i < num_workers_ - 1; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ParallelExecutor::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      fn = fn_;
+      n = n_;
+    }
+    for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ParallelExecutor::ParallelFor(size_t n,
+                                   const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < n; i++) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0);
+    active_ = threads_.size();
+    epoch_++;
+  }
+  cv_start_.notify_all();
+  // The caller is one of the workers.
+  for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+}  // namespace abase

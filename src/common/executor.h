@@ -1,0 +1,78 @@
+// Data-plane executors. The cluster simulator's NodeSchedule stage runs
+// every DataNode's tick through an Executor: SerialExecutor preserves the
+// historical single-threaded loop, ParallelExecutor fans the independent
+// node ticks out across a persistent worker pool (DataNodes share no
+// mutable state within a tick, so the only ordering requirement is the
+// caller's deterministic node-id-ordered response merge — see DESIGN.md,
+// "Stage / executor contract").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace abase {
+
+/// Runs `n` independent tasks, identified by index. Implementations must
+/// guarantee every index in [0, n) runs exactly once and that ParallelFor
+/// does not return before all of them have finished.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Invokes fn(0) .. fn(n-1), possibly concurrently. Blocks until done.
+  virtual void ParallelFor(size_t n, const std::function<void(size_t)>& fn) = 0;
+
+  /// Degree of parallelism (1 for the serial executor).
+  virtual int workers() const = 0;
+};
+
+/// Runs tasks inline on the calling thread, in index order. This is the
+/// reference executor: any other executor must produce bit-identical
+/// simulation results.
+class SerialExecutor final : public Executor {
+ public:
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) override {
+    for (size_t i = 0; i < n; i++) fn(i);
+  }
+  int workers() const override { return 1; }
+};
+
+/// Persistent worker pool. `num_workers` includes the calling thread, so
+/// ParallelExecutor(4) spawns three workers and the caller takes the
+/// fourth share. Indices are claimed from an atomic counter, so task
+/// *start* order is nondeterministic — callers own determinism by keeping
+/// tasks independent and merging results in index order afterwards.
+class ParallelExecutor final : public Executor {
+ public:
+  explicit ParallelExecutor(int num_workers);
+  ~ParallelExecutor() override;
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) override;
+  int workers() const override { return num_workers_; }
+
+ private:
+  void WorkerLoop();
+
+  int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(size_t)>* fn_ = nullptr;  ///< Current job.
+  size_t n_ = 0;
+  std::atomic<size_t> next_{0};  ///< Next unclaimed index.
+  size_t active_ = 0;            ///< Pool threads still in the current job.
+  uint64_t epoch_ = 0;           ///< Bumped per job to wake the pool.
+  bool shutdown_ = false;
+};
+
+}  // namespace abase

@@ -10,6 +10,18 @@
 
 namespace abase {
 
+/// Derives an independent deterministic seed for stream `stream` of a
+/// base seed (splitmix64 finalizer). Components that may run concurrently
+/// — e.g. DataNodes under the parallel data-plane executor — must each
+/// own a stream derived this way instead of sharing one Rng, so results
+/// do not depend on execution interleaving.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic RNG. Every simulator component takes an explicit seed so
 /// all experiments are reproducible run-to-run.
 class Rng {
@@ -43,10 +55,22 @@ class Rng {
     return std::lognormal_distribution<double>(mu, sigma)(engine_);
   }
 
-  /// Poisson-distributed count with the given mean.
+  /// Poisson-distributed count with the given mean. Implemented via
+  /// Knuth's product method plus Poisson additivity for large means
+  /// (exact, not an approximation) instead of std::poisson_distribution:
+  /// the latter's setup path calls the non-reentrant lgamma(3) — a data
+  /// race when per-tenant generators run concurrently under the parallel
+  /// executor — and its draw sequence differs across stdlib
+  /// implementations, which would break cross-platform reproducibility.
   int64_t NextPoisson(double mean) {
     if (mean <= 0) return 0;
-    return std::poisson_distribution<int64_t>(mean)(engine_);
+    constexpr double kChunk = 30.0;  // exp(-30) is comfortably normal.
+    int64_t total = 0;
+    while (mean > kChunk) {
+      total += SmallPoisson(kChunk);
+      mean -= kChunk;
+    }
+    return total + SmallPoisson(mean);
   }
 
   /// Bernoulli trial.
@@ -55,6 +79,19 @@ class Rng {
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  /// Knuth: count uniform draws until their product falls below
+  /// exp(-mean). O(mean) draws; callers keep mean small.
+  int64_t SmallPoisson(double mean) {
+    const double limit = std::exp(-mean);
+    int64_t k = 0;
+    double prod = NextDouble();
+    while (prod > limit) {
+      k++;
+      prod *= NextDouble();
+    }
+    return k;
+  }
+
   std::mt19937_64 engine_;
 };
 

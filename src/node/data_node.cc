@@ -30,7 +30,8 @@ DataNode::DataNode(NodeId id, DataNodeOptions options, const Clock* clock)
       clock_(clock),
       cache_(options.cache, clock),
       disk_(options.disk),
-      wfq_(options.wfq) {
+      wfq_(options.wfq),
+      rng_(MixSeed(options.seed, static_cast<uint64_t>(id))) {
   assert(clock_ != nullptr);
 }
 
@@ -449,26 +450,34 @@ void DataNode::Tick() {
 
   // Anything still pending waited a full tick; requests beyond the queue
   // deadline fail now (their WFQ entries are lazily discarded when the
-  // scheduler reaches them).
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    PendingContext& ctx = it->second;
+  // scheduler reaches them). Expired ids are emitted in req_id order:
+  // pending_ is an unordered_map, whose iteration order is
+  // stdlib-dependent, and response order feeds downstream metric
+  // accumulation — sorting keeps same-seed runs bit-identical across
+  // platforms.
+  std::vector<uint64_t> expired;
+  for (auto& [req_id, ctx] : pending_) {
     ctx.wait_ticks++;
     if (ctx.wait_ticks > options_.queue_timeout_ticks) {
-      NodeResponse resp;
-      resp.req_id = ctx.req.req_id;
-      resp.tenant = ctx.req.tenant;
-      resp.partition = ctx.req.partition;
-      resp.op = ctx.req.op;
-      resp.key = ctx.req.key;
-      resp.status = Status::ResourceExhausted("queue deadline exceeded");
-      resp.served_by = ServedBy::kRejected;
-      resp.latency = static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond;
-      resp.background_refresh = ctx.req.background_refresh;
-      responses_.push_back(std::move(resp));
-      it = pending_.erase(it);
-    } else {
-      ++it;
+      expired.push_back(req_id);
     }
+  }
+  std::sort(expired.begin(), expired.end());
+  for (uint64_t req_id : expired) {
+    auto it = pending_.find(req_id);
+    PendingContext& ctx = it->second;
+    NodeResponse resp;
+    resp.req_id = ctx.req.req_id;
+    resp.tenant = ctx.req.tenant;
+    resp.partition = ctx.req.partition;
+    resp.op = ctx.req.op;
+    resp.key = ctx.req.key;
+    resp.status = Status::ResourceExhausted("queue deadline exceeded");
+    resp.served_by = ServedBy::kRejected;
+    resp.latency = static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond;
+    resp.background_refresh = ctx.req.background_refresh;
+    responses_.push_back(std::move(resp));
+    pending_.erase(it);
   }
 
   // Fold per-replica tick RU into the EWMA the rescheduler reads.

@@ -13,11 +13,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/sa_lru.h"
 #include "common/clock.h"
 #include "common/histogram.h"
+#include "common/rng.h"
 #include "common/types.h"
 #include "node/request.h"
 #include "quota/quota.h"
@@ -47,6 +49,12 @@ struct DataNodeOptions {
   storage::LsmOptions lsm;
   cache::SaLruOptions cache;
   int replicas = 3;  ///< Replication factor used for write RU charging.
+  /// Base seed of the node's private RNG stream (mixed with the node id).
+  /// Nodes may tick concurrently under the parallel data-plane executor,
+  /// so any stochastic node model MUST draw from rng() — never from a
+  /// shared simulator RNG — to keep runs bit-identical across worker
+  /// counts.
+  uint64_t seed = 42;
 };
 
 /// A partition replica hosted on this node.
@@ -121,6 +129,11 @@ class DataNode {
   /// replicas spread across AZs). Assigned by the deployment.
   uint32_t az() const { return az_; }
   void set_az(uint32_t az) { az_ = az; }
+
+  /// The node's private deterministic RNG stream (seeded from
+  /// DataNodeOptions::seed and the node id). The only randomness source a
+  /// node-tick code path may use.
+  Rng& rng() { return rng_; }
   size_t replica_count() const { return replicas_.size(); }
   const cache::SaLruCache& data_cache() const { return cache_; }
   storage::DiskModel& disk() { return disk_; }
@@ -177,7 +190,8 @@ class DataNode {
   ru::RuEstimator ru_model_;
   bool quota_enforcement_ = true;
 
-  std::map<uint64_t, PendingContext> pending_;  ///< By req_id.
+  Rng rng_;  ///< Per-node stream; see DataNodeOptions::seed.
+  std::unordered_map<uint64_t, PendingContext> pending_;  ///< By req_id.
   std::vector<NodeResponse> responses_;
   NodeTickStats tick_stats_;
   std::map<TenantId, double> tenant_ru_this_tick_;

@@ -153,7 +153,7 @@ std::vector<NodeRequest> Proxy::TakeRefreshFetches() {
     if (sep == std::string::npos) continue;
     std::string key = cache_key.substr(sep + 1);
     NodeRequest req;
-    req.req_id = refresh_req_id_++;
+    req.req_id = refresh_id_alloc_ ? refresh_id_alloc_() : refresh_req_id_++;
     req.tenant = tenant_;
     req.partition = partition_of_(key);
     req.op = OpType::kGet;

@@ -97,6 +97,15 @@ class Proxy {
   /// RU admitted since the last report (the MetaServer polls this).
   double ReportAndResetAdmittedRu();
 
+  /// Installs the id source for background refresh fetches. The cluster
+  /// simulator wires this to its sim-wide counter: refresh ids key the
+  /// shared in-flight table, so per-proxy counters would collide across
+  /// proxies. Standalone proxies (unit tests) fall back to a private id
+  /// space.
+  void set_refresh_id_allocator(std::function<uint64_t()> alloc) {
+    refresh_id_alloc_ = std::move(alloc);
+  }
+
   // -- Introspection ----------------------------------------------------------
 
   ProxyId id() const { return id_; }
@@ -125,7 +134,9 @@ class Proxy {
   double admitted_since_report_ = 0;
   /// Estimates for in-flight forwards, keyed by req_id (for settlement).
   std::unordered_map<uint64_t, double> inflight_estimates_;
-  uint64_t refresh_req_id_ = (1ull << 62);  ///< Id space for refreshes.
+  /// Sim-wide refresh id source (see set_refresh_id_allocator).
+  std::function<uint64_t()> refresh_id_alloc_;
+  uint64_t refresh_req_id_ = (1ull << 62);  ///< Standalone fallback space.
 };
 
 }  // namespace proxy

@@ -6,9 +6,25 @@
 namespace abase {
 namespace sim {
 
+namespace {
+
+std::unique_ptr<Executor> MakeExecutor(int workers) {
+  if (workers > 1) return std::make_unique<ParallelExecutor>(workers);
+  return std::make_unique<SerialExecutor>();
+}
+
+}  // namespace
+
 ClusterSim::ClusterSim(SimOptions options)
     : options_(options), clock_(0), rng_(options.seed) {
   meta_ = std::make_unique<meta::MetaServer>(&clock_);
+  executor_ = MakeExecutor(options_.data_plane_workers);
+  pipeline_ = std::make_unique<TickPipeline>(this);
+}
+
+void ClusterSim::SetDataPlaneWorkers(int workers) {
+  options_.data_plane_workers = std::max(1, workers);
+  executor_ = MakeExecutor(options_.data_plane_workers);
 }
 
 // ---------------------------------------------------------------------------
@@ -23,10 +39,16 @@ PoolId ClusterSim::AddPool(size_t num_nodes,
                            const node::DataNodeOptions& node_options) {
   std::vector<node::DataNode*> raw;
   constexpr uint32_t kAvailabilityZones = 3;
+  node::DataNodeOptions opts = node_options;
   for (size_t i = 0; i < num_nodes; i++) {
-    nodes_.push_back(std::make_unique<node::DataNode>(next_node_id_++,
-                                                      node_options, &clock_));
+    // Each node gets its own deterministic RNG stream derived from the
+    // sim seed and its id, so node ticks stay reproducible no matter how
+    // the executor schedules them across workers.
+    opts.seed = options_.seed;
+    nodes_.push_back(
+        std::make_unique<node::DataNode>(next_node_id_++, opts, &clock_));
     nodes_.back()->set_az(static_cast<uint32_t>(i) % kAvailabilityZones);
+    node_index_[nodes_.back()->id()] = nodes_.back().get();
     raw.push_back(nodes_.back().get());
   }
   return meta_->CreatePool(std::move(raw));
@@ -41,6 +63,9 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
   rt.routing_mode = mode;
   rt.router = std::make_unique<proxy::LimitedFanoutRouter>(
       config.num_proxies, config.num_proxy_groups, mode);
+  // Stream ids: nodes use their (small, dense) node ids, tenants sit in
+  // a disjoint range.
+  rt.router_rng = Rng(MixSeed(options_.seed, (1ull << 32) | config.id));
 
   double proxy_quota =
       config.tenant_quota_ru / static_cast<double>(config.num_proxies);
@@ -53,6 +78,10 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
         [this, tid](const std::string& key) {
           return meta_->PartitionFor(tid, key);
         }));
+    // Refresh-fetch ids must be unique across every proxy of every
+    // tenant (they key the sim-wide in-flight table).
+    rt.proxies.back()->set_refresh_id_allocator(
+        [this] { return AllocateRefreshId(); });
   }
   tenants_.emplace(config.id, std::move(rt));
   return Status::OK();
@@ -92,10 +121,8 @@ WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
 }
 
 node::DataNode* ClusterSim::FindNode(NodeId id) {
-  for (auto& n : nodes_) {
-    if (n->id() == id) return n.get();
-  }
-  return nullptr;
+  auto it = node_index_.find(id);
+  return it == node_index_.end() ? nullptr : it->second;
 }
 
 // ---------------------------------------------------------------------------
@@ -119,31 +146,16 @@ void ClusterSim::SetPartitionQuotaEnabled(bool enabled) {
 }
 
 // ---------------------------------------------------------------------------
-// Request routing
+// Request settlement
 // ---------------------------------------------------------------------------
 
 void ClusterSim::InjectRequest(const ClientRequest& req) {
   injected_.push_back(req);
 }
 
-void ClusterSim::RouteClientRequest(const ClientRequest& req) {
-  auto it = tenants_.find(req.tenant);
-  if (it == tenants_.end()) return;
-  TenantRuntime& rt = it->second;
-  rt.current.issued++;
-
-  // Writes invalidate the key across the tenant's proxy caches (a
-  // write-through invalidation broadcast; keeps the synchronous client
-  // API read-your-writes while the paper's model remains eventually
-  // consistent under races).
-  if (!IsReadOp(req.op)) {
-    for (auto& p : rt.proxies) p->InvalidateCache(req.key);
-  }
-
-  size_t proxy_index = rt.router->Route(req.key, rng_);
-  proxy::Proxy& px = *rt.proxies[proxy_index];
-  proxy::ProxyHandleResult res = px.Handle(req);
-
+void ClusterSim::SettleLocalProxyResult(TenantRuntime& rt,
+                                        const ClientRequest& req,
+                                        const proxy::ProxyHandleResult& res) {
   switch (res.action) {
     case proxy::ProxyHandleResult::Action::kServedFromCache:
       rt.current.ok++;
@@ -166,22 +178,9 @@ void ClusterSim::RouteClientRequest(const ClientRequest& req) {
             ClientOutcome{Status::Throttled("proxy quota"), ""};
       }
       break;
-    case proxy::ProxyHandleResult::Action::kForward: {
-      NodeId nid = meta_->PrimaryFor(req.tenant, res.forward.partition);
-      node::DataNode* n = FindNode(nid);
-      if (n == nullptr) {
-        rt.current.errors++;
-        if (req.track_outcome) {
-          outcomes_[req.req_id] =
-              ClientOutcome{Status::Unavailable("no primary"), ""};
-        }
-        break;
-      }
-      inflight_[res.forward.req_id] = {req.tenant, proxy_index};
-      if (req.track_outcome) tracked_.insert(req.req_id);
-      n->Submit(res.forward);
+    case proxy::ProxyHandleResult::Action::kForward:
+      assert(false && "forwards are settled via DeliverResponse");
       break;
-    }
   }
 }
 
@@ -195,30 +194,31 @@ std::optional<ClusterSim::ClientOutcome> ClusterSim::TakeOutcome(
 }
 
 void ClusterSim::DeliverResponse(const NodeResponse& resp) {
-  auto inf = inflight_.find(resp.req_id);
   TenantId tenant = resp.tenant;
   size_t proxy_index = 0;
-  bool tracked = false;
+  bool known_forward = false;
+  bool track_outcome = false;
+  auto inf = inflight_.find(resp.req_id);
   if (inf != inflight_.end()) {
-    tenant = inf->second.first;
-    proxy_index = inf->second.second;
-    tracked = true;
+    tenant = inf->second.tenant;
+    proxy_index = inf->second.proxy_index;
+    track_outcome = inf->second.track_outcome;
+    known_forward = true;
     inflight_.erase(inf);
   }
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantRuntime& rt = it->second;
 
-  if (tracked || resp.background_refresh) {
+  if (known_forward || resp.background_refresh) {
     if (proxy_index < rt.proxies.size()) {
       rt.proxies[proxy_index]->OnResponse(resp);
     }
   }
   if (resp.background_refresh) return;  // Not client-visible.
 
-  if (auto t = tracked_.find(resp.req_id); t != tracked_.end()) {
+  if (track_outcome) {
     outcomes_[resp.req_id] = ClientOutcome{resp.status, resp.value};
-    tracked_.erase(t);
   }
 
   Micros client_latency = resp.latency + options_.proxy.forward_hop_latency;
@@ -253,63 +253,7 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
 // Tick loop
 // ---------------------------------------------------------------------------
 
-void ClusterSim::Tick() {
-  // 1. Generate and route client traffic.
-  for (auto& [tid, rt] : tenants_) {
-    if (rt.workload != nullptr) {
-      for (ClientRequest& req :
-           rt.workload->Tick(clock_.NowMicros(), options_.tick)) {
-        RouteClientRequest(req);
-      }
-    }
-  }
-  for (const ClientRequest& req : injected_) RouteClientRequest(req);
-  injected_.clear();
-
-  // 2. AU-LRU active-update refresh fetches (background traffic).
-  for (auto& [tid, rt] : tenants_) {
-    for (size_t p = 0; p < rt.proxies.size(); p++) {
-      for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
-        NodeId nid = meta_->PrimaryFor(tid, req.partition);
-        node::DataNode* n = FindNode(nid);
-        if (n == nullptr) continue;
-        inflight_[req.req_id] = {tid, p};
-        n->Submit(req);
-      }
-    }
-  }
-
-  // 3. Data plane scheduling.
-  for (auto& n : nodes_) n->Tick();
-
-  // 4. Response delivery.
-  for (auto& n : nodes_) {
-    for (const NodeResponse& resp : n->TakeResponses()) {
-      DeliverResponse(resp);
-    }
-  }
-
-  // 5. Asynchronous proxy traffic control.
-  tick_count_++;
-  if (options_.meta_report_interval_ticks > 0 &&
-      tick_count_ % static_cast<uint64_t>(
-                        options_.meta_report_interval_ticks) ==
-          0) {
-    double interval_sec =
-        static_cast<double>(options_.meta_report_interval_ticks) *
-        static_cast<double>(options_.tick) /
-        static_cast<double>(kMicrosPerSecond);
-    for (auto& [tid, rt] : tenants_) {
-      double total = 0;
-      for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
-      bool clamp = meta_->ReportProxyTraffic(tid, total / interval_sec);
-      for (auto& p : rt.proxies) p->SetClamped(clamp);
-    }
-  }
-
-  FinalizeTickMetrics();
-  clock_.Advance(options_.tick);
-}
+void ClusterSim::Tick() { pipeline_->RunTick(); }
 
 void ClusterSim::RunTicks(size_t n) {
   for (size_t i = 0; i < n; i++) Tick();

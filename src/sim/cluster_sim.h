@@ -1,27 +1,39 @@
 // ClusterSim — the deterministic discrete-time cluster that stands in for
 // ByteDance's production fleet (DESIGN.md substitution table).
 //
-// Each one-second tick:
-//   1. every tenant's workload generator emits client requests;
-//   2. the limited fan-out router picks a proxy; the proxy serves from its
-//      AU-LRU cache, throttles against its quota, or forwards;
-//   3. forwarded requests reach the primary DataNode of their partition,
-//      pass partition-quota admission, and queue in the dual-layer WFQ;
-//   4. every DataNode runs its scheduling tick; responses flow back to the
-//      proxies (cache fill + quota settlement) and into tenant metrics;
-//   5. every `meta_report_interval` ticks, aggregate proxy traffic is
-//      reported to the MetaServer, which issues clamp directives.
+// Each one-second tick runs the five-stage request pipeline
+// (sim/pipeline.h):
+//
+//   Generate -> ProxyAdmit -> Route -> NodeSchedule -> Settle
+//
+//   1. Generate: every tenant's workload generator emits client requests
+//      (plus externally injected ones);
+//   2. ProxyAdmit: the limited fan-out router picks a proxy; the proxy
+//      serves from its AU-LRU cache, throttles against its quota, or
+//      forwards (background cache-refresh fetches ride along);
+//   3. Route: forwarded requests reach the primary DataNode of their
+//      partition and pass partition-quota admission into the dual-layer
+//      WFQ;
+//   4. NodeSchedule: every DataNode runs its scheduling tick — through
+//      the data-plane executor, which may fan nodes out across worker
+//      threads (SimOptions::data_plane_workers); responses merge back in
+//      node-id order so results are bit-identical to a serial run;
+//   5. Settle: responses flow back to the proxies (cache fill + quota
+//      settlement) and into tenant metrics; every `meta_report_interval`
+//      ticks, aggregate proxy traffic is reported to the MetaServer,
+//      which issues clamp directives.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -31,6 +43,8 @@
 #include "proxy/proxy.h"
 #include "resched/pool_model.h"
 #include "resched/rescheduler.h"
+#include "sim/pipeline.h"
+#include "sim/request_context.h"
 #include "sim/workload.h"
 
 namespace abase {
@@ -43,6 +57,10 @@ struct SimOptions {
   proxy::ProxyOptions proxy;
   Micros tick = kMicrosPerSecond;
   int meta_report_interval_ticks = 5;
+  /// Worker threads for the NodeSchedule stage. 1 = the serial reference
+  /// executor; N > 1 = a ParallelExecutor pool of N (results are
+  /// bit-identical either way).
+  int data_plane_workers = 1;
 };
 
 /// Per-tenant metrics for one tick.
@@ -85,6 +103,10 @@ struct TenantRuntime {
   meta::TenantConfig config;
   proxy::RoutingMode routing_mode = proxy::RoutingMode::kLimitedFanout;
   std::unique_ptr<proxy::LimitedFanoutRouter> router;
+  /// Private RNG stream for this tenant's fan-out router (derived from
+  /// the sim seed). Tenants admit traffic concurrently under the
+  /// parallel executor, so they must not share the sim-wide RNG.
+  Rng router_rng{42};
   std::vector<std::unique_ptr<proxy::Proxy>> proxies;
   std::unique_ptr<WorkloadGenerator> workload;
   TenantTickMetrics current;
@@ -141,6 +163,10 @@ class ClusterSim {
   /// completed.
   std::optional<ClientOutcome> TakeOutcome(uint64_t req_id);
 
+  /// Swaps the NodeSchedule-stage executor: 1 worker = serial reference
+  /// executor, N > 1 = ParallelExecutor pool. Safe between ticks.
+  void SetDataPlaneWorkers(int workers);
+
   // -- Experiment switches --------------------------------------------------------
 
   void SetProxyQuotaEnabled(TenantId tenant, bool enabled);
@@ -163,6 +189,14 @@ class ClusterSim {
   }
   Rng& rng() { return rng_; }
   const SimOptions& options() const { return options_; }
+  Executor& executor() { return *executor_; }
+
+  /// The per-tick stage pipeline (tests drive stages individually).
+  TickPipeline& pipeline() { return *pipeline_; }
+
+  /// Requests currently between Route and Settle (forwarded to a
+  /// DataNode, response not yet delivered).
+  size_t InflightCount() const { return inflight_.size(); }
 
   // -- Rescheduler bridge -----------------------------------------------------------
 
@@ -175,22 +209,38 @@ class ClusterSim {
   size_t ApplyMigrations(const std::vector<resched::Migration>& migrations);
 
  private:
-  void RouteClientRequest(const ClientRequest& req);
+  friend class GenerateStage;
+  friend class ProxyAdmitStage;
+  friend class RouteStage;
+  friend class NodeScheduleStage;
+  friend class SettleStage;
+
+  /// Settles one client request that the proxy plane resolved locally
+  /// (cache hit or throttle) without touching the data plane.
+  void SettleLocalProxyResult(TenantRuntime& rt, const ClientRequest& req,
+                              const proxy::ProxyHandleResult& res);
   void DeliverResponse(const NodeResponse& resp);
   void FinalizeTickMetrics();
+
+  /// Sim-wide id space for proxy cache-refresh fetches (above all client
+  /// and workload id spaces; unique across every proxy of every tenant).
+  uint64_t AllocateRefreshId() { return next_refresh_id_++; }
 
   SimOptions options_;
   SimClock clock_;
   Rng rng_;
   std::unique_ptr<meta::MetaServer> meta_;
   std::vector<std::unique_ptr<node::DataNode>> nodes_;
-  std::map<TenantId, TenantRuntime> tenants_;
+  std::unordered_map<NodeId, node::DataNode*> node_index_;  ///< By node id.
+  std::map<TenantId, TenantRuntime> tenants_;  ///< Ordered: stages iterate.
   std::vector<ClientRequest> injected_;
-  /// req_id -> (tenant, proxy index) for response routing.
-  std::map<uint64_t, std::pair<TenantId, size_t>> inflight_;
-  std::map<uint64_t, ClientOutcome> outcomes_;  ///< Tracked completions.
-  std::set<uint64_t> tracked_;  ///< Forwarded requests awaiting outcome.
+  /// Data-plane req_id -> context for response settlement.
+  std::unordered_map<uint64_t, RequestContext> inflight_;
+  std::unordered_map<uint64_t, ClientOutcome> outcomes_;  ///< Tracked.
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;
+  uint64_t next_refresh_id_ = (1ull << 62);
   uint64_t tick_count_ = 0;
 };
 

@@ -1,0 +1,235 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/cluster_sim.h"
+
+namespace abase {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// Generate
+// ---------------------------------------------------------------------------
+
+void GenerateStage::Run(TickContext& ctx) {
+  ClusterSim& sim = *sim_;
+  // Tenant slots in id order (tenants_ is an ordered map); generators
+  // then fill them concurrently — each owns a private RNG stream.
+  std::vector<TenantRuntime*> runtimes;
+  for (auto& [tid, rt] : sim.tenants_) {
+    if (rt.workload == nullptr) continue;
+    TickContext::TenantTraffic slot;
+    slot.tenant = tid;
+    ctx.traffic.push_back(std::move(slot));
+    runtimes.push_back(&rt);
+  }
+  const Micros now = sim.clock_.NowMicros();
+  const Micros tick_len = sim.options_.tick;
+  sim.executor_->ParallelFor(runtimes.size(), [&](size_t i) {
+    ctx.traffic[i].requests = runtimes[i]->workload->Tick(now, tick_len);
+  });
+
+  ctx.injected = std::move(sim.injected_);
+  sim.injected_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// ProxyAdmit
+// ---------------------------------------------------------------------------
+
+void ProxyAdmitStage::AdmitOne(TenantRuntime& rt, const ClientRequest& req,
+                               std::vector<PendingForward>& out) {
+  rt.current.issued++;
+
+  // Writes invalidate the key across the tenant's proxy caches (a
+  // write-through invalidation broadcast; keeps the synchronous client
+  // API read-your-writes while the paper's model remains eventually
+  // consistent under races).
+  if (!IsReadOp(req.op)) {
+    for (auto& p : rt.proxies) p->InvalidateCache(req.key);
+  }
+
+  size_t proxy_index = rt.router->Route(req.key, rt.router_rng);
+  proxy::Proxy& px = *rt.proxies[proxy_index];
+  proxy::ProxyHandleResult res = px.Handle(req);
+  if (res.action == proxy::ProxyHandleResult::Action::kForward) {
+    PendingForward fwd;
+    fwd.request = std::move(res.forward);
+    fwd.ctx.tenant = req.tenant;
+    fwd.ctx.proxy_index = proxy_index;
+    fwd.ctx.track_outcome = req.track_outcome;
+    out.push_back(std::move(fwd));
+  } else {
+    sim_->SettleLocalProxyResult(rt, req, res);
+  }
+}
+
+void ProxyAdmitStage::Run(TickContext& ctx) {
+  ClusterSim& sim = *sim_;
+
+  // Bulk per-tenant traffic, tenants concurrently: every touched piece
+  // of state — proxies, router RNG stream, tick metrics — is private to
+  // the tenant, and generated requests never track outcomes, so nothing
+  // sim-wide is written. Each tenant fills its own forward buffer.
+  sim.executor_->ParallelFor(ctx.traffic.size(), [&](size_t i) {
+    TickContext::TenantTraffic& tt = ctx.traffic[i];
+    auto it = sim.tenants_.find(tt.tenant);
+    if (it == sim.tenants_.end()) return;
+    for (const ClientRequest& req : tt.requests) {
+      // Tracked requests settle into the sim-wide outcome table and must
+      // go through the serial injected path below.
+      assert(!req.track_outcome);
+      AdmitOne(it->second, req, tt.forwards);
+    }
+  });
+  // Deterministic merge in tenant-id order.
+  for (TickContext::TenantTraffic& tt : ctx.traffic) {
+    for (PendingForward& fwd : tt.forwards) {
+      ctx.forwards.push_back(std::move(fwd));
+    }
+    tt.forwards.clear();
+  }
+
+  // Injected requests (tests, abase::Client) run serially: they may
+  // track outcomes, which settle into the sim-wide outcome table.
+  for (const ClientRequest& req : ctx.injected) {
+    auto it = sim.tenants_.find(req.tenant);
+    if (it == sim.tenants_.end()) continue;
+    AdmitOne(it->second, req, ctx.forwards);
+  }
+
+  // AU-LRU active-update refresh fetches (background traffic) enter the
+  // data plane behind all client traffic. Serial: refresh ids come from
+  // the sim-wide allocator in a deterministic order.
+  for (auto& [tid, rt] : sim.tenants_) {
+    for (size_t p = 0; p < rt.proxies.size(); p++) {
+      for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
+        PendingForward fwd;
+        fwd.request = std::move(req);
+        fwd.ctx.tenant = tid;
+        fwd.ctx.proxy_index = p;
+        fwd.ctx.track_outcome = false;
+        ctx.forwards.push_back(std::move(fwd));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Route
+// ---------------------------------------------------------------------------
+
+void RouteStage::Run(TickContext& ctx) {
+  ClusterSim& sim = *sim_;
+
+  // Serial pass: resolve primaries, register the in-flight contexts
+  // (sim-wide table), and batch forwards per destination node.
+  std::vector<std::vector<const NodeRequest*>> batches(sim.nodes_.size());
+  for (PendingForward& fwd : ctx.forwards) {
+    const NodeRequest& req = fwd.request;
+    NodeId nid = sim.meta_->PrimaryFor(req.tenant, req.partition);
+    node::DataNode* n = sim.FindNode(nid);
+    if (n == nullptr) {
+      if (req.background_refresh) continue;  // Refresh silently dropped.
+      auto it = sim.tenants_.find(fwd.ctx.tenant);
+      if (it != sim.tenants_.end()) it->second.current.errors++;
+      if (fwd.ctx.track_outcome) {
+        sim.outcomes_[req.req_id] =
+            ClusterSim::ClientOutcome{Status::Unavailable("no primary"), ""};
+      }
+      continue;
+    }
+    sim.inflight_[req.req_id] = fwd.ctx;
+    // Node ids are dense (assigned by the sim in creation order), so the
+    // id indexes the batch table directly.
+    assert(static_cast<size_t>(nid) < batches.size());
+    batches[static_cast<size_t>(nid)].push_back(&req);
+  }
+
+  // Parallel pass: submission — partition-quota admission and WFQ
+  // enqueue — touches only the destination node's state. Each node sees
+  // its requests in the same order as a serial walk of ctx.forwards.
+  sim.executor_->ParallelFor(batches.size(), [&](size_t i) {
+    node::DataNode* n = sim.nodes_[i].get();
+    assert(static_cast<size_t>(n->id()) == i);
+    for (const NodeRequest* req : batches[i]) {
+      n->Submit(*req);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// NodeSchedule
+// ---------------------------------------------------------------------------
+
+void NodeScheduleStage::Run(TickContext& ctx) {
+  ClusterSim& sim = *sim_;
+  auto& nodes = sim.nodes_;
+  // DataNodes share no mutable state between Submit() and TakeResponses()
+  // (each owns its cache, disk, WFQ, and engines; the clock is read-only
+  // within a tick), so their ticks run concurrently.
+  sim.executor_->ParallelFor(
+      nodes.size(), [&nodes](size_t i) { nodes[i]->Tick(); });
+  // Deterministic merge: responses drain in node-id order, so downstream
+  // settlement — and every floating-point metric sum — is independent of
+  // worker count and scheduling.
+  for (auto& n : nodes) {
+    for (NodeResponse& resp : n->TakeResponses()) {
+      ctx.responses.push_back(std::move(resp));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Settle
+// ---------------------------------------------------------------------------
+
+void SettleStage::Run(TickContext& ctx) {
+  ClusterSim& sim = *sim_;
+  for (const NodeResponse& resp : ctx.responses) {
+    sim.DeliverResponse(resp);
+  }
+
+  // Asynchronous proxy traffic control.
+  sim.tick_count_++;
+  if (sim.options_.meta_report_interval_ticks > 0 &&
+      sim.tick_count_ % static_cast<uint64_t>(
+                            sim.options_.meta_report_interval_ticks) ==
+          0) {
+    double interval_sec =
+        static_cast<double>(sim.options_.meta_report_interval_ticks) *
+        static_cast<double>(sim.options_.tick) /
+        static_cast<double>(kMicrosPerSecond);
+    for (auto& [tid, rt] : sim.tenants_) {
+      double total = 0;
+      for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
+      bool clamp = sim.meta_->ReportProxyTraffic(tid, total / interval_sec);
+      for (auto& p : rt.proxies) p->SetClamped(clamp);
+    }
+  }
+
+  sim.FinalizeTickMetrics();
+  sim.clock_.Advance(sim.options_.tick);
+}
+
+// ---------------------------------------------------------------------------
+// TickPipeline
+// ---------------------------------------------------------------------------
+
+TickPipeline::TickPipeline(ClusterSim* sim) {
+  stages_.push_back(std::make_unique<GenerateStage>(sim));
+  stages_.push_back(std::make_unique<ProxyAdmitStage>(sim));
+  stages_.push_back(std::make_unique<RouteStage>(sim));
+  stages_.push_back(std::make_unique<NodeScheduleStage>(sim));
+  stages_.push_back(std::make_unique<SettleStage>(sim));
+}
+
+void TickPipeline::RunTick() {
+  TickContext ctx;
+  for (auto& stage : stages_) stage->Run(ctx);
+}
+
+}  // namespace sim
+}  // namespace abase

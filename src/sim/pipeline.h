@@ -1,0 +1,183 @@
+// The per-tick request pipeline.
+//
+// ClusterSim::Tick() used to be one monolithic loop that interleaved
+// workload generation, proxy admission, routing, node scheduling, and
+// response settlement inline. It is now an explicit five-stage pipeline:
+//
+//   Generate     tenant workload generators (parallel per tenant) +
+//       |        injected client requests
+//       |        -> TickContext::traffic / injected
+//   ProxyAdmit   cache / quota / forward decision per proxy (parallel
+//       |        per tenant — each tenant owns its proxies, router RNG
+//       |        stream, and metrics), plus AU-LRU refresh fetches
+//       |        -> TickContext::forwards (PendingForward)
+//   Route        partition -> primary DataNode lookup and in-flight
+//       |        registration (serial), then per-node submission
+//       |        (parallel per node)
+//   NodeSchedule every DataNode runs its WFQ tick (parallel per node)
+//       |        -> TickContext::responses (merged in node-id order)
+//   Settle       response delivery to proxies / metrics / client
+//                outcomes, MetaServer traffic report, clock advance
+//                (serial barrier stage)
+//
+// Parallel stages fan out over the simulator's Executor
+// (SimOptions::data_plane_workers); every unit of parallel work is
+// tenant- or node-private and all merges happen in fixed id order, so
+// serial and parallel runs are bit-identical (the determinism contract
+// in DESIGN.md; enforced by tests/pipeline_test.cc).
+//
+// Each stage is a named component with explicit inputs and outputs in
+// the TickContext; tests can drive a request through one boundary at a
+// time.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "node/request.h"
+#include "sim/request_context.h"
+
+namespace abase {
+namespace sim {
+
+class ClusterSim;
+struct TenantRuntime;
+
+/// Everything produced and consumed within one tick. Fresh per tick;
+/// stage N's outputs are stage N+1's inputs.
+struct TickContext {
+  /// One tenant's generated client traffic for this tick. The per-tenant
+  /// split is what lets ProxyAdmit run tenants concurrently; `forwards`
+  /// is that stage's tenant-private output buffer, merged in tenant-id
+  /// order afterwards.
+  struct TenantTraffic {
+    TenantId tenant = 0;
+    std::vector<ClientRequest> requests;   ///< Generate -> ProxyAdmit.
+    std::vector<PendingForward> forwards;  ///< ProxyAdmit scratch.
+  };
+
+  /// Generate -> ProxyAdmit. Tenants in id order; each tenant's stream
+  /// in generation order.
+  std::vector<TenantTraffic> traffic;
+  /// Generate -> ProxyAdmit. Externally injected requests (tests, the
+  /// synchronous abase::Client facade), in injection order. Handled
+  /// after the bulk per-tenant traffic.
+  std::vector<ClientRequest> injected;
+  /// ProxyAdmit -> Route. Requests admitted toward the data plane, in
+  /// deterministic order: per-tenant traffic (tenant-id order), then
+  /// injected forwards, then background refresh fetches.
+  std::vector<PendingForward> forwards;
+  /// NodeSchedule -> Settle. Responses merged in node-id order.
+  std::vector<NodeResponse> responses;
+};
+
+/// One pipeline stage. Stages hold no per-tick state of their own; all
+/// dataflow goes through the TickContext (simulator-owned state such as
+/// caches and quotas is reached through the ClusterSim).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual void Run(TickContext& ctx) = 0;
+};
+
+/// Emits this tick's client traffic: every tenant's workload generator
+/// (concurrently — each generator owns a private RNG stream) plus
+/// externally injected requests.
+class GenerateStage final : public Stage {
+ public:
+  explicit GenerateStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Generate"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
+/// Runs every client request through its tenant's proxy plane: write
+/// invalidation broadcast, limited fan-out routing, then the proxy's
+/// cache -> quota -> forward decision. Local outcomes (cache hits,
+/// throttles) settle into tenant metrics immediately; forwards — plus
+/// the proxies' background refresh fetches — move on as
+/// PendingForwards. Tenant traffic is processed concurrently (tenants
+/// share no proxy-plane state); injected requests and refresh-id
+/// allocation run serially afterwards.
+class ProxyAdmitStage final : public Stage {
+ public:
+  explicit ProxyAdmitStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "ProxyAdmit"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  /// Handles one client request against its tenant's proxy plane,
+  /// appending to `out` if the proxy forwards it.
+  void AdmitOne(TenantRuntime& rt, const ClientRequest& req,
+                std::vector<PendingForward>& out);
+
+  ClusterSim* sim_;
+};
+
+/// Resolves each forward's partition to its primary DataNode and
+/// registers the RequestContext in the simulator's in-flight table
+/// (serial), then submits each node's batch (parallel — partition-quota
+/// admission and WFQ enqueue touch only that node's state).
+class RouteStage final : public Stage {
+ public:
+  explicit RouteStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Route"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
+/// Runs every DataNode's scheduling tick through the simulator's
+/// executor. Nodes are mutually independent between Submit() and
+/// TakeResponses(), so this is the heaviest parallel stage; responses
+/// are drained and merged in node-id order afterwards so downstream
+/// settlement is independent of worker count.
+class NodeScheduleStage final : public Stage {
+ public:
+  explicit NodeScheduleStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "NodeSchedule"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
+/// Delivers responses back through the forwarding proxies (quota
+/// settlement, cache fill) into tenant metrics and tracked client
+/// outcomes; then runs the periodic MetaServer traffic report, seals the
+/// tick's metrics, and advances the simulated clock. The pipeline's
+/// serial barrier stage.
+class SettleStage final : public Stage {
+ public:
+  explicit SettleStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Settle"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
+/// The five stages, in order. Owned by the ClusterSim; tests may run
+/// stages one at a time against their own TickContext.
+class TickPipeline {
+ public:
+  explicit TickPipeline(ClusterSim* sim);
+
+  /// Runs a fresh TickContext through all stages (one full tick).
+  void RunTick();
+
+  size_t num_stages() const { return stages_.size(); }
+  Stage& stage(size_t i) { return *stages_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace sim
+}  // namespace abase

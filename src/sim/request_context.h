@@ -1,0 +1,41 @@
+// Per-request bookkeeping carried across pipeline-stage boundaries.
+//
+// One RequestContext follows a request from client injection through
+// proxy admission, data-plane scheduling, and settlement. It replaces the
+// ad-hoc parallel maps (`inflight_`, `tracked_`) the simulator previously
+// kept in sync by hand: everything the Settle stage needs to route a
+// NodeResponse back — owning tenant, forwarding proxy, whether a
+// synchronous client is waiting on the outcome — lives in one place,
+// keyed by the data-plane request id.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "node/request.h"
+
+namespace abase {
+namespace sim {
+
+/// State the simulator keeps for a request that crossed into the data
+/// plane. Created by the Route stage when a forward is submitted to a
+/// DataNode; consumed by the Settle stage when the response comes back.
+struct RequestContext {
+  TenantId tenant = 0;
+  /// Index of the proxy that forwarded the request (settlement + cache
+  /// fill go back to this proxy).
+  size_t proxy_index = 0;
+  /// True when a synchronous caller (abase::Client) awaits the outcome;
+  /// the Settle stage then records a ClientOutcome under the request id.
+  bool track_outcome = false;
+};
+
+/// A proxy-admitted request on its way to the data plane: the output of
+/// the ProxyAdmit stage and the input of the Route stage.
+struct PendingForward {
+  NodeRequest request;
+  RequestContext ctx;
+};
+
+}  // namespace sim
+}  // namespace abase
