@@ -17,12 +17,72 @@ Status Cluster::CreateTenant(const meta::TenantConfig& config, PoolId pool,
   return sim_.AddTenant(config, pool, mode);
 }
 
-Client Cluster::OpenClient(TenantId tenant) { return Client(this, tenant); }
+Client Cluster::OpenClient(TenantId tenant) {
+  return Client(this, tenant, next_client_slot_[tenant]++);
+}
 
 void Cluster::AttachWorkload(TenantId tenant,
                              const sim::WorkloadProfile& profile) {
   sim_.SetWorkload(tenant, profile);
 }
+
+// ---------------------------------------------------------------------------
+// Completion model
+// ---------------------------------------------------------------------------
+
+Future<Reply> Cluster::SubmitRequest(ClientRequest req) {
+  req.track_outcome = true;
+  req.issued_at = sim_.clock().NowMicros();
+  const Micros issued = req.issued_at;
+
+  Promise<Reply> promise;
+  Future<Reply> future = promise.future();
+  pending_commands_++;
+  sim_.SubscribeOutcome(
+      req.req_id,
+      [this, promise, issued](uint64_t, sim::ClientOutcome out) mutable {
+        Reply reply;
+        reply.status = std::move(out.status);
+        reply.value = std::move(out.value);
+        reply.issued_at = issued;
+        // The clock advances after outcomes settle, so this is the start
+        // time of the tick that completed the command.
+        reply.completed_at = sim_.clock().NowMicros();
+        const Micros tick_len = sim_.options().tick;
+        reply.latency_ticks =
+            tick_len <= 0 ? 0
+                          : static_cast<uint64_t>(reply.latency() / tick_len) +
+                                1;
+        promise.Set(std::move(reply));
+        pending_commands_--;
+        resolved_in_step_++;
+      });
+  sim_.InjectRequest(req);
+  return future;
+}
+
+void Cluster::AbandonPending(uint64_t req_id) {
+  if (sim_.UnsubscribeOutcome(req_id)) pending_commands_--;
+}
+
+size_t Cluster::Step() {
+  resolved_in_step_ = 0;
+  sim_.Tick();
+  return resolved_in_step_;
+}
+
+size_t Cluster::Drain(size_t max_ticks) {
+  size_t ticks = 0;
+  while (pending_commands_ > 0 && ticks < max_ticks) {
+    Step();
+    ticks++;
+  }
+  return ticks;
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
 
 size_t Cluster::RunRescheduling(PoolId pool) {
   resched::PoolModel model = sim_.BuildPoolModel(pool);
@@ -51,147 +111,174 @@ Result<autoscale::ScalingDecision> Cluster::RunAutoscaler(
 // Client
 // ---------------------------------------------------------------------------
 
-Client::Client(Cluster* cluster, TenantId tenant)
-    : cluster_(cluster), tenant_(tenant) {
-  // Distinct id space per tenant, away from workload-generated ids.
-  next_req_id_ = (static_cast<uint64_t>(tenant) << 40) | (1ull << 39);
+namespace {
+
+// Session request-id sub-space layout (DESIGN.md "Request id spaces"):
+// bits [40..) tenant, bit 39 the client-space flag, bits [28..39) the
+// cluster-allocated session slot, bits [0..28) the per-session sequence.
+constexpr int kClientSeqBits = 28;
+constexpr int kClientSlotBits = 11;
+constexpr uint64_t kClientSpaceFlag = 1ull << 39;
+
+/// A synchronous adapter gives up after this many ticks; a request
+/// completes within a few unless the node defers it under load, so this
+/// is far beyond any sane backlog.
+constexpr int kSyncDrainTicks = 64;
+
+}  // namespace
+
+Client::Client(Cluster* cluster, TenantId tenant, uint64_t session_slot)
+    : cluster_(cluster), tenant_(tenant), next_seq_(1) {
+  const uint64_t slot = session_slot & ((1ull << kClientSlotBits) - 1);
+  id_base_ = (static_cast<uint64_t>(tenant) << 40) | kClientSpaceFlag |
+             (slot << kClientSeqBits);
 }
 
-Client::CallResult Client::Call(OpType op, const std::string& key,
-                                const std::string& field,
-                                const std::string& value, Micros ttl) {
-  ClientRequest req;
-  req.req_id = next_req_id_++;
-  req.tenant = tenant_;
-  req.op = op;
-  req.key = key;
-  req.field = field;
-  req.value = value;
-  req.ttl = ttl;
-  req.issued_at = cluster_->sim().clock().NowMicros();
-  req.track_outcome = true;
-  cluster_->sim().InjectRequest(req);
+uint64_t Client::NextRequestId() {
+  return id_base_ | (next_seq_++ & ((1ull << kClientSeqBits) - 1));
+}
 
-  // A request completes within a few ticks unless the node defers it
-  // under load; 64 ticks is far beyond any sane backlog for a
-  // synchronous client.
-  for (int i = 0; i < 64; i++) {
-    cluster_->sim().Tick();
-    if (auto out = cluster_->sim().TakeOutcome(req.req_id)) {
-      return CallResult{out->status, std::move(out->value)};
+Client::Pending Client::SubmitPending(Command cmd) {
+  ClientRequest req;
+  req.req_id = NextRequestId();
+  req.tenant = tenant_;
+  req.op = cmd.op;
+  req.key = std::move(cmd.key);
+  req.field = std::move(cmd.field);
+  req.value = std::move(cmd.value);
+  req.ttl = cmd.ttl;
+
+  Pending p;
+  p.req_id = req.req_id;
+  p.future = cluster_->SubmitRequest(std::move(req));
+  return p;
+}
+
+Future<Reply> Client::Submit(Command cmd) {
+  return SubmitPending(std::move(cmd)).future;
+}
+
+std::vector<Future<Reply>> Client::SubmitBatch(std::vector<Command> cmds) {
+  std::vector<Future<Reply>> futures;
+  futures.reserve(cmds.size());
+  for (Command& cmd : cmds) {
+    futures.push_back(Submit(std::move(cmd)));
+  }
+  return futures;
+}
+
+Reply Client::Await(const Pending& p) {
+  for (int i = 0; i < kSyncDrainTicks && !p.future.ready(); i++) {
+    cluster_->Step();
+  }
+  if (p.future.ready()) return p.future.value();
+  cluster_->AbandonPending(p.req_id);
+  Reply reply;
+  reply.status = Status::Internal("request lost in simulation");
+  return reply;
+}
+
+std::vector<Reply> Client::AwaitAll(const std::vector<Pending>& pending) {
+  auto any_unresolved = [&pending] {
+    for (const Pending& p : pending) {
+      if (!p.future.ready()) return true;
+    }
+    return false;
+  };
+  for (int i = 0; i < kSyncDrainTicks && any_unresolved(); i++) {
+    cluster_->Step();
+  }
+  std::vector<Reply> replies;
+  replies.reserve(pending.size());
+  for (const Pending& p : pending) {
+    if (p.future.ready()) {
+      replies.push_back(p.future.value());
+    } else {
+      cluster_->AbandonPending(p.req_id);
+      Reply reply;
+      reply.status = Status::Internal("request lost in simulation");
+      replies.push_back(std::move(reply));
     }
   }
-  return CallResult{Status::Internal("request lost in simulation"), ""};
+  return replies;
 }
+
+// ---------------------------------------------------------------------------
+// Synchronous adapters
+// ---------------------------------------------------------------------------
 
 Status Client::Set(const std::string& key, const std::string& value,
                    Micros ttl) {
-  return Call(OpType::kSet, key, "", value, ttl).status;
+  return Await(SubmitPending(Command::Set(key, value, ttl))).status;
 }
 
 Result<std::string> Client::Get(const std::string& key) {
-  CallResult r = Call(OpType::kGet, key, "", "", 0);
-  if (!r.status.ok()) return r.status;
+  Reply r = Await(SubmitPending(Command::Get(key)));
+  if (!r.ok()) return r.status;
   return std::move(r.value);
 }
 
 std::vector<Result<std::string>> Client::MGet(
     const std::vector<std::string>& keys) {
-  // Inject the whole batch before ticking, so the limited fan-out router
-  // spreads it across proxy groups within one round.
-  std::vector<uint64_t> ids;
-  ids.reserve(keys.size());
+  std::vector<Pending> pending;
+  pending.reserve(keys.size());
   for (const std::string& key : keys) {
-    ClientRequest req;
-    req.req_id = next_req_id_++;
-    req.tenant = tenant_;
-    req.op = OpType::kGet;
-    req.key = key;
-    req.issued_at = cluster_->sim().clock().NowMicros();
-    req.track_outcome = true;
-    cluster_->sim().InjectRequest(req);
-    ids.push_back(req.req_id);
+    pending.push_back(SubmitPending(Command::Get(key)));
   }
-
-  std::vector<Result<std::string>> results(
-      keys.size(), Result<std::string>(Status::Internal("pending")));
-  size_t resolved = 0;
-  for (int tick = 0; tick < 64 && resolved < keys.size(); tick++) {
-    cluster_->sim().Tick();
-    for (size_t i = 0; i < ids.size(); i++) {
-      if (auto out = cluster_->sim().TakeOutcome(ids[i])) {
-        results[i] = out->status.ok()
-                         ? Result<std::string>(std::move(out->value))
-                         : Result<std::string>(out->status);
-        resolved++;
-      }
-    }
+  std::vector<Reply> replies = AwaitAll(pending);
+  std::vector<Result<std::string>> results;
+  results.reserve(replies.size());
+  for (Reply& r : replies) {
+    results.push_back(r.ok() ? Result<std::string>(std::move(r.value))
+                             : Result<std::string>(r.status));
   }
   return results;
 }
 
 std::vector<Status> Client::MSet(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
-  std::vector<uint64_t> ids;
-  ids.reserve(pairs.size());
+  std::vector<Pending> pending;
+  pending.reserve(pairs.size());
   for (const auto& [key, value] : pairs) {
-    ClientRequest req;
-    req.req_id = next_req_id_++;
-    req.tenant = tenant_;
-    req.op = OpType::kSet;
-    req.key = key;
-    req.value = value;
-    req.issued_at = cluster_->sim().clock().NowMicros();
-    req.track_outcome = true;
-    cluster_->sim().InjectRequest(req);
-    ids.push_back(req.req_id);
+    pending.push_back(SubmitPending(Command::Set(key, value)));
   }
-  std::vector<Status> results(pairs.size(), Status::Internal("pending"));
-  size_t resolved = 0;
-  for (int tick = 0; tick < 64 && resolved < pairs.size(); tick++) {
-    cluster_->sim().Tick();
-    for (size_t i = 0; i < ids.size(); i++) {
-      if (results[i].code() == StatusCode::kInternal) {
-        if (auto out = cluster_->sim().TakeOutcome(ids[i])) {
-          results[i] = out->status;
-          resolved++;
-        }
-      }
-    }
-  }
+  std::vector<Reply> replies = AwaitAll(pending);
+  std::vector<Status> results;
+  results.reserve(replies.size());
+  for (Reply& r : replies) results.push_back(std::move(r.status));
   return results;
 }
 
 Status Client::Del(const std::string& key) {
-  return Call(OpType::kDel, key, "", "", 0).status;
+  return Await(SubmitPending(Command::Del(key))).status;
 }
 
 Status Client::HSet(const std::string& key, const std::string& field,
                     const std::string& value) {
-  return Call(OpType::kHSet, key, field, value, 0).status;
+  return Await(SubmitPending(Command::HSet(key, field, value))).status;
 }
 
 Result<std::string> Client::HGet(const std::string& key,
                                  const std::string& field) {
-  CallResult r = Call(OpType::kHGet, key, field, "", 0);
-  if (!r.status.ok()) return r.status;
+  Reply r = Await(SubmitPending(Command::HGet(key, field)));
+  if (!r.ok()) return r.status;
   return std::move(r.value);
 }
 
 Result<std::string> Client::HGetAll(const std::string& key) {
-  CallResult r = Call(OpType::kHGetAll, key, "", "", 0);
-  if (!r.status.ok()) return r.status;
+  Reply r = Await(SubmitPending(Command::HGetAll(key)));
+  if (!r.ok()) return r.status;
   return std::move(r.value);
 }
 
 Result<uint64_t> Client::HLen(const std::string& key) {
-  CallResult r = Call(OpType::kHLen, key, "", "", 0);
-  if (!r.status.ok()) return r.status;
+  Reply r = Await(SubmitPending(Command::HLen(key)));
+  if (!r.ok()) return r.status;
   return static_cast<uint64_t>(std::stoull(r.value));
 }
 
 Status Client::Expire(const std::string& key, Micros ttl) {
-  return Call(OpType::kExpire, key, "", "", ttl).status;
+  return Await(SubmitPending(Command::Expire(key, ttl))).status;
 }
 
 }  // namespace abase

@@ -3,9 +3,21 @@
 // abase::Cluster assembles the full system — control plane (MetaServer,
 // Autoscaler, Rescheduler), data plane (resource pools of DataNodes), and
 // proxy plane (per-tenant proxy fleets with limited fan-out routing) — on
-// top of the deterministic simulator substrate. abase::Client offers a
-// synchronous Redis-style command API against one tenant, which is how the
-// examples and the quickstart exercise the system.
+// top of the deterministic simulator substrate.
+//
+// The client surface is asynchronous at its core: abase::Client turns
+// typed Commands into Future<Reply> handles without advancing simulated
+// time, and Cluster::Step() / Drain() run ticks and resolve futures as
+// outcomes settle. Any number of clients can keep any number of commands
+// in flight across the one shared simulation; the classic synchronous
+// Redis-style methods (Get, Set, MGet, ...) remain as thin
+// submit-then-drain adapters on top.
+//
+//   Client a = cluster.OpenClient(1), b = cluster.OpenClient(2);
+//   auto f1 = a.Submit(Command::Set("k", "v"));
+//   auto batch = b.SubmitBatch({Command::Get("x"), Command::Get("y")});
+//   cluster.Drain();              // ticks until every future resolves
+//   if (f1.ready() && f1->ok()) { ... }
 #pragma once
 
 #include <cstdint>
@@ -18,6 +30,8 @@
 #include "autoscale/autoscaler.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/command.h"
+#include "core/future.h"
 #include "meta/meta_server.h"
 #include "resched/rescheduler.h"
 #include "sim/cluster_sim.h"
@@ -34,9 +48,19 @@ struct ClusterOptions {
 class Client;
 
 /// A full ABase deployment.
+///
+/// Completion model: submitted commands resolve only while simulated time
+/// advances — through Step()/Drain() (or RunTicks, which also settles
+/// outcomes). All resolution happens on the calling thread, in
+/// deterministic order (see DESIGN.md "Asynchronous command API").
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
+
+  /// Outcome subscriptions capture `this`; moving the cluster would
+  /// dangle them.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   /// Creates a resource pool of `num_nodes` DataNodes.
   PoolId CreatePool(size_t num_nodes);
@@ -46,15 +70,36 @@ class Cluster {
                       proxy::RoutingMode mode =
                           proxy::RoutingMode::kLimitedFanout);
 
-  /// Synchronous client bound to one tenant.
+  /// Opens a client session bound to one tenant. Each session draws its
+  /// request ids from a cluster-allocated sub-space, so any number of
+  /// concurrent sessions (up to 2^11 per tenant before slots wrap) share
+  /// the in-flight tables without collision.
   Client OpenClient(TenantId tenant);
 
   /// Attaches a synthetic workload (for load experiments alongside
   /// client usage).
   void AttachWorkload(TenantId tenant, const sim::WorkloadProfile& profile);
 
-  /// Advances simulated time by `n` one-second ticks.
+  // -- Completion model ------------------------------------------------------
+
+  /// Advances one tick and resolves the futures whose outcomes settled
+  /// during it. Returns the number of futures resolved.
+  size_t Step();
+
+  /// Steps until every submitted command has resolved, up to `max_ticks`.
+  /// Returns the number of ticks run. Commands still pending afterwards
+  /// (wedged beyond any sane backlog) remain pending; PendingCommands()
+  /// tells how many.
+  size_t Drain(size_t max_ticks = 1024);
+
+  /// Commands submitted whose futures have not yet resolved.
+  size_t PendingCommands() const { return pending_commands_; }
+
+  /// Advances simulated time by `n` one-second ticks (also resolves
+  /// pending futures, like Step, without reporting counts).
   void RunTicks(size_t n) { sim_.RunTicks(n); }
+
+  // -- Operations ------------------------------------------------------------
 
   /// Runs one intra-pool rescheduling round against live node loads and
   /// applies the resulting migrations. Returns the number applied.
@@ -69,26 +114,64 @@ class Cluster {
   meta::MetaServer& meta() { return sim_.meta(); }
 
  private:
+  friend class Client;
+
+  /// Registers a completion subscription for `req` and injects it ahead
+  /// of the next tick. The shared async core under Client::Submit.
+  Future<Reply> SubmitRequest(ClientRequest req);
+
+  /// Abandons a still-pending command (sync adapters time out after a
+  /// bounded number of ticks). No-op if it already resolved.
+  void AbandonPending(uint64_t req_id);
+
   ClusterOptions options_;
   sim::ClusterSim sim_;
   autoscale::Autoscaler autoscaler_;
   resched::IntraPoolRescheduler rescheduler_;
+  /// Next client-session slot per tenant (id sub-space allocation).
+  std::map<TenantId, uint64_t> next_client_slot_;
+  size_t pending_commands_ = 0;
+  size_t resolved_in_step_ = 0;
 };
 
-/// Synchronous Redis-style command interface for one tenant. Each call
-/// injects a request and advances the simulation until its response
-/// arrives (at most a few ticks).
+/// A client session bound to one tenant.
+///
+/// The core is asynchronous: Submit/SubmitBatch enqueue typed Commands
+/// and return Future<Reply> handles without advancing time; the cluster's
+/// Step()/Drain() resolve them. The synchronous Redis-style methods are
+/// adapters that submit and then drain until their own futures resolve —
+/// each such call advances the shared simulation by at least one tick,
+/// exactly like the historical lock-step client.
+///
+/// Sessions are movable but not copyable: a copy would clone the id
+/// cursor and two cursors over one sub-space collide in the shared
+/// in-flight tables. Use OpenClient for independent sessions.
 class Client {
  public:
-  Client(Cluster* cluster, TenantId tenant);
+  Client(Cluster* cluster, TenantId tenant, uint64_t session_slot);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // -- Asynchronous core -----------------------------------------------------
+
+  /// Enqueues one command for the next tick; never advances time.
+  Future<Reply> Submit(Command cmd);
+
+  /// Enqueues a batch (the paper's "list of requests" path): all commands
+  /// are injected together, so the limited fan-out router spreads them
+  /// across proxy groups within one round. Futures in input order.
+  std::vector<Future<Reply>> SubmitBatch(std::vector<Command> cmds);
+
+  // -- Synchronous adapters --------------------------------------------------
 
   Status Set(const std::string& key, const std::string& value,
              Micros ttl = 0);
   Result<std::string> Get(const std::string& key);
 
-  /// Batched GET (the paper's "list of requests" path): all keys are
-  /// injected together, each hash-routed to its proxy group, and the
-  /// per-key results returned in input order.
+  /// Batched GET; per-key results in input order.
   std::vector<Result<std::string>> MGet(const std::vector<std::string>& keys);
 
   /// Batched SET; per-key statuses in input order.
@@ -105,17 +188,28 @@ class Client {
   TenantId tenant() const { return tenant_; }
 
  private:
-  struct CallResult {
-    Status status;
-    std::string value;
+  /// A submitted command: its id (for abandonment) plus its future.
+  struct Pending {
+    uint64_t req_id = 0;
+    Future<Reply> future;
   };
-  CallResult Call(OpType op, const std::string& key,
-                  const std::string& field, const std::string& value,
-                  Micros ttl);
+
+  /// Allocates the next id in this session's sub-space.
+  uint64_t NextRequestId();
+
+  Pending SubmitPending(Command cmd);
+
+  /// Drains until `p` resolves (bounded); Internal error on timeout.
+  Reply Await(const Pending& p);
+
+  /// Drains until all of `pending` resolve (bounded); unresolved entries
+  /// get an Internal-error Reply.
+  std::vector<Reply> AwaitAll(const std::vector<Pending>& pending);
 
   Cluster* cluster_;
   TenantId tenant_;
-  uint64_t next_req_id_;
+  uint64_t id_base_;  ///< This session's id sub-space (see DESIGN.md).
+  uint64_t next_seq_;
 };
 
 }  // namespace abase

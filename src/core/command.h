@@ -1,0 +1,76 @@
+// Typed command / reply values of the public asynchronous API.
+//
+// A Command is one Redis-style operation as the application states it —
+// op, key, and whichever of field/value/ttl the op uses — built through
+// the named constructors below instead of a stringly Call(op, key, field,
+// value, ttl) funnel. A Reply is the delivered outcome: status, payload,
+// and the simulated-time interval the command spent in flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace abase {
+
+/// One client operation, ready to Submit. Construct through the factory
+/// methods; fields are public so scenario code can tweak a prototype.
+struct Command {
+  OpType op = OpType::kGet;
+  std::string key;
+  std::string field;  ///< Hash ops only.
+  std::string value;  ///< Writes only.
+  Micros ttl = 0;     ///< Set / Expire only.
+
+  static Command Get(std::string key) {
+    return Command{OpType::kGet, std::move(key), "", "", 0};
+  }
+  static Command Set(std::string key, std::string value, Micros ttl = 0) {
+    return Command{OpType::kSet, std::move(key), "", std::move(value), ttl};
+  }
+  static Command Del(std::string key) {
+    return Command{OpType::kDel, std::move(key), "", "", 0};
+  }
+  static Command HSet(std::string key, std::string field, std::string value) {
+    return Command{OpType::kHSet, std::move(key), std::move(field),
+                   std::move(value), 0};
+  }
+  static Command HGet(std::string key, std::string field) {
+    return Command{OpType::kHGet, std::move(key), std::move(field), "", 0};
+  }
+  static Command HGetAll(std::string key) {
+    return Command{OpType::kHGetAll, std::move(key), "", "", 0};
+  }
+  static Command HLen(std::string key) {
+    return Command{OpType::kHLen, std::move(key), "", "", 0};
+  }
+  static Command Expire(std::string key, Micros ttl) {
+    return Command{OpType::kExpire, std::move(key), "", "", ttl};
+  }
+};
+
+/// The delivered outcome of a Command.
+struct Reply {
+  Status status;
+  std::string value;     ///< Read payload ("" for writes and errors).
+  Micros issued_at = 0;     ///< Simulated time at Submit.
+  Micros completed_at = 0;  ///< Simulated time when the outcome settled.
+  /// In-flight duration counted in ticks, computed at resolution using
+  /// the simulation's configured tick length; a command resolved within
+  /// the tick after its submission took 1 tick (the clock advances at
+  /// the end of each tick, after outcomes settle).
+  uint64_t latency_ticks = 0;
+
+  bool ok() const { return status.ok(); }
+
+  /// Simulated time spent in flight.
+  Micros latency() const { return completed_at - issued_at; }
+
+  uint64_t LatencyTicks() const { return latency_ticks; }
+};
+
+}  // namespace abase

@@ -1,0 +1,83 @@
+// Single-threaded Future/Promise pair for the asynchronous command API.
+//
+// A Future<T> is a handle to a value that the cluster will produce while
+// ticks settle: abase::Client::Submit returns one per command, and
+// Cluster::Step() / Drain() resolve them as outcomes are published by the
+// simulation's Settle path. Resolution always happens on the thread that
+// advances the simulation (there is no cross-thread hand-off and hence no
+// locking); copies of a Future share one state, so any copy observes the
+// resolution.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace abase {
+
+template <typename T>
+class Promise;
+
+namespace detail {
+template <typename T>
+struct FutureState {
+  std::optional<T> value;
+};
+}  // namespace detail
+
+/// A handle to a not-yet-delivered command outcome. Default-constructed
+/// futures are invalid (no producer); futures obtained from
+/// Client::Submit / Promise::future become ready exactly once.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  /// True if this future is attached to a producer.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the value has been delivered.
+  bool ready() const { return state_ != nullptr && state_->value.has_value(); }
+
+  /// The delivered value. Calling before ready() is a programming error.
+  const T& value() const {
+    assert(ready());
+    return *state_->value;
+  }
+  const T& operator*() const { return value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out (the future stays ready; the value is consumed).
+  T take() {
+    assert(ready());
+    return std::move(*state_->value);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// The producing side. The Cluster holds one Promise per in-flight
+/// command inside its outcome subscription and calls Set exactly once.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  Future<T> future() const { return Future<T>(state_); }
+
+  void Set(T value) {
+    assert(!state_->value.has_value() && "promise resolved twice");
+    state_->value.emplace(std::move(value));
+  }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+}  // namespace abase

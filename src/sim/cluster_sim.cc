@@ -153,9 +153,10 @@ void ClusterSim::InjectRequest(const ClientRequest& req) {
   injected_.push_back(req);
 }
 
-void ClusterSim::SettleLocalProxyResult(TenantRuntime& rt,
-                                        const ClientRequest& req,
-                                        const proxy::ProxyHandleResult& res) {
+void ClusterSim::SettleLocalProxyResult(
+    TenantRuntime& rt, const ClientRequest& req,
+    const proxy::ProxyHandleResult& res,
+    std::vector<std::pair<uint64_t, ClientOutcome>>* deferred) {
   switch (res.action) {
     case proxy::ProxyHandleResult::Action::kServedFromCache:
       rt.current.ok++;
@@ -167,15 +168,16 @@ void ClusterSim::SettleLocalProxyResult(TenantRuntime& rt,
       rt.value_bytes_sum += res.value.size();
       rt.value_bytes_count++;
       if (req.track_outcome) {
-        outcomes_[req.req_id] = ClientOutcome{Status::OK(), res.value};
+        deferred->emplace_back(req.req_id,
+                               ClientOutcome{Status::OK(), res.value});
       }
       break;
     case proxy::ProxyHandleResult::Action::kThrottled:
       rt.current.errors++;
       rt.current.throttled++;
       if (req.track_outcome) {
-        outcomes_[req.req_id] =
-            ClientOutcome{Status::Throttled("proxy quota"), ""};
+        deferred->emplace_back(
+            req.req_id, ClientOutcome{Status::Throttled("proxy quota"), ""});
       }
       break;
     case proxy::ProxyHandleResult::Action::kForward:
@@ -188,9 +190,51 @@ std::optional<ClusterSim::ClientOutcome> ClusterSim::TakeOutcome(
     uint64_t req_id) {
   auto it = outcomes_.find(req_id);
   if (it == outcomes_.end()) return std::nullopt;
-  ClientOutcome out = std::move(it->second);
+  ClientOutcome out = std::move(it->second.outcome);
   outcomes_.erase(it);
   return out;
+}
+
+void ClusterSim::SubscribeOutcome(uint64_t req_id, OutcomeCallback cb) {
+  // Already settled (e.g. subscribing after a tick ran): deliver now.
+  auto it = outcomes_.find(req_id);
+  if (it != outcomes_.end()) {
+    ClientOutcome out = std::move(it->second.outcome);
+    outcomes_.erase(it);
+    cb(req_id, std::move(out));
+    return;
+  }
+  subscriptions_[req_id] = std::move(cb);
+}
+
+bool ClusterSim::UnsubscribeOutcome(uint64_t req_id) {
+  return subscriptions_.erase(req_id) > 0;
+}
+
+void ClusterSim::PublishOutcome(uint64_t req_id, ClientOutcome outcome) {
+  auto it = subscriptions_.find(req_id);
+  if (it != subscriptions_.end()) {
+    OutcomeCallback cb = std::move(it->second);
+    subscriptions_.erase(it);
+    cb(req_id, std::move(outcome));
+    return;
+  }
+  outcomes_[req_id] = TrackedOutcome{std::move(outcome), tick_count_};
+}
+
+void ClusterSim::SweepExpiredOutcomes() {
+  if (options_.outcome_ttl_ticks <= 0 || outcomes_.empty()) return;
+  const uint64_t ttl = static_cast<uint64_t>(options_.outcome_ttl_ticks);
+  for (auto it = outcomes_.begin(); it != outcomes_.end();) {
+    // Strict: outcomes are stamped before the tick counter increments in
+    // Settle, so `>=` would make ttl=1 sweep an outcome within the very
+    // tick it settled.
+    if (tick_count_ - it->second.recorded_tick > ttl) {
+      it = outcomes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ClusterSim::DeliverResponse(const NodeResponse& resp) {
@@ -218,7 +262,7 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
   if (resp.background_refresh) return;  // Not client-visible.
 
   if (track_outcome) {
-    outcomes_[resp.req_id] = ClientOutcome{resp.status, resp.value};
+    PublishOutcome(resp.req_id, ClientOutcome{resp.status, resp.value});
   }
 
   Micros client_latency = resp.latency + options_.proxy.forward_hop_latency;

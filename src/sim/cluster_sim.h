@@ -25,11 +25,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -61,6 +63,11 @@ struct SimOptions {
   /// executor; N > 1 = a ParallelExecutor pool of N (results are
   /// bit-identical either way).
   int data_plane_workers = 1;
+  /// Tracked outcomes that no caller collects (via TakeOutcome or a
+  /// subscription) are dropped after this many ticks, so abandoned
+  /// requests cannot grow the outcome table forever during long async
+  /// runs. 0 keeps them indefinitely.
+  int outcome_ttl_ticks = 256;
 };
 
 /// Per-tenant metrics for one tick.
@@ -154,14 +161,36 @@ class ClusterSim {
   void InjectRequest(const ClientRequest& req);
 
   /// Final outcome of a tracked request (see ClientRequest::track_outcome).
-  struct ClientOutcome {
-    Status status;
-    std::string value;
-  };
+  /// Defined in request_context.h; aliased here for existing callers.
+  using ClientOutcome = sim::ClientOutcome;
 
   /// Retrieves (and removes) the outcome of a tracked request, if it has
   /// completed.
   std::optional<ClientOutcome> TakeOutcome(uint64_t req_id);
+
+  /// Invoked when a subscribed request's outcome settles, from the serial
+  /// sections of the tick (the injected-admission tail of ProxyAdmit for
+  /// proxy-local results, Route for routing failures, Settle for
+  /// data-plane responses) — never from a parallel region.
+  using OutcomeCallback =
+      std::function<void(uint64_t req_id, ClientOutcome outcome)>;
+
+  /// One-shot completion subscription for a tracked request: instead of
+  /// parking the outcome in the table for TakeOutcome, the simulator
+  /// hands it to `cb` the moment it settles. If the outcome already
+  /// settled, `cb` fires immediately. This is the push half of the
+  /// completion model behind abase::Cluster::Step()/Drain().
+  void SubscribeOutcome(uint64_t req_id, OutcomeCallback cb);
+
+  /// Cancels a pending subscription. Returns false if `req_id` had none
+  /// (already delivered or never subscribed).
+  bool UnsubscribeOutcome(uint64_t req_id);
+
+  /// Uncollected tracked outcomes currently parked for TakeOutcome.
+  size_t TrackedOutcomeCount() const { return outcomes_.size(); }
+
+  /// Pending outcome subscriptions (requests submitted but not settled).
+  size_t OutcomeSubscriptionCount() const { return subscriptions_.size(); }
 
   /// Swaps the NodeSchedule-stage executor: 1 worker = serial reference
   /// executor, N > 1 = ParallelExecutor pool. Safe between ticks.
@@ -216,9 +245,24 @@ class ClusterSim {
   friend class SettleStage;
 
   /// Settles one client request that the proxy plane resolved locally
-  /// (cache hit or throttle) without touching the data plane.
-  void SettleLocalProxyResult(TenantRuntime& rt, const ClientRequest& req,
-                              const proxy::ProxyHandleResult& res);
+  /// (cache hit or throttle) without touching the data plane. Tenant
+  /// metrics update in place (tenant-private, safe from a parallel
+  /// region); if the request tracks its outcome, the outcome is appended
+  /// to `deferred` for serial publication instead of being published
+  /// inline — admission may run tenant-concurrently.
+  void SettleLocalProxyResult(
+      TenantRuntime& rt, const ClientRequest& req,
+      const proxy::ProxyHandleResult& res,
+      std::vector<std::pair<uint64_t, ClientOutcome>>* deferred);
+
+  /// Delivers a settled outcome: to its subscription callback if one is
+  /// pending, otherwise into the table for TakeOutcome. Serial sections
+  /// only.
+  void PublishOutcome(uint64_t req_id, ClientOutcome outcome);
+
+  /// Drops parked outcomes older than SimOptions::outcome_ttl_ticks.
+  void SweepExpiredOutcomes();
+
   void DeliverResponse(const NodeResponse& resp);
   void FinalizeTickMetrics();
 
@@ -236,7 +280,14 @@ class ClusterSim {
   std::vector<ClientRequest> injected_;
   /// Data-plane req_id -> context for response settlement.
   std::unordered_map<uint64_t, RequestContext> inflight_;
-  std::unordered_map<uint64_t, ClientOutcome> outcomes_;  ///< Tracked.
+  /// A parked outcome awaiting TakeOutcome, stamped for the TTL sweep.
+  struct TrackedOutcome {
+    ClientOutcome outcome;
+    uint64_t recorded_tick = 0;
+  };
+  std::unordered_map<uint64_t, TrackedOutcome> outcomes_;
+  /// One-shot completion callbacks by request id (SubscribeOutcome).
+  std::unordered_map<uint64_t, OutcomeCallback> subscriptions_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <utility>
 
 #include "sim/cluster_sim.h"
@@ -39,8 +40,10 @@ void GenerateStage::Run(TickContext& ctx) {
 // ProxyAdmit
 // ---------------------------------------------------------------------------
 
-void ProxyAdmitStage::AdmitOne(TenantRuntime& rt, const ClientRequest& req,
-                               std::vector<PendingForward>& out) {
+void ProxyAdmitStage::AdmitOne(
+    TenantRuntime& rt, const ClientRequest& req,
+    std::vector<PendingForward>& out,
+    std::vector<std::pair<uint64_t, ClientOutcome>>& deferred) {
   rt.current.issued++;
 
   // Writes invalidate the key across the tenant's proxy caches (a
@@ -62,7 +65,7 @@ void ProxyAdmitStage::AdmitOne(TenantRuntime& rt, const ClientRequest& req,
     fwd.ctx.track_outcome = req.track_outcome;
     out.push_back(std::move(fwd));
   } else {
-    sim_->SettleLocalProxyResult(rt, req, res);
+    sim_->SettleLocalProxyResult(rt, req, res, &deferred);
   }
 }
 
@@ -77,11 +80,11 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
     TickContext::TenantTraffic& tt = ctx.traffic[i];
     auto it = sim.tenants_.find(tt.tenant);
     if (it == sim.tenants_.end()) return;
+    std::vector<std::pair<uint64_t, ClientOutcome>> unused;
     for (const ClientRequest& req : tt.requests) {
-      // Tracked requests settle into the sim-wide outcome table and must
-      // go through the serial injected path below.
+      // Generated traffic never tracks outcomes; nothing defers.
       assert(!req.track_outcome);
-      AdmitOne(it->second, req, tt.forwards);
+      AdmitOne(it->second, req, tt.forwards, unused);
     }
   });
   // Deterministic merge in tenant-id order.
@@ -92,12 +95,52 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
     tt.forwards.clear();
   }
 
-  // Injected requests (tests, abase::Client) run serially: they may
-  // track outcomes, which settle into the sim-wide outcome table.
+  // Injected requests (async clients, tests) are admitted in batches:
+  // grouped by tenant (injection order preserved within a tenant) and
+  // fanned out across the executor like bulk traffic. Tracked outcomes
+  // settle into tenant-private buffers and are published serially in
+  // tenant-id order below, so callback invocation order is deterministic
+  // regardless of worker count.
+  struct InjectedBatch {
+    TenantRuntime* rt = nullptr;
+    std::vector<const ClientRequest*> requests;
+    std::vector<PendingForward> forwards;
+    std::vector<std::pair<uint64_t, ClientOutcome>> deferred;
+  };
+  std::map<TenantId, InjectedBatch> batches;
   for (const ClientRequest& req : ctx.injected) {
     auto it = sim.tenants_.find(req.tenant);
-    if (it == sim.tenants_.end()) continue;
-    AdmitOne(it->second, req, ctx.forwards);
+    if (it == sim.tenants_.end()) {
+      // Unknown tenant: a tracked submitter still gets an answer —
+      // dropping silently would strand its subscription (and any future
+      // waiting on it) forever.
+      if (req.track_outcome) {
+        sim.PublishOutcome(
+            req.req_id, ClientOutcome{Status::Unavailable("no such tenant"),
+                                      ""});
+      }
+      continue;
+    }
+    InjectedBatch& b = batches[req.tenant];
+    b.rt = &it->second;
+    b.requests.push_back(&req);
+  }
+  std::vector<InjectedBatch*> batch_list;
+  batch_list.reserve(batches.size());
+  for (auto& [tid, b] : batches) batch_list.push_back(&b);
+  sim.executor_->ParallelFor(batch_list.size(), [&](size_t i) {
+    InjectedBatch& b = *batch_list[i];
+    for (const ClientRequest* req : b.requests) {
+      AdmitOne(*b.rt, *req, b.forwards, b.deferred);
+    }
+  });
+  for (InjectedBatch* b : batch_list) {
+    for (PendingForward& fwd : b->forwards) {
+      ctx.forwards.push_back(std::move(fwd));
+    }
+    for (auto& [req_id, outcome] : b->deferred) {
+      sim.PublishOutcome(req_id, std::move(outcome));
+    }
   }
 
   // AU-LRU active-update refresh fetches (background traffic) enter the
@@ -136,8 +179,8 @@ void RouteStage::Run(TickContext& ctx) {
       auto it = sim.tenants_.find(fwd.ctx.tenant);
       if (it != sim.tenants_.end()) it->second.current.errors++;
       if (fwd.ctx.track_outcome) {
-        sim.outcomes_[req.req_id] =
-            ClusterSim::ClientOutcome{Status::Unavailable("no primary"), ""};
+        sim.PublishOutcome(req.req_id,
+                           ClientOutcome{Status::Unavailable("no primary"), ""});
       }
       continue;
     }
@@ -210,6 +253,7 @@ void SettleStage::Run(TickContext& ctx) {
     }
   }
 
+  sim.SweepExpiredOutcomes();
   sim.FinalizeTickMetrics();
   sim.clock_.Advance(sim.options_.tick);
 }

@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -102,8 +103,13 @@ class GenerateStage final : public Stage {
 /// throttles) settle into tenant metrics immediately; forwards — plus
 /// the proxies' background refresh fetches — move on as
 /// PendingForwards. Tenant traffic is processed concurrently (tenants
-/// share no proxy-plane state); injected requests and refresh-id
-/// allocation run serially afterwards.
+/// share no proxy-plane state). Injected requests (clients, tests) are
+/// admitted in batches too: grouped by tenant and fanned out across the
+/// executor, with tracked outcomes collected into tenant-private buffers
+/// and published serially in tenant-id order afterwards — this is what
+/// lets hundreds of async clients keep thousands of commands in flight
+/// without serializing the proxy plane. Refresh-id allocation stays
+/// serial.
 class ProxyAdmitStage final : public Stage {
  public:
   explicit ProxyAdmitStage(ClusterSim* sim) : sim_(sim) {}
@@ -112,9 +118,12 @@ class ProxyAdmitStage final : public Stage {
 
  private:
   /// Handles one client request against its tenant's proxy plane,
-  /// appending to `out` if the proxy forwards it.
+  /// appending to `out` if the proxy forwards it and to `deferred` if it
+  /// settled locally with a tracked outcome. Safe to run
+  /// tenant-concurrently: both buffers are tenant-private.
   void AdmitOne(TenantRuntime& rt, const ClientRequest& req,
-                std::vector<PendingForward>& out);
+                std::vector<PendingForward>& out,
+                std::vector<std::pair<uint64_t, ClientOutcome>>& deferred);
 
   ClusterSim* sim_;
 };

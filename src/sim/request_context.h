@@ -10,12 +10,21 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "node/request.h"
 
 namespace abase {
 namespace sim {
+
+/// Final outcome of a tracked request, as settled by the pipeline and
+/// delivered to a subscription callback or parked for TakeOutcome.
+struct ClientOutcome {
+  Status status;
+  std::string value;
+};
 
 /// State the simulator keeps for a request that crossed into the data
 /// plane. Created by the Route stage when a forward is submitted to a

@@ -178,7 +178,7 @@ TEST(EdgeCaseTest, PreloadedKeysReadableThroughDataPlane) {
   EXPECT_FALSE(out->value.empty());
 }
 
-TEST(EdgeCaseTest, UnknownTenantRequestIsDropped) {
+TEST(EdgeCaseTest, UnknownTenantRequestResolvesUnavailable) {
   sim::ClusterSim cluster;
   cluster.AddPool(2);
   ClientRequest req;
@@ -188,8 +188,12 @@ TEST(EdgeCaseTest, UnknownTenantRequestIsDropped) {
   req.key = "k";
   req.track_outcome = true;
   cluster.InjectRequest(req);
-  cluster.RunTicks(2);  // Must not crash; outcome never materializes.
-  EXPECT_FALSE(cluster.TakeOutcome(1).has_value());
+  cluster.RunTicks(2);  // Must not crash.
+  // Tracked requests always get an answer — silently dropping one would
+  // strand an async future waiting on it.
+  auto out = cluster.TakeOutcome(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->status.IsUnavailable());
 }
 
 TEST(EdgeCaseTest, QueueDeadlineFailsStaleRequests) {
