@@ -1,0 +1,210 @@
+// Live failover: ticks-to-recover and error-window area vs replica count.
+//
+// One tenant under steady load loses the primary of partition 0 mid-run;
+// the failure detector promotes a surviving replica (when one exists),
+// the node later recovers via WAL replay and fails back. Swept over the
+// tenant's replication factor:
+//   replicas=1  no survivor to promote -> the partition is dark until
+//               recovery completes (the availability cost of running
+//               without replicas);
+//   replicas>=2 the window collapses to the failure-detection delay.
+//
+// Reported per replica count: ticks-to-recover (last tick with any
+// Unavailable resolution, relative to the failure tick), the error-window
+// area (total Unavailable resolutions), and total redirect chases.
+//
+// Gates (enforced by exit code):
+//   * the replicas=3 run replayed under 2 and 4 data-plane workers must
+//     reproduce the serial TenantTickMetrics history bit-for-bit;
+//   * replicas>=2 must shrink the error window vs replicas=1.
+//
+// Writes BENCH_failover.json (overwritten per run; CI archives
+// BENCH_*.json as artifacts).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/cluster_sim.h"
+
+namespace abase {
+namespace bench {
+namespace {
+
+constexpr size_t kWarmupTicks = 10;
+constexpr size_t kFailTicks = 10;   ///< Failure -> recovery start.
+constexpr size_t kAfterTicks = 10;  ///< Recovery start -> end of run.
+constexpr int kCatchUpTicks = 2;
+
+struct FailoverRun {
+  int replicas = 1;
+  int workers = 1;
+  size_t ticks_to_recover = 0;
+  uint64_t error_window_area = 0;  ///< Total Unavailable resolutions.
+  uint64_t redirects = 0;
+  uint64_t ok_total = 0;
+  std::vector<sim::TenantTickMetrics> history;
+};
+
+uint64_t Mix64(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t DoubleBits(double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Order-sensitive fingerprint of a metrics history (bit-exact doubles).
+uint64_t Fingerprint(const std::vector<sim::TenantTickMetrics>& history) {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& m : history) {
+    h = Mix64(h, m.issued);
+    h = Mix64(h, m.ok);
+    h = Mix64(h, m.errors);
+    h = Mix64(h, m.throttled);
+    h = Mix64(h, m.unavailable);
+    h = Mix64(h, m.redirects);
+    h = Mix64(h, m.proxy_hits);
+    h = Mix64(h, m.node_cache_hits);
+    h = Mix64(h, m.disk_reads);
+    h = Mix64(h, m.reads_completed);
+    h = Mix64(h, DoubleBits(m.ru_charged));
+    h = Mix64(h, DoubleBits(m.latency_sum));
+    h = Mix64(h, static_cast<uint64_t>(m.latency_max));
+    h = Mix64(h, m.latency_count);
+  }
+  return h;
+}
+
+FailoverRun RunFailover(int replicas, int workers) {
+  sim::SimOptions opt;
+  opt.seed = 99;
+  opt.data_plane_workers = workers;
+  opt.failover_detection_ticks = 1;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(8);
+
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "failover-bench";
+  cfg.tenant_quota_ru = 100000;
+  cfg.num_partitions = 4;
+  cfg.num_proxies = 4;
+  cfg.num_proxy_groups = 2;
+  cfg.replicas = replicas;
+  (void)sim.AddTenant(cfg, pool);
+  sim.PreloadKeys(1, /*num_keys=*/1000, /*value_bytes=*/256);
+
+  sim::WorkloadProfile profile;
+  profile.base_qps = 2000;
+  profile.read_ratio = 0.8;
+  profile.num_keys = 1000;
+  profile.value_bytes = 256;
+  sim.SetWorkload(1, profile);
+
+  const NodeId victim = sim.meta().PrimaryFor(1, 0);
+  const size_t fail_tick = kWarmupTicks;
+  const size_t recover_tick = kWarmupTicks + kFailTicks;
+  const size_t total = kWarmupTicks + kFailTicks + kAfterTicks;
+  for (size_t tick = 0; tick < total; tick++) {
+    if (tick == fail_tick) sim.FailNode(victim);
+    if (tick == recover_tick) sim.RecoverNode(victim, kCatchUpTicks);
+    sim.Tick();
+  }
+
+  FailoverRun run;
+  run.replicas = replicas;
+  run.workers = workers;
+  run.history = sim.History(1);
+  size_t last_unavailable = fail_tick;
+  for (size_t tick = 0; tick < run.history.size(); tick++) {
+    const auto& m = run.history[tick];
+    run.error_window_area += m.unavailable;
+    run.redirects += m.redirects;
+    run.ok_total += m.ok;
+    if (m.unavailable > 0 && tick >= fail_tick) last_unavailable = tick;
+  }
+  run.ticks_to_recover = last_unavailable - fail_tick + 1;
+  return run;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abase
+
+int main() {
+  using abase::bench::FailoverRun;
+  using abase::bench::Fingerprint;
+  using abase::bench::RunFailover;
+
+  abase::bench::PrintHeader(
+      "Live failover: error window and recovery time vs replica count");
+
+  std::printf("%9s %9s %17s %14s %10s %10s\n", "replicas", "workers",
+              "ticks_to_recover", "error_area", "redirects", "ok_total");
+  std::vector<FailoverRun> runs;
+  for (int replicas : {1, 2, 3}) {
+    FailoverRun r = RunFailover(replicas, /*workers=*/1);
+    std::printf("%9d %9d %17zu %14llu %10llu %10llu\n", r.replicas,
+                r.workers, r.ticks_to_recover,
+                static_cast<unsigned long long>(r.error_window_area),
+                static_cast<unsigned long long>(r.redirects),
+                static_cast<unsigned long long>(r.ok_total));
+    runs.push_back(std::move(r));
+  }
+
+  // Availability gate: running with replicas must shrink the outage.
+  const FailoverRun& solo = runs[0];
+  bool replicas_help = true;
+  for (size_t i = 1; i < runs.size(); i++) {
+    replicas_help = replicas_help &&
+                    runs[i].error_window_area < solo.error_window_area &&
+                    runs[i].ticks_to_recover <= solo.ticks_to_recover;
+  }
+  std::printf("\nreplicas shrink the error window: %s\n",
+              replicas_help ? "yes" : "NO (regression)");
+
+  // Determinism gate: the replicas=3 failover replayed under parallel
+  // executors must reproduce the serial history bit-for-bit.
+  uint64_t serial_fp = Fingerprint(runs.back().history);
+  bool deterministic = true;
+  for (int workers : {2, 4}) {
+    FailoverRun r = RunFailover(/*replicas=*/3, workers);
+    bool same = Fingerprint(r.history) == serial_fp;
+    deterministic = deterministic && same;
+    std::printf("determinism @%d workers: %s\n", workers,
+                same ? "bit-identical" : "MISMATCH");
+  }
+
+  FILE* f = std::fopen("BENCH_failover.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"bench\":\"failover\",\"warmup_ticks\":%zu,"
+                 "\"fail_ticks\":%zu,\"after_ticks\":%zu,"
+                 "\"catch_up_ticks\":%d,"
+                 "\"deterministic_across_workers\":%s,"
+                 "\"replicas_shrink_error_window\":%s,\"results\":[",
+                 abase::bench::kWarmupTicks, abase::bench::kFailTicks,
+                 abase::bench::kAfterTicks, abase::bench::kCatchUpTicks,
+                 deterministic ? "true" : "false",
+                 replicas_help ? "true" : "false");
+    for (size_t i = 0; i < runs.size(); i++) {
+      const FailoverRun& r = runs[i];
+      std::fprintf(f,
+                   "%s{\"replicas\":%d,\"ticks_to_recover\":%zu,"
+                   "\"error_window_area\":%llu,\"redirects\":%llu,"
+                   "\"ok_total\":%llu}",
+                   i == 0 ? "" : ",", r.replicas, r.ticks_to_recover,
+                   static_cast<unsigned long long>(r.error_window_area),
+                   static_cast<unsigned long long>(r.redirects),
+                   static_cast<unsigned long long>(r.ok_total));
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_failover.json\n");
+  }
+  return deterministic && replicas_help ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 // Operator's tour (paper Sections 3.3, 5.3, 7): capacity planning with
-// the Section 7 rules, node-failure recovery with parallel rebuild, a
-// live rescheduling round, and a pipelined multi-client session through
-// the asynchronous command API — the day-2 operations of an ABase
-// deployment.
+// the Section 7 rules, a live mid-run primary failure (kill -> observe
+// the Unavailable/redirect window -> recover -> steady state), permanent
+// node loss with parallel rebuild, a live rescheduling round, and a
+// pipelined multi-client session through the asynchronous command API —
+// the day-2 operations of an ABase deployment.
 #include <cstdio>
 #include <vector>
 
@@ -71,7 +72,54 @@ int main() {
   std::printf("Max admissible new-tenant quota right now: %.0f RU/s\n\n",
               planner.MaxAdmissibleTenantQuota(snapshot));
 
-  // --- 3. Node failure: parallel replica rebuild (Section 3.3) ------------
+  // --- 3. Live failover: kill a primary mid-run (Section 3.3) -------------
+  // The fault API crashes the node at the next tick boundary: stranded
+  // requests resolve Unavailable, the failure detector promotes surviving
+  // replicas (routing epoch bump -> proxies chase redirects), and after
+  // WAL catch-up the node rejoins and takes its primaries back.
+  TenantId watched = 1;
+  NodeId live_victim = cluster.meta().PrimaryFor(watched, 0);
+  size_t mark = cluster.sim().History(watched).size();
+  uint64_t epoch0 = cluster.RoutingEpoch();
+
+  std::printf("Killing node %u (primary of tenant %u / partition 0) "
+              "mid-run...\n", live_victim, watched);
+  cluster.FailNode(live_victim);
+  cluster.RunTicks(4);  // Failure lands, detector fires, replicas promote.
+  std::printf("  routing epoch %llu -> %llu; %zu primaries promoted, "
+              "%zu re-replication targets planned\n",
+              static_cast<unsigned long long>(epoch0),
+              static_cast<unsigned long long>(cluster.RoutingEpoch()),
+              cluster.sim().LastFailoverReport()
+                  ? cluster.sim().LastFailoverReport()->primaries_promoted
+                  : 0,
+              cluster.sim().LastFailoverReport()
+                  ? cluster.sim()
+                        .LastFailoverReport()->re_replication_targets.size()
+                  : 0);
+
+  cluster.RecoverNode(live_victim, /*catch_up_ticks=*/2);
+  cluster.RunTicks(1);  // Recovery lands: WAL replayed, catch-up begins.
+  std::printf("  node %u mid catch-up: state=%s\n", live_victim,
+              node::NodeStateName(cluster.sim().FindNode(live_victim)->state()));
+  cluster.RunTicks(5);  // Catch-up completes, failback, steady state.
+
+  std::printf("  tenant %u per-tick view across the event "
+              "(ok / unavailable / redirects):\n", watched);
+  const auto& hist = cluster.sim().History(watched);
+  for (size_t i = mark; i < hist.size(); i++) {
+    std::printf("    tick %2zu: %5llu ok  %4llu unavailable  %3llu "
+                "redirects\n", i - mark,
+                static_cast<unsigned long long>(hist[i].ok),
+                static_cast<unsigned long long>(hist[i].unavailable),
+                static_cast<unsigned long long>(hist[i].redirects));
+  }
+  std::printf("  node %u recovered and leads partition 0 again: %s\n\n",
+              live_victim,
+              cluster.meta().PrimaryFor(watched, 0) == live_victim ? "yes"
+                                                                   : "no");
+
+  // --- 4. Node loss: permanent removal + parallel rebuild -----------------
   NodeId victim = cluster.meta().PoolNodes(pool)[0]->id();
   auto report = cluster.meta().FailNode(pool, victim);
   if (report.ok()) {
@@ -91,7 +139,7 @@ int main() {
   }
   cluster.RunTicks(10);  // Service continues on the survivors.
 
-  // --- 4. A rescheduling round (Section 5.3) ------------------------------
+  // --- 5. A rescheduling round (Section 5.3) ------------------------------
   resched::PoolModel model = cluster.sim().BuildPoolModel(pool);
   std::printf("Pool load before rescheduling: RU stddev=%.4f max=%.3f\n",
               model.UtilizationStddev(resched::Resource::kRu),
@@ -102,7 +150,7 @@ int main() {
               applied, after.UtilizationStddev(resched::Resource::kRu),
               after.MaxUtilization(resched::Resource::kRu));
 
-  // --- 5. Pipelined multi-client session (async command API) --------------
+  // --- 6. Pipelined multi-client session (async command API) --------------
   // Eight sessions of tenant 1 each keep 32 commands in flight: Submit
   // enqueues without advancing time, Step()/Drain() resolve futures as
   // ticks settle. A lock-step client would need one tick per request;

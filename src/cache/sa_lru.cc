@@ -82,6 +82,16 @@ bool SaLruCache::Erase(const std::string& key) {
   return true;
 }
 
+void SaLruCache::Clear() {
+  map_.clear();
+  for (SizeClass& sc : classes_) {
+    sc.lru.clear();
+    sc.bytes = 0;
+    sc.recent_hits = 0;
+  }
+  used_ = 0;
+}
+
 bool SaLruCache::Contains(const std::string& key) const {
   return map_.count(key) > 0;
 }

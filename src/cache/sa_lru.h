@@ -62,6 +62,10 @@ class SaLruCache {
   bool Erase(const std::string& key);
   bool Contains(const std::string& key) const;
 
+  /// Drops every entry (a node crash loses the in-memory cache). Hit/miss
+  /// statistics are kept; class hit counters reset.
+  void Clear();
+
   uint64_t used_bytes() const { return used_; }
   uint64_t capacity_bytes() const { return options_.capacity_bytes; }
   size_t entry_count() const { return map_.size(); }

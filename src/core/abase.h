@@ -99,6 +99,24 @@ class Cluster {
   /// pending futures, like Step, without reporting counts).
   void RunTicks(size_t n) { sim_.RunTicks(n); }
 
+  // -- Fault injection --------------------------------------------------------
+
+  /// Crashes a DataNode, effective at the next tick boundary: queued and
+  /// in-flight work on it resolves Unavailable, and after the configured
+  /// failure-detection delay surviving replicas are promoted to primary
+  /// (clients see a redirect-and-retry blip in TenantTickMetrics).
+  void FailNode(NodeId node) { sim_.FailNode(node); }
+
+  /// Starts WAL-replay recovery of a failed node. It spends
+  /// `catch_up_ticks` (< 0 = SimOptions::recovery_catch_up_ticks)
+  /// catching up, then rejoins and takes back the primaries it led.
+  void RecoverNode(NodeId node, int catch_up_ticks = -1) {
+    sim_.RecoverNode(node, catch_up_ticks);
+  }
+
+  /// Current routing-table version (bumped by every placement change).
+  uint64_t RoutingEpoch() { return sim_.meta().routing_epoch(); }
+
   // -- Operations ------------------------------------------------------------
 
   /// Runs one intra-pool rescheduling round against live node loads and

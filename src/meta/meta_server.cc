@@ -71,6 +71,7 @@ node::DataNode* MetaServer::PickNodeForReplica(PoolId pool, TenantId tenant,
   bool best_fresh_az = false;
   double best_quota = 0;
   for (node::DataNode* n : pools_[pool]) {
+    if (!n->CanServe()) continue;  // Never place onto a down node.
     if (n->HasReplica(tenant, partition)) continue;  // Replica safety.
     bool fresh = used_azs.count(n->az()) == 0;
     double q = n->TotalPartitionQuota();
@@ -117,6 +118,7 @@ Status MetaServer::CreateTenant(const TenantConfig& config, PoolId pool) {
     meta.partitions.push_back(std::move(placement));
   }
   tenants_.emplace(config.id, std::move(meta));
+  routing_epoch_++;
   return Status::OK();
 }
 
@@ -207,6 +209,7 @@ Status MetaServer::SplitPartitions(TenantId tenant) {
     meta.partitions.push_back(std::move(placement));
   }
   PushPartitionQuotas(meta);
+  routing_epoch_++;
   return Status::OK();
 }
 
@@ -223,6 +226,9 @@ Status MetaServer::MigrateReplica(TenantId tenant, PartitionId partition,
   if (src == nullptr || dst == nullptr) {
     return Status::NotFound("node not in tenant pool");
   }
+  if (!dst->CanServe()) {
+    return Status::Unavailable("destination node is down");
+  }
   if (!src->HasReplica(tenant, partition)) {
     return Status::NotFound("source does not host replica");
   }
@@ -238,6 +244,7 @@ Status MetaServer::MigrateReplica(TenantId tenant, PartitionId partition,
   src->RemoveReplica(tenant, partition);
   dst->AddReplica(tenant, partition, pq, was_primary);
   *rit = to;
+  routing_epoch_++;
   return Status::OK();
 }
 
@@ -267,9 +274,17 @@ Result<RecoveryReport> MetaServer::FailNode(
   }
 
   // Remove the node from the pool topology first so placement never
-  // targets it, then rebuild each lost replica on a surviving node.
+  // targets it, then rebuild each lost replica on a surviving node. A
+  // permanently lost node also forfeits any outstanding failback claims
+  // (it will never call RestorePrimary) — leaving them would block every
+  // later interim primary's failback on those partitions forever.
+  demoted_.erase(node);
   auto& nodes = pools_[pool];
   nodes.erase(std::remove(nodes.begin(), nodes.end(), failed), nodes.end());
+  // Placement mutation starts here; bump the epoch now so even an early
+  // error return below (no survivor for some replica) leaves cached
+  // routes able to chase a redirect into the partially rebuilt state.
+  routing_epoch_++;
 
   std::map<NodeId, uint64_t> bytes_per_target;
   for (const LostReplica& lr : lost) {
@@ -280,16 +295,21 @@ Result<RecoveryReport> MetaServer::FailNode(
     if (target == nullptr) {
       return Status::ResourceExhausted("no survivor can host replica");
     }
-    target->AddReplica(lr.tenant, lr.partition, lr.quota,
-                       /*is_primary=*/false);
-    bytes_per_target[target->id()] += lr.bytes;
-    report.replicas_rebuilt++;
-    report.bytes_rebuilt += lr.bytes;
+    // The rebuilt copy takes over the failed node's placement slot —
+    // including the primary role when the lost replica led the partition.
+    bool was_primary = false;
     if (tit != tenants_.end() &&
         lr.partition < tit->second.partitions.size()) {
       auto& reps = tit->second.partitions[lr.partition].replicas;
+      was_primary = !reps.empty() && reps[0] == node;
       std::replace(reps.begin(), reps.end(), node, target->id());
     }
+    target->AddReplica(lr.tenant, lr.partition, lr.quota, was_primary);
+    bytes_per_target[target->id()] += lr.bytes;
+    report.replicas_rebuilt++;
+    report.bytes_rebuilt += lr.bytes;
+    report.re_replication_targets.push_back(
+        ReReplicationTarget{lr.tenant, lr.partition, target->id()});
     failed->RemoveReplica(lr.tenant, lr.partition);
   }
 
@@ -307,6 +327,142 @@ Result<RecoveryReport> MetaServer::FailNode(
       static_cast<double>(report.bytes_rebuilt) /
       rebuild_bandwidth_bytes_per_sec;
   return report;
+}
+
+PoolId MetaServer::PoolOf(NodeId node) const {
+  for (PoolId p = 0; p < pools_.size(); p++) {
+    for (node::DataNode* n : pools_[p]) {
+      if (n->id() == node) return p;
+    }
+  }
+  return static_cast<PoolId>(pools_.size());
+}
+
+Result<RecoveryReport> MetaServer::PromoteFailover(
+    NodeId node, double rebuild_bandwidth_bytes_per_sec) {
+  PoolId pool = PoolOf(node);
+  if (pool >= pools_.size()) return Status::NotFound("node not in any pool");
+  node::DataNode* failed = FindNode(pool, node);
+
+  RecoveryReport report;
+  bool placement_changed = false;
+  std::map<NodeId, uint64_t> bytes_per_target;
+  // tenants_ is ordered, so promotions and planned targets come out in a
+  // fixed (tenant, partition) order — the fault path runs from serial
+  // pipeline sections and must stay deterministic.
+  for (auto& [tid, meta] : tenants_) {
+    if (meta.pool != pool) continue;
+    for (PartitionId p = 0; p < meta.partitions.size(); p++) {
+      auto& reps = meta.partitions[p].replicas;
+      auto rit = std::find(reps.begin(), reps.end(), node);
+      if (rit == reps.end()) continue;
+
+      if (rit == reps.begin()) {
+        // Promote the first replica hosted on an alive node.
+        for (size_t r = 1; r < reps.size(); r++) {
+          node::DataNode* candidate = FindNode(pool, reps[r]);
+          if (candidate == nullptr || !candidate->CanServe()) continue;
+          std::swap(reps[0], reps[r]);
+          candidate->SetReplicaPrimary(tid, p, true);
+          if (failed != nullptr) failed->SetReplicaPrimary(tid, p, false);
+          demoted_[node].push_back(DemotionClaim{tid, p, ++demotion_seq_});
+          report.primaries_promoted++;
+          placement_changed = true;
+          break;
+        }
+        // No survivor: the partition keeps its dead primary and stays
+        // unavailable until the node recovers and fails back.
+      }
+
+      // Plan (but do not execute) the re-replication that would restore
+      // the replication factor if the node never came back.
+      uint64_t bytes = 0;
+      if (failed != nullptr) {
+        if (storage::LsmEngine* engine = failed->EngineFor(tid, p)) {
+          bytes = engine->ApproximateDataBytes();
+        }
+      }
+      if (node::DataNode* target = PickNodeForReplica(pool, tid, p)) {
+        report.re_replication_targets.push_back(
+            ReReplicationTarget{tid, p, target->id()});
+        bytes_per_target[target->id()] += bytes;
+      }
+      report.replicas_rebuilt++;
+      report.bytes_rebuilt += bytes;
+    }
+  }
+
+  report.parallel_sources = bytes_per_target.size();
+  uint64_t max_target_bytes = 0;
+  for (const auto& [nid, b] : bytes_per_target) {
+    max_target_bytes = std::max(max_target_bytes, b);
+  }
+  report.parallel_recovery_seconds =
+      static_cast<double>(max_target_bytes) / rebuild_bandwidth_bytes_per_sec;
+  report.single_node_recovery_seconds =
+      static_cast<double>(report.bytes_rebuilt) /
+      rebuild_bandwidth_bytes_per_sec;
+  if (placement_changed) routing_epoch_++;
+  return report;
+}
+
+size_t MetaServer::RestorePrimary(NodeId node) {
+  auto dit = demoted_.find(node);
+  if (dit == demoted_.end()) return 0;
+  // Consume this node's claims up front: a claim that loses the failback
+  // (below) must not linger and usurp a better-placed leader later.
+  std::vector<DemotionClaim> claims = std::move(dit->second);
+  demoted_.erase(dit);
+  PoolId pool = PoolOf(node);
+  node::DataNode* restored =
+      pool < pools_.size() ? FindNode(pool, node) : nullptr;
+
+  size_t count = 0;
+  for (const DemotionClaim& claim : claims) {
+    const TenantId tid = claim.tenant;
+    const PartitionId p = claim.partition;
+    // Overlapping failures: an older outstanding claim means a
+    // yet-to-recover node led the partition before this one did and
+    // holds the fuller state — this node stays a replica.
+    bool older_claim = false;
+    for (const auto& [other, other_claims] : demoted_) {
+      for (const DemotionClaim& oc : other_claims) {
+        if (oc.tenant == tid && oc.partition == p && oc.seq < claim.seq) {
+          older_claim = true;
+          break;
+        }
+      }
+      if (older_claim) break;
+    }
+    if (older_claim) continue;
+
+    auto tit = tenants_.find(tid);
+    if (tit == tenants_.end() || p >= tit->second.partitions.size()) continue;
+    auto& reps = tit->second.partitions[p].replicas;
+    auto rit = std::find(reps.begin(), reps.end(), node);
+    if (rit == reps.end() || rit == reps.begin()) continue;
+    // Demote whichever replica led during the outage, then put the
+    // recovered node (fullest state after WAL replay) back in front.
+    if (node::DataNode* leader = FindNode(pool, reps[0])) {
+      leader->SetReplicaPrimary(tid, p, false);
+    }
+    std::swap(reps[0], *rit);
+    if (restored != nullptr) restored->SetReplicaPrimary(tid, p, true);
+    count++;
+    // The restored leader supersedes every younger claim on the
+    // partition: without this, a later-failed interim primary would
+    // reclaim it on recovery and flip reads back to its thin state.
+    for (auto& [other, other_claims] : demoted_) {
+      other_claims.erase(
+          std::remove_if(other_claims.begin(), other_claims.end(),
+                         [&](const DemotionClaim& oc) {
+                           return oc.tenant == tid && oc.partition == p;
+                         }),
+          other_claims.end());
+    }
+  }
+  if (count > 0) routing_epoch_++;
+  return count;
 }
 
 // ---------------------------------------------------------------------------

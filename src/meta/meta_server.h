@@ -64,6 +64,13 @@ struct TenantMeta {
   }
 };
 
+/// One planned (or executed) replica rebuild after a node failure.
+struct ReReplicationTarget {
+  TenantId tenant = 0;
+  PartitionId partition = 0;
+  NodeId target = kInvalidNode;  ///< Surviving node receiving the copy.
+};
+
 /// Outcome of a node-failure recovery, contrasting the multi-tenant
 /// parallel rebuild with a single-replacement-node rebuild (Section 3.3).
 struct RecoveryReport {
@@ -72,6 +79,13 @@ struct RecoveryReport {
   size_t parallel_sources = 0;
   double parallel_recovery_seconds = 0;  ///< N-node parallel rebuild.
   double single_node_recovery_seconds = 0;  ///< Classic replacement node.
+  /// Partitions whose primary moved to a surviving replica (live
+  /// failover path).
+  size_t primaries_promoted = 0;
+  /// Where each lost replica is (re)built: executed placements for
+  /// FailNode's permanent-loss rebuild, planned placements for
+  /// PromoteFailover (the node may yet come back and catch up instead).
+  std::vector<ReReplicationTarget> re_replication_targets;
 };
 
 /// Centralized control plane over a set of resource pools.
@@ -106,6 +120,14 @@ class MetaServer {
   /// Primary node currently serving (tenant, partition).
   NodeId PrimaryFor(TenantId tenant, PartitionId partition) const;
 
+  /// Monotonically increasing routing-table version. Bumped by every
+  /// placement mutation (tenant creation, split, migration, failover
+  /// promotion, failback, permanent-loss rebuild). Proxies cache routing
+  /// tables stamped with this epoch and chase a redirect — refresh and
+  /// retry — when a forward observes a stale one; they never consult the
+  /// MetaServer per request.
+  uint64_t routing_epoch() const { return routing_epoch_; }
+
   // -- Scaling (invoked by the Autoscaler) -------------------------------------
 
   /// Applies a new tenant quota, propagating partition quotas to nodes.
@@ -123,13 +145,38 @@ class MetaServer {
 
   // -- Failure recovery ---------------------------------------------------------
 
-  /// Simulates the loss of `node`: every replica it hosted is rebuilt on
-  /// surviving pool nodes in parallel. Returns the recovery-time model
-  /// contrasting multi-tenant parallel rebuild vs a single replacement
-  /// node limited by its own disk bandwidth.
+  /// Simulates the *permanent* loss of `node`: it leaves the pool and
+  /// every replica it hosted is rebuilt on surviving pool nodes in
+  /// parallel. Returns the recovery-time model contrasting multi-tenant
+  /// parallel rebuild vs a single replacement node limited by its own
+  /// disk bandwidth. For a live failure (node may come back), use
+  /// PromoteFailover / RestorePrimary instead.
   Result<RecoveryReport> FailNode(PoolId pool, NodeId node,
                                   double rebuild_bandwidth_bytes_per_sec =
                                       200.0 * 1024 * 1024);
+
+  /// Live failover after `node` crashed: for every partition whose
+  /// primary it was, the first surviving replica (placement order, alive
+  /// nodes only) is promoted to primary; `node` stays in the placement as
+  /// a stale replica so it can replay its WAL and fail back later. Every
+  /// replica the node hosted also gets a *planned* re-replication target
+  /// (recorded in the report, not executed — production would start
+  /// copying; here the node usually returns first). Bumps the routing
+  /// epoch when any primary moved. Partitions with no surviving replica
+  /// keep their dead primary and stay unavailable until recovery.
+  Result<RecoveryReport> PromoteFailover(NodeId node,
+                                         double rebuild_bandwidth_bytes_per_sec =
+                                             200.0 * 1024 * 1024);
+
+  /// Failback after `node` recovered and caught up: re-promotes it to
+  /// primary for every partition PromoteFailover demoted it from (it
+  /// holds the fullest replayed state), bumping the routing epoch.
+  /// Under overlapping failures only the *oldest* outstanding demotion
+  /// claim for a partition wins the failback — an interim primary that
+  /// itself failed and recovered must not usurp the original (its engine
+  /// only holds its brief interim window). Returns the number of
+  /// primaries restored.
+  size_t RestorePrimary(NodeId node);
 
   // -- Asynchronous proxy traffic control ---------------------------------------
 
@@ -150,9 +197,26 @@ class MetaServer {
 
   void PushPartitionQuotas(TenantMeta& meta);
 
+  /// Pool containing `node`, or kInvalidNode-equivalent failure (pool
+  /// count) when absent from every pool.
+  PoolId PoolOf(NodeId node) const;
+
   const Clock* clock_;
   std::vector<std::vector<node::DataNode*>> pools_;
   std::map<TenantId, TenantMeta> tenants_;
+  uint64_t routing_epoch_ = 1;
+  /// One partition a failed node was demoted from, stamped with a
+  /// monotonic sequence so overlapping failures fail back in demotion
+  /// order (oldest claim wins).
+  struct DemotionClaim {
+    TenantId tenant = 0;
+    PartitionId partition = 0;
+    uint64_t seq = 0;
+  };
+  /// Partitions PromoteFailover demoted each failed node from, so
+  /// RestorePrimary can fail back exactly those.
+  std::map<NodeId, std::vector<DemotionClaim>> demoted_;
+  uint64_t demotion_seq_ = 0;
 };
 
 }  // namespace meta

@@ -24,6 +24,18 @@ constexpr uint64_t kDiskBlockBytes = 4096;
 
 }  // namespace
 
+const char* NodeStateName(NodeState state) {
+  switch (state) {
+    case NodeState::kAlive:
+      return "ALIVE";
+    case NodeState::kFailed:
+      return "FAILED";
+    case NodeState::kRecovering:
+      return "RECOVERING";
+  }
+  return "UNKNOWN";
+}
+
 DataNode::DataNode(NodeId id, DataNodeOptions options, const Clock* clock)
     : id_(id),
       options_(options),
@@ -59,6 +71,17 @@ bool DataNode::RemoveReplica(TenantId tenant, PartitionId partition) {
 
 bool DataNode::HasReplica(TenantId tenant, PartitionId partition) const {
   return replicas_.count(ReplicaKey(tenant, partition)) > 0;
+}
+
+bool DataNode::IsPrimaryFor(TenantId tenant, PartitionId partition) const {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  return it != replicas_.end() && it->second.is_primary;
+}
+
+void DataNode::SetReplicaPrimary(TenantId tenant, PartitionId partition,
+                                 bool is_primary) {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  if (it != replicas_.end()) it->second.is_primary = is_primary;
 }
 
 void DataNode::SetPartitionQuota(TenantId tenant, PartitionId partition,
@@ -102,6 +125,48 @@ storage::LsmEngine* DataNode::EngineFor(TenantId tenant,
 }
 
 // ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+size_t DataNode::Fail() {
+  if (state_ == NodeState::kFailed) return 0;
+  state_ = NodeState::kFailed;
+  // The crash takes the request queue and every in-flight request with
+  // it. The stranded ids live on in the simulator's in-flight table; it
+  // resolves them as Unavailable from a serial section.
+  size_t dropped = pending_.size();
+  pending_.clear();
+  responses_.clear();
+  wfq_.Clear();
+  tick_stats_ = NodeTickStats{};
+  pending_reject_ru_ = 0;
+  tenant_ru_this_tick_.clear();
+  last_tick_tenant_ru_.clear();
+  // A dead replica serves no RU; zero the EWMA so the rescheduler's load
+  // model does not keep planning around ghost load.
+  for (auto& [key, rep] : replicas_) {
+    rep.ru_this_tick = 0;
+    rep.ru_rate = 0;
+  }
+  return dropped;
+}
+
+void DataNode::StartRecovery() {
+  if (state_ != NodeState::kFailed) return;
+  state_ = NodeState::kRecovering;
+  for (auto& [key, rep] : replicas_) {
+    rep.engine->CrashAndRecover();
+  }
+  // The crash also cost the node its in-memory cache.
+  cache_.Clear();
+}
+
+void DataNode::CompleteRecovery() {
+  if (state_ != NodeState::kRecovering) return;
+  state_ = NodeState::kAlive;
+}
+
+// ---------------------------------------------------------------------------
 // Request path
 // ---------------------------------------------------------------------------
 
@@ -116,20 +181,43 @@ std::string DataNode::CacheKeyFor(const NodeRequest& req) const {
   return key;
 }
 
+namespace {
+
+/// A rejection response (dead node, unhosted partition, quota, queue
+/// deadline): echoes the request's routing fields, ServedBy::kRejected.
+NodeResponse MakeRejection(const NodeRequest& req, Status status,
+                           Micros latency) {
+  NodeResponse resp;
+  resp.req_id = req.req_id;
+  resp.tenant = req.tenant;
+  resp.partition = req.partition;
+  resp.op = req.op;
+  resp.key = req.key;
+  resp.status = std::move(status);
+  resp.served_by = ServedBy::kRejected;
+  resp.latency = latency;
+  resp.background_refresh = req.background_refresh;
+  return resp;
+}
+
+}  // namespace
+
 void DataNode::Submit(const NodeRequest& req) {
   tick_stats_.submitted++;
+  if (state_ != NodeState::kAlive) {
+    // Defensive: the routing layer avoids non-serving nodes, but a direct
+    // caller still gets a clean answer instead of silently queued work.
+    responses_.push_back(MakeRejection(
+        req,
+        Status::Unavailable(state_ == NodeState::kFailed ? "node failed"
+                                                         : "node recovering"),
+        /*latency=*/0));
+    return;
+  }
   auto it = replicas_.find(ReplicaKey(req.tenant, req.partition));
   if (it == replicas_.end()) {
-    NodeResponse resp;
-    resp.req_id = req.req_id;
-    resp.tenant = req.tenant;
-    resp.partition = req.partition;
-    resp.op = req.op;
-    resp.key = req.key;
-    resp.status = Status::Unavailable("partition not hosted");
-    resp.served_by = ServedBy::kRejected;
-    resp.background_refresh = req.background_refresh;
-    responses_.push_back(std::move(resp));
+    responses_.push_back(MakeRejection(
+        req, Status::Unavailable("partition not hosted"), /*latency=*/0));
     return;
   }
   PartitionReplica& rep = it->second;
@@ -139,17 +227,9 @@ void DataNode::Submit(const NodeRequest& req) {
   if (!rep.quota->TryAdmit(req.estimated_ru)) {
     pending_reject_ru_ += options_.reject_cpu_ru;
     tick_stats_.rejected_quota++;
-    NodeResponse resp;
-    resp.req_id = req.req_id;
-    resp.tenant = req.tenant;
-    resp.partition = req.partition;
-    resp.op = req.op;
-    resp.key = req.key;
-    resp.status = Status::Throttled("partition quota exceeded");
-    resp.served_by = ServedBy::kRejected;
-    resp.latency = options_.cpu_service_micros;
-    resp.background_refresh = req.background_refresh;
-    responses_.push_back(std::move(resp));
+    responses_.push_back(
+        MakeRejection(req, Status::Throttled("partition quota exceeded"),
+                      options_.cpu_service_micros));
     return;
   }
 
@@ -431,6 +511,12 @@ void DataNode::CompleteRequest(const sched::SchedRequest& sreq,
 }
 
 void DataNode::Tick() {
+  if (state_ != NodeState::kAlive) {
+    // A dead (or still catching-up) node schedules nothing. Submit-path
+    // rejections already sit in responses_ for the caller to drain.
+    last_tick_tenant_ru_.clear();
+    return;
+  }
   disk_.ResetWindow();
 
   // CPU burned on rejections shrinks the WFQ's budget this tick.
@@ -466,17 +552,9 @@ void DataNode::Tick() {
   for (uint64_t req_id : expired) {
     auto it = pending_.find(req_id);
     PendingContext& ctx = it->second;
-    NodeResponse resp;
-    resp.req_id = ctx.req.req_id;
-    resp.tenant = ctx.req.tenant;
-    resp.partition = ctx.req.partition;
-    resp.op = ctx.req.op;
-    resp.key = ctx.req.key;
-    resp.status = Status::ResourceExhausted("queue deadline exceeded");
-    resp.served_by = ServedBy::kRejected;
-    resp.latency = static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond;
-    resp.background_refresh = ctx.req.background_refresh;
-    responses_.push_back(std::move(resp));
+    responses_.push_back(MakeRejection(
+        ctx.req, Status::ResourceExhausted("queue deadline exceeded"),
+        static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond));
     pending_.erase(it);
   }
 

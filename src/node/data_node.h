@@ -57,6 +57,19 @@ struct DataNodeOptions {
   uint64_t seed = 42;
 };
 
+/// Lifecycle of a DataNode within the live cluster (DESIGN.md "Failure
+/// domain"). Transitions are driven from serial pipeline sections only:
+///   kAlive --Fail()--> kFailed --StartRecovery()--> kRecovering
+///   kRecovering --CompleteRecovery()--> kAlive
+enum class NodeState {
+  kAlive,       ///< Serving: accepts submissions, runs scheduling ticks.
+  kFailed,      ///< Crashed: rejects submissions; queue and in-flight work
+                ///< were dropped when the failure landed.
+  kRecovering,  ///< WAL replay done, catching up; not yet serving.
+};
+
+const char* NodeStateName(NodeState state);
+
 /// A partition replica hosted on this node.
 struct PartitionReplica {
   TenantId tenant = 0;
@@ -97,12 +110,48 @@ class DataNode {
 
   bool HasReplica(TenantId tenant, PartitionId partition) const;
 
+  /// Whether this node hosts (tenant, partition) as its primary. The
+  /// routing layer asks the destination node this at resolve time — the
+  /// simulator's analogue of a production node answering MOVED.
+  bool IsPrimaryFor(TenantId tenant, PartitionId partition) const;
+
+  /// Primary/replica role flip, driven by the MetaServer during failover
+  /// promotion and post-recovery failback.
+  void SetReplicaPrimary(TenantId tenant, PartitionId partition,
+                         bool is_primary);
+
   /// Updates the partition quota after tenant scaling.
   void SetPartitionQuota(TenantId tenant, PartitionId partition,
                          double partition_quota_ru);
 
   /// Enables/disables partition-quota admission (Figure 7 ablation).
   void SetPartitionQuotaEnforcement(bool enabled);
+
+  // -- Lifecycle ------------------------------------------------------------
+
+  NodeState state() const { return state_; }
+
+  /// True when the node accepts and schedules work (kAlive).
+  bool CanServe() const { return state_ == NodeState::kAlive; }
+
+  /// Crashes the node: every queued WFQ entry and in-flight pending
+  /// request is dropped on the floor (their completions never fire — the
+  /// simulator resolves the stranded ids as Unavailable), and subsequent
+  /// Submit() calls are rejected. Engines keep their durable state for
+  /// WAL replay at recovery. Returns the number of dropped in-flight
+  /// requests. No-op (returns 0) if already failed.
+  size_t Fail();
+
+  /// Begins recovery of a failed node: each replica engine discards its
+  /// memtable and replays its WAL (LsmEngine::CrashAndRecover), restoring
+  /// every acknowledged write. The node stays non-serving (kRecovering)
+  /// until CompleteRecovery() — the simulator holds it there for the
+  /// configured number of catch-up ticks. No-op unless kFailed.
+  void StartRecovery();
+
+  /// Rejoins the cluster (kRecovering -> kAlive). No-op unless
+  /// kRecovering.
+  void CompleteRecovery();
 
   // -- Request path ---------------------------------------------------------
 
@@ -181,6 +230,7 @@ class DataNode {
 
   NodeId id_;
   uint32_t az_ = 0;
+  NodeState state_ = NodeState::kAlive;
   DataNodeOptions options_;
   const Clock* clock_;
   cache::SaLruCache cache_;

@@ -144,6 +144,13 @@ void Proxy::OnResponse(const NodeResponse& resp) {
   }
 }
 
+void Proxy::AbandonForward(uint64_t req_id) {
+  auto it = inflight_estimates_.find(req_id);
+  if (it == inflight_estimates_.end()) return;
+  if (quota_enabled_) quota_.SettleActual(it->second, 0.0);
+  inflight_estimates_.erase(it);
+}
+
 std::vector<NodeRequest> Proxy::TakeRefreshFetches() {
   std::vector<NodeRequest> out;
   if (!cache_enabled_) return out;

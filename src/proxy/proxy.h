@@ -72,6 +72,12 @@ class Proxy {
   /// charge, updates RU estimators, and fills the cache.
   void OnResponse(const NodeResponse& resp);
 
+  /// Forgets a forwarded request that will never get a response (stranded
+  /// on a failed node, or unroutable after a redirect chase): refunds the
+  /// admitted RU estimate and drops the in-flight record. The RU
+  /// estimators are untouched — no data-plane outcome was observed.
+  void AbandonForward(uint64_t req_id);
+
   /// Background re-fetches for cache entries flagged by AU-LRU's active
   /// update. The caller forwards these to the data plane like normal
   /// requests (they are marked background_refresh).

@@ -35,6 +35,13 @@ size_t DualLayerWfq::PendingCount() const {
   return n;
 }
 
+void DualLayerWfq::Clear() {
+  for (int c = 0; c < kNumRequestClasses; c++) {
+    cpu_queues_[c].Clear();
+    io_queues_[c].Clear();
+  }
+}
+
 TickStats DualLayerWfq::RunTick(const ProbeFn& probe,
                                 const CompleteFn& complete) {
   TickStats stats;

@@ -97,6 +97,11 @@ class DualLayerWfq {
   /// Requests still waiting (across both layers and all classes).
   size_t PendingCount() const;
 
+  /// Discards all queued requests in every class and layer (node
+  /// failure). Their completions never fire; the caller owns whatever
+  /// bookkeeping referenced them.
+  void Clear();
+
   const DualWfqOptions& options() const { return options_; }
   void set_options(const DualWfqOptions& o) { options_ = o; }
 

@@ -33,6 +33,13 @@ SchedRequest WfqQueue::PopWithVft(double* vft) {
   return item.req;
 }
 
+void WfqQueue::Clear() {
+  heap_ = {};
+  pre_vft_.clear();
+  vtime_ = 0;
+  tie_counter_ = 0;
+}
+
 void WfqQueue::Reinsert(const SchedRequest& req, double vft) {
   // The tenant's preVFT already advanced past `vft` when the request was
   // first pushed, so reinserting must not advance it again.

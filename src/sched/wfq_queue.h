@@ -60,6 +60,11 @@ class WfqQueue {
   /// Queue virtual time = VFT of the last popped request.
   double VirtualTime() const { return vtime_; }
 
+  /// Discards everything queued and resets the virtual-time state (node
+  /// failure: a crashed node's queue does not survive the crash). The
+  /// queue afterwards behaves like a freshly constructed one.
+  void Clear();
+
  private:
   struct Item {
     SchedRequest req;

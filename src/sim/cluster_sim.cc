@@ -83,6 +83,10 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
     rt.proxies.back()->set_refresh_id_allocator(
         [this] { return AllocateRefreshId(); });
   }
+  // Seed the tenant's epoch-stamped routing cache. From here on the
+  // proxy plane routes from this table; it refreshes only by chasing a
+  // redirect after a placement change makes a cached entry unroutable.
+  RefreshRoutingTable(rt);
   tenants_.emplace(config.id, std::move(rt));
   return Status::OK();
 }
@@ -123,6 +127,78 @@ WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
 node::DataNode* ClusterSim::FindNode(NodeId id) {
   auto it = node_index_.find(id);
   return it == node_index_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void ClusterSim::FailNode(NodeId node) {
+  pending_faults_.push_back(FaultEvent{/*fail=*/true, node, -1});
+}
+
+void ClusterSim::RecoverNode(NodeId node, int catch_up_ticks) {
+  pending_faults_.push_back(FaultEvent{/*fail=*/false, node, catch_up_ticks});
+}
+
+size_t ClusterSim::DownNodeCount() const {
+  size_t down = 0;
+  for (const auto& n : nodes_) {
+    if (!n->CanServe()) down++;
+  }
+  return down;
+}
+
+// ---------------------------------------------------------------------------
+// Routing cache
+// ---------------------------------------------------------------------------
+
+void ClusterSim::RefreshRoutingTable(TenantRuntime& rt) {
+  const meta::TenantMeta* tm = meta_->GetTenant(rt.config.id);
+  rt.route_table.clear();
+  if (tm != nullptr) {
+    rt.route_table.reserve(tm->partitions.size());
+    for (const meta::PartitionPlacement& p : tm->partitions) {
+      rt.route_table.push_back(p.primary());
+    }
+  }
+  rt.route_epoch = meta_->routing_epoch();
+}
+
+NodeId ClusterSim::CachedPrimary(const TenantRuntime& rt,
+                                 PartitionId partition) const {
+  return partition < rt.route_table.size() ? rt.route_table[partition]
+                                           : kInvalidNode;
+}
+
+void ClusterSim::ResolveStrandedOnNode(NodeId node) {
+  // inflight_ is an unordered_map: resolve in req-id order so stranded
+  // outcomes publish identically on every platform and worker count.
+  std::vector<uint64_t> stranded;
+  for (const auto& [req_id, ctx] : inflight_) {
+    if (ctx.node == node) stranded.push_back(req_id);
+  }
+  std::sort(stranded.begin(), stranded.end());
+  for (uint64_t req_id : stranded) {
+    auto it = inflight_.find(req_id);
+    RequestContext ctx = it->second;
+    inflight_.erase(it);
+    auto tit = tenants_.find(ctx.tenant);
+    if (tit != tenants_.end()) {
+      TenantRuntime& rt = tit->second;
+      if (ctx.proxy_index < rt.proxies.size()) {
+        rt.proxies[ctx.proxy_index]->AbandonForward(req_id);
+      }
+      if (!ctx.background) {
+        rt.current.errors++;
+        rt.current.unavailable++;
+      }
+    }
+    if (ctx.track_outcome) {
+      PublishOutcome(req_id,
+                     ClientOutcome{Status::Unavailable("node failed"), ""});
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -289,6 +365,7 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
   } else {
     rt.current.errors++;
     if (resp.status.IsThrottled()) rt.current.throttled++;
+    if (resp.status.IsUnavailable()) rt.current.unavailable++;
   }
   rt.current.ru_charged += resp.actual_ru;
 }
@@ -334,6 +411,10 @@ TenantRuntime* ClusterSim::MutableTenant(TenantId tenant) {
 resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
   resched::PoolModel model;
   for (node::DataNode* n : meta_->PoolNodes(pool)) {
+    // A failed/recovering node is invisible to the rescheduler: its
+    // zeroed load would otherwise make it the most attractive migration
+    // destination in the pool.
+    if (!n->CanServe()) continue;
     resched::NodeModel& nm = model.AddNode(
         n->id(), n->options().ru_capacity,
         static_cast<double>(n->options().storage_capacity));
@@ -341,7 +422,20 @@ resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
       resched::ReplicaLoad rl;
       rl.tenant = rep->tenant;
       rl.partition = rep->partition;
+      // The replica's actual placement index (0 = primary), so the
+      // rescheduler's load model distinguishes second from third
+      // replicas instead of flattening every non-primary to 1.
       rl.replica_index = rep->is_primary ? 0 : 1;
+      if (const meta::TenantMeta* tm = meta_->GetTenant(rep->tenant)) {
+        if (rep->partition < tm->partitions.size()) {
+          const auto& reps = tm->partitions[rep->partition].replicas;
+          auto rit = std::find(reps.begin(), reps.end(), n->id());
+          if (rit != reps.end()) {
+            rl.replica_index =
+                static_cast<uint32_t>(std::distance(reps.begin(), rit));
+          }
+        }
+      }
       rl.ru = LoadVector::Constant(rep->ru_rate);
       rl.storage = LoadVector::Constant(
           static_cast<double>(rep->engine->ApproximateDataBytes()));

@@ -68,14 +68,27 @@ struct SimOptions {
   /// requests cannot grow the outcome table forever during long async
   /// runs. 0 keeps them indefinitely.
   int outcome_ttl_ticks = 256;
+  /// Failure-detection delay: ticks between a FailNode taking effect and
+  /// the MetaServer promoting surviving replicas to primary. 0 promotes
+  /// within the same tick the failure lands.
+  int failover_detection_ticks = 1;
+  /// Default catch-up duration of a recovering node: ticks spent
+  /// replaying its WAL before it rejoins and takes its primaries back
+  /// (RecoverNode's catch_up_ticks = -1 uses this).
+  int recovery_catch_up_ticks = 2;
 };
 
 /// Per-tenant metrics for one tick.
 struct TenantTickMetrics {
   uint64_t issued = 0;
   uint64_t ok = 0;
-  uint64_t errors = 0;     ///< Data-plane errors + proxy throttles.
-  uint64_t throttled = 0;  ///< Subset of errors: quota rejections.
+  uint64_t errors = 0;      ///< Data-plane errors + proxy throttles.
+  uint64_t throttled = 0;   ///< Subset of errors: quota rejections.
+  uint64_t unavailable = 0; ///< Subset of errors: failed/absent primaries.
+  /// Forwards that observed a stale routing epoch and chased a redirect
+  /// (refresh + retry). Failover cost made visible: without the cached
+  /// tables this was hidden by omniscient per-request routing.
+  uint64_t redirects = 0;
   uint64_t proxy_hits = 0;
   uint64_t node_cache_hits = 0;
   uint64_t disk_reads = 0;
@@ -115,6 +128,12 @@ struct TenantRuntime {
   /// parallel executor, so they must not share the sim-wide RNG.
   Rng router_rng{42};
   std::vector<std::unique_ptr<proxy::Proxy>> proxies;
+  /// Epoch-stamped routing cache: primary node per partition, refreshed
+  /// only when a forward proves unroutable under a stale epoch (the
+  /// redirect chase in RouteStage). The proxy plane never consults the
+  /// MetaServer per request.
+  uint64_t route_epoch = 0;
+  std::vector<NodeId> route_table;
   std::unique_ptr<WorkloadGenerator> workload;
   TenantTickMetrics current;
   std::vector<TenantTickMetrics> history;
@@ -196,6 +215,30 @@ class ClusterSim {
   /// executor, N > 1 = ParallelExecutor pool. Safe between ticks.
   void SetDataPlaneWorkers(int workers);
 
+  // -- Fault injection ------------------------------------------------------------
+
+  /// Crashes a node, effective at the next tick boundary (the Fault
+  /// stage): its queued and in-flight work is dropped and every stranded
+  /// request resolves Unavailable through the normal outcome path; after
+  /// SimOptions::failover_detection_ticks the MetaServer promotes
+  /// surviving replicas and bumps the routing epoch.
+  void FailNode(NodeId node);
+
+  /// Starts recovery of a failed node at the next tick boundary: its
+  /// engines replay their WALs, then the node spends `catch_up_ticks`
+  /// (< 0 = SimOptions::recovery_catch_up_ticks) catching up before it
+  /// rejoins and fails back to primary for the partitions it led.
+  void RecoverNode(NodeId node, int catch_up_ticks = -1);
+
+  /// Nodes currently not serving (failed or recovering).
+  size_t DownNodeCount() const;
+
+  /// Report of the most recent failover promotion (re-replication plan,
+  /// promoted-primary count), if any has happened.
+  const std::optional<meta::RecoveryReport>& LastFailoverReport() const {
+    return last_failover_report_;
+  }
+
   // -- Experiment switches --------------------------------------------------------
 
   void SetProxyQuotaEnabled(TenantId tenant, bool enabled);
@@ -238,6 +281,7 @@ class ClusterSim {
   size_t ApplyMigrations(const std::vector<resched::Migration>& migrations);
 
  private:
+  friend class FaultStage;
   friend class GenerateStage;
   friend class ProxyAdmitStage;
   friend class RouteStage;
@@ -266,6 +310,20 @@ class ClusterSim {
   void DeliverResponse(const NodeResponse& resp);
   void FinalizeTickMetrics();
 
+  /// Rebuilds a tenant's cached routing table from the MetaServer and
+  /// stamps it with the current epoch (the redirect chase; serial
+  /// sections only).
+  void RefreshRoutingTable(TenantRuntime& rt);
+
+  /// Primary for `partition` according to the tenant's cached table
+  /// (kInvalidNode when the table predates the partition).
+  NodeId CachedPrimary(const TenantRuntime& rt, PartitionId partition) const;
+
+  /// Resolves every in-flight request stranded on `node` as Unavailable
+  /// — proxy quota refund, tenant error metrics, PublishOutcome — in
+  /// req-id order. Serial sections only (the Fault stage).
+  void ResolveStrandedOnNode(NodeId node);
+
   /// Sim-wide id space for proxy cache-refresh fetches (above all client
   /// and workload id spaces; unique across every proxy of every tenant).
   uint64_t AllocateRefreshId() { return next_refresh_id_++; }
@@ -288,6 +346,19 @@ class ClusterSim {
   std::unordered_map<uint64_t, TrackedOutcome> outcomes_;
   /// One-shot completion callbacks by request id (SubscribeOutcome).
   std::unordered_map<uint64_t, OutcomeCallback> subscriptions_;
+  /// A queued fault-injection event, applied by the Fault stage at the
+  /// next tick boundary.
+  struct FaultEvent {
+    bool fail = true;  ///< false = recover.
+    NodeId node = kInvalidNode;
+    int catch_up_ticks = -1;  ///< Recover only; < 0 = options default.
+  };
+  std::vector<FaultEvent> pending_faults_;
+  /// Failed nodes awaiting failover promotion (failure detection), and
+  /// recovering nodes replaying their WALs; values are ticks remaining.
+  std::map<NodeId, int> failover_countdown_;
+  std::map<NodeId, int> recovery_countdown_;
+  std::optional<meta::RecoveryReport> last_failover_report_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;

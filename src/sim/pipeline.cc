@@ -11,6 +11,68 @@ namespace abase {
 namespace sim {
 
 // ---------------------------------------------------------------------------
+// Fault
+// ---------------------------------------------------------------------------
+
+void FaultStage::Run(TickContext&) {
+  ClusterSim& sim = *sim_;
+
+  // 1. Queued fault events land, in injection order.
+  for (const ClusterSim::FaultEvent& ev : sim.pending_faults_) {
+    node::DataNode* n = sim.FindNode(ev.node);
+    if (n == nullptr) continue;
+    if (ev.fail) {
+      if (n->state() == node::NodeState::kFailed) continue;
+      sim.recovery_countdown_.erase(ev.node);  // A crash aborts catch-up.
+      n->Fail();
+      sim.ResolveStrandedOnNode(ev.node);
+      sim.failover_countdown_[ev.node] =
+          sim.options_.failover_detection_ticks;
+    } else {
+      if (n->state() != node::NodeState::kFailed) continue;
+      // Recovery cancels a not-yet-run promotion (the node beat the
+      // failure detector); an already-promoted node fails back below.
+      sim.failover_countdown_.erase(ev.node);
+      n->StartRecovery();
+      sim.recovery_countdown_[ev.node] =
+          ev.catch_up_ticks >= 0 ? ev.catch_up_ticks
+                                 : sim.options_.recovery_catch_up_ticks;
+    }
+  }
+  sim.pending_faults_.clear();
+
+  // 2. Failure detection: promote surviving replicas when the countdown
+  //    expires (node-id order — std::map).
+  for (auto it = sim.failover_countdown_.begin();
+       it != sim.failover_countdown_.end();) {
+    if (it->second <= 0) {
+      auto report = sim.meta_->PromoteFailover(it->first);
+      if (report.ok()) sim.last_failover_report_ = std::move(report).value();
+      it = sim.failover_countdown_.erase(it);
+    } else {
+      it->second--;
+      ++it;
+    }
+  }
+
+  // 3. WAL catch-up: a recovered node rejoins and takes its primaries
+  //    back once its catch-up window closes.
+  for (auto it = sim.recovery_countdown_.begin();
+       it != sim.recovery_countdown_.end();) {
+    if (it->second <= 0) {
+      if (node::DataNode* n = sim.FindNode(it->first)) {
+        n->CompleteRecovery();
+      }
+      sim.meta_->RestorePrimary(it->first);
+      it = sim.recovery_countdown_.erase(it);
+    } else {
+      it->second--;
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Generate
 // ---------------------------------------------------------------------------
 
@@ -154,6 +216,7 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
         fwd.ctx.tenant = tid;
         fwd.ctx.proxy_index = p;
         fwd.ctx.track_outcome = false;
+        fwd.ctx.background = true;
         ctx.forwards.push_back(std::move(fwd));
       }
     }
@@ -167,28 +230,54 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
 void RouteStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
 
-  // Serial pass: resolve primaries, register the in-flight contexts
-  // (sim-wide table), and batch forwards per destination node.
+  // Serial pass: resolve primaries against each tenant's cached routing
+  // table, register the in-flight contexts (sim-wide table), and batch
+  // forwards per destination node. The destination must be alive AND
+  // acknowledge itself primary for the partition — the node-side check
+  // that stands in for a production MOVED reply.
   std::vector<std::vector<const NodeRequest*>> batches(sim.nodes_.size());
   for (PendingForward& fwd : ctx.forwards) {
     const NodeRequest& req = fwd.request;
-    NodeId nid = sim.meta_->PrimaryFor(req.tenant, req.partition);
-    node::DataNode* n = sim.FindNode(nid);
+    auto tit = sim.tenants_.find(fwd.ctx.tenant);
+    TenantRuntime* rt = tit != sim.tenants_.end() ? &tit->second : nullptr;
+    node::DataNode* n = nullptr;
+    if (rt != nullptr) {
+      auto routable = [&](node::DataNode* dest) {
+        return dest != nullptr && dest->CanServe() &&
+               dest->IsPrimaryFor(req.tenant, req.partition);
+      };
+      n = sim.FindNode(sim.CachedPrimary(*rt, req.partition));
+      if (!routable(n) && rt->route_epoch != sim.meta_->routing_epoch()) {
+        // Stale-epoch forward: chase the redirect — refresh the cached
+        // table from the MetaServer and retry once.
+        sim.RefreshRoutingTable(*rt);
+        if (!req.background_refresh) rt->current.redirects++;
+        n = sim.FindNode(sim.CachedPrimary(*rt, req.partition));
+      }
+      if (!routable(n)) n = nullptr;
+    }
     if (n == nullptr) {
       if (req.background_refresh) continue;  // Refresh silently dropped.
-      auto it = sim.tenants_.find(fwd.ctx.tenant);
-      if (it != sim.tenants_.end()) it->second.current.errors++;
+      if (rt != nullptr) {
+        rt->current.errors++;
+        rt->current.unavailable++;
+        // The proxy admitted this forward; refund its quota estimate.
+        if (fwd.ctx.proxy_index < rt->proxies.size()) {
+          rt->proxies[fwd.ctx.proxy_index]->AbandonForward(req.req_id);
+        }
+      }
       if (fwd.ctx.track_outcome) {
         sim.PublishOutcome(req.req_id,
                            ClientOutcome{Status::Unavailable("no primary"), ""});
       }
       continue;
     }
+    fwd.ctx.node = n->id();
     sim.inflight_[req.req_id] = fwd.ctx;
     // Node ids are dense (assigned by the sim in creation order), so the
     // id indexes the batch table directly.
-    assert(static_cast<size_t>(nid) < batches.size());
-    batches[static_cast<size_t>(nid)].push_back(&req);
+    assert(static_cast<size_t>(n->id()) < batches.size());
+    batches[static_cast<size_t>(n->id())].push_back(&req);
   }
 
   // Parallel pass: submission — partition-quota admission and WFQ
@@ -263,6 +352,7 @@ void SettleStage::Run(TickContext& ctx) {
 // ---------------------------------------------------------------------------
 
 TickPipeline::TickPipeline(ClusterSim* sim) {
+  stages_.push_back(std::make_unique<FaultStage>(sim));
   stages_.push_back(std::make_unique<GenerateStage>(sim));
   stages_.push_back(std::make_unique<ProxyAdmitStage>(sim));
   stages_.push_back(std::make_unique<RouteStage>(sim));

@@ -2,8 +2,12 @@
 //
 // ClusterSim::Tick() used to be one monolithic loop that interleaved
 // workload generation, proxy admission, routing, node scheduling, and
-// response settlement inline. It is now an explicit five-stage pipeline:
+// response settlement inline. It is now an explicit six-stage pipeline:
 //
+//   Fault        queued FailNode/RecoverNode events land (serial): dead
+//       |        nodes drop their work and stranded in-flight requests
+//       |        resolve Unavailable; failure-detection and WAL catch-up
+//       |        countdowns advance (failover promotion / failback)
 //   Generate     tenant workload generators (parallel per tenant) +
 //       |        injected client requests
 //       |        -> TickContext::traffic / injected
@@ -11,9 +15,10 @@
 //       |        per tenant — each tenant owns its proxies, router RNG
 //       |        stream, and metrics), plus AU-LRU refresh fetches
 //       |        -> TickContext::forwards (PendingForward)
-//   Route        partition -> primary DataNode lookup and in-flight
-//       |        registration (serial), then per-node submission
-//       |        (parallel per node)
+//   Route        partition -> primary DataNode resolution against the
+//       |        tenant's epoch-stamped routing cache, with a redirect
+//       |        chase on stale entries, and in-flight registration
+//       |        (serial), then per-node submission (parallel per node)
 //   NodeSchedule every DataNode runs its WFQ tick (parallel per node)
 //       |        -> TickContext::responses (merged in node-id order)
 //   Settle       response delivery to proxies / metrics / client
@@ -84,6 +89,23 @@ class Stage {
   virtual void Run(TickContext& ctx) = 0;
 };
 
+/// Applies the fault events queued since the last tick (ClusterSim::
+/// FailNode / RecoverNode) and advances the failure-detection and
+/// recovery catch-up countdowns: promotion of surviving replicas after
+/// the detection delay, failback once a recovered node finishes its WAL
+/// catch-up. Entirely serial — node lifecycle and placement are sim-wide
+/// state — and first in the tick, so a fault is effective at a tick
+/// boundary no matter when it was injected.
+class FaultStage final : public Stage {
+ public:
+  explicit FaultStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Fault"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
 /// Emits this tick's client traffic: every tenant's workload generator
 /// (concurrently — each generator owns a private RNG stream) plus
 /// externally injected requests.
@@ -128,10 +150,15 @@ class ProxyAdmitStage final : public Stage {
   ClusterSim* sim_;
 };
 
-/// Resolves each forward's partition to its primary DataNode and
-/// registers the RequestContext in the simulator's in-flight table
-/// (serial), then submits each node's batch (parallel — partition-quota
-/// admission and WFQ enqueue touch only that node's state).
+/// Resolves each forward's partition to a primary DataNode against its
+/// tenant's epoch-stamped routing cache — NOT the MetaServer oracle. A
+/// forward whose cached entry is unroutable (failed node, demoted or
+/// absent replica) under a stale epoch chases one redirect: the table
+/// refreshes and the resolve retries (counted per forward in
+/// TenantTickMetrics::redirects). Still-unroutable forwards settle as
+/// Unavailable through PublishOutcome. Registration is serial; each
+/// node's batch is then submitted in parallel (partition-quota admission
+/// and WFQ enqueue touch only that node's state).
 class RouteStage final : public Stage {
  public:
   explicit RouteStage(ClusterSim* sim) : sim_(sim) {}
@@ -172,7 +199,7 @@ class SettleStage final : public Stage {
   ClusterSim* sim_;
 };
 
-/// The five stages, in order. Owned by the ClusterSim; tests may run
+/// The six stages, in order. Owned by the ClusterSim; tests may run
 /// stages one at a time against their own TickContext.
 class TickPipeline {
  public:

@@ -28,7 +28,9 @@ struct ClientOutcome {
 
 /// State the simulator keeps for a request that crossed into the data
 /// plane. Created by the Route stage when a forward is submitted to a
-/// DataNode; consumed by the Settle stage when the response comes back.
+/// DataNode; consumed by the Settle stage when the response comes back —
+/// or by the fault path, which resolves every context stranded on a
+/// failed node as Unavailable.
 struct RequestContext {
   TenantId tenant = 0;
   /// Index of the proxy that forwarded the request (settlement + cache
@@ -37,6 +39,12 @@ struct RequestContext {
   /// True when a synchronous caller (abase::Client) awaits the outcome;
   /// the Settle stage then records a ClientOutcome under the request id.
   bool track_outcome = false;
+  /// True for proxy cache-refresh fetches: not client-visible, so the
+  /// fault path drops them without charging tenant error metrics.
+  bool background = false;
+  /// DataNode the request was submitted to (set by Route), so a node
+  /// failure can find and resolve everything stranded on it.
+  NodeId node = kInvalidNode;
 };
 
 /// A proxy-admitted request on its way to the data plane: the output of

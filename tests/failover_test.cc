@@ -1,0 +1,407 @@
+// Tests for the live node failure domain: DataNode lifecycle, the Fault
+// pipeline stage, epoch-versioned routing with redirect chases, stranded
+// in-flight resolution, WAL catch-up with primary failback, and the
+// determinism of a mid-run failover under any data-plane worker count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/abase.h"
+#include "node/data_node.h"
+#include "sim/cluster_sim.h"
+
+namespace abase {
+namespace {
+
+// ----------------------------------------------------------- Node lifecycle --
+
+TEST(NodeLifecycleTest, FailedNodeRejectsSubmissionsAndDropsWork) {
+  SimClock clock(0);
+  node::DataNode node(0, node::DataNodeOptions{}, &clock);
+  node.AddReplica(1, 0, /*partition_quota_ru=*/1000, /*is_primary=*/true);
+  ASSERT_TRUE(node.EngineFor(1, 0)->Put("k", "v").ok());
+
+  NodeRequest req;
+  req.req_id = 1;
+  req.tenant = 1;
+  req.partition = 0;
+  req.op = OpType::kGet;
+  req.key = "k";
+  node.Submit(req);
+  EXPECT_EQ(node.state(), node::NodeState::kAlive);
+
+  node.Fail();
+  EXPECT_EQ(node.state(), node::NodeState::kFailed);
+  // The queued request was dropped: ticking produces no response for it.
+  node.Tick();
+  EXPECT_TRUE(node.TakeResponses().empty());
+
+  // Submissions while down come back Unavailable immediately.
+  req.req_id = 2;
+  node.Submit(req);
+  auto rejected = node.TakeResponses();
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_TRUE(rejected[0].status.IsUnavailable());
+
+  // Recovery replays the WAL: the engine still serves pre-crash keys.
+  node.StartRecovery();
+  EXPECT_EQ(node.state(), node::NodeState::kRecovering);
+  node.CompleteRecovery();
+  EXPECT_EQ(node.state(), node::NodeState::kAlive);
+  auto r = node.EngineFor(1, 0)->Get("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v");
+}
+
+TEST(NodeLifecycleTest, PrimaryFlagFollowsMetaPromotion) {
+  SimClock clock(0);
+  node::DataNode node(0, node::DataNodeOptions{}, &clock);
+  node.AddReplica(1, 0, 1000, /*is_primary=*/true);
+  EXPECT_TRUE(node.IsPrimaryFor(1, 0));
+  node.SetReplicaPrimary(1, 0, false);
+  EXPECT_FALSE(node.IsPrimaryFor(1, 0));
+  EXPECT_FALSE(node.IsPrimaryFor(1, 99));  // Not hosted at all.
+}
+
+// ------------------------------------------------------------ Failover flow --
+
+meta::TenantConfig FailoverTenant(TenantId id, uint32_t partitions = 1,
+                                  int replicas = 3) {
+  meta::TenantConfig c;
+  c.id = id;
+  c.name = "t" + std::to_string(id);
+  c.tenant_quota_ru = 50000;
+  c.num_partitions = partitions;
+  c.num_proxies = 2;
+  c.num_proxy_groups = 1;
+  c.replicas = replicas;
+  return c;
+}
+
+TEST(FailoverTest, WalCatchUpRestoresPreCrashKeysAfterFailback) {
+  ClusterOptions copts;
+  copts.sim.seed = 31;
+  copts.sim.failover_detection_ticks = 1;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+  Client client = cluster.OpenClient(1);
+
+  constexpr int kKeys = 10;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(client.Set("k" + std::to_string(i),
+                           "v" + std::to_string(i)).ok());
+  }
+
+  const NodeId primary = cluster.meta().PrimaryFor(1, 0);
+  ASSERT_NE(primary, kInvalidNode);
+  const uint64_t epoch_before = cluster.RoutingEpoch();
+
+  // Kill the primary. Before the failure detector fires, the routing
+  // table still points at the dead node and requests resolve Unavailable.
+  cluster.FailNode(primary);
+  auto in_window = client.Get("k0");
+  EXPECT_TRUE(in_window.status().IsUnavailable());
+
+  // After the detection delay, a surviving replica is promoted and the
+  // routing epoch moves.
+  cluster.RunTicks(3);
+  EXPECT_EQ(cluster.sim().DownNodeCount(), 1u);
+  EXPECT_NE(cluster.meta().PrimaryFor(1, 0), primary);
+  EXPECT_GT(cluster.RoutingEpoch(), epoch_before);
+  ASSERT_TRUE(cluster.sim().LastFailoverReport().has_value());
+  EXPECT_EQ(cluster.sim().LastFailoverReport()->primaries_promoted, 1u);
+  EXPECT_FALSE(
+      cluster.sim().LastFailoverReport()->re_replication_targets.empty());
+
+  // The promoted replica holds no data (replication is metadata-only in
+  // the simulator): reads come back NotFound, but they are *answered* —
+  // the failure window is degraded, not wedged.
+  auto degraded = client.Get("k0");
+  EXPECT_FALSE(degraded.ok());
+  EXPECT_TRUE(degraded.status().IsNotFound());
+
+  // Recover: WAL replay + catch-up ticks, then failback to primary.
+  cluster.RecoverNode(primary, /*catch_up_ticks=*/2);
+  cluster.RunTicks(4);
+  EXPECT_EQ(cluster.sim().DownNodeCount(), 0u);
+  EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), primary);
+
+  // Post-recovery reads return every pre-crash value via WAL replay.
+  for (int i = 0; i < kKeys; i++) {
+    auto r = client.Get("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "k" << i << ": " << r.status().ToString();
+    EXPECT_EQ(r.value(), "v" + std::to_string(i));
+  }
+
+  // The failure window left visible fingerprints in the tenant metrics:
+  // Unavailable resolutions while the primary was dark, and at least one
+  // redirect chase per epoch change.
+  uint64_t unavailable = 0, redirects = 0;
+  for (const auto& m : cluster.sim().History(1)) {
+    unavailable += m.unavailable;
+    redirects += m.redirects;
+  }
+  EXPECT_GT(unavailable, 0u);
+  EXPECT_GE(redirects, 2u);  // Failover redirect + failback redirect.
+}
+
+TEST(FailoverTest, StrandedInflightRequestsResolveUnavailable) {
+  ClusterOptions copts;
+  copts.sim.seed = 17;
+  // Tiny CPU budget so most of a burst defers across tick boundaries and
+  // is genuinely in flight when the crash lands.
+  copts.sim.node.wfq.cpu_budget_ru = 25;
+  copts.sim.failover_detection_ticks = 1;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(3);
+  ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+  cluster.sim().PreloadKeys(1, 64, 64);
+  Client client = cluster.OpenClient(1);
+
+  std::vector<Command> cmds;
+  for (int i = 0; i < 200; i++) {
+    cmds.push_back(Command::Get("t1:k" + std::to_string(i % 64)));
+  }
+  std::vector<Future<Reply>> futures = client.SubmitBatch(std::move(cmds));
+
+  cluster.Step();
+  ASSERT_GT(cluster.sim().InflightCount(), 0u)
+      << "burst did not back up; the test would not exercise stranding";
+
+  const NodeId primary = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(primary);
+  cluster.Step();  // Fault stage drops the node; stranded ids resolve.
+  EXPECT_EQ(cluster.sim().InflightCount(), 0u);
+
+  cluster.Drain();
+  EXPECT_EQ(cluster.PendingCommands(), 0u);
+  EXPECT_EQ(cluster.sim().OutcomeSubscriptionCount(), 0u);
+
+  size_t ok = 0, unavailable = 0, other = 0;
+  for (const auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    if (f->ok() || f->status.IsNotFound()) {
+      ok++;
+    } else if (f->status.IsUnavailable()) {
+      unavailable++;
+    } else {
+      other++;
+    }
+  }
+  EXPECT_GT(ok, 0u);           // The pre-crash tick served some.
+  EXPECT_GT(unavailable, 0u);  // The stranded remainder all resolved.
+  EXPECT_EQ(ok + unavailable + other, futures.size());
+}
+
+TEST(FailoverTest, OverlappingFailuresFailBackToOldestPrimary) {
+  // A (original primary, holds the data) fails -> B promoted. B fails
+  // while interim primary -> C promoted. Whichever order A and B recover
+  // in, A must end up leading again: B's engine only holds its brief
+  // interim window, so letting it usurp A would flip pre-crash keys back
+  // to NotFound.
+  for (bool b_recovers_first : {false, true}) {
+    ClusterOptions copts;
+    copts.sim.seed = 47;
+    copts.sim.failover_detection_ticks = 0;
+    Cluster cluster(copts);
+    PoolId pool = cluster.CreatePool(3);
+    ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+    Client client = cluster.OpenClient(1);
+    ASSERT_TRUE(client.Set("k", "pre-crash").ok());
+
+    const NodeId a = cluster.meta().PrimaryFor(1, 0);
+    cluster.FailNode(a);
+    cluster.RunTicks(2);
+    const NodeId b = cluster.meta().PrimaryFor(1, 0);
+    ASSERT_NE(b, a);
+    cluster.FailNode(b);
+    cluster.RunTicks(2);
+    ASSERT_NE(cluster.meta().PrimaryFor(1, 0), b);  // C leads.
+
+    const NodeId first = b_recovers_first ? b : a;
+    const NodeId second = b_recovers_first ? a : b;
+    cluster.RecoverNode(first, 1);
+    cluster.RunTicks(3);
+    cluster.RecoverNode(second, 1);
+    cluster.RunTicks(3);
+
+    EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), a)
+        << "b_recovers_first=" << b_recovers_first;
+    auto r = client.Get("k");
+    ASSERT_TRUE(r.ok()) << "b_recovers_first=" << b_recovers_first << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r.value(), "pre-crash");
+  }
+}
+
+TEST(FailoverTest, SingleReplicaPartitionStaysUnavailableUntilRecovery) {
+  ClusterOptions copts;
+  copts.sim.seed = 23;
+  copts.sim.failover_detection_ticks = 0;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(3);
+  ASSERT_TRUE(
+      cluster.CreateTenant(FailoverTenant(1, 1, /*replicas=*/1), pool).ok());
+  Client client = cluster.OpenClient(1);
+  ASSERT_TRUE(client.Set("k", "v").ok());
+
+  const NodeId primary = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(primary);
+  cluster.RunTicks(2);
+
+  // No surviving replica to promote: the partition keeps its dead
+  // primary and requests resolve Unavailable.
+  EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), primary);
+  auto during = client.Get("k");
+  EXPECT_TRUE(during.status().IsUnavailable());
+
+  cluster.RecoverNode(primary, 1);
+  cluster.RunTicks(3);
+  auto after = client.Get("k");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "v");
+}
+
+TEST(FailoverTest, PermanentLossForfeitsFailbackClaims) {
+  // A fails live -> B promoted (A holds a failback claim). The operator
+  // then declares A permanently lost. A's ghost claim must not block B's
+  // own failback after B later fails and recovers.
+  ClusterOptions copts;
+  copts.sim.seed = 61;
+  copts.sim.failover_detection_ticks = 0;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+  Client client = cluster.OpenClient(1);
+  ASSERT_TRUE(client.Set("k", "v").ok());
+
+  const NodeId a = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(a);
+  cluster.RunTicks(2);
+  const NodeId b = cluster.meta().PrimaryFor(1, 0);
+  ASSERT_NE(b, a);
+  ASSERT_TRUE(cluster.meta().FailNode(pool, a).ok());  // Permanent loss.
+
+  cluster.FailNode(b);
+  cluster.RunTicks(2);
+  ASSERT_NE(cluster.meta().PrimaryFor(1, 0), b);
+  cluster.RecoverNode(b, 1);
+  cluster.RunTicks(3);
+  EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), b);
+}
+
+TEST(FailoverTest, DownNodesInvisibleToReschedulingAndMigration) {
+  ClusterOptions copts;
+  copts.sim.seed = 53;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  ASSERT_TRUE(
+      cluster.CreateTenant(FailoverTenant(1, /*partitions=*/4), pool).ok());
+
+  const NodeId victim = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(victim);
+  cluster.RunTicks(2);
+
+  // The pool model omits the dead node entirely — its zeroed load must
+  // not make it the pool's most attractive migration destination.
+  resched::PoolModel model = cluster.sim().BuildPoolModel(pool);
+  EXPECT_EQ(model.nodes().size(), 3u);
+  for (const auto& nm : model.nodes()) {
+    EXPECT_NE(nm.id(), victim);
+  }
+
+  // And a direct migration onto it is rejected.
+  NodeId src = cluster.meta().PrimaryFor(1, 1);
+  Status st = cluster.meta().MigrateReplica(1, 1, src, victim);
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+}
+
+// ------------------------------------------------------------- Determinism --
+
+/// The pipeline_test determinism scenario with a mid-run primary failure
+/// and recovery spliced in at fixed ticks.
+std::vector<std::vector<sim::TenantTickMetrics>> RunFailoverScenario(
+    int workers, size_t ticks) {
+  sim::SimOptions opt;
+  opt.seed = 4321;
+  opt.data_plane_workers = workers;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(16);
+
+  constexpr TenantId kTenants = 8;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    meta::TenantConfig c = FailoverTenant(t, /*partitions=*/4);
+    c.tenant_quota_ru = 20000 + 1000.0 * t;
+    c.num_proxies = 2;
+    EXPECT_TRUE(sim.AddTenant(c, pool).ok());
+    sim.PreloadKeys(t, /*num_keys=*/200, /*value_bytes=*/256);
+
+    sim::WorkloadProfile profile;
+    profile.base_qps = 150 + 30.0 * t;
+    profile.read_ratio = (t % 2 == 0) ? 0.95 : 0.6;
+    profile.num_keys = 200;
+    profile.value_bytes = 256;
+    sim.SetWorkload(t, profile);
+  }
+
+  const NodeId victim = sim.meta().PrimaryFor(1, 0);
+  for (size_t tick = 0; tick < ticks; tick++) {
+    if (tick == 6) sim.FailNode(victim);
+    if (tick == 13) sim.RecoverNode(victim, 2);
+    sim.Tick();
+  }
+
+  std::vector<std::vector<sim::TenantTickMetrics>> histories;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    histories.push_back(sim.History(t));
+  }
+  return histories;
+}
+
+TEST(FailoverTest, MidRunFailoverBitIdenticalAcrossWorkers) {
+  constexpr size_t kTicks = 24;
+  auto serial = RunFailoverScenario(/*workers=*/1, kTicks);
+  ASSERT_FALSE(serial.empty());
+
+  // The scenario must actually exercise the failure domain.
+  uint64_t unavailable = 0, redirects = 0;
+  for (const auto& history : serial) {
+    for (const auto& m : history) {
+      unavailable += m.unavailable;
+      redirects += m.redirects;
+    }
+  }
+  EXPECT_GT(unavailable, 0u);
+  EXPECT_GT(redirects, 0u);
+
+  for (int workers : {2, 4}) {
+    auto parallel = RunFailoverScenario(workers, kTicks);
+    ASSERT_EQ(parallel.size(), serial.size()) << workers << " workers";
+    for (size_t t = 0; t < serial.size(); t++) {
+      ASSERT_EQ(parallel[t].size(), serial[t].size())
+          << workers << " workers, tenant " << t + 1;
+      for (size_t tick = 0; tick < serial[t].size(); tick++) {
+        const auto& a = serial[t][tick];
+        const auto& b = parallel[t][tick];
+        ASSERT_TRUE(a.issued == b.issued && a.ok == b.ok &&
+                    a.errors == b.errors && a.throttled == b.throttled &&
+                    a.unavailable == b.unavailable &&
+                    a.redirects == b.redirects &&
+                    a.proxy_hits == b.proxy_hits &&
+                    a.node_cache_hits == b.node_cache_hits &&
+                    a.disk_reads == b.disk_reads &&
+                    a.reads_completed == b.reads_completed &&
+                    a.ru_charged == b.ru_charged &&
+                    a.latency_sum == b.latency_sum &&
+                    a.latency_max == b.latency_max &&
+                    a.latency_count == b.latency_count)
+            << workers << " workers, tenant " << t + 1 << ", tick " << tick;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abase

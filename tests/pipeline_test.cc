@@ -81,25 +81,30 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   sim.InjectRequest(req);
 
   sim::TickPipeline& pipeline = sim.pipeline();
-  ASSERT_EQ(pipeline.num_stages(), 5u);
-  EXPECT_STREQ(pipeline.stage(0).name(), "Generate");
-  EXPECT_STREQ(pipeline.stage(1).name(), "ProxyAdmit");
-  EXPECT_STREQ(pipeline.stage(2).name(), "Route");
-  EXPECT_STREQ(pipeline.stage(3).name(), "NodeSchedule");
-  EXPECT_STREQ(pipeline.stage(4).name(), "Settle");
+  ASSERT_EQ(pipeline.num_stages(), 6u);
+  EXPECT_STREQ(pipeline.stage(0).name(), "Fault");
+  EXPECT_STREQ(pipeline.stage(1).name(), "Generate");
+  EXPECT_STREQ(pipeline.stage(2).name(), "ProxyAdmit");
+  EXPECT_STREQ(pipeline.stage(3).name(), "Route");
+  EXPECT_STREQ(pipeline.stage(4).name(), "NodeSchedule");
+  EXPECT_STREQ(pipeline.stage(5).name(), "Settle");
 
   sim::TickContext ctx;
 
+  // Fault: nothing queued; every node stays alive.
+  pipeline.stage(0).Run(ctx);
+  EXPECT_EQ(sim.DownNodeCount(), 0u);
+
   // Generate: the injected request becomes this tick's client traffic
   // (no workload generators are attached, so no bulk tenant traffic).
-  pipeline.stage(0).Run(ctx);
+  pipeline.stage(1).Run(ctx);
   EXPECT_TRUE(ctx.traffic.empty());
   ASSERT_EQ(ctx.injected.size(), 1u);
   EXPECT_EQ(ctx.injected[0].req_id, 424242u);
 
   // ProxyAdmit: cold cache, ample quota -> forwarded toward the data
   // plane with the proxy's RU estimate attached.
-  pipeline.stage(1).Run(ctx);
+  pipeline.stage(2).Run(ctx);
   ASSERT_EQ(ctx.forwards.size(), 1u);
   EXPECT_EQ(ctx.forwards[0].request.req_id, 424242u);
   EXPECT_EQ(ctx.forwards[0].ctx.tenant, 1u);
@@ -109,17 +114,17 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
 
   // Route: the forward lands on the partition primary and is registered
   // in-flight.
-  pipeline.stage(2).Run(ctx);
+  pipeline.stage(3).Run(ctx);
   EXPECT_EQ(sim.InflightCount(), 1u);
 
   // NodeSchedule: the WFQ serves it; the response merges back.
-  pipeline.stage(3).Run(ctx);
+  pipeline.stage(4).Run(ctx);
   ASSERT_EQ(ctx.responses.size(), 1u);
   EXPECT_EQ(ctx.responses[0].req_id, 424242u);
   EXPECT_TRUE(ctx.responses[0].status.ok());
 
   // Settle: metrics recorded, outcome available, clock advanced.
-  pipeline.stage(4).Run(ctx);
+  pipeline.stage(5).Run(ctx);
   EXPECT_EQ(sim.InflightCount(), 0u);
   auto outcome = sim.TakeOutcome(424242u);
   ASSERT_TRUE(outcome.has_value());
@@ -136,7 +141,8 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
 bool MetricsEqual(const sim::TenantTickMetrics& a,
                   const sim::TenantTickMetrics& b) {
   return a.issued == b.issued && a.ok == b.ok && a.errors == b.errors &&
-         a.throttled == b.throttled && a.proxy_hits == b.proxy_hits &&
+         a.throttled == b.throttled && a.unavailable == b.unavailable &&
+         a.redirects == b.redirects && a.proxy_hits == b.proxy_hits &&
          a.node_cache_hits == b.node_cache_hits &&
          a.disk_reads == b.disk_reads &&
          a.reads_completed == b.reads_completed &&
