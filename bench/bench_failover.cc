@@ -13,18 +13,28 @@
 // Unavailable resolution, relative to the failure tick), the error-window
 // area (total Unavailable resolutions), and total redirect chases.
 //
+// A second sweep drives the replication-lag axis: a steady acknowledged
+// write stream, a mid-run primary kill, recovery and failback — per
+// `SimOptions::replication_lag_ticks`, reporting the acknowledged writes
+// lost at failover (promotion report) and still lost after failback
+// (client-measured: the divergent suffix is discarded by the resync).
+//
 // Gates (enforced by exit code):
 //   * the replicas=3 run replayed under 2 and 4 data-plane workers must
 //     reproduce the serial TenantTickMetrics history bit-for-bit;
-//   * replicas>=2 must shrink the error window vs replicas=1.
+//   * replicas>=2 must shrink the error window vs replicas=1;
+//   * replication lag 0 must lose ZERO acknowledged writes, and the
+//     lost-write window must grow monotonically with the lag.
 //
 // Writes BENCH_failover.json (overwritten per run; CI archives
 // BENCH_*.json as artifacts).
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/abase.h"
 #include "sim/cluster_sim.h"
 
 namespace abase {
@@ -45,6 +55,79 @@ struct FailoverRun {
   uint64_t ok_total = 0;
   std::vector<sim::TenantTickMetrics> history;
 };
+
+/// One point on the replication-lag axis: a steady acknowledged write
+/// stream, a primary kill, recovery + failback, and the lost-write
+/// accounting at both ends.
+struct LagRun {
+  int lag = 0;
+  size_t acked_writes = 0;
+  uint64_t lost_at_failover = 0;     ///< Promotion report accounting.
+  uint64_t lost_after_failback = 0;  ///< Client-measured unreadable keys.
+};
+
+LagRun RunLagAxis(int lag) {
+  ClusterOptions copts;
+  copts.sim.seed = 271;
+  copts.sim.failover_detection_ticks = 0;
+  copts.sim.replication_lag_ticks = lag;
+  // Keep executed re-replication out of this axis: the node comes back
+  // and fails back, which is the path whose data loss we are measuring.
+  copts.sim.re_replication_delay_ticks = 256;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "lag-axis";
+  cfg.tenant_quota_ru = 100000;
+  cfg.num_partitions = 1;
+  cfg.num_proxies = 2;
+  cfg.num_proxy_groups = 1;
+  cfg.replicas = 3;
+  (void)cluster.CreateTenant(cfg, pool);
+  // Reads must measure engine state, not proxy-cached copies.
+  cluster.sim().SetProxyCacheEnabled(1, false);
+  Client client = cluster.OpenClient(1);
+
+  constexpr int kWriteTicks = 12;
+  constexpr int kWritesPerTick = 4;
+  std::vector<std::string> acked;
+  for (int t = 0; t < kWriteTicks; t++) {
+    std::vector<Command> batch;
+    std::vector<std::string> keys;
+    for (int i = 0; i < kWritesPerTick; i++) {
+      std::string key = "w" + std::to_string(t) + "_" + std::to_string(i);
+      keys.push_back(key);
+      batch.push_back(Command::Set(key, "v"));
+    }
+    std::vector<Future<Reply>> futures = client.SubmitBatch(std::move(batch));
+    cluster.Step();
+    for (size_t i = 0; i < futures.size(); i++) {
+      if (futures[i].ready() && (*futures[i]).ok()) acked.push_back(keys[i]);
+    }
+  }
+
+  const NodeId victim = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(victim);
+  cluster.RunTicks(2);  // Crash lands; detection 0 promotes immediately.
+
+  LagRun run;
+  run.lag = lag;
+  run.acked_writes = acked.size();
+  if (cluster.sim().LastFailoverReport().has_value()) {
+    run.lost_at_failover =
+        cluster.sim().LastFailoverReport()->lost_acked_writes;
+  }
+
+  // Recovery + failback: the divergent acknowledged suffix is discarded
+  // by the resync, so the loss persists into steady state.
+  cluster.RecoverNode(victim, /*catch_up_ticks=*/-1);
+  cluster.RunTicks(6);
+  for (const std::string& key : acked) {
+    if (!client.Get(key).ok()) run.lost_after_failback++;
+  }
+  return run;
+}
 
 uint64_t Mix64(uint64_t h, uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
@@ -67,6 +150,8 @@ uint64_t Fingerprint(const std::vector<sim::TenantTickMetrics>& history) {
     h = Mix64(h, m.throttled);
     h = Mix64(h, m.unavailable);
     h = Mix64(h, m.redirects);
+    h = Mix64(h, m.replica_reads);
+    h = Mix64(h, m.replica_lag_sum);
     h = Mix64(h, m.proxy_hits);
     h = Mix64(h, m.node_cache_hits);
     h = Mix64(h, m.disk_reads);
@@ -179,6 +264,36 @@ int main() {
                 same ? "bit-identical" : "MISMATCH");
   }
 
+  // Replication-lag axis: acknowledged writes lost at failover and still
+  // lost after failback, per configured lag.
+  std::printf("\n%6s %12s %18s %20s\n", "lag", "acked", "lost_at_failover",
+              "lost_after_failback");
+  std::vector<abase::bench::LagRun> lag_runs;
+  for (int lag : {0, 1, 2, 4}) {
+    abase::bench::LagRun r = abase::bench::RunLagAxis(lag);
+    std::printf("%6d %12zu %18llu %20llu\n", r.lag, r.acked_writes,
+                static_cast<unsigned long long>(r.lost_at_failover),
+                static_cast<unsigned long long>(r.lost_after_failback));
+    lag_runs.push_back(r);
+  }
+
+  // Lag gates: lag 0 loses nothing; the window grows monotonically.
+  bool lag_zero_lossless = lag_runs[0].lost_at_failover == 0 &&
+                           lag_runs[0].lost_after_failback == 0;
+  bool lag_monotone = true;
+  for (size_t i = 1; i < lag_runs.size(); i++) {
+    lag_monotone = lag_monotone &&
+                   lag_runs[i].lost_at_failover >=
+                       lag_runs[i - 1].lost_at_failover &&
+                   lag_runs[i].lost_after_failback >=
+                       lag_runs[i - 1].lost_after_failback;
+  }
+  lag_monotone = lag_monotone && lag_runs.back().lost_at_failover > 0;
+  std::printf("lag=0 loses zero acked writes: %s\n",
+              lag_zero_lossless ? "yes" : "NO (regression)");
+  std::printf("lost-write window grows with lag: %s\n",
+              lag_monotone ? "yes" : "NO (regression)");
+
   FILE* f = std::fopen("BENCH_failover.json", "w");
   if (f != nullptr) {
     std::fprintf(f,
@@ -186,11 +301,15 @@ int main() {
                  "\"fail_ticks\":%zu,\"after_ticks\":%zu,"
                  "\"catch_up_ticks\":%d,"
                  "\"deterministic_across_workers\":%s,"
-                 "\"replicas_shrink_error_window\":%s,\"results\":[",
+                 "\"replicas_shrink_error_window\":%s,"
+                 "\"lag_zero_lossless\":%s,"
+                 "\"lost_writes_grow_with_lag\":%s,\"results\":[",
                  abase::bench::kWarmupTicks, abase::bench::kFailTicks,
                  abase::bench::kAfterTicks, abase::bench::kCatchUpTicks,
                  deterministic ? "true" : "false",
-                 replicas_help ? "true" : "false");
+                 replicas_help ? "true" : "false",
+                 lag_zero_lossless ? "true" : "false",
+                 lag_monotone ? "true" : "false");
     for (size_t i = 0; i < runs.size(); i++) {
       const FailoverRun& r = runs[i];
       std::fprintf(f,
@@ -202,9 +321,21 @@ int main() {
                    static_cast<unsigned long long>(r.redirects),
                    static_cast<unsigned long long>(r.ok_total));
     }
+    std::fprintf(f, "],\"lag_results\":[");
+    for (size_t i = 0; i < lag_runs.size(); i++) {
+      const abase::bench::LagRun& r = lag_runs[i];
+      std::fprintf(f,
+                   "%s{\"replication_lag_ticks\":%d,\"acked_writes\":%zu,"
+                   "\"lost_at_failover\":%llu,\"lost_after_failback\":%llu}",
+                   i == 0 ? "" : ",", r.lag, r.acked_writes,
+                   static_cast<unsigned long long>(r.lost_at_failover),
+                   static_cast<unsigned long long>(r.lost_after_failback));
+    }
     std::fprintf(f, "]}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_failover.json\n");
   }
-  return deterministic && replicas_help ? 0 : 1;
+  return deterministic && replicas_help && lag_zero_lossless && lag_monotone
+             ? 0
+             : 1;
 }

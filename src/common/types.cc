@@ -24,6 +24,16 @@ const char* OpTypeName(OpType op) {
   return "UNKNOWN";
 }
 
+const char* ConsistencyName(Consistency c) {
+  switch (c) {
+    case Consistency::kPrimary:
+      return "PRIMARY";
+    case Consistency::kEventual:
+      return "EVENTUAL";
+  }
+  return "UNKNOWN";
+}
+
 const char* RequestClassName(RequestClass rc) {
   switch (rc) {
     case RequestClass::kSmallRead:

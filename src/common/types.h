@@ -46,6 +46,20 @@ inline bool IsReadOp(OpType op) {
 
 const char* OpTypeName(OpType op);
 
+/// Client-selected consistency level of a read (writes always go to the
+/// primary). `kPrimary` routes to the partition's primary replica —
+/// read-your-writes within the async-replication model. `kEventual` lets
+/// the Route stage load-balance the read across any alive replica of the
+/// partition: the reply may trail the primary by the replication lag
+/// (`SimOptions::replication_lag_ticks`), in exchange for offloading the
+/// primary and staying readable while the primary is down.
+enum class Consistency : uint8_t {
+  kPrimary = 0,
+  kEventual = 1,
+};
+
+const char* ConsistencyName(Consistency c);
+
 /// WFQ request class (Section 4.3): requests are partitioned into four
 /// independent dual-layer queues by direction and size so heavyweight
 /// requests do not sit in front of lightweight ones.

@@ -147,6 +147,7 @@ Client::Pending Client::SubmitPending(Command cmd) {
   req.field = std::move(cmd.field);
   req.value = std::move(cmd.value);
   req.ttl = cmd.ttl;
+  req.consistency = cmd.consistency;
 
   Pending p;
   p.req_id = req.req_id;

@@ -25,9 +25,29 @@ struct Command {
   std::string field;  ///< Hash ops only.
   std::string value;  ///< Writes only.
   Micros ttl = 0;     ///< Set / Expire only.
+  /// Read routing preference (reads only; writes always hit the
+  /// primary). kPrimary pins the read to the partition's primary —
+  /// read-your-writes. kEventual lets the cluster balance the read
+  /// across any alive replica: lower primary load and availability
+  /// through a primary outage, at the cost of replies trailing the
+  /// primary by up to the configured replication lag.
+  Consistency consistency = Consistency::kPrimary;
+
+  /// Returns this command with eventual (replica-read) consistency.
+  Command&& Eventual() && {
+    consistency = Consistency::kEventual;
+    return std::move(*this);
+  }
 
   static Command Get(std::string key) {
     return Command{OpType::kGet, std::move(key), "", "", 0};
+  }
+
+  /// GET routed to any alive replica (shorthand for
+  /// Get(key).Eventual()).
+  static Command GetEventual(std::string key) {
+    return Command{OpType::kGet, std::move(key), "", "", 0,
+                   Consistency::kEventual};
   }
   static Command Set(std::string key, std::string value, Micros ttl = 0) {
     return Command{OpType::kSet, std::move(key), "", std::move(value), ttl};

@@ -241,8 +241,15 @@ Status MetaServer::MigrateReplica(TenantId tenant, PartitionId partition,
   bool was_primary = rit == reps.begin();
 
   double pq = meta.PartitionQuota();
-  src->RemoveReplica(tenant, partition);
   dst->AddReplica(tenant, partition, pq, was_primary);
+  // The migration carries the replica's real state: clone the source
+  // engine before dropping it (SSTable runs are shared, so the clone is
+  // cheap; a migrated non-primary then catches the stream up from its
+  // cloned cursor at the next Replicate step).
+  if (storage::LsmEngine* src_engine = src->EngineFor(tenant, partition)) {
+    dst->ResyncReplica(tenant, partition, *src_engine);
+  }
+  src->RemoveReplica(tenant, partition);
   *rit = to;
   routing_epoch_++;
   return Status::OK();
@@ -305,11 +312,32 @@ Result<RecoveryReport> MetaServer::FailNode(
       std::replace(reps.begin(), reps.end(), node, target->id());
     }
     target->AddReplica(lr.tenant, lr.partition, lr.quota, was_primary);
+    // The rebuilt replica carries real data, streamed from the freshest
+    // surviving copy (permanent loss destroyed the dead node's state; a
+    // replicas=1 partition has no survivor and genuinely starts empty).
+    storage::LsmEngine* source = nullptr;
+    if (tit != tenants_.end() &&
+        lr.partition < tit->second.partitions.size()) {
+      for (NodeId nid : tit->second.partitions[lr.partition].replicas) {
+        if (nid == target->id()) continue;
+        node::DataNode* n = FindNode(pool, nid);
+        if (n == nullptr || !n->CanServe()) continue;
+        storage::LsmEngine* e = n->EngineFor(lr.tenant, lr.partition);
+        if (e == nullptr) continue;
+        if (source == nullptr || e->applied_seq() > source->applied_seq()) {
+          source = e;
+        }
+      }
+    }
+    if (source != nullptr) {
+      target->ResyncReplica(lr.tenant, lr.partition, *source);
+    }
     bytes_per_target[target->id()] += lr.bytes;
     report.replicas_rebuilt++;
+    report.replicas_rebuilt_executed++;
     report.bytes_rebuilt += lr.bytes;
     report.re_replication_targets.push_back(
-        ReReplicationTarget{lr.tenant, lr.partition, target->id()});
+        ReReplicationTarget{lr.tenant, lr.partition, target->id(), lr.bytes});
     failed->RemoveReplica(lr.tenant, lr.partition);
   }
 
@@ -358,17 +386,42 @@ Result<RecoveryReport> MetaServer::PromoteFailover(
       if (rit == reps.end()) continue;
 
       if (rit == reps.begin()) {
-        // Promote the first replica hosted on an alive node.
+        // Promote the alive replica whose engine applied the most of the
+        // dead primary's replication stream (ties break in placement
+        // order): it serves its actually-applied state, so picking the
+        // freshest replica minimizes the lost-write window.
+        size_t best = 0;
+        uint64_t best_applied = 0;
         for (size_t r = 1; r < reps.size(); r++) {
           node::DataNode* candidate = FindNode(pool, reps[r]);
           if (candidate == nullptr || !candidate->CanServe()) continue;
-          std::swap(reps[0], reps[r]);
+          storage::LsmEngine* engine = candidate->EngineFor(tid, p);
+          uint64_t applied = engine != nullptr ? engine->applied_seq() : 0;
+          if (best == 0 || applied > best_applied) {
+            best = r;
+            best_applied = applied;
+          }
+        }
+        if (best != 0) {
+          node::DataNode* candidate = FindNode(pool, reps[best]);
+          std::swap(reps[0], reps[best]);
           candidate->SetReplicaPrimary(tid, p, true);
-          if (failed != nullptr) failed->SetReplicaPrimary(tid, p, false);
+          if (failed != nullptr) {
+            failed->SetReplicaPrimary(tid, p, false);
+            // Acknowledged writes beyond the promoted replica's cursor
+            // were never shipped: they are lost to clients until (and
+            // unless) the dead node resyncs and fails back — and the
+            // resync discards them, so they are lost for good.
+            if (storage::LsmEngine* dead_engine = failed->EngineFor(tid, p)) {
+              uint64_t dead_applied = dead_engine->applied_seq();
+              if (dead_applied > best_applied) {
+                report.lost_acked_writes += dead_applied - best_applied;
+              }
+            }
+          }
           demoted_[node].push_back(DemotionClaim{tid, p, ++demotion_seq_});
           report.primaries_promoted++;
           placement_changed = true;
-          break;
         }
         // No survivor: the partition keeps its dead primary and stays
         // unavailable until the node recovers and fails back.
@@ -384,7 +437,7 @@ Result<RecoveryReport> MetaServer::PromoteFailover(
       }
       if (node::DataNode* target = PickNodeForReplica(pool, tid, p)) {
         report.re_replication_targets.push_back(
-            ReReplicationTarget{tid, p, target->id()});
+            ReReplicationTarget{tid, p, target->id(), bytes});
         bytes_per_target[target->id()] += bytes;
       }
       report.replicas_rebuilt++;
@@ -404,6 +457,72 @@ Result<RecoveryReport> MetaServer::PromoteFailover(
       rebuild_bandwidth_bytes_per_sec;
   if (placement_changed) routing_epoch_++;
   return report;
+}
+
+Status MetaServer::ExecuteReReplication(TenantId tenant, PartitionId partition,
+                                        NodeId dead, NodeId target) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  TenantMeta& meta = it->second;
+  if (partition >= meta.partitions.size()) {
+    return Status::InvalidArgument("no such partition");
+  }
+  auto& reps = meta.partitions[partition].replicas;
+  auto rit = std::find(reps.begin(), reps.end(), dead);
+  if (rit == reps.end()) {
+    return Status::NotFound("dead node left the placement");
+  }
+  if (rit == reps.begin()) {
+    // The dead node still holds the primary slot: no alive replica was
+    // promotable, so there is no source to copy from.
+    return Status::Unavailable("no surviving source replica");
+  }
+  if (std::find(reps.begin(), reps.end(), target) != reps.end()) {
+    return Status::InvalidArgument("target already in placement");
+  }
+  node::DataNode* dst = FindNode(meta.pool, target);
+  if (dst == nullptr || !dst->CanServe()) {
+    return Status::Unavailable("target node is down");
+  }
+  node::DataNode* primary = FindNode(meta.pool, reps[0]);
+  storage::LsmEngine* src =
+      primary != nullptr && primary->CanServe()
+          ? primary->EngineFor(tenant, partition)
+          : nullptr;
+  if (src == nullptr) return Status::Unavailable("primary source is down");
+
+  dst->AddReplica(tenant, partition, meta.PartitionQuota(),
+                  /*is_primary=*/false);
+  dst->ResyncReplica(tenant, partition, *src);
+  if (node::DataNode* dn = FindNode(meta.pool, dead)) {
+    dn->RemoveReplica(tenant, partition);
+  }
+  *rit = target;
+  // The dead node no longer owns the partition: its failback claim (if
+  // any) must not fail it back to primary over state it never resynced.
+  auto dit = demoted_.find(dead);
+  if (dit != demoted_.end()) {
+    auto& claims = dit->second;
+    claims.erase(std::remove_if(claims.begin(), claims.end(),
+                                [&](const DemotionClaim& c) {
+                                  return c.tenant == tenant &&
+                                         c.partition == partition;
+                                }),
+                 claims.end());
+    if (claims.empty()) demoted_.erase(dit);
+  }
+  routing_epoch_++;
+  return Status::OK();
+}
+
+bool MetaServer::HasDemotionClaim(NodeId node, TenantId tenant,
+                                  PartitionId partition) const {
+  auto it = demoted_.find(node);
+  if (it == demoted_.end()) return false;
+  for (const DemotionClaim& c : it->second) {
+    if (c.tenant == tenant && c.partition == partition) return true;
+  }
+  return false;
 }
 
 size_t MetaServer::RestorePrimary(NodeId node) {

@@ -69,6 +69,7 @@ struct ReReplicationTarget {
   TenantId tenant = 0;
   PartitionId partition = 0;
   NodeId target = kInvalidNode;  ///< Surviving node receiving the copy.
+  uint64_t bytes = 0;  ///< Partition state to copy (sizes the rebuild ticks).
 };
 
 /// Outcome of a node-failure recovery, contrasting the multi-tenant
@@ -82,6 +83,14 @@ struct RecoveryReport {
   /// Partitions whose primary moved to a surviving replica (live
   /// failover path).
   size_t primaries_promoted = 0;
+  /// Acknowledged writes the promoted replicas had not yet applied at
+  /// promotion time (summed over promoted partitions): the lost-write
+  /// window of an asynchronous-replication failover. 0 when the
+  /// replication lag is 0.
+  uint64_t lost_acked_writes = 0;
+  /// Planned re-replication targets the Fault stage has executed so far
+  /// (real partition state copied; incremented as rebuilds complete).
+  size_t replicas_rebuilt_executed = 0;
   /// Where each lost replica is (re)built: executed placements for
   /// FailNode's permanent-loss rebuild, planned placements for
   /// PromoteFailover (the node may yet come back and catch up instead).
@@ -156,21 +165,43 @@ class MetaServer {
                                       200.0 * 1024 * 1024);
 
   /// Live failover after `node` crashed: for every partition whose
-  /// primary it was, the first surviving replica (placement order, alive
-  /// nodes only) is promoted to primary; `node` stays in the placement as
-  /// a stale replica so it can replay its WAL and fail back later. Every
-  /// replica the node hosted also gets a *planned* re-replication target
-  /// (recorded in the report, not executed — production would start
-  /// copying; here the node usually returns first). Bumps the routing
-  /// epoch when any primary moved. Partitions with no surviving replica
-  /// keep their dead primary and stay unavailable until recovery.
+  /// primary it was, the alive replica with the *highest applied
+  /// replication sequence* (ties broken in placement order) is promoted
+  /// to primary and serves its actually-applied state; acknowledged
+  /// writes it had not yet applied are counted in
+  /// RecoveryReport::lost_acked_writes (zero under replication lag 0).
+  /// `node` stays in the placement as a stale replica so it can resync
+  /// and fail back later. Every replica the node hosted also gets a
+  /// *planned* re-replication target (recorded in the report; the Fault
+  /// stage executes the copy after a grace period unless the node starts
+  /// recovering first). Bumps the routing epoch when any primary moved.
+  /// Partitions with no surviving replica keep their dead primary and
+  /// stay unavailable until recovery.
   Result<RecoveryReport> PromoteFailover(NodeId node,
                                          double rebuild_bandwidth_bytes_per_sec =
                                              200.0 * 1024 * 1024);
 
+  /// Executes one planned re-replication: copies the partition's state
+  /// from its (alive) primary onto `target`, which takes over `dead`'s
+  /// placement slot; `dead` drops the replica and forfeits any failback
+  /// claim on the partition (it no longer owns it). Fails when the dead
+  /// node still holds the primary slot (no alive source to copy from),
+  /// when the target is down or already hosts the partition, or when
+  /// `dead` left the placement. Bumps the routing epoch on success.
+  Status ExecuteReReplication(TenantId tenant, PartitionId partition,
+                              NodeId dead, NodeId target);
+
+  /// Whether `node` holds an outstanding failback claim for (tenant,
+  /// partition) — i.e. it was this partition's primary when it failed
+  /// and its engine may hold an unreplicated (divergent) write suffix.
+  bool HasDemotionClaim(NodeId node, TenantId tenant,
+                        PartitionId partition) const;
+
   /// Failback after `node` recovered and caught up: re-promotes it to
-  /// primary for every partition PromoteFailover demoted it from (it
-  /// holds the fullest replayed state), bumping the routing epoch.
+  /// primary for every partition PromoteFailover demoted it from (the
+  /// simulator resyncs its engines from the interim primaries first, so
+  /// it rejoins with the authoritative history), bumping the routing
+  /// epoch.
   /// Under overlapping failures only the *oldest* outstanding demotion
   /// claim for a partition wins the failback — an interim primary that
   /// itself failed and recovered must not usurp the original (its engine

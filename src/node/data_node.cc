@@ -58,7 +58,12 @@ void DataNode::AddReplica(TenantId tenant, PartitionId partition,
   rep.partition = partition;
   rep.partition_quota_ru = partition_quota_ru;
   rep.is_primary = is_primary;
-  rep.engine = std::make_unique<storage::LsmEngine>(options_.lsm, clock_);
+  // Hosted replicas always carry the replication stream: any of them
+  // may serve as (or be promoted to) a shipping primary, and the
+  // Replicate step truncates the logs behind the slowest cursor.
+  storage::LsmOptions lsm_options = options_.lsm;
+  lsm_options.enable_repl_log = true;
+  rep.engine = std::make_unique<storage::LsmEngine>(lsm_options, clock_);
   rep.quota =
       std::make_unique<quota::PartitionQuota>(partition_quota_ru, clock_);
   rep.quota->SetEnabled(quota_enforcement_);
@@ -164,6 +169,41 @@ void DataNode::StartRecovery() {
 void DataNode::CompleteRecovery() {
   if (state_ != NodeState::kRecovering) return;
   state_ = NodeState::kAlive;
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+bool DataNode::ApplyReplicated(TenantId tenant, PartitionId partition,
+                               const storage::ReplRecord& rec) {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  if (it == replicas_.end()) return false;
+  if (!it->second.engine->ApplyReplicated(rec).ok()) return false;
+  tick_stats_.repl_applied++;
+  // The replica serves reads from its engine; drop any node-cached value
+  // the shipped write supersedes (same write-invalidation the primary
+  // performs synchronously in ExecuteOnEngine).
+  NodeRequest key_probe;
+  key_probe.tenant = tenant;
+  key_probe.partition = partition;
+  key_probe.key = rec.key;
+  cache_.Erase(CacheKeyFor(key_probe));
+  return true;
+}
+
+bool DataNode::ResyncReplica(TenantId tenant, PartitionId partition,
+                             const storage::LsmEngine& src) {
+  auto it = replicas_.find(ReplicaKey(tenant, partition));
+  if (it == replicas_.end()) return false;
+  it->second.engine->ResyncFrom(src);
+  // A snapshot bypasses the per-record invalidation ApplyReplicated
+  // performs, so any cached value for this partition may now be stale —
+  // including entries surviving from an earlier hosting of the same
+  // partition. Resyncs are rare (failover, migration, rebuild); dropping
+  // the whole node cache is the proportionate correctness fix.
+  cache_.Clear();
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -346,6 +386,8 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   resp.op = req.op;
   resp.key = req.key;
   resp.background_refresh = req.background_refresh;
+  resp.from_primary = rep.is_primary;
+  resp.replica_applied_seq = rep.engine->applied_seq();
 
   const std::string cache_key = CacheKeyFor(req);
   uint64_t flushed_before = rep.engine->stats().flushed_bytes +

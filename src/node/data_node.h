@@ -89,6 +89,7 @@ struct NodeTickStats {
   uint64_t completed = 0;
   uint64_t cache_hits = 0;
   uint64_t disk_served = 0;
+  uint64_t repl_applied = 0;    ///< Replication records applied this tick.
   double cpu_ru_used = 0;
   double reject_cpu_ru = 0;
   sched::TickStats wfq;
@@ -162,6 +163,22 @@ class DataNode {
 
   /// Runs one scheduling tick: WFQ over everything admitted so far.
   void Tick();
+
+  // -- Replication ----------------------------------------------------------
+
+  /// Applies one record of a primary's replication stream to the hosted
+  /// replica of (tenant, partition). Called from the Replicate pipeline
+  /// step — possibly concurrently across nodes, never concurrently on one
+  /// node (per-node batches), and only with streams addressed to this
+  /// node. Returns false if the replica is absent or the stream gapped
+  /// (the shipper then falls back to a snapshot resync).
+  bool ApplyReplicated(TenantId tenant, PartitionId partition,
+                       const storage::ReplRecord& rec);
+
+  /// Re-seeds the hosted replica of (tenant, partition) with a full
+  /// snapshot of `src` (a primary engine). Returns false if not hosted.
+  bool ResyncReplica(TenantId tenant, PartitionId partition,
+                     const storage::LsmEngine& src);
 
   /// Responses completed since the last drain.
   std::vector<NodeResponse> TakeResponses();

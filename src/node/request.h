@@ -22,6 +22,11 @@ struct ClientRequest {
   std::string value;  ///< Writes only.
   Micros ttl = 0;     ///< SET/EXPIRE.
   Micros issued_at = 0;
+  /// Read routing preference: kPrimary pins the read to the partition's
+  /// primary; kEventual lets the Route stage balance it across alive
+  /// replicas (possibly stale by the replication lag). Ignored for
+  /// writes, which always go to the primary.
+  Consistency consistency = Consistency::kPrimary;
   /// When true, the simulator records this request's final outcome so a
   /// synchronous caller (abase::Client) can retrieve it.
   bool track_outcome = false;
@@ -42,6 +47,7 @@ struct NodeRequest {
   uint64_t value_size_hint = 0;    ///< For WFQ small/large classification.
   bool background_refresh = false; ///< AU-LRU active-update re-fetch.
   int replicas = 3;                ///< Tenant replication (write RU fan-out).
+  Consistency consistency = Consistency::kPrimary;  ///< Read routing.
 };
 
 /// Where a completed request was ultimately served.
@@ -70,6 +76,13 @@ struct NodeResponse {
   /// Remaining engine TTL of a read value (0 = none/unknown). Caps how
   /// long the proxy may cache it.
   Micros ttl_remaining = 0;
+  /// Whether the serving replica held the primary role (false for an
+  /// eventual-consistency replica read).
+  bool from_primary = true;
+  /// The serving engine's replication apply sequence at execution time;
+  /// the Settle stage compares it against the primary's to surface the
+  /// staleness of replica reads in TenantTickMetrics.
+  uint64_t replica_applied_seq = 0;
 };
 
 }  // namespace abase

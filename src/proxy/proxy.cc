@@ -94,6 +94,7 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   fwd.value = req.value;
   fwd.ttl = req.ttl;
   fwd.issued_at = req.issued_at;
+  fwd.consistency = req.consistency;
   fwd.estimated_ru = estimate;
   fwd.value_size_hint = IsReadOp(req.op)
                             ? static_cast<uint64_t>(ru_.ExpectedReadBytes())
@@ -133,8 +134,12 @@ void Proxy::OnResponse(const NodeResponse& resp) {
 
   // Fill the proxy cache with successful GET payloads (including
   // background refreshes, which renew the TTL). A value with an engine
-  // TTL may not be cached past its expiry.
-  if (cache_enabled_ && resp.op == OpType::kGet && resp.status.ok()) {
+  // TTL may not be cached past its expiry. Replica-served (eventual)
+  // reads never fill the cache: their payload may trail the primary by
+  // the replication lag, and the cache also serves kPrimary reads —
+  // caching a stale replica value would break read-your-writes.
+  if (cache_enabled_ && resp.op == OpType::kGet && resp.status.ok() &&
+      resp.from_primary) {
     Micros ttl = 0;  // Default TTL.
     if (resp.ttl_remaining > 0) {
       ttl = std::min(resp.ttl_remaining, options_.cache.default_ttl);

@@ -116,6 +116,30 @@ void ClusterSim::PreloadKeys(TenantId tenant, uint64_t num_keys,
         std::min(std::max(bytes, 1.0), 1024.0 * 1024));
     (void)engine->Put(key, std::string(len, 'v'));
   }
+
+  // An onboarded tenant's replicas already hold the dataset: seed each
+  // replica engine with a snapshot of its primary so the fleet starts
+  // fully caught up (lag applies to traffic, not to onboarding). A
+  // snapshot shares the immutable runs — O(runs), not a per-record
+  // replay of the whole preload.
+  const meta::TenantMeta* tm = meta_->GetTenant(tenant);
+  if (tm == nullptr) return;
+  for (PartitionId p = 0;
+       p < static_cast<PartitionId>(tm->partitions.size()); p++) {
+    const auto& reps = tm->partitions[p].replicas;
+    if (reps.size() < 2) continue;
+    node::DataNode* pn = FindNode(reps[0]);
+    storage::LsmEngine* src = pn != nullptr ? pn->EngineFor(tenant, p)
+                                            : nullptr;
+    if (src == nullptr) continue;
+    for (size_t r = 1; r < reps.size(); r++) {
+      node::DataNode* rn = FindNode(reps[r]);
+      if (rn == nullptr) continue;
+      storage::LsmEngine* re = rn->EngineFor(tenant, p);
+      if (re == nullptr || re->applied_seq() == src->applied_seq()) continue;
+      rn->ResyncReplica(tenant, p, *src);
+    }
+  }
 }
 
 WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
@@ -150,6 +174,105 @@ size_t ClusterSim::DownNodeCount() const {
 }
 
 // ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+void ClusterSim::CatchUpReplica(node::DataNode* node, TenantId tenant,
+                                PartitionId partition,
+                                const storage::LsmEngine& src,
+                                bool force_snapshot) {
+  storage::LsmEngine* own = node->EngineFor(tenant, partition);
+  if (own == nullptr) return;
+  const uint64_t cursor = own->applied_seq();
+  if (force_snapshot || cursor > src.applied_seq() ||
+      !src.repl_log().Covers(cursor)) {
+    if (force_snapshot || cursor != src.applied_seq()) {
+      node->ResyncReplica(tenant, partition, src);
+    }
+    return;
+  }
+  for (const storage::ReplRecord* rec :
+       src.repl_log().Delta(cursor, src.applied_seq())) {
+    if (!node->ApplyReplicated(tenant, partition, *rec)) {
+      node->ResyncReplica(tenant, partition, src);
+      return;
+    }
+  }
+}
+
+uint64_t ClusterSim::ReplicationLag(TenantId tenant, PartitionId partition) {
+  const meta::TenantMeta* tm = meta_->GetTenant(tenant);
+  if (tm == nullptr || partition >= tm->partitions.size()) return 0;
+  const auto& reps = tm->partitions[partition].replicas;
+  if (reps.size() < 2) return 0;
+  node::DataNode* pn = FindNode(reps[0]);
+  storage::LsmEngine* src =
+      pn != nullptr ? pn->EngineFor(tenant, partition) : nullptr;
+  if (src == nullptr) return 0;
+  uint64_t lag = 0;
+  for (size_t r = 1; r < reps.size(); r++) {
+    node::DataNode* rn = FindNode(reps[r]);
+    if (rn == nullptr || !rn->CanServe()) continue;
+    storage::LsmEngine* re = rn->EngineFor(tenant, partition);
+    if (re == nullptr) continue;
+    uint64_t applied = re->applied_seq();
+    if (src->applied_seq() > applied) {
+      lag = std::max(lag, src->applied_seq() - applied);
+    }
+  }
+  return lag;
+}
+
+int ClusterSim::ComputeCatchUpTicks(NodeId node) {
+  node::DataNode* n = FindNode(node);
+  if (n == nullptr) return options_.recovery_catch_up_ticks;
+  uint64_t delta_bytes = 0;
+  for (const node::PartitionReplica* rep : n->Replicas()) {
+    const NodeId primary = meta_->PrimaryFor(rep->tenant, rep->partition);
+    if (primary == node || primary == kInvalidNode) continue;
+    node::DataNode* pn = FindNode(primary);
+    if (pn == nullptr || !pn->CanServe()) continue;
+    storage::LsmEngine* src = pn->EngineFor(rep->tenant, rep->partition);
+    if (src == nullptr) continue;
+    const uint64_t own = rep->engine->applied_seq();
+    if (meta_->HasDemotionClaim(node, rep->tenant, rep->partition) ||
+        !src->repl_log().Covers(own) || own > src->applied_seq()) {
+      // Divergent or out-of-log: a full snapshot transfer.
+      delta_bytes += src->ApproximateDataBytes();
+    } else {
+      delta_bytes += src->repl_log().BytesAfter(own);
+    }
+  }
+  const uint64_t bw = std::max<uint64_t>(1, options_.catch_up_bytes_per_tick);
+  const int ticks = static_cast<int>((delta_bytes + bw - 1) / bw);
+  return std::max(options_.recovery_catch_up_ticks, ticks);
+}
+
+void ClusterSim::ResyncRecoveredNode(NodeId node) {
+  node::DataNode* n = FindNode(node);
+  if (n == nullptr) return;
+  for (const node::PartitionReplica* rep : n->Replicas()) {
+    const NodeId primary = meta_->PrimaryFor(rep->tenant, rep->partition);
+    // Still this node's own partition (no survivor was promoted): its
+    // WAL replay at StartRecovery already restored every acked write.
+    if (primary == node || primary == kInvalidNode) continue;
+    node::DataNode* pn = FindNode(primary);
+    if (pn == nullptr || !pn->CanServe()) continue;  // Both down: stale.
+    storage::LsmEngine* src = pn->EngineFor(rep->tenant, rep->partition);
+    if (src == nullptr) continue;
+    // A demoted ex-primary may hold an acknowledged-but-unreplicated
+    // suffix that diverged from the promoted replica's history: the
+    // interim primary's history is authoritative, so the suffix is
+    // discarded by a forced snapshot resync (those writes are the
+    // measured lost-write window).
+    CatchUpReplica(
+        n, rep->tenant, rep->partition, *src,
+        /*force_snapshot=*/
+        meta_->HasDemotionClaim(node, rep->tenant, rep->partition));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Routing cache
 // ---------------------------------------------------------------------------
 
@@ -159,7 +282,7 @@ void ClusterSim::RefreshRoutingTable(TenantRuntime& rt) {
   if (tm != nullptr) {
     rt.route_table.reserve(tm->partitions.size());
     for (const meta::PartitionPlacement& p : tm->partitions) {
-      rt.route_table.push_back(p.primary());
+      rt.route_table.push_back(p.replicas);
     }
   }
   rt.route_epoch = meta_->routing_epoch();
@@ -167,8 +290,34 @@ void ClusterSim::RefreshRoutingTable(TenantRuntime& rt) {
 
 NodeId ClusterSim::CachedPrimary(const TenantRuntime& rt,
                                  PartitionId partition) const {
-  return partition < rt.route_table.size() ? rt.route_table[partition]
-                                           : kInvalidNode;
+  if (partition >= rt.route_table.size() ||
+      rt.route_table[partition].empty()) {
+    return kInvalidNode;
+  }
+  return rt.route_table[partition][0];
+}
+
+node::DataNode* ClusterSim::PickReplicaForRead(TenantRuntime& rt,
+                                               TenantId tenant,
+                                               PartitionId partition) {
+  if (partition >= rt.route_table.size()) return nullptr;
+  // Probe the cached placement from the round-robin cursor and take the
+  // first alive node actually hosting the replica (the simulator's
+  // stand-in for a replica-aware client SDK). No temporaries: this runs
+  // per eventual read inside the serial Route pass.
+  const std::vector<NodeId>& reps = rt.route_table[partition];
+  const size_t count = reps.size();
+  if (count == 0) return nullptr;
+  const uint64_t start = rt.replica_read_rr;
+  for (size_t i = 0; i < count; i++) {
+    node::DataNode* n =
+        FindNode(reps[static_cast<size_t>((start + i) % count)]);
+    if (n != nullptr && n->CanServe() && n->HasReplica(tenant, partition)) {
+      rt.replica_read_rr = start + i + 1;
+      return n;
+    }
+  }
+  return nullptr;
 }
 
 void ClusterSim::ResolveStrandedOnNode(NodeId node) {
@@ -355,6 +504,20 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
         rt.current.node_cache_hits++;
       } else if (resp.served_by == ServedBy::kDisk) {
         rt.current.disk_reads++;
+      }
+      if (!resp.from_primary) {
+        // Replica read: surface how far the serving replica trailed the
+        // primary's stream at execution time. The reference is the
+        // primary cursor as of the *previous* Replicate step — the
+        // newest state the read could have observed — so a lag-0
+        // configuration reports zero staleness, as documented.
+        rt.current.replica_reads++;
+        auto rs = repl_state_.find(PartitionKey(resp.tenant, resp.partition));
+        if (rs != repl_state_.end() &&
+            rs->second.prev_primary_applied > resp.replica_applied_seq) {
+          rt.current.replica_lag_sum +=
+              rs->second.prev_primary_applied - resp.replica_applied_seq;
+        }
       }
       rt.value_bytes_sum += resp.value_bytes;
       rt.value_bytes_count++;

@@ -1,30 +1,39 @@
 // ClusterSim — the deterministic discrete-time cluster that stands in for
 // ByteDance's production fleet (DESIGN.md substitution table).
 //
-// Each one-second tick runs the five-stage request pipeline
+// Each one-second tick runs the seven-stage request pipeline
 // (sim/pipeline.h):
 //
-//   Generate -> ProxyAdmit -> Route -> NodeSchedule -> Settle
+//   Fault -> Generate -> ProxyAdmit -> Route -> NodeSchedule
+//         -> Replicate -> Settle
 //
-//   1. Generate: every tenant's workload generator emits client requests
+//   1. Fault: queued FailNode/RecoverNode events land; failover
+//      promotion, recovery catch-up (real log-delta resync), and
+//      executed re-replication copies advance;
+//   2. Generate: every tenant's workload generator emits client requests
 //      (plus externally injected ones);
-//   2. ProxyAdmit: the limited fan-out router picks a proxy; the proxy
+//   3. ProxyAdmit: the limited fan-out router picks a proxy; the proxy
 //      serves from its AU-LRU cache, throttles against its quota, or
 //      forwards (background cache-refresh fetches ride along);
-//   3. Route: forwarded requests reach the primary DataNode of their
-//      partition and pass partition-quota admission into the dual-layer
+//   4. Route: forwarded requests reach the primary DataNode of their
+//      partition (eventual-consistency reads round-robin across alive
+//      replicas) and pass partition-quota admission into the dual-layer
 //      WFQ;
-//   4. NodeSchedule: every DataNode runs its scheduling tick — through
+//   5. NodeSchedule: every DataNode runs its scheduling tick — through
 //      the data-plane executor, which may fan nodes out across worker
 //      threads (SimOptions::data_plane_workers); responses merge back in
 //      node-id order so results are bit-identical to a serial run;
-//   5. Settle: responses flow back to the proxies (cache fill + quota
+//   6. Replicate: each partition's primary ships its acknowledged write
+//      stream (delayed by SimOptions::replication_lag_ticks) to the
+//      replica engines, per-node batches applied in node-id order;
+//   7. Settle: responses flow back to the proxies (cache fill + quota
 //      settlement) and into tenant metrics; every `meta_report_interval`
 //      ticks, aggregate proxy traffic is reported to the MetaServer,
 //      which issues clamp directives.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -76,6 +85,27 @@ struct SimOptions {
   /// replaying its WAL before it rejoins and takes its primaries back
   /// (RecoverNode's catch_up_ticks = -1 uses this).
   int recovery_catch_up_ticks = 2;
+  /// Asynchronous replication lag of the per-partition primary->replica
+  /// streams, in ticks: each tick's Replicate step ships the writes the
+  /// primary acknowledged this many ticks ago (0 = replicas apply every
+  /// acknowledged write within the tick it was acknowledged, so a
+  /// primary kill loses zero acked writes). The lost-write window at
+  /// failover grows with this lag.
+  int replication_lag_ticks = 0;
+  /// Grace period before a planned re-replication target (from
+  /// PromoteFailover) starts copying: if the failed node begins
+  /// recovering within this many ticks the rebuild is cancelled — its
+  /// own log catch-up is cheaper than a full copy.
+  int re_replication_delay_ticks = 8;
+  /// Modeled copy bandwidth of an executed re-replication: bytes of
+  /// partition state transferred per tick (sets the rebuild duration,
+  /// minimum one tick).
+  uint64_t re_replication_bytes_per_tick = 64ull << 20;
+  /// Modeled catch-up bandwidth of a recovering node replaying the
+  /// primaries' log deltas. When RecoverNode's catch_up_ticks < 0, the
+  /// catch-up duration is max(recovery_catch_up_ticks,
+  /// ceil(delta_bytes / this)).
+  uint64_t catch_up_bytes_per_tick = 64ull << 20;
 };
 
 /// Per-tenant metrics for one tick.
@@ -89,6 +119,12 @@ struct TenantTickMetrics {
   /// (refresh + retry). Failover cost made visible: without the cached
   /// tables this was hidden by omniscient per-request routing.
   uint64_t redirects = 0;
+  /// Reads served by a non-primary replica (Consistency::kEventual).
+  uint64_t replica_reads = 0;
+  /// Summed staleness of those replica reads: how many applied writes
+  /// the serving replica trailed the partition's primary by at execution
+  /// time. replica_lag_sum / replica_reads = mean staleness in writes.
+  uint64_t replica_lag_sum = 0;
   uint64_t proxy_hits = 0;
   uint64_t node_cache_hits = 0;
   uint64_t disk_reads = 0;
@@ -128,12 +164,16 @@ struct TenantRuntime {
   /// parallel executor, so they must not share the sim-wide RNG.
   Rng router_rng{42};
   std::vector<std::unique_ptr<proxy::Proxy>> proxies;
-  /// Epoch-stamped routing cache: primary node per partition, refreshed
-  /// only when a forward proves unroutable under a stale epoch (the
-  /// redirect chase in RouteStage). The proxy plane never consults the
-  /// MetaServer per request.
+  /// Epoch-stamped routing cache: the replica set per partition (index 0
+  /// = primary), refreshed only when a forward proves unroutable under a
+  /// stale epoch (the redirect chase in RouteStage). The proxy plane
+  /// never consults the MetaServer per request. Primary reads and writes
+  /// resolve entry 0; eventual reads round-robin over the alive entries.
   uint64_t route_epoch = 0;
-  std::vector<NodeId> route_table;
+  std::vector<std::vector<NodeId>> route_table;
+  /// Round-robin cursor for eventual-consistency replica reads (advanced
+  /// only in RouteStage's serial resolve pass).
+  uint64_t replica_read_rr = 0;
   std::unique_ptr<WorkloadGenerator> workload;
   TenantTickMetrics current;
   std::vector<TenantTickMetrics> history;
@@ -234,10 +274,24 @@ class ClusterSim {
   size_t DownNodeCount() const;
 
   /// Report of the most recent failover promotion (re-replication plan,
-  /// promoted-primary count), if any has happened.
+  /// promoted-primary count, lost-write window), if any has happened.
+  /// `replicas_rebuilt_executed` is updated in place as the Fault stage
+  /// completes the planned copies.
   const std::optional<meta::RecoveryReport>& LastFailoverReport() const {
     return last_failover_report_;
   }
+
+  /// Re-replication copies executed so far (planned targets whose
+  /// partition state the Fault stage actually placed).
+  uint64_t ExecutedRebuildCount() const { return executed_rebuilds_; }
+
+  /// Re-replication copies currently counting down in the Fault stage.
+  size_t PendingRebuildCount() const { return pending_rebuilds_.size(); }
+
+  /// Current apply lag of (tenant, partition)'s replication stream, in
+  /// records: primary applied sequence minus the slowest alive replica's
+  /// applied sequence (0 when fully caught up or unreplicated).
+  uint64_t ReplicationLag(TenantId tenant, PartitionId partition);
 
   // -- Experiment switches --------------------------------------------------------
 
@@ -286,6 +340,7 @@ class ClusterSim {
   friend class ProxyAdmitStage;
   friend class RouteStage;
   friend class NodeScheduleStage;
+  friend class ReplicateStage;
   friend class SettleStage;
 
   /// Settles one client request that the proxy plane resolved locally
@@ -318,6 +373,39 @@ class ClusterSim {
   /// Primary for `partition` according to the tenant's cached table
   /// (kInvalidNode when the table predates the partition).
   NodeId CachedPrimary(const TenantRuntime& rt, PartitionId partition) const;
+
+  /// Resolves an eventual-consistency read against the cached table:
+  /// round-robins over the partition's alive replica-hosting nodes
+  /// (primary included). nullptr when no replica is routable. Serial
+  /// resolve pass only (advances the tenant's round-robin cursor).
+  node::DataNode* PickReplicaForRead(TenantRuntime& rt, TenantId tenant,
+                                     PartitionId partition);
+
+  /// Key of the per-partition replication-stream state.
+  static uint64_t PartitionKey(TenantId tenant, PartitionId partition) {
+    return (static_cast<uint64_t>(tenant) << 32) | partition;
+  }
+
+  /// Catch-up duration for a node about to start recovery, from the real
+  /// deltas its replicas must replay: max(recovery_catch_up_ticks,
+  /// ceil(delta_bytes / catch_up_bytes_per_tick)).
+  int ComputeCatchUpTicks(NodeId node);
+
+  /// Brings every replica hosted by a recovered node up to date from the
+  /// current primaries before it rejoins: a clean prefix replays the
+  /// primary's log delta; a demoted ex-primary (divergent unreplicated
+  /// suffix) or a cursor behind a truncated log takes a full snapshot
+  /// resync. Serial sections only (the Fault stage).
+  void ResyncRecoveredNode(NodeId node);
+
+  /// Brings one hosted replica up to the source engine's stream head:
+  /// log-delta replay when its cursor is a clean retained prefix, full
+  /// snapshot resync otherwise (or when `force_snapshot` — a divergent
+  /// ex-primary whose acked suffix must be discarded). Serial sections
+  /// only.
+  void CatchUpReplica(node::DataNode* node, TenantId tenant,
+                      PartitionId partition, const storage::LsmEngine& src,
+                      bool force_snapshot);
 
   /// Resolves every in-flight request stranded on `node` as Unavailable
   /// — proxy quota refund, tenant error metrics, PublishOutcome — in
@@ -359,6 +447,39 @@ class ClusterSim {
   std::map<NodeId, int> failover_countdown_;
   std::map<NodeId, int> recovery_countdown_;
   std::optional<meta::RecoveryReport> last_failover_report_;
+  /// Node whose failover produced last_failover_report_: executed-copy
+  /// completions are credited only to the report that planned them
+  /// (overlapping failovers must not inflate a newer node's report).
+  NodeId last_failover_node_ = kInvalidNode;
+  /// Per-partition replication shipping state, keyed by PartitionKey.
+  struct ReplState {
+    /// Primary applied seq at the end of each of the last lag+1
+    /// Replicate steps; the front is the shipping floor — what was
+    /// acknowledged `replication_lag_ticks` ticks ago.
+    std::deque<uint64_t> acked_history;
+    /// Node serving the stream; a change (promotion/failback) reseeds
+    /// acked_history — the dead primary's acked seqs must not let the
+    /// new primary's reused sequence numbers ship with collapsed lag.
+    NodeId primary = kInvalidNode;
+    /// Primary applied seq as of the last Replicate step.
+    uint64_t primary_applied = 0;
+    /// Primary applied seq as of the *previous* Replicate step: the
+    /// newest state a replica read executed this tick could possibly
+    /// have observed, and therefore the staleness reference (with lag 0
+    /// it equals what every replica holds, so replica_lag_sum stays 0).
+    uint64_t prev_primary_applied = 0;
+  };
+  std::map<uint64_t, ReplState> repl_state_;
+  /// An executed re-replication counting down in the Fault stage.
+  struct PendingRebuild {
+    TenantId tenant = 0;
+    PartitionId partition = 0;
+    NodeId dead = kInvalidNode;    ///< Node whose slot is being replaced.
+    NodeId target = kInvalidNode;  ///< Node receiving the copy.
+    int ticks_remaining = 0;       ///< Grace period + modeled copy time.
+  };
+  std::vector<PendingRebuild> pending_rebuilds_;
+  uint64_t executed_rebuilds_ = 0;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;

@@ -34,20 +34,57 @@ void FaultStage::Run(TickContext&) {
       // failure detector); an already-promoted node fails back below.
       sim.failover_countdown_.erase(ev.node);
       n->StartRecovery();
+      // Catch-up duration: an explicit request wins; otherwise it is
+      // sized from the real log deltas the node's replicas must replay.
       sim.recovery_countdown_[ev.node] =
           ev.catch_up_ticks >= 0 ? ev.catch_up_ticks
-                                 : sim.options_.recovery_catch_up_ticks;
+                                 : sim.ComputeCatchUpTicks(ev.node);
+      // A node that starts recovering cancels its pending re-replication
+      // copies: catching its own replicas up is cheaper than full
+      // rebuilds on third nodes.
+      sim.pending_rebuilds_.erase(
+          std::remove_if(sim.pending_rebuilds_.begin(),
+                         sim.pending_rebuilds_.end(),
+                         [&](const ClusterSim::PendingRebuild& rb) {
+                           return rb.dead == ev.node;
+                         }),
+          sim.pending_rebuilds_.end());
     }
   }
   sim.pending_faults_.clear();
 
   // 2. Failure detection: promote surviving replicas when the countdown
-  //    expires (node-id order — std::map).
+  //    expires (node-id order — std::map), and schedule the planned
+  //    re-replication copies behind their grace period.
   for (auto it = sim.failover_countdown_.begin();
        it != sim.failover_countdown_.end();) {
     if (it->second <= 0) {
       auto report = sim.meta_->PromoteFailover(it->first);
-      if (report.ok()) sim.last_failover_report_ = std::move(report).value();
+      if (report.ok()) {
+        const uint64_t bw =
+            std::max<uint64_t>(1, sim.options_.re_replication_bytes_per_tick);
+        for (const meta::ReReplicationTarget& t :
+             report.value().re_replication_targets) {
+          // A partition whose dead node still holds the primary slot had
+          // no promotable survivor: the copy has no source and only the
+          // node's own recovery (which cancels rebuilds) can change
+          // that, so scheduling it would retry a doomed plan forever.
+          if (sim.meta_->PrimaryFor(t.tenant, t.partition) == it->first) {
+            continue;
+          }
+          ClusterSim::PendingRebuild rb;
+          rb.tenant = t.tenant;
+          rb.partition = t.partition;
+          rb.dead = it->first;
+          rb.target = t.target;
+          rb.ticks_remaining =
+              sim.options_.re_replication_delay_ticks +
+              std::max<int>(1, static_cast<int>((t.bytes + bw - 1) / bw));
+          sim.pending_rebuilds_.push_back(rb);
+        }
+        sim.last_failover_report_ = std::move(report).value();
+        sim.last_failover_node_ = it->first;
+      }
       it = sim.failover_countdown_.erase(it);
     } else {
       it->second--;
@@ -55,12 +92,15 @@ void FaultStage::Run(TickContext&) {
     }
   }
 
-  // 3. WAL catch-up: a recovered node rejoins and takes its primaries
-  //    back once its catch-up window closes.
+  // 3. Catch-up: a recovering node resyncs every hosted replica from the
+  //    current primaries — log-delta replay for clean prefixes, snapshot
+  //    resync for a demoted ex-primary's divergent suffix — then rejoins
+  //    and takes its primaries back.
   for (auto it = sim.recovery_countdown_.begin();
        it != sim.recovery_countdown_.end();) {
     if (it->second <= 0) {
       if (node::DataNode* n = sim.FindNode(it->first)) {
+        sim.ResyncRecoveredNode(it->first);
         n->CompleteRecovery();
       }
       sim.meta_->RestorePrimary(it->first);
@@ -69,6 +109,46 @@ void FaultStage::Run(TickContext&) {
       it->second--;
       ++it;
     }
+  }
+
+  // 4. Executed re-replication: planned copies whose grace period and
+  //    modeled transfer time elapsed place real partition state on their
+  //    targets (the dead node's slot moves over). A copy is cancelled if
+  //    the dead node came back, or its target died or picked the
+  //    partition up some other way (migration, split).
+  for (auto it = sim.pending_rebuilds_.begin();
+       it != sim.pending_rebuilds_.end();) {
+    node::DataNode* dead = sim.FindNode(it->dead);
+    node::DataNode* target = sim.FindNode(it->target);
+    const bool cancel =
+        dead == nullptr || dead->state() != node::NodeState::kFailed ||
+        target == nullptr || !target->CanServe() ||
+        target->HasReplica(it->tenant, it->partition);
+    if (cancel) {
+      it = sim.pending_rebuilds_.erase(it);
+      continue;
+    }
+    if (--it->ticks_remaining > 0) {
+      ++it;
+      continue;
+    }
+    Status executed = sim.meta_->ExecuteReReplication(
+        it->tenant, it->partition, it->dead, it->target);
+    if (executed.ok()) {
+      sim.executed_rebuilds_++;
+      if (sim.last_failover_report_.has_value() &&
+          sim.last_failover_node_ == it->dead) {
+        sim.last_failover_report_->replicas_rebuilt_executed++;
+      }
+    } else if (executed.IsUnavailable()) {
+      // Transient: no alive source right now (e.g. the interim primary
+      // failed too). Keep the copy pending and retry next tick — erasing
+      // it would leave the partition under-replicated for good.
+      it->ticks_remaining = 1;
+      ++it;
+      continue;
+    }
+    it = sim.pending_rebuilds_.erase(it);
   }
 }
 
@@ -242,19 +322,33 @@ void RouteStage::Run(TickContext& ctx) {
     TenantRuntime* rt = tit != sim.tenants_.end() ? &tit->second : nullptr;
     node::DataNode* n = nullptr;
     if (rt != nullptr) {
-      auto routable = [&](node::DataNode* dest) {
-        return dest != nullptr && dest->CanServe() &&
-               dest->IsPrimaryFor(req.tenant, req.partition);
-      };
-      n = sim.FindNode(sim.CachedPrimary(*rt, req.partition));
-      if (!routable(n) && rt->route_epoch != sim.meta_->routing_epoch()) {
-        // Stale-epoch forward: chase the redirect — refresh the cached
-        // table from the MetaServer and retry once.
-        sim.RefreshRoutingTable(*rt);
-        if (!req.background_refresh) rt->current.redirects++;
+      const bool eventual_read = req.consistency == Consistency::kEventual &&
+                                 IsReadOp(req.op) && !req.background_refresh;
+      if (eventual_read) {
+        // Eventual reads accept any alive replica of the partition —
+        // including a stale one during a primary outage — balanced by a
+        // per-tenant round-robin cursor (serial pass: deterministic).
+        n = sim.PickReplicaForRead(*rt, req.tenant, req.partition);
+        if (n == nullptr && rt->route_epoch != sim.meta_->routing_epoch()) {
+          sim.RefreshRoutingTable(*rt);
+          rt->current.redirects++;
+          n = sim.PickReplicaForRead(*rt, req.tenant, req.partition);
+        }
+      } else {
+        auto routable = [&](node::DataNode* dest) {
+          return dest != nullptr && dest->CanServe() &&
+                 dest->IsPrimaryFor(req.tenant, req.partition);
+        };
         n = sim.FindNode(sim.CachedPrimary(*rt, req.partition));
+        if (!routable(n) && rt->route_epoch != sim.meta_->routing_epoch()) {
+          // Stale-epoch forward: chase the redirect — refresh the cached
+          // table from the MetaServer and retry once.
+          sim.RefreshRoutingTable(*rt);
+          if (!req.background_refresh) rt->current.redirects++;
+          n = sim.FindNode(sim.CachedPrimary(*rt, req.partition));
+        }
+        if (!routable(n)) n = nullptr;
       }
-      if (!routable(n)) n = nullptr;
     }
     if (n == nullptr) {
       if (req.background_refresh) continue;  // Refresh silently dropped.
@@ -315,6 +409,155 @@ void NodeScheduleStage::Run(TickContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Replicate
+// ---------------------------------------------------------------------------
+
+void ReplicateStage::Run(TickContext&) {
+  ClusterSim& sim = *sim_;
+  const int lag = std::max(0, sim.options_.replication_lag_ticks);
+
+  /// One stream segment addressed to a replica node: records
+  /// (after, through] of the source primary's log, or a snapshot resync
+  /// when the log no longer covers the replica's cursor.
+  struct Shipment {
+    TenantId tenant = 0;
+    PartitionId partition = 0;
+    const storage::LsmEngine* src = nullptr;
+    uint64_t after = 0;
+    uint64_t through = 0;
+    bool snapshot = false;
+  };
+  std::vector<std::vector<Shipment>> batches(sim.nodes_.size());
+
+  // Serial pass, (tenant, partition) order: advance each stream's
+  // acked-seq history, derive the shipping floor under the configured
+  // lag, batch per destination node, and truncate the primary's log
+  // below the slowest replica cursor.
+  for (auto& [tid, rt] : sim.tenants_) {
+    (void)rt;
+    const meta::TenantMeta* tm = sim.meta_->GetTenant(tid);
+    if (tm == nullptr) continue;
+    for (PartitionId p = 0;
+         p < static_cast<PartitionId>(tm->partitions.size()); p++) {
+      const auto& reps = tm->partitions[p].replicas;
+      node::DataNode* pn =
+          reps.empty() ? nullptr : sim.FindNode(reps[0]);
+      if (pn == nullptr || !pn->CanServe() || !pn->IsPrimaryFor(tid, p)) {
+        continue;  // Primary dark: the stream head is frozen.
+      }
+      storage::LsmEngine* src = pn->EngineFor(tid, p);
+      if (src == nullptr) continue;
+      const uint64_t cur = src->applied_seq();
+      if (reps.size() < 2) {
+        // No replica will ever pull this stream; keep the log empty so a
+        // replicas=1 tenant does not grow memory with every write. A
+        // replica added later is seeded by snapshot anyway.
+        src->TruncateReplLogThrough(cur);
+        continue;
+      }
+
+      // Replica cursors first: they seed a freshly tracked stream's
+      // history and bound the log truncation below.
+      struct ReplicaCursor {
+        node::DataNode* node = nullptr;
+        storage::LsmEngine* engine = nullptr;
+        uint64_t applied = 0;
+      };
+      std::vector<ReplicaCursor> cursors;
+      cursors.reserve(reps.size() - 1);
+      uint64_t min_cursor = cur;
+      for (size_t r = 1; r < reps.size(); r++) {
+        node::DataNode* rn = sim.FindNode(reps[r]);
+        if (rn == nullptr) continue;
+        storage::LsmEngine* re = rn->EngineFor(tid, p);
+        if (re == nullptr) continue;
+        cursors.push_back(ReplicaCursor{rn, re, re->applied_seq()});
+        min_cursor = std::min(min_cursor, cursors.back().applied);
+      }
+
+      ClusterSim::ReplState& st =
+          sim.repl_state_[ClusterSim::PartitionKey(tid, p)];
+      if (st.primary != reps[0]) {
+        // Promotion or failback moved the stream head: the old
+        // primary's acked-seq history must not gate the new primary's
+        // (reused) sequence numbers, or its fresh writes would ship
+        // with collapsed lag. Reseed below as for a new stream.
+        st.acked_history.clear();
+        st.primary = reps[0];
+      }
+      if (st.acked_history.empty()) {
+        // First sighting of this stream (or a fresh primary): what the
+        // replicas already hold counts as shipped; everything
+        // acknowledged from here on waits the full configured lag.
+        // Without this seeding the not-yet-full history would ship a
+        // young stream's writes with effectively zero lag.
+        for (int i = 0; i < lag; i++) st.acked_history.push_back(min_cursor);
+      }
+      st.acked_history.push_back(cur);
+      while (st.acked_history.size() > static_cast<size_t>(lag) + 1) {
+        st.acked_history.pop_front();
+      }
+      // A promotion can rewind the stream head (the new primary applied
+      // less than the old one acknowledged); clamp the floor to it.
+      const uint64_t floor = std::min(st.acked_history.front(), cur);
+      st.prev_primary_applied = st.primary_applied;
+      st.primary_applied = cur;
+
+      std::vector<storage::LsmEngine*> replica_engines;
+      replica_engines.reserve(cursors.size());
+      for (const ReplicaCursor& rc : cursors) {
+        replica_engines.push_back(rc.engine);
+        // Down replicas hold the log open (min_cursor above) and catch
+        // up through the recovery resync path instead.
+        if (!rc.node->CanServe() || rc.applied >= floor) continue;
+        Shipment sh;
+        sh.tenant = tid;
+        sh.partition = p;
+        sh.src = src;
+        sh.after = rc.applied;
+        sh.through = floor;
+        sh.snapshot = !src->repl_log().Covers(rc.applied);
+        assert(static_cast<size_t>(rc.node->id()) < batches.size());
+        batches[static_cast<size_t>(rc.node->id())].push_back(sh);
+      }
+      // Every retained record above min(min_cursor, floor) may still be
+      // needed by this tick's shipments or a recovering replica. The
+      // same bound truncates the replicas' own logs (they re-append
+      // every applied record so a promoted replica can serve the
+      // stream): records the whole placement has applied are dead
+      // weight on every copy. Serial pass: safe to mutate here.
+      const uint64_t trunc = std::min(min_cursor, floor);
+      src->TruncateReplLogThrough(trunc);
+      for (storage::LsmEngine* re : replica_engines) {
+        re->TruncateReplLogThrough(trunc);
+      }
+    }
+  }
+
+  // Parallel pass: each node applies only the streams addressed to it
+  // (its own replica engines); the source primary logs are read-only
+  // here, so the fan-out is race-free and node-id-ordered batches keep
+  // it bit-identical across worker counts.
+  sim.executor_->ParallelFor(batches.size(), [&](size_t i) {
+    node::DataNode* n = sim.nodes_[i].get();
+    for (const Shipment& sh : batches[i]) {
+      if (sh.snapshot) {
+        n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
+        continue;
+      }
+      for (const storage::ReplRecord* rec :
+           sh.src->repl_log().Delta(sh.after, sh.through)) {
+        if (!n->ApplyReplicated(sh.tenant, sh.partition, *rec)) {
+          // Unexpected gap: fall back to a full re-seed.
+          n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
+          break;
+        }
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Settle
 // ---------------------------------------------------------------------------
 
@@ -357,6 +600,7 @@ TickPipeline::TickPipeline(ClusterSim* sim) {
   stages_.push_back(std::make_unique<ProxyAdmitStage>(sim));
   stages_.push_back(std::make_unique<RouteStage>(sim));
   stages_.push_back(std::make_unique<NodeScheduleStage>(sim));
+  stages_.push_back(std::make_unique<ReplicateStage>(sim));
   stages_.push_back(std::make_unique<SettleStage>(sim));
 }
 

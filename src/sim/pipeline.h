@@ -2,12 +2,14 @@
 //
 // ClusterSim::Tick() used to be one monolithic loop that interleaved
 // workload generation, proxy admission, routing, node scheduling, and
-// response settlement inline. It is now an explicit six-stage pipeline:
+// response settlement inline. It is now an explicit seven-stage pipeline:
 //
 //   Fault        queued FailNode/RecoverNode events land (serial): dead
 //       |        nodes drop their work and stranded in-flight requests
-//       |        resolve Unavailable; failure-detection and WAL catch-up
-//       |        countdowns advance (failover promotion / failback)
+//       |        resolve Unavailable; failure-detection and catch-up
+//       |        countdowns advance (failover promotion / real log-delta
+//       |        resync + failback); planned re-replication copies
+//       |        execute after their grace period
 //   Generate     tenant workload generators (parallel per tenant) +
 //       |        injected client requests
 //       |        -> TickContext::traffic / injected
@@ -15,15 +17,24 @@
 //       |        per tenant — each tenant owns its proxies, router RNG
 //       |        stream, and metrics), plus AU-LRU refresh fetches
 //       |        -> TickContext::forwards (PendingForward)
-//   Route        partition -> primary DataNode resolution against the
-//       |        tenant's epoch-stamped routing cache, with a redirect
-//       |        chase on stale entries, and in-flight registration
-//       |        (serial), then per-node submission (parallel per node)
+//   Route        partition -> DataNode resolution against the tenant's
+//       |        epoch-stamped routing cache (primary for writes and
+//       |        kPrimary reads; round-robin over alive replicas for
+//       |        kEventual reads), with a redirect chase on stale
+//       |        entries, and in-flight registration (serial), then
+//       |        per-node submission (parallel per node)
 //   NodeSchedule every DataNode runs its WFQ tick (parallel per node)
 //       |        -> TickContext::responses (merged in node-id order)
+//   Replicate    each partition's primary ships its acknowledged write
+//       |        stream — delayed by SimOptions::replication_lag_ticks —
+//       |        to the replica engines: shipping floors and batches are
+//       |        computed serially in (tenant, partition) order, then
+//       |        each node applies only the streams addressed to it
+//       |        (parallel per node)
 //   Settle       response delivery to proxies / metrics / client
-//                outcomes, MetaServer traffic report, clock advance
-//                (serial barrier stage)
+//                outcomes (replica-read staleness sampled against the
+//                primaries' cursors), MetaServer traffic report, clock
+//                advance (serial barrier stage)
 //
 // Parallel stages fan out over the simulator's Executor
 // (SimOptions::data_plane_workers); every unit of parallel work is
@@ -184,6 +195,27 @@ class NodeScheduleStage final : public Stage {
   ClusterSim* sim_;
 };
 
+/// Ships every partition's acknowledged primary writes to its replica
+/// engines, `SimOptions::replication_lag_ticks` ticks behind the
+/// acknowledgements. The serial pass walks partitions in (tenant,
+/// partition) order: it advances each stream's acked-seq history, picks
+/// the shipping floor, batches the per-replica log deltas by destination
+/// node, and truncates the primary's log below the slowest cursor. The
+/// parallel pass then lets each node apply the batches addressed to it —
+/// a node only ever mutates its own replica engines, and the source
+/// primary logs are read-only during the fan-out, so runs stay
+/// bit-identical across worker counts. A replica whose cursor fell
+/// behind a truncated log is re-seeded with a snapshot resync instead.
+class ReplicateStage final : public Stage {
+ public:
+  explicit ReplicateStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Replicate"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
 /// Delivers responses back through the forwarding proxies (quota
 /// settlement, cache fill) into tenant metrics and tracked client
 /// outcomes; then runs the periodic MetaServer traffic report, seals the
@@ -199,7 +231,7 @@ class SettleStage final : public Stage {
   ClusterSim* sim_;
 };
 
-/// The six stages, in order. Owned by the ClusterSim; tests may run
+/// The seven stages, in order. Owned by the ClusterSim; tests may run
 /// stages one at a time against their own TickContext.
 class TickPipeline {
  public:

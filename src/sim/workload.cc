@@ -98,6 +98,10 @@ std::vector<ClientRequest> WorkloadGenerator::Tick(Micros now,
 
     bool is_hash = rng_.NextBool(profile_.hash_op_fraction);
     bool is_read = rng_.NextBool(profile_.read_ratio);
+    if (is_read && profile_.eventual_read_fraction > 0 &&
+        rng_.NextBool(profile_.eventual_read_fraction)) {
+      req.consistency = Consistency::kEventual;
+    }
     if (is_hash) {
       req.field = "f" + std::to_string(rng_.NextUint64(profile_.hash_fields));
       if (is_read) {

@@ -45,6 +45,11 @@ struct WorkloadProfile {
 
   // Operation mix.
   double read_ratio = 1.0;      ///< Fraction of ops that read.
+  /// Fraction of reads issued with Consistency::kEventual (replica
+  /// reads, possibly stale by the replication lag). 0 keeps every read
+  /// on the primary — and draws nothing from the RNG, so enabling this
+  /// on one tenant never perturbs another tenant's stream.
+  double eventual_read_fraction = 0;
   double hash_op_fraction = 0;  ///< Fraction of ops on hash tables.
   uint32_t hash_fields = 8;     ///< Fields per hash key.
 

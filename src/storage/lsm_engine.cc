@@ -19,6 +19,7 @@ LsmEngine::LsmEngine(LsmOptions options, const Clock* clock)
 void LsmEngine::WriteEntry(const std::string& key, ValueEntry entry) {
   entry.seq = next_seq_++;
   if (options_.enable_wal) wal_.Append(key, entry);
+  if (options_.enable_repl_log) repl_log_.Append(key, entry);
   mem_.Put(key, std::move(entry));
   stats_.puts++;
   MaybeFlush();
@@ -321,6 +322,36 @@ std::vector<std::pair<std::string, ValueEntry>> LsmEngine::MergeRuns(
     rows.emplace_back(key, std::move(entry));
   }
   return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+Status LsmEngine::ApplyReplicated(const ReplRecord& rec) {
+  if (rec.entry.seq != next_seq_) {
+    return Status::InvalidArgument("replication stream gap");
+  }
+  next_seq_ = rec.entry.seq + 1;
+  if (options_.enable_wal) wal_.Append(rec.key, rec.entry);
+  if (options_.enable_repl_log) repl_log_.Append(rec.key, rec.entry);
+  mem_.Put(rec.key, rec.entry);
+  stats_.repl_applied++;
+  MaybeFlush();
+  return Status::OK();
+}
+
+void LsmEngine::ResyncFrom(const LsmEngine& src) {
+  mem_ = src.mem_;
+  wal_ = src.wal_;
+  repl_log_ = src.repl_log_;
+  // SSTables are immutable after construction; the runs are shared, so a
+  // snapshot resync costs O(runs), not O(bytes) — the tick cost of the
+  // transfer is modeled by the caller (catch-up / rebuild ticks).
+  levels_ = src.levels_;
+  next_seq_ = src.next_seq_;
+  next_sst_id_ = src.next_sst_id_;
+  stats_.resyncs++;
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "storage/memtable.h"
+#include "storage/replication_log.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
 
@@ -31,6 +32,12 @@ struct LsmOptions {
   int max_levels = 5;
   /// Whether mutations are logged for crash recovery.
   bool enable_wal = true;
+  /// Whether mutations are retained in the replication log so replica
+  /// engines can apply this engine's stream (DESIGN.md "Replication").
+  /// Off by default: only a shipper (the Replicate pipeline step)
+  /// truncates the log, so a standalone engine would grow it with every
+  /// write. DataNode force-enables it for hosted partition replicas.
+  bool enable_repl_log = false;
 };
 
 /// Cumulative engine counters (monotonic; diff across a window for rates).
@@ -46,6 +53,8 @@ struct LsmStats {
   uint64_t compaction_read_bytes = 0;
   uint64_t compaction_write_bytes = 0;
   uint64_t expired_dropped = 0;      ///< TTL'd entries discarded.
+  uint64_t repl_applied = 0;         ///< Records applied from a primary's stream.
+  uint64_t resyncs = 0;              ///< Full snapshot re-seeds of this engine.
 };
 
 /// Per-operation I/O outcome, consumed by the DataNode to decide whether a
@@ -132,6 +141,40 @@ class LsmEngine {
   /// WAL. With WAL disabled, unflushed writes are lost (by design).
   void CrashAndRecover();
 
+  // -- Replication ----------------------------------------------------------
+  //
+  // Every local mutation is assigned a monotonic apply sequence and (when
+  // enable_repl_log) appended to the replication log. A replica engine
+  // applies the primary's stream in order via ApplyReplicated, preserving
+  // sequences, so `applied_seq()` is its exact cursor into the primary's
+  // log and byte-identical state follows from byte-identical streams.
+
+  /// Sequence of the last applied mutation (local write or replicated
+  /// record). 0 for a pristine engine.
+  uint64_t applied_seq() const { return next_seq_ - 1; }
+
+  /// Applies one record of a primary's replication stream. The stream is
+  /// strictly ordered: `rec.entry.seq` must be exactly applied_seq() + 1,
+  /// otherwise InvalidArgument (the shipper must fall back to a snapshot
+  /// resync). Writes through the WAL and this engine's own replication
+  /// log, so a replica survives crashes and can itself be promoted.
+  Status ApplyReplicated(const ReplRecord& rec);
+
+  /// Re-seeds this engine with a full snapshot of `src`: memtable, WAL,
+  /// runs (shared — SSTables are immutable), replication log, and apply
+  /// sequence. Used when a delta replay is impossible: a freshly placed
+  /// replica behind a truncated log, or a recovered ex-primary whose
+  /// unreplicated suffix diverged from the promoted replica's history.
+  void ResyncFrom(const LsmEngine& src);
+
+  /// The retained replication stream (primary side of the shipper).
+  const ReplicationLog& repl_log() const { return repl_log_; }
+
+  /// Drops replication-log records every replica has applied.
+  void TruncateReplLogThrough(uint64_t seq) {
+    repl_log_.TruncateThrough(seq);
+  }
+
   // -- Introspection --------------------------------------------------------
 
   const LsmStats& stats() const { return stats_; }
@@ -165,6 +208,7 @@ class LsmEngine {
   const Clock* clock_;
   MemTable mem_;
   WriteAheadLog wal_;
+  ReplicationLog repl_log_;
   /// levels_[0] is newest; within a level, later index = newer run.
   std::vector<std::vector<SsTablePtr>> levels_;
   uint64_t next_seq_ = 1;

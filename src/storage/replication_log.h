@@ -1,0 +1,116 @@
+// Per-partition replication stream: the sequenced write log a primary
+// engine retains so its replicas can apply the exact same mutations in
+// the exact same order. Every acknowledged engine write (local or
+// applied from a primary's stream) appends one record; record sequence
+// numbers are the engine's monotonic apply sequence, so the log is
+// contiguous and a replica's `applied_seq` is its cursor into the
+// primary's log. The log is truncated only up to the slowest replica's
+// cursor (the Replicate pipeline step drives this); a replica whose
+// cursor fell below the retained range is re-seeded with a full state
+// snapshot instead of a delta replay.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace abase {
+namespace storage {
+
+/// One shipped mutation: the full key/value version as the primary
+/// applied it. `entry.seq` is the record's position in the stream.
+struct ReplRecord {
+  std::string key;
+  ValueEntry entry;
+};
+
+/// Append-only, contiguously-sequenced mutation log with prefix
+/// truncation. Records are indexed by stream sequence: record `seq`
+/// lives at `records_[seq - first_seq()]`.
+class ReplicationLog {
+ public:
+  void Append(std::string key, const ValueEntry& entry) {
+    assert(records_.empty() || entry.seq == last_seq() + 1);
+    bytes_ += key.size() + entry.PayloadBytes();
+    records_.push_back(ReplRecord{std::move(key), entry});
+  }
+
+  /// First retained sequence (first_seq() > 1 after truncation).
+  uint64_t first_seq() const {
+    return records_.empty() ? truncated_through_ + 1
+                            : records_.front().entry.seq;
+  }
+
+  /// Last appended sequence (0 when nothing was ever appended).
+  uint64_t last_seq() const {
+    return records_.empty() ? truncated_through_
+                            : records_.back().entry.seq;
+  }
+
+  /// Whether a replica whose cursor is `applied_seq` can be caught up by
+  /// delta replay: every record in (applied_seq, last_seq()] is retained.
+  bool Covers(uint64_t applied_seq) const {
+    return applied_seq + 1 >= first_seq();
+  }
+
+  /// Records with sequence in (after_seq, through_seq], oldest first.
+  /// Callers must check Covers(after_seq) beforehand.
+  std::vector<const ReplRecord*> Delta(uint64_t after_seq,
+                                       uint64_t through_seq) const {
+    std::vector<const ReplRecord*> out;
+    if (records_.empty() || through_seq <= after_seq) return out;
+    const uint64_t lo = first_seq();
+    assert(after_seq + 1 >= lo);
+    const uint64_t hi = std::min(through_seq, last_seq());
+    if (hi <= after_seq) return out;
+    out.reserve(static_cast<size_t>(hi - after_seq));
+    for (uint64_t seq = after_seq + 1; seq <= hi; seq++) {
+      out.push_back(&records_[static_cast<size_t>(seq - lo)]);
+    }
+    return out;
+  }
+
+  /// Payload bytes of the records after `after_seq` (catch-up sizing).
+  uint64_t BytesAfter(uint64_t after_seq) const {
+    uint64_t total = 0;
+    const uint64_t lo = first_seq();
+    for (uint64_t seq = std::max(after_seq + 1, lo); seq <= last_seq();
+         seq++) {
+      const ReplRecord& rec = records_[static_cast<size_t>(seq - lo)];
+      total += rec.key.size() + rec.entry.PayloadBytes();
+    }
+    return total;
+  }
+
+  /// Drops records with sequence <= `seq` (every replica has applied
+  /// them). No-op for sequences below the current floor.
+  void TruncateThrough(uint64_t seq) {
+    size_t keep_from = 0;
+    while (keep_from < records_.size() &&
+           records_[keep_from].entry.seq <= seq) {
+      bytes_ -= records_[keep_from].key.size() +
+                records_[keep_from].entry.PayloadBytes();
+      keep_from++;
+    }
+    if (keep_from == 0) return;
+    truncated_through_ =
+        std::max(truncated_through_, records_[keep_from - 1].entry.seq);
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+
+  size_t record_count() const { return records_.size(); }
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<ReplRecord> records_;
+  uint64_t bytes_ = 0;
+  uint64_t truncated_through_ = 0;  ///< Highest seq dropped by truncation.
+};
+
+}  // namespace storage
+}  // namespace abase

@@ -4,6 +4,7 @@
 // determinism of a mid-run failover under any data-plane worker count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,14 @@ meta::TenantConfig FailoverTenant(TenantId id, uint32_t partitions = 1,
   return c;
 }
 
-TEST(FailoverTest, WalCatchUpRestoresPreCrashKeysAfterFailback) {
+TEST(FailoverTest, PromotedReplicaServesRealDataAndFailbackRestoresPrimary) {
   ClusterOptions copts;
   copts.sim.seed = 31;
   copts.sim.failover_detection_ticks = 1;
+  copts.sim.replication_lag_ticks = 0;
+  // This test holds the node down across many sync-op ticks; keep the
+  // executed re-replication out of the picture (covered separately).
+  copts.sim.re_replication_delay_ticks = 64;
   Cluster cluster(copts);
   PoolId pool = cluster.CreatePool(4);
   ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
@@ -114,26 +119,39 @@ TEST(FailoverTest, WalCatchUpRestoresPreCrashKeysAfterFailback) {
   EXPECT_EQ(cluster.sim().LastFailoverReport()->primaries_promoted, 1u);
   EXPECT_FALSE(
       cluster.sim().LastFailoverReport()->re_replication_targets.empty());
+  // With replication lag 0, every acknowledged write had been applied by
+  // the promoted replica before the crash: no lost-write window.
+  EXPECT_EQ(cluster.sim().LastFailoverReport()->lost_acked_writes, 0u);
 
-  // The promoted replica holds no data (replication is metadata-only in
-  // the simulator): reads come back NotFound, but they are *answered* —
-  // the failure window is degraded, not wedged.
-  auto degraded = client.Get("k0");
-  EXPECT_FALSE(degraded.ok());
-  EXPECT_TRUE(degraded.status().IsNotFound());
+  // The promoted replica serves its actually-applied state: every
+  // pre-crash value is readable *during* the failure window.
+  for (int i = 0; i < kKeys; i++) {
+    auto r = client.Get("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "k" << i << " during window: "
+                        << r.status().ToString();
+    EXPECT_EQ(r.value(), "v" + std::to_string(i));
+  }
 
-  // Recover: WAL replay + catch-up ticks, then failback to primary.
+  // Writes accepted by the interim primary extend the same stream.
+  ASSERT_TRUE(client.Set("k-interim", "written-while-failed").ok());
+
+  // Recover: log-delta resync + catch-up ticks, then failback.
   cluster.RecoverNode(primary, /*catch_up_ticks=*/2);
   cluster.RunTicks(4);
   EXPECT_EQ(cluster.sim().DownNodeCount(), 0u);
   EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), primary);
 
-  // Post-recovery reads return every pre-crash value via WAL replay.
+  // Post-failback reads return every pre-crash value AND the interim
+  // window's writes: the recovered node resynced the real log delta
+  // from the interim primary before taking the lead back.
   for (int i = 0; i < kKeys; i++) {
     auto r = client.Get("k" + std::to_string(i));
     ASSERT_TRUE(r.ok()) << "k" << i << ": " << r.status().ToString();
     EXPECT_EQ(r.value(), "v" + std::to_string(i));
   }
+  auto interim = client.Get("k-interim");
+  ASSERT_TRUE(interim.ok()) << interim.status().ToString();
+  EXPECT_EQ(interim.value(), "written-while-failed");
 
   // The failure window left visible fingerprints in the tenant metrics:
   // Unavailable resolutions while the primary was dark, and at least one
@@ -145,6 +163,235 @@ TEST(FailoverTest, WalCatchUpRestoresPreCrashKeysAfterFailback) {
   }
   EXPECT_GT(unavailable, 0u);
   EXPECT_GE(redirects, 2u);  // Failover redirect + failback redirect.
+}
+
+// ------------------------------------------------------ Lost-write window --
+
+/// Writes a steady stream of acknowledged SETs, kills the primary, and
+/// measures the lost-write window two ways: the promotion report's
+/// `lost_acked_writes`, and the acknowledged keys no longer readable
+/// from the promoted replica. Proxy caches are disabled so reads measure
+/// engine state, not cached copies.
+struct LagRunResult {
+  uint64_t reported_lost = 0;
+  uint64_t measured_lost = 0;
+  size_t acked = 0;
+};
+
+LagRunResult RunLostWriteScenario(int lag) {
+  ClusterOptions copts;
+  copts.sim.seed = 77;
+  copts.sim.failover_detection_ticks = 0;
+  copts.sim.replication_lag_ticks = lag;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  EXPECT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+  cluster.sim().SetProxyCacheEnabled(1, false);
+  Client client = cluster.OpenClient(1);
+
+  constexpr int kTicks = 8;
+  constexpr int kWritesPerTick = 5;
+  std::vector<std::string> acked_keys;
+  for (int t = 0; t < kTicks; t++) {
+    std::vector<Command> batch;
+    std::vector<std::string> keys;
+    for (int i = 0; i < kWritesPerTick; i++) {
+      std::string key = "w" + std::to_string(t) + "_" + std::to_string(i);
+      keys.push_back(key);
+      batch.push_back(Command::Set(key, "v"));
+    }
+    std::vector<Future<Reply>> futures = client.SubmitBatch(std::move(batch));
+    cluster.Step();
+    for (size_t i = 0; i < futures.size(); i++) {
+      if (futures[i].ready() && (*futures[i]).ok()) {
+        acked_keys.push_back(keys[i]);
+      }
+    }
+  }
+
+  const NodeId primary = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(primary);
+  cluster.RunTicks(2);  // Crash lands; detection 0 promotes immediately.
+  EXPECT_NE(cluster.meta().PrimaryFor(1, 0), primary);
+
+  LagRunResult res;
+  res.acked = acked_keys.size();
+  EXPECT_TRUE(cluster.sim().LastFailoverReport().has_value());
+  if (cluster.sim().LastFailoverReport().has_value()) {
+    res.reported_lost =
+        cluster.sim().LastFailoverReport()->lost_acked_writes;
+  }
+  for (const std::string& key : acked_keys) {
+    auto r = client.Get(key);
+    if (!r.ok()) res.measured_lost++;
+  }
+  return res;
+}
+
+TEST(FailoverTest, LostAckedWriteWindowGrowsMonotonicallyWithLag) {
+  LagRunResult lag0 = RunLostWriteScenario(0);
+  LagRunResult lag2 = RunLostWriteScenario(2);
+  LagRunResult lag4 = RunLostWriteScenario(4);
+  ASSERT_GT(lag0.acked, 0u);
+
+  // Lag 0: every acknowledged write survives the primary kill.
+  EXPECT_EQ(lag0.reported_lost, 0u);
+  EXPECT_EQ(lag0.measured_lost, 0u);
+
+  // Lag > 0: a real, measurable loss that grows with the lag, and the
+  // promotion report's accounting matches what clients observe.
+  EXPECT_GT(lag2.measured_lost, lag0.measured_lost);
+  EXPECT_GT(lag4.measured_lost, lag2.measured_lost);
+  EXPECT_EQ(lag2.reported_lost, lag2.measured_lost);
+  EXPECT_EQ(lag4.reported_lost, lag4.measured_lost);
+}
+
+// ------------------------------------------------- Executed re-replication --
+
+TEST(FailoverTest, ReReplicationExecutesWhenNodeStaysDown) {
+  ClusterOptions copts;
+  copts.sim.seed = 101;
+  copts.sim.failover_detection_ticks = 0;
+  copts.sim.replication_lag_ticks = 0;
+  copts.sim.re_replication_delay_ticks = 2;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(5);
+  ASSERT_TRUE(
+      cluster.CreateTenant(FailoverTenant(1, /*partitions=*/1), pool).ok());
+  cluster.sim().SetProxyCacheEnabled(1, false);
+  Client client = cluster.OpenClient(1);
+
+  constexpr int kKeys = 8;
+  for (int i = 0; i < kKeys; i++) {
+    ASSERT_TRUE(client.Set("k" + std::to_string(i),
+                           "v" + std::to_string(i)).ok());
+  }
+
+  const NodeId victim = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(victim);
+  cluster.RunTicks(8);  // Detection + grace period + copy ticks.
+
+  // The planned target was executed: real partition state placed on a
+  // new node, the dead node evicted from the placement.
+  EXPECT_GT(cluster.sim().ExecutedRebuildCount(), 0u);
+  ASSERT_TRUE(cluster.sim().LastFailoverReport().has_value());
+  EXPECT_EQ(cluster.sim().LastFailoverReport()->replicas_rebuilt_executed,
+            cluster.sim().ExecutedRebuildCount());
+  const meta::TenantMeta* tm = cluster.meta().GetTenant(1);
+  ASSERT_NE(tm, nullptr);
+  const auto& reps = tm->partitions[0].replicas;
+  EXPECT_EQ(std::find(reps.begin(), reps.end(), victim), reps.end())
+      << "dead node should have been replaced in the placement";
+  for (NodeId nid : reps) {
+    node::DataNode* n = cluster.sim().FindNode(nid);
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(n->HasReplica(1, 0));
+    // Every placement member holds the real pre-crash data.
+    storage::LsmEngine* engine = n->EngineFor(1, 0);
+    ASSERT_NE(engine, nullptr);
+    for (int i = 0; i < kKeys; i++) {
+      auto r = engine->Get("k" + std::to_string(i));
+      ASSERT_TRUE(r.ok()) << "node " << nid << " k" << i;
+      EXPECT_EQ(r.value(), "v" + std::to_string(i));
+    }
+  }
+
+  // The evicted node recovering later must NOT fail back into a
+  // partition it no longer owns.
+  cluster.RecoverNode(victim, 1);
+  cluster.RunTicks(3);
+  EXPECT_NE(cluster.meta().PrimaryFor(1, 0), victim);
+  node::DataNode* returned = cluster.sim().FindNode(victim);
+  ASSERT_NE(returned, nullptr);
+  EXPECT_FALSE(returned->IsPrimaryFor(1, 0));
+
+  // Kill the interim primary too: the rebuilt replica carries the data,
+  // so the partition promotes again and pre-crash keys stay readable.
+  const NodeId interim = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(interim);
+  cluster.RunTicks(2);
+  ASSERT_NE(cluster.meta().PrimaryFor(1, 0), interim);
+  for (int i = 0; i < kKeys; i++) {
+    auto r = client.Get("k" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << "k" << i << " after double failure: "
+                        << r.status().ToString();
+  }
+}
+
+TEST(FailoverTest, ReReplicationCancelledWhenNodeRecoversInTime) {
+  ClusterOptions copts;
+  copts.sim.seed = 103;
+  copts.sim.failover_detection_ticks = 0;
+  copts.sim.re_replication_delay_ticks = 6;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(5);
+  ASSERT_TRUE(cluster.CreateTenant(FailoverTenant(1), pool).ok());
+  Client client = cluster.OpenClient(1);
+  ASSERT_TRUE(client.Set("k", "v").ok());
+
+  const NodeId victim = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(victim);
+  cluster.RunTicks(2);
+  EXPECT_GT(cluster.sim().PendingRebuildCount(), 0u);
+
+  cluster.RecoverNode(victim, 1);
+  cluster.RunTicks(6);
+  // Recovery beat the grace period: no copy was executed, the node took
+  // its primary back.
+  EXPECT_EQ(cluster.sim().ExecutedRebuildCount(), 0u);
+  EXPECT_EQ(cluster.sim().PendingRebuildCount(), 0u);
+  EXPECT_EQ(cluster.meta().PrimaryFor(1, 0), victim);
+}
+
+// ----------------------------------------------------------- Replica reads --
+
+TEST(FailoverTest, EventualReadsBalanceAcrossReplicasAndSurviveOutage) {
+  ClusterOptions copts;
+  copts.sim.seed = 109;
+  copts.sim.failover_detection_ticks = 1;
+  copts.sim.replication_lag_ticks = 1;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(4);
+  ASSERT_TRUE(
+      cluster.CreateTenant(FailoverTenant(1, /*partitions=*/1), pool).ok());
+  cluster.sim().SetProxyCacheEnabled(1, false);
+  Client client = cluster.OpenClient(1);
+
+  ASSERT_TRUE(client.Set("k", "v").ok());
+  cluster.RunTicks(2);  // Let the stream catch the replicas up.
+
+  // Eventual GETs round-robin over the three replicas: some land on
+  // non-primary replicas and are counted (with staleness) in metrics.
+  std::vector<Command> reads;
+  for (int i = 0; i < 9; i++) reads.push_back(Command::GetEventual("k"));
+  std::vector<Future<Reply>> futures = client.SubmitBatch(std::move(reads));
+  cluster.Drain();
+  for (const auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    EXPECT_TRUE(f->ok()) << f->status.ToString();
+    EXPECT_EQ(f->value, "v");
+  }
+  uint64_t replica_reads = 0;
+  for (const auto& m : cluster.sim().History(1)) {
+    replica_reads += m.replica_reads;
+  }
+  EXPECT_GT(replica_reads, 0u);
+
+  // During the primary outage — before the failure detector promotes —
+  // primary reads fail but eventual reads keep serving off replicas.
+  // Both reads land in the tick the crash does: the routing table still
+  // points at the dead primary.
+  const NodeId primary = cluster.meta().PrimaryFor(1, 0);
+  cluster.FailNode(primary);
+  auto primary_read = client.Submit(Command::Get("k"));
+  auto eventual_read = client.Submit(Command::GetEventual("k"));
+  cluster.Step();  // Crash lands; detection countdown still running.
+  cluster.Drain();
+  ASSERT_TRUE(primary_read.ready());
+  ASSERT_TRUE(eventual_read.ready());
+  EXPECT_TRUE(primary_read->status.IsUnavailable());
+  EXPECT_TRUE(eventual_read->ok()) << eventual_read->status.ToString();
+  EXPECT_EQ(eventual_read->value, "v");
 }
 
 TEST(FailoverTest, StrandedInflightRequestsResolveUnavailable) {
@@ -343,6 +590,8 @@ std::vector<std::vector<sim::TenantTickMetrics>> RunFailoverScenario(
     profile.read_ratio = (t % 2 == 0) ? 0.95 : 0.6;
     profile.num_keys = 200;
     profile.value_bytes = 256;
+    // Replica reads must stay deterministic through the failover too.
+    profile.eventual_read_fraction = (t % 2 == 0) ? 0.4 : 0.0;
     sim.SetWorkload(t, profile);
   }
 
@@ -389,6 +638,8 @@ TEST(FailoverTest, MidRunFailoverBitIdenticalAcrossWorkers) {
                     a.errors == b.errors && a.throttled == b.throttled &&
                     a.unavailable == b.unavailable &&
                     a.redirects == b.redirects &&
+                    a.replica_reads == b.replica_reads &&
+                    a.replica_lag_sum == b.replica_lag_sum &&
                     a.proxy_hits == b.proxy_hits &&
                     a.node_cache_hits == b.node_cache_hits &&
                     a.disk_reads == b.disk_reads &&

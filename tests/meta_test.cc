@@ -3,11 +3,13 @@
 // migration, and parallel failure recovery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 
 #include "common/clock.h"
 #include "meta/meta_server.h"
+#include "storage/replication_log.h"
 
 namespace abase {
 namespace meta {
@@ -197,6 +199,148 @@ TEST_F(MetaTest, FailNodeRebuildsAllReplicasInParallel) {
   for (const auto& p : meta_.GetTenant(1)->partitions) {
     for (NodeId nid : p.replicas) EXPECT_NE(nid, victim);
   }
+}
+
+TEST_F(MetaTest, MigrateReplicaCarriesRealEngineState) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 1, 3), pool_).ok());
+  NodeId from = meta_.GetTenant(1)->partitions[0].replicas[0];
+  node::DataNode* src = nullptr;
+  for (auto& n : nodes_) {
+    if (n->id() == from) src = n.get();
+  }
+  ASSERT_NE(src, nullptr);
+  ASSERT_TRUE(src->EngineFor(1, 0)->Put("migrated-key", "payload").ok());
+
+  NodeId to = kInvalidNode;
+  for (auto& n : nodes_) {
+    if (!n->HasReplica(1, 0)) to = n->id();
+  }
+  ASSERT_NE(to, kInvalidNode);
+  ASSERT_TRUE(meta_.MigrateReplica(1, 0, from, to).ok());
+
+  // The moved replica holds the source's real state and stream cursor —
+  // not an empty engine.
+  node::DataNode* dst = nullptr;
+  for (auto& n : nodes_) {
+    if (n->id() == to) dst = n.get();
+  }
+  ASSERT_NE(dst, nullptr);
+  ASSERT_TRUE(dst->HasReplica(1, 0));
+  auto r = dst->EngineFor(1, 0)->Get("migrated-key");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "payload");
+  EXPECT_EQ(dst->EngineFor(1, 0)->applied_seq(), 1u);
+}
+
+TEST_F(MetaTest, FailNodeRebuildPlacesRealDataOnTargets) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 2, 3), pool_).ok());
+  // Seed the primaries, then bring every replica up to date through the
+  // replication stream (what the Replicate pipeline step does live).
+  const TenantMeta* t = meta_.GetTenant(1);
+  for (PartitionId p = 0; p < t->partitions.size(); p++) {
+    const auto& reps = t->partitions[p].replicas;
+    node::DataNode* primary = nullptr;
+    for (auto& n : nodes_) {
+      if (n->id() == reps[0]) primary = n.get();
+    }
+    ASSERT_NE(primary, nullptr);
+    auto* engine = primary->EngineFor(1, p);
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(engine->Put("p" + std::to_string(p) + ":k" +
+                                  std::to_string(i),
+                              "v" + std::to_string(i)).ok());
+    }
+    for (size_t r = 1; r < reps.size(); r++) {
+      for (auto& n : nodes_) {
+        if (n->id() != reps[r]) continue;
+        for (const storage::ReplRecord* rec :
+             engine->repl_log().Delta(0, engine->applied_seq())) {
+          ASSERT_TRUE(n->ApplyReplicated(1, p, *rec));
+        }
+      }
+    }
+  }
+
+  NodeId victim = nodes_[0]->id();
+  size_t victim_replicas = nodes_[0]->replica_count();
+  ASSERT_GT(victim_replicas, 0u);
+  auto report = meta_.FailNode(pool_, victim);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().replicas_rebuilt, victim_replicas);
+  // Permanent loss executes the rebuild immediately: every target
+  // recorded in the report holds the real pre-crash partition state.
+  EXPECT_EQ(report.value().replicas_rebuilt_executed, victim_replicas);
+  ASSERT_EQ(report.value().re_replication_targets.size(), victim_replicas);
+  for (const ReReplicationTarget& target :
+       report.value().re_replication_targets) {
+    node::DataNode* dst = nullptr;
+    for (auto& n : nodes_) {
+      if (n->id() == target.target) dst = n.get();
+    }
+    ASSERT_NE(dst, nullptr);
+    ASSERT_TRUE(dst->HasReplica(target.tenant, target.partition));
+    auto* engine = dst->EngineFor(target.tenant, target.partition);
+    for (int i = 0; i < 10; i++) {
+      auto r = engine->Get("p" + std::to_string(target.partition) + ":k" +
+                           std::to_string(i));
+      ASSERT_TRUE(r.ok()) << "target " << target.target << " partition "
+                          << target.partition << " key " << i;
+      EXPECT_EQ(r.value(), "v" + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(MetaTest, ExecuteReReplicationReplacesDeadSlotWithRealCopy) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 1, 3), pool_).ok());
+  const TenantMeta* t = meta_.GetTenant(1);
+  const NodeId victim = t->partitions[0].replicas[0];
+  node::DataNode* primary = nullptr;
+  for (auto& n : nodes_) {
+    if (n->id() == victim) primary = n.get();
+  }
+  ASSERT_NE(primary, nullptr);
+  auto* engine = primary->EngineFor(1, 0);
+  ASSERT_TRUE(engine->Put("k", "v").ok());
+  // Stream the write to the surviving replicas so the promoted one has it.
+  for (size_t r = 1; r < t->partitions[0].replicas.size(); r++) {
+    for (auto& n : nodes_) {
+      if (n->id() != t->partitions[0].replicas[r]) continue;
+      for (const storage::ReplRecord* rec :
+           engine->repl_log().Delta(0, engine->applied_seq())) {
+        ASSERT_TRUE(n->ApplyReplicated(1, 0, *rec));
+      }
+    }
+  }
+
+  primary->Fail();
+  auto report = meta_.PromoteFailover(victim);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().primaries_promoted, 1u);
+  ASSERT_FALSE(report.value().re_replication_targets.empty());
+  ASSERT_TRUE(meta_.HasDemotionClaim(victim, 1, 0));
+
+  const ReReplicationTarget& target = report.value().re_replication_targets[0];
+  ASSERT_TRUE(
+      meta_.ExecuteReReplication(1, 0, victim, target.target).ok());
+
+  // The target joined the placement with the real data; the dead node
+  // left it and forfeited its failback claim.
+  const auto& reps = meta_.GetTenant(1)->partitions[0].replicas;
+  EXPECT_NE(std::find(reps.begin(), reps.end(), target.target), reps.end());
+  EXPECT_EQ(std::find(reps.begin(), reps.end(), victim), reps.end());
+  EXPECT_FALSE(meta_.HasDemotionClaim(victim, 1, 0));
+  node::DataNode* dst = nullptr;
+  for (auto& n : nodes_) {
+    if (n->id() == target.target) dst = n.get();
+  }
+  ASSERT_NE(dst, nullptr);
+  auto r = dst->EngineFor(1, 0)->Get("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v");
+
+  // Executing the same plan twice is refused (the slot moved on).
+  EXPECT_FALSE(
+      meta_.ExecuteReReplication(1, 0, victim, target.target).ok());
 }
 
 TEST_F(MetaTest, ParallelRecoveryFasterThanSingleNode) {

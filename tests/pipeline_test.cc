@@ -81,13 +81,14 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   sim.InjectRequest(req);
 
   sim::TickPipeline& pipeline = sim.pipeline();
-  ASSERT_EQ(pipeline.num_stages(), 6u);
+  ASSERT_EQ(pipeline.num_stages(), 7u);
   EXPECT_STREQ(pipeline.stage(0).name(), "Fault");
   EXPECT_STREQ(pipeline.stage(1).name(), "Generate");
   EXPECT_STREQ(pipeline.stage(2).name(), "ProxyAdmit");
   EXPECT_STREQ(pipeline.stage(3).name(), "Route");
   EXPECT_STREQ(pipeline.stage(4).name(), "NodeSchedule");
-  EXPECT_STREQ(pipeline.stage(5).name(), "Settle");
+  EXPECT_STREQ(pipeline.stage(5).name(), "Replicate");
+  EXPECT_STREQ(pipeline.stage(6).name(), "Settle");
 
   sim::TickContext ctx;
 
@@ -123,8 +124,15 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   EXPECT_EQ(ctx.responses[0].req_id, 424242u);
   EXPECT_TRUE(ctx.responses[0].status.ok());
 
-  // Settle: metrics recorded, outcome available, clock advanced.
+  // Replicate: with lag 0, every replica of the preloaded partitions is
+  // caught up to its primary's stream after the step.
   pipeline.stage(5).Run(ctx);
+  for (PartitionId p = 0; p < 4; p++) {
+    EXPECT_EQ(sim.ReplicationLag(1, p), 0u) << "partition " << p;
+  }
+
+  // Settle: metrics recorded, outcome available, clock advanced.
+  pipeline.stage(6).Run(ctx);
   EXPECT_EQ(sim.InflightCount(), 0u);
   auto outcome = sim.TakeOutcome(424242u);
   ASSERT_TRUE(outcome.has_value());
@@ -142,7 +150,10 @@ bool MetricsEqual(const sim::TenantTickMetrics& a,
                   const sim::TenantTickMetrics& b) {
   return a.issued == b.issued && a.ok == b.ok && a.errors == b.errors &&
          a.throttled == b.throttled && a.unavailable == b.unavailable &&
-         a.redirects == b.redirects && a.proxy_hits == b.proxy_hits &&
+         a.redirects == b.redirects &&
+         a.replica_reads == b.replica_reads &&
+         a.replica_lag_sum == b.replica_lag_sum &&
+         a.proxy_hits == b.proxy_hits &&
          a.node_cache_hits == b.node_cache_hits &&
          a.disk_reads == b.disk_reads &&
          a.reads_completed == b.reads_completed &&
@@ -176,6 +187,10 @@ std::vector<std::vector<sim::TenantTickMetrics>> RunScenario(int workers,
     profile.key_dist =
         (t % 2 == 0) ? sim::KeyDist::kZipfian : sim::KeyDist::kHotSpot;
     profile.value_bytes = 256;
+    // Half the tenants spread part of their reads across replicas, so
+    // the bit-identity contract covers the replica-read routing and the
+    // Replicate step's staleness accounting too.
+    profile.eventual_read_fraction = (t % 2 == 0) ? 0.5 : 0.0;
     sim.SetWorkload(t, profile);
   }
 
@@ -192,6 +207,19 @@ TEST(TickPipelineTest, SerialAndParallelExecutorsAreBitIdentical) {
   constexpr size_t kTicks = 20;
   auto serial = RunScenario(/*workers=*/1, kTicks);  // SerialExecutor.
   ASSERT_FALSE(serial.empty());
+
+  // The scenario exercises replica reads, and at the default
+  // replication lag of 0 they must observe zero staleness (replicas
+  // apply every acknowledged write within the tick it is acknowledged).
+  uint64_t replica_reads = 0, replica_lag_sum = 0;
+  for (const auto& history : serial) {
+    for (const auto& m : history) {
+      replica_reads += m.replica_reads;
+      replica_lag_sum += m.replica_lag_sum;
+    }
+  }
+  EXPECT_GT(replica_reads, 0u);
+  EXPECT_EQ(replica_lag_sum, 0u);
   for (int workers : {2, 4}) {
     auto parallel = RunScenario(workers, kTicks);
     ASSERT_EQ(parallel.size(), serial.size()) << workers << " workers";

@@ -466,6 +466,120 @@ TEST(DiskModelTest, ReadWriteIndependentBudgets) {
   EXPECT_TRUE(disk.CanWrite(10));
 }
 
+// ------------------------------------------------------- Replication log --
+
+TEST(ReplicationLogTest, AppendDeltaAndTruncate) {
+  ReplicationLog log;
+  for (uint64_t seq = 1; seq <= 5; seq++) {
+    log.Append("k" + std::to_string(seq),
+               ValueEntry::String("v" + std::to_string(seq), seq));
+  }
+  EXPECT_EQ(log.first_seq(), 1u);
+  EXPECT_EQ(log.last_seq(), 5u);
+  EXPECT_TRUE(log.Covers(0));
+
+  auto delta = log.Delta(2, 4);  // (2, 4] -> seqs 3 and 4.
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0]->entry.seq, 3u);
+  EXPECT_EQ(delta[1]->entry.seq, 4u);
+
+  log.TruncateThrough(3);
+  EXPECT_EQ(log.first_seq(), 4u);
+  EXPECT_EQ(log.last_seq(), 5u);
+  EXPECT_FALSE(log.Covers(2));  // Seq 3 is gone; cursor 2 needs it.
+  EXPECT_TRUE(log.Covers(3));   // Cursor 3 needs seq 4 onward: retained.
+  EXPECT_EQ(log.Delta(3, 5).size(), 2u);
+
+  // Truncating everything leaves a consistent empty log.
+  log.TruncateThrough(5);
+  EXPECT_EQ(log.record_count(), 0u);
+  EXPECT_EQ(log.last_seq(), 5u);
+  EXPECT_EQ(log.bytes(), 0u);
+}
+
+/// Engine options with the replication stream retained (what DataNode
+/// uses for hosted replicas).
+LsmOptions ReplicatedOptions() {
+  LsmOptions opts;
+  opts.enable_repl_log = true;
+  return opts;
+}
+
+TEST(LsmEngineReplicationTest, ReplicaAppliesPrimaryStreamExactly) {
+  SimClock clock(0);
+  LsmEngine primary(ReplicatedOptions(), &clock);
+  LsmEngine replica(ReplicatedOptions(), &clock);
+
+  ASSERT_TRUE(primary.Put("a", "1").ok());
+  ASSERT_TRUE(primary.Put("b", "2").ok());
+  ASSERT_TRUE(primary.HSet("h", "f", "x").ok());
+  ASSERT_TRUE(primary.Delete("a").ok());
+  EXPECT_EQ(primary.applied_seq(), 4u);
+
+  for (const ReplRecord* rec :
+       primary.repl_log().Delta(replica.applied_seq(),
+                                primary.applied_seq())) {
+    ASSERT_TRUE(replica.ApplyReplicated(*rec).ok());
+  }
+  EXPECT_EQ(replica.applied_seq(), primary.applied_seq());
+  EXPECT_TRUE(replica.Get("a").status().IsNotFound());  // Tombstone shipped.
+  EXPECT_EQ(replica.Get("b").value(), "2");
+  EXPECT_EQ(replica.HGet("h", "f").value(), "x");
+  EXPECT_EQ(replica.stats().repl_applied, 4u);
+
+  // Out-of-order application is refused (the shipper must resync).
+  ReplRecord gap;
+  gap.key = "z";
+  gap.entry = ValueEntry::String("v", primary.applied_seq() + 5);
+  EXPECT_FALSE(replica.ApplyReplicated(gap).ok());
+}
+
+TEST(LsmEngineReplicationTest, ReplicaStreamSurvivesCrashRecovery) {
+  SimClock clock(0);
+  LsmEngine primary(ReplicatedOptions(), &clock);
+  LsmEngine replica(ReplicatedOptions(), &clock);
+  ASSERT_TRUE(primary.Put("k", "v").ok());
+  for (const ReplRecord* rec : primary.repl_log().Delta(0, 1)) {
+    ASSERT_TRUE(replica.ApplyReplicated(*rec).ok());
+  }
+  // Replicated records go through the replica's own WAL: a crash loses
+  // nothing and the stream cursor is preserved.
+  replica.CrashAndRecover();
+  EXPECT_EQ(replica.Get("k").value(), "v");
+  EXPECT_EQ(replica.applied_seq(), 1u);
+}
+
+TEST(LsmEngineReplicationTest, ResyncFromClonesStateAndCursor) {
+  SimClock clock(0);
+  LsmOptions small = ReplicatedOptions();
+  small.memtable_flush_bytes = 256;  // Force flushed runs into the clone.
+  LsmEngine primary(small, &clock);
+  LsmEngine replica(small, &clock);
+
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(primary.Put("k" + std::to_string(i),
+                            std::string(32, 'v')).ok());
+  }
+  // Diverge the replica, then resync: the snapshot wins wholesale.
+  ASSERT_TRUE(replica.Put("divergent", "x").ok());
+  replica.ResyncFrom(primary);
+  EXPECT_EQ(replica.applied_seq(), primary.applied_seq());
+  EXPECT_TRUE(replica.Get("divergent").status().IsNotFound());
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(replica.Get("k" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_EQ(replica.stats().resyncs, 1u);
+
+  // The clone keeps streaming: new primary writes apply as a delta.
+  ASSERT_TRUE(primary.Put("after", "resync").ok());
+  for (const ReplRecord* rec :
+       primary.repl_log().Delta(replica.applied_seq(),
+                                primary.applied_seq())) {
+    ASSERT_TRUE(replica.ApplyReplicated(*rec).ok());
+  }
+  EXPECT_EQ(replica.Get("after").value(), "resync");
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace abase
