@@ -67,7 +67,10 @@ int main() {
     if (tick >= kStartResched && (tick - kStartResched) % kReschedEvery == 0) {
       resched::PoolModel model = cluster.BuildPoolModel(pool);
       auto moves = rescheduler.Run(&model);
-      size_t applied = cluster.ApplyMigrations(moves);
+      size_t applied = 0;
+      for (const auto& outcome : cluster.ApplyMigrations(moves)) {
+        if (outcome.status.ok()) applied++;
+      }
       migrations_total += applied;
       if (tick == kStartResched) event = "<- rescheduling starts";
       else if (applied > 0) event = "(migrated)";

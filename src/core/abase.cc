@@ -87,7 +87,11 @@ size_t Cluster::Drain(size_t max_ticks) {
 size_t Cluster::RunRescheduling(PoolId pool) {
   resched::PoolModel model = sim_.BuildPoolModel(pool);
   auto migrations = rescheduler_.Run(&model);
-  return sim_.ApplyMigrations(migrations);
+  size_t applied = 0;
+  for (const auto& outcome : sim_.ApplyMigrations(migrations)) {
+    if (outcome.status.ok()) applied++;
+  }
+  return applied;
 }
 
 Result<autoscale::ScalingDecision> Cluster::RunAutoscaler(

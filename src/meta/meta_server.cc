@@ -163,7 +163,8 @@ void MetaServer::PushPartitionQuotas(TenantMeta& meta) {
   }
 }
 
-Status MetaServer::SetTenantQuota(TenantId tenant, double new_quota_ru) {
+Status MetaServer::SetTenantQuota(TenantId tenant, double new_quota_ru,
+                                  bool allow_split) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return Status::NotFound("no such tenant");
   TenantMeta& meta = it->second;
@@ -176,24 +177,40 @@ Status MetaServer::SetTenantQuota(TenantId tenant, double new_quota_ru) {
   meta.monitor.SetTenantQuota(new_quota_ru);
 
   // Algorithm 1 lines 4-6: split when the partition quota exceeds UP.
-  while (meta.PartitionQuota() > meta.config.partition_quota_upper) {
+  // Skipped when the caller owns split pacing (the live control loop,
+  // which stages splits as online data operations), or while a staged
+  // split is already streaming — its cutover halves the quota anyway.
+  while (allow_split && pending_splits_.count(tenant) == 0 &&
+         meta.PartitionQuota() > meta.config.partition_quota_upper) {
     ABASE_RETURN_IF_ERROR(SplitPartitions(tenant));
   }
   PushPartitionQuotas(meta);
   return Status::OK();
 }
 
-Status MetaServer::SplitPartitions(TenantId tenant) {
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) return Status::NotFound("no such tenant");
-  TenantMeta& meta = it->second;
+void MetaServer::UnstagePlacements(
+    const TenantMeta& meta, uint32_t first_child,
+    const std::vector<PartitionPlacement>& children) {
+  for (size_t c = 0; c < children.size(); c++) {
+    PartitionId child = static_cast<PartitionId>(first_child + c);
+    for (NodeId nid : children[c].replicas) {
+      if (node::DataNode* n = FindNode(meta.pool, nid)) {
+        n->RemoveReplica(meta.config.id, child);
+      }
+    }
+  }
+}
 
-  // Each partition p spawns a sibling p' = p + old_count. The sibling is
-  // placed fresh (least-loaded); in production the key range would be
-  // migrated — the simulator re-shards synthetic keyspaces instead (see
-  // DESIGN.md substitution table).
-  size_t old_count = meta.partitions.size();
-  double new_pq = meta.tenant_quota_ru / static_cast<double>(old_count * 2);
+Result<std::vector<PartitionPlacement>> MetaServer::StageChildPlacements(
+    TenantMeta& meta) {
+  // Each partition p spawns a sibling p' = p + old_count, placed fresh
+  // (least-loaded). Any failure rolls back every replica this call
+  // already placed, so the pool and the placement metadata never
+  // disagree about a half-born split.
+  const size_t old_count = meta.partitions.size();
+  const double new_pq =
+      meta.tenant_quota_ru / static_cast<double>(old_count * 2);
+  std::vector<PartitionPlacement> children;
   for (size_t p = 0; p < old_count; p++) {
     PartitionId child = static_cast<PartitionId>(old_count + p);
     PartitionPlacement placement;
@@ -201,15 +218,89 @@ Status MetaServer::SplitPartitions(TenantId tenant) {
       node::DataNode* n =
           PickNodeForReplica(meta.pool, meta.config.id, child);
       if (n == nullptr) {
+        // Unwind the partial child too: one more (possibly incomplete)
+        // entry in the staged list, then one shared removal pass.
+        children.push_back(std::move(placement));
+        UnstagePlacements(meta, static_cast<uint32_t>(old_count), children);
         return Status::ResourceExhausted("no placeable node for split");
       }
       n->AddReplica(meta.config.id, child, new_pq, r == 0);
       placement.replicas.push_back(n->id());
     }
+    children.push_back(std::move(placement));
+  }
+  return children;
+}
+
+Status MetaServer::SplitPartitions(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  if (pending_splits_.count(tenant) > 0) {
+    return Status::InvalidArgument("staged split in progress");
+  }
+  TenantMeta& meta = it->second;
+
+  auto children = StageChildPlacements(meta);
+  ABASE_RETURN_IF_ERROR(children.status());
+  for (PartitionPlacement& placement : children.value()) {
     meta.partitions.push_back(std::move(placement));
   }
   PushPartitionQuotas(meta);
   routing_epoch_++;
+  return Status::OK();
+}
+
+Status MetaServer::PrepareSplit(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  if (pending_splits_.count(tenant) > 0) {
+    return Status::InvalidArgument("split already staged");
+  }
+  TenantMeta& meta = it->second;
+  auto children = StageChildPlacements(meta);
+  ABASE_RETURN_IF_ERROR(children.status());
+  PendingSplit pending;
+  pending.old_count = static_cast<uint32_t>(meta.partitions.size());
+  pending.children = std::move(children).value();
+  pending_splits_.emplace(tenant, std::move(pending));
+  // No epoch bump and no partition-table change: the children are
+  // invisible to routing until CommitSplit.
+  return Status::OK();
+}
+
+const MetaServer::PendingSplit* MetaServer::GetPendingSplit(
+    TenantId tenant) const {
+  auto it = pending_splits_.find(tenant);
+  return it == pending_splits_.end() ? nullptr : &it->second;
+}
+
+Status MetaServer::CommitSplit(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  auto pit = pending_splits_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  if (pit == pending_splits_.end()) {
+    return Status::NotFound("no staged split");
+  }
+  TenantMeta& meta = it->second;
+  for (PartitionPlacement& placement : pit->second.children) {
+    meta.partitions.push_back(std::move(placement));
+  }
+  pending_splits_.erase(pit);
+  PushPartitionQuotas(meta);
+  routing_epoch_++;
+  return Status::OK();
+}
+
+Status MetaServer::AbortSplit(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  auto pit = pending_splits_.find(tenant);
+  if (it == tenants_.end()) return Status::NotFound("no such tenant");
+  if (pit == pending_splits_.end()) {
+    return Status::NotFound("no staged split");
+  }
+  UnstagePlacements(it->second, pit->second.old_count,
+                    pit->second.children);
+  pending_splits_.erase(pit);
   return Status::OK();
 }
 

@@ -113,6 +113,9 @@ class MetaServer {
 
   const std::vector<node::DataNode*>& PoolNodes(PoolId pool) const;
 
+  /// Number of registered pools (pool ids are dense: 0..count-1).
+  size_t PoolCount() const { return pools_.size(); }
+
   // -- Tenants ----------------------------------------------------------------
 
   /// Creates a tenant: places num_partitions x replicas across the pool
@@ -140,12 +143,62 @@ class MetaServer {
   // -- Scaling (invoked by the Autoscaler) -------------------------------------
 
   /// Applies a new tenant quota, propagating partition quotas to nodes.
-  /// Triggers a partition split when the per-partition quota exceeds the
-  /// configured upper bound (Algorithm 1 lines 4-6).
-  Status SetTenantQuota(TenantId tenant, double new_quota_ru);
+  /// With `allow_split` (the default), triggers an immediate partition
+  /// split when the per-partition quota exceeds the configured upper
+  /// bound (Algorithm 1 lines 4-6). The live control loop passes
+  /// `allow_split = false` and stages the split as an online data
+  /// operation instead (PrepareSplit / CommitSplit); a tenant with a
+  /// split already staged never splits inline.
+  Status SetTenantQuota(TenantId tenant, double new_quota_ru,
+                        bool allow_split = true);
 
   /// Doubles the tenant's partition count, halving partition quotas.
+  /// All-or-nothing: if any child replica cannot be placed, every
+  /// replica staged by this call is removed again and the placement is
+  /// left exactly as it was (no metadata/node inconsistency).
   Status SplitPartitions(TenantId tenant);
+
+  // -- Staged (online) partition split -----------------------------------------
+  //
+  // The live split is a three-step state machine driven by the
+  // simulator's Control stage:
+  //
+  //   PrepareSplit   children staged kPreparing: replicas placed on
+  //       |          nodes (empty engines), NOT in the routing table —
+  //       |          PartitionFor keeps hashing mod N, every request
+  //       |          still reaches the parents
+  //   (streaming)    the re-hashed key range is copied out of the parent
+  //       |          primaries at a configured bytes-per-tick rate
+  //   CommitSplit    cutover: the staged placements are appended to the
+  //                  partition table atomically, quotas halve, and the
+  //                  routing epoch bumps — the next forward re-hashes
+  //                  mod 2N and chases one redirect to the children
+  //
+  // AbortSplit unwinds a prepared split without committing.
+
+  /// Child placements staged by PrepareSplit, not yet routable.
+  struct PendingSplit {
+    uint32_t old_count = 0;  ///< Partition count before the split.
+    /// children[i] serves partition old_count + i after the commit.
+    std::vector<PartitionPlacement> children;
+  };
+
+  /// Stages the child placements of a split (all-or-nothing, like
+  /// SplitPartitions, but without installing them). InvalidArgument if a
+  /// split is already staged for the tenant.
+  Status PrepareSplit(TenantId tenant);
+
+  /// The tenant's staged split, or nullptr.
+  const PendingSplit* GetPendingSplit(TenantId tenant) const;
+
+  /// Installs a staged split: children join the partition table, the
+  /// per-partition quota halves and is pushed to every hosting node, and
+  /// the routing epoch bumps. The caller (Control stage) must have
+  /// finished streaming the child data first.
+  Status CommitSplit(TenantId tenant);
+
+  /// Drops a staged split, removing the staged replicas from their nodes.
+  Status AbortSplit(TenantId tenant);
 
   /// Moves one replica of (tenant, partition) from node `from` to node
   /// `to`, updating placement metadata (used by the rescheduler bridge).
@@ -226,6 +279,19 @@ class MetaServer {
   node::DataNode* PickNodeForReplica(PoolId pool, TenantId tenant,
                                      PartitionId partition) const;
 
+  /// Places one child placement per partition (children old_count + i)
+  /// with replicas on live pool nodes. All-or-nothing: on any placement
+  /// failure every replica staged by this call is removed from its node
+  /// again and the error is returned.
+  Result<std::vector<PartitionPlacement>> StageChildPlacements(
+      TenantMeta& meta);
+
+  /// Removes every staged replica of `children` (child i = partition
+  /// first_child + i) from its hosting node — the single unwind path of
+  /// a failed staging and AbortSplit.
+  void UnstagePlacements(const TenantMeta& meta, uint32_t first_child,
+                         const std::vector<PartitionPlacement>& children);
+
   void PushPartitionQuotas(TenantMeta& meta);
 
   /// Pool containing `node`, or kInvalidNode-equivalent failure (pool
@@ -235,6 +301,8 @@ class MetaServer {
   const Clock* clock_;
   std::vector<std::vector<node::DataNode*>> pools_;
   std::map<TenantId, TenantMeta> tenants_;
+  /// Staged-but-uncommitted split placements (PrepareSplit).
+  std::map<TenantId, PendingSplit> pending_splits_;
   uint64_t routing_epoch_ = 1;
   /// One partition a failed node was demoted from, stamped with a
   /// monotonic sequence so overlapping failures fail back in demotion

@@ -29,6 +29,11 @@ struct ReplicaLoad {
   TenantId tenant = 0;
   PartitionId partition = 0;
   uint32_t replica_index = 0;
+  /// Pinned replicas contribute load but must not be migrated (e.g. a
+  /// staged split child still receiving its stream): the reschedulers
+  /// never select them as move candidates, and a node hosting one
+  /// cannot be vacated.
+  bool pinned = false;
   LoadVector ru;       ///< RU load (already cache-hit weighted).
   LoadVector storage;  ///< Storage footprint per hour-of-day.
 };

@@ -75,6 +75,7 @@ std::vector<Migration> IntraPoolRescheduler::Run(PoolModel* pool) const {
       NodeModel* best_dst = nullptr;
 
       for (const ReplicaLoad& re : src->replicas()) {
+        if (re.pinned) continue;  // Mid-stream (split) replicas stay put.
         for (NodeId dst_id : div.low) {
           NodeModel* dst = pool->FindNode(dst_id);
           if (dst == nullptr || dst->is_migrating) continue;
@@ -171,7 +172,7 @@ std::vector<Migration> IntraPoolRescheduler::BalanceReplicaCounts(
       NodeModel* dst = nullptr;
       const ReplicaLoad* re = nullptr;
       for (const ReplicaLoad& candidate : src->replicas()) {
-        if (candidate.tenant != tenant) continue;
+        if (candidate.tenant != tenant || candidate.pinned) continue;
         for (NodeModel& n : pool->nodes()) {
           if (&n == src) continue;
           if (n.ReplicaCountOfTenant(tenant) + 1 >=
@@ -233,6 +234,10 @@ InterPoolResult InterPoolRescheduler::Run(PoolModel* donor,
     bool vacated = true;
     std::vector<ReplicaLoad> to_move = victim->replicas();
     for (const ReplicaLoad& re : to_move) {
+      if (re.pinned) {
+        vacated = false;  // A mid-stream replica makes the node sticky.
+        break;
+      }
       NodeModel* dst = nullptr;
       double best_dev = 0;
       for (NodeModel& n : donor->nodes()) {

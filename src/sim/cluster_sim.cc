@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/hash.h"
+
 namespace abase {
 namespace sim {
 
@@ -582,6 +584,8 @@ resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
         n->id(), n->options().ru_capacity,
         static_cast<double>(n->options().storage_capacity));
     for (const node::PartitionReplica* rep : n->Replicas()) {
+      const meta::TenantMeta* tm = meta_->GetTenant(rep->tenant);
+      if (tm == nullptr) continue;
       resched::ReplicaLoad rl;
       rl.tenant = rep->tenant;
       rl.partition = rep->partition;
@@ -589,14 +593,18 @@ resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
       // rescheduler's load model distinguishes second from third
       // replicas instead of flattening every non-primary to 1.
       rl.replica_index = rep->is_primary ? 0 : 1;
-      if (const meta::TenantMeta* tm = meta_->GetTenant(rep->tenant)) {
-        if (rep->partition < tm->partitions.size()) {
-          const auto& reps = tm->partitions[rep->partition].replicas;
-          auto rit = std::find(reps.begin(), reps.end(), n->id());
-          if (rit != reps.end()) {
-            rl.replica_index =
-                static_cast<uint32_t>(std::distance(reps.begin(), rit));
-          }
+      if (rep->partition >= tm->partitions.size()) {
+        // A staged split child (not yet in the partition table): its
+        // growing footprint still loads this node, but it is mid-stream
+        // and must not be migrated out from under the split — pinned
+        // until the cutover installs it.
+        rl.pinned = true;
+      } else {
+        const auto& reps = tm->partitions[rep->partition].replicas;
+        auto rit = std::find(reps.begin(), reps.end(), n->id());
+        if (rit != reps.end()) {
+          rl.replica_index =
+              static_cast<uint32_t>(std::distance(reps.begin(), rit));
         }
       }
       rl.ru = LoadVector::Constant(rep->ru_rate);
@@ -608,15 +616,386 @@ resched::PoolModel ClusterSim::BuildPoolModel(PoolId pool) const {
   return model;
 }
 
-size_t ClusterSim::ApplyMigrations(
+void ClusterSim::RecordMigrationOutcome(const Status& status) {
+  if (status.ok()) {
+    migration_stats_.applied++;
+  } else {
+    migration_stats_.skipped++;
+    migration_stats_.skip_reasons[status.code()]++;
+  }
+}
+
+std::vector<ClusterSim::MigrationOutcome> ClusterSim::ApplyMigrations(
     const std::vector<resched::Migration>& migrations) {
-  size_t applied = 0;
+  std::vector<MigrationOutcome> outcomes;
+  outcomes.reserve(migrations.size());
   for (const resched::Migration& m : migrations) {
-    if (meta_->MigrateReplica(m.tenant, m.partition, m.from, m.to).ok()) {
-      applied++;
+    migration_stats_.planned++;
+    Status s = meta_->MigrateReplica(m.tenant, m.partition, m.from, m.to);
+    RecordMigrationOutcome(s);
+    outcomes.push_back(MigrationOutcome{m, std::move(s)});
+  }
+  return outcomes;
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop control plane (the Control stage; serial sections only)
+// ---------------------------------------------------------------------------
+
+void ClusterSim::EnableAutoscale(TenantId tenant, AutoscaleMode mode,
+                                 autoscale::ScalingPolicy policy,
+                                 forecast::EnsembleOptions forecast_options) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantRuntime& rt = it->second;
+  rt.autoscale_mode = mode;
+  rt.scaling_policy = policy;
+  rt.forecast_options = forecast_options;
+}
+
+void ClusterSim::SeedUsageHistory(TenantId tenant, const TimeSeries& usage) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return;
+  TenantRuntime& rt = it->second;
+  rt.usage_history = usage;
+  const meta::TenantMeta* tm = meta_->GetTenant(tenant);
+  const double quota =
+      tm != nullptr ? tm->tenant_quota_ru : rt.config.tenant_quota_ru;
+  rt.quota_history = TimeSeries(std::vector<double>(usage.size(), quota));
+}
+
+const TimeSeries* ClusterSim::UsageHistory(TenantId tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? nullptr : &it->second.usage_history;
+}
+
+Micros ClusterSim::ControlNow(const TenantRuntime& rt) const {
+  const int tph = std::max(1, options_.control_ticks_per_hour);
+  return static_cast<Micros>(rt.usage_history.size()) * kMicrosPerHour +
+         static_cast<Micros>(rt.hour_ticks) * kMicrosPerHour / tph;
+}
+
+void ClusterSim::AccumulateControlUsage() {
+  const double tick_seconds = static_cast<double>(options_.tick) /
+                              static_cast<double>(kMicrosPerSecond);
+  const int tph = std::max(1, options_.control_ticks_per_hour);
+  for (auto& [tid, rt] : tenants_) {
+    (void)tid;
+    if (rt.history.empty()) continue;
+    const double tick_ru = rt.history.back().ru_charged;
+    rt.hour_ru_accum += tick_ru;
+    rt.hour_ticks++;
+    // Reactive "current usage": a light EWMA over the settled RU rate so
+    // one Poisson-quiet tick does not mask a live burst.
+    constexpr double kEwmaAlpha = 0.3;
+    rt.ru_rate_ewma = (1.0 - kEwmaAlpha) * rt.ru_rate_ewma +
+                      kEwmaAlpha * (tick_ru / tick_seconds);
+    if (rt.hour_ticks >= tph) {
+      const double hour_seconds = static_cast<double>(tph) * tick_seconds;
+      rt.usage_history.Append(rt.hour_ru_accum / hour_seconds);
+      const meta::TenantMeta* tm = meta_->GetTenant(rt.config.id);
+      rt.quota_history.Append(tm != nullptr ? tm->tenant_quota_ru
+                                            : rt.config.tenant_quota_ru);
+      rt.hour_ru_accum = 0;
+      rt.hour_ticks = 0;
     }
   }
-  return applied;
+}
+
+void ClusterSim::RunAutoscalers() {
+  for (auto& [tid, rt] : tenants_) {
+    if (rt.autoscale_mode == AutoscaleMode::kDisabled) continue;
+    const meta::TenantMeta* tm = meta_->GetTenant(tid);
+    if (tm == nullptr || tm->partitions.empty()) continue;
+    const double quota = tm->tenant_quota_ru;
+    const Micros now_control = ControlNow(rt);
+
+    autoscale::ScalingDecision decision;
+    if (rt.autoscale_mode == AutoscaleMode::kPredictive) {
+      autoscale::Autoscaler scaler(rt.scaling_policy, rt.forecast_options);
+      auto d = scaler.Decide(
+          rt.usage_history, rt.quota_history, quota,
+          static_cast<uint32_t>(tm->partitions.size()),
+          tm->config.partition_quota_upper, tm->config.partition_quota_lower,
+          rt.last_scale_down_control, now_control);
+      if (!d.ok()) continue;  // E.g. history still below min_history.
+      decision = std::move(d).value();
+    } else {
+      decision = rt.reactive_scaler.Decide(rt.ru_rate_ewma, quota);
+    }
+
+    if (decision.action != autoscale::ScalingDecision::Action::kNone &&
+        decision.new_quota != quota) {
+      // Inline splits stay off: an over-UP partition quota stages an
+      // online split below instead of re-sharding metadata instantly.
+      if (!meta_->SetTenantQuota(tid, decision.new_quota,
+                                 /*allow_split=*/false)
+               .ok()) {
+        continue;
+      }
+      if (decision.action == autoscale::ScalingDecision::Action::kScaleUp) {
+        rt.scale_ups++;
+      } else {
+        rt.scale_downs++;
+        rt.last_scale_down_control = now_control;
+      }
+      // The proxy fleet's autonomous quota follows the tenant quota.
+      const double proxy_quota =
+          decision.new_quota / static_cast<double>(rt.proxies.size());
+      for (auto& p : rt.proxies) p->SetBaseQuota(proxy_quota);
+    }
+
+    // Algorithm 1 lines 4-6, online: partition quota above UP starts a
+    // staged split (unless one is already streaming).
+    if (tm->PartitionQuota() > tm->config.partition_quota_upper &&
+        !SplitInProgress(tid) && meta_->GetPendingSplit(tid) == nullptr) {
+      if (StartPartitionSplit(tid).ok()) rt.splits_started++;
+    }
+  }
+}
+
+Status ClusterSim::StartPartitionSplit(TenantId tenant) {
+  if (SplitInProgress(tenant)) {
+    return Status::InvalidArgument("split already in progress");
+  }
+  const meta::TenantMeta* tm = meta_->GetTenant(tenant);
+  if (tm == nullptr) return Status::NotFound("no such tenant");
+  // Every parent primary must be resolvable *now*: the streaming window
+  // opens at its current stream head, and a hold recorded against a
+  // dark primary would be unreplayable at cutover (silent lost writes).
+  // The caller (control loop, tests) simply retries later.
+  const uint32_t old_count = static_cast<uint32_t>(tm->partitions.size());
+  std::vector<storage::LsmEngine*> parent_engines;
+  parent_engines.reserve(old_count);
+  for (PartitionId p = 0; p < old_count; p++) {
+    node::DataNode* pn = FindNode(meta_->PrimaryFor(tenant, p));
+    storage::LsmEngine* src =
+        pn != nullptr && pn->CanServe() ? pn->EngineFor(tenant, p) : nullptr;
+    if (src == nullptr) {
+      return Status::Unavailable("parent primary not serving");
+    }
+    parent_engines.push_back(src);
+  }
+  ABASE_RETURN_IF_ERROR(meta_->PrepareSplit(tenant));
+
+  SplitOp op;
+  op.old_count = old_count;
+  for (PartitionId p = 0; p < op.old_count; p++) {
+    SplitParent sp;
+    sp.parent = p;
+    // The streaming window opens at the parent's current stream head;
+    // the replication logs are held here so every write acknowledged
+    // while the snapshot streams can be replayed at cutover.
+    sp.hold_seq = parent_engines[p]->applied_seq();
+    split_log_holds_[PartitionKey(tenant, p)] = sp.hold_seq;
+    op.parents.push_back(std::move(sp));
+  }
+  active_splits_.emplace(tenant, std::move(op));
+  return Status::OK();
+}
+
+void ClusterSim::AdvanceSplits() {
+  const uint64_t budget = std::max<uint64_t>(1, options_.split_bytes_per_tick);
+  for (auto it = active_splits_.begin(); it != active_splits_.end();) {
+    const TenantId tid = it->first;
+    SplitOp& op = it->second;
+    const meta::MetaServer::PendingSplit* pending =
+        meta_->GetPendingSplit(tid);
+    const uint64_t modulus = static_cast<uint64_t>(op.old_count) * 2;
+
+    if (!op.cut_over) {
+      if (pending == nullptr) {
+        // The staged placements vanished underneath us (external abort):
+        // drop the orchestration state too.
+        for (const SplitParent& sp : op.parents) {
+          split_log_holds_.erase(PartitionKey(tid, sp.parent));
+        }
+        it = active_splits_.erase(it);
+        continue;
+      }
+      // Phase 1 — snapshot streaming: each parent primary exports up to
+      // the per-tick budget of its re-hashed half into the staged child
+      // replicas (identical serial ingest => identical child engines).
+      bool all_done = true;
+      for (SplitParent& sp : op.parents) {
+        if (sp.snapshot_done) continue;
+        node::DataNode* pn = FindNode(meta_->PrimaryFor(tid, sp.parent));
+        storage::LsmEngine* src =
+            pn != nullptr && pn->CanServe() ? pn->EngineFor(tid, sp.parent)
+                                            : nullptr;
+        if (src == nullptr) {
+          all_done = false;  // Primary dark: resume when it is back.
+          continue;
+        }
+        auto batch = src->ExportHashRange(
+            modulus, op.old_count + sp.parent, sp.cursor, budget);
+        const PartitionId child =
+            static_cast<PartitionId>(op.old_count + sp.parent);
+        for (NodeId nid : pending->children[sp.parent].replicas) {
+          node::DataNode* cn = FindNode(nid);
+          storage::LsmEngine* ce =
+              cn != nullptr ? cn->EngineFor(tid, child) : nullptr;
+          if (ce == nullptr) continue;
+          for (const auto& [key, entry] : batch.entries) {
+            ce->Ingest(key, entry);
+          }
+          // Nothing ships from a staged child yet; keep its own
+          // replication log from mirroring the whole streamed dataset.
+          ce->TruncateReplLogThrough(ce->applied_seq());
+        }
+        sp.cursor = batch.next_cursor;
+        sp.bytes_streamed += batch.bytes;
+        sp.snapshot_done = batch.done;
+        all_done = all_done && batch.done;
+      }
+
+      if (!all_done) {
+        ++it;
+        continue;
+      }
+
+      // Phase 2 — cutover, atomically within this serial stage: replay
+      // every write acknowledged during the streaming window (the held
+      // replication-log suffix) into the children, then install the
+      // children and bump the routing epoch. Requests of this tick were
+      // fully settled before Control runs, so no acknowledged write can
+      // land on a parent after its window replays: zero acked writes are
+      // lost.
+      //
+      // The cutover is all-or-nothing: if ANY parent's window cannot be
+      // replayed right now — its primary is dark, or the held log
+      // suffix somehow fell out of retention — committing would
+      // silently lose the writes acknowledged during streaming, so the
+      // whole cutover defers to a later tick instead.
+      std::vector<storage::LsmEngine*> window_sources(op.parents.size(),
+                                                      nullptr);
+      bool replayable = true;
+      for (size_t i = 0; i < op.parents.size(); i++) {
+        const SplitParent& sp = op.parents[i];
+        node::DataNode* pn = FindNode(meta_->PrimaryFor(tid, sp.parent));
+        storage::LsmEngine* src =
+            pn != nullptr && pn->CanServe() ? pn->EngineFor(tid, sp.parent)
+                                            : nullptr;
+        // A promotion may have rewound the stream head below the hold
+        // (the failover's measured lost-write window, not the split's);
+        // only a head *beyond* the hold needs a coverable log suffix.
+        if (src == nullptr ||
+            (src->applied_seq() > sp.hold_seq &&
+             !src->repl_log().Covers(sp.hold_seq))) {
+          replayable = false;
+          break;
+        }
+        window_sources[i] = src;
+      }
+      if (!replayable) {
+        ++it;
+        continue;
+      }
+      for (size_t i = 0; i < op.parents.size(); i++) {
+        SplitParent& sp = op.parents[i];
+        storage::LsmEngine* src = window_sources[i];
+        const PartitionId child =
+            static_cast<PartitionId>(op.old_count + sp.parent);
+        const uint64_t residue = op.old_count + sp.parent;
+        if (src->applied_seq() > sp.hold_seq) {
+          auto window = src->repl_log().Delta(sp.hold_seq,
+                                              src->applied_seq());
+          for (NodeId nid : pending->children[sp.parent].replicas) {
+            node::DataNode* cn = FindNode(nid);
+            storage::LsmEngine* ce =
+                cn != nullptr ? cn->EngineFor(tid, child) : nullptr;
+            if (ce == nullptr) continue;
+            for (const storage::ReplRecord* rec : window) {
+              if (Fnv1a64(rec->key) % modulus != residue) continue;
+              // Ordered replay: the last record per key wins, including
+              // tombstones — deletes in the window are not resurrected.
+              ce->Ingest(rec->key, rec->entry);
+            }
+            ce->TruncateReplLogThrough(ce->applied_seq());
+          }
+        }
+        split_log_holds_.erase(PartitionKey(tid, sp.parent));
+      }
+      if (meta_->CommitSplit(tid).ok()) {
+        split_cutovers_++;
+        op.cut_over = true;
+      }
+      ++it;
+      continue;
+    }
+
+    // Phase 3 — post-cutover purge: the moved keys are deleted out of
+    // the parent primaries at the streaming rate (tombstones replicate
+    // to the parent replicas through the normal Replicate stage).
+    bool purge_done = true;
+    for (SplitParent& sp : op.parents) {
+      if (sp.purge_done) continue;
+      node::DataNode* pn = FindNode(meta_->PrimaryFor(tid, sp.parent));
+      storage::LsmEngine* src =
+          pn != nullptr && pn->CanServe() ? pn->EngineFor(tid, sp.parent)
+                                          : nullptr;
+      if (src == nullptr) {
+        purge_done = false;
+        continue;
+      }
+      auto batch = src->ExportHashRange(
+          modulus, op.old_count + sp.parent, sp.purge_cursor, budget);
+      for (const auto& [key, entry] : batch.entries) {
+        (void)entry;
+        (void)src->Delete(key);
+      }
+      sp.purge_cursor = batch.next_cursor;
+      sp.purge_done = batch.done;
+      purge_done = purge_done && batch.done;
+    }
+    if (purge_done) {
+      splits_completed_++;
+      it = active_splits_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClusterSim::AdvanceMigrations() {
+  uint64_t budget = std::max<uint64_t>(1, options_.migration_bytes_per_tick);
+  while (budget > 0 && !migration_queue_.empty()) {
+    PendingMigration& pm = migration_queue_.front();
+    const uint64_t remaining = pm.bytes_total - pm.bytes_copied;
+    const uint64_t step = std::min(budget, remaining);
+    pm.bytes_copied += step;
+    budget -= step;
+    if (pm.bytes_copied < pm.bytes_total) return;
+    // Modeled copy finished: install the move (it re-validates against
+    // the live topology — the source may have failed, the destination
+    // may have picked the partition up some other way since planning).
+    const resched::Migration& m = pm.migration;
+    Status s = meta_->MigrateReplica(m.tenant, m.partition, m.from, m.to);
+    RecordMigrationOutcome(s);
+    migration_queue_.pop_front();
+  }
+}
+
+void ClusterSim::PlanRescheduling() {
+  // Re-planning while copies are still streaming would schedule the same
+  // imbalance twice; one wave drains before the next is planned.
+  if (!migration_queue_.empty()) return;
+  resched::IntraPoolRescheduler rescheduler;
+  for (PoolId pool = 0; pool < static_cast<PoolId>(meta_->PoolCount());
+       pool++) {
+    resched::PoolModel model = BuildPoolModel(pool);
+    for (const resched::Migration& m : rescheduler.Run(&model)) {
+      PendingMigration pm;
+      pm.migration = m;
+      node::DataNode* src = FindNode(m.from);
+      storage::LsmEngine* engine =
+          src != nullptr ? src->EngineFor(m.tenant, m.partition) : nullptr;
+      pm.bytes_total = std::max<uint64_t>(
+          1, engine != nullptr ? engine->ApproximateDataBytes() : 1);
+      migration_stats_.planned++;
+      migration_queue_.push_back(std::move(pm));
+    }
+  }
 }
 
 }  // namespace sim

@@ -1,11 +1,11 @@
 // ClusterSim — the deterministic discrete-time cluster that stands in for
 // ByteDance's production fleet (DESIGN.md substitution table).
 //
-// Each one-second tick runs the seven-stage request pipeline
+// Each one-second tick runs the eight-stage request pipeline
 // (sim/pipeline.h):
 //
 //   Fault -> Generate -> ProxyAdmit -> Route -> NodeSchedule
-//         -> Replicate -> Settle
+//         -> Replicate -> Settle -> Control
 //
 //   1. Fault: queued FailNode/RecoverNode events land; failover
 //      promotion, recovery catch-up (real log-delta resync), and
@@ -29,7 +29,14 @@
 //   7. Settle: responses flow back to the proxies (cache fill + quota
 //      settlement) and into tenant metrics; every `meta_report_interval`
 //      ticks, aggregate proxy traffic is reported to the MetaServer,
-//      which issues clamp directives.
+//      which issues clamp directives;
+//   8. Control: the closed serverless loop — settled RU rolls into
+//      hourly usage series, the per-tenant autoscalers (predictive
+//      Algorithm 1 or the reactive baseline) scale quotas through the
+//      MetaServer, online partition splits stream real key ranges out of
+//      the parent primaries and cut over atomically, and the
+//      rescheduler's planned migrations execute as throttled background
+//      copies.
 #pragma once
 
 #include <cstdint>
@@ -43,10 +50,12 @@
 #include <utility>
 #include <vector>
 
+#include "autoscale/autoscaler.h"
 #include "common/clock.h"
 #include "common/executor.h"
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/time_series.h"
 #include "common/types.h"
 #include "meta/meta_server.h"
 #include "node/data_node.h"
@@ -106,6 +115,40 @@ struct SimOptions {
   /// catch-up duration is max(recovery_catch_up_ticks,
   /// ceil(delta_bytes / this)).
   uint64_t catch_up_bytes_per_tick = 64ull << 20;
+  /// Closed-loop control plane (the Control pipeline stage). Every this
+  /// many ticks the per-tenant autoscalers run over the rolled-up usage
+  /// history and apply their decisions through MetaServer::
+  /// SetTenantQuota. 0 disables the autoscaling loop (usage is not
+  /// accumulated either); staged splits and queued migrations still
+  /// advance every tick.
+  int control_interval_ticks = 0;
+  /// Sim ticks per control-plane "hour": the roll-up granularity of the
+  /// usage TimeSeries the forecaster consumes, and the timebase of the
+  /// scale-down cooldown. 3600 matches wall-clock (1 s ticks);
+  /// experiments compress it so 30-day histories fit a short run.
+  int control_ticks_per_hour = 3600;
+  /// Every this many ticks the Control stage snapshots each pool into
+  /// the rescheduler's load model and enqueues the planned migrations as
+  /// throttled background copies. 0 disables background rescheduling.
+  int resched_interval_ticks = 0;
+  /// Modeled copy bandwidth of a background migration: a queued
+  /// replica move transfers this many bytes of engine state per tick
+  /// before MetaServer::MigrateReplica installs it.
+  uint64_t migration_bytes_per_tick = 32ull << 20;
+  /// Modeled streaming bandwidth of an online partition split: bytes of
+  /// re-hashed key range exported from each parent primary per tick.
+  uint64_t split_bytes_per_tick = 32ull << 20;
+};
+
+/// Per-tenant autoscaling mode for the closed control loop.
+enum class AutoscaleMode {
+  kDisabled = 0,
+  /// Figure 8b baseline: scale up only after current usage crosses the
+  /// threshold (users already felt the pressure).
+  kReactive,
+  /// Algorithm 1: forecast the horizon from the rolled-up history and
+  /// scale ahead of predicted demand.
+  kPredictive,
 };
 
 /// Per-tenant metrics for one tick.
@@ -180,6 +223,29 @@ struct TenantRuntime {
   Histogram latency_hist{1e9};  ///< Cumulative client latency (us).
   uint64_t value_bytes_sum = 0;
   uint64_t value_bytes_count = 0;
+
+  // -- Closed-loop control state (the Control stage) -------------------------
+
+  AutoscaleMode autoscale_mode = AutoscaleMode::kDisabled;
+  autoscale::ScalingPolicy scaling_policy;
+  forecast::EnsembleOptions forecast_options;
+  autoscale::ReactiveScaler reactive_scaler;
+  /// Hourly settled RU/s history the forecaster consumes (seeded points
+  /// + one appended per completed control-plane hour).
+  TimeSeries usage_history;
+  /// Matching hourly tenant-quota records (denoising input).
+  TimeSeries quota_history;
+  double hour_ru_accum = 0;  ///< Settled RU since the hour opened.
+  int hour_ticks = 0;        ///< Ticks into the current hour.
+  /// EWMA of settled RU/s — the reactive baseline's "current usage".
+  double ru_rate_ewma = 0;
+  /// Control-plane-time stamp of the last applied scale-down (-1 =
+  /// never). Kept in the compressed-hour timebase so the 7-day cooldown
+  /// means 7 control-plane days regardless of tick compression.
+  Micros last_scale_down_control = -1;
+  uint64_t scale_ups = 0;    ///< Applied scale-up decisions.
+  uint64_t scale_downs = 0;  ///< Applied scale-down decisions.
+  uint64_t splits_started = 0;  ///< Staged splits the loop initiated.
 };
 
 /// The cluster.
@@ -293,6 +359,65 @@ class ClusterSim {
   /// applied sequence (0 when fully caught up or unreplicated).
   uint64_t ReplicationLag(TenantId tenant, PartitionId partition);
 
+  // -- Closed-loop control plane ----------------------------------------------
+  //
+  // The Control pipeline stage closes the paper's serverless loop every
+  // SimOptions::control_interval_ticks: settled RU rolls into an hourly
+  // TimeSeries per tenant, the per-tenant scaler (Algorithm 1 predictive
+  // forecast, or the reactive threshold baseline) applies its decision
+  // through MetaServer::SetTenantQuota, an over-UP partition quota
+  // stages an *online* split (children prepared dark, re-hashed keys
+  // streamed out of the parent primaries at split_bytes_per_tick, one
+  // atomic epoch-bumped cutover), and every resched_interval_ticks the
+  // rescheduler's planned migrations execute as background copies
+  // throttled at migration_bytes_per_tick.
+
+  /// Selects the tenant's autoscaling mode and policy for the control
+  /// loop (no-op for unknown tenants).
+  void EnableAutoscale(TenantId tenant, AutoscaleMode mode,
+                       autoscale::ScalingPolicy policy = {},
+                       forecast::EnsembleOptions forecast_options = {});
+
+  /// Seeds the tenant's hourly usage history (e.g. a 30-day synthetic
+  /// series from GenerateSeries) so the predictive scaler has a past to
+  /// forecast from at sim start; the quota history is back-filled with
+  /// the current quota.
+  void SeedUsageHistory(TenantId tenant, const TimeSeries& usage);
+
+  /// The tenant's rolled-up hourly usage history (nullptr if unknown).
+  const TimeSeries* UsageHistory(TenantId tenant) const;
+
+  /// Manually stages an online split for the tenant (the same staged
+  /// path the control loop takes): children placed dark, streaming
+  /// starts next tick. InvalidArgument if one is already in progress.
+  Status StartPartitionSplit(TenantId tenant);
+
+  /// Whether an online split (streaming or purging) is active.
+  bool SplitInProgress(TenantId tenant) const {
+    return active_splits_.count(tenant) > 0;
+  }
+
+  /// Online splits fully completed (cutover + parent purge done).
+  uint64_t SplitsCompleted() const { return splits_completed_; }
+
+  /// Online split cutovers performed (children installed and routable;
+  /// the parent purge may still be draining).
+  uint64_t SplitCutovers() const { return split_cutovers_; }
+
+  /// Cumulative disposition of replica migrations (immediate and
+  /// background), including why skipped ones were skipped.
+  struct MigrationStats {
+    uint64_t planned = 0;  ///< Enqueued or directly attempted.
+    uint64_t applied = 0;
+    uint64_t skipped = 0;
+    /// Failed attempts bucketed by status code (deterministic order).
+    std::map<StatusCode, uint64_t> skip_reasons;
+  };
+  const MigrationStats& migration_stats() const { return migration_stats_; }
+
+  /// Background migration copies still streaming or queued.
+  size_t PendingMigrationCount() const { return migration_queue_.size(); }
+
   // -- Experiment switches --------------------------------------------------------
 
   void SetProxyQuotaEnabled(TenantId tenant, bool enabled);
@@ -330,9 +455,19 @@ class ClusterSim {
   /// replica's RU EWMA and engine footprint as (flat) load vectors.
   resched::PoolModel BuildPoolModel(PoolId pool) const;
 
-  /// Applies planned migrations to the live topology via the MetaServer.
-  /// Returns how many were applied successfully.
-  size_t ApplyMigrations(const std::vector<resched::Migration>& migrations);
+  /// Disposition of one attempted replica migration.
+  struct MigrationOutcome {
+    resched::Migration migration;
+    Status status;
+  };
+
+  /// Applies planned migrations to the live topology via the MetaServer,
+  /// immediately (no copy throttling — the offline/bench bridge).
+  /// Returns one outcome per input migration, in order, so callers see
+  /// *why* a migration was skipped instead of a silent success count;
+  /// dispositions also accumulate into migration_stats().
+  std::vector<MigrationOutcome> ApplyMigrations(
+      const std::vector<resched::Migration>& migrations);
 
  private:
   friend class FaultStage;
@@ -342,6 +477,7 @@ class ClusterSim {
   friend class NodeScheduleStage;
   friend class ReplicateStage;
   friend class SettleStage;
+  friend class ControlStage;
 
   /// Settles one client request that the proxy plane resolved locally
   /// (cache hit or throttle) without touching the data plane. Tenant
@@ -416,6 +552,45 @@ class ClusterSim {
   /// and workload id spaces; unique across every proxy of every tenant).
   uint64_t AllocateRefreshId() { return next_refresh_id_++; }
 
+  // -- Control stage internals (serial sections only) -------------------------
+
+  /// Rolls the just-settled tick's RU into each tenant's hour
+  /// accumulator and closes the hour on the control_ticks_per_hour
+  /// boundary (appends to usage_history / quota_history).
+  void AccumulateControlUsage();
+
+  /// Runs each autoscale-enabled tenant's scaler over its history and
+  /// applies the decision (quota through MetaServer::SetTenantQuota with
+  /// inline splits disabled, proxy quota re-base, staged split when the
+  /// partition quota exceeds UP).
+  void RunAutoscalers();
+
+  /// Current control-plane time for the tenant: completed hours (seeded
+  /// + rolled) in micros, plus the fraction of the open hour.
+  Micros ControlNow(const TenantRuntime& rt) const;
+
+  /// Advances every active online split by one tick: streams up to
+  /// split_bytes_per_tick of the re-hashed range out of each parent
+  /// primary into the staged child engines; when every parent's
+  /// snapshot is done, replays the parents' replication-log window and
+  /// commits the cutover; then purges the moved keys out of the parents
+  /// at the same rate.
+  void AdvanceSplits();
+
+  /// Streams one tick of budget through the background migration queue;
+  /// a copy that finishes its modeled transfer is installed via
+  /// MetaServer::MigrateReplica (disposition recorded in
+  /// migration_stats_).
+  void AdvanceMigrations();
+
+  /// Snapshots every pool into the rescheduler's model and enqueues the
+  /// planned moves as background copies. Skipped while copies are still
+  /// queued (the model would re-plan the same moves).
+  void PlanRescheduling();
+
+  /// Records one migration disposition into migration_stats_.
+  void RecordMigrationOutcome(const Status& status);
+
   SimOptions options_;
   SimClock clock_;
   Rng rng_;
@@ -480,6 +655,41 @@ class ClusterSim {
   };
   std::vector<PendingRebuild> pending_rebuilds_;
   uint64_t executed_rebuilds_ = 0;
+  /// Per-parent progress of an active online split.
+  struct SplitParent {
+    PartitionId parent = 0;
+    std::string cursor;          ///< Last key the exporter examined.
+    bool snapshot_done = false;  ///< Re-hashed range fully streamed.
+    /// Parent stream position when the split started: the replication
+    /// logs are held at this floor (split_log_holds_) so the cutover can
+    /// replay every write acknowledged during the streaming window.
+    uint64_t hold_seq = 0;
+    uint64_t bytes_streamed = 0;
+    std::string purge_cursor;    ///< Post-cutover moved-key purge.
+    bool purge_done = false;
+  };
+  /// One online split: staged children streaming (cut_over = false),
+  /// then parents purging their moved keys (cut_over = true).
+  struct SplitOp {
+    uint32_t old_count = 0;
+    bool cut_over = false;
+    std::vector<SplitParent> parents;
+  };
+  std::map<TenantId, SplitOp> active_splits_;  ///< Ordered: deterministic.
+  /// Replication-log truncation floors for partitions under an active
+  /// split (keyed by PartitionKey): the Replicate stage never truncates
+  /// a held stream past its split window start.
+  std::map<uint64_t, uint64_t> split_log_holds_;
+  uint64_t splits_completed_ = 0;
+  uint64_t split_cutovers_ = 0;
+  /// A planned background migration streaming its modeled copy.
+  struct PendingMigration {
+    resched::Migration migration;
+    uint64_t bytes_total = 0;
+    uint64_t bytes_copied = 0;
+  };
+  std::deque<PendingMigration> migration_queue_;
+  MigrationStats migration_stats_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;

@@ -451,8 +451,16 @@ void ReplicateStage::Run(TickContext&) {
       if (reps.size() < 2) {
         // No replica will ever pull this stream; keep the log empty so a
         // replicas=1 tenant does not grow memory with every write. A
-        // replica added later is seeded by snapshot anyway.
-        src->TruncateReplLogThrough(cur);
+        // replica added later is seeded by snapshot anyway. An active
+        // online split still holds the log at its window start — the
+        // cutover replays it.
+        uint64_t solo_trunc = cur;
+        auto hold =
+            sim.split_log_holds_.find(ClusterSim::PartitionKey(tid, p));
+        if (hold != sim.split_log_holds_.end()) {
+          solo_trunc = std::min(solo_trunc, hold->second);
+        }
+        src->TruncateReplLogThrough(solo_trunc);
         continue;
       }
 
@@ -525,8 +533,15 @@ void ReplicateStage::Run(TickContext&) {
       // same bound truncates the replicas' own logs (they re-append
       // every applied record so a promoted replica can serve the
       // stream): records the whole placement has applied are dead
-      // weight on every copy. Serial pass: safe to mutate here.
-      const uint64_t trunc = std::min(min_cursor, floor);
+      // weight on every copy. An active online split additionally holds
+      // every copy's log at its streaming-window start, so the cutover
+      // can replay the window no matter which replica is primary by
+      // then. Serial pass: safe to mutate here.
+      uint64_t trunc = std::min(min_cursor, floor);
+      auto hold = sim.split_log_holds_.find(ClusterSim::PartitionKey(tid, p));
+      if (hold != sim.split_log_holds_.end()) {
+        trunc = std::min(trunc, hold->second);
+      }
       src->TruncateReplLogThrough(trunc);
       for (storage::LsmEngine* re : replica_engines) {
         re->TruncateReplLogThrough(trunc);
@@ -591,6 +606,37 @@ void SettleStage::Run(TickContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Control
+// ---------------------------------------------------------------------------
+
+void ControlStage::Run(TickContext&) {
+  ClusterSim& sim = *sim_;
+  const SimOptions& opt = sim.options_;
+
+  // In-flight background data movement advances every tick, whatever
+  // the decision cadence: split streaming / cutover / purge, then the
+  // queued migration copies.
+  if (!sim.active_splits_.empty()) sim.AdvanceSplits();
+  if (!sim.migration_queue_.empty()) sim.AdvanceMigrations();
+
+  // Decision loops. tick_count_ was already advanced by Settle, so an
+  // interval of N fires first at the Nth tick.
+  if (opt.control_interval_ticks > 0) {
+    sim.AccumulateControlUsage();
+    if (sim.tick_count_ %
+            static_cast<uint64_t>(opt.control_interval_ticks) ==
+        0) {
+      sim.RunAutoscalers();
+    }
+  }
+  if (opt.resched_interval_ticks > 0 &&
+      sim.tick_count_ % static_cast<uint64_t>(opt.resched_interval_ticks) ==
+          0) {
+    sim.PlanRescheduling();
+  }
+}
+
+// ---------------------------------------------------------------------------
 // TickPipeline
 // ---------------------------------------------------------------------------
 
@@ -602,6 +648,7 @@ TickPipeline::TickPipeline(ClusterSim* sim) {
   stages_.push_back(std::make_unique<NodeScheduleStage>(sim));
   stages_.push_back(std::make_unique<ReplicateStage>(sim));
   stages_.push_back(std::make_unique<SettleStage>(sim));
+  stages_.push_back(std::make_unique<ControlStage>(sim));
 }
 
 void TickPipeline::RunTick() {

@@ -2,7 +2,7 @@
 //
 // ClusterSim::Tick() used to be one monolithic loop that interleaved
 // workload generation, proxy admission, routing, node scheduling, and
-// response settlement inline. It is now an explicit seven-stage pipeline:
+// response settlement inline. It is now an explicit eight-stage pipeline:
 //
 //   Fault        queued FailNode/RecoverNode events land (serial): dead
 //       |        nodes drop their work and stranded in-flight requests
@@ -32,9 +32,14 @@
 //       |        each node applies only the streams addressed to it
 //       |        (parallel per node)
 //   Settle       response delivery to proxies / metrics / client
-//                outcomes (replica-read staleness sampled against the
-//                primaries' cursors), MetaServer traffic report, clock
-//                advance (serial barrier stage)
+//       |        outcomes (replica-read staleness sampled against the
+//       |        primaries' cursors), MetaServer traffic report, clock
+//       |        advance (serial barrier stage)
+//   Control      the closed serverless loop (serial): hourly usage
+//                roll-up -> per-tenant autoscaler -> quota application;
+//                online split streaming / cutover / purge at
+//                split_bytes_per_tick; throttled background migration
+//                copies at migration_bytes_per_tick
 //
 // Parallel stages fan out over the simulator's Executor
 // (SimOptions::data_plane_workers); every unit of parallel work is
@@ -231,7 +236,31 @@ class SettleStage final : public Stage {
   ClusterSim* sim_;
 };
 
-/// The seven stages, in order. Owned by the ClusterSim; tests may run
+/// The closed serverless control loop, after the tick has fully settled
+/// (entirely serial). Every tick it advances the in-flight background
+/// work: online partition splits stream their re-hashed key ranges out
+/// of the parent primaries at SimOptions::split_bytes_per_tick (with an
+/// atomic, epoch-bumped cutover once the snapshot and the held
+/// replication-log window have been replayed into the staged children),
+/// and queued rescheduler migrations copy at migration_bytes_per_tick
+/// before MetaServer::MigrateReplica installs them. Every
+/// control_interval_ticks it rolls the settled RU into each tenant's
+/// hourly usage series and runs the per-tenant autoscaler (predictive
+/// Algorithm 1 forecast or the reactive baseline), applying decisions
+/// through MetaServer::SetTenantQuota; every resched_interval_ticks it
+/// snapshots the pools into the rescheduler and enqueues the planned
+/// moves.
+class ControlStage final : public Stage {
+ public:
+  explicit ControlStage(ClusterSim* sim) : sim_(sim) {}
+  const char* name() const override { return "Control"; }
+  void Run(TickContext& ctx) override;
+
+ private:
+  ClusterSim* sim_;
+};
+
+/// The eight stages, in order. Owned by the ClusterSim; tests may run
 /// stages one at a time against their own TickContext.
 class TickPipeline {
  public:

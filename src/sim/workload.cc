@@ -17,6 +17,12 @@ WorkloadGenerator::WorkloadGenerator(TenantId tenant, WorkloadProfile profile,
 
 double WorkloadGenerator::ExpectedQps(Micros now) const {
   double qps = profile_.base_qps;
+  if (!profile_.rate_schedule.empty() && profile_.rate_schedule_step > 0) {
+    const size_t idx = static_cast<size_t>(
+        (now / profile_.rate_schedule_step) %
+        static_cast<Micros>(profile_.rate_schedule.size()));
+    qps = profile_.rate_schedule[idx];
+  }
   double days = static_cast<double>(now) / static_cast<double>(kMicrosPerDay);
   if (profile_.trend_per_day != 0) {
     qps *= std::pow(1.0 + profile_.trend_per_day, days);

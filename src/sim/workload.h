@@ -43,6 +43,17 @@ struct WorkloadProfile {
   };
   std::vector<Burst> bursts;
 
+  /// Time-varying rate schedule: when non-empty, the schedule point for
+  /// the current sim time REPLACES base_qps as the base traffic rate
+  /// (trend, diurnal factor, and bursts still multiply on top). One
+  /// point covers `rate_schedule_step` micros of sim time; the schedule
+  /// wraps at the end, so a 24-point hourly series is a repeating
+  /// diurnal day. Build one from a SeriesSpec via GenerateSeries — the
+  /// same generator that fabricates the autoscaler's usage histories —
+  /// so the control loop has real load swings to chase.
+  TimeSeries rate_schedule;
+  Micros rate_schedule_step = kMicrosPerHour;
+
   // Operation mix.
   double read_ratio = 1.0;      ///< Fraction of ops that read.
   /// Fraction of reads issued with Consistency::kEventual (replica

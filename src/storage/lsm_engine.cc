@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/hash.h"
+
 namespace abase {
 namespace storage {
 
@@ -220,6 +222,89 @@ std::vector<LsmEngine::ScanEntry> LsmEngine::ScanPrefix(
   }
   if (!end.empty()) end.back() = static_cast<char>(end.back() + 1);
   return Scan(prefix, end, limit);
+}
+
+// ---------------------------------------------------------------------------
+// Hash-range export (online partition split)
+// ---------------------------------------------------------------------------
+
+LsmEngine::HashRangeExport LsmEngine::ExportHashRange(
+    uint64_t modulus, uint64_t residue, std::string_view start_after,
+    uint64_t max_bytes) const {
+  HashRangeExport out;
+  if (modulus == 0) {
+    out.done = true;
+    return out;
+  }
+  // Bounded merged newest-wins view of the keys strictly after the
+  // cursor: memtable first, then runs newest-to-oldest (emplace keeps
+  // the first — newest — version, exactly like Scan/MergeRuns). Each
+  // source contributes keys in order only until a payload cap, so one
+  // throttled batch costs O(cap), not O(keys remaining): a source that
+  // hit its cap bounds the *safe horizon* — the smallest last-collected
+  // key across capped sources — below which the merged view is
+  // complete. Keys beyond the horizon wait for the next batch.
+  const uint64_t cap = max_bytes * 2 + (64ull << 10);
+  std::map<std::string, const ValueEntry*> merged;
+  bool bounded = false;
+  std::string horizon;
+  auto collect = [&](auto it, auto end_it) {
+    uint64_t taken = 0;
+    std::string last;
+    bool capped = false;
+    for (; it != end_it; ++it) {
+      if (taken > cap) {
+        capped = true;
+        break;
+      }
+      merged.emplace(it->first, &it->second);
+      taken += it->first.size() + it->second.PayloadBytes();
+      last = it->first;
+    }
+    if (capped) {
+      bounded = true;
+      if (horizon.empty() || last < horizon) horizon = last;
+    }
+  };
+  collect(start_after.empty()
+              ? mem_.entries().begin()
+              : mem_.entries().upper_bound(std::string(start_after)),
+          mem_.entries().end());
+  for (const auto& level : levels_) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
+      const auto& rows = (*rit)->rows();
+      collect(std::upper_bound(rows.begin(), rows.end(), start_after,
+                               [](std::string_view k, const auto& r) {
+                                 return k < r.first;
+                               }),
+              rows.end());
+    }
+  }
+
+  const Micros now = clock_->NowMicros();
+  bool budget_hit = false;
+  for (const auto& [key, entry] : merged) {
+    if (bounded && key > horizon) break;
+    if (out.bytes >= max_bytes && !out.entries.empty()) {
+      budget_hit = true;  // Budget exhausted with keys left to examine.
+      break;
+    }
+    out.next_cursor = key;  // Examined (matching or not): never revisit.
+    if (Fnv1a64(key) % modulus != residue) continue;
+    if (entry->IsTombstone() || entry->IsExpiredAt(now)) continue;
+    out.entries.emplace_back(key, *entry);
+    out.bytes += key.size() + entry->PayloadBytes();
+  }
+  if (bounded && !budget_hit) {
+    // Every key up to the horizon was examined; resume past it.
+    out.next_cursor = horizon;
+  }
+  out.done = !bounded && !budget_hit;
+  return out;
+}
+
+void LsmEngine::Ingest(const std::string& key, ValueEntry entry) {
+  WriteEntry(key, std::move(entry));
 }
 
 // ---------------------------------------------------------------------------

@@ -122,6 +122,40 @@ class LsmEngine {
   std::vector<ScanEntry> ScanPrefix(std::string_view prefix,
                                     size_t limit = 100);
 
+  // -- Hash-range export (online partition split) ---------------------------
+  //
+  // A split re-hashes the keyspace from mod N to mod 2N: the keys of
+  // parent partition p whose hash lands on residue p + N move to the new
+  // child. The exporter streams exactly that re-hashed half out of this
+  // engine in bounded, resumable batches, so the control plane can move
+  // real data at a configured bytes-per-tick rate while the parent keeps
+  // serving.
+
+  /// One resumable batch of a hash-residue export.
+  struct HashRangeExport {
+    /// Newest visible version per exported key, in key order. Tombstoned
+    /// and expired keys are skipped (they simply do not move).
+    std::vector<std::pair<std::string, ValueEntry>> entries;
+    uint64_t bytes = 0;        ///< Payload bytes in `entries`.
+    std::string next_cursor;   ///< Resume point: last key examined.
+    bool done = false;         ///< No matching keys remain past the cursor.
+  };
+
+  /// Exports the newest visible version of every key strictly after
+  /// `start_after` (empty = from the first key) whose
+  /// `Fnv1a64(key) % modulus == residue`, stopping once `max_bytes` of
+  /// payload have been collected. Read-only; counters untouched.
+  HashRangeExport ExportHashRange(uint64_t modulus, uint64_t residue,
+                                  std::string_view start_after,
+                                  uint64_t max_bytes) const;
+
+  /// Ingests one externally streamed entry (split / migration data
+  /// movement): applied exactly like a local write — fresh local
+  /// sequence, WAL and replication log as configured. Tombstones and
+  /// TTL deadlines are preserved, so a window-delta replay converges the
+  /// target to the source's newest visible state.
+  void Ingest(const std::string& key, ValueEntry entry);
+
   // -- TTL ------------------------------------------------------------------
 
   /// EXPIRE: (re)sets the TTL of an existing key.

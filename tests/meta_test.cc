@@ -147,6 +147,80 @@ TEST_F(MetaTest, ScaleUpTriggersSplitWhenPartitionQuotaExceedsUpperBound) {
   EXPECT_LE(t->PartitionQuota(), 3000.0);
 }
 
+TEST_F(MetaTest, SplitPartitionsRollsBackOnPlacementFailure) {
+  // Regression: a mid-loop placement failure used to return early with
+  // the failing child's replicas already added to nodes — node replica
+  // sets and the partitions vector disagreed forever after. The split
+  // must be all-or-nothing.
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 2, 3), pool_).ok());
+  const size_t old_partitions = meta_.GetTenant(1)->partitions.size();
+  std::vector<size_t> replica_counts;
+  for (auto& n : nodes_) replica_counts.push_back(n->replica_count());
+
+  // Leave only two serveable nodes: a 3-replica child cannot be placed.
+  for (size_t i = 2; i < nodes_.size(); i++) nodes_[i]->Fail();
+  EXPECT_TRUE(meta_.SplitPartitions(1).IsResourceExhausted());
+
+  // Nothing changed: no child partition exists anywhere, node replica
+  // sets are exactly as before the failed attempt.
+  EXPECT_EQ(meta_.GetTenant(1)->partitions.size(), old_partitions);
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    EXPECT_EQ(nodes_[i]->replica_count(), replica_counts[i]) << "node " << i;
+    for (PartitionId child = static_cast<PartitionId>(old_partitions);
+         child < 2 * old_partitions; child++) {
+      EXPECT_FALSE(nodes_[i]->HasReplica(1, child))
+          << "node " << i << " kept stale child " << child;
+    }
+  }
+}
+
+TEST_F(MetaTest, StagedSplitPrepareCommitLifecycle) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 2, 3), pool_).ok());
+  const uint64_t epoch_before = meta_.routing_epoch();
+
+  // Prepare: children placed on nodes but invisible to routing.
+  ASSERT_TRUE(meta_.PrepareSplit(1).ok());
+  const MetaServer::PendingSplit* pending = meta_.GetPendingSplit(1);
+  ASSERT_NE(pending, nullptr);
+  EXPECT_EQ(pending->old_count, 2u);
+  ASSERT_EQ(pending->children.size(), 2u);
+  EXPECT_EQ(meta_.GetTenant(1)->partitions.size(), 2u);
+  EXPECT_EQ(meta_.routing_epoch(), epoch_before);
+  size_t staged_hosted = 0;
+  for (auto& n : nodes_) {
+    for (PartitionId child = 2; child < 4; child++) {
+      if (n->HasReplica(1, child)) staged_hosted++;
+    }
+  }
+  EXPECT_EQ(staged_hosted, 6u);
+  // No double staging, and no inline split while one is staged.
+  EXPECT_FALSE(meta_.PrepareSplit(1).ok());
+  EXPECT_FALSE(meta_.SplitPartitions(1).ok());
+  // SetTenantQuota must not split inline underneath a staged split.
+  ASSERT_TRUE(meta_.SetTenantQuota(1, 1e9).ok());
+  EXPECT_EQ(meta_.GetTenant(1)->partitions.size(), 2u);
+
+  // Commit: children join the table atomically, epoch bumps.
+  ASSERT_TRUE(meta_.CommitSplit(1).ok());
+  EXPECT_EQ(meta_.GetTenant(1)->partitions.size(), 4u);
+  EXPECT_GT(meta_.routing_epoch(), epoch_before);
+  EXPECT_EQ(meta_.GetPendingSplit(1), nullptr);
+  EXPECT_FALSE(meta_.CommitSplit(1).ok());  // Nothing staged anymore.
+}
+
+TEST_F(MetaTest, StagedSplitAbortRemovesStagedReplicas) {
+  ASSERT_TRUE(meta_.CreateTenant(Config(1, 2, 3), pool_).ok());
+  std::vector<size_t> replica_counts;
+  for (auto& n : nodes_) replica_counts.push_back(n->replica_count());
+  ASSERT_TRUE(meta_.PrepareSplit(1).ok());
+  ASSERT_TRUE(meta_.AbortSplit(1).ok());
+  EXPECT_EQ(meta_.GetPendingSplit(1), nullptr);
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    EXPECT_EQ(nodes_[i]->replica_count(), replica_counts[i]) << "node " << i;
+  }
+  EXPECT_TRUE(meta_.AbortSplit(1).IsNotFound());
+}
+
 TEST_F(MetaTest, ScaleDownRecordsTimestamp) {
   ASSERT_TRUE(meta_.CreateTenant(Config(1), pool_).ok());
   clock_.Advance(kMicrosPerDay);

@@ -1,4 +1,4 @@
-// Tests for the five-stage tick pipeline and the data-plane executors:
+// Tests for the eight-stage tick pipeline and the data-plane executors:
 //  * the parallel executor runs every task exactly once;
 //  * a request can be driven through each stage boundary individually,
 //    with the expected TickContext dataflow at every step;
@@ -81,7 +81,7 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   sim.InjectRequest(req);
 
   sim::TickPipeline& pipeline = sim.pipeline();
-  ASSERT_EQ(pipeline.num_stages(), 7u);
+  ASSERT_EQ(pipeline.num_stages(), 8u);
   EXPECT_STREQ(pipeline.stage(0).name(), "Fault");
   EXPECT_STREQ(pipeline.stage(1).name(), "Generate");
   EXPECT_STREQ(pipeline.stage(2).name(), "ProxyAdmit");
@@ -89,6 +89,7 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   EXPECT_STREQ(pipeline.stage(4).name(), "NodeSchedule");
   EXPECT_STREQ(pipeline.stage(5).name(), "Replicate");
   EXPECT_STREQ(pipeline.stage(6).name(), "Settle");
+  EXPECT_STREQ(pipeline.stage(7).name(), "Control");
 
   sim::TickContext ctx;
 

@@ -225,9 +225,22 @@ TEST(ClusterSimTest, MigrationsApplyToLiveTopology) {
   m.partition = 0;
   m.from = from;
   m.to = to;
-  EXPECT_EQ(cluster.ApplyMigrations({m}), 1u);
+  auto outcomes = cluster.ApplyMigrations({m});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].status.ok()) << outcomes[0].status.ToString();
   EXPECT_TRUE(cluster.FindNode(to)->HasReplica(1, 0));
   EXPECT_FALSE(cluster.FindNode(from)->HasReplica(1, 0));
+  EXPECT_EQ(cluster.migration_stats().applied, 1u);
+
+  // A doomed retry of the same move is reported with its reason instead
+  // of being silently dropped from a success count.
+  auto doomed = cluster.ApplyMigrations({m});
+  ASSERT_EQ(doomed.size(), 1u);
+  EXPECT_TRUE(doomed[0].status.IsNotFound())
+      << doomed[0].status.ToString();  // Source no longer hosts it.
+  EXPECT_EQ(cluster.migration_stats().skipped, 1u);
+  EXPECT_EQ(
+      cluster.migration_stats().skip_reasons.at(StatusCode::kNotFound), 1u);
 }
 
 // ------------------------------------------------------------ Public API --

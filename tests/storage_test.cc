@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "storage/bloom.h"
 #include "storage/disk_model.h"
@@ -207,6 +208,65 @@ TEST_F(LsmEngineTest, HashSurvivesFlushAndUpdates) {
   auto all = engine_->HGetAll("h");
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all.value().size(), 2u);  // f1 merged from the flushed run.
+}
+
+TEST_F(LsmEngineTest, ExportHashRangeStreamsResidueInBoundedBatches) {
+  // 200 keys spread across memtable and flushed runs; export the keys
+  // whose hash lands on residue 1 (mod 2) in throttled batches and
+  // re-ingest them into a second engine (the online-split data path).
+  std::map<std::string, std::string> expect;
+  for (int i = 0; i < 200; i++) {
+    std::string key = "split:k" + std::to_string(i);
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(engine_->Put(key, value).ok());
+    if (Fnv1a64(key) % 2 == 1) expect[key] = value;
+  }
+  // Deleted and expired residue keys must not move.
+  for (int i = 0; i < 200; i += 9) {
+    std::string key = "split:k" + std::to_string(i);
+    ASSERT_TRUE(engine_->Delete(key).ok());
+    expect.erase(key);
+  }
+  ASSERT_FALSE(expect.empty());
+
+  LsmOptions child_opts;
+  LsmEngine child(child_opts, &clock_);
+  std::string cursor;
+  size_t batches = 0;
+  for (;; batches++) {
+    ASSERT_LT(batches, 1000u) << "exporter failed to make progress";
+    auto batch = engine_->ExportHashRange(2, 1, cursor, /*max_bytes=*/64);
+    for (const auto& [key, entry] : batch.entries) {
+      EXPECT_EQ(Fnv1a64(key) % 2, 1u) << key;
+      child.Ingest(key, entry);
+    }
+    cursor = batch.next_cursor;
+    if (batch.done) break;
+  }
+  EXPECT_GT(batches, 1u);  // The byte budget actually throttled.
+
+  // The child holds exactly the live residue-1 view, values intact.
+  for (const auto& [key, value] : expect) {
+    auto got = child.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(got.value(), value) << key;
+  }
+  for (int i = 0; i < 200; i++) {
+    std::string key = "split:k" + std::to_string(i);
+    if (expect.count(key) > 0) continue;
+    EXPECT_TRUE(child.Get(key).status().IsNotFound()) << key;
+  }
+}
+
+TEST_F(LsmEngineTest, ExportHashRangeSeesNewestVersionAcrossSources) {
+  ASSERT_TRUE(engine_->Put("k", "old").ok());
+  engine_->Flush();
+  ASSERT_TRUE(engine_->Put("k", "new").ok());  // Memtable shadows run.
+  const uint64_t residue = Fnv1a64("k") % 2;
+  auto batch = engine_->ExportHashRange(2, residue, "", 1 << 20);
+  ASSERT_EQ(batch.entries.size(), 1u);
+  EXPECT_EQ(batch.entries[0].second.str, "new");
+  EXPECT_TRUE(batch.done);
 }
 
 TEST_F(LsmEngineTest, FlushAndCompactionProgress) {
