@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure reproduction harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +15,30 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n=============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("=============================================================\n");
+}
+
+/// Median of a sample set (sorts a copy; even counts take the mean of
+/// the middle pair). Perf benches report the median of N repetitions so
+/// one noisy run — a CI neighbor, a page-cache miss — does not define
+/// the trend point.
+inline double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// Resolves an output path at the repo root when the build system
+/// provides it (ABASE_REPO_ROOT), else falls back to the working
+/// directory. Benches run from the build tree, but trend records are
+/// committed at the repo root.
+inline std::string RepoRootPath(const std::string& filename) {
+#ifdef ABASE_REPO_ROOT
+  return std::string(ABASE_REPO_ROOT) + "/" + filename;
+#else
+  return filename;
+#endif
 }
 
 /// Aggregate of a tenant's metrics over a tick window.

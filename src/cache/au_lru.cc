@@ -14,13 +14,15 @@ bool AuLruCache::Put(const std::string& key, std::string value,
                      uint64_t charge, Micros ttl) {
   if (charge > options_.capacity_bytes) return false;
   if (ttl <= 0) ttl = options_.default_ttl;
-  auto it = map_.find(key);
-  if (it != map_.end()) RemoveEntry(it->second);
+  const uint64_t h = HashString(key);
+  // Same key or a hash-collided victim: either way the slot's current
+  // entry goes, keeping the index bijective with the list.
+  if (auto* slot = map_.Find(h)) RemoveEntry(*slot);
   EvictUntilFits(charge);
   lru_.push_front(Entry{key, std::move(value), charge,
                         clock_->NowMicros() + ttl, /*hits_this_period=*/0,
                         /*refresh_flagged=*/false});
-  map_[key] = lru_.begin();
+  map_.Insert(h, lru_.begin());
   used_ += charge;
   stats_.inserts++;
   return true;
@@ -28,23 +30,23 @@ bool AuLruCache::Put(const std::string& key, std::string value,
 
 AuLookup AuLruCache::Get(const std::string& key) {
   AuLookup out;
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  auto* slot = map_.Find(HashString(key));
+  if (slot == nullptr || (*slot)->key != key) {
     stats_.misses++;
     return out;
   }
-  Entry& e = *it->second;
+  Entry& e = **slot;
   const Micros now = clock_->NowMicros();
   if (now >= e.expire_at) {
     // Lazily expire: a passive LRU would now forward this (possibly hot)
     // key to the DataNode — exactly the spike AU-LRU avoids via refresh.
     stats_.expired++;
     stats_.misses++;
-    RemoveEntry(it->second);
+    RemoveEntry(*slot);
     return out;
   }
   out.hit = true;
-  out.value = e.value;
+  out.value = &e.value;
   stats_.hits++;
   e.hits_this_period++;
   if (!e.refresh_flagged && e.hits_this_period >= options_.refresh_min_hits &&
@@ -54,19 +56,24 @@ AuLookup AuLruCache::Get(const std::string& key) {
     refresh_queue_.push_back(key);
     refresh_requests_++;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  lru_.splice(lru_.begin(), lru_, *slot);
   return out;
 }
 
 bool AuLruCache::Erase(const std::string& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return false;
-  RemoveEntry(it->second);
+  return EraseHashed(HashString(key), key);
+}
+
+bool AuLruCache::EraseHashed(uint64_t hash, const std::string& key) {
+  auto* slot = map_.Find(hash);
+  if (slot == nullptr || (*slot)->key != key) return false;
+  RemoveEntry(*slot);
   return true;
 }
 
 bool AuLruCache::Contains(const std::string& key) const {
-  return map_.count(key) > 0;
+  const auto* slot = map_.Find(HashString(key));
+  return slot != nullptr && (*slot)->key == key;
 }
 
 std::vector<std::string> AuLruCache::TakeRefreshQueue() {
@@ -85,7 +92,7 @@ void AuLruCache::EvictUntilFits(uint64_t incoming) {
 
 void AuLruCache::RemoveEntry(std::list<Entry>::iterator it) {
   used_ -= it->charge;
-  map_.erase(it->key);
+  map_.Erase(HashString(it->key));
   lru_.erase(it);
 }
 

@@ -11,11 +11,11 @@
 #include <cstdint>
 #include <list>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_stats.h"
 #include "common/clock.h"
+#include "common/flat_map.h"
 
 namespace abase {
 namespace cache {
@@ -34,11 +34,13 @@ struct AuLruOptions {
   uint32_t refresh_min_hits = 2;
 };
 
-/// Result of an AU-LRU lookup.
+/// Result of an AU-LRU lookup. `value` borrows the cached string — it
+/// stays valid only until the next cache mutation; callers that need the
+/// payload beyond that must copy it (the hot path only needs the size).
 struct AuLookup {
   bool hit = false;
-  bool needs_refresh = false;  ///< Caller should re-fetch + Put soon.
-  std::string value;           ///< Valid only when hit.
+  bool needs_refresh = false;      ///< Caller should re-fetch + Put soon.
+  const std::string* value = nullptr;  ///< Non-null only when hit.
 };
 
 /// Active-update LRU cache with per-entry TTL. Single-threaded.
@@ -56,6 +58,9 @@ class AuLruCache {
   AuLookup Get(const std::string& key);
 
   bool Erase(const std::string& key);
+  /// Erase with a caller-computed HashString(key) — write-invalidation
+  /// broadcasts hash once and erase across every proxy of the tenant.
+  bool EraseHashed(uint64_t hash, const std::string& key);
   bool Contains(const std::string& key) const;
 
   /// Entries currently flagged for refresh and not yet re-Put. The proxy
@@ -84,7 +89,11 @@ class AuLruCache {
   AuLruOptions options_;
   const Clock* clock_;
   std::list<Entry> lru_;  ///< Front = most recent.
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  /// Key-hash index (FNV-1a of the key string); entries hold the full
+  /// key, so a hash collision is detected by comparing it and treated
+  /// as a miss (Get/Erase) or evicts the collided entry (Put) — either
+  /// way the index stays bijective with the list.
+  FlatMap64<std::list<Entry>::iterator> map_;
   std::vector<std::string> refresh_queue_;
   uint64_t used_ = 0;
   uint64_t refresh_requests_ = 0;

@@ -24,19 +24,22 @@ int SaLruCache::ClassFor(uint64_t charge) const {
 bool SaLruCache::Put(const std::string& key, std::string value,
                      uint64_t charge, Micros expire_at) {
   if (charge > options_.capacity_bytes) return false;
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
-    sc.bytes -= it->second->charge;
-    used_ -= it->second->charge;
-    sc.lru.erase(it->second);
-    map_.erase(it);
+  const uint64_t h = HashString(key);
+  // Same key or a hash-collided victim: either way the slot's current
+  // entry goes, keeping the index bijective with the class lists.
+  if (auto* slot = map_.Find(h)) {
+    auto old = *slot;
+    SizeClass& osc = classes_[static_cast<size_t>(old->size_class)];
+    osc.bytes -= old->charge;
+    used_ -= old->charge;
+    osc.lru.erase(old);
+    map_.Erase(h);
   }
   EvictUntilFits(charge);
   int cls = ClassFor(charge);
   SizeClass& sc = classes_[static_cast<size_t>(cls)];
   sc.lru.push_front(Entry{key, std::move(value), charge, cls, expire_at});
-  map_[key] = sc.lru.begin();
+  map_.Insert(h, sc.lru.begin());
   sc.bytes += charge;
   used_ += charge;
   stats_.inserts++;
@@ -50,40 +53,50 @@ std::optional<std::string> SaLruCache::Get(const std::string& key) {
 
 std::optional<std::string> SaLruCache::GetWithExpiry(const std::string& key,
                                                      Micros* expire_at) {
+  const std::string* v = GetRef(key, expire_at);
+  if (v == nullptr) return std::nullopt;
+  return *v;
+}
+
+const std::string* SaLruCache::GetRef(const std::string& key,
+                                      Micros* expire_at) {
   *expire_at = 0;
-  auto it = map_.find(key);
-  if (it == map_.end()) {
+  auto* slot = map_.Find(HashString(key));
+  if (slot == nullptr || (*slot)->key != key) {
     stats_.misses++;
-    return std::nullopt;
+    return nullptr;
   }
-  if (it->second->expire_at != 0 && clock_ != nullptr &&
-      clock_->NowMicros() >= it->second->expire_at) {
+  auto it = *slot;
+  if (it->expire_at != 0 && clock_ != nullptr &&
+      clock_->NowMicros() >= it->expire_at) {
     stats_.expired++;
     stats_.misses++;
     Erase(key);
-    return std::nullopt;
+    return nullptr;
   }
   stats_.hits++;
-  *expire_at = it->second->expire_at;
-  SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
+  *expire_at = it->expire_at;
+  SizeClass& sc = classes_[static_cast<size_t>(it->size_class)];
   sc.recent_hits += 1.0;
-  sc.lru.splice(sc.lru.begin(), sc.lru, it->second);
-  return it->second->value;
+  sc.lru.splice(sc.lru.begin(), sc.lru, it);
+  return &it->value;
 }
 
 bool SaLruCache::Erase(const std::string& key) {
-  auto it = map_.find(key);
-  if (it == map_.end()) return false;
-  SizeClass& sc = classes_[static_cast<size_t>(it->second->size_class)];
-  sc.bytes -= it->second->charge;
-  used_ -= it->second->charge;
-  sc.lru.erase(it->second);
-  map_.erase(it);
+  const uint64_t h = HashString(key);
+  auto* slot = map_.Find(h);
+  if (slot == nullptr || (*slot)->key != key) return false;
+  auto it = *slot;
+  SizeClass& sc = classes_[static_cast<size_t>(it->size_class)];
+  sc.bytes -= it->charge;
+  used_ -= it->charge;
+  sc.lru.erase(it);
+  map_.Erase(h);
   return true;
 }
 
 void SaLruCache::Clear() {
-  map_.clear();
+  map_.Clear();
   for (SizeClass& sc : classes_) {
     sc.lru.clear();
     sc.bytes = 0;
@@ -93,7 +106,8 @@ void SaLruCache::Clear() {
 }
 
 bool SaLruCache::Contains(const std::string& key) const {
-  return map_.count(key) > 0;
+  const auto* slot = map_.Find(HashString(key));
+  return slot != nullptr && (*slot)->key == key;
 }
 
 int SaLruCache::VictimClass() const {
@@ -122,7 +136,7 @@ void SaLruCache::EvictUntilFits(uint64_t incoming) {
     const Entry& victim = sc.lru.back();
     used_ -= victim.charge;
     sc.bytes -= victim.charge;
-    map_.erase(victim.key);
+    map_.Erase(HashString(victim.key));
     sc.lru.pop_back();
     stats_.evictions++;
     DecayHits();

@@ -14,11 +14,11 @@
 #include <list>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_stats.h"
 #include "common/clock.h"
+#include "common/flat_map.h"
 
 namespace abase {
 namespace cache {
@@ -58,6 +58,12 @@ class SaLruCache {
   /// so callers can propagate TTLs to downstream caches.
   std::optional<std::string> GetWithExpiry(const std::string& key,
                                            Micros* expire_at);
+
+  /// Zero-copy lookup: returns a pointer to the cached payload (nullptr
+  /// on miss) valid only until the next cache mutation. Same promotion
+  /// and expiry semantics as GetWithExpiry; the request hot path uses
+  /// this to copy into a recycled buffer instead of allocating.
+  const std::string* GetRef(const std::string& key, Micros* expire_at);
 
   bool Erase(const std::string& key);
   bool Contains(const std::string& key) const;
@@ -99,7 +105,10 @@ class SaLruCache {
   SaLruOptions options_;
   const Clock* clock_;
   std::vector<SizeClass> classes_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  /// Key-hash index (FNV-1a of the key string); entries hold the full
+  /// key, so a hash collision is detected by comparing it and treated
+  /// as a miss (Get/Erase) or evicts the collided entry (Put).
+  FlatMap64<std::list<Entry>::iterator> map_;
   uint64_t used_ = 0;
   CacheStats stats_;
 };

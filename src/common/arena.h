@@ -1,0 +1,115 @@
+// Bump-pointer arena for per-tick data-plane scratch.
+//
+// The batched pipeline allocates irregular, tick-local structures —
+// per-node submission index lists, replication shipment batches, trace
+// buffers — whose lifetimes all end at the tick boundary. Routing those
+// through malloc costs a lock-free-list hit per allocation and scatters
+// them across the heap; the arena instead hands out pointers from a few
+// large blocks and recycles everything with a single Reset() at the
+// start of the next tick.
+//
+// Lifetime rules (see DESIGN.md, "Batched data plane"):
+//  * one Arena per worker, owned by the simulator; never shared across
+//    threads within a tick;
+//  * arena memory must not escape the tick — anything that survives
+//    (responses, metrics, outcomes) is copied into persistent storage
+//    before Reset();
+//  * Reset() keeps every normal block for reuse and releases only the
+//    oversized one-off blocks, so steady-state ticks allocate nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace abase {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kMinBlockBytes ? kMinBlockBytes
+                                                  : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  /// Allocations larger than half a block get a dedicated block that is
+  /// released on Reset(); everything else bumps within shared blocks.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > block_bytes_ / 2) return AllocateLarge(bytes, align);
+    uintptr_t cur = reinterpret_cast<uintptr_t>(cur_);
+    uintptr_t aligned = (cur + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    if (aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+      NextBlock();
+      cur = reinterpret_cast<uintptr_t>(cur_);
+      aligned = (cur + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    }
+    cur_ = reinterpret_cast<char*>(aligned + bytes);
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Uninitialized storage for `n` objects of trivially-destructible T.
+  /// The arena never runs destructors, so non-trivial element types must
+  /// be destroyed by the caller before Reset().
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to the first block. Normal blocks are retained (their
+  /// capacity is the whole point); dedicated large blocks are freed.
+  void Reset() {
+    large_.clear();
+    block_index_ = 0;
+    bytes_allocated_ = 0;
+    if (!blocks_.empty()) {
+      cur_ = blocks_[0].get();
+      end_ = cur_ + block_bytes_;
+    } else {
+      cur_ = end_ = nullptr;
+    }
+  }
+
+  /// Bytes handed out since the last Reset (diagnostics).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Bytes held in reusable blocks (excludes large one-offs).
+  size_t bytes_reserved() const { return blocks_.size() * block_bytes_; }
+  size_t block_bytes() const { return block_bytes_; }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 64u << 10;
+  static constexpr size_t kMinBlockBytes = 1u << 10;
+
+  void NextBlock() {
+    if (!blocks_.empty()) block_index_++;
+    if (block_index_ >= blocks_.size()) {
+      blocks_.push_back(std::unique_ptr<char[]>(new char[block_bytes_]));
+    }
+    cur_ = blocks_[block_index_].get();
+    end_ = cur_ + block_bytes_;
+  }
+
+  void* AllocateLarge(size_t bytes, size_t align) {
+    // Over-allocate so any alignment fits; dedicated blocks die at Reset.
+    large_.push_back(std::unique_ptr<char[]>(new char[bytes + align]));
+    uintptr_t raw = reinterpret_cast<uintptr_t>(large_.back().get());
+    uintptr_t aligned = (raw + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    bytes_allocated_ += bytes;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;  ///< Reused forever.
+  std::vector<std::unique_ptr<char[]>> large_;   ///< Freed on Reset.
+  size_t block_index_ = 0;  ///< Block currently being bumped (if any).
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace abase

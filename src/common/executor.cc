@@ -4,15 +4,16 @@
 
 namespace abase {
 
-ParallelExecutor::ParallelExecutor(int num_workers)
-    : num_workers_(std::max(1, num_workers)) {
+MorselExecutor::MorselExecutor(int num_workers)
+    : num_workers_(std::max(1, num_workers)),
+      ranges_(new Range[static_cast<size_t>(std::max(1, num_workers))]) {
   threads_.reserve(static_cast<size_t>(num_workers_ - 1));
-  for (int i = 0; i < num_workers_ - 1; i++) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+  for (int i = 1; i < num_workers_; i++) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
-ParallelExecutor::~ParallelExecutor() {
+MorselExecutor::~MorselExecutor() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -21,23 +22,38 @@ ParallelExecutor::~ParallelExecutor() {
   for (std::thread& t : threads_) t.join();
 }
 
-void ParallelExecutor::WorkerLoop() {
+void MorselExecutor::RunMorsels(int worker) {
+  const MorselFn& fn = *fn_;
+  const size_t grain = grain_;
+  // Own range first, then sweep the other workers' ranges as theft
+  // victims. fetch_add past `end` wastes at most one increment per
+  // visitor, so the overshoot is bounded and harmless.
+  for (int v = 0; v < num_workers_; v++) {
+    Range& r = ranges_[(worker + v) % num_workers_];
+    for (;;) {
+      size_t begin = r.next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= r.end) break;
+      size_t end = std::min(begin + grain, r.end);
+      if (trace_ != nullptr && label_ != nullptr) {
+        TraceSpan span(trace_, label_, worker);
+        fn(begin, end, worker);
+      } else {
+        fn(begin, end, worker);
+      }
+    }
+  }
+}
+
+void MorselExecutor::WorkerLoop(int worker) {
   uint64_t seen_epoch = 0;
   for (;;) {
-    const std::function<void(size_t)>* fn = nullptr;
-    size_t n = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock,
-                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      cv_start_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
       if (shutdown_) return;
       seen_epoch = epoch_;
-      fn = fn_;
-      n = n_;
     }
-    for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
-      (*fn)(i);
-    }
+    RunMorsels(worker);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--active_ == 0) cv_done_.notify_all();
@@ -45,29 +61,44 @@ void ParallelExecutor::WorkerLoop() {
   }
 }
 
-void ParallelExecutor::ParallelFor(size_t n,
-                                   const std::function<void(size_t)>& fn) {
+void MorselExecutor::MorselFor(const char* label, size_t n, size_t grain,
+                               const MorselFn& fn) {
   if (n == 0) return;
+  const size_t w = static_cast<size_t>(num_workers_);
   if (threads_.empty()) {
-    for (size_t i = 0; i < n; i++) fn(i);
+    if (trace_ != nullptr && label != nullptr) {
+      TraceSpan span(trace_, label, 0);
+      fn(0, n, 0);
+    } else {
+      fn(0, n, 0);
+    }
     return;
+  }
+  // Contiguous per-worker ranges; morsels of `grain` indices. The
+  // default grain aims at ~4 morsels per worker so stealing has slack
+  // without shredding cache locality.
+  const size_t chunk = (n + w - 1) / w;
+  if (grain == 0) grain = std::max<size_t>(1, chunk / 4);
+  for (size_t i = 0; i < w; i++) {
+    const size_t begin = std::min(i * chunk, n);
+    ranges_[i].next.store(begin, std::memory_order_relaxed);
+    ranges_[i].end = std::min(begin + chunk, n);
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
-    n_ = n;
-    next_.store(0);
+    label_ = label;
+    grain_ = grain;
     active_ = threads_.size();
     epoch_++;
   }
   cv_start_.notify_all();
-  // The caller is one of the workers.
-  for (size_t i = next_.fetch_add(1); i < n; i = next_.fetch_add(1)) {
-    fn(i);
-  }
+  // The caller is worker 0.
+  RunMorsels(0);
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return active_ == 0; });
   fn_ = nullptr;
+  label_ = nullptr;
 }
 
 }  // namespace abase

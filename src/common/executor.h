@@ -1,77 +1,126 @@
-// Data-plane executors. The cluster simulator's NodeSchedule stage runs
-// every DataNode's tick through an Executor: SerialExecutor preserves the
-// historical single-threaded loop, ParallelExecutor fans the independent
-// node ticks out across a persistent worker pool (DataNodes share no
-// mutable state within a tick, so the only ordering requirement is the
-// caller's deterministic node-id-ordered response merge — see DESIGN.md,
-// "Stage / executor contract").
+// Data-plane executors. Parallel pipeline stages fan batch groups out
+// through an Executor: SerialExecutor preserves the single-threaded
+// reference loop, MorselExecutor carves the index space into per-worker
+// ranges and lets idle workers *steal* morsels (contiguous index runs)
+// from busy ones, so a skewed tenant or hot node cannot leave the rest
+// of the pool idle. Work units share no mutable state within a tick and
+// all merges happen in fixed id order afterwards (DESIGN.md, "Stage /
+// executor contract"), so claiming order is free to be nondeterministic
+// while simulation results stay bit-identical across worker counts.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
+
 namespace abase {
 
+/// A morsel callback: processes the contiguous index run [begin, end)
+/// on worker `worker` (0 <= worker < workers()). The worker id is
+/// stable for the duration of the run, so callees may use per-worker
+/// scratch (arenas) without synchronization.
+using MorselFn = std::function<void(size_t begin, size_t end, int worker)>;
+
 /// Runs `n` independent tasks, identified by index. Implementations must
-/// guarantee every index in [0, n) runs exactly once and that ParallelFor
-/// does not return before all of them have finished.
+/// guarantee every index in [0, n) runs exactly once and that the fan
+/// out does not return before all of them have finished.
 class Executor {
  public:
   virtual ~Executor() = default;
 
-  /// Invokes fn(0) .. fn(n-1), possibly concurrently. Blocks until done.
-  virtual void ParallelFor(size_t n, const std::function<void(size_t)>& fn) = 0;
+  /// Covers [0, n) with disjoint morsels of at most `grain` indices
+  /// (grain 0 = implementation-chosen). Blocks until every index ran.
+  /// `label` names the work for the trace (may be null).
+  virtual void MorselFor(const char* label, size_t n, size_t grain,
+                         const MorselFn& fn) = 0;
+
+  /// Index-at-a-time adapter over MorselFor: invokes fn(0) .. fn(n-1),
+  /// possibly concurrently. Blocks until done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    MorselFor(nullptr, n, 0, [&fn](size_t begin, size_t end, int) {
+      for (size_t i = begin; i < end; i++) fn(i);
+    });
+  }
 
   /// Degree of parallelism (1 for the serial executor).
   virtual int workers() const = 0;
+
+  /// Attaches a trace sink; labeled morsels are recorded as slices on
+  /// the claiming worker's track. Null detaches.
+  virtual void SetTrace(TraceWriter*) {}
 };
 
-/// Runs tasks inline on the calling thread, in index order. This is the
-/// reference executor: any other executor must produce bit-identical
+/// Runs everything inline on the calling thread, in index order. This is
+/// the reference executor: any other executor must produce bit-identical
 /// simulation results.
 class SerialExecutor final : public Executor {
  public:
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) override {
-    for (size_t i = 0; i < n; i++) fn(i);
+  void MorselFor(const char* label, size_t n, size_t,
+                 const MorselFn& fn) override {
+    if (n == 0) return;
+    TraceSpan span(label != nullptr ? trace_ : nullptr, label, 0);
+    fn(0, n, 0);
   }
   int workers() const override { return 1; }
-};
-
-/// Persistent worker pool. `num_workers` includes the calling thread, so
-/// ParallelExecutor(4) spawns three workers and the caller takes the
-/// fourth share. Indices are claimed from an atomic counter, so task
-/// *start* order is nondeterministic — callers own determinism by keeping
-/// tasks independent and merging results in index order afterwards.
-class ParallelExecutor final : public Executor {
- public:
-  explicit ParallelExecutor(int num_workers);
-  ~ParallelExecutor() override;
-
-  ParallelExecutor(const ParallelExecutor&) = delete;
-  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
-
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) override;
-  int workers() const override { return num_workers_; }
+  void SetTrace(TraceWriter* trace) override { trace_ = trace; }
 
  private:
-  void WorkerLoop();
+  TraceWriter* trace_ = nullptr;
+};
+
+/// Work-stealing morsel pool. `num_workers` includes the calling thread,
+/// so MorselExecutor(4) spawns three pool threads and the caller takes
+/// worker id 0. Each fan-out splits [0, n) into one contiguous range per
+/// worker; a worker claims grain-sized morsels from its own range via an
+/// atomic cursor and, once that is drained, steals morsels from the
+/// other ranges. Morsel *claiming* order is nondeterministic — callers
+/// own determinism by keeping tasks independent and merging results in
+/// index order afterwards.
+class MorselExecutor final : public Executor {
+ public:
+  explicit MorselExecutor(int num_workers);
+  ~MorselExecutor() override;
+
+  MorselExecutor(const MorselExecutor&) = delete;
+  MorselExecutor& operator=(const MorselExecutor&) = delete;
+
+  void MorselFor(const char* label, size_t n, size_t grain,
+                 const MorselFn& fn) override;
+  int workers() const override { return num_workers_; }
+  void SetTrace(TraceWriter* trace) override { trace_ = trace; }
+
+ private:
+  /// One worker's share of the index space, claimed morsel-by-morsel.
+  /// Padded out to a cache line so cursors do not false-share.
+  struct alignas(64) Range {
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+  };
+
+  void WorkerLoop(int worker);
+  /// Drains the own range, then steals; returns when no morsel is left.
+  void RunMorsels(int worker);
 
   int num_workers_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<Range[]> ranges_;  ///< One per worker.
+  TraceWriter* trace_ = nullptr;
 
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  const std::function<void(size_t)>* fn_ = nullptr;  ///< Current job.
-  size_t n_ = 0;
-  std::atomic<size_t> next_{0};  ///< Next unclaimed index.
-  size_t active_ = 0;            ///< Pool threads still in the current job.
-  uint64_t epoch_ = 0;           ///< Bumped per job to wake the pool.
+  const MorselFn* fn_ = nullptr;  ///< Current job.
+  const char* label_ = nullptr;
+  size_t grain_ = 1;
+  size_t active_ = 0;   ///< Pool threads still in the current job.
+  uint64_t epoch_ = 0;  ///< Bumped per job to wake the pool.
   bool shutdown_ = false;
 };
 

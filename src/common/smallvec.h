@@ -1,0 +1,174 @@
+// SmallVec — a vector with inline storage for the common small case.
+//
+// Most per-request fan-out sets in the data plane are tiny: a
+// partition's replica list (≤3), a node's morsel of batch groups, a
+// proxy group's members. std::vector heap-allocates even for one
+// element; SmallVec keeps up to N elements in the object itself and
+// only spills to the heap beyond that, which keeps the hot path free of
+// allocator traffic and the elements on the same cache lines as their
+// owner.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace abase {
+
+template <typename T, size_t N = 8>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVec(const SmallVec& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; i++) push_back(other[i]);
+  }
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; i++) push_back(other[i]);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    Destroy();
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  ~SmallVec() { Destroy(); }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T* data() { return heap_ ? heap_ : InlinePtr(); }
+  const T* data() const { return heap_ ? heap_ : InlinePtr(); }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  /// True while elements still live in the inline buffer.
+  bool is_inline() const { return heap_ == nullptr; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    size_++;
+    return *slot;
+  }
+
+  void pop_back() {
+    size_--;
+    data()[size_].~T();
+  }
+
+  /// Destroys elements; keeps whatever storage is current (inline or
+  /// heap), so refill after clear() does not reallocate.
+  void clear() {
+    T* d = data();
+    for (size_t i = 0; i < size_; i++) d[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(size_t cap) {
+    if (cap > capacity_) Grow(cap);
+  }
+
+  void resize(size_t n) {
+    if (n > size_) {
+      reserve(n);
+      T* d = data();
+      for (size_t i = size_; i < n; i++) ::new (static_cast<void*>(d + i)) T();
+    } else {
+      T* d = data();
+      for (size_t i = n; i < size_; i++) d[i].~T();
+    }
+    size_ = n;
+  }
+
+ private:
+  T* InlinePtr() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlinePtr() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t cap) {
+    if (cap < N) cap = N;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    T* d = data();
+    for (size_t i = 0; i < size_; i++) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(d[i]));
+      d[i].~T();
+    }
+    if (heap_) ::operator delete(heap_);
+    heap_ = fresh;
+    capacity_ = cap;
+  }
+
+  void Destroy() {
+    clear();
+    if (heap_) {
+      ::operator delete(heap_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  void MoveFrom(SmallVec&& other) {
+    if (other.heap_) {
+      // Steal the heap buffer outright.
+      heap_ = other.heap_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = N;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = other.size_;
+      // Inline storage invariant; also keeps GCC's vectorizer from
+      // assuming the loop can run past the inline buffer.
+      if (size_ > N) __builtin_unreachable();
+      T* src = other.InlinePtr();
+      T* dst = InlinePtr();
+      for (size_t i = 0; i < size_; i++) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+        src[i].~T();
+      }
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* heap_ = nullptr;  ///< Null while inline.
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace abase

@@ -1,0 +1,54 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace abase {
+
+TraceWriter::TraceWriter(std::string path)
+    : path_(std::move(path)), t0_(std::chrono::steady_clock::now()) {
+  events_.reserve(4096);
+}
+
+TraceWriter::~TraceWriter() { Flush(); }
+
+void TraceWriter::Emit(std::string name, int tid, uint64_t ts_us,
+                       uint64_t dur_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::move(name), tid, ts_us, dur_us, false});
+}
+
+void TraceWriter::EmitInstant(std::string name, int tid, uint64_t ts_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::move(name), tid, ts_us, 0, true});
+}
+
+void TraceWriter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return;
+  std::fputs("{\"traceEvents\":[\n", f);
+  for (size_t i = 0; i < events_.size(); i++) {
+    const Event& e = events_[i];
+    // Stage/morsel labels are plain identifiers; no JSON escaping needed.
+    if (e.instant) {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,"
+                   "\"pid\":1,\"tid\":%d}%s\n",
+                   e.name.c_str(), static_cast<unsigned long long>(e.ts),
+                   e.tid, i + 1 < events_.size() ? "," : "");
+    } else {
+      std::fprintf(f,
+                   "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                   "\"pid\":1,\"tid\":%d}%s\n",
+                   e.name.c_str(), static_cast<unsigned long long>(e.ts),
+                   static_cast<unsigned long long>(e.dur), e.tid,
+                   i + 1 < events_.size() ? "," : "");
+    }
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+}
+
+}  // namespace abase

@@ -1,0 +1,91 @@
+// Perfetto-compatible tracing for the tick pipeline.
+//
+// When SimOptions::trace_path is set, the simulator records one
+// "complete" slice per pipeline stage per tick and one per executor
+// morsel, in the Chrome Trace Event JSON format that ui.perfetto.dev
+// (and chrome://tracing) loads directly. Track 0 is the coordinating
+// thread; tracks 1..W-1 are the morsel workers, so the trace shows both
+// where a tick's wall-clock goes stage-by-stage and how well the
+// work-stealing scheduler balances the batch groups across workers.
+//
+// The writer buffers events in memory (events are coarse — hundreds per
+// tick, not per request) and serializes on destruction or Flush(). Emit
+// is thread-safe; the steady-clock timebase is captured at construction
+// so timestamps start near zero.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace abase {
+
+class TraceWriter {
+ public:
+  /// Events accumulate in memory until Flush()/destruction writes
+  /// `path` as a JSON object {"traceEvents": [...]}.
+  explicit TraceWriter(std::string path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Microseconds since the writer was created.
+  uint64_t NowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Records a complete ("ph":"X") slice on track `tid`. Thread-safe.
+  void Emit(std::string name, int tid, uint64_t ts_us, uint64_t dur_us);
+
+  /// Records an instant event (counters, tick markers). Thread-safe.
+  void EmitInstant(std::string name, int tid, uint64_t ts_us);
+
+  /// Serializes all buffered events to the output path.
+  void Flush();
+
+ private:
+  struct Event {
+    std::string name;
+    int tid;
+    uint64_t ts;
+    uint64_t dur;
+    bool instant;
+  };
+
+  std::string path_;
+  std::chrono::steady_clock::time_point t0_;
+  std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// RAII slice: times its own lifetime on the given track. A null writer
+/// disables it (the untraced fast path costs one branch).
+class TraceSpan {
+ public:
+  TraceSpan(TraceWriter* writer, const char* name, int tid)
+      : writer_(writer), name_(name), tid_(tid),
+        start_(writer ? writer->NowUs() : 0) {}
+
+  ~TraceSpan() {
+    if (writer_ != nullptr) {
+      writer_->Emit(name_, tid_, start_, writer_->NowUs() - start_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceWriter* writer_;
+  const char* name_;
+  int tid_;
+  uint64_t start_;
+};
+
+}  // namespace abase

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <iterator>
 
 namespace abase {
 namespace node {
@@ -9,7 +11,7 @@ namespace node {
 namespace {
 
 /// Serializes a hash map the way HGETALL returns it over the wire.
-std::string SerializeHash(const std::map<std::string, std::string>& hash) {
+std::string SerializeHash(const storage::HashFields& hash) {
   std::string out;
   for (const auto& [f, v] : hash) {
     out += f;
@@ -67,34 +69,43 @@ void DataNode::AddReplica(TenantId tenant, PartitionId partition,
   rep.quota =
       std::make_unique<quota::PartitionQuota>(partition_quota_ru, clock_);
   rep.quota->SetEnabled(quota_enforcement_);
-  replicas_[ReplicaKey(tenant, partition)] = std::move(rep);
+  uint64_t key = ReplicaKey(tenant, partition);
+  PartitionReplica& stored = replicas_[key] = std::move(rep);
+  replica_index_[key] = &stored;
+  RecomputeTotalQuota();
 }
 
 bool DataNode::RemoveReplica(TenantId tenant, PartitionId partition) {
-  return replicas_.erase(ReplicaKey(tenant, partition)) > 0;
+  uint64_t key = ReplicaKey(tenant, partition);
+  if (replicas_.erase(key) == 0) return false;
+  replica_index_.Erase(key);
+  RecomputeTotalQuota();
+  return true;
 }
 
 bool DataNode::HasReplica(TenantId tenant, PartitionId partition) const {
-  return replicas_.count(ReplicaKey(tenant, partition)) > 0;
+  return FindReplica(tenant, partition) != nullptr;
 }
 
 bool DataNode::IsPrimaryFor(TenantId tenant, PartitionId partition) const {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  return it != replicas_.end() && it->second.is_primary;
+  const PartitionReplica* rep = FindReplica(tenant, partition);
+  return rep != nullptr && rep->is_primary;
 }
 
 void DataNode::SetReplicaPrimary(TenantId tenant, PartitionId partition,
                                  bool is_primary) {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  if (it != replicas_.end()) it->second.is_primary = is_primary;
+  if (PartitionReplica* rep = FindReplica(tenant, partition)) {
+    rep->is_primary = is_primary;
+  }
 }
 
 void DataNode::SetPartitionQuota(TenantId tenant, PartitionId partition,
                                  double partition_quota_ru) {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  if (it == replicas_.end()) return;
-  it->second.partition_quota_ru = partition_quota_ru;
-  it->second.quota->SetBaseQuota(partition_quota_ru);
+  PartitionReplica* rep = FindReplica(tenant, partition);
+  if (rep == nullptr) return;
+  rep->partition_quota_ru = partition_quota_ru;
+  rep->quota->SetBaseQuota(partition_quota_ru);
+  RecomputeTotalQuota();
 }
 
 void DataNode::SetPartitionQuotaEnforcement(bool enabled) {
@@ -110,10 +121,15 @@ uint64_t DataNode::StoredBytes() const {
   return total;
 }
 
-double DataNode::TotalPartitionQuota() const {
+double DataNode::TotalPartitionQuota() const { return total_partition_quota_; }
+
+void DataNode::RecomputeTotalQuota() {
+  // Fresh ordered sum (not an incremental +=/-=): float addition is not
+  // associative, and the cached value must equal what a from-scratch walk
+  // of the ordered map would produce on every platform.
   double total = 0;
   for (const auto& [key, rep] : replicas_) total += rep.partition_quota_ru;
-  return total;
+  total_partition_quota_ = total;
 }
 
 std::vector<const PartitionReplica*> DataNode::Replicas() const {
@@ -125,8 +141,8 @@ std::vector<const PartitionReplica*> DataNode::Replicas() const {
 
 storage::LsmEngine* DataNode::EngineFor(TenantId tenant,
                                         PartitionId partition) {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  return it == replicas_.end() ? nullptr : it->second.engine.get();
+  PartitionReplica* rep = FindReplica(tenant, partition);
+  return rep == nullptr ? nullptr : rep->engine.get();
 }
 
 // ---------------------------------------------------------------------------
@@ -139,13 +155,16 @@ size_t DataNode::Fail() {
   // The crash takes the request queue and every in-flight request with
   // it. The stranded ids live on in the simulator's in-flight table; it
   // resolves them as Unavailable from a serial section.
-  size_t dropped = pending_.size();
-  pending_.clear();
+  size_t dropped = pending_live_;
+  pending_pool_.clear();
+  pending_free_.clear();
+  pending_live_ = 0;
   responses_.clear();
   wfq_.Clear();
   tick_stats_ = NodeTickStats{};
   pending_reject_ru_ = 0;
   tenant_ru_this_tick_.clear();
+  tenant_ru_slot_.Clear();
   last_tick_tenant_ru_.clear();
   // A dead replica serves no RU; zero the EWMA so the rescheduler's load
   // model does not keep planning around ghost load.
@@ -177,9 +196,9 @@ void DataNode::CompleteRecovery() {
 
 bool DataNode::ApplyReplicated(TenantId tenant, PartitionId partition,
                                const storage::ReplRecord& rec) {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  if (it == replicas_.end()) return false;
-  if (!it->second.engine->ApplyReplicated(rec).ok()) return false;
+  PartitionReplica* rep = FindReplica(tenant, partition);
+  if (rep == nullptr) return false;
+  if (!rep->engine->ApplyReplicated(rec).ok()) return false;
   tick_stats_.repl_applied++;
   // The replica serves reads from its engine; drop any node-cached value
   // the shipped write supersedes (same write-invalidation the primary
@@ -194,9 +213,9 @@ bool DataNode::ApplyReplicated(TenantId tenant, PartitionId partition,
 
 bool DataNode::ResyncReplica(TenantId tenant, PartitionId partition,
                              const storage::LsmEngine& src) {
-  auto it = replicas_.find(ReplicaKey(tenant, partition));
-  if (it == replicas_.end()) return false;
-  it->second.engine->ResyncFrom(src);
+  PartitionReplica* rep = FindReplica(tenant, partition);
+  if (rep == nullptr) return false;
+  rep->engine->ResyncFrom(src);
   // A snapshot bypasses the per-record invalidation ApplyReplicated
   // performs, so any cached value for this partition may now be stale —
   // including entries surviving from an earlier hosting of the same
@@ -210,12 +229,15 @@ bool DataNode::ResyncReplica(TenantId tenant, PartitionId partition,
 // Request path
 // ---------------------------------------------------------------------------
 
-std::string DataNode::CacheKeyFor(const NodeRequest& req) const {
-  std::string key;
-  key.reserve(req.key.size() + 16);
-  key += std::to_string(req.tenant);
+const std::string& DataNode::CacheKeyFor(const NodeRequest& req) const {
+  std::string& key = cache_key_;
+  key.clear();
+  char buf[24];
+  auto tenant_end = std::to_chars(buf, buf + sizeof(buf), req.tenant).ptr;
+  key.append(buf, tenant_end);
   key += '|';
-  key += std::to_string(req.partition);
+  auto part_end = std::to_chars(buf, buf + sizeof(buf), req.partition).ptr;
+  key.append(buf, part_end);
   key += '|';
   key += req.key;
   return key;
@@ -242,7 +264,7 @@ NodeResponse MakeRejection(const NodeRequest& req, Status status,
 
 }  // namespace
 
-void DataNode::Submit(const NodeRequest& req) {
+void DataNode::Submit(NodeRequest req) {
   tick_stats_.submitted++;
   if (state_ != NodeState::kAlive) {
     // Defensive: the routing layer avoids non-serving nodes, but a direct
@@ -254,17 +276,16 @@ void DataNode::Submit(const NodeRequest& req) {
         /*latency=*/0));
     return;
   }
-  auto it = replicas_.find(ReplicaKey(req.tenant, req.partition));
-  if (it == replicas_.end()) {
+  PartitionReplica* rep = FindReplica(req.tenant, req.partition);
+  if (rep == nullptr) {
     responses_.push_back(MakeRejection(
         req, Status::Unavailable("partition not hosted"), /*latency=*/0));
     return;
   }
-  PartitionReplica& rep = it->second;
 
   // Partition-quota admission at the request-queue entry point. Rejecting
   // is not free: the node burns CPU to produce the error (Figure 6).
-  if (!rep.quota->TryAdmit(req.estimated_ru)) {
+  if (!rep->quota->TryAdmit(req.estimated_ru)) {
     pending_reject_ru_ += options_.reject_cpu_ru;
     tick_stats_.rejected_quota++;
     responses_.push_back(
@@ -273,11 +294,6 @@ void DataNode::Submit(const NodeRequest& req) {
     return;
   }
 
-  PendingContext ctx;
-  ctx.req = req;
-  ctx.admitted_at = clock_->NowMicros();
-  pending_[req.req_id] = std::move(ctx);
-
   sched::SchedRequest sreq;
   sreq.req_id = req.req_id;
   sreq.tenant = req.tenant;
@@ -285,22 +301,43 @@ void DataNode::Submit(const NodeRequest& req) {
   sreq.is_read = IsReadOp(req.op);
   sreq.cls = ClassifyRequest(sreq.is_read, req.value_size_hint);
   sreq.cpu_cost_ru = std::max(0.1, req.estimated_ru);
-  double total_quota = TotalPartitionQuota();
+  double total_quota = total_partition_quota_;
   sreq.quota_share =
-      total_quota > 0 ? rep.partition_quota_ru / total_quota : 1.0;
+      total_quota > 0 ? rep->partition_quota_ru / total_quota : 1.0;
   sreq.quota_share = std::max(sreq.quota_share, 1e-6);
+
+  uint32_t slot;
+  if (!pending_free_.empty()) {
+    slot = pending_free_.back();
+    pending_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(pending_pool_.size());
+    pending_pool_.emplace_back();
+  }
+  PendingContext& ctx = pending_pool_[slot];
+  ctx.active = true;
+  ctx.req = std::move(req);
+  ctx.admitted_at = clock_->NowMicros();
+  ctx.wait_ticks = 0;
+  ctx.probed = false;
+  ctx.probe_status = Status::OK();
+  ctx.probe_value.clear();
+  ctx.probe_hash_fields = 0;
+  ctx.probe_io = storage::ReadIo{};
+  pending_live_++;
+  sreq.pending_slot = slot;
   wfq_.Enqueue(sreq);
 }
 
 sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
   sched::CacheProbe probe;
-  auto pit = pending_.find(sreq.req_id);
-  if (pit == pending_.end()) {
+  PendingContext* pit = PendingAt(sreq);
+  if (pit == nullptr) {
     // Timed out of the queue before the scheduler reached it.
     probe.canceled = true;
     return probe;
   }
-  PendingContext& ctx = pit->second;
+  PendingContext& ctx = *pit;
   const NodeRequest& req = ctx.req;
 
   if (!IsReadOp(req.op)) {
@@ -316,10 +353,10 @@ sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
   // The hit's value and TTL are retained so completion reuses them.
   if (req.op == OpType::kGet || req.op == OpType::kHGetAll) {
     Micros expire_at = 0;
-    if (auto v = cache_.GetWithExpiry(CacheKeyFor(req), &expire_at)) {
+    if (const std::string* v = cache_.GetRef(CacheKeyFor(req), &expire_at)) {
       ctx.probed = true;
       ctx.probe_status = Status::OK();
-      ctx.probe_value = std::move(*v);
+      ctx.probe_value.assign(*v);  // Reuses the slab slot's capacity.
       ctx.probe_io.expire_at = expire_at;
       probe.hit = true;
       probe.needs_io = false;
@@ -331,7 +368,7 @@ sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
   // and retain the outcome so completion does not re-execute it. The
   // I/O-WFQ stage then models the disk service for the blocks read.
   storage::ReadIo io;
-  PartitionReplica& rep = replicas_[ReplicaKey(req.tenant, req.partition)];
+  PartitionReplica& rep = *FindReplica(req.tenant, req.partition);
   switch (req.op) {
     case OpType::kGet: {
       auto r = rep.engine->Get(req.key, &io);
@@ -389,7 +426,9 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   resp.from_primary = rep.is_primary;
   resp.replica_applied_seq = rep.engine->applied_seq();
 
-  const std::string cache_key = CacheKeyFor(req);
+  // Scratch-backed: nothing below re-enters CacheKeyFor, so the
+  // reference stays valid across the cache_ calls.
+  const std::string& cache_key = CacheKeyFor(req);
   uint64_t flushed_before = rep.engine->stats().flushed_bytes +
                             rep.engine->stats().compaction_write_bytes;
 
@@ -499,7 +538,7 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   // Settle the difference between the admission estimate and the actual
   // charge against the partition's bucket.
   rep.quota->SettleActual(req.estimated_ru, resp.actual_ru);
-  tenant_ru_this_tick_[req.tenant] += resp.actual_ru;
+  AddTenantRu(req.tenant, resp.actual_ru);
   rep.ru_this_tick += resp.actual_ru;
 
   // Latency: base CPU service inflated by an M/M/1-style queueing factor
@@ -520,11 +559,10 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
 
 void DataNode::CompleteRequest(const sched::SchedRequest& sreq,
                                sched::SchedOutcome outcome) {
-  auto pit = pending_.find(sreq.req_id);
-  if (pit == pending_.end()) return;
-  PendingContext& ctx = pit->second;
-  PartitionReplica& rep =
-      replicas_[ReplicaKey(ctx.req.tenant, ctx.req.partition)];
+  PendingContext* pit = PendingAt(sreq);
+  if (pit == nullptr) return;
+  PendingContext& ctx = *pit;
+  PartitionReplica& rep = *FindReplica(ctx.req.tenant, ctx.req.partition);
 
   ServedBy served_by = ServedBy::kNodeCpu;
   Micros extra_latency = 0;
@@ -549,7 +587,7 @@ void DataNode::CompleteRequest(const sched::SchedRequest& sreq,
   tick_stats_.completed++;
   tick_stats_.cpu_ru_used += resp.actual_ru;
   responses_.push_back(std::move(resp));
-  pending_.erase(pit);
+  ReleasePending(sreq.pending_slot);
 }
 
 void DataNode::Tick() {
@@ -579,25 +617,26 @@ void DataNode::Tick() {
   // Anything still pending waited a full tick; requests beyond the queue
   // deadline fail now (their WFQ entries are lazily discarded when the
   // scheduler reaches them). Expired ids are emitted in req_id order:
-  // pending_ is an unordered_map, whose iteration order is
-  // stdlib-dependent, and response order feeds downstream metric
-  // accumulation — sorting keeps same-seed runs bit-identical across
-  // platforms.
-  std::vector<uint64_t> expired;
-  for (auto& [req_id, ctx] : pending_) {
+  // slab order depends on free-list recycling, and response order feeds
+  // downstream metric accumulation — sorting keeps same-seed runs
+  // bit-identical regardless of slot reuse history.
+  auto& expired = expired_scratch_;
+  expired.clear();
+  for (uint32_t i = 0; i < pending_pool_.size(); ++i) {
+    PendingContext& ctx = pending_pool_[i];
+    if (!ctx.active) continue;
     ctx.wait_ticks++;
     if (ctx.wait_ticks > options_.queue_timeout_ticks) {
-      expired.push_back(req_id);
+      expired.emplace_back(ctx.req.req_id, i);
     }
   }
   std::sort(expired.begin(), expired.end());
-  for (uint64_t req_id : expired) {
-    auto it = pending_.find(req_id);
-    PendingContext& ctx = it->second;
+  for (auto [req_id, slot] : expired) {
+    PendingContext& ctx = pending_pool_[slot];
     responses_.push_back(MakeRejection(
         ctx.req, Status::ResourceExhausted("queue deadline exceeded"),
         static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond));
-    pending_.erase(it);
+    ReleasePending(slot);
   }
 
   // Fold per-replica tick RU into the EWMA the rescheduler reads.
@@ -608,14 +647,38 @@ void DataNode::Tick() {
     rep.ru_this_tick = 0;
   }
 
-  last_tick_tenant_ru_ = std::move(tenant_ru_this_tick_);
+  // Publish the tick's tenant ledger sorted by tenant (the order the old
+  // std::map exposed) and recycle the buffers for the next tick.
+  last_tick_tenant_ru_.swap(tenant_ru_this_tick_);
+  std::sort(last_tick_tenant_ru_.begin(), last_tick_tenant_ru_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   tenant_ru_this_tick_.clear();
+  tenant_ru_slot_.Clear();
+}
+
+void DataNode::AddTenantRu(TenantId tenant, double ru) {
+  uint32_t* slot = tenant_ru_slot_.Find(tenant);
+  if (slot == nullptr) {
+    uint32_t idx = static_cast<uint32_t>(tenant_ru_this_tick_.size());
+    tenant_ru_this_tick_.emplace_back(tenant, 0.0);
+    tenant_ru_slot_[tenant] = idx;
+    tenant_ru_this_tick_[idx].second += ru;
+    return;
+  }
+  tenant_ru_this_tick_[*slot].second += ru;
 }
 
 std::vector<NodeResponse> DataNode::TakeResponses() {
   std::vector<NodeResponse> out;
   out.swap(responses_);
   return out;
+}
+
+void DataNode::DrainResponsesInto(std::vector<NodeResponse>& out) {
+  if (responses_.empty()) return;
+  out.insert(out.end(), std::make_move_iterator(responses_.begin()),
+             std::make_move_iterator(responses_.end()));
+  responses_.clear();
 }
 
 NodeTickStats DataNode::TakeTickStats() {

@@ -13,11 +13,12 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/sa_lru.h"
 #include "common/clock.h"
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -158,8 +159,9 @@ class DataNode {
 
   /// Admits `req` into the request queue. Over-quota requests are rejected
   /// here (burning reject_cpu_ru of the node's CPU) and produce an
-  /// immediate Throttled response.
-  void Submit(const NodeRequest& req);
+  /// immediate Throttled response. Taken by value so batch callers can
+  /// move requests in and skip the payload copy.
+  void Submit(NodeRequest req);
 
   /// Runs one scheduling tick: WFQ over everything admitted so far.
   void Tick();
@@ -182,6 +184,18 @@ class DataNode {
 
   /// Responses completed since the last drain.
   std::vector<NodeResponse> TakeResponses();
+
+  /// Moves completed responses onto the back of `out` and clears the
+  /// internal buffer while keeping its capacity — the batch pipeline's
+  /// allocation-free alternative to TakeResponses().
+  void DrainResponsesInto(std::vector<NodeResponse>& out);
+
+  /// O(1) drain: swaps the filled response buffer with `buf` (which must
+  /// be empty; its capacity becomes the node's next accumulation
+  /// buffer). Avoids the per-response move of DrainResponsesInto.
+  void SwapResponses(std::vector<NodeResponse>& buf) {
+    buf.swap(responses_);
+  }
 
   /// Stats of the last tick.
   NodeTickStats TakeTickStats();
@@ -216,7 +230,8 @@ class DataNode {
   storage::LsmEngine* EngineFor(TenantId tenant, PartitionId partition);
 
   /// Per-tenant RU served in the last completed tick (for load metrics).
-  const std::map<TenantId, double>& LastTickTenantRu() const {
+  /// Sorted by tenant id; the backing buffers are reused across ticks.
+  const std::vector<std::pair<TenantId, double>>& LastTickTenantRu() const {
     return last_tick_tenant_ru_;
   }
 
@@ -225,6 +240,7 @@ class DataNode {
     NodeRequest req;
     Micros admitted_at = 0;
     int wait_ticks = 0;
+    bool active = false;  ///< Slab slot is live (not on the free list).
     // Engine read outcome captured at probe time so the completion stage
     // does not re-execute (and double-count) the read.
     bool probed = false;
@@ -241,9 +257,49 @@ class DataNode {
   sched::CacheProbe ProbeRequest(const sched::SchedRequest& sreq);
   void CompleteRequest(const sched::SchedRequest& sreq,
                        sched::SchedOutcome outcome);
+
+  /// Resolves a scheduler entry to its pending slab slot, or nullptr if
+  /// the request was already released (queue-deadline expiry): slots are
+  /// recycled, so the req_id must still match.
+  PendingContext* PendingAt(const sched::SchedRequest& sreq) {
+    if (sreq.pending_slot >= pending_pool_.size()) return nullptr;
+    PendingContext& ctx = pending_pool_[sreq.pending_slot];
+    if (!ctx.active || ctx.req.req_id != sreq.req_id) return nullptr;
+    return &ctx;
+  }
+
+  /// Returns a slab slot to the free list. The slot's strings keep their
+  /// capacity for the next request that lands on it.
+  void ReleasePending(uint32_t slot) {
+    pending_pool_[slot].active = false;
+    pending_free_.push_back(slot);
+    pending_live_--;
+  }
   NodeResponse ExecuteOnEngine(PendingContext& ctx, PartitionReplica& rep,
                                ServedBy served_by, Micros extra_latency);
-  std::string CacheKeyFor(const NodeRequest& req) const;
+
+  /// Rebuilds `cache_key_` for `req` and returns it. The scratch buffer
+  /// is valid until the next CacheKeyFor call; node request paths run
+  /// single-threaded per node, so one scratch suffices.
+  const std::string& CacheKeyFor(const NodeRequest& req) const;
+
+  /// Hot-path replica lookup through the flat side index.
+  PartitionReplica* FindReplica(TenantId tenant, PartitionId partition) {
+    PartitionReplica** slot =
+        replica_index_.Find(ReplicaKey(tenant, partition));
+    return slot ? *slot : nullptr;
+  }
+  const PartitionReplica* FindReplica(TenantId tenant,
+                                      PartitionId partition) const {
+    return const_cast<DataNode*>(this)->FindReplica(tenant, partition);
+  }
+
+  /// Recomputes the cached quota denominator with the same ordered sum
+  /// the pre-cache code used, so float results stay bit-identical.
+  void RecomputeTotalQuota();
+
+  /// Accumulates actual RU into the per-tick tenant ledger.
+  void AddTenantRu(TenantId tenant, double ru);
 
   NodeId id_;
   uint32_t az_ = 0;
@@ -253,16 +309,35 @@ class DataNode {
   cache::SaLruCache cache_;
   storage::DiskModel disk_;
   sched::DualLayerWfq wfq_;
+  /// Ordered owner of hosted replicas: control-plane walks (EWMA fold,
+  /// StoredBytes, Replicas) depend on tenant/partition iteration order.
   std::map<uint64_t, PartitionReplica> replicas_;
+  /// Open-addressed mirror of replicas_ for request-path lookups;
+  /// std::map guarantees the cached pointers stay stable.
+  FlatMap64<PartitionReplica*> replica_index_;
+  double total_partition_quota_ = 0;  ///< Cached wPartition denominator.
   ru::RuEstimator ru_model_;
   bool quota_enforcement_ = true;
 
   Rng rng_;  ///< Per-node stream; see DataNodeOptions::seed.
-  std::unordered_map<uint64_t, PendingContext> pending_;  ///< By req_id.
+  /// In-flight requests live in a slab; the scheduler carries the slot
+  /// index (SchedRequest::pending_slot), so the probe/complete hot path
+  /// is a vector index instead of a hash lookup, and recycled slots keep
+  /// their string capacity across requests.
+  std::vector<PendingContext> pending_pool_;
+  std::vector<uint32_t> pending_free_;  ///< Recyclable slab slots.
+  size_t pending_live_ = 0;             ///< Active slab entries.
   std::vector<NodeResponse> responses_;
   NodeTickStats tick_stats_;
-  std::map<TenantId, double> tenant_ru_this_tick_;
-  std::map<TenantId, double> last_tick_tenant_ru_;
+  /// Per-tick tenant RU ledger: dense append-only pairs plus a flat
+  /// index, cleared (capacity kept) every tick instead of rebuilding
+  /// node-based maps — the steady state makes zero allocations.
+  std::vector<std::pair<TenantId, double>> tenant_ru_this_tick_;
+  std::vector<std::pair<TenantId, double>> last_tick_tenant_ru_;
+  FlatMap64<uint32_t> tenant_ru_slot_;  ///< tenant -> ledger index.
+  mutable std::string cache_key_;       ///< CacheKeyFor scratch.
+  /// Tick() deadline sweep: (req_id, slab slot) of expired requests.
+  std::vector<std::pair<uint64_t, uint32_t>> expired_scratch_;
   double pending_reject_ru_ = 0;  ///< CPU burned on rejections this tick.
 };
 

@@ -22,14 +22,6 @@ Proxy::Proxy(ProxyId id, TenantId tenant, double proxy_quota_ru,
   assert(clock_ != nullptr);
 }
 
-std::string Proxy::CacheKeyFor(TenantId tenant,
-                               const std::string& key) const {
-  std::string out = std::to_string(tenant);
-  out += '|';
-  out += key;
-  return out;
-}
-
 double Proxy::EstimateRu(const ClientRequest& req) const {
   switch (req.op) {
     case OpType::kSet:
@@ -59,12 +51,17 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   // 1. Proxy cache: hits return immediately — no throttling, no charge
   //    (Section 4.1: "requests that hit the proxy cache are directly
   //    returned without throttling or charges").
+  // A proxy belongs to exactly one tenant, so the client key is the
+  // cache key as-is — no tenant-prefixed copy to build per lookup.
   if (cache_enabled_ && req.op == OpType::kGet) {
-    cache::AuLookup lk = cache_.Get(CacheKeyFor(req.tenant, req.key));
+    cache::AuLookup lk = cache_.Get(req.key);
     if (lk.hit) {
       stats_.cache_hits++;
       out.action = ProxyHandleResult::Action::kServedFromCache;
-      out.value = std::move(lk.value);
+      out.value_bytes = lk.value->size();
+      // Only tracked requests ever read the payload downstream; bulk
+      // traffic needs just the size, so skip the per-hit copy.
+      if (req.track_outcome) out.value = *lk.value;
       out.latency = options_.cache_hit_latency;
       return out;
     }
@@ -100,7 +97,7 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
                             ? static_cast<uint64_t>(ru_.ExpectedReadBytes())
                             : req.value.size();
   fwd.replicas = options_.replicas;
-  inflight_estimates_[req.req_id] = estimate;
+  inflight_estimates_.Insert(req.req_id, estimate);
   out.action = ProxyHandleResult::Action::kForward;
   out.forward = std::move(fwd);
   return out;
@@ -108,12 +105,11 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
 
 void Proxy::OnResponse(const NodeResponse& resp) {
   // Settle estimate vs. actual.
-  auto it = inflight_estimates_.find(resp.req_id);
-  if (it != inflight_estimates_.end()) {
+  if (double* est = inflight_estimates_.Find(resp.req_id)) {
     if (quota_enabled_ && resp.served_by != ServedBy::kRejected) {
-      quota_.SettleActual(it->second, resp.actual_ru);
+      quota_.SettleActual(*est, resp.actual_ru);
     }
-    inflight_estimates_.erase(it);
+    inflight_estimates_.Erase(resp.req_id);
   }
   stats_.charged_ru += resp.actual_ru;
 
@@ -144,26 +140,21 @@ void Proxy::OnResponse(const NodeResponse& resp) {
     if (resp.ttl_remaining > 0) {
       ttl = std::min(resp.ttl_remaining, options_.cache.default_ttl);
     }
-    cache_.Put(CacheKeyFor(resp.tenant, resp.key), resp.value,
-               resp.value.size() + 32, ttl);
+    cache_.Put(resp.key, resp.value, resp.value.size() + 32, ttl);
   }
 }
 
 void Proxy::AbandonForward(uint64_t req_id) {
-  auto it = inflight_estimates_.find(req_id);
-  if (it == inflight_estimates_.end()) return;
-  if (quota_enabled_) quota_.SettleActual(it->second, 0.0);
-  inflight_estimates_.erase(it);
+  double* est = inflight_estimates_.Find(req_id);
+  if (est == nullptr) return;
+  if (quota_enabled_) quota_.SettleActual(*est, 0.0);
+  inflight_estimates_.Erase(req_id);
 }
 
 std::vector<NodeRequest> Proxy::TakeRefreshFetches() {
   std::vector<NodeRequest> out;
   if (!cache_enabled_) return out;
-  for (std::string& cache_key : cache_.TakeRefreshQueue()) {
-    // Cache keys are "tenant|key"; strip the prefix.
-    size_t sep = cache_key.find('|');
-    if (sep == std::string::npos) continue;
-    std::string key = cache_key.substr(sep + 1);
+  for (std::string& key : cache_.TakeRefreshQueue()) {
     NodeRequest req;
     req.req_id = refresh_id_alloc_ ? refresh_id_alloc_() : refresh_req_id_++;
     req.tenant = tenant_;

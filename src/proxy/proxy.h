@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/au_lru.h"
+#include "common/flat_map.h"
 #include "common/clock.h"
 #include "common/types.h"
 #include "node/request.h"
@@ -52,7 +52,10 @@ struct ProxyHandleResult {
   enum class Action { kServedFromCache, kThrottled, kForward };
   Action action = Action::kForward;
   NodeRequest forward;  ///< Valid when action == kForward.
-  std::string value;    ///< Valid when served from cache.
+  /// Cache-hit payload, materialized only for tracked requests (bulk
+  /// generated traffic drops the value unread; see value_bytes).
+  std::string value;
+  uint64_t value_bytes = 0;  ///< Cache-hit payload size, always set.
   Micros latency = 0;   ///< Client-visible latency for local outcomes.
 };
 
@@ -85,8 +88,12 @@ class Proxy {
 
   /// Drops the cached value of `key` (write invalidation: the simulator
   /// broadcasts this to the tenant's proxies when a write is routed).
-  void InvalidateCache(const std::string& key) {
-    cache_.Erase(CacheKeyFor(tenant_, key));
+  void InvalidateCache(const std::string& key) { cache_.Erase(key); }
+
+  /// InvalidateCache with a caller-computed HashString(key): the
+  /// broadcast hashes once for the whole proxy fleet.
+  void InvalidateCacheHashed(uint64_t hash, const std::string& key) {
+    cache_.EraseHashed(hash, key);
   }
 
   // -- Control-plane hooks ---------------------------------------------------
@@ -124,7 +131,6 @@ class Proxy {
 
  private:
   double EstimateRu(const ClientRequest& req) const;
-  std::string CacheKeyFor(TenantId tenant, const std::string& key) const;
 
   ProxyId id_;
   TenantId tenant_;
@@ -139,7 +145,7 @@ class Proxy {
   ProxyStats stats_;
   double admitted_since_report_ = 0;
   /// Estimates for in-flight forwards, keyed by req_id (for settlement).
-  std::unordered_map<uint64_t, double> inflight_estimates_;
+  FlatMap64<double> inflight_estimates_;
   /// Sim-wide refresh id source (see set_refresh_id_allocator).
   std::function<uint64_t()> refresh_id_alloc_;
   uint64_t refresh_req_id_ = (1ull << 62);  ///< Standalone fallback space.

@@ -22,6 +22,9 @@ namespace sched {
 /// A request as seen by the DataNode scheduler.
 struct SchedRequest {
   uint64_t req_id = 0;         ///< Opaque handle owned by the caller.
+  /// Caller-side slab index for the request's context (opaque to the
+  /// scheduler; the DataNode uses it to skip a hash lookup per probe).
+  uint32_t pending_slot = 0;
   TenantId tenant = 0;
   PartitionId partition = 0;
   RequestClass cls = RequestClass::kSmallRead;

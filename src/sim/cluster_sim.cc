@@ -11,7 +11,7 @@ namespace sim {
 namespace {
 
 std::unique_ptr<Executor> MakeExecutor(int workers) {
-  if (workers > 1) return std::make_unique<ParallelExecutor>(workers);
+  if (workers > 1) return std::make_unique<MorselExecutor>(workers);
   return std::make_unique<SerialExecutor>();
 }
 
@@ -20,13 +20,19 @@ std::unique_ptr<Executor> MakeExecutor(int workers) {
 ClusterSim::ClusterSim(SimOptions options)
     : options_(options), clock_(0), rng_(options.seed) {
   meta_ = std::make_unique<meta::MetaServer>(&clock_);
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<TraceWriter>(options_.trace_path);
+  }
   executor_ = MakeExecutor(options_.data_plane_workers);
+  executor_->SetTrace(trace_.get());
   pipeline_ = std::make_unique<TickPipeline>(this);
+  pipeline_->SetTrace(trace_.get());
 }
 
 void ClusterSim::SetDataPlaneWorkers(int workers) {
   options_.data_plane_workers = std::max(1, workers);
   executor_ = MakeExecutor(options_.data_plane_workers);
+  executor_->SetTrace(trace_.get());
 }
 
 // ---------------------------------------------------------------------------
@@ -50,7 +56,8 @@ PoolId ClusterSim::AddPool(size_t num_nodes,
     nodes_.push_back(
         std::make_unique<node::DataNode>(next_node_id_++, opts, &clock_));
     nodes_.back()->set_az(static_cast<uint32_t>(i) % kAvailabilityZones);
-    node_index_[nodes_.back()->id()] = nodes_.back().get();
+    // FindNode indexes nodes_ by id directly; ids must stay dense.
+    assert(static_cast<size_t>(nodes_.back()->id()) == nodes_.size() - 1);
     raw.push_back(nodes_.back().get());
   }
   return meta_->CreatePool(std::move(raw));
@@ -89,7 +96,8 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
   // proxy plane routes from this table; it refreshes only by chasing a
   // redirect after a placement change makes a cached entry unroutable.
   RefreshRoutingTable(rt);
-  tenants_.emplace(config.id, std::move(rt));
+  auto [it, inserted] = tenants_.emplace(config.id, std::move(rt));
+  if (inserted) tenant_index_.Insert(config.id, &it->second);
   return Status::OK();
 }
 
@@ -151,8 +159,11 @@ WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
 }
 
 node::DataNode* ClusterSim::FindNode(NodeId id) {
-  auto it = node_index_.find(id);
-  return it == node_index_.end() ? nullptr : it->second;
+  // Dense id space: the id is the vector index (kInvalidNode and
+  // out-of-range ids fall through to null).
+  return static_cast<size_t>(id) < nodes_.size()
+             ? nodes_[static_cast<size_t>(id)].get()
+             : nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -323,17 +334,18 @@ node::DataNode* ClusterSim::PickReplicaForRead(TenantRuntime& rt,
 }
 
 void ClusterSim::ResolveStrandedOnNode(NodeId node) {
-  // inflight_ is an unordered_map: resolve in req-id order so stranded
-  // outcomes publish identically on every platform and worker count.
-  std::vector<uint64_t> stranded;
-  for (const auto& [req_id, ctx] : inflight_) {
+  // inflight_ iterates in table order: resolve in req-id order so
+  // stranded outcomes publish identically on every platform and worker
+  // count.
+  std::vector<uint64_t>& stranded = stranded_scratch_;
+  stranded.clear();
+  inflight_.ForEach([&](uint64_t req_id, RequestContext& ctx) {
     if (ctx.node == node) stranded.push_back(req_id);
-  }
+  });
   std::sort(stranded.begin(), stranded.end());
   for (uint64_t req_id : stranded) {
-    auto it = inflight_.find(req_id);
-    RequestContext ctx = it->second;
-    inflight_.erase(it);
+    RequestContext ctx = *inflight_.Find(req_id);
+    inflight_.Erase(req_id);
     auto tit = tenants_.find(ctx.tenant);
     if (tit != tenants_.end()) {
       TenantRuntime& rt = tit->second;
@@ -392,7 +404,7 @@ void ClusterSim::SettleLocalProxyResult(
       rt.current.latency_max = std::max(rt.current.latency_max, res.latency);
       rt.current.latency_count++;
       rt.latency_hist.Add(static_cast<double>(res.latency));
-      rt.value_bytes_sum += res.value.size();
+      rt.value_bytes_sum += res.value_bytes;
       rt.value_bytes_count++;
       if (req.track_outcome) {
         deferred->emplace_back(req.req_id,
@@ -469,17 +481,16 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
   size_t proxy_index = 0;
   bool known_forward = false;
   bool track_outcome = false;
-  auto inf = inflight_.find(resp.req_id);
-  if (inf != inflight_.end()) {
-    tenant = inf->second.tenant;
-    proxy_index = inf->second.proxy_index;
-    track_outcome = inf->second.track_outcome;
+  if (RequestContext* inf = inflight_.Find(resp.req_id)) {
+    tenant = inf->tenant;
+    proxy_index = inf->proxy_index;
+    track_outcome = inf->track_outcome;
     known_forward = true;
-    inflight_.erase(inf);
+    inflight_.Erase(resp.req_id);
   }
-  auto it = tenants_.find(tenant);
-  if (it == tenants_.end()) return;
-  TenantRuntime& rt = it->second;
+  TenantRuntime* rtp = MutableTenant(tenant);
+  if (rtp == nullptr) return;
+  TenantRuntime& rt = *rtp;
 
   if (known_forward || resp.background_refresh) {
     if (proxy_index < rt.proxies.size()) {
@@ -560,13 +571,12 @@ const std::vector<TenantTickMetrics>& ClusterSim::History(
 }
 
 const TenantRuntime* ClusterSim::Tenant(TenantId tenant) const {
-  auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? nullptr : &it->second;
+  return const_cast<ClusterSim*>(this)->MutableTenant(tenant);
 }
 
 TenantRuntime* ClusterSim::MutableTenant(TenantId tenant) {
-  auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? nullptr : &it->second;
+  TenantRuntime** slot = tenant_index_.Find(tenant);
+  return slot == nullptr ? nullptr : *slot;
 }
 
 // ---------------------------------------------------------------------------

@@ -53,9 +53,11 @@
 #include "autoscale/autoscaler.h"
 #include "common/clock.h"
 #include "common/executor.h"
+#include "common/flat_map.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/time_series.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "meta/meta_server.h"
 #include "node/data_node.h"
@@ -77,10 +79,15 @@ struct SimOptions {
   proxy::ProxyOptions proxy;
   Micros tick = kMicrosPerSecond;
   int meta_report_interval_ticks = 5;
-  /// Worker threads for the NodeSchedule stage. 1 = the serial reference
-  /// executor; N > 1 = a ParallelExecutor pool of N (results are
-  /// bit-identical either way).
+  /// Worker threads for the parallel pipeline stages. 1 = the serial
+  /// reference executor; N > 1 = a work-stealing MorselExecutor pool of
+  /// N (results are bit-identical either way).
   int data_plane_workers = 1;
+  /// When non-empty, the simulator writes a Chrome-trace-format JSON
+  /// profile of every tick here (per-stage and per-morsel slices; open
+  /// in ui.perfetto.dev). Tracing is off when empty — the hot path pays
+  /// one branch.
+  std::string trace_path;
   /// Tracked outcomes that no caller collects (via TakeOutcome or a
   /// subscription) are dropped after this many ticks, so abandoned
   /// requests cannot grow the outcome table forever during long async
@@ -317,8 +324,9 @@ class ClusterSim {
   /// Pending outcome subscriptions (requests submitted but not settled).
   size_t OutcomeSubscriptionCount() const { return subscriptions_.size(); }
 
-  /// Swaps the NodeSchedule-stage executor: 1 worker = serial reference
-  /// executor, N > 1 = ParallelExecutor pool. Safe between ticks.
+  /// Swaps the data-plane executor: 1 worker = serial reference
+  /// executor, N > 1 = work-stealing MorselExecutor pool. Safe between
+  /// ticks.
   void SetDataPlaneWorkers(int workers);
 
   // -- Fault injection ------------------------------------------------------------
@@ -595,12 +603,18 @@ class ClusterSim {
   SimClock clock_;
   Rng rng_;
   std::unique_ptr<meta::MetaServer> meta_;
+  /// Node ids are dense (assigned in creation order), so nodes_[id] IS
+  /// the id lookup — FindNode indexes this vector directly.
   std::vector<std::unique_ptr<node::DataNode>> nodes_;
-  std::unordered_map<NodeId, node::DataNode*> node_index_;  ///< By node id.
   std::map<TenantId, TenantRuntime> tenants_;  ///< Ordered: stages iterate.
+  /// Open-addressed mirror of tenants_ for per-request lookups on the
+  /// tick path; std::map guarantees the cached pointers stay stable.
+  FlatMap64<TenantRuntime*> tenant_index_;
   std::vector<ClientRequest> injected_;
-  /// Data-plane req_id -> context for response settlement.
-  std::unordered_map<uint64_t, RequestContext> inflight_;
+  /// Data-plane req_id -> context for response settlement
+  /// (open-addressed: the hottest sim-wide table on the tick path).
+  FlatMap64<RequestContext> inflight_;
+  std::vector<uint64_t> stranded_scratch_;  ///< ResolveStrandedOnNode.
   /// A parked outcome awaiting TakeOutcome, stamped for the TTL sweep.
   struct TrackedOutcome {
     ClientOutcome outcome;
@@ -690,6 +704,9 @@ class ClusterSim {
   };
   std::deque<PendingMigration> migration_queue_;
   MigrationStats migration_stats_;
+  /// Non-null when SimOptions::trace_path is set; shared by the
+  /// executor (morsel slices) and the pipeline (stage slices).
+  std::unique_ptr<TraceWriter> trace_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<TickPipeline> pipeline_;
   NodeId next_node_id_ = 0;

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <utility>
 
+#include "common/smallvec.h"
 #include "sim/cluster_sim.h"
 
 namespace abase {
@@ -158,23 +158,36 @@ void FaultStage::Run(TickContext&) {
 
 void GenerateStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
-  // Tenant slots in id order (tenants_ is an ordered map); generators
-  // then fill them concurrently — each owns a private RNG stream.
-  std::vector<TenantRuntime*> runtimes;
+  // Reconcile the persistent traffic slots against the tenant set in id
+  // order (tenants_ is an ordered map): surviving slots keep their
+  // request buffers — and the strings inside them — so steady-state
+  // generation reuses capacity instead of reallocating per tick.
+  // Generators then fill the slots concurrently — each owns a private
+  // RNG stream.
+  runtimes_.clear();
+  size_t slots = 0;
   for (auto& [tid, rt] : sim.tenants_) {
     if (rt.workload == nullptr) continue;
-    TickContext::TenantTraffic slot;
-    slot.tenant = tid;
-    ctx.traffic.push_back(std::move(slot));
-    runtimes.push_back(&rt);
+    if (slots == ctx.traffic.size()) ctx.traffic.emplace_back();
+    ctx.traffic[slots].tenant = tid;
+    runtimes_.push_back(&rt);
+    slots++;
   }
+  ctx.traffic.resize(slots);
   const Micros now = sim.clock_.NowMicros();
   const Micros tick_len = sim.options_.tick;
-  sim.executor_->ParallelFor(runtimes.size(), [&](size_t i) {
-    ctx.traffic[i].requests = runtimes[i]->workload->Tick(now, tick_len);
-  });
+  auto& runtimes = runtimes_;
+  sim.executor_->MorselFor(
+      "Generate", runtimes.size(), 1,
+      [&runtimes, &ctx, now, tick_len](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; i++) {
+          runtimes[i]->workload->Tick(now, tick_len, ctx.traffic[i].requests);
+        }
+      });
 
-  ctx.injected = std::move(sim.injected_);
+  // Swap, not move-assign: the sim-side buffer keeps ctx.injected's old
+  // (cleared) storage for the next batch of injections.
+  ctx.injected.swap(sim.injected_);
   sim.injected_.clear();
 }
 
@@ -193,7 +206,8 @@ void ProxyAdmitStage::AdmitOne(
   // API read-your-writes while the paper's model remains eventually
   // consistent under races).
   if (!IsReadOp(req.op)) {
-    for (auto& p : rt.proxies) p->InvalidateCache(req.key);
+    const uint64_t h = HashString(req.key);
+    for (auto& p : rt.proxies) p->InvalidateCacheHashed(h, req.key);
   }
 
   size_t proxy_index = rt.router->Route(req.key, rt.router_rng);
@@ -218,17 +232,21 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
   // of state — proxies, router RNG stream, tick metrics — is private to
   // the tenant, and generated requests never track outcomes, so nothing
   // sim-wide is written. Each tenant fills its own forward buffer.
-  sim.executor_->ParallelFor(ctx.traffic.size(), [&](size_t i) {
-    TickContext::TenantTraffic& tt = ctx.traffic[i];
-    auto it = sim.tenants_.find(tt.tenant);
-    if (it == sim.tenants_.end()) return;
-    std::vector<std::pair<uint64_t, ClientOutcome>> unused;
-    for (const ClientRequest& req : tt.requests) {
-      // Generated traffic never tracks outcomes; nothing defers.
-      assert(!req.track_outcome);
-      AdmitOne(it->second, req, tt.forwards, unused);
-    }
-  });
+  sim.executor_->MorselFor(
+      "ProxyAdmit", ctx.traffic.size(), 1,
+      [this, &sim, &ctx](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; i++) {
+          TickContext::TenantTraffic& tt = ctx.traffic[i];
+          auto it = sim.tenants_.find(tt.tenant);
+          if (it == sim.tenants_.end()) continue;
+          std::vector<std::pair<uint64_t, ClientOutcome>> unused;
+          for (const ClientRequest& req : tt.requests) {
+            // Generated traffic never tracks outcomes; nothing defers.
+            assert(!req.track_outcome);
+            AdmitOne(it->second, req, tt.forwards, unused);
+          }
+        }
+      });
   // Deterministic merge in tenant-id order.
   for (TickContext::TenantTraffic& tt : ctx.traffic) {
     for (PendingForward& fwd : tt.forwards) {
@@ -242,46 +260,84 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
   // fanned out across the executor like bulk traffic. Tracked outcomes
   // settle into tenant-private buffers and are published serially in
   // tenant-id order below, so callback invocation order is deterministic
-  // regardless of worker count.
-  struct InjectedBatch {
-    TenantRuntime* rt = nullptr;
-    std::vector<const ClientRequest*> requests;
-    std::vector<PendingForward> forwards;
-    std::vector<std::pair<uint64_t, ClientOutcome>> deferred;
-  };
-  std::map<TenantId, InjectedBatch> batches;
-  for (const ClientRequest& req : ctx.injected) {
-    auto it = sim.tenants_.find(req.tenant);
-    if (it == sim.tenants_.end()) {
-      // Unknown tenant: a tracked submitter still gets an answer —
-      // dropping silently would strand its subscription (and any future
-      // waiting on it) forever.
-      if (req.track_outcome) {
-        sim.PublishOutcome(
-            req.req_id, ClientOutcome{Status::Unavailable("no such tenant"),
-                                      ""});
+  // regardless of worker count. The grouping is allocation-free in
+  // steady state: a counting pass sizes exact request-pointer arrays
+  // out of the stage arena, and the non-trivial output buffers recycle.
+  // Generated-only workloads skip the whole block.
+  if (!ctx.injected.empty()) {
+    injected_arena_.Reset();
+    injected_index_.Clear();
+    injected_batches_.clear();
+    // Pass 1: count per tenant (and answer unknown-tenant submitters —
+    // a tracked request dropped silently would strand its subscription,
+    // and any future waiting on it, forever).
+    for (const ClientRequest& req : ctx.injected) {
+      TenantRuntime* rt = sim.MutableTenant(req.tenant);
+      if (rt == nullptr) {
+        if (req.track_outcome) {
+          sim.PublishOutcome(
+              req.req_id, ClientOutcome{Status::Unavailable("no such tenant"),
+                                        ""});
+        }
+        continue;
       }
-      continue;
+      uint32_t* slot = injected_index_.Find(req.tenant);
+      if (slot == nullptr) {
+        injected_index_.Insert(
+            req.tenant, static_cast<uint32_t>(injected_batches_.size()));
+        InjectedBatch b;
+        b.tenant = req.tenant;
+        b.rt = rt;
+        b.count = 1;
+        injected_batches_.push_back(b);
+      } else {
+        injected_batches_[*slot].count++;
+      }
     }
-    InjectedBatch& b = batches[req.tenant];
-    b.rt = &it->second;
-    b.requests.push_back(&req);
-  }
-  std::vector<InjectedBatch*> batch_list;
-  batch_list.reserve(batches.size());
-  for (auto& [tid, b] : batches) batch_list.push_back(&b);
-  sim.executor_->ParallelFor(batch_list.size(), [&](size_t i) {
-    InjectedBatch& b = *batch_list[i];
-    for (const ClientRequest* req : b.requests) {
-      AdmitOne(*b.rt, *req, b.forwards, b.deferred);
+    // Batches fan out and publish in tenant-id order. First-appearance
+    // order depends on submission interleaving, so sort, then re-point
+    // the index at the new slots for the fill pass.
+    std::sort(injected_batches_.begin(), injected_batches_.end(),
+              [](const InjectedBatch& a, const InjectedBatch& b) {
+                return a.tenant < b.tenant;
+              });
+    for (uint32_t i = 0; i < injected_batches_.size(); i++) {
+      *injected_index_.Find(injected_batches_[i].tenant) = i;
     }
-  });
-  for (InjectedBatch* b : batch_list) {
-    for (PendingForward& fwd : b->forwards) {
-      ctx.forwards.push_back(std::move(fwd));
+    if (injected_buffers_.size() < injected_batches_.size()) {
+      injected_buffers_.resize(injected_batches_.size());
     }
-    for (auto& [req_id, outcome] : b->deferred) {
-      sim.PublishOutcome(req_id, std::move(outcome));
+    // Pass 2: exact-size arena arrays, filled in injection order.
+    for (InjectedBatch& b : injected_batches_) {
+      b.requests = injected_arena_.AllocateArray<const ClientRequest*>(b.count);
+    }
+    for (const ClientRequest& req : ctx.injected) {
+      uint32_t* slot = injected_index_.Find(req.tenant);
+      if (slot == nullptr) continue;  // Unknown tenant, answered above.
+      InjectedBatch& b = injected_batches_[*slot];
+      b.requests[b.filled++] = &req;
+    }
+    sim.executor_->MorselFor(
+        "AdmitInjected", injected_batches_.size(), 1,
+        [this](size_t begin, size_t end, int) {
+          for (size_t i = begin; i < end; i++) {
+            InjectedBatch& b = injected_batches_[i];
+            InjectedBuffers& buf = injected_buffers_[i];
+            for (uint32_t r = 0; r < b.count; r++) {
+              AdmitOne(*b.rt, *b.requests[r], buf.forwards, buf.deferred);
+            }
+          }
+        });
+    for (size_t i = 0; i < injected_batches_.size(); i++) {
+      InjectedBuffers& buf = injected_buffers_[i];
+      for (PendingForward& fwd : buf.forwards) {
+        ctx.forwards.push_back(std::move(fwd));
+      }
+      for (auto& [req_id, outcome] : buf.deferred) {
+        sim.PublishOutcome(req_id, std::move(outcome));
+      }
+      buf.forwards.clear();
+      buf.deferred.clear();
     }
   }
 
@@ -315,11 +371,26 @@ void RouteStage::Run(TickContext& ctx) {
   // forwards per destination node. The destination must be alive AND
   // acknowledge itself primary for the partition — the node-side check
   // that stands in for a production MOVED reply.
-  std::vector<std::vector<const NodeRequest*>> batches(sim.nodes_.size());
+  if (ctx.node_batches.size() < sim.nodes_.size()) {
+    ctx.node_batches.resize(sim.nodes_.size());
+  }
+  auto& batches = ctx.node_batches;
+  // Forwards arrive in per-tenant runs (the ProxyAdmit merge order), so
+  // memoizing the last runtime lookup turns the per-forward map find
+  // into a branch.
+  TenantId memo_tid = 0;
+  TenantRuntime* memo_rt = nullptr;
   for (PendingForward& fwd : ctx.forwards) {
-    const NodeRequest& req = fwd.request;
-    auto tit = sim.tenants_.find(fwd.ctx.tenant);
-    TenantRuntime* rt = tit != sim.tenants_.end() ? &tit->second : nullptr;
+    NodeRequest& req = fwd.request;
+    TenantRuntime* rt;
+    if (memo_rt != nullptr && fwd.ctx.tenant == memo_tid) {
+      rt = memo_rt;
+    } else {
+      auto tit = sim.tenants_.find(fwd.ctx.tenant);
+      rt = tit != sim.tenants_.end() ? &tit->second : nullptr;
+      memo_tid = fwd.ctx.tenant;
+      memo_rt = rt;
+    }
     node::DataNode* n = nullptr;
     if (rt != nullptr) {
       const bool eventual_read = req.consistency == Consistency::kEventual &&
@@ -377,13 +448,19 @@ void RouteStage::Run(TickContext& ctx) {
   // Parallel pass: submission — partition-quota admission and WFQ
   // enqueue — touches only the destination node's state. Each node sees
   // its requests in the same order as a serial walk of ctx.forwards.
-  sim.executor_->ParallelFor(batches.size(), [&](size_t i) {
-    node::DataNode* n = sim.nodes_[i].get();
-    assert(static_cast<size_t>(n->id()) == i);
-    for (const NodeRequest* req : batches[i]) {
-      n->Submit(*req);
-    }
-  });
+  // Requests move into the node (their ctx.forwards slots are never
+  // read again this tick), so key/value strings transfer, not copy.
+  sim.executor_->MorselFor(
+      "RouteSubmit", batches.size(), 1,
+      [&sim, &batches](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; i++) {
+          node::DataNode* n = sim.nodes_[i].get();
+          assert(static_cast<size_t>(n->id()) == i);
+          for (NodeRequest* req : batches[i]) {
+            n->Submit(std::move(*req));
+          }
+        }
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -396,15 +473,18 @@ void NodeScheduleStage::Run(TickContext& ctx) {
   // DataNodes share no mutable state between Submit() and TakeResponses()
   // (each owns its cache, disk, WFQ, and engines; the clock is read-only
   // within a tick), so their ticks run concurrently.
-  sim.executor_->ParallelFor(
-      nodes.size(), [&nodes](size_t i) { nodes[i]->Tick(); });
+  sim.executor_->MorselFor(
+      "NodeTick", nodes.size(), 1, [&nodes](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; i++) nodes[i]->Tick();
+      });
   // Deterministic merge: responses drain in node-id order, so downstream
   // settlement — and every floating-point metric sum — is independent of
-  // worker count and scheduling.
-  for (auto& n : nodes) {
-    for (NodeResponse& resp : n->TakeResponses()) {
-      ctx.responses.push_back(std::move(resp));
-    }
+  // worker count and scheduling. Each node's buffer is swapped out O(1);
+  // the (cleared) per-node context buffer it gets back carries last
+  // tick's capacity forward.
+  if (ctx.responses.size() < nodes.size()) ctx.responses.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); i++) {
+    nodes[i]->SwapResponses(ctx.responses[i]);
   }
 }
 
@@ -416,18 +496,9 @@ void ReplicateStage::Run(TickContext&) {
   ClusterSim& sim = *sim_;
   const int lag = std::max(0, sim.options_.replication_lag_ticks);
 
-  /// One stream segment addressed to a replica node: records
-  /// (after, through] of the source primary's log, or a snapshot resync
-  /// when the log no longer covers the replica's cursor.
-  struct Shipment {
-    TenantId tenant = 0;
-    PartitionId partition = 0;
-    const storage::LsmEngine* src = nullptr;
-    uint64_t after = 0;
-    uint64_t through = 0;
-    bool snapshot = false;
-  };
-  std::vector<std::vector<Shipment>> batches(sim.nodes_.size());
+  if (batches_.size() < sim.nodes_.size()) batches_.resize(sim.nodes_.size());
+  for (auto& b : batches_) b.clear();
+  auto& batches = batches_;
 
   // Serial pass, (tenant, partition) order: advance each stream's
   // acked-seq history, derive the shipping floor under the configured
@@ -471,8 +542,9 @@ void ReplicateStage::Run(TickContext&) {
         storage::LsmEngine* engine = nullptr;
         uint64_t applied = 0;
       };
-      std::vector<ReplicaCursor> cursors;
-      cursors.reserve(reps.size() - 1);
+      // Replication factors are small (2-3); inline storage keeps the
+      // per-partition pass off the heap.
+      SmallVec<ReplicaCursor, 8> cursors;
       uint64_t min_cursor = cur;
       for (size_t r = 1; r < reps.size(); r++) {
         node::DataNode* rn = sim.FindNode(reps[r]);
@@ -511,8 +583,7 @@ void ReplicateStage::Run(TickContext&) {
       st.prev_primary_applied = st.primary_applied;
       st.primary_applied = cur;
 
-      std::vector<storage::LsmEngine*> replica_engines;
-      replica_engines.reserve(cursors.size());
+      SmallVec<storage::LsmEngine*, 8> replica_engines;
       for (const ReplicaCursor& rc : cursors) {
         replica_engines.push_back(rc.engine);
         // Down replicas hold the log open (min_cursor above) and catch
@@ -553,23 +624,27 @@ void ReplicateStage::Run(TickContext&) {
   // (its own replica engines); the source primary logs are read-only
   // here, so the fan-out is race-free and node-id-ordered batches keep
   // it bit-identical across worker counts.
-  sim.executor_->ParallelFor(batches.size(), [&](size_t i) {
-    node::DataNode* n = sim.nodes_[i].get();
-    for (const Shipment& sh : batches[i]) {
-      if (sh.snapshot) {
-        n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
-        continue;
-      }
-      for (const storage::ReplRecord* rec :
-           sh.src->repl_log().Delta(sh.after, sh.through)) {
-        if (!n->ApplyReplicated(sh.tenant, sh.partition, *rec)) {
-          // Unexpected gap: fall back to a full re-seed.
-          n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
-          break;
+  sim.executor_->MorselFor(
+      "ReplApply", batches.size(), 1,
+      [&sim, &batches](size_t begin, size_t end, int) {
+        for (size_t i = begin; i < end; i++) {
+          node::DataNode* n = sim.nodes_[i].get();
+          for (const Shipment& sh : batches[i]) {
+            if (sh.snapshot) {
+              n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
+              continue;
+            }
+            for (const storage::ReplRecord* rec :
+                 sh.src->repl_log().Delta(sh.after, sh.through)) {
+              if (!n->ApplyReplicated(sh.tenant, sh.partition, *rec)) {
+                // Unexpected gap: fall back to a full re-seed.
+                n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
+                break;
+              }
+            }
+          }
         }
-      }
-    }
-  });
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -578,8 +653,10 @@ void ReplicateStage::Run(TickContext&) {
 
 void SettleStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
-  for (const NodeResponse& resp : ctx.responses) {
-    sim.DeliverResponse(resp);
+  for (const auto& node_responses : ctx.responses) {
+    for (const NodeResponse& resp : node_responses) {
+      sim.DeliverResponse(resp);
+    }
   }
 
   // Asynchronous proxy traffic control.
@@ -652,8 +729,11 @@ TickPipeline::TickPipeline(ClusterSim* sim) {
 }
 
 void TickPipeline::RunTick() {
-  TickContext ctx;
-  for (auto& stage : stages_) stage->Run(ctx);
+  ctx_.Reset();
+  for (auto& stage : stages_) {
+    TraceSpan span(trace_, stage->name(), 0);
+    stage->Run(ctx_);
+  }
 }
 
 }  // namespace sim

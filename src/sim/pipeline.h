@@ -53,22 +53,33 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "node/request.h"
 #include "sim/request_context.h"
 
 namespace abase {
+namespace storage {
+class LsmEngine;
+}  // namespace storage
+
 namespace sim {
 
 class ClusterSim;
 struct TenantRuntime;
 
-/// Everything produced and consumed within one tick. Fresh per tick;
-/// stage N's outputs are stage N+1's inputs.
+/// Everything produced and consumed within one tick. Owned by the
+/// TickPipeline and REUSED across ticks: Reset() clears the logical
+/// contents but keeps every buffer's capacity (including the request
+/// strings inside the traffic slots), so the steady-state data plane
+/// makes no heap allocations. Stage N's outputs are stage N+1's inputs.
 struct TickContext {
   /// One tenant's generated client traffic for this tick. The per-tenant
   /// split is what lets ProxyAdmit run tenants concurrently; `forwards`
@@ -81,7 +92,9 @@ struct TickContext {
   };
 
   /// Generate -> ProxyAdmit. Tenants in id order; each tenant's stream
-  /// in generation order.
+  /// in generation order. Slots are reconciled (not rebuilt) by the
+  /// Generate stage each tick so the request buffers keep their
+  /// capacity.
   std::vector<TenantTraffic> traffic;
   /// Generate -> ProxyAdmit. Externally injected requests (tests, the
   /// synchronous abase::Client facade), in injection order. Handled
@@ -91,8 +104,24 @@ struct TickContext {
   /// deterministic order: per-tenant traffic (tenant-id order), then
   /// injected forwards, then background refresh fetches.
   std::vector<PendingForward> forwards;
-  /// NodeSchedule -> Settle. Responses merged in node-id order.
-  std::vector<NodeResponse> responses;
+  /// Route scratch: per-node batch spans into `forwards` (outer index =
+  /// dense node id). Pointers are only valid within the tick.
+  std::vector<std::vector<NodeRequest*>> node_batches;
+  /// NodeSchedule -> Settle. Per-node response buffers (outer index =
+  /// dense node id), swapped O(1) with each node's accumulation buffer
+  /// and consumed in node-id order.
+  std::vector<std::vector<NodeResponse>> responses;
+
+  /// Clears the tick's logical contents while keeping every buffer
+  /// (and nested string) capacity for the next tick.
+  void Reset() {
+    // traffic slots are reconciled by GenerateStage; their request
+    // buffers must survive so string capacity is reused.
+    injected.clear();
+    forwards.clear();
+    for (auto& batch : node_batches) batch.clear();
+    for (auto& r : responses) r.clear();
+  }
 };
 
 /// One pipeline stage. Stages hold no per-tick state of their own; all
@@ -133,6 +162,9 @@ class GenerateStage final : public Stage {
 
  private:
   ClusterSim* sim_;
+  /// Tick-scoped scratch (cleared, not freed, every tick): the runtimes
+  /// whose generators fill the traffic slots, in tenant-id order.
+  std::vector<TenantRuntime*> runtimes_;
 };
 
 /// Runs every client request through its tenant's proxy plane: write
@@ -163,7 +195,32 @@ class ProxyAdmitStage final : public Stage {
                 std::vector<PendingForward>& out,
                 std::vector<std::pair<uint64_t, ClientOutcome>>& deferred);
 
+  /// One tenant's slice of this tick's injected requests. The pointer
+  /// array lives in the stage arena (trivially destructible, dies at the
+  /// tick boundary); the descriptors themselves recycle their vector.
+  struct InjectedBatch {
+    TenantId tenant = 0;
+    TenantRuntime* rt = nullptr;
+    const ClientRequest** requests = nullptr;  ///< Arena-backed.
+    uint32_t count = 0;   ///< Sized in the counting pass.
+    uint32_t filled = 0;  ///< Fill cursor for the second pass.
+  };
+  /// Tenant-private output buffers for one injected batch. PendingForward
+  /// and ClientOutcome carry strings — non-trivial types the arena never
+  /// destroys — so these recycle as ordinary vectors instead.
+  struct InjectedBuffers {
+    std::vector<PendingForward> forwards;
+    std::vector<std::pair<uint64_t, ClientOutcome>> deferred;
+  };
+
   ClusterSim* sim_;
+  /// Tick-scoped scratch for injected-request grouping (async clients
+  /// keep this path hot every tick): tenant -> batch slot, the arena
+  /// behind the request-pointer arrays, and the recycled outputs.
+  FlatMap64<uint32_t> injected_index_;
+  Arena injected_arena_;
+  std::vector<InjectedBatch> injected_batches_;
+  std::vector<InjectedBuffers> injected_buffers_;
 };
 
 /// Resolves each forward's partition to a primary DataNode against its
@@ -218,7 +275,22 @@ class ReplicateStage final : public Stage {
   void Run(TickContext& ctx) override;
 
  private:
+  /// One stream segment addressed to a replica node: records
+  /// (after, through] of the source primary's log, or a snapshot resync
+  /// when the log no longer covers the replica's cursor.
+  struct Shipment {
+    TenantId tenant = 0;
+    PartitionId partition = 0;
+    const storage::LsmEngine* src = nullptr;
+    uint64_t after = 0;
+    uint64_t through = 0;
+    bool snapshot = false;
+  };
+
   ClusterSim* sim_;
+  /// Per-node shipment batches (outer index = dense node id). Cleared,
+  /// not freed, every tick.
+  std::vector<std::vector<Shipment>> batches_;
 };
 
 /// Delivers responses back through the forwarding proxies (quota
@@ -266,14 +338,22 @@ class TickPipeline {
  public:
   explicit TickPipeline(ClusterSim* sim);
 
-  /// Runs a fresh TickContext through all stages (one full tick).
+  /// Runs the pipeline's persistent TickContext through all stages (one
+  /// full tick). The context is Reset() — cleared, capacity kept — not
+  /// reconstructed, so steady-state ticks reuse every buffer.
   void RunTick();
+
+  /// Routes one trace slice per stage per tick to `t` (nullptr
+  /// detaches; the untraced path costs one branch per stage).
+  void SetTrace(TraceWriter* t) { trace_ = t; }
 
   size_t num_stages() const { return stages_.size(); }
   Stage& stage(size_t i) { return *stages_[i]; }
 
  private:
   std::vector<std::unique_ptr<Stage>> stages_;
+  TickContext ctx_;
+  TraceWriter* trace_ = nullptr;
 };
 
 }  // namespace sim

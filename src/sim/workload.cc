@@ -1,6 +1,7 @@
 #include "sim/workload.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 
 namespace abase {
@@ -40,10 +41,20 @@ double WorkloadGenerator::ExpectedQps(Micros now) const {
   return std::max(0.0, qps);
 }
 
-std::string WorkloadGenerator::KeyAt(uint64_t index) const {
-  // Stable key naming; hash-scrambled so adjacent ranks do not share
-  // partition routing.
-  return "t" + std::to_string(tenant_) + ":k" + std::to_string(index);
+void WorkloadGenerator::KeyInto(uint64_t index, std::string& out) const {
+  // Stable key naming ("t<tenant>:k<index>"); hash-scrambled so adjacent
+  // ranks do not share partition routing. Built into the recycled slot
+  // string so steady-state keys never allocate.
+  // 48 bytes: 't' + <=20 digits + ":k" + <=20 digits, with the to_chars
+  // ranges bounded so the compiler can see the separator writes fit.
+  char buf[48];
+  char* p = buf;
+  *p++ = 't';
+  p = std::to_chars(p, buf + 24, tenant_).ptr;
+  *p++ = ':';
+  *p++ = 'k';
+  p = std::to_chars(p, p + 20, index).ptr;
+  out.assign(buf, static_cast<size_t>(p - buf));
 }
 
 uint64_t WorkloadGenerator::SampleKeyIndex() {
@@ -76,31 +87,45 @@ uint64_t WorkloadGenerator::SampleKeyIndex() {
   return 0;
 }
 
-std::string WorkloadGenerator::MakeValue() {
+void WorkloadGenerator::MakeValueInto(std::string& out) {
   double bytes = profile_.value_bytes > 0
                      ? rng_.NextLogNormal(
                            std::log(static_cast<double>(profile_.value_bytes)),
                            profile_.value_sigma)
                      : 0;
   size_t n = static_cast<size_t>(std::clamp(bytes, 1.0, 8.0 * 1024 * 1024));
-  return std::string(n, 'v');
+  out.assign(n, 'v');
 }
 
 std::vector<ClientRequest> WorkloadGenerator::Tick(Micros now,
                                                    Micros tick_len) {
+  std::vector<ClientRequest> out;
+  Tick(now, tick_len, out);
+  return out;
+}
+
+void WorkloadGenerator::Tick(Micros now, Micros tick_len,
+                             std::vector<ClientRequest>& out) {
   double expected = ExpectedQps(now) * static_cast<double>(tick_len) /
                     static_cast<double>(kMicrosPerSecond);
   int64_t count = rng_.NextPoisson(expected);
 
-  std::vector<ClientRequest> out;
-  out.reserve(static_cast<size_t>(count));
-  for (int64_t i = 0; i < count; i++) {
-    ClientRequest req;
+  // Recycle the caller's slots: surviving entries keep their key/value
+  // string capacity, so every field below must be written (or reset)
+  // explicitly — a stale field from the previous tick would corrupt the
+  // stream.
+  out.resize(static_cast<size_t>(std::max<int64_t>(0, count)));
+  for (ClientRequest& req : out) {
     req.req_id = (static_cast<uint64_t>(tenant_) << 40) | next_req_id_++;
     req.tenant = tenant_;
     req.issued_at = now;
+    req.field.clear();
+    req.value.clear();
+    req.ttl = 0;
+    req.consistency = Consistency::kPrimary;
+    req.track_outcome = false;
     uint64_t key_index = SampleKeyIndex();
-    req.key = KeyAt(key_index);
+    KeyInto(key_index, req.key);
 
     bool is_hash = rng_.NextBool(profile_.hash_op_fraction);
     bool is_read = rng_.NextBool(profile_.read_ratio);
@@ -109,7 +134,12 @@ std::vector<ClientRequest> WorkloadGenerator::Tick(Micros now,
       req.consistency = Consistency::kEventual;
     }
     if (is_hash) {
-      req.field = "f" + std::to_string(rng_.NextUint64(profile_.hash_fields));
+      char fbuf[24];
+      fbuf[0] = 'f';
+      char* fp = std::to_chars(fbuf + 1, fbuf + sizeof(fbuf),
+                               rng_.NextUint64(profile_.hash_fields))
+                     .ptr;
+      req.field.assign(fbuf, static_cast<size_t>(fp - fbuf));
       if (is_read) {
         // Mix of field reads and whole-hash scans / length queries.
         double pick = rng_.NextDouble();
@@ -117,18 +147,16 @@ std::vector<ClientRequest> WorkloadGenerator::Tick(Micros now,
                             : (pick < 0.85 ? OpType::kHGetAll : OpType::kHLen);
       } else {
         req.op = OpType::kHSet;
-        req.value = MakeValue();
+        MakeValueInto(req.value);
       }
     } else if (is_read) {
       req.op = OpType::kGet;
     } else {
       req.op = OpType::kSet;
-      req.value = MakeValue();
+      MakeValueInto(req.value);
       req.ttl = profile_.ttl;
     }
-    out.push_back(std::move(req));
   }
-  return out;
 }
 
 TimeSeries GenerateSeries(const SeriesSpec& spec, Rng& rng) {

@@ -85,6 +85,13 @@ class WorkloadGenerator {
   /// Requests for one tick of length `tick_len` at sim time `now`.
   std::vector<ClientRequest> Tick(Micros now, Micros tick_len);
 
+  /// In-place variant: overwrites `out` with this tick's requests,
+  /// recycling its slots (and the key/value string capacity inside
+  /// them) so steady-state generation allocates nothing. The produced
+  /// stream — including the RNG draw order — is identical to the
+  /// returning overload.
+  void Tick(Micros now, Micros tick_len, std::vector<ClientRequest>& out);
+
   /// Expected (pre-noise) QPS at time `now` given the traffic shape.
   double ExpectedQps(Micros now) const;
 
@@ -96,9 +103,9 @@ class WorkloadGenerator {
   uint64_t requests_generated() const { return next_req_id_; }
 
  private:
-  std::string KeyAt(uint64_t index) const;
+  void KeyInto(uint64_t index, std::string& out) const;
   uint64_t SampleKeyIndex();
-  std::string MakeValue();
+  void MakeValueInto(std::string& out);
 
   TenantId tenant_;
   WorkloadProfile profile_;

@@ -53,7 +53,7 @@ Status LsmEngine::HSet(const std::string& key, const std::string& field,
     next.hash = cur->hash;
     next.expire_at = cur->expire_at;
   }
-  next.hash[field] = std::move(value);
+  SetField(next.hash, field, std::move(value));
   WriteEntry(key, std::move(next));
   return Status::OK();
 }
@@ -131,9 +131,9 @@ Result<std::string> LsmEngine::HGet(std::string_view key,
   if (e == nullptr || e->type != ValueType::kHash) {
     return Status::NotFound("hash absent");
   }
-  auto it = e->hash.find(std::string(field));
-  if (it == e->hash.end()) return Status::NotFound("field absent");
-  return it->second;
+  const std::string* v = FindField(e->hash, field);
+  if (v == nullptr) return Status::NotFound("field absent");
+  return *v;
 }
 
 Result<uint64_t> LsmEngine::HLen(std::string_view key, ReadIo* io) {
@@ -145,8 +145,7 @@ Result<uint64_t> LsmEngine::HLen(std::string_view key, ReadIo* io) {
   return static_cast<uint64_t>(e->hash.size());
 }
 
-Result<std::map<std::string, std::string>> LsmEngine::HGetAll(
-    std::string_view key, ReadIo* io) {
+Result<HashFields> LsmEngine::HGetAll(std::string_view key, ReadIo* io) {
   ReadIo local;
   const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);
   if (e == nullptr || e->type != ValueType::kHash) {
@@ -169,9 +168,14 @@ std::vector<LsmEngine::ScanEntry> LsmEngine::Scan(std::string_view start,
     return k >= start && (end.empty() || k < end);
   };
 
-  for (auto it = mem_.entries().lower_bound(std::string(start));
-       it != mem_.entries().end() && in_range(it->first); ++it) {
-    merged.emplace(it->first, &it->second);
+  const auto& mem_rows = mem_.Sorted();
+  for (auto it = std::lower_bound(
+           mem_rows.begin(), mem_rows.end(), start,
+           [](const MemTable::Row* r, std::string_view k) {
+             return r->first < k;
+           });
+       it != mem_rows.end() && in_range((*it)->first); ++it) {
+    merged.emplace((*it)->first, &(*it)->second);
     // Over-collect per source: older sources may fill gaps between the
     // first `limit` visible keys once tombstones are dropped.
     if (merged.size() >= limit * 2 + 16) break;
@@ -248,28 +252,39 @@ LsmEngine::HashRangeExport LsmEngine::ExportHashRange(
   std::map<std::string, const ValueEntry*> merged;
   bool bounded = false;
   std::string horizon;
-  auto collect = [&](auto it, auto end_it) {
+  // `deref` unifies the two row shapes: sstable runs iterate pair
+  // values, the memtable's sorted view iterates pair pointers.
+  auto collect = [&](auto it, auto end_it, auto deref) {
     uint64_t taken = 0;
     std::string last;
     bool capped = false;
     for (; it != end_it; ++it) {
+      const auto& row = deref(it);
       if (taken > cap) {
         capped = true;
         break;
       }
-      merged.emplace(it->first, &it->second);
-      taken += it->first.size() + it->second.PayloadBytes();
-      last = it->first;
+      merged.emplace(row.first, &row.second);
+      taken += row.first.size() + row.second.PayloadBytes();
+      last = row.first;
     }
     if (capped) {
       bounded = true;
       if (horizon.empty() || last < horizon) horizon = last;
     }
   };
+  auto deref_ptr = [](auto it) -> const MemTable::Row& { return **it; };
+  auto deref_row = [](auto it) -> const auto& { return *it; };
+  const auto& mem_rows = mem_.Sorted();
   collect(start_after.empty()
-              ? mem_.entries().begin()
-              : mem_.entries().upper_bound(std::string(start_after)),
-          mem_.entries().end());
+              ? mem_rows.begin()
+              : std::upper_bound(mem_rows.begin(), mem_rows.end(),
+                                 start_after,
+                                 [](std::string_view k,
+                                    const MemTable::Row* r) {
+                                   return k < r->first;
+                                 }),
+          mem_rows.end(), deref_ptr);
   for (const auto& level : levels_) {
     for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
       const auto& rows = (*rit)->rows();
@@ -277,7 +292,7 @@ LsmEngine::HashRangeExport LsmEngine::ExportHashRange(
                                [](std::string_view k, const auto& r) {
                                  return k < r.first;
                                }),
-              rows.end());
+              rows.end(), deref_row);
     }
   }
 
@@ -323,9 +338,9 @@ void LsmEngine::Flush() {
   std::vector<std::pair<std::string, ValueEntry>> rows;
   rows.reserve(mem_.entry_count());
   uint64_t max_seq = 0;
-  for (const auto& [key, entry] : mem_.entries()) {
-    rows.emplace_back(key, entry);
-    max_seq = std::max(max_seq, entry.seq);
+  for (const MemTable::Row* row : mem_.Sorted()) {
+    rows.emplace_back(row->first, row->second);
+    max_seq = std::max(max_seq, row->second.seq);
   }
   auto sst = std::make_shared<SsTable>(next_sst_id_++, std::move(rows));
   stats_.flush_count++;
@@ -448,9 +463,7 @@ void LsmEngine::CrashAndRecover() {
   if (!options_.enable_wal) return;
   // Replay preserves original sequence numbers so ordering against
   // flushed runs stays correct.
-  for (const WalRecord& rec : wal_.records()) {
-    mem_.Put(rec.key, rec.entry);
-  }
+  wal_.ForEach([this](const WalRecord& rec) { mem_.Put(rec.key, rec.entry); });
 }
 
 uint64_t LsmEngine::ApproximateDataBytes() const {

@@ -100,9 +100,8 @@ class LsmEngine {
   /// HLEN: number of fields. NotFound if the key is absent.
   Result<uint64_t> HLen(std::string_view key, ReadIo* io = nullptr);
 
-  /// HGETALL: the full field map. NotFound if the key is absent.
-  Result<std::map<std::string, std::string>> HGetAll(std::string_view key,
-                                                     ReadIo* io = nullptr);
+  /// HGETALL: all fields, sorted by field. NotFound if the key is absent.
+  Result<HashFields> HGetAll(std::string_view key, ReadIo* io = nullptr);
 
   // -- Range scans ----------------------------------------------------------
 

@@ -1,28 +1,45 @@
 #include "storage/memtable.h"
 
+#include <algorithm>
+
 namespace abase {
 namespace storage {
 
 void MemTable::Put(const std::string& key, ValueEntry entry) {
-  auto it = table_.find(key);
   uint64_t new_bytes = EntryBytes(key, entry);
-  if (it != table_.end()) {
+  auto [it, inserted] = table_.try_emplace(key, std::move(entry));
+  if (!inserted) {
     bytes_ -= EntryBytes(key, it->second);
+    // try_emplace left `entry` unmoved on the existing-key path.
     it->second = std::move(entry);
   } else {
-    table_.emplace(key, std::move(entry));
+    sorted_dirty_ = true;
   }
   bytes_ += new_bytes;
 }
 
 const ValueEntry* MemTable::Get(std::string_view key) const {
-  auto it = table_.find(key);
+  // C++17 unordered_map lacks heterogeneous lookup; the temporary stays
+  // in SSO range for the simulator's short keys.
+  auto it = table_.find(std::string(key));
   return it == table_.end() ? nullptr : &it->second;
 }
 
 ValueEntry* MemTable::GetMutable(std::string_view key) {
-  auto it = table_.find(key);
+  auto it = table_.find(std::string(key));
   return it == table_.end() ? nullptr : &it->second;
+}
+
+const std::vector<const MemTable::Row*>& MemTable::Sorted() const {
+  if (sorted_dirty_ || sorted_.size() != table_.size()) {
+    sorted_.clear();
+    sorted_.reserve(table_.size());
+    for (const Row& row : table_) sorted_.push_back(&row);
+    std::sort(sorted_.begin(), sorted_.end(),
+              [](const Row* a, const Row* b) { return a->first < b->first; });
+    sorted_dirty_ = false;
+  }
+  return sorted_;
 }
 
 void MemTable::AdjustBytes(int64_t delta) {

@@ -1,22 +1,55 @@
-// In-memory write buffer of the LSM engine: an ordered map from key to the
-// latest ValueEntry, with byte accounting that drives flush decisions.
+// In-memory write buffer of the LSM engine: a hash map from key to the
+// latest ValueEntry with byte accounting that drives flush decisions,
+// plus a lazily built key-ordered view for the (rare) ordered
+// consumers — flush, range scans, and split exports.
+//
+// Point writes dominate the data plane, so the primary index is a hash
+// table: Put/Get cost one short-string hash instead of the O(log n)
+// string comparisons of the previous std::map. The ordered view is a
+// vector of row pointers sorted on demand; overwrites keep it valid
+// (pointers into the node-based table are stable and the key set is
+// unchanged), only a first-seen key marks it dirty.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "storage/value.h"
 
 namespace abase {
 namespace storage {
 
-/// Ordered mutable key→value buffer. Not internally synchronized; the
-/// engine serializes access.
+/// Mutable key→value buffer. Not internally synchronized; the engine
+/// serializes access.
 class MemTable {
  public:
+  /// One stored row; `first` is the key. Matches the hash table's
+  /// value_type so Sorted() can point straight at the nodes.
+  using Row = std::pair<const std::string, ValueEntry>;
+
+  MemTable() = default;
+  // The sorted view holds pointers into the table's nodes, so a copied
+  // view would alias the *source* table. Copies drop the view and
+  // rebuild lazily; moves keep it (node pointers survive a map move).
+  MemTable(const MemTable& other)
+      : table_(other.table_), bytes_(other.bytes_) {
+    sorted_dirty_ = true;
+  }
+  MemTable& operator=(const MemTable& other) {
+    table_ = other.table_;
+    bytes_ = other.bytes_;
+    sorted_.clear();
+    sorted_dirty_ = true;
+    return *this;
+  }
+  MemTable(MemTable&&) = default;
+  MemTable& operator=(MemTable&&) = default;
+
   /// Inserts or replaces the entry for `key`.
   void Put(const std::string& key, ValueEntry entry);
 
@@ -31,10 +64,10 @@ class MemTable {
   uint64_t approximate_bytes() const { return bytes_; }
   bool empty() const { return table_.empty(); }
 
-  /// Ordered iteration for flush.
-  const std::map<std::string, ValueEntry, std::less<>>& entries() const {
-    return table_;
-  }
+  /// Key-ordered view of the rows for flush / scans / exports. Rebuilt
+  /// lazily after an insert of a new key; row pointers are stable (the
+  /// table is node-based) and value updates never invalidate the view.
+  const std::vector<const Row*>& Sorted() const;
 
   /// Re-derives the byte accounting after in-place mutation via
   /// GetMutable. `delta` may be negative.
@@ -48,7 +81,9 @@ class MemTable {
   /// Fixed per-entry overhead (seq, type, TTL, node pointers).
   static constexpr uint64_t kEntryOverhead = 48;
 
-  std::map<std::string, ValueEntry, std::less<>> table_;
+  std::unordered_map<std::string, ValueEntry> table_;
+  mutable std::vector<const Row*> sorted_;
+  mutable bool sorted_dirty_ = false;
   uint64_t bytes_ = 0;
 };
 

@@ -2,14 +2,50 @@
 // values with optional TTL and tombstones.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 
 namespace abase {
 namespace storage {
+
+/// kHash payload: (field, value) pairs kept sorted by field. A flat
+/// sorted vector instead of std::map — iteration order is identical,
+/// but the container is contiguous (no per-field node allocations), and
+/// HSET's whole-hash copy is one array copy instead of a tree rebuild.
+using HashFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Field lookup by binary search; nullptr when absent.
+inline const std::string* FindField(const HashFields& h,
+                                    std::string_view field) {
+  auto it = std::lower_bound(
+      h.begin(), h.end(), field,
+      [](const std::pair<std::string, std::string>& p, std::string_view f) {
+        return p.first < f;
+      });
+  if (it == h.end() || it->first != field) return nullptr;
+  return &it->second;
+}
+
+/// Inserts or overwrites `field`, keeping the vector sorted.
+inline void SetField(HashFields& h, std::string_view field,
+                     std::string value) {
+  auto it = std::lower_bound(
+      h.begin(), h.end(), field,
+      [](const std::pair<std::string, std::string>& p, std::string_view f) {
+        return p.first < f;
+      });
+  if (it != h.end() && it->first == field) {
+    it->second = std::move(value);
+  } else {
+    h.emplace(it, std::string(field), std::move(value));
+  }
+}
 
 /// Value kind stored under a key.
 enum class ValueType : uint8_t {
@@ -24,8 +60,8 @@ struct ValueEntry {
   ValueType type = ValueType::kString;
   uint64_t seq = 0;
   Micros expire_at = 0;
-  std::string str;                          ///< kString payload.
-  std::map<std::string, std::string> hash;  ///< kHash payload (field→value).
+  std::string str;   ///< kString payload.
+  HashFields hash;   ///< kHash payload, sorted by field.
 
   bool IsTombstone() const { return type == ValueType::kTombstone; }
 

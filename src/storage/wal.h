@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -20,38 +22,75 @@ struct WalRecord {
 };
 
 /// Append-only log with truncation at flush boundaries.
+///
+/// Storage is a list of fixed-size chunks rather than one flat vector:
+/// appends never relocate earlier records (a flat vector's growth
+/// reallocation moved the whole backlog, which showed up in profiles),
+/// and flush-time truncation retires whole chunks in O(1).
 class WriteAheadLog {
  public:
   void Append(std::string key, const ValueEntry& entry) {
     bytes_ += key.size() + entry.PayloadBytes();
-    records_.push_back(WalRecord{std::move(key), entry});
+    if (chunks_.empty() || chunks_.back().size() == kChunk) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(kChunk);
+    }
+    chunks_.back().push_back(WalRecord{std::move(key), entry});
+    count_++;
   }
 
   /// Drops all records up to and including sequence `seq` (called after
-  /// the memtable covering those records has been flushed).
+  /// the memtable covering those records has been flushed). Records are
+  /// appended in nondecreasing sequence order.
   void TruncateThrough(uint64_t seq) {
-    size_t keep_from = 0;
-    while (keep_from < records_.size() &&
-           records_[keep_from].entry.seq <= seq) {
-      bytes_ -= records_[keep_from].key.size() +
-                records_[keep_from].entry.PayloadBytes();
-      keep_from++;
+    while (!chunks_.empty()) {
+      std::vector<WalRecord>& front = chunks_.front();
+      if (!front.empty() && front.back().entry.seq <= seq) {
+        for (const WalRecord& rec : front) {
+          bytes_ -= rec.key.size() + rec.entry.PayloadBytes();
+        }
+        count_ -= front.size();
+        chunks_.pop_front();
+        continue;
+      }
+      size_t keep_from = 0;
+      while (keep_from < front.size() && front[keep_from].entry.seq <= seq) {
+        bytes_ -= front[keep_from].key.size() +
+                  front[keep_from].entry.PayloadBytes();
+        keep_from++;
+      }
+      if (keep_from > 0) {
+        count_ -= keep_from;
+        front.erase(front.begin(),
+                    front.begin() + static_cast<ptrdiff_t>(keep_from));
+      }
+      break;
     }
-    records_.erase(records_.begin(),
-                   records_.begin() + static_cast<ptrdiff_t>(keep_from));
+    if (count_ == 0) chunks_.clear();
   }
 
-  const std::vector<WalRecord>& records() const { return records_; }
-  size_t record_count() const { return records_.size(); }
+  /// Visits every live record in append order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& chunk : chunks_) {
+      for (const WalRecord& rec : chunk) fn(rec);
+    }
+  }
+
+  size_t record_count() const { return count_; }
   uint64_t bytes() const { return bytes_; }
 
   void Clear() {
-    records_.clear();
+    chunks_.clear();
+    count_ = 0;
     bytes_ = 0;
   }
 
  private:
-  std::vector<WalRecord> records_;
+  static constexpr size_t kChunk = 1024;
+
+  std::deque<std::vector<WalRecord>> chunks_;
+  size_t count_ = 0;
   uint64_t bytes_ = 0;
 };
 

@@ -198,7 +198,8 @@ TEST(AuLruTest, HitWithinTtl) {
   c.Put("k", "v", 10);
   auto lk = c.Get("k");
   EXPECT_TRUE(lk.hit);
-  EXPECT_EQ(lk.value, "v");
+  ASSERT_NE(lk.value, nullptr);
+  EXPECT_EQ(*lk.value, "v");
   EXPECT_FALSE(lk.needs_refresh);
 }
 
@@ -251,7 +252,8 @@ TEST(AuLruTest, RePutResetsTtlAndRefreshState) {
   clock.Advance(50 * kMicrosPerSecond);  // Old TTL would have expired.
   auto lk = c.Get("k");
   EXPECT_TRUE(lk.hit);
-  EXPECT_EQ(lk.value, "v2");
+  ASSERT_NE(lk.value, nullptr);
+  EXPECT_EQ(*lk.value, "v2");
 }
 
 TEST(AuLruTest, EvictionAtCapacity) {

@@ -1,0 +1,281 @@
+// Golden-digest bit-identity tests for the batched data plane.
+//
+// Each scenario below (async client fleet, mid-run failover, mid-run
+// online split) is run at 1, 2, and 4 data-plane workers and reduced to
+// a single FNV-1a fingerprint of everything externally observable:
+// per-tenant metric histories (bit-exact doubles included) and, for the
+// async scenario, the full reply stream. The fingerprints are compared
+// against constants recorded from the pre-batching seed pipeline, so
+// this test pins two properties at once:
+//
+//   1. the struct-of-arrays / arena / morsel rewrite is *behavior
+//      identical* to the request-at-a-time pipeline it replaced, and
+//   2. worker count remains invisible (the determinism contract).
+//
+// To re-record after an intentional behavior change, run with
+// GOLDEN_RECORD=1 in the environment; the test prints the new digests
+// instead of asserting, and the constants below should be updated.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/abase.h"
+#include "sim/cluster_sim.h"
+
+namespace abase {
+namespace {
+
+// ------------------------------------------------------------------ Digest --
+
+class Digest {
+ public:
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    for (unsigned char c : s) {
+      h_ ^= c;
+      h_ *= 0x100000001b3ull;
+    }
+    U64(s.size());
+  }
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis.
+};
+
+void FoldHistory(Digest& d, const std::vector<sim::TenantTickMetrics>& h) {
+  d.U64(h.size());
+  for (const auto& m : h) {
+    d.U64(m.issued);
+    d.U64(m.ok);
+    d.U64(m.errors);
+    d.U64(m.throttled);
+    d.U64(m.unavailable);
+    d.U64(m.redirects);
+    d.U64(m.replica_reads);
+    d.U64(m.replica_lag_sum);
+    d.U64(m.proxy_hits);
+    d.U64(m.node_cache_hits);
+    d.U64(m.disk_reads);
+    d.U64(m.reads_completed);
+    d.F64(m.ru_charged);
+    d.F64(m.latency_sum);
+    d.F64(m.latency_max);
+    d.U64(m.latency_count);
+  }
+}
+
+meta::TenantConfig GoldenTenant(TenantId id, double quota,
+                                uint32_t partitions = 4) {
+  meta::TenantConfig c;
+  c.id = id;
+  c.name = "t" + std::to_string(id);
+  c.tenant_quota_ru = quota;
+  c.num_partitions = partitions;
+  c.num_proxies = 2;
+  c.num_proxy_groups = 1;
+  return c;
+}
+
+// ------------------------------------------------- Scenario: async clients --
+
+/// 64 closed-loop async clients at pipeline depth 16 (the
+/// pipeline_test fleet scenario); digest covers every reply plus the
+/// tenant's metric history.
+uint64_t RunAsyncClientDigest(int workers) {
+  ClusterOptions copts;
+  copts.sim.seed = 2025;
+  copts.sim.data_plane_workers = workers;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(8);
+  meta::TenantConfig cfg = GoldenTenant(1, /*quota=*/500000);
+  cfg.num_proxies = 8;
+  cfg.num_proxy_groups = 2;
+  EXPECT_TRUE(cluster.CreateTenant(cfg, pool).ok());
+  cluster.sim().PreloadKeys(1, /*num_keys=*/512, /*value_bytes=*/128);
+
+  constexpr int kClients = 64;
+  constexpr int kDepth = 16;
+  std::vector<Client> clients;
+  for (int c = 0; c < kClients; c++) clients.push_back(cluster.OpenClient(1));
+
+  struct Slot {
+    int seq = 0;
+    Future<Reply> future;
+  };
+  std::vector<std::vector<Slot>> outstanding(kClients);
+  std::vector<int> next_seq(kClients, 0);
+  auto submit_one = [&](int c) {
+    int seq = next_seq[c]++;
+    std::string key = "t1:k" + std::to_string((c * 17 + seq * 5) % 512);
+    Command cmd = (seq % 7 == 3)
+                      ? Command::Set(std::move(key),
+                                     "w" + std::to_string(c) + ":" +
+                                         std::to_string(seq))
+                      : Command::Get(std::move(key));
+    outstanding[c].push_back({seq, clients[c].Submit(std::move(cmd))});
+  };
+  for (int c = 0; c < kClients; c++) {
+    for (int d = 0; d < kDepth; d++) submit_one(c);
+  }
+
+  Digest digest;
+  auto harvest = [&](bool refill) {
+    for (int c = 0; c < kClients; c++) {
+      auto& slots = outstanding[c];
+      for (size_t i = 0; i < slots.size();) {
+        if (slots[i].future.ready()) {
+          const Reply& r = slots[i].future.value();
+          digest.U64(static_cast<uint64_t>(c));
+          digest.U64(static_cast<uint64_t>(slots[i].seq));
+          digest.U64(static_cast<uint64_t>(r.status.code()));
+          digest.Str(r.value);
+          digest.U64(r.completed_at);
+          slots.erase(slots.begin() + static_cast<long>(i));
+          if (refill) submit_one(c);
+        } else {
+          i++;
+        }
+      }
+    }
+  };
+  for (int tick = 0; tick < 25; tick++) {
+    cluster.Step();
+    harvest(/*refill=*/true);
+  }
+  cluster.Drain();
+  harvest(/*refill=*/false);
+  EXPECT_EQ(cluster.PendingCommands(), 0u);
+  FoldHistory(digest, cluster.sim().History(1));
+  return digest.value();
+}
+
+// ------------------------------------------------------ Scenario: failover --
+
+/// The failover_test determinism scenario: 8 tenants on 16 nodes with a
+/// primary failing at tick 6 and recovering (2 catch-up ticks) at 13.
+uint64_t RunFailoverDigest(int workers) {
+  sim::SimOptions opt;
+  opt.seed = 4321;
+  opt.data_plane_workers = workers;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(16);
+
+  constexpr TenantId kTenants = 8;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    meta::TenantConfig c = GoldenTenant(t, 20000 + 1000.0 * t);
+    c.replicas = 3;
+    EXPECT_TRUE(sim.AddTenant(c, pool).ok());
+    sim.PreloadKeys(t, /*num_keys=*/200, /*value_bytes=*/256);
+
+    sim::WorkloadProfile profile;
+    profile.base_qps = 150 + 30.0 * t;
+    profile.read_ratio = (t % 2 == 0) ? 0.95 : 0.6;
+    profile.hash_op_fraction = (t % 3 == 0) ? 0.3 : 0.0;
+    profile.num_keys = 200;
+    profile.key_dist =
+        (t % 2 == 0) ? sim::KeyDist::kZipfian : sim::KeyDist::kHotSpot;
+    profile.value_bytes = 256;
+    profile.eventual_read_fraction = (t % 2 == 0) ? 0.4 : 0.0;
+    sim.SetWorkload(t, profile);
+  }
+
+  const NodeId victim = sim.meta().PrimaryFor(1, 0);
+  for (size_t tick = 0; tick < 24; tick++) {
+    if (tick == 6) sim.FailNode(victim);
+    if (tick == 13) sim.RecoverNode(victim, 2);
+    sim.Tick();
+  }
+
+  Digest digest;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    FoldHistory(digest, sim.History(t));
+  }
+  return digest.value();
+}
+
+// -------------------------------------------- Scenario: mid-run split --
+
+/// The control_loop_test split scenario: an online partition split
+/// (4 -> 8) streaming at 8 KiB/tick under live traffic.
+uint64_t RunMidRunSplitDigest(int workers) {
+  sim::SimOptions opt;
+  opt.seed = 4242;
+  opt.data_plane_workers = workers;
+  opt.split_bytes_per_tick = 8 << 10;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(8);
+  EXPECT_TRUE(sim.AddTenant(GoldenTenant(1, 100000), pool).ok());
+  sim.PreloadKeys(1, 400, 128);
+  sim::WorkloadProfile profile;
+  profile.base_qps = 250;
+  profile.read_ratio = 0.7;
+  profile.num_keys = 400;
+  profile.value_bytes = 128;
+  profile.eventual_read_fraction = 0.3;
+  sim.SetWorkload(1, profile);
+
+  sim.RunTicks(5);
+  EXPECT_TRUE(sim.StartPartitionSplit(1).ok());
+  sim.RunTicks(45);
+  EXPECT_EQ(sim.SplitCutovers(), 1u);
+  EXPECT_EQ(sim.SplitsCompleted(), 1u);
+
+  Digest digest;
+  FoldHistory(digest, sim.History(1));
+  digest.U64(sim.meta().GetTenant(1)->partitions.size());
+  return digest.value();
+}
+
+// ------------------------------------------------------------- The goldens --
+
+// Recorded from the seed (request-at-a-time) pipeline at commit
+// "Re-anchor ROADMAP" with GOLDEN_RECORD=1; every worker count must
+// reproduce these exact fingerprints.
+constexpr uint64_t kGoldenAsyncClient = 0xd86fcf506bbc0669ull;
+constexpr uint64_t kGoldenFailover = 0x8a9f3490bacda12bull;
+constexpr uint64_t kGoldenMidRunSplit = 0x50735ee6c2fe2b3cull;
+
+bool Recording() { return std::getenv("GOLDEN_RECORD") != nullptr; }
+
+void CheckScenario(const char* name, uint64_t (*run)(int), uint64_t golden) {
+  for (int workers : {1, 2, 4}) {
+    uint64_t got = run(workers);
+    if (Recording()) {
+      printf("GOLDEN %s workers=%d digest=0x%016llx\n", name, workers,
+             static_cast<unsigned long long>(got));
+      continue;
+    }
+    EXPECT_EQ(got, golden) << name << " at " << workers << " workers";
+  }
+}
+
+TEST(GoldenDigestTest, AsyncClientFleetMatchesSeedPipeline) {
+  CheckScenario("async_client", &RunAsyncClientDigest, kGoldenAsyncClient);
+}
+
+TEST(GoldenDigestTest, MidRunFailoverMatchesSeedPipeline) {
+  CheckScenario("failover", &RunFailoverDigest, kGoldenFailover);
+}
+
+TEST(GoldenDigestTest, MidRunSplitMatchesSeedPipeline) {
+  CheckScenario("mid_run_split", &RunMidRunSplitDigest, kGoldenMidRunSplit);
+}
+
+}  // namespace
+}  // namespace abase

@@ -178,8 +178,9 @@ TEST_F(DataNodeTest, TenantRuTracked) {
   node_.Submit(MakeSet(1, 1, 0, "k", std::string(2048, 'x')));
   node_.Tick();
   const auto& ru = node_.LastTickTenantRu();
-  ASSERT_TRUE(ru.count(1));
-  EXPECT_GT(ru.at(1), 0.0);
+  ASSERT_EQ(ru.size(), 1u);
+  EXPECT_EQ(ru[0].first, 1u);
+  EXPECT_GT(ru[0].second, 0.0);
 }
 
 TEST_F(DataNodeTest, RejectionBurnsCpuBudget) {

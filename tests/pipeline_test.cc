@@ -29,9 +29,9 @@ TEST(ExecutorTest, SerialRunsAllTasksInOrder)
   EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
 }
 
-TEST(ExecutorTest, ParallelRunsEveryTaskExactlyOnce) {
+TEST(ExecutorTest, MorselPoolRunsEveryTaskExactlyOnce) {
   for (int workers : {1, 2, 4, 8}) {
-    ParallelExecutor ex(workers);
+    MorselExecutor ex(workers);
     EXPECT_EQ(ex.workers(), workers);
     constexpr size_t kTasks = 1000;
     std::vector<std::atomic<int>> hits(kTasks);
@@ -46,8 +46,31 @@ TEST(ExecutorTest, ParallelRunsEveryTaskExactlyOnce) {
   }
 }
 
+TEST(ExecutorTest, MorselForCoversIndexSpaceAtEveryGrain) {
+  for (int workers : {1, 2, 4}) {
+    MorselExecutor ex(workers);
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      constexpr size_t kTasks = 523;  // Prime: uneven ranges.
+      std::vector<std::atomic<int>> hits(kTasks);
+      for (auto& h : hits) h.store(0);
+      ex.MorselFor("test", kTasks, grain,
+                   [&](size_t begin, size_t end, int worker) {
+                     ASSERT_GE(worker, 0);
+                     ASSERT_LT(worker, workers);
+                     for (size_t i = begin; i < end; i++) {
+                       hits[i].fetch_add(1);
+                     }
+                   });
+      for (size_t i = 0; i < kTasks; i++) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "task " << i << " grain " << grain << " workers " << workers;
+      }
+    }
+  }
+}
+
 TEST(ExecutorTest, ParallelForZeroTasksReturns) {
-  ParallelExecutor ex(4);
+  MorselExecutor ex(4);
   ex.ParallelFor(0, [](size_t) { FAIL() << "no task should run"; });
 }
 
@@ -119,11 +142,16 @@ TEST(TickPipelineTest, OneRequestCrossesEveryStageBoundary) {
   pipeline.stage(3).Run(ctx);
   EXPECT_EQ(sim.InflightCount(), 1u);
 
-  // NodeSchedule: the WFQ serves it; the response merges back.
+  // NodeSchedule: the WFQ serves it; the response merges back into the
+  // per-node drain buffers.
   pipeline.stage(4).Run(ctx);
-  ASSERT_EQ(ctx.responses.size(), 1u);
-  EXPECT_EQ(ctx.responses[0].req_id, 424242u);
-  EXPECT_TRUE(ctx.responses[0].status.ok());
+  std::vector<NodeResponse> drained;
+  for (const auto& per_node : ctx.responses) {
+    drained.insert(drained.end(), per_node.begin(), per_node.end());
+  }
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].req_id, 424242u);
+  EXPECT_TRUE(drained[0].status.ok());
 
   // Replicate: with lag 0, every replica of the preloaded partitions is
   // caught up to its primary's stream after the step.

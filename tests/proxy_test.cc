@@ -107,6 +107,9 @@ ClientRequest MakeGet(uint64_t id, const std::string& key) {
   r.tenant = 1;
   r.op = OpType::kGet;
   r.key = key;
+  // Unit tests inspect cache-hit payloads; the proxy materializes them
+  // only for tracked requests.
+  r.track_outcome = true;
   return r;
 }
 

@@ -1,0 +1,125 @@
+// Unit tests for SmallVec: inline-to-heap spill, move semantics (both
+// the inline element-move and the heap buffer steal), and destructor
+// accounting for non-trivial element types.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/smallvec.h"
+
+namespace abase {
+namespace {
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.is_inline());
+  for (int i = 0; i < 4; i++) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; i++) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, SpillsToHeapBeyondInlineCapacity) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; i++) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; i++) ASSERT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, MoveStealsHeapBuffer) {
+  SmallVec<std::string, 2> v;
+  for (int i = 0; i < 10; i++) v.push_back("value-" + std::to_string(i));
+  const std::string* data_before = v.data();
+
+  SmallVec<std::string, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), data_before);  // Buffer stolen, not copied.
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_EQ(moved[i], "value-" + std::to_string(i));
+  }
+}
+
+TEST(SmallVecTest, MoveOfInlineElementsMovesEach) {
+  SmallVec<std::string, 8> v;
+  v.push_back(std::string(100, 'x'));  // Big enough to be heap-backed.
+  const char* payload = v[0].data();
+
+  SmallVec<std::string, 8> moved(std::move(v));
+  ASSERT_EQ(moved.size(), 1u);
+  // The element's own heap buffer moved over; no copy of the payload.
+  EXPECT_EQ(moved[0].data(), payload);
+  EXPECT_EQ(moved[0], std::string(100, 'x'));
+}
+
+TEST(SmallVecTest, MoveAssignReplacesContents) {
+  SmallVec<int, 2> a;
+  a.push_back(1);
+  SmallVec<int, 2> b;
+  for (int i = 0; i < 20; i++) b.push_back(i);
+  a = std::move(b);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a[19], 19);
+}
+
+TEST(SmallVecTest, CopyPreservesSource) {
+  SmallVec<std::string, 2> a;
+  for (int i = 0; i < 6; i++) a.push_back(std::to_string(i));
+  SmallVec<std::string, 2> b(a);
+  EXPECT_EQ(a.size(), 6u);
+  EXPECT_EQ(b.size(), 6u);
+  b[0] = "mutated";
+  EXPECT_EQ(a[0], "0");
+}
+
+TEST(SmallVecTest, ClearKeepsStorageForRefill) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 50; i++) v.push_back(i);
+  const int* data_before = v.data();
+  size_t cap_before = v.capacity();
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), cap_before);
+  for (int i = 0; i < 50; i++) v.push_back(i);
+  EXPECT_EQ(v.data(), data_before);  // No reallocation on refill.
+}
+
+TEST(SmallVecTest, DestructorsRunExactlyOnce) {
+  static int live = 0;
+  struct Counted {
+    Counted() { live++; }
+    Counted(const Counted&) { live++; }
+    Counted(Counted&&) noexcept { live++; }
+    ~Counted() { live--; }
+  };
+  live = 0;
+  {
+    SmallVec<Counted, 2> v;
+    for (int i = 0; i < 9; i++) v.emplace_back();  // Spills at 3.
+    EXPECT_EQ(live, 9);
+    v.pop_back();
+    EXPECT_EQ(live, 8);
+    SmallVec<Counted, 2> moved(std::move(v));
+    EXPECT_EQ(live, 8);
+    v = std::move(moved);
+    EXPECT_EQ(live, 8);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+TEST(SmallVecTest, ResizeGrowsAndShrinks) {
+  SmallVec<int, 4> v;
+  v.resize(10);
+  EXPECT_EQ(v.size(), 10u);
+  for (int x : v) EXPECT_EQ(x, 0);
+  v[9] = 42;
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.resize(12);
+  EXPECT_EQ(v[11], 0);
+}
+
+}  // namespace
+}  // namespace abase
