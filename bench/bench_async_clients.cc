@@ -49,6 +49,15 @@ Cluster MakeCluster(int workers) {
   copts.sim.data_plane_workers = workers;
   copts.sim.node.wfq.cpu_budget_ru = 100000;
   copts.sim.node.ru_capacity = 100000;
+  // Timed settle: data-plane responses carry sampled sub-tick service
+  // times so the grid reports real p50/p95/p99 micros next to the
+  // tick-granular latency (proxy cache hits settle outside the data
+  // plane and don't contribute samples).
+  copts.sim.node.service_time.enabled = true;
+  copts.sim.node.service_time.dist = latency::DistKind::kLognormal;
+  copts.sim.node.service_time.mean_micros = 150;
+  copts.sim.node.service_time.sigma = 1.2;
+  copts.sim.latency.enabled = true;
   return Cluster(copts);
 }
 
@@ -68,6 +77,7 @@ struct AsyncRun {
   double reqs_per_tick = 0;
   double p50_latency_ticks = 0;
   double p99_latency_ticks = 0;
+  WindowPercentiles micros;  ///< Sub-tick data-plane percentiles.
   uint64_t latency_checksum = 0;  ///< Order-independent determinism probe.
 };
 
@@ -127,6 +137,8 @@ AsyncRun RunAsync(size_t num_clients, size_t depth, int workers,
   run.reqs_per_tick =
       ticks == 0 ? 0 : static_cast<double>(run.completed + run.errors) /
                            static_cast<double>(ticks);
+  const auto& history = cluster.sim().History(1);
+  run.micros = PercentilesOver(history, 0, history.size());
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());
     run.p50_latency_ticks =
@@ -182,16 +194,19 @@ int main() {
   const std::vector<size_t> client_counts = {1, 8, 64};
   const std::vector<size_t> depths = {1, 4, 16};
 
-  std::printf("%8s %7s %9s %12s %10s %8s %8s\n", "clients", "depth",
-              "workers", "reqs/tick", "errors", "p50", "p99");
+  std::printf("%8s %7s %9s %12s %10s %8s %8s %8s %8s %8s\n", "clients",
+              "depth", "workers", "reqs/tick", "errors", "p50", "p99",
+              "p50us", "p95us", "p99us");
   std::vector<AsyncRun> runs;
   for (size_t clients : client_counts) {
     for (size_t depth : depths) {
       AsyncRun r = RunAsync(clients, depth, /*workers=*/1, kTicks);
-      std::printf("%8zu %7zu %9d %12.1f %10llu %8.1f %8.1f\n", r.clients,
-                  r.depth, r.workers, r.reqs_per_tick,
+      std::printf("%8zu %7zu %9d %12.1f %10llu %8.1f %8.1f %8.0f %8.0f "
+                  "%8.0f\n",
+                  r.clients, r.depth, r.workers, r.reqs_per_tick,
                   static_cast<unsigned long long>(r.errors),
-                  r.p50_latency_ticks, r.p99_latency_ticks);
+                  r.p50_latency_ticks, r.p99_latency_ticks, r.micros.p50_us,
+                  r.micros.p95_us, r.micros.p99_us);
       runs.push_back(r);
     }
   }
@@ -235,11 +250,13 @@ int main() {
       std::fprintf(f,
                    "%s{\"clients\":%zu,\"depth\":%zu,\"reqs_per_tick\":%.2f,"
                    "\"completed\":%llu,\"errors\":%llu,"
-                   "\"p50_latency_ticks\":%.1f,\"p99_latency_ticks\":%.1f}",
+                   "\"p50_latency_ticks\":%.1f,\"p99_latency_ticks\":%.1f,"
+                   "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f}",
                    i == 0 ? "" : ",", r.clients, r.depth, r.reqs_per_tick,
                    static_cast<unsigned long long>(r.completed),
                    static_cast<unsigned long long>(r.errors),
-                   r.p50_latency_ticks, r.p99_latency_ticks);
+                   r.p50_latency_ticks, r.p99_latency_ticks, r.micros.p50_us,
+                   r.micros.p95_us, r.micros.p99_us);
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

@@ -53,6 +53,7 @@ struct FailoverRun {
   uint64_t error_window_area = 0;  ///< Total Unavailable resolutions.
   uint64_t redirects = 0;
   uint64_t ok_total = 0;
+  WindowPercentiles latency;  ///< Sub-tick micros over the whole run.
   std::vector<sim::TenantTickMetrics> history;
 };
 
@@ -169,6 +170,14 @@ FailoverRun RunFailover(int replicas, int workers) {
   opt.seed = 99;
   opt.data_plane_workers = workers;
   opt.failover_detection_ticks = 1;
+  // Timed settle: data-plane responses carry sampled sub-tick service
+  // times, so the percentile columns show what the outage does to the
+  // tail (queueing on the survivors), not just the error count.
+  opt.node.service_time.enabled = true;
+  opt.node.service_time.dist = latency::DistKind::kLognormal;
+  opt.node.service_time.mean_micros = 150;
+  opt.node.service_time.sigma = 1.2;
+  opt.latency.enabled = true;
   sim::ClusterSim sim(opt);
   PoolId pool = sim.AddPool(8);
 
@@ -213,6 +222,7 @@ FailoverRun RunFailover(int replicas, int workers) {
     if (m.unavailable > 0 && tick >= fail_tick) last_unavailable = tick;
   }
   run.ticks_to_recover = last_unavailable - fail_tick + 1;
+  run.latency = PercentilesOver(run.history, 0, run.history.size());
   return run;
 }
 
@@ -228,16 +238,18 @@ int main() {
   abase::bench::PrintHeader(
       "Live failover: error window and recovery time vs replica count");
 
-  std::printf("%9s %9s %17s %14s %10s %10s\n", "replicas", "workers",
-              "ticks_to_recover", "error_area", "redirects", "ok_total");
+  std::printf("%9s %9s %17s %14s %10s %10s %8s %8s %8s\n", "replicas",
+              "workers", "ticks_to_recover", "error_area", "redirects",
+              "ok_total", "p50us", "p95us", "p99us");
   std::vector<FailoverRun> runs;
   for (int replicas : {1, 2, 3}) {
     FailoverRun r = RunFailover(replicas, /*workers=*/1);
-    std::printf("%9d %9d %17zu %14llu %10llu %10llu\n", r.replicas,
-                r.workers, r.ticks_to_recover,
+    std::printf("%9d %9d %17zu %14llu %10llu %10llu %8.0f %8.0f %8.0f\n",
+                r.replicas, r.workers, r.ticks_to_recover,
                 static_cast<unsigned long long>(r.error_window_area),
                 static_cast<unsigned long long>(r.redirects),
-                static_cast<unsigned long long>(r.ok_total));
+                static_cast<unsigned long long>(r.ok_total), r.latency.p50_us,
+                r.latency.p95_us, r.latency.p99_us);
     runs.push_back(std::move(r));
   }
 
@@ -315,11 +327,13 @@ int main() {
       std::fprintf(f,
                    "%s{\"replicas\":%d,\"ticks_to_recover\":%zu,"
                    "\"error_window_area\":%llu,\"redirects\":%llu,"
-                   "\"ok_total\":%llu}",
+                   "\"ok_total\":%llu,\"p50_us\":%.1f,\"p95_us\":%.1f,"
+                   "\"p99_us\":%.1f}",
                    i == 0 ? "" : ",", r.replicas, r.ticks_to_recover,
                    static_cast<unsigned long long>(r.error_window_area),
                    static_cast<unsigned long long>(r.redirects),
-                   static_cast<unsigned long long>(r.ok_total));
+                   static_cast<unsigned long long>(r.ok_total),
+                   r.latency.p50_us, r.latency.p95_us, r.latency.p99_us);
     }
     std::fprintf(f, "],\"lag_results\":[");
     for (size_t i = 0; i < lag_runs.size(); i++) {

@@ -41,6 +41,40 @@ inline std::string RepoRootPath(const std::string& filename) {
 #endif
 }
 
+/// Sub-tick latency percentile summary of a tick window, from the
+/// timed-settle per-tick histogram estimates (TenantTickMetrics::
+/// latency_p50/p95/p99). Each tick's estimate is weighted by that tick's
+/// sample count, so idle ticks don't dilute the summary. All zeros when
+/// the latency subsystem is disabled (SimOptions::latency.enabled).
+struct WindowPercentiles {
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+inline WindowPercentiles PercentilesOver(
+    const std::vector<sim::TenantTickMetrics>& history, size_t from,
+    size_t to) {
+  WindowPercentiles w;
+  if (to > history.size()) to = history.size();
+  double n = 0;
+  for (size_t i = from; i < to; i++) {
+    const auto& m = history[i];
+    if (m.latency_count == 0 || m.latency_p99 <= 0) continue;
+    double c = static_cast<double>(m.latency_count);
+    w.p50_us += c * m.latency_p50;
+    w.p95_us += c * m.latency_p95;
+    w.p99_us += c * m.latency_p99;
+    n += c;
+  }
+  if (n > 0) {
+    w.p50_us /= n;
+    w.p95_us /= n;
+    w.p99_us /= n;
+  }
+  return w;
+}
+
 /// Aggregate of a tenant's metrics over a tick window.
 struct WindowStats {
   double success_qps = 0;

@@ -44,6 +44,7 @@ Future<Reply> Cluster::SubmitRequest(ClientRequest req) {
         Reply reply;
         reply.status = std::move(out.status);
         reply.value = std::move(out.value);
+        reply.latency_micros = out.latency_micros;
         reply.issued_at = issued;
         // The clock advances after outcomes settle, so this is the start
         // time of the tick that completed the command.

@@ -84,6 +84,11 @@ struct Reply {
   /// the tick after its submission took 1 tick (the clock advances at
   /// the end of each tick, after outcomes settle).
   uint64_t latency_ticks = 0;
+  /// Sub-tick data-plane latency in micros (service time + queueing +
+  /// network hop), from the timed Settle path. 0 when the request never
+  /// reached the data plane (proxy cache hit, throttle) or when the
+  /// latency subsystem is disabled — fall back to LatencyTicks() then.
+  Micros latency_micros = 0;
 
   bool ok() const { return status.ok(); }
 
@@ -91,6 +96,8 @@ struct Reply {
   Micros latency() const { return completed_at - issued_at; }
 
   uint64_t LatencyTicks() const { return latency_ticks; }
+
+  Micros LatencyMicros() const { return latency_micros; }
 };
 
 }  // namespace abase

@@ -1,0 +1,90 @@
+// DecayingHistogram — an exponentially-bucketed histogram whose weights
+// decay multiplicatively each tick, so percentile queries track the
+// *recent* latency distribution instead of the whole run. The hedging
+// policy reads its per-tenant p95 threshold from one of these: a tenant
+// whose tail moved a minute ago should hedge against today's tail, not
+// the run-cumulative one.
+//
+// Same bucketization as common/histogram.h (geometric, growth 1.3) but
+// with double weights. All operations are deterministic: Add and Decay
+// are called only from serial pipeline sections, in delivery order.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace abase {
+namespace latency {
+
+class DecayingHistogram {
+ public:
+  explicit DecayingHistogram(double max_value = 1e9, double decay = 0.9,
+                             double growth = 1.3)
+      : decay_(decay), growth_(growth) {
+    double bound = 1.0;
+    bounds_.push_back(bound);
+    while (bound < max_value) {
+      bound *= growth_;
+      bounds_.push_back(bound);
+    }
+    weights_.assign(bounds_.size(), 0.0);
+  }
+
+  void Add(double value, double weight = 1.0) {
+    if (value < 0) value = 0;
+    weights_[BucketFor(value)] += weight;
+    total_ += weight;
+  }
+
+  /// One decay step (call once per tick): every bucket's weight shrinks
+  /// by the decay factor, so a sample's influence halves roughly every
+  /// log(0.5)/log(decay) ticks.
+  void Decay() {
+    if (total_ <= 0) return;
+    for (double& w : weights_) w *= decay_;
+    total_ *= decay_;
+    // Flush denormal-scale residue so an idle histogram settles to
+    // exactly empty instead of decaying forever.
+    if (total_ < 1e-9) Reset();
+  }
+
+  void Reset() {
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    total_ = 0;
+  }
+
+  double total_weight() const { return total_; }
+
+  /// Upper bound of the bucket containing the p-th percentile of the
+  /// current (decayed) weight mass; 0 when empty.
+  double Percentile(double p) const {
+    if (total_ <= 0) return 0;
+    const double target = total_ * std::min(100.0, std::max(0.0, p)) / 100.0;
+    double acc = 0;
+    for (size_t i = 0; i < weights_.size(); i++) {
+      acc += weights_[i];
+      if (acc >= target) return bounds_[i];
+    }
+    return bounds_.back();
+  }
+
+ private:
+  size_t BucketFor(double value) const {
+    if (value <= bounds_.front()) return 0;
+    if (value >= bounds_.back()) return bounds_.size() - 1;
+    const size_t idx = static_cast<size_t>(
+        std::ceil(std::log(value) / std::log(growth_)));
+    return std::min(idx, bounds_.size() - 1);
+  }
+
+  double decay_;
+  double growth_;
+  std::vector<double> bounds_;
+  std::vector<double> weights_;
+  double total_ = 0;
+};
+
+}  // namespace latency
+}  // namespace abase

@@ -1,0 +1,77 @@
+#include "latency/gray_detector.h"
+
+#include <algorithm>
+
+namespace abase {
+namespace latency {
+
+void GrayFailureDetector::ObserveTick(NodeId node,
+                                      uint64_t latency_sum_micros,
+                                      uint64_t count) {
+  if (!options_.enabled || count == 0) return;
+  NodeStat& st = nodes_[node];
+  st.tick_sum += latency_sum_micros;
+  st.tick_count += count;
+}
+
+std::vector<GrayFailureDetector::Transition> GrayFailureDetector::Evaluate() {
+  std::vector<Transition> transitions;
+  if (!options_.enabled || nodes_.empty()) return transitions;
+
+  // Fold this tick's means into the EWMAs (node-id order).
+  for (auto& [id, st] : nodes_) {
+    if (st.tick_count >= options_.min_samples) {
+      const double mean = static_cast<double>(st.tick_sum) /
+                          static_cast<double>(st.tick_count);
+      if (st.has_ewma) {
+        st.ewma += options_.ewma_alpha * (mean - st.ewma);
+      } else {
+        st.ewma = mean;
+        st.has_ewma = true;
+      }
+    }
+    st.tick_sum = 0;
+    st.tick_count = 0;
+  }
+
+  // Fleet median over every node with an EWMA. nth_element would be
+  // cheaper but the fleet is small and full sort keeps ties exact.
+  median_scratch_.clear();
+  for (const auto& [id, st] : nodes_) {
+    if (st.has_ewma) median_scratch_.push_back(st.ewma);
+  }
+  if (median_scratch_.empty()) return transitions;
+  std::sort(median_scratch_.begin(), median_scratch_.end());
+  fleet_median_ = median_scratch_[median_scratch_.size() / 2];
+  if (fleet_median_ <= 0) return transitions;
+
+  // Hysteresis streaks and state flips, node-id order.
+  for (auto& [id, st] : nodes_) {
+    if (!st.has_ewma) continue;
+    if (!st.gray) {
+      if (st.ewma > options_.slow_factor * fleet_median_) {
+        if (++st.streak >= options_.consecutive_ticks) {
+          st.gray = true;
+          st.streak = 0;
+          transitions.push_back(Transition{id, true});
+        }
+      } else {
+        st.streak = 0;
+      }
+    } else {
+      if (st.ewma < options_.recover_factor * fleet_median_) {
+        if (++st.streak >= options_.consecutive_ticks) {
+          st.gray = false;
+          st.streak = 0;
+          transitions.push_back(Transition{id, false});
+        }
+      } else {
+        st.streak = 0;
+      }
+    }
+  }
+  return transitions;
+}
+
+}  // namespace latency
+}  // namespace abase

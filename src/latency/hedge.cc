@@ -1,0 +1,33 @@
+#include "latency/hedge.h"
+
+namespace abase {
+namespace latency {
+
+HedgeDecision EvaluateHedge(Micros threshold, Micros primary_vt,
+                            bool alt_available, Micros alt_vt,
+                            double alt_ru) {
+  HedgeDecision d;
+  d.effective_micros = primary_vt;
+  if (threshold <= 0 || primary_vt <= threshold) return d;  // Never armed.
+  if (!alt_available) {
+    // Armed, but the alternate replica cannot serve (dead, demoted,
+    // absent): the hedge is cancelled before launch. No second
+    // execution, no extra RU — the client just waits out the primary.
+    d.hedged = true;
+    return d;
+  }
+  // The hedge launches the moment the threshold elapses; the alternate's
+  // clock starts there.
+  const Micros alt_total = threshold + alt_vt;
+  d.hedged = true;
+  d.cancelled = true;  // Whichever copy loses is cancelled...
+  d.extra_ru = alt_ru;  // ...but already did (and charges for) its work.
+  if (alt_total < primary_vt) {
+    d.hedge_won = true;
+    d.effective_micros = alt_total;
+  }
+  return d;
+}
+
+}  // namespace latency
+}  // namespace abase

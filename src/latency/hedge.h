@@ -1,0 +1,104 @@
+// Hedged (speculative) replica reads for the kEventual path.
+//
+// When a primary read's elapsed virtual time crosses the tenant's hedge
+// threshold — the observed latency quantile from a decaying histogram —
+// the proxy launches a second copy of the read at an alternate replica
+// and takes whichever completes first, cancelling the loser. Both
+// executions consume RU (the losing replica did the work before the
+// cancel reached it), which is the cost the bench gate bounds at +10%.
+//
+// The hedge state machine is evaluated analytically at settlement
+// (EvaluateHedge is a pure function — unit-testable without a cluster):
+//
+//   primary_vt <= threshold            -> no hedge, primary wins
+//   primary_vt  > threshold, no alt    -> hedge cancelled before launch
+//                                         (no extra RU, primary latency)
+//   primary_vt  > threshold, alt alive -> effective = min(primary_vt,
+//                                         threshold + alt_vt); the loser
+//                                         is cancelled but still charged
+#pragma once
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "latency/decaying_histogram.h"
+
+namespace abase {
+namespace latency {
+
+struct HedgePolicy {
+  bool enabled = false;
+  /// Latency quantile (percent) of the tenant's recent distribution that
+  /// arms the hedge. 95 = hedge the slowest ~5% of reads.
+  double quantile = 95.0;
+  /// Threshold floor: never hedge before this much elapsed time, however
+  /// tight the observed distribution (guards against hedging everything
+  /// when the tenant is uniformly fast).
+  Micros min_threshold_micros = 200;
+  /// Observed-latency mass required before the first hedge fires: an
+  /// unwarmed histogram gives a garbage quantile.
+  double min_observations = 64;
+  /// Per-tick decay of the observation histogram (see DecayingHistogram).
+  double decay = 0.95;
+};
+
+/// Outcome of one hedge evaluation (see the state machine above).
+struct HedgeDecision {
+  bool hedged = false;     ///< A second read was launched.
+  bool hedge_won = false;  ///< The alternate replica completed first.
+  /// The launched loser was cancelled (always true once both copies ran;
+  /// false when the hedge was cancelled before launch — dead alternate).
+  bool cancelled = false;
+  Micros effective_micros = 0;  ///< Client-visible virtual time.
+  double extra_ru = 0;          ///< RU charged beyond the primary read.
+};
+
+/// Pure hedge evaluation. `threshold` <= 0 disables (unwarmed histogram).
+/// `alt_vt` is the alternate's full virtual time from hedge launch
+/// (service + hop); `alt_ru` what its execution would charge.
+HedgeDecision EvaluateHedge(Micros threshold, Micros primary_vt,
+                            bool alt_available, Micros alt_vt, double alt_ru);
+
+/// Per-tenant hedging state: the decaying observation histogram and the
+/// threshold frozen at the last tick boundary. Settlement evaluates every
+/// hedge in a tick against the *frozen* threshold — observations landing
+/// earlier in the same tick must not move the bar mid-tick, or delivery
+/// order would feed back into itself.
+class Hedger {
+ public:
+  explicit Hedger(HedgePolicy policy = {})
+      : policy_(policy), observed_(1e9, policy.decay) {}
+
+  const HedgePolicy& policy() const { return policy_; }
+
+  /// Records one settled read latency (serial sections only).
+  void Observe(Micros latency) {
+    observed_.Add(static_cast<double>(latency));
+  }
+
+  /// Tick boundary: refreeze the threshold from the decayed histogram.
+  void EndTick() {
+    observed_.Decay();
+    if (!policy_.enabled ||
+        observed_.total_weight() < policy_.min_observations) {
+      threshold_ = 0;
+      return;
+    }
+    threshold_ = std::max(
+        policy_.min_threshold_micros,
+        static_cast<Micros>(observed_.Percentile(policy_.quantile)));
+  }
+
+  /// The hedge-arming threshold for the current tick (0 = hedging off).
+  Micros threshold() const { return threshold_; }
+
+  const DecayingHistogram& observed() const { return observed_; }
+
+ private:
+  HedgePolicy policy_;
+  DecayingHistogram observed_;
+  Micros threshold_ = 0;
+};
+
+}  // namespace latency
+}  // namespace abase

@@ -1,0 +1,57 @@
+// Cluster-level options of the sub-tick latency subsystem.
+//
+// Master-gated by `enabled`: when false (the default), the simulator
+// settles responses exactly as the seed did — fixed forward-hop latency,
+// node-id delivery order, no hedging, no gray detection — so every
+// golden digest recorded before this subsystem existed still matches.
+// When true, each response carries a virtual completion time (sampled
+// service time + WFQ backlog + disk + cross-AZ RTT) and Settle delivers
+// in (virtual_time, req_id) order, which is where hedging, gray-failure
+// detection, and SLO accounting hang.
+//
+// The node-side half (service-time distributions) lives in
+// DataNodeOptions::service_time; this struct owns the cluster-visible
+// half: AZ topology, the node<->proxy RTT classes, the hedge policy, the
+// gray detector, and the SLO target.
+#pragma once
+
+#include "common/clock.h"
+#include "latency/gray_detector.h"
+#include "latency/hedge.h"
+
+namespace abase {
+namespace latency {
+
+/// Round-trip-time classes of the proxy<->node hop. In-AZ hops ride the
+/// datacenter fabric; cross-AZ hops pay the inter-AZ fiber.
+struct RttOptions {
+  Micros same_az_micros = 120;   ///< Matches the seed's forward hop.
+  Micros cross_az_micros = 900;  ///< Typical intra-region cross-AZ RTT.
+};
+
+struct LatencyOptions {
+  /// Master gate for the whole subsystem (see the header comment).
+  bool enabled = false;
+  /// Availability zones nodes and proxies are striped across (round
+  /// robin by index). 3 matches the paper's deployment.
+  uint32_t num_azs = 3;
+  RttOptions rtt;
+  HedgePolicy hedge;
+  GrayDetectorOptions gray;
+  /// Per-tenant SLO: a settled client latency above this target counts
+  /// one violation toward TenantTickMetrics::slo_violations.
+  /// TenantConfig::slo_target_micros overrides per tenant; 0 disables.
+  Micros slo_target_micros = 5000;
+  /// SLO objective (fraction of requests that must meet the target).
+  /// Burn rate = violation_rate / (1 - objective); >1 burns error
+  /// budget faster than the objective allows.
+  double slo_objective = 0.99;
+};
+
+/// Cross-AZ RTT of one proxy<->node pair.
+inline Micros RttBetween(const RttOptions& rtt, uint32_t az_a, uint32_t az_b) {
+  return az_a == az_b ? rtt.same_az_micros : rtt.cross_az_micros;
+}
+
+}  // namespace latency
+}  // namespace abase

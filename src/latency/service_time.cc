@@ -1,0 +1,68 @@
+#include "latency/service_time.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace abase {
+namespace latency {
+
+const char* DistKindName(DistKind kind) {
+  switch (kind) {
+    case DistKind::kFixed:
+      return "fixed";
+    case DistKind::kExponential:
+      return "exponential";
+    case DistKind::kLognormal:
+      return "lognormal";
+  }
+  return "?";
+}
+
+ServiceTimeModel::ServiceTimeModel(const ServiceTimeOptions& options)
+    : options_(options) {
+  const double mean = std::max(1.0, options_.mean_micros);
+  const double sigma = std::max(0.0, options_.sigma);
+  lognormal_mu_ = std::log(mean) - 0.5 * sigma * sigma;
+}
+
+double ServiceTimeModel::Uniform(uint64_t seed, uint64_t stream,
+                                 uint64_t draw) {
+  // Counter-mode: one splitmix64 finalizer chain per draw. The 53 high
+  // bits give a uniform double in [0, 1).
+  const uint64_t h = MixSeed(MixSeed(seed, stream), draw);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Micros ServiceTimeModel::Sample(uint64_t stream, uint64_t req_id) const {
+  const double mean = std::max(1.0, options_.mean_micros);
+  double micros = mean;
+  switch (options_.dist) {
+    case DistKind::kFixed:
+      break;
+    case DistKind::kExponential: {
+      // Inverse CDF. 1-u is in (0, 1], so the log argument never hits 0.
+      const double u = Uniform(options_.seed, stream, req_id * 2);
+      micros = -mean * std::log1p(-u);
+      break;
+    }
+    case DistKind::kLognormal: {
+      // Box-Muller on two independent counter draws. u1 is flipped to
+      // (0, 1] so log(u1) is finite.
+      const double u1 = 1.0 - Uniform(options_.seed, stream, req_id * 2);
+      const double u2 = Uniform(options_.seed, stream, req_id * 2 + 1);
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      micros = std::exp(lognormal_mu_ + options_.sigma * z);
+      break;
+    }
+  }
+  // Floor at 1us; cap at 100x mean so a single astronomically unlucky
+  // draw cannot dominate every percentile above it.
+  micros = std::min(micros, 100.0 * mean);
+  return static_cast<Micros>(std::max(1.0, micros));
+}
+
+}  // namespace latency
+}  // namespace abase

@@ -38,6 +38,11 @@ struct TenantConfig {
   double partition_quota_upper = 50000;
   /// Partition quota floor kept after down-scaling (Algorithm 1's LOWER).
   double partition_quota_lower = 200;
+  /// Per-tenant latency SLO target in micros: a settled client latency
+  /// above it counts one violation toward the tenant's SLO burn rate
+  /// (latency subsystem). 0 = use the cluster default
+  /// (LatencyOptions::slo_target_micros).
+  int64_t slo_target_micros = 0;
 };
 
 /// Placement of one partition: replica nodes; index 0 is the primary.

@@ -45,8 +45,23 @@ DataNode::DataNode(NodeId id, DataNodeOptions options, const Clock* clock)
       cache_(options.cache, clock),
       disk_(options.disk),
       wfq_(options.wfq),
+      service_model_(options.service_time),
       rng_(MixSeed(options.seed, static_cast<uint64_t>(id))) {
   assert(clock_ != nullptr);
+}
+
+Micros DataNode::SampleServiceMicros(TenantId tenant, uint64_t req_id) const {
+  // Stream per (node, tenant): draws are independent across both axes.
+  Micros micros =
+      service_model_.enabled()
+          ? service_model_.Sample(
+                MixSeed(static_cast<uint64_t>(id_), tenant), req_id)
+          : options_.cpu_service_micros;
+  if (service_degradation_ != 1.0) {
+    micros = static_cast<Micros>(
+        static_cast<double>(micros) * service_degradation_);
+  }
+  return micros;
 }
 
 // ---------------------------------------------------------------------------
@@ -546,14 +561,30 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   // and any disk service time. Sub-millisecond at light load; tens of
   // milliseconds near saturation; seconds only once the node is
   // genuinely backlogged across ticks.
+  //
+  // With the sampled service-time model enabled (latency subsystem), the
+  // fixed base is replaced by a stateless per-request draw — a pure hash
+  // of (seed, node, tenant, req_id), so the value is identical whichever
+  // worker runs this node's tick — and the whole node-side latency is
+  // scaled by the gray-failure degradation factor.
   double util = std::min(0.98, tick_stats_.wfq.cpu_ru_used /
                                    std::max(1.0, options_.wfq.cpu_budget_ru));
   Micros queueing = static_cast<Micros>(
       static_cast<double>(options_.cpu_service_micros) * 2.0 * util /
       (1.0 - util));
-  resp.latency = options_.cpu_service_micros + queueing +
-                 static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond +
-                 extra_latency;
+  Micros base = options_.cpu_service_micros;
+  if (service_model_.enabled()) {
+    base = service_model_.Sample(
+        MixSeed(static_cast<uint64_t>(id_), req.tenant), req.req_id);
+  }
+  Micros latency = base + queueing +
+                   static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond +
+                   extra_latency;
+  if (service_degradation_ != 1.0) {
+    latency = static_cast<Micros>(
+        static_cast<double>(latency) * service_degradation_);
+  }
+  resp.latency = latency;
   return resp;
 }
 

@@ -22,6 +22,7 @@
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "latency/service_time.h"
 #include "node/request.h"
 #include "quota/quota.h"
 #include "ru/request_unit.h"
@@ -45,6 +46,12 @@ struct DataNodeOptions {
   /// deadline error instead of waiting forever (bounded backlog).
   int queue_timeout_ticks = 2;
   Micros cpu_service_micros = 150;  ///< Base CPU service time per request.
+  /// Sampled per-request service-time distribution (latency subsystem).
+  /// Disabled = the fixed cpu_service_micros base above, bit-identical
+  /// to the seed. When enabled, the sampled draw REPLACES the fixed base
+  /// while the WFQ-backlog, queueing-factor, and disk terms still add on
+  /// top; mean_micros defaults to cpu_service_micros scale.
+  latency::ServiceTimeOptions service_time;
   sched::DualWfqOptions wfq;
   storage::DiskOptions disk;
   storage::LsmOptions lsm;
@@ -210,6 +217,22 @@ class DataNode {
   uint32_t az() const { return az_; }
   void set_az(uint32_t az) { az_ = az; }
 
+  /// Gray-failure injection: every served request's latency is
+  /// multiplied by `factor` (1.0 = healthy). The node stays kAlive and
+  /// keeps serving — this is the slow-but-not-dead failure mode the
+  /// gray detector exists to catch. Call between ticks (serial).
+  void SetServiceDegradation(double factor) {
+    service_degradation_ = factor < 0 ? 0 : factor;
+  }
+  double service_degradation() const { return service_degradation_; }
+
+  /// One stateless service-time draw as this node would charge tenant
+  /// `tenant` for request `req_id`, degradation included. Used by the
+  /// Settle stage to price the alternate leg of a hedged read without
+  /// executing it. Falls back to cpu_service_micros when the sampled
+  /// model is disabled.
+  Micros SampleServiceMicros(TenantId tenant, uint64_t req_id) const;
+
   /// The node's private deterministic RNG stream (seeded from
   /// DataNodeOptions::seed and the node id). The only randomness source a
   /// node-tick code path may use.
@@ -318,6 +341,10 @@ class DataNode {
   double total_partition_quota_ = 0;  ///< Cached wPartition denominator.
   ru::RuEstimator ru_model_;
   bool quota_enforcement_ = true;
+  /// Stateless sampled service-time model (latency subsystem); inert
+  /// unless options_.service_time.enabled.
+  latency::ServiceTimeModel service_model_;
+  double service_degradation_ = 1.0;  ///< Gray-failure multiplier.
 
   Rng rng_;  ///< Per-node stream; see DataNodeOptions::seed.
   /// In-flight requests live in a slab; the scheduler carries the slot

@@ -123,6 +123,13 @@ class Proxy {
 
   ProxyId id() const { return id_; }
   TenantId tenant() const { return tenant_; }
+
+  /// Availability zone this proxy instance runs in (latency subsystem:
+  /// the node<->proxy hop pays the cross-AZ RTT class when the serving
+  /// node lives in a different zone). Assigned by the deployment.
+  uint32_t az() const { return az_; }
+  void set_az(uint32_t az) { az_ = az; }
+
   const ProxyStats& stats() const { return stats_; }
   const cache::AuLruCache& cache() const { return cache_; }
   const ru::RuEstimator& ru_estimator() const { return ru_; }
@@ -134,6 +141,7 @@ class Proxy {
 
   ProxyId id_;
   TenantId tenant_;
+  uint32_t az_ = 0;
   ProxyOptions options_;
   const Clock* clock_;
   std::function<PartitionId(const std::string&)> partition_of_;

@@ -18,7 +18,10 @@ std::unique_ptr<Executor> MakeExecutor(int workers) {
 }  // namespace
 
 ClusterSim::ClusterSim(SimOptions options)
-    : options_(options), clock_(0), rng_(options.seed) {
+    : options_(options),
+      clock_(0),
+      rng_(options.seed),
+      gray_detector_(options.latency.gray) {
   meta_ = std::make_unique<meta::MetaServer>(&clock_);
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<TraceWriter>(options_.trace_path);
@@ -46,7 +49,7 @@ PoolId ClusterSim::AddPool(size_t num_nodes) {
 PoolId ClusterSim::AddPool(size_t num_nodes,
                            const node::DataNodeOptions& node_options) {
   std::vector<node::DataNode*> raw;
-  constexpr uint32_t kAvailabilityZones = 3;
+  const uint32_t kAvailabilityZones = std::max(1u, options_.latency.num_azs);
   node::DataNodeOptions opts = node_options;
   for (size_t i = 0; i < num_nodes; i++) {
     // Each node gets its own deterministic RNG stream derived from the
@@ -91,7 +94,16 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
     // tenant (they key the sim-wide in-flight table).
     rt.proxies.back()->set_refresh_id_allocator(
         [this] { return AllocateRefreshId(); });
+    // Proxies stripe across AZs like nodes do; the node<->proxy hop pays
+    // the cross-AZ RTT class when the zones differ (latency subsystem).
+    rt.proxies.back()->set_az(p % std::max(1u, options_.latency.num_azs));
   }
+  // Latency-subsystem per-tenant state: hedge policy from the cluster
+  // options, SLO target from the tenant config (cluster default when 0).
+  rt.hedger = latency::Hedger(options_.latency.hedge);
+  rt.slo_target = config.slo_target_micros > 0
+                      ? config.slo_target_micros
+                      : options_.latency.slo_target_micros;
   // Seed the tenant's epoch-stamped routing cache. From here on the
   // proxy plane routes from this table; it refreshes only by chasing a
   // redirect after a placement change makes a cached entry unroutable.
@@ -322,13 +334,45 @@ node::DataNode* ClusterSim::PickReplicaForRead(TenantRuntime& rt,
   const size_t count = reps.size();
   if (count == 0) return nullptr;
   const uint64_t start = rt.replica_read_rr;
+  // Gray demotion (latency subsystem): a node the detector flagged slow
+  // is skipped as long as a healthy replica exists — the fallback pass
+  // below still takes a gray replica over Unavailable. With the
+  // subsystem off the gray set is empty and this is the seed behavior.
+  bool demote = options_.latency.enabled &&
+                options_.latency.gray.demote_routing &&
+                gray_detector_.GrayCount() > 0;
+  // Canary probe: every Nth eventual read ignores the demotion so a
+  // flagged node keeps producing latency samples — the only way its
+  // recovery can ever be observed.
+  if (demote && options_.latency.gray.probe_interval > 0) {
+    if (rt.eventual_read_seq++ %
+            static_cast<uint64_t>(options_.latency.gray.probe_interval) ==
+        0) {
+      demote = false;
+    }
+  } else if (demote) {
+    rt.eventual_read_seq++;
+  }
+  node::DataNode* gray_fallback = nullptr;
+  uint64_t gray_fallback_advance = 0;
   for (size_t i = 0; i < count; i++) {
     node::DataNode* n =
         FindNode(reps[static_cast<size_t>((start + i) % count)]);
     if (n != nullptr && n->CanServe() && n->HasReplica(tenant, partition)) {
+      if (demote && gray_detector_.IsGray(n->id())) {
+        if (gray_fallback == nullptr) {
+          gray_fallback = n;
+          gray_fallback_advance = start + i + 1;
+        }
+        continue;
+      }
       rt.replica_read_rr = start + i + 1;
       return n;
     }
+  }
+  if (gray_fallback != nullptr) {
+    rt.replica_read_rr = gray_fallback_advance;
+    return gray_fallback;
   }
   return nullptr;
 }
@@ -476,7 +520,8 @@ void ClusterSim::SweepExpiredOutcomes() {
   }
 }
 
-void ClusterSim::DeliverResponse(const NodeResponse& resp) {
+void ClusterSim::DeliverResponse(const NodeResponse& resp,
+                                 const ResponseTiming* timing) {
   TenantId tenant = resp.tenant;
   size_t proxy_index = 0;
   bool known_forward = false;
@@ -499,11 +544,17 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
   }
   if (resp.background_refresh) return;  // Not client-visible.
 
+  // Legacy path: node latency + the flat forward hop. Timed path: the
+  // precomputed virtual time (RTT class + hedge adjustment included).
+  Micros client_latency =
+      timing != nullptr ? timing->client_latency
+                        : resp.latency + options_.proxy.forward_hop_latency;
+
   if (track_outcome) {
-    PublishOutcome(resp.req_id, ClientOutcome{resp.status, resp.value});
+    PublishOutcome(resp.req_id,
+                   ClientOutcome{resp.status, resp.value, client_latency});
   }
 
-  Micros client_latency = resp.latency + options_.proxy.forward_hop_latency;
   // NotFound is a successfully-served answer, not a failure.
   if (resp.status.ok() || resp.status.IsNotFound()) {
     rt.current.ok++;
@@ -511,6 +562,17 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
     rt.current.latency_max = std::max(rt.current.latency_max, client_latency);
     rt.current.latency_count++;
     rt.latency_hist.Add(static_cast<double>(client_latency));
+    if (timing != nullptr) {
+      rt.tick_latency_hist.Add(static_cast<double>(client_latency));
+      rt.hedger.Observe(client_latency);
+      if (rt.slo_target > 0 && client_latency > rt.slo_target) {
+        rt.current.slo_violations++;
+      }
+      if (timing->hedged) {
+        rt.current.hedged_reads++;
+        if (timing->hedge_won) rt.current.hedge_wins++;
+      }
+    }
     if (IsReadOp(resp.op)) {
       rt.current.reads_completed++;
       if (resp.served_by == ServedBy::kNodeCache) {
@@ -544,6 +606,11 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp) {
     if (resp.status.IsUnavailable()) rt.current.unavailable++;
   }
   rt.current.ru_charged += resp.actual_ru;
+  // The cancelled hedge leg did real work before the cancel landed; its
+  // RU charge is the price of the tail cut (bench-gated at <= +10%).
+  if (timing != nullptr && timing->extra_ru > 0) {
+    rt.current.ru_charged += timing->extra_ru;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -557,7 +624,14 @@ void ClusterSim::RunTicks(size_t n) {
 }
 
 void ClusterSim::FinalizeTickMetrics() {
+  const bool timed = options_.latency.enabled;
   for (auto& [tid, rt] : tenants_) {
+    if (timed && rt.tick_latency_hist.count() > 0) {
+      rt.current.latency_p50 = rt.tick_latency_hist.P50();
+      rt.current.latency_p95 = rt.tick_latency_hist.Percentile(95);
+      rt.current.latency_p99 = rt.tick_latency_hist.P99();
+      rt.tick_latency_hist.Reset();
+    }
     rt.history.push_back(rt.current);
     rt.current = TenantTickMetrics{};
   }

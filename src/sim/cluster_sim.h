@@ -59,6 +59,9 @@
 #include "common/time_series.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "latency/gray_detector.h"
+#include "latency/hedge.h"
+#include "latency/options.h"
 #include "meta/meta_server.h"
 #include "node/data_node.h"
 #include "proxy/fanout_router.h"
@@ -145,6 +148,12 @@ struct SimOptions {
   /// Modeled streaming bandwidth of an online partition split: bytes of
   /// re-hashed key range exported from each parent primary per tick.
   uint64_t split_bytes_per_tick = 32ull << 20;
+  /// Sub-tick latency subsystem (latency/options.h): AZ/RTT classes,
+  /// hedged replica reads, gray-failure detection, SLO accounting.
+  /// Disabled by default — the data plane then settles exactly as the
+  /// seed did (golden digests unchanged). Enable together with
+  /// node.service_time for non-degenerate service times.
+  latency::LatencyOptions latency;
 };
 
 /// Per-tenant autoscaling mode for the closed control loop.
@@ -183,6 +192,18 @@ struct TenantTickMetrics {
   double latency_sum = 0;  ///< Micros, over ok responses.
   Micros latency_max = 0;
   uint64_t latency_count = 0;
+  // -- Latency subsystem (all zero while SimOptions::latency is off) --------
+  uint64_t hedged_reads = 0;  ///< Eventual reads whose hedge was armed.
+  uint64_t hedge_wins = 0;    ///< Hedges where the alternate won the race.
+  /// Settled requests whose client latency exceeded the tenant's SLO
+  /// target this tick (the burn counter).
+  uint64_t slo_violations = 0;
+  /// Client-latency percentiles of this tick, in micros, from the
+  /// per-tick histogram (0 when the subsystem is off or the tick served
+  /// nothing).
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
 
   double SuccessQps(double tick_seconds) const {
     return static_cast<double>(ok) / tick_seconds;
@@ -224,10 +245,22 @@ struct TenantRuntime {
   /// Round-robin cursor for eventual-consistency replica reads (advanced
   /// only in RouteStage's serial resolve pass).
   uint64_t replica_read_rr = 0;
+  /// Eventual reads resolved while gray demotion is active; drives the
+  /// canary-probe cadence (GrayDetectorOptions::probe_interval).
+  uint64_t eventual_read_seq = 0;
   std::unique_ptr<WorkloadGenerator> workload;
   TenantTickMetrics current;
   std::vector<TenantTickMetrics> history;
   Histogram latency_hist{1e9};  ///< Cumulative client latency (us).
+  /// Per-tick client-latency histogram (latency subsystem): filled by
+  /// the timed Settle path, folded into latency_p50/p95/p99 and reset by
+  /// FinalizeTickMetrics. Untouched while the subsystem is off.
+  Histogram tick_latency_hist{1e9};
+  /// Per-tenant hedged-read state (threshold histogram + frozen
+  /// threshold); policy copied from SimOptions::latency.hedge.
+  latency::Hedger hedger;
+  /// Resolved SLO target: TenantConfig override or the cluster default.
+  Micros slo_target = 0;
   uint64_t value_bytes_sum = 0;
   uint64_t value_bytes_count = 0;
 
@@ -346,6 +379,32 @@ class ClusterSim {
 
   /// Nodes currently not serving (failed or recovering).
   size_t DownNodeCount() const;
+
+  // -- Gray failures (latency subsystem) -----------------------------------
+
+  /// Injects a gray failure: the node stays alive and keeps answering,
+  /// but every served request is `factor` times slower. 1.0 restores
+  /// full health. Effective immediately (call between ticks); the gray
+  /// detector notices through the latency signal alone — there is no
+  /// crash event for the failure detector to see.
+  void DegradeNode(NodeId node, double factor);
+
+  /// Whether the gray detector currently flags `node` as slow.
+  bool IsNodeGray(NodeId node) const { return gray_detector_.IsGray(node); }
+
+  /// Nodes currently flagged gray.
+  size_t GrayNodeCount() const { return gray_detector_.GrayCount(); }
+
+  /// The gray detector (EWMAs, fleet median — for tests and benches).
+  const latency::GrayFailureDetector& gray_detector() const {
+    return gray_detector_;
+  }
+
+  /// SLO burn rate of the tenant over the last `window_ticks` ticks of
+  /// settled history: (violations / settled) / (1 - slo_objective).
+  /// 1.0 = burning error budget exactly at the objective's rate; above
+  /// 1.0 the tenant will exhaust its budget early. 0 when idle.
+  double SloBurnRate(TenantId tenant, size_t window_ticks) const;
 
   /// Report of the most recent failover promotion (re-replication plan,
   /// promoted-primary count, lost-write window), if any has happened.
@@ -506,7 +565,42 @@ class ClusterSim {
   /// Drops parked outcomes older than SimOptions::outcome_ttl_ticks.
   void SweepExpiredOutcomes();
 
-  void DeliverResponse(const NodeResponse& resp);
+  /// Timing attached to a response by the timed Settle path (nullptr on
+  /// the legacy path — the latency subsystem disabled).
+  struct ResponseTiming {
+    Micros client_latency = 0;  ///< Virtual time incl. RTT and hedging.
+    bool hedged = false;
+    bool hedge_won = false;
+    double extra_ru = 0;  ///< The cancelled hedge leg's RU charge.
+  };
+
+  void DeliverResponse(const NodeResponse& resp,
+                       const ResponseTiming* timing = nullptr);
+
+  /// The timed Settle path (SimOptions::latency.enabled): computes each
+  /// response's virtual completion time (node service + WFQ backlog +
+  /// disk + cross-AZ RTT, hedge-adjusted), delivers in (virtual_time,
+  /// req_id) order, feeds the hedger/SLO/gray-detector signals, and
+  /// advances the per-tenant hedge thresholds. Serial barrier section.
+  /// Defined in sim/latency_settle.cc.
+  void SettleWithTiming(TickContext& ctx);
+
+  /// Applies the gray detector's pending transitions (runs in the Fault
+  /// stage): routing demotion and, when configured, failover promotion /
+  /// failback through the MetaServer. Defined in sim/latency_settle.cc.
+  void ApplyGrayTransitions();
+
+  /// Alternate replica for a hedged read: the first alive, non-gray
+  /// replica of the partition other than `primary_leg`. Does not advance
+  /// the round-robin cursor. nullptr when the placement has no second
+  /// servable copy.
+  node::DataNode* PickHedgeReplica(const TenantRuntime& rt, TenantId tenant,
+                                   PartitionId partition,
+                                   NodeId primary_leg);
+
+  /// AZ of the proxy forwarding `ctx` (0 for unknown forwards).
+  uint32_t ProxyAzOf(const RequestContext& ctx) const;
+
   void FinalizeTickMetrics();
 
   /// Rebuilds a tenant's cached routing table from the MetaServer and
@@ -704,6 +798,26 @@ class ClusterSim {
   };
   std::deque<PendingMigration> migration_queue_;
   MigrationStats migration_stats_;
+  // -- Latency subsystem state ----------------------------------------------
+  latency::GrayFailureDetector gray_detector_;
+  /// One settled response awaiting ordered delivery in the timed Settle
+  /// path. Indices into TickContext::responses stay valid for the whole
+  /// stage (the buffers are not mutated until the next tick's Reset).
+  struct TimedResponse {
+    Micros virtual_time = 0;
+    uint64_t req_id = 0;
+    uint32_t node_index = 0;   ///< Outer index into ctx.responses.
+    uint32_t resp_index = 0;   ///< Inner index.
+    ResponseTiming timing;
+  };
+  std::vector<TimedResponse> timed_scratch_;  ///< Cleared per tick.
+  /// Per-node served-latency sums for the gray detector (dense node-id
+  /// index; integer micros so accumulation order cannot matter).
+  std::vector<uint64_t> gray_latency_sum_;
+  std::vector<uint64_t> gray_latency_count_;
+  /// Gray transitions observed by the detector, pending application in
+  /// the next Fault stage.
+  std::vector<latency::GrayFailureDetector::Transition> pending_gray_;
   /// Non-null when SimOptions::trace_path is set; shared by the
   /// executor (morsel slices) and the pipeline (stage slices).
   std::unique_ptr<TraceWriter> trace_;

@@ -17,6 +17,12 @@ namespace sim {
 void FaultStage::Run(TickContext&) {
   ClusterSim& sim = *sim_;
 
+  // 0. Gray-failure transitions observed by last tick's Settle land
+  //    first: a node flagged slow is demoted (and, when configured,
+  //    failed over) before this tick routes any traffic. Empty unless
+  //    the latency subsystem's gray detector is on.
+  sim.ApplyGrayTransitions();
+
   // 1. Queued fault events land, in injection order.
   for (const ClusterSim::FaultEvent& ev : sim.pending_faults_) {
     node::DataNode* n = sim.FindNode(ev.node);
@@ -405,6 +411,16 @@ void RouteStage::Run(TickContext& ctx) {
           rt->current.redirects++;
           n = sim.PickReplicaForRead(*rt, req.tenant, req.partition);
         }
+        // Hedged reads (latency subsystem): arm an alternate replica now,
+        // while routing state is hot; Settle fires it only if the primary
+        // leg's virtual time crosses the tenant's hedge threshold.
+        if (n != nullptr && sim.options_.latency.enabled &&
+            sim.options_.latency.hedge.enabled) {
+          if (node::DataNode* alt = sim.PickHedgeReplica(
+                  *rt, req.tenant, req.partition, n->id())) {
+            fwd.ctx.hedge_node = alt->id();
+          }
+        }
       } else {
         auto routable = [&](node::DataNode* dest) {
           return dest != nullptr && dest->CanServe() &&
@@ -653,9 +669,16 @@ void ReplicateStage::Run(TickContext&) {
 
 void SettleStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
-  for (const auto& node_responses : ctx.responses) {
-    for (const NodeResponse& resp : node_responses) {
-      sim.DeliverResponse(resp);
+  if (sim.options_.latency.enabled) {
+    // Timed path: virtual completion times, (virtual_time, req_id)
+    // delivery order, hedging, gray/SLO signals.
+    sim.SettleWithTiming(ctx);
+  } else {
+    // Legacy path: node-id drain order, bit-identical to the seed.
+    for (const auto& node_responses : ctx.responses) {
+      for (const NodeResponse& resp : node_responses) {
+        sim.DeliverResponse(resp);
+      }
     }
   }
 

@@ -24,6 +24,9 @@ namespace sim {
 struct ClientOutcome {
   Status status;
   std::string value;
+  /// Client-visible latency of the settled request in micros (0 when the
+  /// request never reached the data plane, e.g. proxy throttles).
+  Micros latency_micros = 0;
 };
 
 /// State the simulator keeps for a request that crossed into the data
@@ -45,6 +48,10 @@ struct RequestContext {
   /// DataNode the request was submitted to (set by Route), so a node
   /// failure can find and resolve everything stranded on it.
   NodeId node = kInvalidNode;
+  /// Alternate replica armed for a hedged read (latency subsystem): set
+  /// by Route for kEventual reads when hedging is on, consumed by Settle
+  /// if the primary leg's virtual time crosses the hedge threshold.
+  NodeId hedge_node = kInvalidNode;
 };
 
 /// A proxy-admitted request on its way to the data plane: the output of

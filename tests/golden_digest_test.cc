@@ -242,6 +242,79 @@ uint64_t RunMidRunSplitDigest(int workers) {
   return digest.value();
 }
 
+// ------------------------------------- Scenario: gray failure (timed path) --
+
+/// Extended fold for the timed Settle path: the 16 seed fields plus the
+/// latency-subsystem counters and the per-tick percentile doubles
+/// (bit-exact). Only the timed scenario uses this — the three seed
+/// scenarios keep the original fold and constants.
+void FoldHistoryTimed(Digest& d,
+                      const std::vector<sim::TenantTickMetrics>& h) {
+  FoldHistory(d, h);
+  for (const auto& m : h) {
+    d.U64(m.hedged_reads);
+    d.U64(m.hedge_wins);
+    d.U64(m.slo_violations);
+    d.F64(m.latency_p50);
+    d.F64(m.latency_p95);
+    d.F64(m.latency_p99);
+  }
+}
+
+/// The full latency subsystem live — sampled lognormal service times,
+/// cross-AZ RTT, hedged eventual reads, gray detection with routing
+/// demotion — while node 3 turns 8x slow mid-run and recovers. Delivery
+/// order, hedge decisions, and the gray flag must all be bit-identical
+/// across worker counts.
+uint64_t RunGrayFailureDigest(int workers) {
+  sim::SimOptions opt;
+  opt.seed = 777;
+  opt.data_plane_workers = workers;
+  opt.node.service_time.enabled = true;
+  opt.node.service_time.dist = latency::DistKind::kLognormal;
+  opt.node.service_time.mean_micros = 150;
+  opt.node.service_time.sigma = 1.2;
+  opt.latency.enabled = true;
+  opt.latency.hedge.enabled = true;
+  opt.latency.hedge.min_observations = 32;
+  opt.latency.gray.enabled = true;
+  opt.latency.gray.min_samples = 2;
+  opt.latency.slo_target_micros = 3000;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(6);
+
+  constexpr TenantId kTenants = 3;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    meta::TenantConfig c = GoldenTenant(t, 80000 + 5000.0 * t);
+    c.replicas = 3;
+    EXPECT_TRUE(sim.AddTenant(c, pool).ok());
+    sim.SetProxyCacheEnabled(t, false);
+    sim.PreloadKeys(t, /*num_keys=*/300, /*value_bytes=*/256);
+
+    sim::WorkloadProfile profile;
+    profile.base_qps = 150 + 40.0 * t;
+    profile.read_ratio = 0.9;
+    profile.eventual_read_fraction = 0.8;
+    profile.num_keys = 300;
+    profile.value_bytes = 256;
+    sim.SetWorkload(t, profile);
+  }
+
+  for (size_t tick = 0; tick < 30; tick++) {
+    if (tick == 8) sim.DegradeNode(3, 8.0);
+    if (tick == 20) sim.DegradeNode(3, 1.0);
+    sim.Tick();
+  }
+
+  Digest digest;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    FoldHistoryTimed(digest, sim.History(t));
+  }
+  digest.U64(sim.GrayNodeCount());
+  digest.U64(sim.IsNodeGray(3) ? 1 : 0);
+  return digest.value();
+}
+
 // ------------------------------------------------------------- The goldens --
 
 // Recorded from the seed (request-at-a-time) pipeline at commit
@@ -250,6 +323,9 @@ uint64_t RunMidRunSplitDigest(int workers) {
 constexpr uint64_t kGoldenAsyncClient = 0xd86fcf506bbc0669ull;
 constexpr uint64_t kGoldenFailover = 0x8a9f3490bacda12bull;
 constexpr uint64_t kGoldenMidRunSplit = 0x50735ee6c2fe2b3cull;
+// Recorded when the sub-tick latency subsystem landed (timed Settle
+// path, extended fold): the seed pipeline never ran this scenario.
+constexpr uint64_t kGoldenGrayFailure = 0xdc64bf5c63d5da41ull;
 
 bool Recording() { return std::getenv("GOLDEN_RECORD") != nullptr; }
 
@@ -275,6 +351,10 @@ TEST(GoldenDigestTest, MidRunFailoverMatchesSeedPipeline) {
 
 TEST(GoldenDigestTest, MidRunSplitMatchesSeedPipeline) {
   CheckScenario("mid_run_split", &RunMidRunSplitDigest, kGoldenMidRunSplit);
+}
+
+TEST(GoldenDigestTest, GrayFailureTimedSettleIsWorkerCountInvariant) {
+  CheckScenario("gray_failure", &RunGrayFailureDigest, kGoldenGrayFailure);
 }
 
 }  // namespace
