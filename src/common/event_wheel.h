@@ -1,0 +1,103 @@
+// EventWheel — a calendar/bucket timer wheel keyed by absolute tick.
+//
+// The active-set data plane (DESIGN.md "Active-set ticking") needs to
+// wake tenants at a *future* tick — the next rate-schedule boundary of a
+// parked workload, or the expiry tick of an abandoned tracked outcome —
+// without scanning anything per tick. The wheel stores events in
+// power-of-two buckets indexed by `tick & mask`; events further out than
+// one wheel revolution wait in a sorted overflow map until their tick
+// comes due. Scheduling is O(1) (amortized), popping a tick is
+// O(events due), and an idle tick touches one empty bucket.
+//
+// Determinism contract: events within a tick pop in the order they were
+// scheduled, and all scheduling/popping happens from serial pipeline
+// sections — the wheel is not internally synchronized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace abase {
+
+template <typename T>
+class EventWheel {
+ public:
+  /// `buckets` must be a power of two: the horizon of the wheel. Events
+  /// at most `buckets - 1` ticks out land in a bucket; farther events go
+  /// to the overflow map.
+  explicit EventWheel(size_t buckets = 1024)
+      : buckets_(buckets), mask_(buckets - 1) {
+    slots_.resize(buckets_);
+  }
+
+  /// Schedules `payload` to pop at `tick`. Ticks already popped clamp
+  /// forward to the next poppable tick, so no event is ever lost.
+  void ScheduleAt(uint64_t tick, T payload) {
+    if (tick < floor_) tick = floor_;
+    if (tick - floor_ < buckets_) {
+      slots_[tick & mask_].emplace_back(tick, std::move(payload));
+    } else {
+      overflow_[tick].push_back(std::move(payload));
+    }
+    size_++;
+  }
+
+  /// Pops every event due at exactly `tick`, invoking `fn(payload)` in
+  /// scheduling order (bucket events first, then overflow events — an
+  /// event `buckets` ticks out is necessarily scheduled before any
+  /// same-tick bucket event could be, but both sources preserve their
+  /// own insertion order and in practice callers sort derived id sets).
+  /// Ticks must be popped in non-decreasing order.
+  template <typename Fn>
+  void PopDue(uint64_t tick, Fn&& fn) {
+    if (tick < floor_) return;
+    // Advancing more than one revolution at once would leave stale
+    // events in skipped buckets; callers pop every tick, so each bucket
+    // is visited before its index is reused.
+    auto& bucket = slots_[tick & mask_];
+    for (auto& [due, payload] : bucket) {
+      if (due == tick) {
+        size_--;
+        fn(payload);
+      } else {
+        // An event scheduled for a later revolution of this bucket:
+        // keep it (possible only if the caller skipped ticks).
+        keep_.emplace_back(due, std::move(payload));
+      }
+    }
+    bucket.clear();
+    bucket.swap(keep_);
+    keep_.clear();
+    auto it = overflow_.find(tick);
+    if (it != overflow_.end()) {
+      for (auto& payload : it->second) {
+        size_--;
+        fn(payload);
+      }
+      overflow_.erase(it);
+    }
+    floor_ = tick + 1;
+  }
+
+  /// Number of pending events.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The next tick PopDue will accept (everything earlier has popped).
+  uint64_t floor() const { return floor_; }
+
+ private:
+  size_t buckets_;
+  size_t mask_;
+  /// Each slot holds (due_tick, payload) pairs in scheduling order.
+  std::vector<std::vector<std::pair<uint64_t, T>>> slots_;
+  std::vector<std::pair<uint64_t, T>> keep_;
+  std::map<uint64_t, std::vector<T>> overflow_;
+  uint64_t floor_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace abase

@@ -16,19 +16,15 @@ namespace abase {
 class Histogram {
  public:
   /// `max_value` is the largest representable sample; larger samples clamp.
+  /// Bucket storage is allocated lazily on the first sample, so an idle
+  /// histogram (of which a million-tenant run holds millions) costs only
+  /// the empty vectors.
   explicit Histogram(double max_value = 1e12, double growth = 1.3)
-      : growth_(growth) {
-    double bound = 1.0;
-    bounds_.push_back(bound);
-    while (bound < max_value) {
-      bound *= growth_;
-      bounds_.push_back(bound);
-    }
-    counts_.assign(bounds_.size(), 0);
-  }
+      : growth_(growth), max_value_(max_value) {}
 
   void Add(double value) {
     if (value < 0) value = 0;
+    if (bounds_.empty()) BuildBuckets();
     size_t idx = BucketFor(value);
     counts_[idx]++;
     count_++;
@@ -40,6 +36,7 @@ class Histogram {
   void Merge(const Histogram& other) {
     // Histograms must share bucketization to merge.
     if (other.count_ == 0) return;
+    if (bounds_.empty()) BuildBuckets();
     for (size_t i = 0; i < counts_.size() && i < other.counts_.size(); i++) {
       counts_[i] += other.counts_[i];
     }
@@ -94,6 +91,16 @@ class Histogram {
   double P99() const { return Percentile(99); }
 
  private:
+  void BuildBuckets() {
+    double bound = 1.0;
+    bounds_.push_back(bound);
+    while (bound < max_value_) {
+      bound *= growth_;
+      bounds_.push_back(bound);
+    }
+    counts_.assign(bounds_.size(), 0);
+  }
+
   size_t BucketFor(double value) const {
     // Binary search the first bound >= value.
     size_t lo = 0, hi = bounds_.size() - 1;
@@ -108,6 +115,7 @@ class Histogram {
   }
 
   double growth_;
+  double max_value_;
   std::vector<double> bounds_;
   std::vector<uint64_t> counts_;
   uint64_t count_ = 0;

@@ -20,20 +20,16 @@ namespace latency {
 
 class DecayingHistogram {
  public:
+  /// Bucket storage is allocated lazily on the first sample: tenants
+  /// that never observe a latency (the common case at million-tenant
+  /// scale) keep only the empty vectors.
   explicit DecayingHistogram(double max_value = 1e9, double decay = 0.9,
                              double growth = 1.3)
-      : decay_(decay), growth_(growth) {
-    double bound = 1.0;
-    bounds_.push_back(bound);
-    while (bound < max_value) {
-      bound *= growth_;
-      bounds_.push_back(bound);
-    }
-    weights_.assign(bounds_.size(), 0.0);
-  }
+      : decay_(decay), growth_(growth), max_value_(max_value) {}
 
   void Add(double value, double weight = 1.0) {
     if (value < 0) value = 0;
+    if (bounds_.empty()) BuildBuckets();
     weights_[BucketFor(value)] += weight;
     total_ += weight;
   }
@@ -71,6 +67,16 @@ class DecayingHistogram {
   }
 
  private:
+  void BuildBuckets() {
+    double bound = 1.0;
+    bounds_.push_back(bound);
+    while (bound < max_value_) {
+      bound *= growth_;
+      bounds_.push_back(bound);
+    }
+    weights_.assign(bounds_.size(), 0.0);
+  }
+
   size_t BucketFor(double value) const {
     if (value <= bounds_.front()) return 0;
     if (value >= bounds_.back()) return bounds_.size() - 1;
@@ -81,6 +87,7 @@ class DecayingHistogram {
 
   double decay_;
   double growth_;
+  double max_value_;
   std::vector<double> bounds_;
   std::vector<double> weights_;
   double total_ = 0;

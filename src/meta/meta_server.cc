@@ -85,6 +85,28 @@ node::DataNode* MetaServer::PickNodeForReplica(PoolId pool, TenantId tenant,
   return best;
 }
 
+node::DataNode* MetaServer::PickNodeStriped(PoolId pool, TenantId tenant,
+                                            PartitionId partition,
+                                            int replica) const {
+  const auto& nodes = pools_[pool];
+  if (nodes.empty()) return nullptr;
+  // Deterministic stripe: replicas of a partition start at consecutive
+  // pool slots offset by the tenant id, so bulk registration spreads
+  // evenly without consulting per-node load; the advance loop below
+  // resolves conflicts (down node, replica already placed).
+  const size_t start = (static_cast<size_t>(tenant) +
+                        static_cast<size_t>(partition) +
+                        static_cast<size_t>(replica)) %
+                       nodes.size();
+  for (size_t off = 0; off < nodes.size(); off++) {
+    node::DataNode* n = nodes[(start + off) % nodes.size()];
+    if (!n->CanServe()) continue;
+    if (n->HasReplica(tenant, partition)) continue;
+    return n;
+  }
+  return nullptr;
+}
+
 Status MetaServer::CreateTenant(const TenantConfig& config, PoolId pool) {
   if (pool >= pools_.size()) return Status::InvalidArgument("no such pool");
   if (tenants_.count(config.id) > 0) {
@@ -108,7 +130,9 @@ Status MetaServer::CreateTenant(const TenantConfig& config, PoolId pool) {
   for (PartitionId p = 0; p < config.num_partitions; p++) {
     PartitionPlacement placement;
     for (int r = 0; r < config.replicas; r++) {
-      node::DataNode* n = PickNodeForReplica(pool, config.id, p);
+      node::DataNode* n = striped_placement_
+                              ? PickNodeStriped(pool, config.id, p, r)
+                              : PickNodeForReplica(pool, config.id, p);
       if (n == nullptr) {
         return Status::ResourceExhausted("no placeable node for replica");
       }

@@ -128,6 +128,15 @@ class MetaServer {
   /// installs partition quotas on the hosting nodes.
   Status CreateTenant(const TenantConfig& config, PoolId pool);
 
+  /// Striped O(replicas) initial placement for bulk tenant registration:
+  /// CreateTenant puts replica r of partition p at pool index
+  /// (tenant + p*replicas + r) mod pool size, advancing past nodes that
+  /// are down or already host the partition, instead of scanning the
+  /// whole pool for the least-loaded node. Million-tenant registration
+  /// is quadratic without this. Splits, migrations, and failure
+  /// recovery keep the least-loaded scan either way.
+  void SetStripedPlacement(bool striped) { striped_placement_ = striped; }
+
   const TenantMeta* GetTenant(TenantId tenant) const;
   std::vector<TenantId> TenantIds() const;
 
@@ -284,6 +293,11 @@ class MetaServer {
   node::DataNode* PickNodeForReplica(PoolId pool, TenantId tenant,
                                      PartitionId partition) const;
 
+  /// Striped creation-time placement (SetStripedPlacement). Returns
+  /// nullptr if no pool node can take the replica.
+  node::DataNode* PickNodeStriped(PoolId pool, TenantId tenant,
+                                  PartitionId partition, int replica) const;
+
   /// Places one child placement per partition (children old_count + i)
   /// with replicas on live pool nodes. All-or-nothing: on any placement
   /// failure every replica staged by this call is removed from its node
@@ -321,6 +335,7 @@ class MetaServer {
   /// RestorePrimary can fail back exactly those.
   std::map<NodeId, std::vector<DemotionClaim>> demoted_;
   uint64_t demotion_seq_ = 0;
+  bool striped_placement_ = false;
 };
 
 }  // namespace meta

@@ -92,7 +92,16 @@ void DataNode::AddReplica(TenantId tenant, PartitionId partition,
 
 bool DataNode::RemoveReplica(TenantId tenant, PartitionId partition) {
   uint64_t key = ReplicaKey(tenant, partition);
-  if (replicas_.erase(key) == 0) return false;
+  auto it = replicas_.find(key);
+  if (it == replicas_.end()) return false;
+  if (it->second.ewma_listed) {
+    // Purge eagerly: a same-keyed replica re-added before the next tick's
+    // fold must not inherit a stale list entry (it would fold twice).
+    ewma_active_.erase(
+        std::remove(ewma_active_.begin(), ewma_active_.end(), key),
+        ewma_active_.end());
+  }
+  replicas_.erase(it);
   replica_index_.Erase(key);
   RecomputeTotalQuota();
   return true;
@@ -186,7 +195,9 @@ size_t DataNode::Fail() {
   for (auto& [key, rep] : replicas_) {
     rep.ru_this_tick = 0;
     rep.ru_rate = 0;
+    rep.ewma_listed = false;
   }
+  ewma_active_.clear();
   return dropped;
 }
 
@@ -320,6 +331,9 @@ void DataNode::Submit(NodeRequest req) {
   sreq.quota_share =
       total_quota > 0 ? rep->partition_quota_ru / total_quota : 1.0;
   sreq.quota_share = std::max(sreq.quota_share, 1e-6);
+  // Cache-key hash for the batched scheduler's flush-on-repeated-key
+  // rule; writes flush unconditionally, so only reads need it.
+  if (sreq.is_read) sreq.key_hash = HashString(CacheKeyFor(req));
 
   uint32_t slot;
   if (!pending_free_.empty()) {
@@ -424,6 +438,137 @@ sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
   probe.needs_io = io.block_reads > 0;
   probe.io_blocks = std::max(io.block_reads, 0);
   return probe;
+}
+
+void DataNode::ProbeBatch(const sched::SchedRequest* reqs, size_t n,
+                          sched::CacheProbe* out) {
+  // Singletons (every write, and any lone read) take the serial path —
+  // identical by construction and skips the grouping scratch.
+  if (n == 1) {
+    out[0] = ProbeRequest(reqs[0]);
+    return;
+  }
+
+  // Pass 1 in pop order: node-cache probes (cache reads must observe pop
+  // order, matching the serial path); misses queue for the engine pass.
+  batch_miss_.clear();
+  for (size_t i = 0; i < n; i++) {
+    out[i] = sched::CacheProbe{};
+    PendingContext* pit = PendingAt(reqs[i]);
+    if (pit == nullptr) {
+      // The scheduler cancel-checks at pop time; defensive all the same.
+      out[i].canceled = true;
+      continue;
+    }
+    PendingContext& ctx = *pit;
+    const NodeRequest& req = ctx.req;
+    if (!IsReadOp(req.op)) {
+      // Writes arrive as singleton batches; defensive fall-through.
+      out[i] = ProbeRequest(reqs[i]);
+      continue;
+    }
+    if (req.op == OpType::kGet || req.op == OpType::kHGetAll) {
+      Micros expire_at = 0;
+      if (const std::string* v = cache_.GetRef(CacheKeyFor(req), &expire_at)) {
+        ctx.probed = true;
+        ctx.probe_status = Status::OK();
+        ctx.probe_value.assign(*v);
+        ctx.probe_io.expire_at = expire_at;
+        out[i].hit = true;
+        out[i].needs_io = false;
+        continue;
+      }
+    }
+    batch_miss_.push_back(static_cast<uint32_t>(i));
+  }
+  if (batch_miss_.empty()) return;
+
+  // Pass 2: group misses by hosting replica and resolve each group with
+  // one MultiFind. Ordering within the pass is immaterial — engine reads
+  // mutate no data state and each request only touches its own slab
+  // slot — but grouping by replica key keeps the walk deterministic.
+  std::stable_sort(batch_miss_.begin(), batch_miss_.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return ReplicaKey(reqs[a].tenant, reqs[a].partition) <
+                            ReplicaKey(reqs[b].tenant, reqs[b].partition);
+                   });
+  constexpr size_t kMaxBatch = 64;  // WFQ flushes reads well below this.
+  std::string_view keys[kMaxBatch];
+  const storage::ValueEntry* entries[kMaxBatch];
+  storage::ReadIo ios[kMaxBatch];
+  size_t g = 0;
+  while (g < batch_miss_.size()) {
+    const uint64_t gkey =
+        ReplicaKey(reqs[batch_miss_[g]].tenant, reqs[batch_miss_[g]].partition);
+    size_t ge = g + 1;
+    while (ge < batch_miss_.size() &&
+           ReplicaKey(reqs[batch_miss_[ge]].tenant,
+                      reqs[batch_miss_[ge]].partition) == gkey &&
+           ge - g < kMaxBatch) {
+      ge++;
+    }
+    PartitionReplica& rep = *FindReplica(reqs[batch_miss_[g]].tenant,
+                                         reqs[batch_miss_[g]].partition);
+    for (size_t k = g; k < ge; k++) {
+      keys[k - g] = PendingAt(reqs[batch_miss_[k]])->req.key;
+    }
+    rep.engine->MultiFind(keys, ge - g, entries, ios);
+    for (size_t k = g; k < ge; k++) {
+      const uint32_t i = batch_miss_[k];
+      PendingContext& ctx = *PendingAt(reqs[i]);
+      const NodeRequest& req = ctx.req;
+      const storage::ValueEntry* e = entries[k - g];
+      // Per-op extraction mirroring the engine's Get/HGet/HLen/HGetAll
+      // wrappers around FindEntry (same Status messages included).
+      switch (req.op) {
+        case OpType::kGet:
+          if (e == nullptr || e->type != storage::ValueType::kString) {
+            ctx.probe_status = Status::NotFound("key absent");
+          } else {
+            ctx.probe_status = Status::OK();
+            ctx.probe_value.assign(e->str);
+          }
+          break;
+        case OpType::kHGet:
+          if (e == nullptr || e->type != storage::ValueType::kHash) {
+            ctx.probe_status = Status::NotFound("hash absent");
+          } else if (const std::string* v =
+                         storage::FindField(e->hash, req.field)) {
+            ctx.probe_status = Status::OK();
+            ctx.probe_value.assign(*v);
+          } else {
+            ctx.probe_status = Status::NotFound("field absent");
+          }
+          break;
+        case OpType::kHLen:
+          if (e == nullptr || e->type != storage::ValueType::kHash) {
+            ctx.probe_status = Status::NotFound("hash absent");
+          } else {
+            ctx.probe_status = Status::OK();
+            ctx.probe_value = std::to_string(e->hash.size());
+            ctx.probe_hash_fields = e->hash.size();
+          }
+          break;
+        case OpType::kHGetAll:
+          if (e == nullptr || e->type != storage::ValueType::kHash) {
+            ctx.probe_status = Status::NotFound("hash absent");
+          } else {
+            ctx.probe_status = Status::OK();
+            ctx.probe_hash_fields = e->hash.size();
+            ctx.probe_value = SerializeHash(e->hash);
+          }
+          break;
+        default:
+          break;
+      }
+      ctx.probed = true;
+      ctx.probe_io = ios[k - g];
+      out[i].hit = false;
+      out[i].needs_io = ios[k - g].block_reads > 0;
+      out[i].io_blocks = std::max(ios[k - g].block_reads, 0);
+    }
+    g = ge;
+  }
 }
 
 NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
@@ -555,6 +700,10 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   rep.quota->SettleActual(req.estimated_ru, resp.actual_ru);
   AddTenantRu(req.tenant, resp.actual_ru);
   rep.ru_this_tick += resp.actual_ru;
+  if (!rep.ewma_listed) {
+    rep.ewma_listed = true;
+    ewma_active_.push_back(ReplicaKey(req.tenant, req.partition));
+  }
 
   // Latency: base CPU service inflated by an M/M/1-style queueing factor
   // at high CPU utilization, plus whole ticks spent deferred (backlog)
@@ -640,7 +789,9 @@ void DataNode::Tick() {
   wfq_.set_options(wfq_opts);
 
   tick_stats_.wfq = wfq_.RunTick(
-      [this](const sched::SchedRequest& r) { return ProbeRequest(r); },
+      [this](const sched::SchedRequest* reqs, size_t n,
+             sched::CacheProbe* out) { ProbeBatch(reqs, n, out); },
+      [this](const sched::SchedRequest& r) { return PendingAt(r) == nullptr; },
       [this](const sched::SchedRequest& r, sched::SchedOutcome o) {
         CompleteRequest(r, o);
       });
@@ -650,33 +801,52 @@ void DataNode::Tick() {
   // scheduler reaches them). Expired ids are emitted in req_id order:
   // slab order depends on free-list recycling, and response order feeds
   // downstream metric accumulation — sorting keeps same-seed runs
-  // bit-identical regardless of slot reuse history.
-  auto& expired = expired_scratch_;
-  expired.clear();
-  for (uint32_t i = 0; i < pending_pool_.size(); ++i) {
-    PendingContext& ctx = pending_pool_[i];
-    if (!ctx.active) continue;
-    ctx.wait_ticks++;
-    if (ctx.wait_ticks > options_.queue_timeout_ticks) {
-      expired.emplace_back(ctx.req.req_id, i);
+  // bit-identical regardless of slot reuse history. With nothing live the
+  // whole sweep is a no-op — skip the slab walk (the slab keeps its
+  // high-water capacity long after a burst drains).
+  if (pending_live_ > 0) {
+    auto& expired = expired_scratch_;
+    expired.clear();
+    for (uint32_t i = 0; i < pending_pool_.size(); ++i) {
+      PendingContext& ctx = pending_pool_[i];
+      if (!ctx.active) continue;
+      ctx.wait_ticks++;
+      if (ctx.wait_ticks > options_.queue_timeout_ticks) {
+        expired.emplace_back(ctx.req.req_id, i);
+      }
+    }
+    std::sort(expired.begin(), expired.end());
+    for (auto [req_id, slot] : expired) {
+      PendingContext& ctx = pending_pool_[slot];
+      responses_.push_back(MakeRejection(
+          ctx.req, Status::ResourceExhausted("queue deadline exceeded"),
+          static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond));
+      ReleasePending(slot);
     }
   }
-  std::sort(expired.begin(), expired.end());
-  for (auto [req_id, slot] : expired) {
-    PendingContext& ctx = pending_pool_[slot];
-    responses_.push_back(MakeRejection(
-        ctx.req, Status::ResourceExhausted("queue deadline exceeded"),
-        static_cast<Micros>(ctx.wait_ticks) * kMicrosPerSecond));
-    ReleasePending(slot);
-  }
 
-  // Fold per-replica tick RU into the EWMA the rescheduler reads.
+  // Fold per-replica tick RU into the EWMA the rescheduler reads. Only
+  // replicas with nonzero state are listed; for every other replica the
+  // fold is 0.2*0 + 0.8*0 == 0 exactly, so skipping it is bit-identical.
+  // A decaying rate underflows to exactly 0 after a few thousand idle
+  // ticks and the replica drops off the list. Fold order across replicas
+  // does not matter: each fold touches only its own replica.
   constexpr double kRuEwmaAlpha = 0.2;
-  for (auto& [key, rep] : replicas_) {
+  size_t kept = 0;
+  for (size_t i = 0; i < ewma_active_.size(); ++i) {
+    PartitionReplica** slot = replica_index_.Find(ewma_active_[i]);
+    if (slot == nullptr) continue;  // Replica removed while listed.
+    PartitionReplica& rep = **slot;
     rep.ru_rate = kRuEwmaAlpha * rep.ru_this_tick +
                   (1 - kRuEwmaAlpha) * rep.ru_rate;
     rep.ru_this_tick = 0;
+    if (rep.ru_rate != 0) {
+      ewma_active_[kept++] = ewma_active_[i];
+    } else {
+      rep.ewma_listed = false;
+    }
   }
+  ewma_active_.resize(kept);
 
   // Publish the tick's tenant ledger sorted by tenant (the order the old
   // std::map exposed) and recycle the buffers for the next tick.

@@ -88,6 +88,9 @@ struct PartitionReplica {
   std::unique_ptr<quota::PartitionQuota> quota;
   double ru_this_tick = 0;  ///< RU served in the current tick.
   double ru_rate = 0;       ///< EWMA of RU/s (rescheduler load input).
+  /// On the node's EWMA active list (DataNode::ewma_active_): set when the
+  /// replica serves RU, cleared when its rate decays back to exactly 0.
+  bool ewma_listed = false;
 };
 
 /// Node-level counters for one tick (drained with TakeTickStats).
@@ -278,6 +281,13 @@ class DataNode {
   }
 
   sched::CacheProbe ProbeRequest(const sched::SchedRequest& sreq);
+
+  /// Batched probe (DualLayerWfq::BatchProbeFn): node-cache lookups in
+  /// pop order, then one LsmEngine::MultiFind per replica over the
+  /// misses. Produces the same per-request probe results and engine
+  /// counters as n serial ProbeRequest calls.
+  void ProbeBatch(const sched::SchedRequest* reqs, size_t n,
+                  sched::CacheProbe* out);
   void CompleteRequest(const sched::SchedRequest& sreq,
                        sched::SchedOutcome outcome);
 
@@ -366,6 +376,11 @@ class DataNode {
   /// Tick() deadline sweep: (req_id, slab slot) of expired requests.
   std::vector<std::pair<uint64_t, uint32_t>> expired_scratch_;
   double pending_reject_ru_ = 0;  ///< CPU burned on rejections this tick.
+  /// Replica keys with nonzero (ru_this_tick, ru_rate) state: the tick's
+  /// EWMA fold walks only these — for every other replica the fold is
+  /// 0.2*0 + 0.8*0 == 0 exactly, so skipping it is bit-identical.
+  std::vector<uint64_t> ewma_active_;
+  std::vector<uint32_t> batch_miss_;  ///< ProbeBatch cache-miss scratch.
 };
 
 }  // namespace node

@@ -45,7 +45,22 @@ void DualLayerWfq::Clear() {
 TickStats DualLayerWfq::RunTick(const ProbeFn& probe,
                                 const CompleteFn& complete) {
   TickStats stats;
+  // O(1) idle skip: with nothing queued in either layer, both drain
+  // loops would break on their first class scan — return before paying
+  // for their scratch state. A thousand-node cluster at million-tenant
+  // scale runs mostly idle nodes every tick.
+  if (PendingCount() == 0) return stats;
   RunCpuLayer(probe, complete, &stats);
+  RunIoLayer(complete, &stats);
+  return stats;
+}
+
+TickStats DualLayerWfq::RunTick(const BatchProbeFn& probe,
+                                const CancelFn& canceled,
+                                const CompleteFn& complete) {
+  TickStats stats;
+  if (PendingCount() == 0) return stats;
+  RunCpuLayerBatched(probe, canceled, complete, &stats);
   RunIoLayer(complete, &stats);
   return stats;
 }
@@ -59,7 +74,7 @@ void DualLayerWfq::RunCpuLayer(const ProbeFn& probe,
   const double tenant_cap =
       options_.single_tenant_cpu_cap * options_.cpu_budget_ru;
 
-  std::unordered_map<TenantId, double> tenant_ru;
+  tenant_ru_.Clear();
   std::vector<Deferral> deferred;
 
   // Serve the globally smallest VFT across the four class queues (the
@@ -89,7 +104,8 @@ void DualLayerWfq::RunCpuLayer(const ProbeFn& probe,
 
     // Rule 3: a single tenant may claim at most 90% of the tick's CPU.
     TenantId head = q.PeekTenant();
-    double head_used = tenant_ru.count(head) ? tenant_ru[head] : 0.0;
+    const double* used = tenant_ru_.Find(head);
+    double head_used = used != nullptr ? *used : 0.0;
     double vft;
     if (head_used >= tenant_cap) {
       SchedRequest r = q.PopWithVft(&vft);
@@ -100,7 +116,7 @@ void DualLayerWfq::RunCpuLayer(const ProbeFn& probe,
 
     SchedRequest req = q.PopWithVft(&vft);
     ru_left -= req.cpu_cost_ru;
-    tenant_ru[req.tenant] += req.cpu_cost_ru;
+    tenant_ru_[req.tenant] += req.cpu_cost_ru;
     stats->cpu_scheduled++;
     stats->cpu_ru_used += req.cpu_cost_ru;
     if (IsReadClass(c)) {
@@ -114,7 +130,7 @@ void DualLayerWfq::RunCpuLayer(const ProbeFn& probe,
     if (pr.canceled) {
       // Refund: a canceled request must not eat the tick's budget.
       ru_left += req.cpu_cost_ru;
-      tenant_ru[req.tenant] -= req.cpu_cost_ru;
+      tenant_ru_[req.tenant] -= req.cpu_cost_ru;
       stats->cpu_scheduled--;
       stats->cpu_ru_used -= req.cpu_cost_ru;
       if (IsReadClass(c)) {
@@ -138,6 +154,124 @@ void DualLayerWfq::RunCpuLayer(const ProbeFn& probe,
   }
 
   // Deferred requests keep their original VFT and run next tick.
+  for (const Deferral& d : deferred) {
+    cpu_queues_[d.queue_index].Reinsert(d.req, d.vft);
+  }
+}
+
+void DualLayerWfq::RunCpuLayerBatched(const BatchProbeFn& probe,
+                                      const CancelFn& canceled,
+                                      const CompleteFn& complete,
+                                      TickStats* stats) {
+  // Mirrors RunCpuLayer pop for pop: the only difference is that
+  // consecutive read pops defer their probe/completion into a batch. A
+  // batch stays sound because nothing between its pops can change a
+  // probe's answer — cache mutations happen only in completions, and the
+  // flush triggers (write pop, repeated key hash, cap) put every
+  // completion that a later probe could observe before that probe.
+  double ru_left = options_.cpu_budget_ru;
+  int reads_left = options_.read_concurrency;
+  int writes_left = options_.write_concurrency;
+  double write_ru_left = options_.write_ru_ceiling;
+  const double tenant_cap =
+      options_.single_tenant_cpu_cap * options_.cpu_budget_ru;
+  constexpr size_t kReadBatchCap = 16;
+
+  tenant_ru_.Clear();
+  batch_reqs_.clear();
+  batch_cls_.clear();
+  std::vector<Deferral> deferred;
+
+  auto flush = [&] {
+    const size_t n = batch_reqs_.size();
+    if (n == 0) return;
+    batch_probes_.assign(n, CacheProbe{});
+    probe(batch_reqs_.data(), n, batch_probes_.data());
+    for (size_t i = 0; i < n; i++) {
+      const SchedRequest& req = batch_reqs_[i];
+      const CacheProbe& pr = batch_probes_[i];
+      if (pr.hit) {
+        stats->cache_hits++;
+        complete(req, SchedOutcome::kServedFromCache);
+      } else if (!pr.needs_io) {
+        complete(req, SchedOutcome::kServedFromCpu);
+      } else {
+        SchedRequest io_req = req;
+        io_req.io_blocks = std::max(1, pr.io_blocks);
+        io_queues_[batch_cls_[i]].Push(io_req,
+                                       static_cast<double>(io_req.io_blocks));
+      }
+    }
+    batch_reqs_.clear();
+    batch_cls_.clear();
+  };
+  auto batch_has_key = [&](uint64_t key_hash) {
+    for (const SchedRequest& r : batch_reqs_) {
+      if (r.key_hash == key_hash) return true;
+    }
+    return false;
+  };
+
+  while (ru_left > 0) {
+    int c = -1;
+    double best_vft = 0;
+    for (int cand = 0; cand < kNumRequestClasses; cand++) {
+      WfqQueue& q = cpu_queues_[cand];
+      if (q.Empty()) continue;
+      if (IsReadClass(cand)) {
+        if (reads_left <= 0) continue;
+      } else {
+        if (writes_left <= 0 || write_ru_left <= 0) continue;
+      }
+      if (c < 0 || q.PeekVft() < best_vft) {
+        c = cand;
+        best_vft = q.PeekVft();
+      }
+    }
+    if (c < 0) break;
+    WfqQueue& q = cpu_queues_[c];
+
+    // Rule 3 first, exactly like the serial path: even a canceled head
+    // defers when its tenant is capped.
+    TenantId head = q.PeekTenant();
+    const double* used = tenant_ru_.Find(head);
+    double head_used = used != nullptr ? *used : 0.0;
+    double vft;
+    if (head_used >= tenant_cap) {
+      SchedRequest r = q.PopWithVft(&vft);
+      deferred.push_back(Deferral{r, vft, c});
+      stats->rule3_deferrals++;
+      continue;
+    }
+
+    SchedRequest req = q.PopWithVft(&vft);
+    if (canceled(req)) continue;  // == serial charge-then-refund (net 0).
+
+    ru_left -= req.cpu_cost_ru;
+    tenant_ru_[req.tenant] += req.cpu_cost_ru;
+    stats->cpu_scheduled++;
+    stats->cpu_ru_used += req.cpu_cost_ru;
+    if (IsReadClass(c)) {
+      reads_left--;
+      // A repeat of a key already in the batch must see that earlier
+      // request's completion (its cache fill) — flush first.
+      if (batch_has_key(req.key_hash)) flush();
+      batch_reqs_.push_back(req);
+      batch_cls_.push_back(c);
+      if (batch_reqs_.size() >= kReadBatchCap) flush();
+    } else {
+      writes_left--;
+      write_ru_left -= req.cpu_cost_ru;
+      // Writes invalidate/fill cache state in their completion and their
+      // probe can read what prior reads filled: keep strict order.
+      flush();
+      batch_reqs_.push_back(req);
+      batch_cls_.push_back(c);
+      flush();
+    }
+  }
+  flush();
+
   for (const Deferral& d : deferred) {
     cpu_queues_[d.queue_index].Reinsert(d.req, d.vft);
   }

@@ -83,6 +83,16 @@ class DualLayerWfq {
   /// tick, with where it was served from.
   using ProbeFn = std::function<CacheProbe(const SchedRequest&)>;
   using CompleteFn = std::function<void(const SchedRequest&, SchedOutcome)>;
+  /// Batched probe: fills `out[i]` for `reqs[i]`, i in [0, n). The batch
+  /// is in pop order; none of its members are canceled (see CancelFn).
+  using BatchProbeFn =
+      std::function<void(const SchedRequest* reqs, size_t n, CacheProbe* out)>;
+  /// True if the request was canceled (deadline-expired) before the
+  /// scheduler reached it. Checked at pop time on the batched path so a
+  /// canceled request never enters a batch; skipping its accounting
+  /// entirely equals the serial charge-then-refund (which nets zero
+  /// before any other request observes the budget).
+  using CancelFn = std::function<bool(const SchedRequest&)>;
 
   explicit DualLayerWfq(DualWfqOptions options = {});
 
@@ -93,6 +103,14 @@ class DualLayerWfq {
   /// the cache per request), then drains I/O-WFQs under Rules 1 and 4.
   /// Returns this tick's statistics.
   TickStats RunTick(const ProbeFn& probe, const CompleteFn& complete);
+
+  /// Batched variant of RunTick: consecutive read pops accumulate into a
+  /// batch (flushed on a write pop, a repeated key hash, a size cap, or
+  /// loop exit) so the caller can amortize one storage-engine probe pass
+  /// over the whole batch. Pop order, budget accounting, rules 2-4, and
+  /// completion order are identical to the serial overload.
+  TickStats RunTick(const BatchProbeFn& probe, const CancelFn& canceled,
+                    const CompleteFn& complete);
 
   /// Requests still waiting (across both layers and all classes).
   size_t PendingCount() const;
@@ -108,11 +126,21 @@ class DualLayerWfq {
  private:
   void RunCpuLayer(const ProbeFn& probe, const CompleteFn& complete,
                    TickStats* stats);
+  void RunCpuLayerBatched(const BatchProbeFn& probe, const CancelFn& canceled,
+                          const CompleteFn& complete, TickStats* stats);
   void RunIoLayer(const CompleteFn& complete, TickStats* stats);
 
   DualWfqOptions options_;
   WfqQueue cpu_queues_[kNumRequestClasses];
   WfqQueue io_queues_[kNumRequestClasses];
+  /// Per-tick scratch (kept across ticks to avoid re-allocation; cleared
+  /// at use). `tenant_ru_` replaces the serial path's per-call map — it
+  /// is never iterated, only point-queried, so the container swap cannot
+  /// affect scheduling order.
+  FlatMap64<double> tenant_ru_;
+  std::vector<SchedRequest> batch_reqs_;
+  std::vector<int> batch_cls_;
+  std::vector<CacheProbe> batch_probes_;
 };
 
 }  // namespace sched

@@ -12,10 +12,11 @@ void WfqQueue::Push(const SchedRequest& req, double cost) {
   // Start time: an idle tenant resumes at the current virtual time, not at
   // its stale preVFT (which would grant it an unfair catch-up burst).
   double start = vtime_;
-  auto it = pre_vft_.find(req.tenant);
-  if (it != pre_vft_.end()) start = std::max(start, it->second);
+  if (const double* pv = pre_vft_.Find(req.tenant)) {
+    start = std::max(start, *pv);
+  }
   double vft = start + weighted_cost;
-  pre_vft_[req.tenant] = vft;
+  pre_vft_.Insert(req.tenant, vft);
   heap_.push(Item{req, vft, tie_counter_++});
 }
 
@@ -29,13 +30,18 @@ SchedRequest WfqQueue::PopWithVft(double* vft) {
   Item item = heap_.top();
   heap_.pop();
   vtime_ = std::max(vtime_, item.vft);
+  // Lazy virtual-time advance: with the heap drained, vtime_ is >= every
+  // retained preVFT (see the header), so the per-tenant state carries no
+  // information — drop it instead of letting it grow with every tenant
+  // that ever touched this queue.
+  if (heap_.empty()) pre_vft_.Clear();
   *vft = item.vft;
   return item.req;
 }
 
 void WfqQueue::Clear() {
   heap_ = {};
-  pre_vft_.clear();
+  pre_vft_.Clear();
   vtime_ = 0;
   tie_counter_ = 0;
 }

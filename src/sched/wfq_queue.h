@@ -11,9 +11,9 @@
 
 #include <cstdint>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace abase {
@@ -29,6 +29,11 @@ struct SchedRequest {
   PartitionId partition = 0;
   RequestClass cls = RequestClass::kSmallRead;
   bool is_read = true;
+  /// Hash of the storage key (FNV-1a of the cache-key string). The
+  /// batched execution path flushes a read batch when it sees the same
+  /// hash twice, so a cache fill from one completion is visible to the
+  /// next probe of that key exactly as in serial execution.
+  uint64_t key_hash = 0;
   double cpu_cost_ru = 1.0;    ///< Rule 1: CPU-WFQ cost is the RU.
   int io_blocks = 1;           ///< Rule 1: I/O-WFQ cost is the IOPS count.
   /// wPartition: this request's partition-quota share of all partition
@@ -80,7 +85,13 @@ class WfqQueue {
   };
 
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap_;
-  std::unordered_map<TenantId, double> pre_vft_;
+  /// Per-tenant preVFT, keyed by tenant id. Lazily pruned: once the heap
+  /// drains, vtime_ dominates every retained preVFT (each pushed item
+  /// pops with its original VFT and folds into vtime_), so the start-time
+  /// rule `max(vtime_, preVFT)` gives the same answer with the map
+  /// empty — clearing it is bit-identical and keeps the map at
+  /// O(tenants busy this tick), not O(tenants ever seen).
+  FlatMap64<double> pre_vft_;
   double vtime_ = 0;
   uint64_t tie_counter_ = 0;
 };

@@ -23,6 +23,7 @@ ClusterSim::ClusterSim(SimOptions options)
       rng_(options.seed),
       gray_detector_(options.latency.gray) {
   meta_ = std::make_unique<meta::MetaServer>(&clock_);
+  meta_->SetStripedPlacement(options_.striped_placement);
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<TraceWriter>(options_.trace_path);
   }
@@ -108,6 +109,11 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
   // proxy plane routes from this table; it refreshes only by chasing a
   // redirect after a placement change makes a cached entry unroutable.
   RefreshRoutingTable(rt);
+  // Active-set bookkeeping: history (and the control fold) logically
+  // start at the current tick, so backfill never reaches before the
+  // tenant existed.
+  rt.created_at_tick = tick_count_;
+  rt.ctrl_synced_tick = tick_count_;
   auto [it, inserted] = tenants_.emplace(config.id, std::move(rt));
   if (inserted) tenant_index_.Insert(config.id, &it->second);
   return Status::OK();
@@ -118,10 +124,16 @@ void ClusterSim::SetWorkload(TenantId tenant, const WorkloadProfile& profile) {
   if (it == tenants_.end()) return;
   it->second.workload = std::make_unique<WorkloadGenerator>(
       tenant, profile, options_.seed ^ (0x9e3779b9ull * (tenant + 1)));
+  // A (re)attached workload joins the active generator set; the next
+  // Generate slot build re-evaluates (and may re-park) it.
+  UnparkGenerator(tenant, it->second);
 }
 
 void ClusterSim::PreloadKeys(TenantId tenant, uint64_t num_keys,
                              uint64_t value_bytes, double value_sigma) {
+  // Direct engine writes advance the primaries' streams outside the
+  // response path: make sure the Replicate walk visits this tenant.
+  if (!options_.dense_tick) repl_active_.insert(tenant);
   Rng rng(977 * (static_cast<uint64_t>(tenant) + 1));
   for (uint64_t i = 0; i < num_keys; i++) {
     std::string key =
@@ -167,6 +179,12 @@ void ClusterSim::PreloadKeys(TenantId tenant, uint64_t num_keys,
 WorkloadProfile* ClusterSim::MutableWorkload(TenantId tenant) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.workload == nullptr) return nullptr;
+  // The caller may raise a zero rate: wake the generator so the next
+  // slot build re-evaluates the mutated profile. (Mutating the profile
+  // through MutableTenant() directly bypasses this hook — use
+  // MutableWorkload for scenario scripting, as every in-repo caller
+  // does.)
+  UnparkGenerator(tenant, it->second);
   return &it->second.workload->profile();
 }
 
@@ -277,6 +295,10 @@ void ClusterSim::ResyncRecoveredNode(NodeId node) {
   node::DataNode* n = FindNode(node);
   if (n == nullptr) return;
   for (const node::PartitionReplica* rep : n->Replicas()) {
+    // Resyncs mutate replica cursors without necessarily moving the
+    // routing epoch (a pure-replica recovery has no failback): put the
+    // affected tenants back on the Replicate walk's work list.
+    if (!options_.dense_tick) repl_active_.insert(rep->tenant);
     const NodeId primary = meta_->PrimaryFor(rep->tenant, rep->partition);
     // Still this node's own partition (no survivor was promoted): its
     // WAL replay at StartRecovery already restored every acked write.
@@ -393,6 +415,7 @@ void ClusterSim::ResolveStrandedOnNode(NodeId node) {
     auto tit = tenants_.find(ctx.tenant);
     if (tit != tenants_.end()) {
       TenantRuntime& rt = tit->second;
+      TouchTenant(ctx.tenant, rt);
       if (ctx.proxy_index < rt.proxies.size()) {
         rt.proxies[ctx.proxy_index]->AbandonForward(req_id);
       }
@@ -503,10 +526,32 @@ void ClusterSim::PublishOutcome(uint64_t req_id, ClientOutcome outcome) {
     return;
   }
   outcomes_[req_id] = TrackedOutcome{std::move(outcome), tick_count_};
+  if (!options_.dense_tick && options_.outcome_ttl_ticks > 0) {
+    // Sparse TTL: the expiry tick is known at park time, so the sweep
+    // pops exactly the due entries instead of scanning the table. The
+    // dense sweep fires when tick_count_ - recorded > ttl; the counter
+    // increments before the sweep runs, so the first matching sweep is
+    // at tick_count_ == recorded + ttl + 1.
+    outcome_wheel_.ScheduleAt(
+        tick_count_ + static_cast<uint64_t>(options_.outcome_ttl_ticks) + 1,
+        OutcomeExpiry{req_id, tick_count_});
+  }
 }
 
 void ClusterSim::SweepExpiredOutcomes() {
-  if (options_.outcome_ttl_ticks <= 0 || outcomes_.empty()) return;
+  if (options_.outcome_ttl_ticks <= 0) return;
+  if (!options_.dense_tick) {
+    outcome_wheel_.PopDue(tick_count_, [&](const OutcomeExpiry& e) {
+      auto it = outcomes_.find(e.req_id);
+      // Collected (TakeOutcome erased it) or re-recorded since: skip.
+      if (it != outcomes_.end() &&
+          it->second.recorded_tick == e.recorded_tick) {
+        outcomes_.erase(it);
+      }
+    });
+    return;
+  }
+  if (outcomes_.empty()) return;
   const uint64_t ttl = static_cast<uint64_t>(options_.outcome_ttl_ticks);
   for (auto it = outcomes_.begin(); it != outcomes_.end();) {
     // Strict: outcomes are stamped before the tick counter increments in
@@ -536,6 +581,7 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp,
   TenantRuntime* rtp = MutableTenant(tenant);
   if (rtp == nullptr) return;
   TenantRuntime& rt = *rtp;
+  TouchTenant(tenant, rt);
 
   if (known_forward || resp.background_refresh) {
     if (proxy_index < rt.proxies.size()) {
@@ -565,6 +611,9 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp,
     if (timing != nullptr) {
       rt.tick_latency_hist.Add(static_cast<double>(client_latency));
       rt.hedger.Observe(client_latency);
+      // First observation enrolls the tenant in the per-tick hedger
+      // EndTick walk (a never-observed hedger's threshold never moves).
+      hedge_observed_.insert(tenant);
       if (rt.slo_target > 0 && client_latency > rt.slo_target) {
         rt.current.slo_violations++;
       }
@@ -617,14 +666,96 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp,
 // Tick loop
 // ---------------------------------------------------------------------------
 
-void ClusterSim::Tick() { pipeline_->RunTick(); }
+void ClusterSim::Tick() {
+  BeginTick();
+  pipeline_->RunTick();
+}
 
 void ClusterSim::RunTicks(size_t n) {
   for (size_t i = 0; i < n; i++) Tick();
 }
 
+void ClusterSim::BeginTick() {
+  // Roll the touched ledger: last tick's set stays visible (the
+  // refresh-fetch walk drains fetches created in last tick's Settle).
+  touch_epoch_++;
+  prev_touched_.swap(touched_);
+  touched_.clear();
+  if (options_.dense_tick) return;
+  // Wake parked generators whose rate schedule reaches a boundary this
+  // tick. Stale wake-ups (the tenant unparked and re-parked since) are
+  // recognized by their park generation and dropped.
+  gen_wheel_.PopDue(tick_count_, [&](const GenWake& w) {
+    TenantRuntime** slot = tenant_index_.Find(w.tenant);
+    if (slot == nullptr) return;
+    TenantRuntime& rt = **slot;
+    if (rt.gen_parked && rt.wake_seq == w.seq && rt.workload != nullptr) {
+      rt.gen_parked = false;
+      gen_active_.insert(w.tenant);
+    }
+  });
+}
+
+void ClusterSim::ParkGenerator(TenantId tenant, TenantRuntime& rt,
+                               Micros now) {
+  rt.gen_parked = true;
+  rt.wake_seq++;
+  const WorkloadProfile& prof = rt.workload->profile();
+  if (prof.rate_schedule.empty() || prof.rate_schedule_step <= 0) {
+    // Flat zero rate: parked until SetWorkload/MutableWorkload wakes it.
+    return;
+  }
+  // Wake at the first tick at or past the next schedule boundary; the
+  // slot build re-evaluates the cell there (and re-parks if still 0).
+  const Micros next = (now / prof.rate_schedule_step + 1) *
+                      prof.rate_schedule_step;
+  const uint64_t ticks_until =
+      (static_cast<uint64_t>(next - now) +
+       static_cast<uint64_t>(options_.tick) - 1) /
+      static_cast<uint64_t>(options_.tick);
+  gen_wheel_.ScheduleAt(tick_count_ + std::max<uint64_t>(1, ticks_until),
+                        GenWake{tenant, rt.wake_seq});
+}
+
+const std::vector<TenantId>& ClusterSim::SortedUnion(
+    const std::vector<TenantId>& a, const std::vector<TenantId>& b) {
+  visit_scratch_.clear();
+  visit_scratch_.reserve(a.size() + b.size());
+  visit_scratch_.insert(visit_scratch_.end(), a.begin(), a.end());
+  visit_scratch_.insert(visit_scratch_.end(), b.begin(), b.end());
+  std::sort(visit_scratch_.begin(), visit_scratch_.end());
+  visit_scratch_.erase(
+      std::unique(visit_scratch_.begin(), visit_scratch_.end()),
+      visit_scratch_.end());
+  return visit_scratch_;
+}
+
 void ClusterSim::FinalizeTickMetrics() {
   const bool timed = options_.latency.enabled;
+  if (!options_.dense_tick) {
+    // Only touched tenants can differ from an all-zero row; everyone
+    // else's row materializes lazily as TenantTickMetrics{} on next
+    // access (exactly what the dense loop would have pushed: an
+    // untouched tick_latency_hist is empty, so the percentile fold is
+    // skipped there too).
+    for (TenantId tid : touched_) {
+      TenantRuntime** slot = tenant_index_.Find(tid);
+      if (slot == nullptr) continue;
+      TenantRuntime& rt = **slot;
+      if (timed && rt.tick_latency_hist.count() > 0) {
+        rt.current.latency_p50 = rt.tick_latency_hist.P50();
+        rt.current.latency_p95 = rt.tick_latency_hist.Percentile(95);
+        rt.current.latency_p99 = rt.tick_latency_hist.P99();
+        rt.tick_latency_hist.Reset();
+      }
+      // tick_count_ already incremented in Settle: the row being pushed
+      // is for tick (tick_count_ - 1).
+      BackfillHistoryTo(rt, tick_count_ - rt.created_at_tick - 1);
+      rt.history.push_back(rt.current);
+      rt.current = TenantTickMetrics{};
+    }
+    return;
+  }
   for (auto& [tid, rt] : tenants_) {
     if (timed && rt.tick_latency_hist.count() > 0) {
       rt.current.latency_p50 = rt.tick_latency_hist.P50();
@@ -640,8 +771,11 @@ void ClusterSim::FinalizeTickMetrics() {
 const std::vector<TenantTickMetrics>& ClusterSim::History(
     TenantId tenant) const {
   static const std::vector<TenantTickMetrics> kEmpty;
-  auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? kEmpty : it->second.history;
+  ClusterSim* self = const_cast<ClusterSim*>(this);
+  auto it = self->tenants_.find(tenant);
+  if (it == self->tenants_.end()) return kEmpty;
+  if (!options_.dense_tick) SyncHistory(it->second);
+  return it->second.history;
 }
 
 const TenantRuntime* ClusterSim::Tenant(TenantId tenant) const {
@@ -732,6 +866,15 @@ void ClusterSim::EnableAutoscale(TenantId tenant, AutoscaleMode mode,
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantRuntime& rt = it->second;
+  if (mode == AutoscaleMode::kDisabled) {
+    autoscale_enabled_.erase(tenant);
+  } else {
+    // Fold any outstanding idle gap before the tenant joins the
+    // standing control work list (enabled tenants fold every tick and
+    // never fall behind again).
+    if (!options_.dense_tick) SyncControlUsage(tenant, rt);
+    autoscale_enabled_.insert(tenant);
+  }
   rt.autoscale_mode = mode;
   rt.scaling_policy = policy;
   rt.forecast_options = forecast_options;
@@ -741,6 +884,7 @@ void ClusterSim::SeedUsageHistory(TenantId tenant, const TimeSeries& usage) {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end()) return;
   TenantRuntime& rt = it->second;
+  if (!options_.dense_tick) SyncControlUsage(tenant, rt);
   rt.usage_history = usage;
   const meta::TenantMeta* tm = meta_->GetTenant(tenant);
   const double quota =
@@ -749,8 +893,11 @@ void ClusterSim::SeedUsageHistory(TenantId tenant, const TimeSeries& usage) {
 }
 
 const TimeSeries* ClusterSim::UsageHistory(TenantId tenant) const {
-  auto it = tenants_.find(tenant);
-  return it == tenants_.end() ? nullptr : &it->second.usage_history;
+  ClusterSim* self = const_cast<ClusterSim*>(this);
+  auto it = self->tenants_.find(tenant);
+  if (it == self->tenants_.end()) return nullptr;
+  if (!options_.dense_tick) self->SyncControlUsage(tenant, it->second);
+  return &it->second.usage_history;
 }
 
 Micros ClusterSim::ControlNow(const TenantRuntime& rt) const {
@@ -759,7 +906,59 @@ Micros ClusterSim::ControlNow(const TenantRuntime& rt) const {
          static_cast<Micros>(rt.hour_ticks) * kMicrosPerHour / tph;
 }
 
+void ClusterSim::SyncControlUsage(TenantId tenant, TenantRuntime& rt) {
+  (void)tenant;
+  if (options_.control_interval_ticks <= 0) return;
+  if (rt.ctrl_synced_tick >= tick_count_) return;
+  // Untouched ticks have all-zero metrics rows: materialize them, then
+  // run the exact dense fold over the gap. A zero tick folds the EWMA as
+  // 0.7*ewma + 0.0 (bit-exact against the dense zero fold) and advances
+  // the hour counter; the hour-boundary quota sample reads the *current*
+  // quota — for a disabled idle tenant whose quota changed mid-gap this
+  // can differ from a dense run, an accepted (undigested) divergence.
+  SyncHistory(rt);
+  const double tick_seconds = static_cast<double>(options_.tick) /
+                              static_cast<double>(kMicrosPerSecond);
+  const int tph = std::max(1, options_.control_ticks_per_hour);
+  for (uint64_t t = rt.ctrl_synced_tick; t < tick_count_; t++) {
+    const double tick_ru =
+        rt.history[static_cast<size_t>(t - rt.created_at_tick)].ru_charged;
+    rt.hour_ru_accum += tick_ru;
+    rt.hour_ticks++;
+    constexpr double kEwmaAlpha = 0.3;
+    rt.ru_rate_ewma = (1.0 - kEwmaAlpha) * rt.ru_rate_ewma +
+                      kEwmaAlpha * (tick_ru / tick_seconds);
+    if (rt.hour_ticks >= tph) {
+      const double hour_seconds = static_cast<double>(tph) * tick_seconds;
+      rt.usage_history.Append(rt.hour_ru_accum / hour_seconds);
+      const meta::TenantMeta* tm = meta_->GetTenant(rt.config.id);
+      rt.quota_history.Append(tm != nullptr ? tm->tenant_quota_ru
+                                            : rt.config.tenant_quota_ru);
+      rt.hour_ru_accum = 0;
+      rt.hour_ticks = 0;
+    }
+  }
+  rt.ctrl_synced_tick = tick_count_;
+}
+
 void ClusterSim::AccumulateControlUsage() {
+  if (!options_.dense_tick) {
+    // Standing work list (autoscale-enabled tenants fold every tick so
+    // their scaler inputs are always current) plus this tick's touched
+    // tenants (the only ones whose row is not all-zero). Everyone else
+    // catches up lazily — the gap folds as zeros, which is exact.
+    for (TenantId tid : autoscale_enabled_) {
+      if (TenantRuntime** slot = tenant_index_.Find(tid)) {
+        SyncControlUsage(tid, **slot);
+      }
+    }
+    for (TenantId tid : touched_) {
+      if (TenantRuntime** slot = tenant_index_.Find(tid)) {
+        SyncControlUsage(tid, **slot);
+      }
+    }
+    return;
+  }
   const double tick_seconds = static_cast<double>(options_.tick) /
                               static_cast<double>(kMicrosPerSecond);
   const int tph = std::max(1, options_.control_ticks_per_hour);
@@ -787,54 +986,70 @@ void ClusterSim::AccumulateControlUsage() {
 }
 
 void ClusterSim::RunAutoscalers() {
+  if (!options_.dense_tick) {
+    // The enabled set iterates in ascending tenant id — the same order
+    // the dense tenant-map walk visits them in, which matters because
+    // scaling decisions mutate shared MetaServer placement state.
+    for (TenantId tid : autoscale_enabled_) {
+      TenantRuntime** slot = tenant_index_.Find(tid);
+      if (slot == nullptr) continue;
+      RunAutoscalerFor(tid, **slot);
+    }
+    return;
+  }
   for (auto& [tid, rt] : tenants_) {
     if (rt.autoscale_mode == AutoscaleMode::kDisabled) continue;
-    const meta::TenantMeta* tm = meta_->GetTenant(tid);
-    if (tm == nullptr || tm->partitions.empty()) continue;
-    const double quota = tm->tenant_quota_ru;
-    const Micros now_control = ControlNow(rt);
+    RunAutoscalerFor(tid, rt);
+  }
+}
 
-    autoscale::ScalingDecision decision;
-    if (rt.autoscale_mode == AutoscaleMode::kPredictive) {
-      autoscale::Autoscaler scaler(rt.scaling_policy, rt.forecast_options);
-      auto d = scaler.Decide(
-          rt.usage_history, rt.quota_history, quota,
-          static_cast<uint32_t>(tm->partitions.size()),
-          tm->config.partition_quota_upper, tm->config.partition_quota_lower,
-          rt.last_scale_down_control, now_control);
-      if (!d.ok()) continue;  // E.g. history still below min_history.
-      decision = std::move(d).value();
+void ClusterSim::RunAutoscalerFor(TenantId tid, TenantRuntime& rt) {
+  if (rt.autoscale_mode == AutoscaleMode::kDisabled) return;
+  const meta::TenantMeta* tm = meta_->GetTenant(tid);
+  if (tm == nullptr || tm->partitions.empty()) return;
+  const double quota = tm->tenant_quota_ru;
+  const Micros now_control = ControlNow(rt);
+
+  autoscale::ScalingDecision decision;
+  if (rt.autoscale_mode == AutoscaleMode::kPredictive) {
+    autoscale::Autoscaler scaler(rt.scaling_policy, rt.forecast_options);
+    auto d = scaler.Decide(
+        rt.usage_history, rt.quota_history, quota,
+        static_cast<uint32_t>(tm->partitions.size()),
+        tm->config.partition_quota_upper, tm->config.partition_quota_lower,
+        rt.last_scale_down_control, now_control);
+    if (!d.ok()) return;  // E.g. history still below min_history.
+    decision = std::move(d).value();
+  } else {
+    decision = rt.reactive_scaler.Decide(rt.ru_rate_ewma, quota);
+  }
+
+  if (decision.action != autoscale::ScalingDecision::Action::kNone &&
+      decision.new_quota != quota) {
+    // Inline splits stay off: an over-UP partition quota stages an
+    // online split below instead of re-sharding metadata instantly.
+    if (!meta_->SetTenantQuota(tid, decision.new_quota,
+                               /*allow_split=*/false)
+             .ok()) {
+      return;
+    }
+    if (decision.action == autoscale::ScalingDecision::Action::kScaleUp) {
+      rt.scale_ups++;
     } else {
-      decision = rt.reactive_scaler.Decide(rt.ru_rate_ewma, quota);
+      rt.scale_downs++;
+      rt.last_scale_down_control = now_control;
     }
+    // The proxy fleet's autonomous quota follows the tenant quota.
+    const double proxy_quota =
+        decision.new_quota / static_cast<double>(rt.proxies.size());
+    for (auto& p : rt.proxies) p->SetBaseQuota(proxy_quota);
+  }
 
-    if (decision.action != autoscale::ScalingDecision::Action::kNone &&
-        decision.new_quota != quota) {
-      // Inline splits stay off: an over-UP partition quota stages an
-      // online split below instead of re-sharding metadata instantly.
-      if (!meta_->SetTenantQuota(tid, decision.new_quota,
-                                 /*allow_split=*/false)
-               .ok()) {
-        continue;
-      }
-      if (decision.action == autoscale::ScalingDecision::Action::kScaleUp) {
-        rt.scale_ups++;
-      } else {
-        rt.scale_downs++;
-        rt.last_scale_down_control = now_control;
-      }
-      // The proxy fleet's autonomous quota follows the tenant quota.
-      const double proxy_quota =
-          decision.new_quota / static_cast<double>(rt.proxies.size());
-      for (auto& p : rt.proxies) p->SetBaseQuota(proxy_quota);
-    }
-
-    // Algorithm 1 lines 4-6, online: partition quota above UP starts a
-    // staged split (unless one is already streaming).
-    if (tm->PartitionQuota() > tm->config.partition_quota_upper &&
-        !SplitInProgress(tid) && meta_->GetPendingSplit(tid) == nullptr) {
-      if (StartPartitionSplit(tid).ok()) rt.splits_started++;
-    }
+  // Algorithm 1 lines 4-6, online: partition quota above UP starts a
+  // staged split (unless one is already streaming).
+  if (tm->PartitionQuota() > tm->config.partition_quota_upper &&
+      !SplitInProgress(tid) && meta_->GetPendingSplit(tid) == nullptr) {
+    if (StartPartitionSplit(tid).ok()) rt.splits_started++;
   }
 }
 
@@ -875,6 +1090,9 @@ Status ClusterSim::StartPartitionSplit(TenantId tenant) {
     op.parents.push_back(std::move(sp));
   }
   active_splits_.emplace(tenant, std::move(op));
+  // The split holds the parents' replication logs at the window floor;
+  // the Replicate walk must keep visiting this tenant to honor them.
+  if (!options_.dense_tick) repl_active_.insert(tenant);
   return Status::OK();
 }
 

@@ -45,6 +45,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -52,6 +53,7 @@
 
 #include "autoscale/autoscaler.h"
 #include "common/clock.h"
+#include "common/event_wheel.h"
 #include "common/executor.h"
 #include "common/flat_map.h"
 #include "common/histogram.h"
@@ -154,6 +156,20 @@ struct SimOptions {
   /// seed did (golden digests unchanged). Enable together with
   /// node.service_time for non-degenerate service times.
   latency::LatencyOptions latency;
+  /// Legacy dense ticking: every per-tenant pipeline loop walks the full
+  /// tenant map every tick, as the seed did. Off by default — the
+  /// active-set data plane (DESIGN.md "Active-set ticking") iterates
+  /// only tenants with work due, which is bit-identical but makes tick
+  /// cost proportional to active tenants instead of registered tenants.
+  /// The flag exists for A/B digests and perf comparison.
+  bool dense_tick = false;
+  /// Striped O(replicas) initial placement in the MetaServer: replica r
+  /// of partition p lands at pool index (tenant + p*replicas + r) mod
+  /// pool size (advancing past unplaceable nodes) instead of the
+  /// O(pool) least-loaded scan. Registration of a million tenants is
+  /// quadratic without it. Off by default — placement quality matters
+  /// more than registration speed at normal scale.
+  bool striped_placement = false;
 };
 
 /// Per-tenant autoscaling mode for the closed control loop.
@@ -286,6 +302,32 @@ struct TenantRuntime {
   uint64_t scale_ups = 0;    ///< Applied scale-up decisions.
   uint64_t scale_downs = 0;  ///< Applied scale-down decisions.
   uint64_t splits_started = 0;  ///< Staged splits the loop initiated.
+
+  // -- Active-set bookkeeping (DESIGN.md "Active-set ticking") ---------------
+
+  /// tick_count_ at AddTenant: `history` logically starts here, so the
+  /// sparse invariant is history.size() == tick_count_ - created_at_tick
+  /// once lazily backfilled with all-zero entries for untouched ticks.
+  uint64_t created_at_tick = 0;
+  /// Generator parked: the workload's rate-schedule cell is exactly 0
+  /// at the current tick, so Generate skips it entirely (a zero-rate
+  /// WorkloadGenerator::Tick consumes no RNG and emits nothing — the
+  /// skip is bit-identical). Woken by the generator wheel at the next
+  /// schedule boundary, or by SetWorkload/MutableWorkload.
+  bool gen_parked = false;
+  /// Park generation: a wheel wake-up whose recorded seq no longer
+  /// matches is stale (the tenant unparked and re-parked meanwhile).
+  uint64_t wake_seq = 0;
+  /// Touch stamps against ClusterSim::touch_epoch_ / report_epoch_:
+  /// dedupe membership in the per-tick / per-report-interval touched
+  /// ledgers without per-tenant set lookups.
+  uint64_t touch_stamp = 0;
+  uint64_t report_stamp = 0;
+  /// Control-plane fold cursor: the tick_count_ through which this
+  /// tenant's hour accumulator / RU EWMA have been folded. Untouched
+  /// ticks fold as ru=0 (their metrics rows are all-zero), so catch-up
+  /// is exact.
+  uint64_t ctrl_synced_tick = 0;
 };
 
 /// The cluster.
@@ -497,6 +539,18 @@ class ClusterSim {
   const TenantRuntime* Tenant(TenantId tenant) const;
   TenantRuntime* MutableTenant(TenantId tenant);
 
+  // -- Active-set introspection (tests and benches; meaningless counts in
+  //    dense mode, where the walks ignore the sets) -------------------------
+
+  /// Tenants whose generators are not parked (the Generate walk's size).
+  size_t ActiveGeneratorCount() const { return gen_active_.size(); }
+  /// Tenants on the Replicate stage's active work list.
+  size_t ReplActiveCount() const { return repl_active_.size(); }
+  /// Tenants touched so far in the current tick's ledger.
+  size_t TouchedTenantCount() const { return touched_.size(); }
+  /// Pending generator wheel wake-ups (parked schedule boundaries).
+  size_t PendingGeneratorWakes() const { return gen_wheel_.size(); }
+
   // -- Component access -----------------------------------------------------------
 
   SimClock& clock() { return clock_; }
@@ -603,6 +657,65 @@ class ClusterSim {
 
   void FinalizeTickMetrics();
 
+  // -- Active-set machinery (DESIGN.md "Active-set ticking") ------------------
+
+  /// Opens a tick: advances the touch epoch (rolling the touched ledger
+  /// into prev_touched_) and pops the generator wheel for tenants whose
+  /// parked workloads reach a rate-schedule boundary this tick.
+  void BeginTick();
+
+  /// Marks the tenant as touched this tick (and this report interval).
+  /// Serial pipeline sections only. Idempotent per tick via the stamp.
+  void TouchTenant(TenantId tenant, TenantRuntime& rt) {
+    if (rt.touch_stamp != touch_epoch_) {
+      rt.touch_stamp = touch_epoch_;
+      touched_.push_back(tenant);
+    }
+    if (rt.report_stamp != report_epoch_) {
+      rt.report_stamp = report_epoch_;
+      report_touched_.push_back(tenant);
+    }
+  }
+
+  /// Appends all-zero metrics rows for the tenant's untouched ticks
+  /// until history.size() == `target` (an untouched tick's dense row is
+  /// exactly TenantTickMetrics{}).
+  static void BackfillHistoryTo(TenantRuntime& rt, uint64_t target) {
+    while (rt.history.size() < target) {
+      rt.history.push_back(TenantTickMetrics{});
+    }
+  }
+
+  /// Backfills through the last completed tick (accessor-facing form).
+  void SyncHistory(TenantRuntime& rt) const {
+    BackfillHistoryTo(rt, tick_count_ - rt.created_at_tick);
+  }
+
+  /// Parks the tenant's generator (rate-schedule cell is exactly 0 at
+  /// `now`): removal from gen_active_ is the caller's job (the slot
+  /// build iterates the set); this schedules the wheel wake-up at the
+  /// next schedule boundary, if the schedule has one.
+  void ParkGenerator(TenantId tenant, TenantRuntime& rt, Micros now);
+
+  /// Re-activates a parked (or never-activated) generator — workload
+  /// (re)attachment and profile mutation hooks.
+  void UnparkGenerator(TenantId tenant, TenantRuntime& rt) {
+    rt.gen_parked = false;
+    rt.wake_seq++;
+    if (rt.workload != nullptr) gen_active_.insert(tenant);
+  }
+
+  /// Folds the tenant's control-plane usage forward through
+  /// tick_count_ (catch-up over untouched ticks reads the backfilled
+  /// all-zero rows, so the EWMA / hour roll-up match a dense fold).
+  void SyncControlUsage(TenantId tenant, TenantRuntime& rt);
+
+  /// Builds visit_scratch_ as the ascending-id union of the given
+  /// ledgers (dense iteration order is ascending tenant id, so sparse
+  /// walks over the union preserve dense ordering).
+  const std::vector<TenantId>& SortedUnion(
+      const std::vector<TenantId>& a, const std::vector<TenantId>& b);
+
   /// Rebuilds a tenant's cached routing table from the MetaServer and
   /// stamps it with the current epoch (the redirect chase; serial
   /// sections only).
@@ -666,6 +779,9 @@ class ClusterSim {
   /// inline splits disabled, proxy quota re-base, staged split when the
   /// partition quota exceeds UP).
   void RunAutoscalers();
+
+  /// One tenant's scaler pass (shared by the dense and active-set walks).
+  void RunAutoscalerFor(TenantId tid, TenantRuntime& rt);
 
   /// Current control-plane time for the tenant: completed hours (seeded
   /// + rolled) in micros, plus the fraction of the open hour.
@@ -826,6 +942,55 @@ class ClusterSim {
   NodeId next_node_id_ = 0;
   uint64_t next_refresh_id_ = (1ull << 62);
   uint64_t tick_count_ = 0;
+
+  // -- Active-set state (all serial-section-only; see BeginTick) -------------
+
+  /// Tenants whose generators are not parked: the Generate stage builds
+  /// its slots from this set alone. Ordered — ascending tenant id
+  /// matches dense iteration order.
+  std::set<TenantId> gen_active_;
+  /// Wake-up wheel for parked generators (next rate-schedule boundary).
+  struct GenWake {
+    TenantId tenant = 0;
+    uint64_t seq = 0;  ///< TenantRuntime::wake_seq at park time.
+  };
+  EventWheel<GenWake> gen_wheel_;
+  /// Expiry wheel for abandoned tracked outcomes (sparse replacement of
+  /// the full-table TTL scan).
+  struct OutcomeExpiry {
+    uint64_t req_id = 0;
+    uint64_t recorded_tick = 0;  ///< Skip if the entry was re-recorded.
+  };
+  EventWheel<OutcomeExpiry> outcome_wheel_;
+  /// Tenants touched this tick / last tick, deduped by touch_stamp.
+  /// prev_touched_ matters to the refresh-fetch walk: a fetch created
+  /// in last tick's Settle is drained this tick.
+  uint64_t touch_epoch_ = 1;
+  std::vector<TenantId> touched_;
+  std::vector<TenantId> prev_touched_;
+  /// Tenants touched since the last MetaServer traffic report, deduped
+  /// by report_stamp; cleared (epoch bump) at each report.
+  uint64_t report_epoch_ = 1;
+  std::vector<TenantId> report_touched_;
+  /// Tenants whose last traffic report came back clamped: they must
+  /// keep reporting (a zero report is what un-clamps them). Sorted,
+  /// rebuilt at each report.
+  std::vector<TenantId> clamped_tenants_;
+  /// Tenants with possibly non-quiescent replication streams. Rebuilt
+  /// from the full tenant map whenever the routing epoch moves (any
+  /// placement mutation), extended by every DataNode response and by
+  /// the preload/resync/split hooks; the Replicate walk erases a tenant
+  /// once all its partitions are quiescent.
+  std::set<TenantId> repl_active_;
+  uint64_t repl_seen_epoch_ = ~0ull;
+  /// Tenants with a non-disabled autoscale mode (the control loop's
+  /// standing work list; these never catch up — they fold every tick).
+  std::set<TenantId> autoscale_enabled_;
+  /// Tenants whose hedger ever observed a sample: the per-tick
+  /// threshold advance (Hedger::EndTick) only matters to them — a
+  /// never-observed hedger's threshold stays at its initial value.
+  std::set<TenantId> hedge_observed_;
+  std::vector<TenantId> visit_scratch_;  ///< SortedUnion output.
 };
 
 }  // namespace sim

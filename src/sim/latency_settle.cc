@@ -158,7 +158,19 @@ void ClusterSim::SettleWithTiming(TickContext& ctx) {
     pending_gray_.insert(pending_gray_.end(), transitions.begin(),
                          transitions.end());
   }
-  for (auto& [tid, rt] : tenants_) rt.hedger.EndTick();
+  // Hedge-threshold refreeze. A hedger that never observed a sample has
+  // an all-zero histogram (Decay is a fixpoint) and a threshold pinned
+  // at 0, so the active-set walk visits only tenants that ever fed one —
+  // once observed, a tenant decays forever (the set never shrinks).
+  if (options_.dense_tick) {
+    for (auto& [tid, rt] : tenants_) rt.hedger.EndTick();
+  } else {
+    for (TenantId tid : hedge_observed_) {
+      if (TenantRuntime** slot = tenant_index_.Find(tid)) {
+        (*slot)->hedger.EndTick();
+      }
+    }
+  }
 }
 
 void ClusterSim::ApplyGrayTransitions() {
@@ -185,7 +197,11 @@ void ClusterSim::DegradeNode(NodeId node, double factor) {
 
 double ClusterSim::SloBurnRate(TenantId tenant, size_t window_ticks) const {
   const TenantRuntime* rt = Tenant(tenant);
-  if (rt == nullptr || rt->history.empty() || window_ticks == 0) return 0;
+  if (rt == nullptr) return 0;
+  // Sparse histories backfill lazily; materialize the untouched (all-
+  // zero) rows so the window indexes the same ticks a dense run would.
+  if (!options_.dense_tick) SyncHistory(const_cast<TenantRuntime&>(*rt));
+  if (rt->history.empty() || window_ticks == 0) return 0;
   const size_t begin =
       rt->history.size() > window_ticks ? rt->history.size() - window_ticks
                                         : 0;

@@ -172,15 +172,56 @@ void GenerateStage::Run(TickContext& ctx) {
   // RNG stream.
   runtimes_.clear();
   size_t slots = 0;
-  for (auto& [tid, rt] : sim.tenants_) {
-    if (rt.workload == nullptr) continue;
-    if (slots == ctx.traffic.size()) ctx.traffic.emplace_back();
-    ctx.traffic[slots].tenant = tid;
-    runtimes_.push_back(&rt);
-    slots++;
+  const Micros now = sim.clock_.NowMicros();
+  if (sim.options_.dense_tick) {
+    for (auto& [tid, rt] : sim.tenants_) {
+      if (rt.workload == nullptr) continue;
+      if (slots == ctx.traffic.size()) ctx.traffic.emplace_back();
+      ctx.traffic[slots].tenant = tid;
+      runtimes_.push_back(&rt);
+      slots++;
+    }
+  } else {
+    // Active-set slot build: only unparked generators get slots. A
+    // generator whose effective rate cell is exactly 0 emits nothing and
+    // consumes no RNG (NextPoisson(0) is draw-free), so parking it —
+    // until the next rate-schedule boundary via the wheel, or forever
+    // for a flat zero profile — is bit-identical to the dense walk.
+    // gen_active_ is ordered, so slots still fill in tenant-id order.
+    parked_scratch_.clear();
+    for (TenantId tid : sim.gen_active_) {
+      TenantRuntime** slot = sim.tenant_index_.Find(tid);
+      if (slot == nullptr) {
+        parked_scratch_.push_back(tid);
+        continue;
+      }
+      TenantRuntime& rt = **slot;
+      if (rt.workload == nullptr) {
+        parked_scratch_.push_back(tid);
+        continue;
+      }
+      const WorkloadProfile& prof = rt.workload->profile();
+      double cell = prof.base_qps;
+      if (!prof.rate_schedule.empty() && prof.rate_schedule_step > 0) {
+        const size_t idx = static_cast<size_t>(
+            (now / prof.rate_schedule_step) %
+            static_cast<Micros>(prof.rate_schedule.size()));
+        cell = prof.rate_schedule[idx];
+      }
+      if (cell == 0.0) {
+        sim.ParkGenerator(tid, rt, now);
+        parked_scratch_.push_back(tid);
+        continue;
+      }
+      sim.TouchTenant(tid, rt);
+      if (slots == ctx.traffic.size()) ctx.traffic.emplace_back();
+      ctx.traffic[slots].tenant = tid;
+      runtimes_.push_back(&rt);
+      slots++;
+    }
+    for (TenantId tid : parked_scratch_) sim.gen_active_.erase(tid);
   }
   ctx.traffic.resize(slots);
-  const Micros now = sim.clock_.NowMicros();
   const Micros tick_len = sim.options_.tick;
   auto& runtimes = runtimes_;
   sim.executor_->MorselFor(
@@ -287,6 +328,7 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
         }
         continue;
       }
+      sim.TouchTenant(req.tenant, *rt);
       uint32_t* slot = injected_index_.Find(req.tenant);
       if (slot == nullptr) {
         injected_index_.Insert(
@@ -349,17 +391,41 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
 
   // AU-LRU active-update refresh fetches (background traffic) enter the
   // data plane behind all client traffic. Serial: refresh ids come from
-  // the sim-wide allocator in a deterministic order.
-  for (auto& [tid, rt] : sim.tenants_) {
-    for (size_t p = 0; p < rt.proxies.size(); p++) {
-      for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
-        PendingForward fwd;
-        fwd.request = std::move(req);
-        fwd.ctx.tenant = tid;
-        fwd.ctx.proxy_index = p;
-        fwd.ctx.track_outcome = false;
-        fwd.ctx.background = true;
-        ctx.forwards.push_back(std::move(fwd));
+  // the sim-wide allocator in a deterministic order. Active-set mode
+  // walks only tenants touched this tick (admission above queues
+  // fetches via Proxy::Handle) or last tick (response cache fills queue
+  // them in Settle, drained here one tick later) — an untouched
+  // tenant's proxies cannot hold a pending fetch. SortedUnion iterates
+  // in ascending tenant id, the dense order.
+  if (sim.options_.dense_tick) {
+    for (auto& [tid, rt] : sim.tenants_) {
+      for (size_t p = 0; p < rt.proxies.size(); p++) {
+        for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
+          PendingForward fwd;
+          fwd.request = std::move(req);
+          fwd.ctx.tenant = tid;
+          fwd.ctx.proxy_index = p;
+          fwd.ctx.track_outcome = false;
+          fwd.ctx.background = true;
+          ctx.forwards.push_back(std::move(fwd));
+        }
+      }
+    }
+  } else {
+    for (TenantId tid : sim.SortedUnion(sim.touched_, sim.prev_touched_)) {
+      TenantRuntime** slot = sim.tenant_index_.Find(tid);
+      if (slot == nullptr) continue;
+      TenantRuntime& rt = **slot;
+      for (size_t p = 0; p < rt.proxies.size(); p++) {
+        for (NodeRequest& req : rt.proxies[p]->TakeRefreshFetches()) {
+          PendingForward fwd;
+          fwd.request = std::move(req);
+          fwd.ctx.tenant = tid;
+          fwd.ctx.proxy_index = p;
+          fwd.ctx.track_outcome = false;
+          fwd.ctx.background = true;
+          ctx.forwards.push_back(std::move(fwd));
+        }
       }
     }
   }
@@ -396,6 +462,10 @@ void RouteStage::Run(TickContext& ctx) {
       rt = tit != sim.tenants_.end() ? &tit->second : nullptr;
       memo_tid = fwd.ctx.tenant;
       memo_rt = rt;
+      // Serial pass: mark the tenant touched — redirects and routing
+      // errors below mutate its tick metrics, and the active-set
+      // Finalize only seals touched tenants. Idempotent per tick.
+      if (rt != nullptr) sim.TouchTenant(fwd.ctx.tenant, *rt);
     }
     node::DataNode* n = nullptr;
     if (rt != nullptr) {
@@ -508,7 +578,145 @@ void NodeScheduleStage::Run(TickContext& ctx) {
 // Replicate
 // ---------------------------------------------------------------------------
 
-void ReplicateStage::Run(TickContext&) {
+bool ReplicateStage::ShipTenantStreams(ClusterSim& sim, TenantId tid,
+                                       int lag) {
+  auto& batches = batches_;
+  const meta::TenantMeta* tm = sim.meta_->GetTenant(tid);
+  if (tm == nullptr) return true;
+  bool all_quiescent = true;
+  for (PartitionId p = 0;
+       p < static_cast<PartitionId>(tm->partitions.size()); p++) {
+    const auto& reps = tm->partitions[p].replicas;
+    node::DataNode* pn =
+        reps.empty() ? nullptr : sim.FindNode(reps[0]);
+    if (pn == nullptr || !pn->CanServe() || !pn->IsPrimaryFor(tid, p)) {
+      // Primary dark: the stream head is frozen. Quiescent for the
+      // active-set walk too — any path out of darkness (promotion,
+      // failback, recovery) bumps the routing epoch, which rebuilds the
+      // walk's work list.
+      continue;
+    }
+    storage::LsmEngine* src = pn->EngineFor(tid, p);
+    if (src == nullptr) continue;
+    const uint64_t cur = src->applied_seq();
+    auto hold = sim.split_log_holds_.find(ClusterSim::PartitionKey(tid, p));
+    const bool held = hold != sim.split_log_holds_.end();
+    if (held) all_quiescent = false;  // Split windows move under the walk.
+    if (reps.size() < 2) {
+      // No replica will ever pull this stream; keep the log empty so a
+      // replicas=1 tenant does not grow memory with every write. A
+      // replica added later is seeded by snapshot anyway. An active
+      // online split still holds the log at its window start — the
+      // cutover replays it.
+      uint64_t solo_trunc = cur;
+      if (held) solo_trunc = std::min(solo_trunc, hold->second);
+      src->TruncateReplLogThrough(solo_trunc);
+      continue;
+    }
+
+    // Replica cursors first: they seed a freshly tracked stream's
+    // history and bound the log truncation below.
+    struct ReplicaCursor {
+      node::DataNode* node = nullptr;
+      storage::LsmEngine* engine = nullptr;
+      uint64_t applied = 0;
+    };
+    // Replication factors are small (2-3); inline storage keeps the
+    // per-partition pass off the heap.
+    SmallVec<ReplicaCursor, 8> cursors;
+    uint64_t min_cursor = cur;
+    for (size_t r = 1; r < reps.size(); r++) {
+      node::DataNode* rn = sim.FindNode(reps[r]);
+      if (rn == nullptr) continue;
+      storage::LsmEngine* re = rn->EngineFor(tid, p);
+      if (re == nullptr) continue;
+      cursors.push_back(ReplicaCursor{rn, re, re->applied_seq()});
+      min_cursor = std::min(min_cursor, cursors.back().applied);
+    }
+
+    ClusterSim::ReplState& st =
+        sim.repl_state_[ClusterSim::PartitionKey(tid, p)];
+    const bool primary_stable = st.primary == reps[0];
+    if (st.primary != reps[0]) {
+      // Promotion or failback moved the stream head: the old
+      // primary's acked-seq history must not gate the new primary's
+      // (reused) sequence numbers, or its fresh writes would ship
+      // with collapsed lag. Reseed below as for a new stream.
+      st.acked_history.clear();
+      st.primary = reps[0];
+    }
+    if (st.acked_history.empty()) {
+      // First sighting of this stream (or a fresh primary): what the
+      // replicas already hold counts as shipped; everything
+      // acknowledged from here on waits the full configured lag.
+      // Without this seeding the not-yet-full history would ship a
+      // young stream's writes with effectively zero lag.
+      for (int i = 0; i < lag; i++) st.acked_history.push_back(min_cursor);
+    }
+    st.acked_history.push_back(cur);
+    while (st.acked_history.size() > static_cast<size_t>(lag) + 1) {
+      st.acked_history.pop_front();
+    }
+    // A promotion can rewind the stream head (the new primary applied
+    // less than the old one acknowledged); clamp the floor to it.
+    const uint64_t floor = std::min(st.acked_history.front(), cur);
+    st.prev_primary_applied = st.primary_applied;
+    st.primary_applied = cur;
+
+    SmallVec<storage::LsmEngine*, 8> replica_engines;
+    for (const ReplicaCursor& rc : cursors) {
+      replica_engines.push_back(rc.engine);
+      // Down replicas hold the log open (min_cursor above) and catch
+      // up through the recovery resync path instead.
+      if (!rc.node->CanServe() || rc.applied >= floor) continue;
+      Shipment sh;
+      sh.tenant = tid;
+      sh.partition = p;
+      sh.src = src;
+      sh.after = rc.applied;
+      sh.through = floor;
+      sh.snapshot = !src->repl_log().Covers(rc.applied);
+      assert(static_cast<size_t>(rc.node->id()) < batches.size());
+      batches[static_cast<size_t>(rc.node->id())].push_back(sh);
+    }
+    // Every retained record above min(min_cursor, floor) may still be
+    // needed by this tick's shipments or a recovering replica. The
+    // same bound truncates the replicas' own logs (they re-append
+    // every applied record so a promoted replica can serve the
+    // stream): records the whole placement has applied are dead
+    // weight on every copy. An active online split additionally holds
+    // every copy's log at its streaming-window start, so the cutover
+    // can replay the window no matter which replica is primary by
+    // then. Serial pass: safe to mutate here.
+    uint64_t trunc = std::min(min_cursor, floor);
+    if (held) trunc = std::min(trunc, hold->second);
+    src->TruncateReplLogThrough(trunc);
+    for (storage::LsmEngine* re : replica_engines) {
+      re->TruncateReplLogThrough(trunc);
+    }
+
+    // Quiescence: a revisit is a state no-op only when the stream head
+    // did not just move under us (stable primary), every configured
+    // replica is tracked and fully caught up, and the whole acked
+    // history already sits at the head (so push/trim/floor/truncate all
+    // repeat verbatim). Any later write reaches this walk as a node
+    // response before it runs; everything else bumps the epoch.
+    bool settled = primary_stable && !held &&
+                   cursors.size() == reps.size() - 1 && min_cursor == cur;
+    if (settled) {
+      for (uint64_t acked : st.acked_history) {
+        if (acked != cur) {
+          settled = false;
+          break;
+        }
+      }
+    }
+    if (!settled) all_quiescent = false;
+  }
+  return all_quiescent;
+}
+
+void ReplicateStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
   const int lag = std::max(0, sim.options_.replication_lag_ticks);
 
@@ -520,118 +728,36 @@ void ReplicateStage::Run(TickContext&) {
   // acked-seq history, derive the shipping floor under the configured
   // lag, batch per destination node, and truncate the primary's log
   // below the slowest replica cursor.
-  for (auto& [tid, rt] : sim.tenants_) {
-    (void)rt;
-    const meta::TenantMeta* tm = sim.meta_->GetTenant(tid);
-    if (tm == nullptr) continue;
-    for (PartitionId p = 0;
-         p < static_cast<PartitionId>(tm->partitions.size()); p++) {
-      const auto& reps = tm->partitions[p].replicas;
-      node::DataNode* pn =
-          reps.empty() ? nullptr : sim.FindNode(reps[0]);
-      if (pn == nullptr || !pn->CanServe() || !pn->IsPrimaryFor(tid, p)) {
-        continue;  // Primary dark: the stream head is frozen.
+  if (sim.options_.dense_tick) {
+    for (auto& [tid, rt] : sim.tenants_) {
+      (void)rt;
+      ShipTenantStreams(sim, tid, lag);
+    }
+  } else {
+    // Active-set walk. The work list is conservative: rebuilt from the
+    // full tenant map whenever the routing epoch moved (any placement
+    // mutation — failover, recovery, migration, split cutover), and
+    // extended by every tenant with a data-plane response this tick
+    // (NodeSchedule already ran, so a write that advanced a primary's
+    // applied seq has its response in ctx.responses here). Tenants
+    // drain from the list once every stream proves quiescent.
+    if (sim.repl_seen_epoch_ != sim.meta_->routing_epoch()) {
+      sim.repl_seen_epoch_ = sim.meta_->routing_epoch();
+      for (const auto& [tid, rt] : sim.tenants_) {
+        (void)rt;
+        sim.repl_active_.insert(tid);
       }
-      storage::LsmEngine* src = pn->EngineFor(tid, p);
-      if (src == nullptr) continue;
-      const uint64_t cur = src->applied_seq();
-      if (reps.size() < 2) {
-        // No replica will ever pull this stream; keep the log empty so a
-        // replicas=1 tenant does not grow memory with every write. A
-        // replica added later is seeded by snapshot anyway. An active
-        // online split still holds the log at its window start — the
-        // cutover replays it.
-        uint64_t solo_trunc = cur;
-        auto hold =
-            sim.split_log_holds_.find(ClusterSim::PartitionKey(tid, p));
-        if (hold != sim.split_log_holds_.end()) {
-          solo_trunc = std::min(solo_trunc, hold->second);
-        }
-        src->TruncateReplLogThrough(solo_trunc);
-        continue;
+    }
+    for (const auto& node_responses : ctx.responses) {
+      for (const NodeResponse& resp : node_responses) {
+        sim.repl_active_.insert(resp.tenant);
       }
-
-      // Replica cursors first: they seed a freshly tracked stream's
-      // history and bound the log truncation below.
-      struct ReplicaCursor {
-        node::DataNode* node = nullptr;
-        storage::LsmEngine* engine = nullptr;
-        uint64_t applied = 0;
-      };
-      // Replication factors are small (2-3); inline storage keeps the
-      // per-partition pass off the heap.
-      SmallVec<ReplicaCursor, 8> cursors;
-      uint64_t min_cursor = cur;
-      for (size_t r = 1; r < reps.size(); r++) {
-        node::DataNode* rn = sim.FindNode(reps[r]);
-        if (rn == nullptr) continue;
-        storage::LsmEngine* re = rn->EngineFor(tid, p);
-        if (re == nullptr) continue;
-        cursors.push_back(ReplicaCursor{rn, re, re->applied_seq()});
-        min_cursor = std::min(min_cursor, cursors.back().applied);
-      }
-
-      ClusterSim::ReplState& st =
-          sim.repl_state_[ClusterSim::PartitionKey(tid, p)];
-      if (st.primary != reps[0]) {
-        // Promotion or failback moved the stream head: the old
-        // primary's acked-seq history must not gate the new primary's
-        // (reused) sequence numbers, or its fresh writes would ship
-        // with collapsed lag. Reseed below as for a new stream.
-        st.acked_history.clear();
-        st.primary = reps[0];
-      }
-      if (st.acked_history.empty()) {
-        // First sighting of this stream (or a fresh primary): what the
-        // replicas already hold counts as shipped; everything
-        // acknowledged from here on waits the full configured lag.
-        // Without this seeding the not-yet-full history would ship a
-        // young stream's writes with effectively zero lag.
-        for (int i = 0; i < lag; i++) st.acked_history.push_back(min_cursor);
-      }
-      st.acked_history.push_back(cur);
-      while (st.acked_history.size() > static_cast<size_t>(lag) + 1) {
-        st.acked_history.pop_front();
-      }
-      // A promotion can rewind the stream head (the new primary applied
-      // less than the old one acknowledged); clamp the floor to it.
-      const uint64_t floor = std::min(st.acked_history.front(), cur);
-      st.prev_primary_applied = st.primary_applied;
-      st.primary_applied = cur;
-
-      SmallVec<storage::LsmEngine*, 8> replica_engines;
-      for (const ReplicaCursor& rc : cursors) {
-        replica_engines.push_back(rc.engine);
-        // Down replicas hold the log open (min_cursor above) and catch
-        // up through the recovery resync path instead.
-        if (!rc.node->CanServe() || rc.applied >= floor) continue;
-        Shipment sh;
-        sh.tenant = tid;
-        sh.partition = p;
-        sh.src = src;
-        sh.after = rc.applied;
-        sh.through = floor;
-        sh.snapshot = !src->repl_log().Covers(rc.applied);
-        assert(static_cast<size_t>(rc.node->id()) < batches.size());
-        batches[static_cast<size_t>(rc.node->id())].push_back(sh);
-      }
-      // Every retained record above min(min_cursor, floor) may still be
-      // needed by this tick's shipments or a recovering replica. The
-      // same bound truncates the replicas' own logs (they re-append
-      // every applied record so a promoted replica can serve the
-      // stream): records the whole placement has applied are dead
-      // weight on every copy. An active online split additionally holds
-      // every copy's log at its streaming-window start, so the cutover
-      // can replay the window no matter which replica is primary by
-      // then. Serial pass: safe to mutate here.
-      uint64_t trunc = std::min(min_cursor, floor);
-      auto hold = sim.split_log_holds_.find(ClusterSim::PartitionKey(tid, p));
-      if (hold != sim.split_log_holds_.end()) {
-        trunc = std::min(trunc, hold->second);
-      }
-      src->TruncateReplLogThrough(trunc);
-      for (storage::LsmEngine* re : replica_engines) {
-        re->TruncateReplLogThrough(trunc);
+    }
+    for (auto it = sim.repl_active_.begin(); it != sim.repl_active_.end();) {
+      if (ShipTenantStreams(sim, *it, lag)) {
+        it = sim.repl_active_.erase(it);
+      } else {
+        ++it;
       }
     }
   }
@@ -692,12 +818,37 @@ void SettleStage::Run(TickContext& ctx) {
         static_cast<double>(sim.options_.meta_report_interval_ticks) *
         static_cast<double>(sim.options_.tick) /
         static_cast<double>(kMicrosPerSecond);
-    for (auto& [tid, rt] : sim.tenants_) {
-      double total = 0;
-      for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
-      bool clamp = sim.meta_->ReportProxyTraffic(tid, total / interval_sec);
-      for (auto& p : rt.proxies) p->SetClamped(clamp);
+    if (sim.options_.dense_tick) {
+      for (auto& [tid, rt] : sim.tenants_) {
+        double total = 0;
+        for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
+        bool clamp = sim.meta_->ReportProxyTraffic(tid, total / interval_sec);
+        for (auto& p : rt.proxies) p->SetClamped(clamp);
+      }
+    } else {
+      // Active-set report: tenants untouched since the last report
+      // admitted nothing, so their report would be 0 RU/s — a no-op for
+      // an unclamped tenant (the MetaServer's traffic monitor is
+      // stateless per report and SetClamped(false) on an unclamped
+      // proxy is idempotent). Clamped tenants must keep reporting: the
+      // zero report is exactly what un-clamps them. The union iterates
+      // in ascending tenant id — the dense report order.
+      const std::vector<TenantId>& visit =
+          sim.SortedUnion(sim.report_touched_, sim.clamped_tenants_);
+      sim.clamped_tenants_.clear();
+      for (TenantId tid : visit) {
+        TenantRuntime** slot = sim.tenant_index_.Find(tid);
+        if (slot == nullptr) continue;
+        TenantRuntime& rt = **slot;
+        double total = 0;
+        for (auto& p : rt.proxies) total += p->ReportAndResetAdmittedRu();
+        bool clamp = sim.meta_->ReportProxyTraffic(tid, total / interval_sec);
+        for (auto& p : rt.proxies) p->SetClamped(clamp);
+        if (clamp) sim.clamped_tenants_.push_back(tid);
+      }
     }
+    sim.report_touched_.clear();
+    sim.report_epoch_++;
   }
 
   sim.SweepExpiredOutcomes();

@@ -165,6 +165,9 @@ class GenerateStage final : public Stage {
   /// Tick-scoped scratch (cleared, not freed, every tick): the runtimes
   /// whose generators fill the traffic slots, in tenant-id order.
   std::vector<TenantRuntime*> runtimes_;
+  /// Active-set mode: tenants whose rate-schedule cell hit exactly 0
+  /// this tick, parked and removed from the active set after the walk.
+  std::vector<TenantId> parked_scratch_;
 };
 
 /// Runs every client request through its tenant's proxy plane: write
@@ -286,6 +289,14 @@ class ReplicateStage final : public Stage {
     uint64_t through = 0;
     bool snapshot = false;
   };
+
+  /// Serial per-tenant pass: advances every partition stream of `tid`
+  /// (acked-seq history, shipping floor, per-node shipment batches, log
+  /// truncation). Returns true when every stream is quiescent — a
+  /// revisit with unchanged inputs would be a state no-op — so the
+  /// active-set walk can drop the tenant until a response, a routing-
+  /// epoch move, or a preload/resync/split hook re-activates it.
+  bool ShipTenantStreams(ClusterSim& sim, TenantId tid, int lag);
 
   ClusterSim* sim_;
   /// Per-node shipment batches (outer index = dense node id). Cleared,

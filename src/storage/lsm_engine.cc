@@ -115,6 +115,75 @@ const ValueEntry* LsmEngine::FindEntry(std::string_view key, ReadIo* io) {
   return nullptr;
 }
 
+void LsmEngine::MultiFind(const std::string_view* keys, size_t n,
+                          const ValueEntry** entries_out, ReadIo* ios_out) {
+  // clock_->NowMicros() is constant within a tick, so hoisting it out of
+  // the per-key expiry checks matches FindEntry exactly.
+  const Micros now = clock_->NowMicros();
+  mfind_pending_.clear();
+  for (size_t i = 0; i < n; i++) {
+    entries_out[i] = nullptr;
+    ios_out[i] = ReadIo{};
+    stats_.gets++;
+    if (const ValueEntry* e = mem_.Get(keys[i]); e != nullptr) {
+      stats_.memtable_hits++;
+      ios_out[i].memtable_hit = true;
+      if (e->IsTombstone()) continue;
+      if (e->IsExpiredAt(now)) {
+        stats_.expired_dropped++;
+        continue;
+      }
+      ios_out[i].found = true;
+      ios_out[i].expire_at = e->expire_at;
+      entries_out[i] = e;
+      continue;
+    }
+    mfind_pending_.push_back(static_cast<uint32_t>(i));
+  }
+  if (mfind_pending_.empty()) return;
+
+  // Ascending key order lets each run's binary search resume from the
+  // previous key's lower bound. Equal keys probe the same position twice,
+  // matching two serial lookups.
+  std::sort(mfind_pending_.begin(), mfind_pending_.end(),
+            [&](uint32_t a, uint32_t b) { return keys[a] < keys[b]; });
+
+  // Runs newest-to-oldest, exactly like FindEntry; a key resolved by a
+  // newer run (found, tombstone, or expired) never probes older runs.
+  for (const auto& level : levels_) {
+    if (mfind_pending_.empty()) break;
+    for (auto it = level.rbegin();
+         it != level.rend() && !mfind_pending_.empty(); ++it) {
+      const SsTable& run = **it;
+      size_t hint = 0;
+      size_t w = 0;
+      for (uint32_t i : mfind_pending_) {
+        SstProbe probe = run.Get(keys[i], &hint);
+        if (probe.block_reads == 0) {
+          stats_.bloom_filtered++;
+          mfind_pending_[w++] = i;
+          continue;
+        }
+        stats_.block_reads += static_cast<uint64_t>(probe.block_reads);
+        ios_out[i].block_reads += probe.block_reads;
+        if (probe.entry == nullptr) {  // Bloom false positive.
+          mfind_pending_[w++] = i;
+          continue;
+        }
+        if (probe.entry->IsTombstone()) continue;
+        if (probe.entry->IsExpiredAt(now)) {
+          stats_.expired_dropped++;
+          continue;
+        }
+        ios_out[i].found = true;
+        ios_out[i].expire_at = probe.entry->expire_at;
+        entries_out[i] = probe.entry;
+      }
+      mfind_pending_.resize(w);
+    }
+  }
+}
+
 Result<std::string> LsmEngine::Get(std::string_view key, ReadIo* io) {
   ReadIo local;
   const ValueEntry* e = FindEntry(key, io != nullptr ? io : &local);

@@ -103,6 +103,20 @@ class LsmEngine {
   /// HGETALL: all fields, sorted by field. NotFound if the key is absent.
   Result<HashFields> HGetAll(std::string_view key, ReadIo* io = nullptr);
 
+  // -- Batched point lookup -------------------------------------------------
+
+  /// Resolves `n` keys in one pass: `entries_out[i]` receives the newest
+  /// visible entry for `keys[i]` (nullptr if absent, tombstoned, or
+  /// expired) and `ios_out[i]` its probe cost, exactly as n independent
+  /// FindEntry-backed reads would produce them. The engine counters
+  /// receive the same totals (they are order-independent sums). Cost is
+  /// amortized: one memtable pass, then per run a single sweep over the
+  /// still-unresolved keys in ascending key order with a resumable
+  /// binary-search hint, so a batch shares each run's bloom/index work.
+  /// Returned pointers are valid until the next mutation of this engine.
+  void MultiFind(const std::string_view* keys, size_t n,
+                 const ValueEntry** entries_out, ReadIo* ios_out);
+
   // -- Range scans ----------------------------------------------------------
 
   /// One visible key/value in a scan result.
@@ -247,6 +261,8 @@ class LsmEngine {
   uint64_t next_seq_ = 1;
   uint64_t next_sst_id_ = 1;
   LsmStats stats_;
+  /// MultiFind scratch (kept across calls to avoid re-allocation).
+  std::vector<uint32_t> mfind_pending_;
 };
 
 }  // namespace storage

@@ -19,14 +19,23 @@ SsTable::SsTable(uint64_t id,
 }
 
 SstProbe SsTable::Get(std::string_view key) const {
+  size_t hint = 0;
+  return Get(key, &hint);
+}
+
+SstProbe SsTable::Get(std::string_view key, size_t* hint) const {
   SstProbe probe;
   if (!KeyInRange(key) || !bloom_.MayContain(key)) return probe;
   // Bloom said "maybe": charge one data-block read whether or not the key
   // is actually present (a false positive still reads the block).
   probe.block_reads = 1;
+  // For ascending keys, lower_bound(key_i) >= lower_bound(key_{i-1}):
+  // resuming from the hint searches the same final position as a full
+  // binary search would.
   auto it = std::lower_bound(
-      rows_.begin(), rows_.end(), key,
+      rows_.begin() + static_cast<ptrdiff_t>(*hint), rows_.end(), key,
       [](const auto& row, std::string_view k) { return row.first < k; });
+  *hint = static_cast<size_t>(it - rows_.begin());
   if (it != rows_.end() && it->first == key) {
     probe.entry = &it->second;
   }

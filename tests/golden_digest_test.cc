@@ -315,6 +315,111 @@ uint64_t RunGrayFailureDigest(int workers) {
   return digest.value();
 }
 
+// ------------------------------- Scenario: active-set vs dense ticking --
+
+/// Stresses every active-set walk against its dense twin: parked
+/// generators on zero rate-schedule cells (wheel wake-ups), flat-idle
+/// tenants, mid-run workload mutation (unpark hook), a failover (epoch-
+/// triggered replication rebuild), the control loop with sparse usage
+/// folds, sparse MetaServer traffic reports with clamped tenants, the
+/// timed Settle path (hedge-threshold set), and abandoned tracked
+/// outcomes expiring through the wheel. The digest covers every tenant's
+/// full (backfilled) history, the usage/quota roll-ups, and the outcome
+/// table size — dense and sparse runs must agree bit for bit at every
+/// worker count.
+uint64_t RunActiveSetDigest(int workers, bool dense) {
+  sim::SimOptions opt;
+  opt.seed = 9091;
+  opt.data_plane_workers = workers;
+  opt.dense_tick = dense;
+  opt.meta_report_interval_ticks = 3;
+  opt.outcome_ttl_ticks = 4;
+  opt.control_interval_ticks = 5;
+  opt.control_ticks_per_hour = 10;
+  opt.replication_lag_ticks = 1;
+  opt.node.service_time.enabled = true;
+  opt.node.service_time.dist = latency::DistKind::kLognormal;
+  opt.node.service_time.mean_micros = 120;
+  opt.node.service_time.sigma = 1.0;
+  opt.latency.enabled = true;
+  opt.latency.hedge.enabled = true;
+  opt.latency.hedge.min_observations = 32;
+  opt.latency.slo_target_micros = 2500;
+  sim::ClusterSim sim(opt);
+  PoolId pool = sim.AddPool(10);
+
+  constexpr TenantId kTenants = 9;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    meta::TenantConfig c = GoldenTenant(t, 30000 + 2000.0 * t,
+                                        /*partitions=*/2);
+    c.replicas = (t % 2 == 0) ? 3 : 1;
+    EXPECT_TRUE(sim.AddTenant(c, pool).ok());
+    sim.PreloadKeys(t, /*num_keys=*/150, /*value_bytes=*/128);
+
+    sim::WorkloadProfile p;
+    p.read_ratio = 0.8;
+    p.num_keys = 150;
+    p.value_bytes = 128;
+    p.eventual_read_fraction = (t % 2 == 0) ? 0.5 : 0.0;
+    if (t % 3 == 0) {
+      // Bursty: zero cells park the generator between wheel wake-ups.
+      p.base_qps = 0;
+      p.rate_schedule = TimeSeries({0.0, 180.0 + 10.0 * t, 0.0, 90.0});
+      p.rate_schedule_step = 4 * opt.tick;
+    } else if (t % 3 == 1) {
+      p.base_qps = 120 + 25.0 * t;  // Steady.
+    } else {
+      p.base_qps = 0;  // Idle until scripted otherwise.
+    }
+    sim.SetWorkload(t, p);
+    if (t <= 2) {
+      sim.EnableAutoscale(t, sim::AutoscaleMode::kReactive);
+    }
+  }
+
+  const NodeId victim = sim.meta().PrimaryFor(4, 0);
+  for (uint64_t tick = 0; tick < 40; tick++) {
+    if (tick < 6) {
+      // Tracked but never collected: expires through the outcome wheel.
+      ClientRequest get;
+      get.req_id = 500000 + tick;
+      get.tenant = 1;
+      get.op = OpType::kGet;
+      get.key = "t1:k" + std::to_string(tick);
+      get.track_outcome = true;
+      sim.InjectRequest(get);
+    }
+    if (tick == 10) sim.FailNode(victim);
+    if (tick == 18) sim.RecoverNode(victim, 2);
+    if (tick == 14) sim.MutableWorkload(5)->base_qps = 140;  // Unpark.
+    if (tick == 24) sim.MutableWorkload(7)->base_qps = 0;    // Park.
+    sim.Tick();
+  }
+
+  Digest digest;
+  for (TenantId t = 1; t <= kTenants; t++) {
+    FoldHistoryTimed(digest, sim.History(t));
+    if (const TimeSeries* usage = sim.UsageHistory(t)) {
+      digest.U64(usage->size());
+      for (double v : usage->values()) digest.F64(v);
+    }
+    digest.F64(sim.SloBurnRate(t, 16));
+  }
+  digest.U64(sim.TrackedOutcomeCount());
+  digest.U64(sim.InflightCount());
+  return digest.value();
+}
+
+TEST(GoldenDigestTest, ActiveSetTickingMatchesDenseTicking) {
+  const uint64_t reference = RunActiveSetDigest(1, /*dense=*/true);
+  for (int workers : {1, 2, 4}) {
+    EXPECT_EQ(RunActiveSetDigest(workers, /*dense=*/true), reference)
+        << "dense at " << workers << " workers";
+    EXPECT_EQ(RunActiveSetDigest(workers, /*dense=*/false), reference)
+        << "sparse at " << workers << " workers";
+  }
+}
+
 // ------------------------------------------------------------- The goldens --
 
 // Recorded from the seed (request-at-a-time) pipeline at commit
