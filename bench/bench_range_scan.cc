@@ -1,0 +1,320 @@
+// Range-scan data path: cross-partition scan throughput and the payoff
+// of prefix-subtree cutover invalidation over a full cache flush.
+//
+// Part 1 — scan throughput. A closed-loop async client fleet keeps
+// prefix scans in flight against a preloaded tenant with the proxy
+// cache disabled, so every scan exercises the full path: proxy RU
+// estimate -> per-partition fan-out -> resumable LsmEngine::ScanRange
+// morsels -> key-ordered merge -> settlement. Gates: every scan returns
+// a complete, correctly framed result, and the wall-clock entry
+// throughput clears a conservative floor.
+//
+// Part 2 — split-cutover invalidation. The same scan-heavy workload
+// runs through an online partition split under the two cutover modes:
+// kFullFlush (drop the whole proxy content store) vs kPrefixSubtree
+// (drop only cached scan payloads — point entries survive, since a
+// split moves routing, not values). The gate compares the proxy hit
+// ratio in the recovery window right after cutover: the prefix-tree
+// mode must keep >= 2x the full-flush hit ratio.
+//
+// Part 3 — determinism. The split scenario is replayed at 2 and 4
+// data-plane workers and must reproduce the 1-worker metric digest
+// bit-for-bit (the golden-digest contract, sampled here as a bench
+// gate so perf runs also prove it).
+//
+// Writes BENCH_range_scan.json at the repo root (committed per PR; the
+// `hardware_threads` field lets consumers discount parallel results on
+// small containers).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/scan_codec.h"
+#include "core/abase.h"
+
+namespace abase {
+namespace bench {
+namespace {
+
+// ------------------------------------------------- Part 1: throughput --
+
+constexpr uint64_t kKeySpace = 10000;
+constexpr uint64_t kValueBytes = 128;
+constexpr uint32_t kScanLimit = 100;
+
+struct ThroughputRun {
+  uint64_t scans_completed = 0;
+  uint64_t scan_errors = 0;
+  uint64_t entries = 0;
+  uint64_t short_results = 0;  ///< Scans that returned < kScanLimit rows.
+  size_t ticks = 0;
+  double scans_per_tick = 0;
+  double wall_entries_per_sec = 0;
+};
+
+ThroughputRun RunScanThroughput(size_t num_clients, size_t depth,
+                                size_t ticks) {
+  ClusterOptions copts;
+  copts.sim.seed = 31;
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "scan-bench";
+  cfg.tenant_quota_ru = 5e6;  // Ample: measure the path, not admission.
+  cfg.num_partitions = 8;
+  cfg.num_proxies = 4;
+  cfg.num_proxy_groups = 2;
+
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(8);
+  (void)cluster.CreateTenant(cfg, pool);
+  cluster.sim().PreloadKeys(1, kKeySpace, kValueBytes);
+  // Cache off: every scan must run the fan-out/merge machinery.
+  cluster.sim().SetProxyCacheEnabled(1, false);
+
+  std::vector<Client> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; c++) {
+    clients.push_back(cluster.OpenClient(1));
+  }
+  std::vector<std::vector<Future<Reply>>> outstanding(num_clients);
+  std::vector<int> next_seq(num_clients, 0);
+  // Prefixes "t1:k1".."t1:k9" each cover 1111 keys (k<d>, k<d>x, k<d>xx,
+  // k<d>xxx — decimal keys carry no leading zeros, so "k0" would match
+  // only the single key k0) — far more rows than the limit, so every
+  // result should be full.
+  auto submit_one = [&](size_t c) {
+    int seq = next_seq[c]++;
+    std::string prefix =
+        "t1:k" + std::to_string((c * 7 + static_cast<size_t>(seq)) % 9 + 1);
+    outstanding[c].push_back(
+        clients[c].Submit(Command::ScanPrefix(std::move(prefix), kScanLimit)));
+  };
+  for (size_t c = 0; c < num_clients; c++) {
+    for (size_t d = 0; d < depth; d++) submit_one(c);
+  }
+
+  ThroughputRun run;
+  run.ticks = ticks;
+  auto wall_start = std::chrono::steady_clock::now();
+  for (size_t tick = 0; tick < ticks; tick++) {
+    cluster.Step();
+    for (size_t c = 0; c < num_clients; c++) {
+      auto& fs = outstanding[c];
+      for (size_t i = 0; i < fs.size();) {
+        if (fs[i].ready()) {
+          const Reply& r = fs[i].value();
+          if (r.ok()) {
+            run.scans_completed++;
+            size_t n = CountScanEntries(r.value);
+            run.entries += n;
+            if (n < kScanLimit) run.short_results++;
+          } else {
+            run.scan_errors++;
+          }
+          fs.erase(fs.begin() + static_cast<long>(i));
+          submit_one(c);  // Closed loop: keep `depth` in flight.
+        } else {
+          i++;
+        }
+      }
+    }
+  }
+  double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  run.scans_per_tick = ticks == 0 ? 0
+                                  : static_cast<double>(run.scans_completed) /
+                                        static_cast<double>(ticks);
+  run.wall_entries_per_sec =
+      wall_secs <= 0 ? 0 : static_cast<double>(run.entries) / wall_secs;
+  return run;
+}
+
+// --------------------------------------- Part 2: cutover invalidation --
+
+struct SplitRun {
+  size_t cutover_tick = 0;
+  double steady_hit_ratio = 0;    ///< Before the split starts.
+  double recovery_hit_ratio = 0;  ///< The 2 ticks right after cutover.
+  uint64_t digest = 0;            ///< FNV fold of the metric history.
+};
+
+SplitRun RunSplitMode(sim::ProxyInvalidationMode mode, int workers) {
+  sim::SimOptions opts;
+  opts.seed = 47;
+  opts.data_plane_workers = workers;
+  opts.split_bytes_per_tick = 64 << 10;
+  opts.split_invalidation = mode;
+  sim::ClusterSim sim(opts);
+  PoolId pool = sim.AddPool(8);
+
+  meta::TenantConfig cfg;
+  cfg.id = 1;
+  cfg.name = "split-scan";
+  cfg.tenant_quota_ru = 1e6;
+  cfg.num_partitions = 4;
+  cfg.num_proxies = 4;
+  cfg.num_proxy_groups = 2;
+  (void)sim.AddTenant(cfg, pool);
+  sim.PreloadKeys(1, 4000, kValueBytes);
+
+  sim::WorkloadProfile p;
+  p.base_qps = 2000;
+  p.read_ratio = 0.95;
+  p.num_keys = 4000;
+  p.zipf_theta = 0.99;  // Hot keyspace: the content store matters.
+  p.value_bytes = kValueBytes;
+  p.scan_fraction = 0.1;
+  p.scan_limit = 20;
+  sim.SetWorkload(1, p);
+
+  SplitRun run;
+  constexpr size_t kSplitAt = 10, kTotal = 32;
+  for (size_t tick = 0; tick < kTotal; tick++) {
+    if (tick == kSplitAt) (void)sim.StartPartitionSplit(1);
+    sim.Tick();
+    if (run.cutover_tick == 0 && sim.SplitCutovers() == 1) {
+      run.cutover_tick = tick;
+    }
+  }
+
+  auto hit_ratio = [&](size_t from, size_t to) {
+    const auto& h = sim.History(1);
+    if (to > h.size()) to = h.size();
+    uint64_t hits = 0, reads = 0;
+    for (size_t i = from; i < to; i++) {
+      hits += h[i].proxy_hits;
+      reads += h[i].proxy_hits + h[i].reads_completed;
+    }
+    return reads == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(reads);
+  };
+  run.steady_hit_ratio = hit_ratio(4, kSplitAt);
+  // Recovery window: the content store was invalidated at cutover
+  // (during that tick's Control stage), so the two following ticks show
+  // what the chosen mode preserved.
+  run.recovery_hit_ratio =
+      hit_ratio(run.cutover_tick + 1, run.cutover_tick + 3);
+
+  uint64_t d = 0xcbf29ce484222325ull;
+  auto fold = [&d](uint64_t v) {
+    for (int i = 0; i < 8; i++) {
+      d ^= (v >> (8 * i)) & 0xff;
+      d *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& m : sim.History(1)) {
+    fold(m.issued);
+    fold(m.ok);
+    fold(m.errors);
+    fold(m.redirects);
+    fold(m.proxy_hits);
+    fold(m.reads_completed);
+    uint64_t ru_bits;
+    static_assert(sizeof(ru_bits) == sizeof(m.ru_charged), "");
+    std::memcpy(&ru_bits, &m.ru_charged, sizeof(ru_bits));
+    fold(ru_bits);
+  }
+  run.digest = d;
+  return run;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace abase
+
+int main() {
+  using abase::bench::RunScanThroughput;
+  using abase::bench::RunSplitMode;
+  using abase::bench::SplitRun;
+  using abase::bench::ThroughputRun;
+  using abase::sim::ProxyInvalidationMode;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  abase::bench::PrintHeader(
+      "Range-scan data path: fan-out throughput + cutover invalidation "
+      "(hardware threads: " +
+      std::to_string(hw) + ")");
+
+  // Part 1: cross-partition scan throughput, proxy cache off.
+  ThroughputRun t = RunScanThroughput(/*num_clients=*/16, /*depth=*/4,
+                                      /*ticks=*/40);
+  std::printf(
+      "scan fan-out: %llu scans (%0.1f/tick), %llu entries, "
+      "%llu errors, %llu short results, %.0f entries/sec wall\n",
+      static_cast<unsigned long long>(t.scans_completed), t.scans_per_tick,
+      static_cast<unsigned long long>(t.entries),
+      static_cast<unsigned long long>(t.scan_errors),
+      static_cast<unsigned long long>(t.short_results),
+      t.wall_entries_per_sec);
+  // Completeness: every scan ok and full (the prefixes cover ~1000 rows
+  // each, 10x the limit). Floor: conservative even for a loaded 1-core
+  // CI container — a healthy run measures well above it.
+  constexpr double kEntriesPerSecFloor = 20000;
+  bool throughput_ok = t.scan_errors == 0 && t.short_results == 0 &&
+                       t.scans_completed > 0 &&
+                       t.wall_entries_per_sec >= kEntriesPerSecFloor;
+
+  // Part 2: what each cutover mode preserves.
+  SplitRun flush = RunSplitMode(ProxyInvalidationMode::kFullFlush, 1);
+  SplitRun subtree = RunSplitMode(ProxyInvalidationMode::kPrefixSubtree, 1);
+  double advantage = flush.recovery_hit_ratio > 0
+                         ? subtree.recovery_hit_ratio /
+                               flush.recovery_hit_ratio
+                         : (subtree.recovery_hit_ratio > 0 ? 1e9 : 0);
+  std::printf(
+      "split cutover (tick %zu): steady hit %.1f%% | recovery hit "
+      "full-flush %.1f%% vs prefix-subtree %.1f%% -> %.1fx "
+      "(acceptance: >= 2x)\n",
+      subtree.cutover_tick, subtree.steady_hit_ratio * 100,
+      flush.recovery_hit_ratio * 100, subtree.recovery_hit_ratio * 100,
+      advantage);
+  bool invalidation_ok = subtree.cutover_tick > 0 &&
+                         flush.cutover_tick == subtree.cutover_tick &&
+                         advantage >= 2.0;
+
+  // Part 3: worker-count invariance of the split scenario.
+  bool deterministic = true;
+  for (int workers : {2, 4}) {
+    SplitRun r = RunSplitMode(ProxyInvalidationMode::kPrefixSubtree, workers);
+    bool same = r.digest == subtree.digest;
+    deterministic = deterministic && same;
+    std::printf("determinism @%d workers: %s\n", workers,
+                same ? "bit-identical" : "MISMATCH");
+  }
+
+  const std::string json_path =
+      abase::bench::RepoRootPath("BENCH_range_scan.json");
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"range_scan\",\"hardware_threads\":%u,"
+        "\"scans_completed\":%llu,\"scans_per_tick\":%.2f,"
+        "\"scan_entries\":%llu,\"scan_errors\":%llu,"
+        "\"short_results\":%llu,\"wall_entries_per_sec\":%.0f,"
+        "\"entries_per_sec_floor\":%.0f,"
+        "\"split\":{\"cutover_tick\":%zu,\"steady_hit_ratio\":%.4f,"
+        "\"recovery_hit_full_flush\":%.4f,"
+        "\"recovery_hit_prefix_subtree\":%.4f,\"advantage\":%.2f},"
+        "\"deterministic_across_workers\":%s,"
+        "\"gates\":{\"throughput\":%s,\"invalidation\":%s}}\n",
+        hw, static_cast<unsigned long long>(t.scans_completed),
+        t.scans_per_tick, static_cast<unsigned long long>(t.entries),
+        static_cast<unsigned long long>(t.scan_errors),
+        static_cast<unsigned long long>(t.short_results),
+        t.wall_entries_per_sec, kEntriesPerSecFloor, subtree.cutover_tick,
+        subtree.steady_hit_ratio, flush.recovery_hit_ratio,
+        subtree.recovery_hit_ratio, advantage,
+        deterministic ? "true" : "false", throughput_ok ? "true" : "false",
+        invalidation_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return throughput_ok && invalidation_ok && deterministic ? 0 : 1;
+}

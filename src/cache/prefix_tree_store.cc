@@ -1,0 +1,443 @@
+#include "cache/prefix_tree_store.h"
+
+#include <cassert>
+#include <utility>
+
+namespace abase {
+namespace cache {
+
+/// One cached payload: a point entry at its key's node, or a scan
+/// result at its prefix's node. Owned by the node; the LRU and
+/// size-class structures hold raw pointers.
+struct PrefixTreeStore::Payload {
+  Node* node = nullptr;
+  bool is_scan = false;
+  uint32_t limit = 0;  ///< Scan payloads: the cached scan's limit.
+  std::string value;
+  uint64_t charge = 0;
+  Micros expire_at = 0;
+  uint32_t hits_this_period = 0;
+  bool refresh_flagged = false;
+  int size_class = 0;
+  std::list<Payload*>::iterator lru_it;
+};
+
+/// Compressed radix-tree node. `edge` is the label on the edge from the
+/// parent; a node's path is the concatenation of edges from the root.
+struct PrefixTreeStore::Node {
+  std::string edge;
+  Node* parent = nullptr;
+  std::map<unsigned char, std::unique_ptr<Node>> children;
+  std::unique_ptr<Payload> point;                 ///< Exact-key entry.
+  std::vector<std::unique_ptr<Payload>> scans;    ///< By scan limit.
+  /// Scan payloads in this subtree (self included) — gates the
+  /// covering-scan walk and scan-only invalidation.
+  uint32_t subtree_scans = 0;
+};
+
+PrefixTreeStore::PrefixTreeStore(AuLruOptions options, const Clock* clock)
+    : options_(options), clock_(clock) {
+  assert(clock_ != nullptr);
+}
+
+PrefixTreeStore::~PrefixTreeStore() = default;
+
+int PrefixTreeStore::ClassFor(uint64_t charge) {
+  int c = 0;
+  uint64_t limit = kMinClassBytes;
+  while (c < kNumClasses - 1 && charge > limit) {
+    limit <<= 1;
+    c++;
+  }
+  return c;
+}
+
+double PrefixTreeStore::ClassDensity(int c) const {
+  const SizeClass& sc = classes_[c];
+  return sc.bytes == 0 ? 0.0
+                       : sc.recent_hits / static_cast<double>(sc.bytes);
+}
+
+const PrefixTreeStore::Node* PrefixTreeStore::FindExact(
+    const std::string& key) const {
+  const Node* n = root_.get();
+  if (n == nullptr) return nullptr;
+  size_t i = 0;
+  while (i < key.size()) {
+    auto it = n->children.find(static_cast<unsigned char>(key[i]));
+    if (it == n->children.end()) return nullptr;
+    const Node* c = it->second.get();
+    const std::string& e = c->edge;
+    if (i + e.size() > key.size() || key.compare(i, e.size(), e) != 0) {
+      return nullptr;
+    }
+    i += e.size();
+    n = c;
+  }
+  return n;
+}
+
+PrefixTreeStore::Node* PrefixTreeStore::InsertPath(const std::string& path) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    node_count_ = 1;
+  }
+  Node* n = root_.get();
+  size_t i = 0;
+  while (i < path.size()) {
+    auto it = n->children.find(static_cast<unsigned char>(path[i]));
+    if (it == n->children.end()) {
+      auto leaf = std::make_unique<Node>();
+      leaf->edge = path.substr(i);
+      leaf->parent = n;
+      Node* out = leaf.get();
+      n->children.emplace(static_cast<unsigned char>(path[i]),
+                          std::move(leaf));
+      node_count_++;
+      return out;
+    }
+    Node* c = it->second.get();
+    const std::string& e = c->edge;
+    size_t m = 0;  // Length of the common prefix of e and path[i..].
+    while (m < e.size() && i + m < path.size() && e[m] == path[i + m]) m++;
+    if (m == e.size()) {
+      n = c;
+      i += m;
+      continue;
+    }
+    // path diverges from (or ends inside) c's edge: split the edge at m.
+    auto mid = std::make_unique<Node>();
+    mid->edge = e.substr(0, m);
+    mid->parent = n;
+    mid->subtree_scans = c->subtree_scans;
+    std::unique_ptr<Node> owned = std::move(it->second);
+    c->edge = e.substr(m);
+    c->parent = mid.get();
+    mid->children.emplace(static_cast<unsigned char>(c->edge[0]),
+                          std::move(owned));
+    Node* mid_raw = mid.get();
+    it->second = std::move(mid);
+    node_count_++;
+    i += m;
+    n = mid_raw;
+    if (i == path.size()) return n;
+    // Next iteration creates the leaf for the remaining path under mid.
+  }
+  return n;
+}
+
+void PrefixTreeStore::TouchLru(Payload* p) {
+  lru_.splice(lru_.begin(), lru_, p->lru_it);
+}
+
+void PrefixTreeStore::InsertLru(Payload* p) {
+  lru_.push_front(p);
+  p->lru_it = lru_.begin();
+}
+
+void PrefixTreeStore::BumpSubtreeScans(Node* n, int delta) {
+  for (Node* x = n; x != nullptr; x = x->parent) {
+    x->subtree_scans = static_cast<uint32_t>(
+        static_cast<int64_t>(x->subtree_scans) + delta);
+  }
+}
+
+void PrefixTreeStore::PruneFrom(Node* n) {
+  while (n != nullptr && n != root_.get()) {
+    if (n->point || !n->scans.empty()) return;
+    Node* parent = n->parent;
+    if (n->children.empty()) {
+      parent->children.erase(static_cast<unsigned char>(n->edge[0]));
+      node_count_--;
+      n = parent;
+      continue;
+    }
+    if (n->children.size() == 1) {
+      // Payload-less pass-through: merge the single child upward to
+      // restore path compression after deletions.
+      std::unique_ptr<Node> child = std::move(n->children.begin()->second);
+      child->edge = n->edge + child->edge;
+      child->parent = parent;
+      const auto slot = static_cast<unsigned char>(child->edge[0]);
+      parent->children[slot] = std::move(child);  // Destroys n.
+      node_count_--;
+    }
+    return;
+  }
+}
+
+void PrefixTreeStore::RemovePayload(Payload* p, bool count_as_invalidation) {
+  Node* n = p->node;
+  used_ -= p->charge;
+  classes_[p->size_class].bytes -= p->charge;
+  lru_.erase(p->lru_it);
+  if (count_as_invalidation) tree_stats_.invalidated_payloads++;
+  if (p->is_scan) {
+    cached_scans_--;
+    BumpSubtreeScans(n, -1);
+    for (auto it = n->scans.begin(); it != n->scans.end(); ++it) {
+      if (it->get() == p) {
+        n->scans.erase(it);  // Destroys p.
+        break;
+      }
+    }
+  } else {
+    n->point.reset();  // Destroys p.
+  }
+  PruneFrom(n);
+}
+
+void PrefixTreeStore::EvictUntilFits(uint64_t incoming) {
+  while (used_ + incoming > options_.capacity_bytes && !lru_.empty()) {
+    stats_.evictions++;
+    RemovePayload(lru_.back(), /*count_as_invalidation=*/false);
+  }
+}
+
+bool PrefixTreeStore::Put(const std::string& key, std::string value,
+                          uint64_t charge, Micros ttl) {
+  if (charge > options_.capacity_bytes) return false;
+  if (ttl <= 0) ttl = options_.default_ttl;
+  // Overwrite: the slot's current entry goes first (fresh refresh
+  // bookkeeping), exactly like the AU-LRU cache.
+  if (const Node* en = FindExact(key); en != nullptr && en->point) {
+    RemovePayload(en->point.get(), /*count_as_invalidation=*/false);
+  }
+  EvictUntilFits(charge);
+  Node* n = InsertPath(key);
+  auto p = std::make_unique<Payload>();
+  p->node = n;
+  p->value = std::move(value);
+  p->charge = charge;
+  p->expire_at = clock_->NowMicros() + ttl;
+  p->size_class = ClassFor(charge);
+  InsertLru(p.get());
+  classes_[p->size_class].bytes += charge;
+  for (SizeClass& sc : classes_) sc.recent_hits *= kHitDecay;
+  used_ += charge;
+  stats_.inserts++;
+  n->point = std::move(p);
+  return true;
+}
+
+AuLookup PrefixTreeStore::Get(const std::string& key) {
+  AuLookup out;
+  const Node* n = FindExact(key);
+  if (n == nullptr || !n->point) {
+    stats_.misses++;
+    return out;
+  }
+  Payload& e = *n->point;
+  const Micros now = clock_->NowMicros();
+  if (now >= e.expire_at) {
+    // Lazy expiry, AU-LRU style: count it, drop it, report a miss.
+    stats_.expired++;
+    stats_.misses++;
+    RemovePayload(&e, /*count_as_invalidation=*/false);
+    return out;
+  }
+  out.hit = true;
+  out.value = &e.value;
+  stats_.hits++;
+  classes_[e.size_class].recent_hits += 1.0;
+  e.hits_this_period++;
+  if (!e.refresh_flagged && e.hits_this_period >= options_.refresh_min_hits &&
+      e.expire_at - now <= options_.refresh_window) {
+    e.refresh_flagged = true;
+    out.needs_refresh = true;
+    refresh_queue_.push_back(key);
+    refresh_requests_++;
+  }
+  TouchLru(&e);
+  return out;
+}
+
+bool PrefixTreeStore::Erase(const std::string& key) {
+  return EraseHashed(0, key);
+}
+
+bool PrefixTreeStore::EraseHashed(uint64_t /*hash*/, const std::string& key) {
+  if (!root_) return false;
+  // One walk serves both jobs: find the exact point entry, and collect
+  // every cached scan whose prefix covers `key` (a write inside a
+  // cached range invalidates it). Removal is deferred past the walk
+  // because pruning restructures the path being walked.
+  const bool walk_scans = root_->subtree_scans > 0;
+  std::vector<Payload*> covering;
+  Payload* point = nullptr;
+  Node* n = root_.get();
+  size_t i = 0;
+  while (true) {
+    if (walk_scans) {
+      for (auto& sp : n->scans) covering.push_back(sp.get());
+    }
+    if (i == key.size()) {
+      point = n->point.get();
+      break;
+    }
+    auto it = n->children.find(static_cast<unsigned char>(key[i]));
+    if (it == n->children.end()) break;
+    Node* c = it->second.get();
+    const std::string& e = c->edge;
+    if (i + e.size() > key.size() || key.compare(i, e.size(), e) != 0) break;
+    i += e.size();
+    n = c;
+  }
+  for (Payload* p : covering) {
+    tree_stats_.scans_dropped_by_write++;
+    RemovePayload(p, /*count_as_invalidation=*/false);
+  }
+  if (point == nullptr) return false;
+  RemovePayload(point, /*count_as_invalidation=*/false);
+  return true;
+}
+
+bool PrefixTreeStore::Contains(const std::string& key) const {
+  const Node* n = FindExact(key);
+  return n != nullptr && n->point != nullptr;
+}
+
+std::vector<std::string> PrefixTreeStore::TakeRefreshQueue() {
+  std::vector<std::string> out;
+  out.swap(refresh_queue_);
+  return out;
+}
+
+bool PrefixTreeStore::PutScan(const std::string& prefix, uint32_t limit,
+                              std::string payload, uint64_t charge,
+                              Micros ttl) {
+  if (charge > options_.capacity_bytes) return false;
+  if (ttl <= 0) ttl = options_.default_ttl;
+  if (const Node* en = FindExact(prefix); en != nullptr) {
+    for (auto& sp : en->scans) {
+      if (sp->limit == limit) {
+        RemovePayload(sp.get(), /*count_as_invalidation=*/false);
+        break;
+      }
+    }
+  }
+  EvictUntilFits(charge);
+  Node* n = InsertPath(prefix);
+  auto p = std::make_unique<Payload>();
+  p->node = n;
+  p->is_scan = true;
+  p->limit = limit;
+  p->value = std::move(payload);
+  p->charge = charge;
+  p->expire_at = clock_->NowMicros() + ttl;
+  p->size_class = ClassFor(charge);
+  InsertLru(p.get());
+  classes_[p->size_class].bytes += charge;
+  for (SizeClass& sc : classes_) sc.recent_hits *= kHitDecay;
+  used_ += charge;
+  stats_.inserts++;
+  tree_stats_.scan_inserts++;
+  cached_scans_++;
+  BumpSubtreeScans(n, +1);
+  n->scans.push_back(std::move(p));
+  return true;
+}
+
+AuLookup PrefixTreeStore::GetScan(const std::string& prefix, uint32_t limit) {
+  AuLookup out;
+  const Node* n = FindExact(prefix);
+  Payload* e = nullptr;
+  if (n != nullptr) {
+    for (auto& sp : n->scans) {
+      if (sp->limit == limit) {
+        e = sp.get();
+        break;
+      }
+    }
+  }
+  if (e == nullptr) {
+    stats_.misses++;
+    tree_stats_.scan_misses++;
+    return out;
+  }
+  const Micros now = clock_->NowMicros();
+  if (now >= e->expire_at) {
+    stats_.expired++;
+    stats_.misses++;
+    tree_stats_.scan_misses++;
+    RemovePayload(e, /*count_as_invalidation=*/false);
+    return out;
+  }
+  out.hit = true;
+  out.value = &e->value;
+  stats_.hits++;
+  tree_stats_.scan_hits++;
+  classes_[e->size_class].recent_hits += 1.0;
+  TouchLru(e);
+  return out;
+}
+
+void PrefixTreeStore::CollectSubtree(Node* n, bool scans_only,
+                                     std::vector<Payload*>& out) const {
+  if (scans_only && n->subtree_scans == 0) return;
+  if (!scans_only && n->point) out.push_back(n->point.get());
+  for (auto& sp : n->scans) out.push_back(sp.get());
+  for (auto& [byte, child] : n->children) {
+    (void)byte;
+    CollectSubtree(child.get(), scans_only, out);
+  }
+}
+
+size_t PrefixTreeStore::InvalidatePrefix(const std::string& prefix) {
+  tree_stats_.prefix_invalidations++;
+  if (!root_) return 0;
+  std::vector<Payload*> drop;
+  Node* subtree = nullptr;
+  Node* n = root_.get();
+  size_t i = 0;
+  while (true) {
+    if (i >= prefix.size()) {
+      subtree = n;  // Exact node: its whole subtree is covered.
+      break;
+    }
+    // Scans cached on strict-ancestor nodes span the invalidated prefix
+    // — conservatively stale, drop them too.
+    for (auto& sp : n->scans) drop.push_back(sp.get());
+    auto it = n->children.find(static_cast<unsigned char>(prefix[i]));
+    if (it == n->children.end()) break;
+    Node* c = it->second.get();
+    const std::string& e = c->edge;
+    const size_t remain = prefix.size() - i;
+    if (e.size() >= remain) {
+      // Prefix ends on/inside c's edge: if the edge extends the prefix,
+      // every key below c starts with it — the whole subtree is covered.
+      if (e.compare(0, remain, prefix, i, remain) == 0) subtree = c;
+      break;
+    }
+    if (prefix.compare(i, e.size(), e) != 0) break;
+    i += e.size();
+    n = c;
+  }
+  if (subtree != nullptr) {
+    CollectSubtree(subtree, /*scans_only=*/false, drop);
+  }
+  for (Payload* p : drop) RemovePayload(p, /*count_as_invalidation=*/true);
+  return drop.size();
+}
+
+size_t PrefixTreeStore::InvalidateScans() {
+  tree_stats_.prefix_invalidations++;
+  if (!root_ || root_->subtree_scans == 0) return 0;
+  std::vector<Payload*> drop;
+  CollectSubtree(root_.get(), /*scans_only=*/true, drop);
+  for (Payload* p : drop) RemovePayload(p, /*count_as_invalidation=*/true);
+  return drop.size();
+}
+
+void PrefixTreeStore::Clear() {
+  root_.reset();
+  lru_.clear();
+  refresh_queue_.clear();
+  used_ = 0;
+  node_count_ = 0;
+  cached_scans_ = 0;
+  for (SizeClass& sc : classes_) sc = SizeClass{};
+}
+
+}  // namespace cache
+}  // namespace abase

@@ -1,0 +1,28 @@
+// Key-space helpers shared by the storage engine, the proxy content
+// store, and the workload generator.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace abase {
+
+/// Smallest key strictly greater than every key that starts with
+/// `prefix` — the exclusive upper bound of the prefix range
+/// [prefix, PrefixUpperBound(prefix)). Trailing 0xff bytes cannot be
+/// incremented (0xff + 1 rolls over), so they are dropped before the
+/// last remaining byte is bumped; an all-0xff (or empty) prefix has no
+/// upper bound and returns "" — callers treat the empty string as
+/// "to the last key".
+inline std::string PrefixUpperBound(std::string_view prefix) {
+  std::string end(prefix);
+  while (!end.empty() && static_cast<unsigned char>(end.back()) == 0xff) {
+    end.pop_back();
+  }
+  if (!end.empty()) {
+    end.back() = static_cast<char>(static_cast<unsigned char>(end.back()) + 1);
+  }
+  return end;
+}
+
+}  // namespace abase

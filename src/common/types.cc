@@ -20,6 +20,8 @@ const char* OpTypeName(OpType op) {
       return "HGETALL";
     case OpType::kExpire:
       return "EXPIRE";
+    case OpType::kScan:
+      return "SCAN";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,7 @@ enum class OpType {
   kHLen,     ///< Complex read: field count of a hash.
   kHGetAll,  ///< Complex read: full scan of a hash (HLen + scan stages).
   kExpire,   ///< TTL update (metadata write).
+  kScan,     ///< Range read: ordered [start, end) scan with a limit.
 };
 
 /// True for commands that read state (includes complex reads).
@@ -34,6 +35,7 @@ inline bool IsReadOp(OpType op) {
     case OpType::kHGet:
     case OpType::kHLen:
     case OpType::kHGetAll:
+    case OpType::kScan:
       return true;
     case OpType::kSet:
     case OpType::kDel:

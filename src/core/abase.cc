@@ -152,6 +152,7 @@ Client::Pending Client::SubmitPending(Command cmd) {
   req.field = std::move(cmd.field);
   req.value = std::move(cmd.value);
   req.ttl = cmd.ttl;
+  req.scan_limit = cmd.scan_limit;
   req.consistency = cmd.consistency;
 
   Pending p;
@@ -160,16 +161,25 @@ Client::Pending Client::SubmitPending(Command cmd) {
   return p;
 }
 
+std::vector<Client::Pending> Client::SubmitPendingBatch(
+    std::vector<Command> cmds) {
+  std::vector<Pending> pending;
+  pending.reserve(cmds.size());
+  for (Command& cmd : cmds) {
+    pending.push_back(SubmitPending(std::move(cmd)));
+  }
+  return pending;
+}
+
 Future<Reply> Client::Submit(Command cmd) {
   return SubmitPending(std::move(cmd)).future;
 }
 
 std::vector<Future<Reply>> Client::SubmitBatch(std::vector<Command> cmds) {
+  std::vector<Pending> pending = SubmitPendingBatch(std::move(cmds));
   std::vector<Future<Reply>> futures;
-  futures.reserve(cmds.size());
-  for (Command& cmd : cmds) {
-    futures.push_back(Submit(std::move(cmd)));
-  }
+  futures.reserve(pending.size());
+  for (Pending& p : pending) futures.push_back(std::move(p.future));
   return futures;
 }
 
@@ -226,11 +236,12 @@ Result<std::string> Client::Get(const std::string& key) {
 
 std::vector<Result<std::string>> Client::MGet(
     const std::vector<std::string>& keys) {
-  std::vector<Pending> pending;
-  pending.reserve(keys.size());
-  for (const std::string& key : keys) {
-    pending.push_back(SubmitPending(Command::Get(key)));
-  }
+  // One batched submission (see header): the whole batch is admitted
+  // together and probes the nodes through the MultiFind grouped path.
+  std::vector<Command> cmds;
+  cmds.reserve(keys.size());
+  for (const std::string& key : keys) cmds.push_back(Command::Get(key));
+  std::vector<Pending> pending = SubmitPendingBatch(std::move(cmds));
   std::vector<Reply> replies = AwaitAll(pending);
   std::vector<Result<std::string>> results;
   results.reserve(replies.size());
@@ -285,6 +296,20 @@ Result<uint64_t> Client::HLen(const std::string& key) {
 
 Status Client::Expire(const std::string& key, Micros ttl) {
   return Await(SubmitPending(Command::Expire(key, ttl))).status;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> Client::Scan(
+    const std::string& start, const std::string& end, uint32_t limit) {
+  Reply r = Await(SubmitPending(Command::Scan(start, end, limit)));
+  if (!r.ok()) return r.status;
+  return r.ScanEntries();
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> Client::ScanPrefix(
+    const std::string& prefix, uint32_t limit) {
+  Reply r = Await(SubmitPending(Command::ScanPrefix(prefix, limit)));
+  if (!r.ok()) return r.status;
+  return r.ScanEntries();
 }
 
 }  // namespace abase

@@ -189,7 +189,11 @@ class Client {
              Micros ttl = 0);
   Result<std::string> Get(const std::string& key);
 
-  /// Batched GET; per-key results in input order.
+  /// Batched GET; per-key results in input order. One batched
+  /// submission: every key is injected before any tick runs, so the
+  /// whole batch lands in one ProxyAdmit pass and the destination nodes
+  /// probe the grouped point reads through the MultiFind morsel path
+  /// instead of N independent lookups.
   std::vector<Result<std::string>> MGet(const std::vector<std::string>& keys);
 
   /// Batched SET; per-key statuses in input order.
@@ -202,6 +206,19 @@ class Client {
   Result<std::string> HGetAll(const std::string& key);
   Result<uint64_t> HLen(const std::string& key);
   Status Expire(const std::string& key, Micros ttl);
+
+  /// SCAN over [start, end): up to `limit` entries in key order, merged
+  /// across every partition (empty `end` = to the last key). Decoded
+  /// (key, value) pairs; async callers use Submit(Command::Scan(...))
+  /// and Reply::ScanEntries() instead.
+  Result<std::vector<std::pair<std::string, std::string>>> Scan(
+      const std::string& start, const std::string& end, uint32_t limit = 100);
+
+  /// SCAN of every key starting with `prefix`. Prefix-shaped scans are
+  /// the cacheable form: repeats can be served from the proxy's
+  /// prefix-tree content store without touching the data plane.
+  Result<std::vector<std::pair<std::string, std::string>>> ScanPrefix(
+      const std::string& prefix, uint32_t limit = 100);
 
   TenantId tenant() const { return tenant_; }
 
@@ -216,6 +233,12 @@ class Client {
   uint64_t NextRequestId();
 
   Pending SubmitPending(Command cmd);
+
+  /// The batched-submission core under SubmitBatch and MGet: all
+  /// commands are injected before any tick can run, so the batch is
+  /// admitted in one ProxyAdmit pass and point reads reach the nodes'
+  /// MultiFind grouped probe together.
+  std::vector<Pending> SubmitPendingBatch(std::vector<Command> cmds);
 
   /// Drains until `p` resolves (bounded); Internal error on timeout.
   Reply Await(const Pending& p);

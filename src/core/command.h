@@ -10,8 +10,11 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/clock.h"
+#include "common/keyspace.h"
+#include "common/scan_codec.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -22,9 +25,11 @@ namespace abase {
 struct Command {
   OpType op = OpType::kGet;
   std::string key;
-  std::string field;  ///< Hash ops only.
+  std::string field;  ///< Hash ops: the field. Scans: exclusive end key.
   std::string value;  ///< Writes only.
   Micros ttl = 0;     ///< Set / Expire only.
+  /// Scans only: maximum entries returned across the whole range.
+  uint32_t scan_limit = 0;
   /// Read routing preference (reads only; writes always hit the
   /// primary). kPrimary pins the read to the partition's primary —
   /// read-your-writes. kEventual lets the cluster balance the read
@@ -46,8 +51,9 @@ struct Command {
   /// GET routed to any alive replica (shorthand for
   /// Get(key).Eventual()).
   static Command GetEventual(std::string key) {
-    return Command{OpType::kGet, std::move(key), "", "", 0,
-                   Consistency::kEventual};
+    Command c = Get(std::move(key));
+    c.consistency = Consistency::kEventual;
+    return c;
   }
   static Command Set(std::string key, std::string value, Micros ttl = 0) {
     return Command{OpType::kSet, std::move(key), "", std::move(value), ttl};
@@ -70,6 +76,25 @@ struct Command {
   }
   static Command Expire(std::string key, Micros ttl) {
     return Command{OpType::kExpire, std::move(key), "", "", ttl};
+  }
+
+  /// SCAN over [start, end): at most `limit` visible entries in key
+  /// order, merged across every partition of the tenant. An empty `end`
+  /// scans to the last key. Scans always read the primaries (a
+  /// cross-partition merge of mixed-staleness replicas would not be a
+  /// consistent range view), so consistency stays kPrimary.
+  static Command Scan(std::string start, std::string end,
+                      uint32_t limit = 100) {
+    Command c{OpType::kScan, std::move(start), std::move(end), "", 0};
+    c.scan_limit = limit;
+    return c;
+  }
+
+  /// SCAN of every key starting with `prefix` (the [prefix,
+  /// PrefixUpperBound(prefix)) range).
+  static Command ScanPrefix(std::string prefix, uint32_t limit = 100) {
+    std::string end = PrefixUpperBound(prefix);
+    return Scan(std::move(prefix), std::move(end), limit);
   }
 };
 
@@ -98,6 +123,18 @@ struct Reply {
   uint64_t LatencyTicks() const { return latency_ticks; }
 
   Micros LatencyMicros() const { return latency_micros; }
+
+  /// Decodes a SCAN reply's framed payload (common/scan_codec.h) into
+  /// (key, value) pairs, in key order. Empty for non-scan replies.
+  std::vector<std::pair<std::string, std::string>> ScanEntries() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    std::string_view rest(value);
+    ScanEntryView e;
+    while (NextScanEntry(rest, e)) {
+      out.emplace_back(std::string(e.key), std::string(e.value));
+    }
+    return out;
+  }
 };
 
 }  // namespace abase

@@ -5,6 +5,8 @@
 #include <charconv>
 #include <iterator>
 
+#include "common/scan_codec.h"
+
 namespace abase {
 namespace node {
 
@@ -352,6 +354,7 @@ void DataNode::Submit(NodeRequest req) {
   ctx.probe_status = Status::OK();
   ctx.probe_value.clear();
   ctx.probe_hash_fields = 0;
+  ctx.probe_scan_entries = 0;
   ctx.probe_io = storage::ReadIo{};
   pending_live_++;
   sreq.pending_slot = slot;
@@ -375,6 +378,31 @@ sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
     // ExecuteOnEngine.
     probe.hit = false;
     probe.needs_io = false;
+    return probe;
+  }
+
+  // SCAN: run the merge iterator now (probe-at-schedule time, like point
+  // reads) and frame the result into the slab slot. Scans bypass the
+  // node's point cache — a range result is not addressable by one cache
+  // key, and the proxy's prefix-tree store is the scan-caching layer.
+  if (req.op == OpType::kScan) {
+    PartitionReplica& rep = *FindReplica(req.tenant, req.partition);
+    scan_buffer_.Clear();
+    storage::ScanResult res = rep.engine->ScanRange(
+        req.key, req.field, req.scan_limit, scan_buffer_);
+    ctx.probe_status = Status::OK();
+    ctx.probe_value.clear();
+    for (size_t k = 0; k < scan_buffer_.size(); k++) {
+      AppendScanEntry(ctx.probe_value, scan_buffer_[k].key,
+                      scan_buffer_[k].value);
+    }
+    ctx.probe_scan_entries = res.entries;
+    ctx.probed = true;
+    ctx.probe_io = storage::ReadIo{};
+    ctx.probe_io.block_reads = res.block_reads;
+    probe.hit = false;
+    probe.needs_io = res.block_reads > 0;
+    probe.io_blocks = std::max(res.block_reads, 0);
     return probe;
   }
 
@@ -462,8 +490,10 @@ void DataNode::ProbeBatch(const sched::SchedRequest* reqs, size_t n,
     }
     PendingContext& ctx = *pit;
     const NodeRequest& req = ctx.req;
-    if (!IsReadOp(req.op)) {
-      // Writes arrive as singleton batches; defensive fall-through.
+    if (!IsReadOp(req.op) || req.op == OpType::kScan) {
+      // Writes arrive as singleton batches (defensive fall-through);
+      // scans run their merge iterator in the serial probe — MultiFind's
+      // point-key grouping below does not apply to a range.
       out[i] = ProbeRequest(reqs[i]);
       continue;
     }
@@ -673,6 +703,16 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       resp.status = rep.engine->Expire(req.key, req.ttl);
       resp.value_bytes = 8;
       resp.actual_ru = 1.0;
+      break;
+    }
+    case OpType::kScan: {
+      // The probe already ran the merge iterator and framed the result.
+      resp.status = ctx.probe_status;
+      resp.value = std::move(ctx.probe_value);
+      resp.value_bytes = resp.value.size();
+      resp.scan_entries = ctx.probe_scan_entries;
+      resp.actual_ru = ru::ActualScanCharge(
+          ctx.probe_scan_entries, resp.value_bytes, ru_model_.options());
       break;
     }
   }

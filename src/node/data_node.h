@@ -271,8 +271,10 @@ class DataNode {
     // does not re-execute (and double-count) the read.
     bool probed = false;
     Status probe_status;
-    std::string probe_value;       ///< Payload (serialized for HGETALL).
+    std::string probe_value;       ///< Payload (serialized for HGETALL,
+                                   ///< scan-codec framed for SCAN).
     uint64_t probe_hash_fields = 0;
+    uint64_t probe_scan_entries = 0;  ///< Entries a SCAN probe emitted.
     storage::ReadIo probe_io;
   };
 
@@ -381,6 +383,10 @@ class DataNode {
   /// 0.2*0 + 0.8*0 == 0 exactly, so skipping it is bit-identical.
   std::vector<uint64_t> ewma_active_;
   std::vector<uint32_t> batch_miss_;  ///< ProbeBatch cache-miss scratch.
+  /// SCAN probe scratch: the merge iterator fills it, the probe frames
+  /// it into the slab slot. Cleared (capacity and per-slot string
+  /// capacity kept) per scan — zero allocations in the steady state.
+  storage::ScanBuffer scan_buffer_;
 };
 
 }  // namespace node

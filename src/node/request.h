@@ -18,9 +18,11 @@ struct ClientRequest {
   TenantId tenant = 0;
   OpType op = OpType::kGet;
   std::string key;
-  std::string field;  ///< Hash commands only.
+  std::string field;  ///< Hash commands: the field. Scans: exclusive end key.
   std::string value;  ///< Writes only.
   Micros ttl = 0;     ///< SET/EXPIRE.
+  /// Scans only: maximum entries returned across the whole range.
+  uint32_t scan_limit = 0;
   Micros issued_at = 0;
   /// Read routing preference: kPrimary pins the read to the partition's
   /// primary; kEventual lets the Route stage balance it across alive
@@ -39,9 +41,14 @@ struct NodeRequest {
   PartitionId partition = 0;
   OpType op = OpType::kGet;
   std::string key;
-  std::string field;
+  std::string field;  ///< Hash commands: the field. Scans: exclusive end key.
   std::string value;
   Micros ttl = 0;
+  /// Scans only: per-partition entry cap. The Route stage fans a scan
+  /// out to every partition; each sub-request carries the client's full
+  /// limit (any partition might hold the whole answer) and the Settle
+  /// merge re-applies it globally.
+  uint32_t scan_limit = 0;
   Micros issued_at = 0;
   double estimated_ru = 1.0;       ///< Proxy-side cache-aware estimate.
   uint64_t value_size_hint = 0;    ///< For WFQ small/large classification.
@@ -67,8 +74,9 @@ struct NodeResponse {
   OpType op = OpType::kGet;
   Status status;
   std::string key;
-  std::string value;          ///< Read payload (value or serialized hash).
+  std::string value;          ///< Read payload (value, hash, or framed scan).
   uint64_t value_bytes = 0;   ///< Actual bytes returned/written.
+  uint64_t scan_entries = 0;  ///< Scans: entries in the framed payload.
   double actual_ru = 0;       ///< Charge computed by the node.
   Micros latency = 0;         ///< Data-plane service latency.
   ServedBy served_by = ServedBy::kNodeCpu;

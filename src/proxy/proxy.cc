@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "common/keyspace.h"
+
 namespace abase {
 namespace proxy {
 
@@ -40,6 +42,8 @@ double Proxy::EstimateRu(const ClientRequest& req) const {
       return ru_.EstimateHLenRu();
     case OpType::kHGetAll:
       return ru_.EstimateHGetAllRu();
+    case OpType::kScan:
+      return ru_.EstimateScanRu(req.scan_limit);
   }
   return 1.0;
 }
@@ -61,6 +65,23 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
       out.value_bytes = lk.value->size();
       // Only tracked requests ever read the payload downstream; bulk
       // traffic needs just the size, so skip the per-hit copy.
+      if (req.track_outcome) out.value = *lk.value;
+      out.latency = options_.cache_hit_latency;
+      return out;
+    }
+  }
+  // Prefix-shaped scans (end == PrefixUpperBound(start)) can be served
+  // from the content store's scan payloads — saving an entire
+  // cross-partition fan-out, not just one point read. Arbitrary
+  // [start, end) ranges are not cached: their result is not addressable
+  // by a tree prefix.
+  if (cache_enabled_ && req.op == OpType::kScan &&
+      req.field == PrefixUpperBound(req.key)) {
+    cache::AuLookup lk = cache_.GetScan(req.key, req.scan_limit);
+    if (lk.hit) {
+      stats_.cache_hits++;
+      out.action = ProxyHandleResult::Action::kServedFromCache;
+      out.value_bytes = lk.value->size();
       if (req.track_outcome) out.value = *lk.value;
       out.latency = options_.cache_hit_latency;
       return out;
@@ -90,6 +111,7 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   fwd.field = req.field;
   fwd.value = req.value;
   fwd.ttl = req.ttl;
+  fwd.scan_limit = req.scan_limit;
   fwd.issued_at = req.issued_at;
   fwd.consistency = req.consistency;
   fwd.estimated_ru = estimate;
@@ -125,6 +147,9 @@ void Proxy::OnResponse(const NodeResponse& resp) {
       ru_.ChargeRead(resp.value_bytes, served);
     } else if (resp.op == OpType::kHGetAll) {
       ru_.ChargeHGetAll(resp.value_bytes, served);
+    } else if (resp.op == OpType::kScan && resp.status.ok()) {
+      // Feed the per-entry size history behind EstimateScanRu.
+      ru_.RecordScanShape(resp.scan_entries, resp.value_bytes);
     }
   }
 
@@ -142,6 +167,14 @@ void Proxy::OnResponse(const NodeResponse& resp) {
     }
     cache_.Put(resp.key, resp.value, resp.value.size() + 32, ttl);
   }
+}
+
+void Proxy::FillScanCache(const std::string& prefix, uint32_t limit,
+                          const std::string& framed) {
+  if (!cache_enabled_) return;
+  // Framed payloads carry per-entry headers; +64 approximates the tree
+  // node and LRU bookkeeping, like +32 does for point entries.
+  cache_.PutScan(prefix, limit, framed, framed.size() + 64, 0);
 }
 
 void Proxy::AbandonForward(uint64_t req_id) {

@@ -1,8 +1,9 @@
 // Tenant proxy — paper Sections 3.2, 4.2 and 4.4.
 //
 // Each tenant owns a fleet of proxies. A proxy:
-//  * serves reads from its AU-LRU cache (free: no quota charge, no
-//    data-plane traffic);
+//  * serves point reads and prefix scans from its content store (free:
+//    no quota charge, no data-plane traffic). The store is a prefix
+//    tree with AU-LRU point semantics (cache/prefix_tree_store.h);
 //  * enforces the proxy-level quota with 2x autonomous headroom,
 //    rejecting excess traffic *before* it can reach shared DataNodes;
 //  * estimates request RUs cache-awarely for admission control;
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "cache/au_lru.h"
+#include "cache/prefix_tree_store.h"
 #include "common/flat_map.h"
 #include "common/clock.h"
 #include "common/types.h"
@@ -88,6 +90,7 @@ class Proxy {
 
   /// Drops the cached value of `key` (write invalidation: the simulator
   /// broadcasts this to the tenant's proxies when a write is routed).
+  /// The content store also drops every cached scan covering the key.
   void InvalidateCache(const std::string& key) { cache_.Erase(key); }
 
   /// InvalidateCache with a caller-computed HashString(key): the
@@ -95,6 +98,26 @@ class Proxy {
   void InvalidateCacheHashed(uint64_t hash, const std::string& key) {
     cache_.EraseHashed(hash, key);
   }
+
+  /// Drops every cached entry under `prefix` — O(subtree), used for
+  /// moved-key purges and migrations.
+  void InvalidateCachePrefix(const std::string& prefix) {
+    cache_.InvalidatePrefix(prefix);
+  }
+
+  /// Drops only cached scan results (split cutover: the partition set a
+  /// scan was merged across changed, but no value moved or changed, so
+  /// point entries stay valid).
+  void InvalidateCachedScans() { cache_.InvalidateScans(); }
+
+  /// Drops the whole content store (conservative full-flush cutover).
+  void FlushCache() { cache_.Clear(); }
+
+  /// Caches the framed payload of a completed prefix scan. Called by
+  /// the settle merge, which knows the scan's prefix shape and limit
+  /// (a NodeResponse does not carry them).
+  void FillScanCache(const std::string& prefix, uint32_t limit,
+                     const std::string& framed);
 
   // -- Control-plane hooks ---------------------------------------------------
 
@@ -131,7 +154,7 @@ class Proxy {
   void set_az(uint32_t az) { az_ = az; }
 
   const ProxyStats& stats() const { return stats_; }
-  const cache::AuLruCache& cache() const { return cache_; }
+  const cache::PrefixTreeStore& cache() const { return cache_; }
   const ru::RuEstimator& ru_estimator() const { return ru_; }
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   void set_quota_enabled(bool enabled) { quota_enabled_ = enabled; }
@@ -145,7 +168,7 @@ class Proxy {
   ProxyOptions options_;
   const Clock* clock_;
   std::function<PartitionId(const std::string&)> partition_of_;
-  cache::AuLruCache cache_;
+  cache::PrefixTreeStore cache_;
   quota::ProxyQuota quota_;
   ru::RuEstimator ru_;
   bool cache_enabled_;

@@ -20,12 +20,22 @@ double ActualWriteCharge(uint64_t bytes, int replicas,
   return per_write * std::max(1, replicas);
 }
 
+double ActualScanCharge(uint64_t entries, uint64_t bytes,
+                        const RuOptions& options) {
+  double byte_ru = std::max(
+      1.0, static_cast<double>(bytes) / static_cast<double>(options.unit_bytes));
+  return 1.0 + byte_ru +
+         static_cast<double>(entries) * options.scan_entry_cpu_ru;
+}
+
 RuEstimator::RuEstimator(RuOptions options)
     : options_(options),
       read_bytes_(options.window_k, options.initial_read_bytes),
       hit_ratio_(options.window_k, options.initial_hit_ratio),
       hash_len_(options.window_k, 8.0),
-      field_bytes_(options.window_k, 64.0) {}
+      field_bytes_(options.window_k, 64.0),
+      scan_entry_bytes_(options.window_k,
+                        options.initial_scan_bytes / 16.0) {}
 
 double RuEstimator::BytesToRu(double bytes) const {
   // Minimum one RU per unit touched: even a tiny request costs a lookup.
@@ -94,6 +104,19 @@ double RuEstimator::ChargeHGetAll(uint64_t total_bytes,
   // read of the returned payload.
   if (served_by == ReadServedBy::kProxyCache) return 0.0;
   return EstimateHLenRu() + ChargeRead(total_bytes, served_by);
+}
+
+double RuEstimator::EstimateScanRu(uint32_t limit) const {
+  const double n = static_cast<double>(std::max<uint32_t>(1, limit));
+  const double expected_bytes = n * scan_entry_bytes_.Value();
+  return 1.0 + BytesToRu(expected_bytes) + n * options_.scan_entry_cpu_ru;
+}
+
+void RuEstimator::RecordScanShape(uint64_t entries, uint64_t total_bytes) {
+  if (entries > 0) {
+    scan_entry_bytes_.Add(static_cast<double>(total_bytes) /
+                          static_cast<double>(entries));
+  }
 }
 
 }  // namespace ru

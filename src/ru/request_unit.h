@@ -28,6 +28,12 @@ struct RuOptions {
   double initial_hit_ratio = 0.0;
   /// Default assumed read size before any history accumulates.
   double initial_read_bytes = 1024;
+  /// Per-entry CPU cost of a range scan, in RU: iterator advance, key
+  /// comparison, and result framing per emitted entry, on top of the
+  /// byte-proportional read charge.
+  double scan_entry_cpu_ru = 0.01;
+  /// Default assumed scan result size (bytes) before history accumulates.
+  double initial_scan_bytes = 4096;
 };
 
 /// Where a read was ultimately served from; determines its charge.
@@ -45,6 +51,14 @@ double ActualReadCharge(uint64_t bytes, bool datanode_cache_hit,
 /// Actual RU charge for a completed write including replica fan-out.
 double ActualWriteCharge(uint64_t bytes, int replicas,
                          const RuOptions& options);
+
+/// Actual RU charge for one executed range-scan batch: a seek unit
+/// (iterator setup — scans cost at least a point read), the
+/// byte-proportional read charge over the returned payload, and a
+/// per-entry CPU term. Charged entirely node-side, where entries and
+/// bytes are known.
+double ActualScanCharge(uint64_t entries, uint64_t bytes,
+                        const RuOptions& options);
 
 /// Per-tenant (per-table) RU estimator. Tracks the moving averages that
 /// make read-cost prediction cache-aware, and computes charges.
@@ -88,6 +102,19 @@ class RuEstimator {
   /// Charge for a completed HGETALL returning `total_bytes`.
   double ChargeHGetAll(uint64_t total_bytes, ReadServedBy served_by);
 
+  // -- Range scans ----------------------------------------------------------
+
+  /// Admission-time estimate for a SCAN with the given limit: a seek
+  /// unit plus the byte charge of the expected result (capped by the
+  /// limit against the per-entry size history) plus per-entry CPU.
+  /// Scan results bypass the proxy point cache's hit accounting, so the
+  /// estimate is cache-blind.
+  double EstimateScanRu(uint32_t limit) const;
+
+  /// Records the observed shape of a completed scan (feeds the
+  /// per-entry size history behind EstimateScanRu).
+  void RecordScanShape(uint64_t entries, uint64_t total_bytes);
+
   // -- Observed state --------------------------------------------------------
 
   double ExpectedReadBytes() const { return read_bytes_.Value(); }
@@ -103,6 +130,7 @@ class RuEstimator {
   MovingAverage hit_ratio_;   ///< E[R_hit] over data-plane reads.
   MovingAverage hash_len_;    ///< E[#fields] for complex reads.
   MovingAverage field_bytes_; ///< E[bytes per hash field].
+  MovingAverage scan_entry_bytes_;  ///< E[bytes per scan entry].
 };
 
 }  // namespace ru

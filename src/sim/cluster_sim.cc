@@ -4,6 +4,9 @@
 #include <cassert>
 
 #include "common/hash.h"
+#include "common/keyspace.h"
+#include "common/scan_codec.h"
+#include "common/smallvec.h"
 
 namespace abase {
 namespace sim {
@@ -412,6 +415,19 @@ void ClusterSim::ResolveStrandedOnNode(NodeId node) {
   for (uint64_t req_id : stranded) {
     RequestContext ctx = *inflight_.Find(req_id);
     inflight_.Erase(req_id);
+    if (ctx.scan_part) {
+      // A stranded scan leg fails just its slot in the accumulator; the
+      // merged scan settles (with this leg's error) under the base id
+      // once every other leg lands. No per-leg proxy refund: the quota
+      // estimate is held against the base request alone.
+      auto pit = scan_part_index_.find(req_id);
+      if (pit != scan_part_index_.end()) {
+        ScanPartRef ref = pit->second;
+        scan_part_index_.erase(pit);
+        FailScanPart(ref, Status::Unavailable("node failed"));
+      }
+      continue;
+    }
     auto tit = tenants_.find(ctx.tenant);
     if (tit != tenants_.end()) {
       TenantRuntime& rt = tit->second;
@@ -567,6 +583,18 @@ void ClusterSim::SweepExpiredOutcomes() {
 
 void ClusterSim::DeliverResponse(const NodeResponse& resp,
                                  const ResponseTiming* timing) {
+  // Scan legs detour into their accumulator; the merged scan re-enters
+  // here under the base id once the last leg lands. The empty-map guard
+  // keeps the non-scan hot path at one branch.
+  if (!scan_part_index_.empty()) {
+    auto pit = scan_part_index_.find(resp.req_id);
+    if (pit != scan_part_index_.end()) {
+      ScanPartRef ref = pit->second;
+      scan_part_index_.erase(pit);
+      AbsorbScanPart(ref, resp, timing);
+      return;
+    }
+  }
   TenantId tenant = resp.tenant;
   size_t proxy_index = 0;
   bool known_forward = false;
@@ -659,6 +687,230 @@ void ClusterSim::DeliverResponse(const NodeResponse& resp,
   // RU charge is the price of the tail cut (bench-gated at <= +10%).
   if (timing != nullptr && timing->extra_ru > 0) {
     rt.current.ru_charged += timing->extra_ru;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scan fan-out
+// ---------------------------------------------------------------------------
+
+void ClusterSim::RouteScanFanout(
+    PendingForward& fwd, TenantRuntime& rt,
+    std::vector<std::vector<NodeRequest*>>& batches) {
+  NodeRequest& req = fwd.request;
+  // The partition SET must be current, not merely routable: a stale
+  // table after a split cutover would scan only the parents, whose
+  // moved keys the post-cutover purge is already deleting. One epoch
+  // compare per scan; the refresh itself runs only on an actual move.
+  if (rt.route_epoch != meta_->routing_epoch()) {
+    RefreshRoutingTable(rt);
+    rt.current.redirects++;
+  }
+  const size_t parts = rt.route_table.size();
+  if (parts == 0) {
+    rt.current.errors++;
+    rt.current.unavailable++;
+    if (fwd.ctx.proxy_index < rt.proxies.size()) {
+      rt.proxies[fwd.ctx.proxy_index]->AbandonForward(req.req_id);
+    }
+    if (fwd.ctx.track_outcome) {
+      PublishOutcome(req.req_id,
+                     ClientOutcome{Status::Unavailable("no partitions"), ""});
+    }
+    return;
+  }
+
+  const uint64_t base_id = req.req_id;
+  ScanFanout& fo = scan_fanouts_[base_id];
+  fo.tenant = fwd.ctx.tenant;
+  fo.proxy_index = fwd.ctx.proxy_index;
+  fo.start = req.key;
+  fo.end = req.field;
+  fo.limit = req.scan_limit;
+  fo.parts.resize(parts);
+  // The base context settles the merged response. It carries no node
+  // binding — the legs do, and the fault path resolves them leg by leg.
+  inflight_[base_id] = fwd.ctx;
+  // The admission estimate is held against the base id at the proxy;
+  // splitting it across the legs keeps the nodes' partition-quota and
+  // WFQ view of the scan at the same total cost.
+  const double leg_estimate = req.estimated_ru / static_cast<double>(parts);
+
+  for (size_t p = 0; p < parts; p++) {
+    ScanPart& part = fo.parts[p];
+    part.partition = static_cast<PartitionId>(p);
+    node::DataNode* n =
+        FindNode(CachedPrimary(rt, static_cast<PartitionId>(p)));
+    const bool routable = n != nullptr && n->CanServe() &&
+                          n->IsPrimaryFor(req.tenant,
+                                          static_cast<PartitionId>(p));
+    if (!routable) {
+      // Pre-failed leg: no routable primary even under the fresh table.
+      part.arrived = true;
+      part.status = Status::Unavailable("no primary");
+      fo.arrived++;
+      continue;
+    }
+    scan_sub_scratch_.emplace_back();
+    NodeRequest& sub = scan_sub_scratch_.back();
+    sub.req_id = next_scan_sub_id_++;
+    sub.tenant = req.tenant;
+    sub.partition = static_cast<PartitionId>(p);
+    sub.op = OpType::kScan;
+    sub.key = req.key;
+    sub.field = req.field;
+    sub.scan_limit = req.scan_limit;  // Full limit; see request.h.
+    sub.issued_at = req.issued_at;
+    sub.estimated_ru = leg_estimate;
+    sub.value_size_hint = req.value_size_hint;
+    sub.replicas = req.replicas;
+    sub.consistency = Consistency::kPrimary;
+    RequestContext leg_ctx;
+    leg_ctx.tenant = fwd.ctx.tenant;
+    leg_ctx.proxy_index = fwd.ctx.proxy_index;
+    leg_ctx.scan_part = true;
+    leg_ctx.node = n->id();
+    inflight_[sub.req_id] = leg_ctx;
+    scan_part_index_[sub.req_id] =
+        ScanPartRef{base_id, static_cast<uint32_t>(p)};
+    assert(static_cast<size_t>(n->id()) < batches.size());
+    batches[static_cast<size_t>(n->id())].push_back(&sub);
+  }
+  if (fo.arrived == fo.parts.size()) CompleteScanFanout(base_id);
+}
+
+void ClusterSim::AbsorbScanPart(const ScanPartRef& ref,
+                                const NodeResponse& resp,
+                                const ResponseTiming* timing) {
+  inflight_.Erase(resp.req_id);
+  auto it = scan_fanouts_.find(ref.base_id);
+  if (it == scan_fanouts_.end()) return;
+  ScanFanout& fo = it->second;
+  ScanPart& part = fo.parts[ref.part_index];
+  if (part.arrived) return;  // Defensive: legs settle exactly once.
+  part.arrived = true;
+  part.status = resp.status;
+  part.value = resp.value;
+  part.scan_entries = resp.scan_entries;
+  part.actual_ru = resp.actual_ru;
+  part.latency = resp.latency;
+  part.served_by = resp.served_by;
+  if (timing != nullptr) {
+    fo.timed = true;
+    part.client_latency = timing->client_latency;
+    part.actual_ru += timing->extra_ru;
+  }
+  fo.arrived++;
+  if (fo.arrived == fo.parts.size()) CompleteScanFanout(ref.base_id);
+}
+
+void ClusterSim::FailScanPart(const ScanPartRef& ref, Status status) {
+  auto it = scan_fanouts_.find(ref.base_id);
+  if (it == scan_fanouts_.end()) return;
+  ScanFanout& fo = it->second;
+  ScanPart& part = fo.parts[ref.part_index];
+  if (part.arrived) return;
+  part.arrived = true;
+  part.status = std::move(status);
+  fo.arrived++;
+  if (fo.arrived == fo.parts.size()) CompleteScanFanout(ref.base_id);
+}
+
+void ClusterSim::CompleteScanFanout(uint64_t base_id) {
+  auto it = scan_fanouts_.find(base_id);
+  if (it == scan_fanouts_.end()) return;
+  // Move the accumulator out before settling: DeliverResponse re-enters
+  // sim state, and the map entry must not outlive the fan-out.
+  ScanFanout fo = std::move(it->second);
+  scan_fanouts_.erase(it);
+
+  NodeResponse merged;
+  merged.req_id = base_id;
+  merged.tenant = fo.tenant;
+  merged.partition = 0;
+  merged.op = OpType::kScan;
+  merged.key = fo.start;
+  merged.from_primary = true;  // Scans always read primaries.
+  Micros max_client_latency = 0;
+  for (const ScanPart& part : fo.parts) {
+    merged.actual_ru += part.actual_ru;
+    // Legs ran concurrently; the slowest bounds the scan.
+    merged.latency = std::max(merged.latency, part.latency);
+    max_client_latency = std::max(max_client_latency, part.client_latency);
+    if (part.served_by == ServedBy::kDisk) {
+      merged.served_by = ServedBy::kDisk;
+    }
+    if (merged.status.ok() && !part.status.ok() &&
+        !part.status.IsNotFound()) {
+      // Strict merge: a range missing one partition's contribution is
+      // not a smaller answer, it is a wrong one. The first failing leg
+      // in partition order names the failure.
+      merged.status = part.status;
+    }
+  }
+
+  if (merged.status.ok()) {
+    // K-way merge of the legs' framed payloads: ascending key order,
+    // equal keys resolved to the highest partition id (while a
+    // post-split purge drains, parent and child both hold a moved key —
+    // the child's copy is the surviving one), and the client limit
+    // re-applied globally. Legs are few, so a linear min-scan beats a
+    // heap's bookkeeping.
+    const size_t n = fo.parts.size();
+    SmallVec<std::string_view, 8> cursors;
+    SmallVec<ScanEntryView, 8> heads;
+    SmallVec<bool, 8> has;
+    for (size_t i = 0; i < n; i++) {
+      cursors.push_back(fo.parts[i].value);
+      heads.push_back(ScanEntryView{});
+      has.push_back(NextScanEntry(cursors[i], heads[i]));
+    }
+    uint64_t emitted = 0;
+    while (fo.limit == 0 || emitted < fo.limit) {
+      int best = -1;
+      for (size_t i = 0; i < n; i++) {
+        if (!has[i]) continue;
+        // <= : the last (highest-partition) leg holding the minimal key
+        // wins the tie.
+        if (best < 0 || heads[i].key <= heads[best].key) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      // The view stays valid while duplicates advance: leg payload
+      // buffers are never mutated during the merge.
+      const std::string_view key = heads[best].key;
+      AppendScanEntry(merged.value, key, heads[best].value);
+      emitted++;
+      for (size_t i = 0; i < n; i++) {
+        while (has[i] && heads[i].key == key) {
+          has[i] = NextScanEntry(cursors[i], heads[i]);
+        }
+      }
+    }
+    merged.scan_entries = emitted;
+    merged.value_bytes = merged.value.size();
+  }
+
+  if (fo.timed) {
+    ResponseTiming timing;
+    timing.client_latency = max_client_latency;
+    DeliverResponse(merged, &timing);
+  } else {
+    DeliverResponse(merged, nullptr);
+  }
+
+  // Content-store fill. Proxy::OnResponse cannot do this — a
+  // NodeResponse carries neither the range shape nor the limit — so the
+  // merge, which does, hands the framed result over. Only prefix-shaped
+  // scans are cacheable (the tree addresses results by prefix).
+  if (merged.status.ok() && fo.end == PrefixUpperBound(fo.start)) {
+    if (TenantRuntime* rt = MutableTenant(fo.tenant)) {
+      if (fo.proxy_index < rt->proxies.size()) {
+        rt->proxies[fo.proxy_index]->FillScanCache(fo.start, fo.limit,
+                                                   merged.value);
+      }
+    }
   }
 }
 
@@ -1221,6 +1473,24 @@ void ClusterSim::AdvanceSplits() {
       if (meta_->CommitSplit(tid).ok()) {
         split_cutovers_++;
         op.cut_over = true;
+        // Content-store treatment of the cutover: the partition set a
+        // cached scan was merged across just changed. kPrefixSubtree
+        // drops only the scan payloads (point entries' key->value
+        // mapping is split-invariant and keeps serving); kFullFlush is
+        // the conservative baseline the bench compares against; kNone
+        // preserves the seed's behavior bit-for-bit.
+        if (options_.split_invalidation != ProxyInvalidationMode::kNone) {
+          if (TenantRuntime* rt = MutableTenant(tid)) {
+            for (auto& p : rt->proxies) {
+              if (options_.split_invalidation ==
+                  ProxyInvalidationMode::kFullFlush) {
+                p->FlushCache();
+              } else {
+                p->InvalidateCachedScans();
+              }
+            }
+          }
+        }
       }
       ++it;
       continue;

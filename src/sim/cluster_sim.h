@@ -77,6 +77,21 @@
 namespace abase {
 namespace sim {
 
+/// What a split cutover does to the tenant's proxy content stores. A
+/// cutover changes the partition set a cached scan was merged across;
+/// production systems invalidate conservatively. The prefix-tree store
+/// makes the surgical option cheap: scans drop in O(scan-bearing
+/// subtree) while point entries — whose key->value mapping a split never
+/// changes — keep serving.
+enum class ProxyInvalidationMode {
+  /// Seed behavior: no cutover invalidation (golden digests unchanged).
+  kNone = 0,
+  /// Conservative baseline: drop the whole content store at cutover.
+  kFullFlush,
+  /// Scan-only invalidation: InvalidateScans() — point entries survive.
+  kPrefixSubtree,
+};
+
 /// Cluster-wide simulation options.
 struct SimOptions {
   uint64_t seed = 42;
@@ -163,6 +178,9 @@ struct SimOptions {
   /// cost proportional to active tenants instead of registered tenants.
   /// The flag exists for A/B digests and perf comparison.
   bool dense_tick = false;
+  /// Proxy content-store treatment at online split cutovers (the scan
+  /// cache benchmark's A/B switch). kNone by default.
+  ProxyInvalidationMode split_invalidation = ProxyInvalidationMode::kNone;
   /// Striped O(replicas) initial placement in the MetaServer: replica r
   /// of partition p lands at pool index (tenant + p*replicas + r) mod
   /// pool size (advancing past unplaceable nodes) instead of the
@@ -570,6 +588,9 @@ class ClusterSim {
   /// DataNode, response not yet delivered).
   size_t InflightCount() const { return inflight_.size(); }
 
+  /// Fanned-out scans whose per-partition legs have not all settled.
+  size_t ScanFanoutsInFlight() const { return scan_fanouts_.size(); }
+
   // -- Rescheduler bridge -----------------------------------------------------------
 
   /// Snapshots the pool into the rescheduler's load model, using each
@@ -767,6 +788,74 @@ class ClusterSim {
   /// and workload id spaces; unique across every proxy of every tenant).
   uint64_t AllocateRefreshId() { return next_refresh_id_++; }
 
+  // -- Scan fan-out (serial sections only) ------------------------------------
+  //
+  // A kScan forward targets a key RANGE, not a key: hash partitioning
+  // scatters a contiguous range across every partition, so the Route
+  // stage expands the forward into one sub-request per partition (each
+  // carrying the full limit — any single partition might hold the whole
+  // answer). The legs settle independently through the normal response
+  // path into a ScanFanout accumulator; when the last leg lands, the
+  // parts merge into one key-ordered, deduplicated, globally-limited
+  // response that settles under the base request id. All mutation
+  // happens in serial pipeline sections (Route, Settle, Fault), so the
+  // merge is bit-identical across worker counts.
+
+  /// One per-partition leg's settled result.
+  struct ScanPart {
+    PartitionId partition = 0;
+    bool arrived = false;
+    Status status;
+    std::string value;  ///< Framed entries (common/scan_codec.h).
+    uint64_t scan_entries = 0;
+    double actual_ru = 0;
+    Micros latency = 0;         ///< Data-plane latency (legacy path).
+    Micros client_latency = 0;  ///< Virtual time (timed path).
+    ServedBy served_by = ServedBy::kNodeCpu;
+  };
+
+  /// Accumulator for one fanned-out scan, keyed by the base request id.
+  struct ScanFanout {
+    TenantId tenant = 0;
+    size_t proxy_index = 0;
+    std::string start;    ///< Inclusive range start (the client key).
+    std::string end;      ///< Exclusive range end.
+    uint32_t limit = 0;
+    bool timed = false;   ///< Any leg settled through the timed path.
+    size_t arrived = 0;
+    std::vector<ScanPart> parts;  ///< Partition-id ascending.
+  };
+
+  /// Leg id -> owning accumulator (base id + slot in `parts`).
+  struct ScanPartRef {
+    uint64_t base_id = 0;
+    uint32_t part_index = 0;
+  };
+
+  /// Expands one admitted kScan forward into per-partition sub-requests
+  /// (registered in inflight_ and batched per destination node like any
+  /// forward); partitions with no routable primary pre-fail their leg.
+  /// If every leg pre-failed, the fan-out completes — and settles —
+  /// immediately. Route stage's serial pass only.
+  void RouteScanFanout(PendingForward& fwd, TenantRuntime& rt,
+                       std::vector<std::vector<NodeRequest*>>& batches);
+
+  /// Settles one leg's data-plane response into its accumulator,
+  /// completing the fan-out if it was the last. Serial sections only.
+  void AbsorbScanPart(const ScanPartRef& ref, const NodeResponse& resp,
+                      const ResponseTiming* timing);
+
+  /// Fails one leg without a response (stranded on a failed node).
+  void FailScanPart(const ScanPartRef& ref, Status status);
+
+  /// Merges a completed fan-out's legs — k-way by key, duplicates
+  /// resolved to the larger partition id (the post-split child is
+  /// authoritative while the parent purge drains), the client limit
+  /// re-applied globally — and delivers the result as one synthesized
+  /// response under the base id. Prefix-shaped results fill the
+  /// forwarding proxy's scan cache.
+  void CompleteScanFanout(uint64_t base_id);
+
   // -- Control stage internals (serial sections only) -------------------------
 
   /// Rolls the just-settled tick's RU into each tenant's hour
@@ -825,6 +914,19 @@ class ClusterSim {
   /// (open-addressed: the hottest sim-wide table on the tick path).
   FlatMap64<RequestContext> inflight_;
   std::vector<uint64_t> stranded_scratch_;  ///< ResolveStrandedOnNode.
+  /// In-flight scan fan-outs by base request id (ordered: deterministic
+  /// iteration is never needed, but cheap insurance costs nothing at
+  /// scan volumes).
+  std::map<uint64_t, ScanFanout> scan_fanouts_;
+  /// Leg req_id -> accumulator slot. Lookup/erase only — never iterated,
+  /// so the unordered map cannot perturb determinism.
+  std::unordered_map<uint64_t, ScanPartRef> scan_part_index_;
+  /// Backing storage for this tick's scan sub-requests: node batches
+  /// hold pointers into it, so addresses must be stable (deque) until
+  /// RouteSubmit moves them into the nodes. Cleared each Route pass.
+  std::deque<NodeRequest> scan_sub_scratch_;
+  /// Sub-request id space: below refresh ids (1<<62), above client ids.
+  uint64_t next_scan_sub_id_ = (1ull << 61);
   /// A parked outcome awaiting TakeOutcome, stamped for the TTL sweep.
   struct TrackedOutcome {
     ClientOutcome outcome;

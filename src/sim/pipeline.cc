@@ -447,6 +447,9 @@ void RouteStage::Run(TickContext& ctx) {
     ctx.node_batches.resize(sim.nodes_.size());
   }
   auto& batches = ctx.node_batches;
+  // Last tick's scan sub-requests were moved into the nodes by its
+  // RouteSubmit pass; reclaim the slots.
+  sim.scan_sub_scratch_.clear();
   // Forwards arrive in per-tenant runs (the ProxyAdmit merge order), so
   // memoizing the last runtime lookup turns the per-forward map find
   // into a branch.
@@ -466,6 +469,21 @@ void RouteStage::Run(TickContext& ctx) {
       // errors below mutate its tick metrics, and the active-set
       // Finalize only seals touched tenants. Idempotent per tick.
       if (rt != nullptr) sim.TouchTenant(fwd.ctx.tenant, *rt);
+    }
+    // Scans target a key RANGE: hash partitioning scatters any range
+    // across every partition, so the forward expands into one leg per
+    // partition (sim.RouteScanFanout) instead of resolving one primary.
+    if (req.op == OpType::kScan) {
+      if (rt == nullptr) {
+        if (fwd.ctx.track_outcome) {
+          sim.PublishOutcome(
+              req.req_id,
+              ClientOutcome{Status::Unavailable("no such tenant"), ""});
+        }
+        continue;
+      }
+      sim.RouteScanFanout(fwd, *rt, batches);
+      continue;
     }
     node::DataNode* n = nullptr;
     if (rt != nullptr) {

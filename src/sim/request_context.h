@@ -52,6 +52,11 @@ struct RequestContext {
   /// by Route for kEventual reads when hedging is on, consumed by Settle
   /// if the primary leg's virtual time crosses the hedge threshold.
   NodeId hedge_node = kInvalidNode;
+  /// True for one per-partition leg of a fanned-out scan: its response
+  /// settles into the scan accumulator (and a node failure fails just
+  /// that leg), never directly into tenant metrics — the merged result
+  /// settles once under the base request id.
+  bool scan_part = false;
 };
 
 /// A proxy-admitted request on its way to the data plane: the output of

@@ -4,6 +4,8 @@
 #include <charconv>
 #include <cmath>
 
+#include "common/keyspace.h"
+
 namespace abase {
 namespace sim {
 
@@ -45,15 +47,37 @@ void WorkloadGenerator::KeyInto(uint64_t index, std::string& out) const {
   // Stable key naming ("t<tenant>:k<index>"); hash-scrambled so adjacent
   // ranks do not share partition routing. Built into the recycled slot
   // string so steady-state keys never allocate.
-  // 48 bytes: 't' + <=20 digits + ":k" + <=20 digits, with the to_chars
-  // ranges bounded so the compiler can see the separator writes fit.
-  char buf[48];
+  // 72 bytes: 't' + <=20 digits + optional ":g" + <=20 digits + ":k" +
+  // <=20 digits, with the to_chars ranges bounded so the compiler can
+  // see the separator writes fit.
+  char buf[72];
   char* p = buf;
   *p++ = 't';
   p = std::to_chars(p, buf + 24, tenant_).ptr;
   *p++ = ':';
+  if (profile_.scan_prefix_groups > 0) {
+    // Group segment: scans target one group's prefix, so the keyspace
+    // must cluster by group before the per-key rank.
+    *p++ = 'g';
+    p = std::to_chars(p, p + 20, index % profile_.scan_prefix_groups).ptr;
+    *p++ = ':';
+  }
   *p++ = 'k';
   p = std::to_chars(p, p + 20, index).ptr;
+  out.assign(buf, static_cast<size_t>(p - buf));
+}
+
+void WorkloadGenerator::ScanPrefixInto(uint64_t index, std::string& out) const {
+  char buf[72];
+  char* p = buf;
+  *p++ = 't';
+  p = std::to_chars(p, buf + 24, tenant_).ptr;
+  *p++ = ':';
+  if (profile_.scan_prefix_groups > 0) {
+    *p++ = 'g';
+    p = std::to_chars(p, p + 20, index % profile_.scan_prefix_groups).ptr;
+    *p++ = ':';
+  }
   out.assign(buf, static_cast<size_t>(p - buf));
 }
 
@@ -122,6 +146,7 @@ void WorkloadGenerator::Tick(Micros now, Micros tick_len,
     req.field.clear();
     req.value.clear();
     req.ttl = 0;
+    req.scan_limit = 0;
     req.consistency = Consistency::kPrimary;
     req.track_outcome = false;
     uint64_t key_index = SampleKeyIndex();
@@ -132,6 +157,18 @@ void WorkloadGenerator::Tick(Micros now, Micros tick_len,
     if (is_read && profile_.eventual_read_fraction > 0 &&
         rng_.NextBool(profile_.eventual_read_fraction)) {
       req.consistency = Consistency::kEventual;
+    }
+    if (is_read && !is_hash && profile_.scan_fraction > 0 &&
+        rng_.NextBool(profile_.scan_fraction)) {
+      // Prefix scan over the sampled key's locality group. Cross-
+      // partition merges of mixed-staleness replicas are not a
+      // consistent range view, so scans always pin to the primaries.
+      req.op = OpType::kScan;
+      req.consistency = Consistency::kPrimary;
+      ScanPrefixInto(key_index, req.key);
+      req.field = PrefixUpperBound(req.key);
+      req.scan_limit = profile_.scan_limit;
+      continue;
     }
     if (is_hash) {
       char fbuf[24];

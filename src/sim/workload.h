@@ -71,6 +71,21 @@ struct WorkloadProfile {
   double hot_fraction = 0.001;  ///< kHotSpot: fraction of keys that are hot.
   double hot_share = 0.9;       ///< kHotSpot: traffic share of the hot set.
 
+  // Range scans (the scan data path).
+  /// Fraction of non-hash READ ops issued as prefix scans. 0 = none —
+  /// and no extra RNG draws, so every pre-scan stream (and its golden
+  /// digest) is bit-identical.
+  double scan_fraction = 0;
+  /// Entry cap each generated scan carries (0 = unlimited).
+  uint32_t scan_limit = 100;
+  /// Scan locality: when > 0, keys gain a group segment
+  /// ("t<T>:g<G>:k<I>" with G = I mod groups) and each scan targets one
+  /// group's prefix — the group is derived from a normally-sampled key
+  /// index, so scan popularity follows the key-distribution skew. 0
+  /// keeps the seed key shape ("t<T>:k<I>", matching PreloadKeys) and
+  /// scans the whole tenant prefix instead.
+  uint32_t scan_prefix_groups = 0;
+
   // Values.
   uint64_t value_bytes = 1024;
   double value_sigma = 0.3;  ///< Log-normal spread around value_bytes.
@@ -104,6 +119,9 @@ class WorkloadGenerator {
 
  private:
   void KeyInto(uint64_t index, std::string& out) const;
+  /// Scan target for the group owning `index`: "t<T>:g<G>:" when
+  /// scan_prefix_groups > 0, else the tenant-wide prefix "t<T>:".
+  void ScanPrefixInto(uint64_t index, std::string& out) const;
   uint64_t SampleKeyIndex();
   void MakeValueInto(std::string& out);
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/hash.h"
+#include "common/keyspace.h"
 
 namespace abase {
 namespace storage {
@@ -227,74 +228,169 @@ Result<HashFields> LsmEngine::HGetAll(std::string_view key, ReadIo* io) {
 // Range scans
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// "Disk" granularity of scan block accounting: one charged block read
+/// per this many payload bytes consumed from an SSTable cursor (plus
+/// one for the run's initial seek). Matches the DataNode's disk-block
+/// size so scan I/O charges line up with point-read charges.
+constexpr uint64_t kScanBlockBytes = 4096;
+
+}  // namespace
+
+ScanResult LsmEngine::ScanRange(std::string_view start, std::string_view end,
+                                size_t limit, ScanBuffer& out) {
+  ScanResult res;
+  stats_.scans++;
+
+  // Build one cursor per source, positioned at lower_bound(start). Ages:
+  // 0 = memtable (newest), then levels top-down, within a level later
+  // (newer) runs first — the exact probe order of FindEntry, so on equal
+  // keys the min-heap pops the newest version first.
+  scan_cursors_.clear();
+  scan_heap_.clear();
+  const auto& mem_rows = mem_.Sorted();
+  {
+    ScanCursor c;
+    auto it = std::lower_bound(mem_rows.begin(), mem_rows.end(), start,
+                               [](const MemTable::Row* r, std::string_view k) {
+                                 return r->first < k;
+                               });
+    c.mem_it = mem_rows.data() + (it - mem_rows.begin());
+    c.mem_end = mem_rows.data() + mem_rows.size();
+    c.age = 0;
+    if (c.mem_it != c.mem_end) scan_cursors_.push_back(c);
+  }
+  uint32_t age = 1;
+  for (const auto& level : levels_) {
+    for (auto rit = level.rbegin(); rit != level.rend(); ++rit, ++age) {
+      const auto& rows = (*rit)->rows();
+      auto it = std::lower_bound(
+          rows.begin(), rows.end(), start,
+          [](const auto& r, std::string_view k) { return r.first < k; });
+      if (it == rows.end()) continue;
+      ScanCursor c;
+      c.sst_it = rows.data() + (it - rows.begin());
+      c.sst_end = rows.data() + rows.size();
+      c.age = age;
+      scan_cursors_.push_back(c);
+    }
+  }
+
+  auto key_of = [&](uint32_t i) -> const std::string& {
+    const ScanCursor& c = scan_cursors_[i];
+    return c.mem_it != nullptr ? (*c.mem_it)->first : c.sst_it->first;
+  };
+  auto entry_of = [&](uint32_t i) -> const ValueEntry& {
+    const ScanCursor& c = scan_cursors_[i];
+    return c.mem_it != nullptr ? (*c.mem_it)->second : c.sst_it->second;
+  };
+  // Min-heap on (key, age): std::push/pop_heap keep the *greatest*
+  // element at the front, so the comparator orders by "later key, or
+  // equal key from an older source, sorts first-er"… i.e. greater-than.
+  auto heap_less = [&](uint32_t a, uint32_t b) {
+    int cmp = key_of(a).compare(key_of(b));
+    if (cmp != 0) return cmp > 0;
+    return scan_cursors_[a].age > scan_cursors_[b].age;
+  };
+  for (uint32_t i = 0; i < scan_cursors_.size(); i++) scan_heap_.push_back(i);
+  std::make_heap(scan_heap_.begin(), scan_heap_.end(), heap_less);
+
+  auto advance = [&](uint32_t i) {
+    ScanCursor& c = scan_cursors_[i];
+    if (c.mem_it != nullptr) {
+      ++c.mem_it;
+      return c.mem_it != c.mem_end;
+    }
+    c.sst_bytes += c.sst_it->first.size() + c.sst_it->second.PayloadBytes();
+    ++c.sst_it;
+    return c.sst_it != c.sst_end;
+  };
+
+  const Micros now = clock_->NowMicros();
+  const std::string* last_key = nullptr;
+  res.done = true;
+  while (!scan_heap_.empty()) {
+    std::pop_heap(scan_heap_.begin(), scan_heap_.end(), heap_less);
+    const uint32_t i = scan_heap_.back();
+    const std::string& key = key_of(i);
+    if (!end.empty() && key >= end) {
+      // Range exhausted: every remaining cursor is at or past `end`.
+      break;
+    }
+    if (res.entries >= limit) {
+      // Limit reached with this key unexamined: resume point.
+      res.done = false;
+      res.next_key = key;
+      break;
+    }
+    if (last_key != nullptr && key == *last_key) {
+      // Older duplicate of an already-decided key.
+      if (advance(i)) {
+        std::push_heap(scan_heap_.begin(), scan_heap_.end(), heap_less);
+      } else {
+        scan_heap_.pop_back();
+      }
+      continue;
+    }
+    const ValueEntry& entry = entry_of(i);
+    const bool visible = !entry.IsTombstone() && !entry.IsExpiredAt(now);
+    if (visible) {
+      ScanEntry& se = out.Append();
+      se.key = key;
+      if (entry.type == ValueType::kString) {
+        se.value = entry.str;
+      } else {
+        for (const auto& [f, v] : entry.hash) {
+          se.value += f;
+          se.value += '=';
+          se.value += v;
+          se.value += '\n';
+        }
+      }
+      res.entries++;
+      res.bytes += se.key.size() + se.value.size();
+      stats_.scan_entries++;
+    } else if (entry.IsExpiredAt(now)) {
+      stats_.expired_dropped++;
+    }
+    // Row storage (memtable nodes, SSTable rows) is stable across cursor
+    // advances, so the key reference survives into the next iteration's
+    // duplicate check.
+    last_key = &key;
+    if (advance(i)) {
+      std::push_heap(scan_heap_.begin(), scan_heap_.end(), heap_less);
+    } else {
+      scan_heap_.pop_back();
+    }
+  }
+
+  // Block accounting: one seek per touched run plus one read per
+  // kScanBlockBytes of consumed payload — sequential I/O, so far cheaper
+  // per entry than per-key point probes.
+  for (const ScanCursor& c : scan_cursors_) {
+    if (c.mem_it != nullptr || c.sst_bytes == 0) continue;
+    res.block_reads +=
+        1 + static_cast<int>(c.sst_bytes / kScanBlockBytes);
+  }
+  stats_.block_reads += static_cast<uint64_t>(res.block_reads);
+  return res;
+}
+
 std::vector<LsmEngine::ScanEntry> LsmEngine::Scan(std::string_view start,
                                                   std::string_view end,
                                                   size_t limit) {
-  // Merge newest-first: the memtable first, then runs from newest to
-  // oldest. emplace() keeps the first (newest) version of each key.
-  std::map<std::string, const ValueEntry*> merged;
-  auto in_range = [&](const std::string& k) {
-    return k >= start && (end.empty() || k < end);
-  };
-
-  const auto& mem_rows = mem_.Sorted();
-  for (auto it = std::lower_bound(
-           mem_rows.begin(), mem_rows.end(), start,
-           [](const MemTable::Row* r, std::string_view k) {
-             return r->first < k;
-           });
-       it != mem_rows.end() && in_range((*it)->first); ++it) {
-    merged.emplace((*it)->first, &(*it)->second);
-    // Over-collect per source: older sources may fill gaps between the
-    // first `limit` visible keys once tombstones are dropped.
-    if (merged.size() >= limit * 2 + 16) break;
-  }
-  for (const auto& level : levels_) {
-    for (auto rit = level.rbegin(); rit != level.rend(); ++rit) {
-      const auto& rows = (*rit)->rows();
-      auto row = std::lower_bound(
-          rows.begin(), rows.end(), start,
-          [](const auto& r, std::string_view k) { return r.first < k; });
-      size_t taken = 0;
-      for (; row != rows.end() && in_range(row->first) &&
-             taken < limit * 2 + 16;
-           ++row, ++taken) {
-        merged.emplace(row->first, &row->second);
-      }
-    }
-  }
-
+  ScanBuffer buf;
+  ScanRange(start, end, limit, buf);
   std::vector<ScanEntry> out;
-  const Micros now = clock_->NowMicros();
-  for (const auto& [key, entry] : merged) {
-    if (out.size() >= limit) break;
-    if (entry->IsTombstone() || entry->IsExpiredAt(now)) continue;
-    ScanEntry se;
-    se.key = key;
-    if (entry->type == ValueType::kString) {
-      se.value = entry->str;
-    } else {
-      for (const auto& [f, v] : entry->hash) {
-        se.value += f;
-        se.value += '=';
-        se.value += v;
-        se.value += '\n';
-      }
-    }
-    out.push_back(std::move(se));
-  }
+  out.reserve(buf.size());
+  for (size_t i = 0; i < buf.size(); i++) out.push_back(buf[i]);
   return out;
 }
 
 std::vector<LsmEngine::ScanEntry> LsmEngine::ScanPrefix(
     std::string_view prefix, size_t limit) {
-  std::string end(prefix);
-  // Successor of the prefix: bump the last byte (dropping trailing 0xff).
-  while (!end.empty() && static_cast<unsigned char>(end.back()) == 0xff) {
-    end.pop_back();
-  }
-  if (!end.empty()) end.back() = static_cast<char>(end.back() + 1);
-  return Scan(prefix, end, limit);
+  return Scan(prefix, PrefixUpperBound(prefix), limit);
 }
 
 // ---------------------------------------------------------------------------

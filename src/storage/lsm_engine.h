@@ -55,6 +55,54 @@ struct LsmStats {
   uint64_t expired_dropped = 0;      ///< TTL'd entries discarded.
   uint64_t repl_applied = 0;         ///< Records applied from a primary's stream.
   uint64_t resyncs = 0;              ///< Full snapshot re-seeds of this engine.
+  uint64_t scans = 0;                ///< ScanRange calls.
+  uint64_t scan_entries = 0;         ///< Visible entries emitted by scans.
+};
+
+/// One visible key/value in a scan result.
+struct ScanEntry {
+  std::string key;
+  std::string value;  ///< String payload, or serialized hash fields.
+};
+
+/// Caller-reused scan output buffer: a slot-recycling vector of
+/// ScanEntry. Clear() resets the logical size but keeps every slot (and
+/// the strings inside it), so a steady-state scan loop appends into
+/// existing string capacity instead of allocating per call — the whole
+/// point of the resumable iterator over the legacy Scan() that built a
+/// fresh vector of copied strings every time.
+class ScanBuffer {
+ public:
+  void Clear() { count_ = 0; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const ScanEntry& operator[](size_t i) const { return entries_[i]; }
+
+  /// Next recycled slot; key and value come back cleared but with their
+  /// previous capacity.
+  ScanEntry& Append() {
+    if (count_ == entries_.size()) entries_.emplace_back();
+    ScanEntry& e = entries_[count_++];
+    e.key.clear();
+    e.value.clear();
+    return e;
+  }
+
+ private:
+  std::vector<ScanEntry> entries_;
+  size_t count_ = 0;
+};
+
+/// Outcome of one resumable scan batch (ScanRange).
+struct ScanResult {
+  size_t entries = 0;      ///< Visible entries appended to the buffer.
+  uint64_t bytes = 0;      ///< Key + payload bytes of those entries.
+  int block_reads = 0;     ///< Data-block reads charged to the scan.
+  bool done = false;       ///< Range exhausted before the limit.
+  /// Resume position when !done: the first key the scan did not
+  /// examine. Passing it as the next batch's `start` continues the scan
+  /// exactly where it stopped.
+  std::string next_key;
 };
 
 /// Per-operation I/O outcome, consumed by the DataNode to decide whether a
@@ -119,19 +167,33 @@ class LsmEngine {
 
   // -- Range scans ----------------------------------------------------------
 
-  /// One visible key/value in a scan result.
-  struct ScanEntry {
-    std::string key;
-    std::string value;  ///< String payload, or serialized hash fields.
-  };
+  using ScanEntry = storage::ScanEntry;
+
+  /// Resumable merged range scan over [start, end): a k-way merge of the
+  /// memtable's sorted view and every SSTable run's row cursor (min-heap
+  /// keyed by (key, source age); the newest source wins on equal keys),
+  /// skipping tombstoned and expired versions at output. Appends at most
+  /// `limit` visible entries in key order into the caller-reused buffer
+  /// (`out` is NOT cleared — callers batch multiple partitions into one
+  /// buffer). An empty `end` means "to the last key". Unlike the legacy
+  /// Scan(), no merged intermediate map is built and no per-source
+  /// over-collect cap applies, so a range buried under arbitrarily many
+  /// tombstones still yields its first `limit` visible keys in one call.
+  /// Entries remain valid until the buffer is cleared or appended past.
+  ScanResult ScanRange(std::string_view start, std::string_view end,
+                       size_t limit, ScanBuffer& out);
 
   /// Merged range scan over [start, end): newest version per key wins;
   /// tombstoned and expired keys are skipped. Returns at most `limit`
   /// entries in key order. An empty `end` means "to the last key".
+  /// Allocating convenience wrapper over ScanRange().
   std::vector<ScanEntry> Scan(std::string_view start, std::string_view end,
                               size_t limit = 100);
 
-  /// Prefix scan convenience wrapper over Scan().
+  /// Prefix scan convenience wrapper over Scan(). The exclusive upper
+  /// bound comes from PrefixUpperBound (common/keyspace.h), which drops
+  /// trailing 0xff bytes before incrementing — a prefix ending in 0xff
+  /// (or consisting only of 0xff) must not wrap around to a smaller key.
   std::vector<ScanEntry> ScanPrefix(std::string_view prefix,
                                     size_t limit = 100);
 
@@ -263,6 +325,22 @@ class LsmEngine {
   LsmStats stats_;
   /// MultiFind scratch (kept across calls to avoid re-allocation).
   std::vector<uint32_t> mfind_pending_;
+
+  /// One merge source of a ScanRange call: the memtable's sorted view
+  /// (pointer rows) or one SSTable run (value rows). `age` orders
+  /// sources newest-first on equal keys (0 = memtable, then level order,
+  /// within a level later runs first).
+  struct ScanCursor {
+    const MemTable::Row* const* mem_it = nullptr;
+    const MemTable::Row* const* mem_end = nullptr;
+    const std::pair<std::string, ValueEntry>* sst_it = nullptr;
+    const std::pair<std::string, ValueEntry>* sst_end = nullptr;
+    uint32_t age = 0;
+    uint64_t sst_bytes = 0;  ///< Payload bytes consumed from this run.
+  };
+  /// ScanRange scratch (kept across calls to avoid re-allocation).
+  std::vector<ScanCursor> scan_cursors_;
+  std::vector<uint32_t> scan_heap_;
 };
 
 }  // namespace storage

@@ -410,6 +410,92 @@ uint64_t RunActiveSetDigest(int workers, bool dense) {
   return digest.value();
 }
 
+// ----------------------------------------- Scenario: scan workload --
+
+/// Range-scan data path under churn: two scan-heavy tenants (one with
+/// grouped scan locality, one scanning its whole preloaded keyspace), a
+/// mid-run online split with prefix-subtree cutover invalidation, and a
+/// client submitting cross-partition ScanPrefix commands whose merged
+/// framed payloads are folded byte-for-byte into the digest. Pins the
+/// fan-out/merge path: leg routing, key-ordered dedup merge, RU
+/// settlement and the scan cache must be invisible to worker count and
+/// to active-set (sparse) ticking.
+uint64_t RunScanWorkloadDigest(int workers, bool dense) {
+  ClusterOptions copts;
+  copts.sim.seed = 6161;
+  copts.sim.data_plane_workers = workers;
+  copts.sim.dense_tick = dense;
+  copts.sim.split_bytes_per_tick = 8 << 10;
+  copts.sim.split_invalidation = sim::ProxyInvalidationMode::kPrefixSubtree;
+  Cluster cluster(copts);
+  PoolId pool = cluster.CreatePool(8);
+
+  // Tenant 1: grouped scan locality. Grouped keys ("t1:g<G>:k<I>") do
+  // not match PreloadKeys naming, so its keyspace fills from the
+  // workload's own writes — scans see a growing key population.
+  EXPECT_TRUE(cluster.CreateTenant(GoldenTenant(1, 120000), pool).ok());
+  sim::WorkloadProfile p1;
+  p1.base_qps = 220;
+  p1.read_ratio = 0.6;
+  p1.num_keys = 240;
+  p1.value_bytes = 128;
+  p1.scan_fraction = 0.3;
+  p1.scan_limit = 20;
+  p1.scan_prefix_groups = 8;
+  cluster.AttachWorkload(1, p1);
+
+  // Tenant 2: tenant-wide scans over a preloaded keyspace.
+  EXPECT_TRUE(cluster.CreateTenant(GoldenTenant(2, 90000), pool).ok());
+  cluster.sim().PreloadKeys(2, /*num_keys=*/200, /*value_bytes=*/128);
+  sim::WorkloadProfile p2;
+  p2.base_qps = 150;
+  p2.read_ratio = 0.9;
+  p2.num_keys = 200;
+  p2.value_bytes = 128;
+  p2.scan_fraction = 0.2;
+  p2.scan_limit = 15;
+  cluster.AttachWorkload(2, p2);
+
+  Client client = cluster.OpenClient(2);
+  std::vector<Future<Reply>> scans;
+  for (uint64_t tick = 0; tick < 40; tick++) {
+    if (tick == 5) {
+      EXPECT_TRUE(cluster.sim().StartPartitionSplit(1).ok());
+    }
+    if (tick % 6 == 2) {
+      scans.push_back(client.Submit(Command::ScanPrefix(
+          "t2:", static_cast<uint32_t>(10 + (tick / 6) % 3 * 5))));
+    }
+    cluster.Step();
+  }
+  cluster.Drain();
+  EXPECT_EQ(cluster.sim().SplitCutovers(), 1u);
+
+  Digest digest;
+  for (auto& f : scans) {
+    EXPECT_TRUE(f.ready());
+    if (!f.ready()) continue;
+    const Reply& r = f.value();
+    digest.U64(static_cast<uint64_t>(r.status.code()));
+    digest.Str(r.value);  // The merged framed payload, byte-for-byte.
+    digest.U64(r.completed_at);
+  }
+  FoldHistory(digest, cluster.sim().History(1));
+  FoldHistory(digest, cluster.sim().History(2));
+  digest.U64(cluster.sim().meta().GetTenant(1)->partitions.size());
+  return digest.value();
+}
+
+TEST(GoldenDigestTest, ScanWorkloadIsWorkerAndTickModeInvariant) {
+  const uint64_t reference = RunScanWorkloadDigest(1, /*dense=*/true);
+  for (int workers : {1, 2, 4}) {
+    EXPECT_EQ(RunScanWorkloadDigest(workers, /*dense=*/true), reference)
+        << "dense at " << workers << " workers";
+    EXPECT_EQ(RunScanWorkloadDigest(workers, /*dense=*/false), reference)
+        << "sparse at " << workers << " workers";
+  }
+}
+
 TEST(GoldenDigestTest, ActiveSetTickingMatchesDenseTicking) {
   const uint64_t reference = RunActiveSetDigest(1, /*dense=*/true);
   for (int workers : {1, 2, 4}) {

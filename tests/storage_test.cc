@@ -7,6 +7,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/keyspace.h"
 #include "common/rng.h"
 #include "storage/bloom.h"
 #include "storage/disk_model.h"
@@ -446,6 +447,88 @@ TEST_F(LsmEngineTest, ScanEmptyRange) {
   ASSERT_TRUE(engine_->Put("x", "v").ok());
   EXPECT_TRUE(engine_->Scan("y", "z").empty());
   EXPECT_TRUE(engine_->ScanPrefix("nothing").empty());
+}
+
+// Regression: a prefix whose last byte is 0xff cannot form its exclusive
+// upper bound by bumping that byte (0xff + 1 wraps to 0x00, turning the
+// range into an empty or inverted one). PrefixUpperBound must drop the
+// trailing 0xff bytes before incrementing, and an all-0xff prefix means
+// "to the last key".
+TEST_F(LsmEngineTest, ScanPrefixTrailing0xffUpperBound) {
+  const std::string ff1 = std::string("p") + '\xff';
+  const std::string ff2 = std::string("p") + '\xff' + '\xff';
+  ASSERT_TRUE(engine_->Put(ff1 + "a", "1").ok());
+  ASSERT_TRUE(engine_->Put(ff2, "2").ok());
+  ASSERT_TRUE(engine_->Put("pz", "outside").ok());  // < "p\xff"
+  ASSERT_TRUE(engine_->Put("q", "outside").ok());   // >= upper bound "q"
+  engine_->Flush();
+
+  EXPECT_EQ(PrefixUpperBound(ff1), "q");
+  auto rows = engine_->ScanPrefix(ff1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].key, ff1 + "a");
+  EXPECT_EQ(rows[1].key, ff2);
+
+  // All-0xff prefix: no finite upper bound — scans to the last key.
+  const std::string all_ff = std::string("\xff\xff");
+  ASSERT_TRUE(engine_->Put(all_ff + "tail", "3").ok());
+  EXPECT_EQ(PrefixUpperBound(all_ff), "");
+  auto tail = engine_->ScanPrefix(all_ff);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].key, all_ff + "tail");
+}
+
+// ScanRange resumption: feeding `next_key` back as the next batch's
+// start must walk the whole range exactly once, in order, regardless of
+// batch size.
+TEST_F(LsmEngineTest, ScanRangeResumesAcrossBatches) {
+  for (int i = 0; i < 40; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "r%03d", i);
+    ASSERT_TRUE(engine_->Put(buf, "v" + std::to_string(i)).ok());
+    if (i % 9 == 0) engine_->Flush();
+  }
+  ScanBuffer buf;
+  std::vector<std::string> seen;
+  std::string cursor = "r";
+  for (int batches = 0; batches < 100; batches++) {
+    buf.Clear();
+    ScanResult r = engine_->ScanRange(cursor, "s", 7, buf);
+    for (size_t i = 0; i < buf.size(); i++) seen.push_back(buf[i].key);
+    if (r.done) break;
+    ASSERT_FALSE(r.next_key.empty());
+    cursor = r.next_key;
+  }
+  ASSERT_EQ(seen.size(), 40u);
+  for (int i = 0; i < 40; i++) {
+    char buf2[16];
+    snprintf(buf2, sizeof(buf2), "r%03d", i);
+    EXPECT_EQ(seen[static_cast<size_t>(i)], buf2);
+  }
+}
+
+// A range buried under arbitrarily many tombstones must still yield its
+// visible keys in one call (the legacy Scan's per-source over-collect
+// cap lost entries here).
+TEST_F(LsmEngineTest, ScanRangeTombstoneHeavyStillFindsSurvivors) {
+  for (int i = 0; i < 300; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "t%04d", i);
+    ASSERT_TRUE(engine_->Put(buf, "v").ok());
+    if (i % 31 == 0) engine_->Flush();
+  }
+  // Delete everything except every 100th key: 297 tombstones in range.
+  for (int i = 0; i < 300; i++) {
+    if (i % 100 == 0) continue;
+    char buf[16];
+    snprintf(buf, sizeof(buf), "t%04d", i);
+    ASSERT_TRUE(engine_->Delete(buf).ok());
+  }
+  auto rows = engine_->ScanPrefix("t", 10);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].key, "t0000");
+  EXPECT_EQ(rows[1].key, "t0100");
+  EXPECT_EQ(rows[2].key, "t0200");
 }
 
 // Property test: the engine must agree with an in-memory reference model
