@@ -27,6 +27,10 @@ struct RunResult {
   int workers = 0;  ///< 1 = serial reference executor.
   double ticks_per_sec = 0;
   uint64_t requests_completed = 0;
+  /// Wall-clock nanoseconds spent in each pipeline stage across the timed
+  /// ticks (satellite: per-stage cost attribution). Parallel stages count
+  /// the spawning thread's wall time, which includes worker wait.
+  std::vector<std::pair<std::string, uint64_t>> stage_nanos;
 };
 
 meta::TenantConfig ScalingTenant(TenantId id, uint32_t partitions) {
@@ -65,12 +69,21 @@ RunResult RunOnce(size_t num_nodes, size_t num_tenants, int workers,
 
   sim.RunTicks(warmup_ticks);
 
+  // Per-stage attribution only covers the timed window; the clock pairs
+  // it inserts are observation-only (determinism untouched).
+  sim.pipeline().SetStageTiming(true);
+  sim.pipeline().ResetStageNanos();
+
   auto start = std::chrono::steady_clock::now();
   sim.RunTicks(timed_ticks);
   auto end = std::chrono::steady_clock::now();
   double seconds = std::chrono::duration<double>(end - start).count();
 
   RunResult r;
+  for (size_t i = 0; i < sim.pipeline().num_stages(); i++) {
+    r.stage_nanos.emplace_back(sim.pipeline().stage(i).name(),
+                               sim.pipeline().stage_nanos(i));
+  }
   r.nodes = num_nodes;
   r.tenants = num_tenants;
   r.workers = workers;
@@ -127,6 +140,19 @@ int main() {
                   r.workers, r.ticks_per_sec,
                   static_cast<unsigned long long>(r.requests_completed),
                   speedup);
+      if (workers == 1) {
+        // Where the serial tick actually goes (last repetition's split).
+        uint64_t total_ns = 0;
+        for (const auto& s : r.stage_nanos) total_ns += s.second;
+        std::printf("%19s", "stages:");
+        for (const auto& s : r.stage_nanos) {
+          std::printf(" %s=%.0f%%", s.first.c_str(),
+                      total_ns > 0 ? 100.0 * static_cast<double>(s.second) /
+                                         static_cast<double>(total_ns)
+                                   : 0.0);
+        }
+        std::printf("\n");
+      }
       results.push_back(r);
     }
   }
@@ -154,10 +180,17 @@ int main() {
       const RunResult& r = results[i];
       std::fprintf(f,
                    "%s{\"nodes\":%zu,\"tenants\":%zu,\"workers\":%d,"
-                   "\"ticks_per_sec\":%.3f,\"requests_ok\":%llu}",
+                   "\"ticks_per_sec\":%.3f,\"requests_ok\":%llu,"
+                   "\"stage_nanos\":{",
                    i == 0 ? "" : ",", r.nodes, r.tenants, r.workers,
                    r.ticks_per_sec,
                    static_cast<unsigned long long>(r.requests_completed));
+      for (size_t s = 0; s < r.stage_nanos.size(); s++) {
+        std::fprintf(f, "%s\"%s\":%llu", s == 0 ? "" : ",",
+                     r.stage_nanos[s].first.c_str(),
+                     static_cast<unsigned long long>(r.stage_nanos[s].second));
+      }
+      std::fprintf(f, "}}");
     }
     std::fprintf(f, "]}\n");
     std::fclose(f);

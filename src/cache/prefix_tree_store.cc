@@ -6,11 +6,12 @@
 namespace abase {
 namespace cache {
 
-/// One cached payload: a point entry at its key's node, or a scan
-/// result at its prefix's node. Owned by the node; the LRU and
-/// size-class structures hold raw pointers.
+/// One cached payload. Scan results live at their prefix's tree node
+/// (owned by the node); point entries live only in the flat hash index
+/// (owned by the store, deleted in RemovePayload/DeleteAllPoints). The
+/// LRU and size-class structures hold raw pointers to both kinds.
 struct PrefixTreeStore::Payload {
-  Node* node = nullptr;
+  Node* node = nullptr;  ///< Scan payloads only; null for points.
   bool is_scan = false;
   uint32_t limit = 0;  ///< Scan payloads: the cached scan's limit.
   std::string value;
@@ -20,18 +21,25 @@ struct PrefixTreeStore::Payload {
   bool refresh_flagged = false;
   int size_class = 0;
   std::list<Payload*>::iterator lru_it;
+  // Point payloads only: hash-index membership. `key` backs the
+  // collision check and prefix invalidation; `hash_next` chains
+  // same-hash payloads.
+  std::string key;
+  uint64_t key_hash = 0;
+  Payload* hash_next = nullptr;
 };
 
 /// Compressed radix-tree node. `edge` is the label on the edge from the
 /// parent; a node's path is the concatenation of edges from the root.
+/// The tree holds only range-addressable state — cached scan results —
+/// so the hot point workload never grows or walks it.
 struct PrefixTreeStore::Node {
   std::string edge;
   Node* parent = nullptr;
   std::map<unsigned char, std::unique_ptr<Node>> children;
-  std::unique_ptr<Payload> point;                 ///< Exact-key entry.
-  std::vector<std::unique_ptr<Payload>> scans;    ///< By scan limit.
+  std::vector<std::unique_ptr<Payload>> scans;  ///< By scan limit.
   /// Scan payloads in this subtree (self included) — gates the
-  /// covering-scan walk and scan-only invalidation.
+  /// covering-scan walk and scan invalidation.
   uint32_t subtree_scans = 0;
 };
 
@@ -40,7 +48,18 @@ PrefixTreeStore::PrefixTreeStore(AuLruOptions options, const Clock* clock)
   assert(clock_ != nullptr);
 }
 
-PrefixTreeStore::~PrefixTreeStore() = default;
+PrefixTreeStore::~PrefixTreeStore() { DeleteAllPoints(); }
+
+void PrefixTreeStore::DeleteAllPoints() {
+  point_index_.ForEach([](uint64_t, Payload*& head) {
+    for (Payload* p = head; p != nullptr;) {
+      Payload* next = p->hash_next;
+      delete p;
+      p = next;
+    }
+  });
+  point_index_.Clear();
+}
 
 int PrefixTreeStore::ClassFor(uint64_t charge) {
   int c = 0;
@@ -126,6 +145,32 @@ PrefixTreeStore::Node* PrefixTreeStore::InsertPath(const std::string& path) {
   return n;
 }
 
+PrefixTreeStore::Payload* PrefixTreeStore::FindPoint(
+    uint64_t hash, const std::string& key) const {
+  Payload* const* slot = point_index_.Find(hash);
+  if (slot == nullptr) return nullptr;
+  for (Payload* p = *slot; p != nullptr; p = p->hash_next) {
+    if (p->key == key) return p;
+  }
+  return nullptr;
+}
+
+void PrefixTreeStore::IndexPoint(uint64_t hash, Payload* p) {
+  p->key_hash = hash;
+  Payload*& head = point_index_[hash];
+  p->hash_next = head;
+  head = p;
+}
+
+void PrefixTreeStore::UnindexPoint(Payload* p) {
+  Payload** slot = point_index_.Find(p->key_hash);
+  assert(slot != nullptr);
+  Payload** link = slot;
+  while (*link != p) link = &(*link)->hash_next;
+  *link = p->hash_next;
+  if (*slot == nullptr) point_index_.Erase(p->key_hash);
+}
+
 void PrefixTreeStore::TouchLru(Payload* p) {
   lru_.splice(lru_.begin(), lru_, p->lru_it);
 }
@@ -144,7 +189,7 @@ void PrefixTreeStore::BumpSubtreeScans(Node* n, int delta) {
 
 void PrefixTreeStore::PruneFrom(Node* n) {
   while (n != nullptr && n != root_.get()) {
-    if (n->point || !n->scans.empty()) return;
+    if (!n->scans.empty()) return;
     Node* parent = n->parent;
     if (n->children.empty()) {
       parent->children.erase(static_cast<unsigned char>(n->edge[0]));
@@ -167,12 +212,12 @@ void PrefixTreeStore::PruneFrom(Node* n) {
 }
 
 void PrefixTreeStore::RemovePayload(Payload* p, bool count_as_invalidation) {
-  Node* n = p->node;
   used_ -= p->charge;
   classes_[p->size_class].bytes -= p->charge;
   lru_.erase(p->lru_it);
   if (count_as_invalidation) tree_stats_.invalidated_payloads++;
   if (p->is_scan) {
+    Node* n = p->node;
     cached_scans_--;
     BumpSubtreeScans(n, -1);
     for (auto it = n->scans.begin(); it != n->scans.end(); ++it) {
@@ -181,10 +226,11 @@ void PrefixTreeStore::RemovePayload(Payload* p, bool count_as_invalidation) {
         break;
       }
     }
+    PruneFrom(n);
   } else {
-    n->point.reset();  // Destroys p.
+    UnindexPoint(p);
+    delete p;
   }
-  PruneFrom(n);
 }
 
 void PrefixTreeStore::EvictUntilFits(uint64_t incoming) {
@@ -194,40 +240,60 @@ void PrefixTreeStore::EvictUntilFits(uint64_t incoming) {
   }
 }
 
-bool PrefixTreeStore::Put(const std::string& key, std::string value,
+bool PrefixTreeStore::Put(const std::string& key, std::string_view value,
                           uint64_t charge, Micros ttl) {
+  return PutHashed(HashString(key), key, value, charge, ttl);
+}
+
+bool PrefixTreeStore::PutHashed(uint64_t hash, const std::string& key,
+                                std::string_view value, uint64_t charge,
+                                Micros ttl) {
   if (charge > options_.capacity_bytes) return false;
   if (ttl <= 0) ttl = options_.default_ttl;
-  // Overwrite: the slot's current entry goes first (fresh refresh
-  // bookkeeping), exactly like the AU-LRU cache.
-  if (const Node* en = FindExact(key); en != nullptr && en->point) {
-    RemovePayload(en->point.get(), /*count_as_invalidation=*/false);
+  // Overwrite reuses the resident payload. Detaching its accounting
+  // and LRU slot first reproduces the remove-then-insert sequence
+  // exactly — eviction decisions run against the store without the old
+  // entry, and the detached payload can never be picked as a victim.
+  // The hash-index entry is untouched: same key, same hash, same
+  // payload object. Fresh refresh bookkeeping, like the AU-LRU cache.
+  Payload* p = FindPoint(hash, key);
+  if (p != nullptr) {
+    used_ -= p->charge;
+    classes_[p->size_class].bytes -= p->charge;
+    lru_.erase(p->lru_it);
+    EvictUntilFits(charge);
+  } else {
+    EvictUntilFits(charge);
+    p = new Payload();
+    p->key = key;
+    IndexPoint(hash, p);
   }
-  EvictUntilFits(charge);
-  Node* n = InsertPath(key);
-  auto p = std::make_unique<Payload>();
-  p->node = n;
-  p->value = std::move(value);
+  p->value.assign(value.data(), value.size());
   p->charge = charge;
   p->expire_at = clock_->NowMicros() + ttl;
+  p->hits_this_period = 0;
+  p->refresh_flagged = false;
   p->size_class = ClassFor(charge);
-  InsertLru(p.get());
+  InsertLru(p);
   classes_[p->size_class].bytes += charge;
   for (SizeClass& sc : classes_) sc.recent_hits *= kHitDecay;
   used_ += charge;
   stats_.inserts++;
-  n->point = std::move(p);
   return true;
 }
 
 AuLookup PrefixTreeStore::Get(const std::string& key) {
+  return GetHashed(HashString(key), key);
+}
+
+AuLookup PrefixTreeStore::GetHashed(uint64_t hash, const std::string& key) {
   AuLookup out;
-  const Node* n = FindExact(key);
-  if (n == nullptr || !n->point) {
+  Payload* pe = FindPoint(hash, key);
+  if (pe == nullptr) {
     stats_.misses++;
     return out;
   }
-  Payload& e = *n->point;
+  Payload& e = *pe;
   const Micros now = clock_->NowMicros();
   if (now >= e.expire_at) {
     // Lazy expiry, AU-LRU style: count it, drop it, report a miss.
@@ -253,48 +319,43 @@ AuLookup PrefixTreeStore::Get(const std::string& key) {
 }
 
 bool PrefixTreeStore::Erase(const std::string& key) {
-  return EraseHashed(0, key);
+  return EraseHashed(HashString(key), key);
 }
 
-bool PrefixTreeStore::EraseHashed(uint64_t /*hash*/, const std::string& key) {
-  if (!root_) return false;
-  // One walk serves both jobs: find the exact point entry, and collect
-  // every cached scan whose prefix covers `key` (a write inside a
-  // cached range invalidates it). Removal is deferred past the walk
-  // because pruning restructures the path being walked.
-  const bool walk_scans = root_->subtree_scans > 0;
-  std::vector<Payload*> covering;
-  Payload* point = nullptr;
-  Node* n = root_.get();
-  size_t i = 0;
-  while (true) {
-    if (walk_scans) {
+bool PrefixTreeStore::EraseHashed(uint64_t hash, const std::string& key) {
+  // Covering-scan invalidation: a write inside a cached range drops
+  // that range. The root→key walk only runs when scans are cached at
+  // all (subtree counters); the point entry itself comes from the hash
+  // index. Removal is deferred past the walk because pruning
+  // restructures the path being walked.
+  if (root_ != nullptr && root_->subtree_scans > 0) {
+    std::vector<Payload*> covering;
+    Node* n = root_.get();
+    size_t i = 0;
+    while (true) {
       for (auto& sp : n->scans) covering.push_back(sp.get());
+      if (i == key.size()) break;
+      auto it = n->children.find(static_cast<unsigned char>(key[i]));
+      if (it == n->children.end()) break;
+      Node* c = it->second.get();
+      const std::string& e = c->edge;
+      if (i + e.size() > key.size() || key.compare(i, e.size(), e) != 0) break;
+      i += e.size();
+      n = c;
     }
-    if (i == key.size()) {
-      point = n->point.get();
-      break;
+    for (Payload* p : covering) {
+      tree_stats_.scans_dropped_by_write++;
+      RemovePayload(p, /*count_as_invalidation=*/false);
     }
-    auto it = n->children.find(static_cast<unsigned char>(key[i]));
-    if (it == n->children.end()) break;
-    Node* c = it->second.get();
-    const std::string& e = c->edge;
-    if (i + e.size() > key.size() || key.compare(i, e.size(), e) != 0) break;
-    i += e.size();
-    n = c;
   }
-  for (Payload* p : covering) {
-    tree_stats_.scans_dropped_by_write++;
-    RemovePayload(p, /*count_as_invalidation=*/false);
-  }
+  Payload* point = FindPoint(hash, key);
   if (point == nullptr) return false;
   RemovePayload(point, /*count_as_invalidation=*/false);
   return true;
 }
 
 bool PrefixTreeStore::Contains(const std::string& key) const {
-  const Node* n = FindExact(key);
-  return n != nullptr && n->point != nullptr;
+  return FindPoint(HashString(key), key) != nullptr;
 }
 
 std::vector<std::string> PrefixTreeStore::TakeRefreshQueue() {
@@ -372,49 +433,61 @@ AuLookup PrefixTreeStore::GetScan(const std::string& prefix, uint32_t limit) {
   return out;
 }
 
-void PrefixTreeStore::CollectSubtree(Node* n, bool scans_only,
+void PrefixTreeStore::CollectSubtree(Node* n,
                                      std::vector<Payload*>& out) const {
-  if (scans_only && n->subtree_scans == 0) return;
-  if (!scans_only && n->point) out.push_back(n->point.get());
+  if (n->subtree_scans == 0) return;
   for (auto& sp : n->scans) out.push_back(sp.get());
   for (auto& [byte, child] : n->children) {
     (void)byte;
-    CollectSubtree(child.get(), scans_only, out);
+    CollectSubtree(child.get(), out);
   }
 }
 
 size_t PrefixTreeStore::InvalidatePrefix(const std::string& prefix) {
   tree_stats_.prefix_invalidations++;
-  if (!root_) return 0;
   std::vector<Payload*> drop;
-  Node* subtree = nullptr;
-  Node* n = root_.get();
-  size_t i = 0;
-  while (true) {
-    if (i >= prefix.size()) {
-      subtree = n;  // Exact node: its whole subtree is covered.
-      break;
+  // Point entries under the prefix come from the flat index by key
+  // compare. The tree would give O(subtree), but points no longer
+  // reside there: prefix invalidation is the rare cutover/migration
+  // path while point lookups run per request — the trade goes to the
+  // lookups. Collect first, remove after: removal mutates the index.
+  point_index_.ForEach([&](uint64_t, Payload*& head) {
+    for (Payload* p = head; p != nullptr; p = p->hash_next) {
+      if (p->key.size() >= prefix.size() &&
+          p->key.compare(0, prefix.size(), prefix) == 0) {
+        drop.push_back(p);
+      }
     }
-    // Scans cached on strict-ancestor nodes span the invalidated prefix
-    // — conservatively stale, drop them too.
-    for (auto& sp : n->scans) drop.push_back(sp.get());
-    auto it = n->children.find(static_cast<unsigned char>(prefix[i]));
-    if (it == n->children.end()) break;
-    Node* c = it->second.get();
-    const std::string& e = c->edge;
-    const size_t remain = prefix.size() - i;
-    if (e.size() >= remain) {
-      // Prefix ends on/inside c's edge: if the edge extends the prefix,
-      // every key below c starts with it — the whole subtree is covered.
-      if (e.compare(0, remain, prefix, i, remain) == 0) subtree = c;
-      break;
+  });
+  if (root_ != nullptr && root_->subtree_scans > 0) {
+    Node* subtree = nullptr;
+    Node* n = root_.get();
+    size_t i = 0;
+    while (true) {
+      if (i >= prefix.size()) {
+        subtree = n;  // Exact node: its whole subtree is covered.
+        break;
+      }
+      // Scans cached on strict-ancestor nodes span the invalidated
+      // prefix — conservatively stale, drop them too.
+      for (auto& sp : n->scans) drop.push_back(sp.get());
+      auto it = n->children.find(static_cast<unsigned char>(prefix[i]));
+      if (it == n->children.end()) break;
+      Node* c = it->second.get();
+      const std::string& e = c->edge;
+      const size_t remain = prefix.size() - i;
+      if (e.size() >= remain) {
+        // Prefix ends on/inside c's edge: if the edge extends the
+        // prefix, every key below c starts with it — the whole subtree
+        // is covered.
+        if (e.compare(0, remain, prefix, i, remain) == 0) subtree = c;
+        break;
+      }
+      if (prefix.compare(i, e.size(), e) != 0) break;
+      i += e.size();
+      n = c;
     }
-    if (prefix.compare(i, e.size(), e) != 0) break;
-    i += e.size();
-    n = c;
-  }
-  if (subtree != nullptr) {
-    CollectSubtree(subtree, /*scans_only=*/false, drop);
+    if (subtree != nullptr) CollectSubtree(subtree, drop);
   }
   for (Payload* p : drop) RemovePayload(p, /*count_as_invalidation=*/true);
   return drop.size();
@@ -424,13 +497,14 @@ size_t PrefixTreeStore::InvalidateScans() {
   tree_stats_.prefix_invalidations++;
   if (!root_ || root_->subtree_scans == 0) return 0;
   std::vector<Payload*> drop;
-  CollectSubtree(root_.get(), /*scans_only=*/true, drop);
+  CollectSubtree(root_.get(), drop);
   for (Payload* p : drop) RemovePayload(p, /*count_as_invalidation=*/true);
   return drop.size();
 }
 
 void PrefixTreeStore::Clear() {
   root_.reset();
+  DeleteAllPoints();
   lru_.clear();
   refresh_queue_.clear();
   used_ = 0;

@@ -1,12 +1,13 @@
 // Prefix-tree proxy content store — the range-aware successor of the
 // flat AU-LRU cache.
 //
-// The store keeps the proxy's cached content in a compressed radix tree
-// over the key space instead of a flat hash map. Point entries (GET
-// payloads) live at the tree node of their exact key; cached scan
-// results live at the node of their *prefix*, keyed by the scan limit.
-// Organizing content by prefix buys the two operations a flat cache
-// cannot do better than O(entries) or a full flush:
+// The store is a hybrid of two indexes sharing one LRU and one byte
+// budget. Point entries (GET payloads) live in a flat hash index keyed
+// by HashString(key) — O(1) probes on the per-request hot path, fed by
+// the key hash the request already carries. Cached scan results live
+// in a compressed radix tree at the node of their *prefix*, keyed by
+// the scan limit. Organizing scans by prefix buys the two operations a
+// flat cache cannot do better than O(entries) or a full flush:
 //
 //  * Covering-scan invalidation: a write to key K must drop every
 //    cached scan whose range contains K. Prefix-shaped scans covering K
@@ -38,11 +39,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/au_lru.h"
 #include "cache/cache_stats.h"
 #include "common/clock.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace abase {
@@ -79,8 +82,9 @@ class PrefixTreeStore {
 
   /// Inserts/overwrites the point entry for `key`. ttl <= 0 means the
   /// configured default. Returns false if `charge` alone exceeds
-  /// capacity. Overwriting resets the refresh bookkeeping.
-  bool Put(const std::string& key, std::string value, uint64_t charge,
+  /// capacity. Overwriting resets the refresh bookkeeping and reuses
+  /// the resident payload's buffers (the value is copied in).
+  bool Put(const std::string& key, std::string_view value, uint64_t charge,
            Micros ttl = 0);
 
   /// Point lookup. Expired entries are erased and reported as misses.
@@ -88,13 +92,25 @@ class PrefixTreeStore {
   /// refresh per TTL period (AU-LRU active update).
   AuLookup Get(const std::string& key);
 
+  // Hashed point entry points: identical semantics with a
+  // caller-computed HashString(key). The request hot path carries the
+  // key hash with the request (computed once at generation), so point
+  // probes and write invalidations go through the flat hash index —
+  // O(1) — instead of walking the radix tree byte by byte. The hash
+  // MUST equal HashString(key); collisions are chained and resolved by
+  // full-key compare, so behavior is exact, not probabilistic.
+
+  bool PutHashed(uint64_t hash, const std::string& key,
+                 std::string_view value, uint64_t charge, Micros ttl = 0);
+  AuLookup GetHashed(uint64_t hash, const std::string& key);
+
   bool Erase(const std::string& key);
 
-  /// Erase with a caller-computed HashString(key). The tree is keyed by
-  /// the key bytes so the hash is unused; the signature matches the
-  /// AU-LRU write-invalidation broadcast. Also drops every cached scan
-  /// whose prefix covers `key` — a write inside a cached range makes
-  /// that range stale (covering-scan invalidation).
+  /// Erase with a caller-computed HashString(key): the point entry is
+  /// located through the hash index. Also drops every cached scan whose
+  /// prefix covers `key` — a write inside a cached range makes that
+  /// range stale (covering-scan invalidation); the covering walk is
+  /// skipped entirely when no scans are cached (subtree counters).
   bool EraseHashed(uint64_t hash, const std::string& key);
 
   bool Contains(const std::string& key) const;
@@ -120,7 +136,10 @@ class PrefixTreeStore {
 
   /// Drops every payload — point and scan — under `prefix`, plus any
   /// scan payload on an ancestor node whose range covers the prefix.
-  /// O(size of the affected subtree). Returns payloads dropped.
+  /// Scans cost O(affected subtree); points cost O(point entries), a
+  /// sweep of the flat index (this is the rare cutover path — the
+  /// common per-request operations stay O(1)). Returns payloads
+  /// dropped.
   size_t InvalidatePrefix(const std::string& prefix);
 
   /// Drops every cached scan payload, keeping point entries. Walks only
@@ -144,6 +163,7 @@ class PrefixTreeStore {
   // -- Tree / size-class diagnostics ----------------------------------------
 
   const PrefixTreeStats& tree_stats() const { return tree_stats_; }
+  /// Nodes in the scan tree (0 for point-only workloads).
   size_t node_count() const { return node_count_; }
   size_t cached_scans() const { return cached_scans_; }
 
@@ -164,6 +184,14 @@ class PrefixTreeStore {
   /// Finds or creates (splitting edges as needed) the node for `path`.
   Node* InsertPath(const std::string& path);
 
+  /// Point payload for `key` via the hash index (chained on collision,
+  /// resolved by full-key compare), or null.
+  Payload* FindPoint(uint64_t hash, const std::string& key) const;
+  void IndexPoint(uint64_t hash, Payload* p);
+  void UnindexPoint(Payload* p);
+  /// Destroys every point payload and empties the index (Clear/dtor).
+  void DeleteAllPoints();
+
   void TouchLru(Payload* p);
   void InsertLru(Payload* p);
   /// Detaches `p` from the LRU, size-class and subtree accounting and
@@ -175,17 +203,24 @@ class PrefixTreeStore {
   void PruneFrom(Node* n);
   /// Adds `delta` to the subtree scan counters on `n` and its ancestors.
   void BumpSubtreeScans(Node* n, int delta);
-  /// Collects every payload in `n`'s subtree (scan payloads only when
-  /// `scans_only`; subtree counters skip scan-free branches). Collected
-  /// pointers stay valid while their siblings are removed: pruning only
-  /// destroys payload-less nodes.
-  void CollectSubtree(Node* n, bool scans_only,
-                      std::vector<Payload*>& out) const;
+  /// Collects every scan payload in `n`'s subtree (subtree counters
+  /// skip scan-free branches). Collected pointers stay valid while
+  /// their siblings are removed: pruning only destroys payload-less
+  /// nodes.
+  void CollectSubtree(Node* n, std::vector<Payload*>& out) const;
 
   AuLruOptions options_;
   const Clock* clock_;
-  std::unique_ptr<Node> root_;  ///< Lazily allocated on first insert.
-  std::list<Payload*> lru_;     ///< Front = most recently used.
+  /// Scan tree, lazily allocated on the first scan insert. Point-only
+  /// workloads never touch it.
+  std::unique_ptr<Node> root_;
+  /// Home of every point payload: HashString(key) → head of a (nearly
+  /// always length-1) collision chain threaded through
+  /// Payload::hash_next. Chains make the index exact — a probe miss is
+  /// an authoritative miss, never a fallback — so point behavior is
+  /// identical to the tree-resident layout, just O(1).
+  FlatMap64<Payload*> point_index_;
+  std::list<Payload*> lru_;  ///< Front = most recently used.
   uint64_t used_ = 0;
   size_t node_count_ = 0;
   size_t cached_scans_ = 0;

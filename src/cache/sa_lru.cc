@@ -21,24 +21,42 @@ int SaLruCache::ClassFor(uint64_t charge) const {
   return options_.num_classes - 1;
 }
 
-bool SaLruCache::Put(const std::string& key, std::string value,
+bool SaLruCache::Put(const std::string& key, std::string_view value,
                      uint64_t charge, Micros expire_at) {
+  return PutHashed(HashString(key), key, value, charge, expire_at);
+}
+
+bool SaLruCache::PutHashed(uint64_t h, const std::string& key,
+                           std::string_view value, uint64_t charge,
+                           Micros expire_at) {
   if (charge > options_.capacity_bytes) return false;
-  const uint64_t h = HashString(key);
   // Same key or a hash-collided victim: either way the slot's current
-  // entry goes, keeping the index bijective with the class lists.
+  // entry goes, keeping the index bijective with the class lists. The
+  // detached node is parked in spare_ — out of every class list, so it
+  // can't be picked as an eviction victim — and reused below with its
+  // string capacity intact.
   if (auto* slot = map_.Find(h)) {
     auto old = *slot;
     SizeClass& osc = classes_[static_cast<size_t>(old->size_class)];
     osc.bytes -= old->charge;
     used_ -= old->charge;
-    osc.lru.erase(old);
+    spare_.splice(spare_.begin(), osc.lru, old);
     map_.Erase(h);
   }
   EvictUntilFits(charge);
   int cls = ClassFor(charge);
   SizeClass& sc = classes_[static_cast<size_t>(cls)];
-  sc.lru.push_front(Entry{key, std::move(value), charge, cls, expire_at});
+  if (!spare_.empty()) {
+    sc.lru.splice(sc.lru.begin(), spare_, spare_.begin());
+    Entry& e = sc.lru.front();
+    e.key = key;
+    e.value.assign(value.data(), value.size());
+    e.charge = charge;
+    e.size_class = cls;
+    e.expire_at = expire_at;
+  } else {
+    sc.lru.push_front(Entry{key, std::string(value), charge, cls, expire_at});
+  }
   map_.Insert(h, sc.lru.begin());
   sc.bytes += charge;
   used_ += charge;
@@ -60,8 +78,14 @@ std::optional<std::string> SaLruCache::GetWithExpiry(const std::string& key,
 
 const std::string* SaLruCache::GetRef(const std::string& key,
                                       Micros* expire_at) {
+  return GetRefHashed(HashString(key), key, expire_at);
+}
+
+const std::string* SaLruCache::GetRefHashed(uint64_t h,
+                                            const std::string& key,
+                                            Micros* expire_at) {
   *expire_at = 0;
-  auto* slot = map_.Find(HashString(key));
+  auto* slot = map_.Find(h);
   if (slot == nullptr || (*slot)->key != key) {
     stats_.misses++;
     return nullptr;
@@ -71,7 +95,7 @@ const std::string* SaLruCache::GetRef(const std::string& key,
       clock_->NowMicros() >= it->expire_at) {
     stats_.expired++;
     stats_.misses++;
-    Erase(key);
+    EraseHashed(h, key);
     return nullptr;
   }
   stats_.hits++;
@@ -83,7 +107,10 @@ const std::string* SaLruCache::GetRef(const std::string& key,
 }
 
 bool SaLruCache::Erase(const std::string& key) {
-  const uint64_t h = HashString(key);
+  return EraseHashed(HashString(key), key);
+}
+
+bool SaLruCache::EraseHashed(uint64_t h, const std::string& key) {
   auto* slot = map_.Find(h);
   if (slot == nullptr || (*slot)->key != key) return false;
   auto it = *slot;

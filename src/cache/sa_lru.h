@@ -14,6 +14,7 @@
 #include <list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cache/cache_stats.h"
@@ -47,7 +48,9 @@ class SaLruCache {
   /// Inserts or refreshes `key` with the given byte footprint. Oversized
   /// entries (charge > capacity) are rejected. `expire_at` of 0 means no
   /// expiry; a value's cache lifetime must not outlive its engine TTL.
-  bool Put(const std::string& key, std::string value, uint64_t charge,
+  /// The value is copied into the entry — overwrites reuse the resident
+  /// entry's buffers instead of allocating.
+  bool Put(const std::string& key, std::string_view value, uint64_t charge,
            Micros expire_at = 0);
 
   /// Lookup; promotes within the entry's size class on hit. Expired
@@ -67,6 +70,21 @@ class SaLruCache {
 
   bool Erase(const std::string& key);
   bool Contains(const std::string& key) const;
+
+  // -- Hashed entry points ----------------------------------------------------
+  // Identical semantics with a caller-computed HashString(key). The hot
+  // request path carries the cache-key hash with the scheduler entry
+  // (computed once at Submit from the replica's prefix-hash state), so
+  // probes and write invalidations skip re-hashing the key bytes. The
+  // hash MUST equal HashString(key); the full key still rides along for
+  // collision detection.
+
+  bool PutHashed(uint64_t hash, const std::string& key,
+                 std::string_view value, uint64_t charge,
+                 Micros expire_at = 0);
+  const std::string* GetRefHashed(uint64_t hash, const std::string& key,
+                                  Micros* expire_at);
+  bool EraseHashed(uint64_t hash, const std::string& key);
 
   /// Drops every entry (a node crash loses the in-memory cache). Hit/miss
   /// statistics are kept; class hit counters reset.
@@ -109,6 +127,11 @@ class SaLruCache {
   /// key, so a hash collision is detected by comparing it and treated
   /// as a miss (Get/Erase) or evicts the collided entry (Put).
   FlatMap64<std::list<Entry>::iterator> map_;
+  /// At most one detached entry, parked here between the overwrite
+  /// detach and the reinsert in the same Put call. Splicing through it
+  /// keeps the list node and both string buffers alive across the
+  /// eviction pass, so overwriting a resident key allocates nothing.
+  std::list<Entry> spare_;
   uint64_t used_ = 0;
   CacheStats stats_;
 };

@@ -18,6 +18,18 @@ inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0) {
   return h;
 }
 
+/// Continues an FNV-1a stream: feeding `data` into a hash state returned
+/// by Fnv1a64 (or a previous Continue) yields exactly Fnv1a64(prefix +
+/// data). Lets a fixed key prefix ("tenant|partition|") be hashed once
+/// and shared across every request that appends a different suffix.
+inline uint64_t Fnv1a64Continue(uint64_t state, std::string_view data) {
+  for (unsigned char c : data) {
+    state ^= c;
+    state *= 1099511628211ULL;
+  }
+  return state;
+}
+
 /// Finalizer from MurmurHash3; decorrelates sequential inputs. Used to
 /// derive independent bloom-filter probe positions from one base hash.
 inline uint64_t Mix64(uint64_t h) {

@@ -254,11 +254,16 @@ std::vector<Result<std::string>> Client::MGet(
 
 std::vector<Status> Client::MSet(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
-  std::vector<Pending> pending;
-  pending.reserve(pairs.size());
+  // Same batched-submission path as MGet: every write is injected
+  // before any tick runs, so the batch is admitted in one ProxyAdmit
+  // pass (one write-invalidation broadcast per key, one quota pass)
+  // instead of interleaving submissions with drains.
+  std::vector<Command> cmds;
+  cmds.reserve(pairs.size());
   for (const auto& [key, value] : pairs) {
-    pending.push_back(SubmitPending(Command::Set(key, value)));
+    cmds.push_back(Command::Set(key, value));
   }
+  std::vector<Pending> pending = SubmitPendingBatch(std::move(cmds));
   std::vector<Reply> replies = AwaitAll(pending);
   std::vector<Status> results;
   results.reserve(replies.size());
@@ -268,6 +273,18 @@ std::vector<Status> Client::MSet(
 
 Status Client::Del(const std::string& key) {
   return Await(SubmitPending(Command::Del(key))).status;
+}
+
+std::vector<Status> Client::MDel(const std::vector<std::string>& keys) {
+  std::vector<Command> cmds;
+  cmds.reserve(keys.size());
+  for (const std::string& key : keys) cmds.push_back(Command::Del(key));
+  std::vector<Pending> pending = SubmitPendingBatch(std::move(cmds));
+  std::vector<Reply> replies = AwaitAll(pending);
+  std::vector<Status> results;
+  results.reserve(replies.size());
+  for (Reply& r : replies) results.push_back(std::move(r.status));
+  return results;
 }
 
 Status Client::HSet(const std::string& key, const std::string& field,

@@ -196,10 +196,15 @@ class Client {
   /// instead of N independent lookups.
   std::vector<Result<std::string>> MGet(const std::vector<std::string>& keys);
 
-  /// Batched SET; per-key statuses in input order.
+  /// Batched SET; per-key statuses in input order. One batched
+  /// submission, like MGet: the whole batch is admitted in a single
+  /// ProxyAdmit pass.
   std::vector<Status> MSet(
       const std::vector<std::pair<std::string, std::string>>& pairs);
   Status Del(const std::string& key);
+  /// Batched DEL; per-key statuses in input order. Same batched
+  /// submission path as MSet.
+  std::vector<Status> MDel(const std::vector<std::string>& keys);
   Status HSet(const std::string& key, const std::string& field,
               const std::string& value);
   Result<std::string> HGet(const std::string& key, const std::string& field);
@@ -234,10 +239,10 @@ class Client {
 
   Pending SubmitPending(Command cmd);
 
-  /// The batched-submission core under SubmitBatch and MGet: all
-  /// commands are injected before any tick can run, so the batch is
-  /// admitted in one ProxyAdmit pass and point reads reach the nodes'
-  /// MultiFind grouped probe together.
+  /// The batched-submission core under SubmitBatch, MGet, MSet and
+  /// MDel: all commands are injected before any tick can run, so the
+  /// batch is admitted in one ProxyAdmit pass and point reads reach
+  /// the nodes' MultiFind grouped probe together.
   std::vector<Pending> SubmitPendingBatch(std::vector<Command> cmds);
 
   /// Drains until `p` resolves (bounded); Internal error on timeout.

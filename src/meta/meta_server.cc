@@ -160,10 +160,14 @@ std::vector<TenantId> MetaServer::TenantIds() const {
 
 PartitionId MetaServer::PartitionFor(TenantId tenant,
                                      std::string_view key) const {
+  return PartitionForHashed(tenant, Fnv1a64(key));
+}
+
+PartitionId MetaServer::PartitionForHashed(TenantId tenant,
+                                           uint64_t key_hash) const {
   auto it = tenants_.find(tenant);
   if (it == tenants_.end() || it->second.partitions.empty()) return 0;
-  return static_cast<PartitionId>(
-      Fnv1a64(key) % it->second.partitions.size());
+  return static_cast<PartitionId>(key_hash % it->second.partitions.size());
 }
 
 NodeId MetaServer::PrimaryFor(TenantId tenant, PartitionId partition) const {

@@ -143,6 +143,10 @@ class MetaServer {
   /// Hash-routes a key to its partition.
   PartitionId PartitionFor(TenantId tenant, std::string_view key) const;
 
+  /// PartitionFor with a caller-computed Fnv1a64(key): the hot path
+  /// hashes each key once at generate time and reuses it here.
+  PartitionId PartitionForHashed(TenantId tenant, uint64_t key_hash) const;
+
   /// Primary node currently serving (tenant, partition).
   NodeId PrimaryFor(TenantId tenant, PartitionId partition) const;
 

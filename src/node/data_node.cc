@@ -5,6 +5,7 @@
 #include <charconv>
 #include <iterator>
 
+#include "common/hash.h"
 #include "common/scan_codec.h"
 
 namespace abase {
@@ -86,6 +87,20 @@ void DataNode::AddReplica(TenantId tenant, PartitionId partition,
   rep.quota =
       std::make_unique<quota::PartitionQuota>(partition_quota_ru, clock_);
   rep.quota->SetEnabled(quota_enforcement_);
+  {
+    // Precompute the FNV-1a state of this replica's cache-key prefix
+    // ("<tenant>|<partition>|"); the request path continues it over the
+    // client key instead of building the prefixed string per request.
+    char buf[32];
+    // 32-bit ids are at most 10 digits; leave the compiler provable
+    // headroom for the two '|' separators.
+    auto p = std::to_chars(buf, buf + 12, tenant).ptr;
+    *p++ = '|';
+    p = std::to_chars(p, p + 12, partition).ptr;
+    *p++ = '|';
+    rep.cache_prefix_hash =
+        Fnv1a64(std::string_view(buf, static_cast<size_t>(p - buf)));
+  }
   uint64_t key = ReplicaKey(tenant, partition);
   PartitionReplica& stored = replicas_[key] = std::move(rep);
   replica_index_[key] = &stored;
@@ -223,7 +238,7 @@ void DataNode::CompleteRecovery() {
 // ---------------------------------------------------------------------------
 
 bool DataNode::ApplyReplicated(TenantId tenant, PartitionId partition,
-                               const storage::ReplRecord& rec) {
+                               const storage::ReplRecordPtr& rec) {
   PartitionReplica* rep = FindReplica(tenant, partition);
   if (rep == nullptr) return false;
   if (!rep->engine->ApplyReplicated(rec).ok()) return false;
@@ -234,8 +249,9 @@ bool DataNode::ApplyReplicated(TenantId tenant, PartitionId partition,
   NodeRequest key_probe;
   key_probe.tenant = tenant;
   key_probe.partition = partition;
-  key_probe.key = rec.key;
-  cache_.Erase(CacheKeyFor(key_probe));
+  key_probe.key = rec->key;
+  cache_.EraseHashed(Fnv1a64Continue(rep->cache_prefix_hash, rec->key),
+                     CacheKeyFor(key_probe));
   return true;
 }
 
@@ -292,7 +308,7 @@ NodeResponse MakeRejection(const NodeRequest& req, Status status,
 
 }  // namespace
 
-void DataNode::Submit(NodeRequest req) {
+void DataNode::Submit(const NodeRequest& req) {
   tick_stats_.submitted++;
   if (state_ != NodeState::kAlive) {
     // Defensive: the routing layer avoids non-serving nodes, but a direct
@@ -334,8 +350,12 @@ void DataNode::Submit(NodeRequest req) {
       total_quota > 0 ? rep->partition_quota_ru / total_quota : 1.0;
   sreq.quota_share = std::max(sreq.quota_share, 1e-6);
   // Cache-key hash for the batched scheduler's flush-on-repeated-key
-  // rule; writes flush unconditionally, so only reads need it.
-  if (sreq.is_read) sreq.key_hash = HashString(CacheKeyFor(req));
+  // rule and the node-cache probes; writes flush unconditionally, so
+  // only reads need it. Continuing the replica's precomputed prefix
+  // state over the client key equals HashString(CacheKeyFor(req)).
+  if (sreq.is_read) {
+    sreq.key_hash = Fnv1a64Continue(rep->cache_prefix_hash, req.key);
+  }
 
   uint32_t slot;
   if (!pending_free_.empty()) {
@@ -347,7 +367,23 @@ void DataNode::Submit(NodeRequest req) {
   }
   PendingContext& ctx = pending_pool_[slot];
   ctx.active = true;
-  ctx.req = std::move(req);
+  // Field-assign into the recycled slot: string copy-assignment reuses
+  // the slot's capacity, and the caller's request keeps its own.
+  ctx.req.req_id = req.req_id;
+  ctx.req.tenant = req.tenant;
+  ctx.req.partition = req.partition;
+  ctx.req.op = req.op;
+  ctx.req.key = req.key;
+  ctx.req.field = req.field;
+  ctx.req.value = req.value;
+  ctx.req.ttl = req.ttl;
+  ctx.req.scan_limit = req.scan_limit;
+  ctx.req.issued_at = req.issued_at;
+  ctx.req.estimated_ru = req.estimated_ru;
+  ctx.req.value_size_hint = req.value_size_hint;
+  ctx.req.background_refresh = req.background_refresh;
+  ctx.req.replicas = req.replicas;
+  ctx.req.consistency = req.consistency;
   ctx.admitted_at = clock_->NowMicros();
   ctx.wait_ticks = 0;
   ctx.probed = false;
@@ -410,7 +446,10 @@ sched::CacheProbe DataNode::ProbeRequest(const sched::SchedRequest& sreq) {
   // The hit's value and TTL are retained so completion reuses them.
   if (req.op == OpType::kGet || req.op == OpType::kHGetAll) {
     Micros expire_at = 0;
-    if (const std::string* v = cache_.GetRef(CacheKeyFor(req), &expire_at)) {
+    // sreq.key_hash was prefix-continued at Submit; the probe skips
+    // re-hashing the cache key and only builds it for collision compare.
+    if (const std::string* v =
+            cache_.GetRefHashed(sreq.key_hash, CacheKeyFor(req), &expire_at)) {
       ctx.probed = true;
       ctx.probe_status = Status::OK();
       ctx.probe_value.assign(*v);  // Reuses the slab slot's capacity.
@@ -499,7 +538,8 @@ void DataNode::ProbeBatch(const sched::SchedRequest* reqs, size_t n,
     }
     if (req.op == OpType::kGet || req.op == OpType::kHGetAll) {
       Micros expire_at = 0;
-      if (const std::string* v = cache_.GetRef(CacheKeyFor(req), &expire_at)) {
+      if (const std::string* v = cache_.GetRefHashed(
+              reqs[i].key_hash, CacheKeyFor(req), &expire_at)) {
         ctx.probed = true;
         ctx.probe_status = Status::OK();
         ctx.probe_value.assign(*v);
@@ -617,8 +657,10 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
   resp.replica_applied_seq = rep.engine->applied_seq();
 
   // Scratch-backed: nothing below re-enters CacheKeyFor, so the
-  // reference stays valid across the cache_ calls.
+  // reference stays valid across the cache_ calls. The hash continues
+  // the replica's precomputed prefix state == HashString(cache_key).
   const std::string& cache_key = CacheKeyFor(req);
+  const uint64_t ck_hash = Fnv1a64Continue(rep.cache_prefix_hash, req.key);
   uint64_t flushed_before = rep.engine->stats().flushed_bytes +
                             rep.engine->stats().compaction_write_bytes;
 
@@ -628,7 +670,7 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       resp.status = ctx.probe_status;
       resp.value = std::move(ctx.probe_value);
       if (!cache_hit && resp.status.ok()) {
-        cache_.Put(cache_key, resp.value, resp.value.size() + 32,
+        cache_.PutHashed(ck_hash, cache_key, resp.value, resp.value.size() + 32,
                    ctx.probe_io.expire_at);
       }
       resp.value_bytes = resp.value.size();
@@ -655,7 +697,7 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       resp.status = ctx.probe_status;
       resp.value = std::move(ctx.probe_value);
       if (!cache_hit && resp.status.ok()) {
-        cache_.Put(cache_key, resp.value, resp.value.size() + 32,
+        cache_.PutHashed(ck_hash, cache_key, resp.value, resp.value.size() + 32,
                    ctx.probe_io.expire_at);
         ru_model_.RecordHashShape(ctx.probe_hash_fields, resp.value.size());
       }
@@ -675,9 +717,9 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       // read-after-write keys keep hitting.
       if (resp.status.ok()) {
         Micros expire_at = req.ttl > 0 ? clock_->NowMicros() + req.ttl : 0;
-        cache_.Put(cache_key, req.value, req.value.size() + 32, expire_at);
+        cache_.PutHashed(ck_hash, cache_key, req.value, req.value.size() + 32, expire_at);
       } else {
-        cache_.Erase(cache_key);
+        cache_.EraseHashed(ck_hash, cache_key);
       }
       break;
     }
@@ -687,7 +729,7 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       resp.actual_ru = ru::ActualWriteCharge(resp.value_bytes,
                                              req.replicas,
                                              ru_model_.options());
-      cache_.Erase(cache_key);
+      cache_.EraseHashed(ck_hash, cache_key);
       break;
     }
     case OpType::kHSet: {
@@ -696,7 +738,7 @@ NodeResponse DataNode::ExecuteOnEngine(PendingContext& ctx,
       resp.actual_ru = ru::ActualWriteCharge(resp.value_bytes,
                                              req.replicas,
                                              ru_model_.options());
-      cache_.Erase(cache_key);
+      cache_.EraseHashed(ck_hash, cache_key);
       break;
     }
     case OpType::kExpire: {

@@ -91,6 +91,12 @@ struct PartitionReplica {
   /// On the node's EWMA active list (DataNode::ewma_active_): set when the
   /// replica serves RU, cleared when its rate decays back to exactly 0.
   bool ewma_listed = false;
+  /// FNV-1a state of the node-cache key prefix "<tenant>|<partition>|"
+  /// (computed once at AddReplica). Continuing it over the client key
+  /// (Fnv1a64Continue) equals HashString(CacheKeyFor(req)) without
+  /// materializing the prefixed string — the per-request cache-key hash
+  /// becomes O(|key|) with no buffer build.
+  uint64_t cache_prefix_hash = 0;
 };
 
 /// Node-level counters for one tick (drained with TakeTickStats).
@@ -169,9 +175,11 @@ class DataNode {
 
   /// Admits `req` into the request queue. Over-quota requests are rejected
   /// here (burning reject_cpu_ru of the node's CPU) and produce an
-  /// immediate Throttled response. Taken by value so batch callers can
-  /// move requests in and skip the payload copy.
-  void Submit(NodeRequest req);
+  /// immediate Throttled response. Taken by const reference: the request
+  /// is field-assigned into a recycled slab slot whose string capacity is
+  /// reused, and the caller's buffer keeps ITS capacity too — both sides
+  /// of the hop recycle instead of trading allocations via moves.
+  void Submit(const NodeRequest& req);
 
   /// Runs one scheduling tick: WFQ over everything admitted so far.
   void Tick();
@@ -185,7 +193,7 @@ class DataNode {
   /// node. Returns false if the replica is absent or the stream gapped
   /// (the shipper then falls back to a snapshot resync).
   bool ApplyReplicated(TenantId tenant, PartitionId partition,
-                       const storage::ReplRecord& rec);
+                       const storage::ReplRecordPtr& rec);
 
   /// Re-seeds the hosted replica of (tenant, partition) with a full
   /// snapshot of `src` (a primary engine). Returns false if not hosted.

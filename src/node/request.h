@@ -18,6 +18,12 @@ struct ClientRequest {
   TenantId tenant = 0;
   OpType op = OpType::kGet;
   std::string key;
+  /// FNV-1a 64 of `key` (== Fnv1a64(key)), computed once when the request
+  /// is generated or injected. Every downstream consumer that hashes the
+  /// key — partition routing, limited fan-out proxy choice, the write
+  /// invalidation broadcast — reuses this instead of re-walking the
+  /// bytes. 0 only for hand-built requests that never enter the sim.
+  uint64_t key_hash = 0;
   std::string field;  ///< Hash commands: the field. Scans: exclusive end key.
   std::string value;  ///< Writes only.
   Micros ttl = 0;     ///< SET/EXPIRE.

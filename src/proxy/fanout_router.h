@@ -46,7 +46,16 @@ class LimitedFanoutRouter {
     if (mode_ == RoutingMode::kRandom) {
       return static_cast<ProxyId>(rng.NextUint64(num_proxies_));
     }
-    uint32_t group = static_cast<uint32_t>(Fnv1a64(key) % num_groups_);
+    return RouteHashed(Fnv1a64(key), rng);
+  }
+
+  /// Route with a caller-computed Fnv1a64(key). Identical decision (and
+  /// RNG draw sequence) to Route: kRandom mode never consults the hash.
+  ProxyId RouteHashed(uint64_t key_hash, Rng& rng) const {
+    if (mode_ == RoutingMode::kRandom) {
+      return static_cast<ProxyId>(rng.NextUint64(num_proxies_));
+    }
+    uint32_t group = static_cast<uint32_t>(key_hash % num_groups_);
     // Proxies are striped across groups: group g owns proxies
     // {g, g+n, g+2n, ...}, so group sizes differ by at most one.
     uint32_t group_size = GroupSize(group);

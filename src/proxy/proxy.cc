@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/keyspace.h"
 
 namespace abase {
@@ -49,8 +50,20 @@ double Proxy::EstimateRu(const ClientRequest& req) const {
 }
 
 ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
-  stats_.requests++;
+  return Handle(req, Fnv1a64(req.key));
+}
+
+ProxyHandleResult Proxy::Handle(const ClientRequest& req, uint64_t key_hash) {
   ProxyHandleResult out;
+  out.action = HandleInto(req, key_hash, out.forward, out);
+  return out;
+}
+
+ProxyHandleResult::Action Proxy::HandleInto(const ClientRequest& req,
+                                            uint64_t key_hash,
+                                            NodeRequest& fwd,
+                                            ProxyHandleResult& local) {
+  stats_.requests++;
 
   // 1. Proxy cache: hits return immediately — no throttling, no charge
   //    (Section 4.1: "requests that hit the proxy cache are directly
@@ -58,16 +71,15 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   // A proxy belongs to exactly one tenant, so the client key is the
   // cache key as-is — no tenant-prefixed copy to build per lookup.
   if (cache_enabled_ && req.op == OpType::kGet) {
-    cache::AuLookup lk = cache_.Get(req.key);
+    cache::AuLookup lk = cache_.GetHashed(key_hash, req.key);
     if (lk.hit) {
       stats_.cache_hits++;
-      out.action = ProxyHandleResult::Action::kServedFromCache;
-      out.value_bytes = lk.value->size();
+      local.value_bytes = lk.value->size();
       // Only tracked requests ever read the payload downstream; bulk
       // traffic needs just the size, so skip the per-hit copy.
-      if (req.track_outcome) out.value = *lk.value;
-      out.latency = options_.cache_hit_latency;
-      return out;
+      if (req.track_outcome) local.value = *lk.value;
+      local.latency = options_.cache_hit_latency;
+      return ProxyHandleResult::Action::kServedFromCache;
     }
   }
   // Prefix-shaped scans (end == PrefixUpperBound(start)) can be served
@@ -80,11 +92,10 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
     cache::AuLookup lk = cache_.GetScan(req.key, req.scan_limit);
     if (lk.hit) {
       stats_.cache_hits++;
-      out.action = ProxyHandleResult::Action::kServedFromCache;
-      out.value_bytes = lk.value->size();
-      if (req.track_outcome) out.value = *lk.value;
-      out.latency = options_.cache_hit_latency;
-      return out;
+      local.value_bytes = lk.value->size();
+      if (req.track_outcome) local.value = *lk.value;
+      local.latency = options_.cache_hit_latency;
+      return ProxyHandleResult::Action::kServedFromCache;
     }
   }
 
@@ -93,19 +104,20 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   double estimate = EstimateRu(req);
   if (quota_enabled_ && !quota_.TryAdmit(estimate)) {
     stats_.throttled++;
-    out.action = ProxyHandleResult::Action::kThrottled;
-    out.latency = options_.cache_hit_latency;  // Fast local rejection.
-    return out;
+    local.latency = options_.cache_hit_latency;  // Fast local rejection.
+    return ProxyHandleResult::Action::kThrottled;
   }
   stats_.admitted_ru += estimate;
   admitted_since_report_ += estimate;
 
-  // 3. Forward to the data plane.
+  // 3. Forward to the data plane. `fwd` may be a recycled slot: every
+  //    field is (re)assigned — strings by copy-assignment, which reuses
+  //    the slot's capacity instead of allocating.
   stats_.forwarded++;
-  NodeRequest fwd;
   fwd.req_id = req.req_id;
   fwd.tenant = req.tenant;
-  fwd.partition = partition_of_(req.key);
+  fwd.partition = partition_of_hashed_ ? partition_of_hashed_(key_hash)
+                                       : partition_of_(req.key);
   fwd.op = req.op;
   fwd.key = req.key;
   fwd.field = req.field;
@@ -118,11 +130,10 @@ ProxyHandleResult Proxy::Handle(const ClientRequest& req) {
   fwd.value_size_hint = IsReadOp(req.op)
                             ? static_cast<uint64_t>(ru_.ExpectedReadBytes())
                             : req.value.size();
+  fwd.background_refresh = false;
   fwd.replicas = options_.replicas;
   inflight_estimates_.Insert(req.req_id, estimate);
-  out.action = ProxyHandleResult::Action::kForward;
-  out.forward = std::move(fwd);
-  return out;
+  return ProxyHandleResult::Action::kForward;
 }
 
 void Proxy::OnResponse(const NodeResponse& resp) {
@@ -165,7 +176,8 @@ void Proxy::OnResponse(const NodeResponse& resp) {
     if (resp.ttl_remaining > 0) {
       ttl = std::min(resp.ttl_remaining, options_.cache.default_ttl);
     }
-    cache_.Put(resp.key, resp.value, resp.value.size() + 32, ttl);
+    cache_.PutHashed(Fnv1a64(resp.key), resp.key, resp.value,
+                     resp.value.size() + 32, ttl);
   }
 }
 

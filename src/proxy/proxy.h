@@ -73,6 +73,19 @@ class Proxy {
   /// Handles one client request: cache → quota → forward.
   ProxyHandleResult Handle(const ClientRequest& req);
 
+  /// Handle with a caller-computed Fnv1a64(req.key) (the hot path hashes
+  /// each key once at generate time).
+  ProxyHandleResult Handle(const ClientRequest& req, uint64_t key_hash);
+
+  /// Zero-copy-forward variant: on kForward the node request is
+  /// materialized into `fwd` — a recycled slot whose string capacity is
+  /// reused by assignment (every field is overwritten, so stale slot
+  /// contents never leak). On local outcomes `local` carries the payload
+  /// size / value / latency and `fwd` is untouched.
+  ProxyHandleResult::Action HandleInto(const ClientRequest& req,
+                                       uint64_t key_hash, NodeRequest& fwd,
+                                       ProxyHandleResult& local);
+
   /// Ingests a data-plane response: settles the quota against the actual
   /// charge, updates RU estimators, and fills the cache.
   void OnResponse(const NodeResponse& resp);
@@ -133,6 +146,15 @@ class Proxy {
   /// RU admitted since the last report (the MetaServer polls this).
   double ReportAndResetAdmittedRu();
 
+  /// Installs the hashed partition-routing callback (key_hash ->
+  /// partition). When set, Handle/HandleInto route forwards through it
+  /// with the precomputed key hash instead of re-hashing the key string
+  /// via `partition_of`. The two must agree: partition_of(key) ==
+  /// partition_of_hashed(Fnv1a64(key)).
+  void set_partition_of_hashed(std::function<PartitionId(uint64_t)> fn) {
+    partition_of_hashed_ = std::move(fn);
+  }
+
   /// Installs the id source for background refresh fetches. The cluster
   /// simulator wires this to its sim-wide counter: refresh ids key the
   /// shared in-flight table, so per-proxy counters would collide across
@@ -168,6 +190,7 @@ class Proxy {
   ProxyOptions options_;
   const Clock* clock_;
   std::function<PartitionId(const std::string&)> partition_of_;
+  std::function<PartitionId(uint64_t)> partition_of_hashed_;
   cache::PrefixTreeStore cache_;
   quota::ProxyQuota quota_;
   ru::RuEstimator ru_;

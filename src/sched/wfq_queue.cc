@@ -1,10 +1,101 @@
 #include "sched/wfq_queue.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace abase {
 namespace sched {
+
+namespace {
+constexpr uint32_t kInitialRingCapacity = 8;
+}  // namespace
+
+uint32_t WfqQueue::RingFor(TenantId tenant) {
+  if (const uint32_t* ri = tenant_ring_.Find(tenant)) return *ri;
+  uint32_t ri = static_cast<uint32_t>(rings_.size());
+  rings_.emplace_back();
+  rings_.back().buf.resize(kInitialRingCapacity);
+  tenant_ring_.Insert(tenant, ri);
+  return ri;
+}
+
+void WfqQueue::Grow(Ring& r) {
+  std::vector<Entry> bigger(r.buf.size() * 2);
+  for (uint32_t i = 0; i < r.count; i++) bigger[i] = r.At(i);
+  r.buf = std::move(bigger);
+  r.head = 0;
+}
+
+void WfqQueue::AppendTail(Ring& r, const Entry& e) {
+  if (r.count == r.buf.size()) Grow(r);
+  r.buf[(r.head + r.count) & r.Mask()] = e;
+  r.count++;
+}
+
+void WfqQueue::InsertSorted(Ring& r, const Entry& e, bool* new_head) {
+  if (r.count == r.buf.size()) Grow(r);
+  // A reinserted entry carries the VFT it was popped with — the global
+  // minimum at pop time — so it almost always lands at the front; the
+  // scan is O(1) in practice.
+  uint32_t pos = 0;
+  while (pos < r.count && Before(r.At(pos), e)) pos++;
+  *new_head = (pos == 0);
+  if (pos == 0) {
+    r.head = (r.head + r.Mask()) & r.Mask();  // head - 1 mod capacity
+    r.buf[r.head] = e;
+  } else {
+    for (uint32_t i = r.count; i > pos; i--) r.At(i) = r.At(i - 1);
+    r.At(pos) = e;
+  }
+  r.count++;
+}
+
+void WfqQueue::HeapInsert(uint32_t ring_index) {
+  rings_[ring_index].heap_pos = static_cast<uint32_t>(heap_.size());
+  heap_.push_back(ring_index);
+  SiftUp(static_cast<uint32_t>(heap_.size()) - 1);
+}
+
+void WfqQueue::HeapRemoveTop() {
+  rings_[heap_[0]].heap_pos = kNotInHeap;
+  uint32_t last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    rings_[last].heap_pos = 0;
+    SiftDown(0);
+  }
+}
+
+void WfqQueue::SiftUp(uint32_t pos) {
+  uint32_t ri = heap_[pos];
+  while (pos > 0) {
+    uint32_t parent = (pos - 1) / 2;
+    if (!Before(Head(ri), Head(heap_[parent]))) break;
+    heap_[pos] = heap_[parent];
+    rings_[heap_[pos]].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = ri;
+  rings_[ri].heap_pos = pos;
+}
+
+void WfqQueue::SiftDown(uint32_t pos) {
+  uint32_t ri = heap_[pos];
+  const uint32_t n = static_cast<uint32_t>(heap_.size());
+  for (;;) {
+    uint32_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Before(Head(heap_[child + 1]), Head(heap_[child]))) {
+      child++;
+    }
+    if (!Before(Head(heap_[child]), Head(ri))) break;
+    heap_[pos] = heap_[child];
+    rings_[heap_[pos]].heap_pos = pos;
+    pos = child;
+  }
+  heap_[pos] = ri;
+  rings_[ri].heap_pos = pos;
+}
 
 void WfqQueue::Push(const SchedRequest& req, double cost) {
   assert(req.quota_share > 0);
@@ -17,7 +108,16 @@ void WfqQueue::Push(const SchedRequest& req, double cost) {
   }
   double vft = start + weighted_cost;
   pre_vft_.Insert(req.tenant, vft);
-  heap_.push(Item{req, vft, tie_counter_++});
+  uint32_t ri = RingFor(req.tenant);
+  Ring& r = rings_[ri];
+  // Appending keeps the ring sorted: while the ring is non-empty the
+  // tenant's preVFT is >= every queued entry's VFT (Push sets it to the
+  // new tail's VFT; Reinsert only re-adds entries whose original push
+  // already advanced it), so vft >= tail.vft and the tie is fresh.
+  bool was_empty = (r.count == 0);
+  AppendTail(r, Entry{req, vft, tie_counter_++});
+  size_++;
+  if (was_empty) HeapInsert(ri);
 }
 
 SchedRequest WfqQueue::Pop() {
@@ -26,21 +126,37 @@ SchedRequest WfqQueue::Pop() {
 }
 
 SchedRequest WfqQueue::PopWithVft(double* vft) {
-  assert(!heap_.empty());
-  Item item = heap_.top();
-  heap_.pop();
-  vtime_ = std::max(vtime_, item.vft);
-  // Lazy virtual-time advance: with the heap drained, vtime_ is >= every
+  assert(size_ > 0);
+  uint32_t ri = heap_[0];
+  Ring& r = rings_[ri];
+  Entry e = r.At(0);
+  r.head = (r.head + 1) & r.Mask();
+  r.count--;
+  size_--;
+  vtime_ = std::max(vtime_, e.vft);
+  if (r.count == 0) {
+    HeapRemoveTop();
+  } else {
+    SiftDown(0);
+  }
+  // Lazy virtual-time advance: with the queue drained, vtime_ is >= every
   // retained preVFT (see the header), so the per-tenant state carries no
   // information — drop it instead of letting it grow with every tenant
   // that ever touched this queue.
-  if (heap_.empty()) pre_vft_.Clear();
-  *vft = item.vft;
-  return item.req;
+  if (size_ == 0) pre_vft_.Clear();
+  *vft = e.vft;
+  return e.req;
 }
 
 void WfqQueue::Clear() {
-  heap_ = {};
+  for (uint32_t ri : heap_) {
+    Ring& r = rings_[ri];
+    r.head = 0;
+    r.count = 0;
+    r.heap_pos = kNotInHeap;
+  }
+  heap_.clear();
+  size_ = 0;
   pre_vft_.Clear();
   vtime_ = 0;
   tie_counter_ = 0;
@@ -49,7 +165,18 @@ void WfqQueue::Clear() {
 void WfqQueue::Reinsert(const SchedRequest& req, double vft) {
   // The tenant's preVFT already advanced past `vft` when the request was
   // first pushed, so reinserting must not advance it again.
-  heap_.push(Item{req, vft, tie_counter_++});
+  uint32_t ri = RingFor(req.tenant);
+  Ring& r = rings_[ri];
+  Entry e{req, vft, tie_counter_++};
+  size_++;
+  if (r.count == 0) {
+    AppendTail(r, e);
+    HeapInsert(ri);
+    return;
+  }
+  bool new_head = false;
+  InsertSorted(r, e, &new_head);
+  if (new_head) SiftUp(r.heap_pos);
 }
 
 }  // namespace sched

@@ -94,6 +94,11 @@ Status ClusterSim::AddTenant(const meta::TenantConfig& config, PoolId pool,
         [this, tid](const std::string& key) {
           return meta_->PartitionFor(tid, key);
         }));
+    // Hot path: requests carry Fnv1a64(key) computed once at generate /
+    // inject time; partition routing reuses it instead of re-hashing.
+    rt.proxies.back()->set_partition_of_hashed([this, tid](uint64_t h) {
+      return meta_->PartitionForHashed(tid, h);
+    });
     // Refresh-fetch ids must be unique across every proxy of every
     // tenant (they key the sim-wide in-flight table).
     rt.proxies.back()->set_refresh_id_allocator(
@@ -237,13 +242,16 @@ void ClusterSim::CatchUpReplica(node::DataNode* node, TenantId tenant,
     }
     return;
   }
-  for (const storage::ReplRecord* rec :
-       src.repl_log().Delta(cursor, src.applied_seq())) {
-    if (!node->ApplyReplicated(tenant, partition, *rec)) {
-      node->ResyncReplica(tenant, partition, src);
-      return;
-    }
-  }
+  bool gapped = false;
+  src.repl_log().ForEachDelta(
+      cursor, src.applied_seq(), [&](const storage::ReplRecordPtr& rec) {
+        if (!node->ApplyReplicated(tenant, partition, rec)) {
+          gapped = true;
+          return false;
+        }
+        return true;
+      });
+  if (gapped) node->ResyncReplica(tenant, partition, src);
 }
 
 uint64_t ClusterSim::ReplicationLag(TenantId tenant, PartitionId partition) {
@@ -402,6 +410,53 @@ node::DataNode* ClusterSim::PickReplicaForRead(TenantRuntime& rt,
   return nullptr;
 }
 
+void ClusterSim::FusedRoutePoint(TenantRuntime& rt, PendingForward& fwd,
+                                 TenantTickMetrics& m) {
+  // Mirror of RouteStage's serial non-scan resolve, byte for byte. The
+  // redirect chase mutates only the tenant's cached table (refreshing it
+  // is idempotent within a tick: placement is frozen until Control), so
+  // a morsel-time chase leaves exactly the state a serial chase would.
+  NodeRequest& req = fwd.request;
+  node::DataNode* n = nullptr;
+  const bool eventual_read = req.consistency == Consistency::kEventual &&
+                             IsReadOp(req.op) && !req.background_refresh;
+  if (eventual_read) {
+    n = PickReplicaForRead(rt, req.tenant, req.partition);
+    if (n == nullptr && rt.route_epoch != meta_->routing_epoch()) {
+      RefreshRoutingTable(rt);
+      m.redirects++;
+      n = PickReplicaForRead(rt, req.tenant, req.partition);
+    }
+    if (n != nullptr && options_.latency.enabled &&
+        options_.latency.hedge.enabled) {
+      if (node::DataNode* alt =
+              PickHedgeReplica(rt, req.tenant, req.partition, n->id())) {
+        fwd.ctx.hedge_node = alt->id();
+      }
+    }
+  } else {
+    auto routable = [&](node::DataNode* dest) {
+      return dest != nullptr && dest->CanServe() &&
+             dest->IsPrimaryFor(req.tenant, req.partition);
+    };
+    n = FindNode(CachedPrimary(rt, req.partition));
+    if (!routable(n) && rt.route_epoch != meta_->routing_epoch()) {
+      RefreshRoutingTable(rt);
+      if (!req.background_refresh) m.redirects++;
+      n = FindNode(CachedPrimary(rt, req.partition));
+    }
+    if (!routable(n)) n = nullptr;
+  }
+  if (n == nullptr) {
+    // Failure settlement (error counters, quota refund, outcome
+    // publication) happens in the serial Route walk, at this forward's
+    // position — quota refunds reorder FP state otherwise.
+    fwd.ctx.route_failed = true;
+    return;
+  }
+  fwd.ctx.node = n->id();
+}
+
 void ClusterSim::ResolveStrandedOnNode(NodeId node) {
   // inflight_ iterates in table order: resolve in req-id order so
   // stranded outcomes publish identically on every platform and worker
@@ -473,19 +528,23 @@ void ClusterSim::SetPartitionQuotaEnabled(bool enabled) {
 
 void ClusterSim::InjectRequest(const ClientRequest& req) {
   injected_.push_back(req);
+  // Callers (clients, tests) build requests by hand; stamp the key hash
+  // here so the whole pipeline can rely on it being present.
+  injected_.back().key_hash = Fnv1a64(injected_.back().key);
 }
 
 void ClusterSim::SettleLocalProxyResult(
     TenantRuntime& rt, const ClientRequest& req,
     const proxy::ProxyHandleResult& res,
-    std::vector<std::pair<uint64_t, ClientOutcome>>* deferred) {
+    std::vector<std::pair<uint64_t, ClientOutcome>>* deferred,
+    TenantTickMetrics& m) {
   switch (res.action) {
     case proxy::ProxyHandleResult::Action::kServedFromCache:
-      rt.current.ok++;
-      rt.current.proxy_hits++;
-      rt.current.latency_sum += static_cast<double>(res.latency);
-      rt.current.latency_max = std::max(rt.current.latency_max, res.latency);
-      rt.current.latency_count++;
+      m.ok++;
+      m.proxy_hits++;
+      m.latency_sum += static_cast<double>(res.latency);
+      m.latency_max = std::max(m.latency_max, res.latency);
+      m.latency_count++;
       rt.latency_hist.Add(static_cast<double>(res.latency));
       rt.value_bytes_sum += res.value_bytes;
       rt.value_bytes_count++;
@@ -495,8 +554,8 @@ void ClusterSim::SettleLocalProxyResult(
       }
       break;
     case proxy::ProxyHandleResult::Action::kThrottled:
-      rt.current.errors++;
-      rt.current.throttled++;
+      m.errors++;
+      m.throttled++;
       if (req.track_outcome) {
         deferred->emplace_back(
             req.req_id, ClientOutcome{Status::Throttled("proxy quota"), ""});

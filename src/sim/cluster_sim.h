@@ -257,6 +257,34 @@ struct TenantTickMetrics {
                       : static_cast<double>(proxy_hits + node_cache_hits) /
                             static_cast<double>(reads);
   }
+
+  /// Folds a per-worker admission scratch into this row. Bit-exactness
+  /// contract: the merge is only FP-exact when `this` holds +0.0 in the
+  /// double fields the scratch populated (latency_sum) — the admission
+  /// pass merges before any settle-path double lands, so the sum
+  /// scratch + 0.0 reproduces the serial accumulation bit for bit.
+  /// Percentile fields are seal-time outputs, never accumulated.
+  void MergeFrom(const TenantTickMetrics& o) {
+    issued += o.issued;
+    ok += o.ok;
+    errors += o.errors;
+    throttled += o.throttled;
+    unavailable += o.unavailable;
+    redirects += o.redirects;
+    replica_reads += o.replica_reads;
+    replica_lag_sum += o.replica_lag_sum;
+    proxy_hits += o.proxy_hits;
+    node_cache_hits += o.node_cache_hits;
+    disk_reads += o.disk_reads;
+    reads_completed += o.reads_completed;
+    ru_charged += o.ru_charged;
+    latency_sum += o.latency_sum;
+    if (o.latency_max > latency_max) latency_max = o.latency_max;
+    latency_count += o.latency_count;
+    hedged_reads += o.hedged_reads;
+    hedge_wins += o.hedge_wins;
+    slo_violations += o.slo_violations;
+  }
 };
 
 /// One simulated tenant: proxies + router + workload + metrics.
@@ -341,6 +369,13 @@ struct TenantRuntime {
   /// ledgers without per-tenant set lookups.
   uint64_t touch_stamp = 0;
   uint64_t report_stamp = 0;
+  /// Fused admit/route cutoff for the current tick: stamped with
+  /// ClusterSim::touch_epoch_ when a scan is admitted. Forwards admitted
+  /// after a scan (in this tenant's generated batch *or* its injected
+  /// batch) must route in the serial walk — a scan's fan-out can refresh
+  /// the routing table and advance cursors mid-stream, and fusing a
+  /// later forward would resolve it against pre-scan state.
+  uint64_t route_fuse_stop_stamp = 0;
   /// Control-plane fold cursor: the tick_count_ through which this
   /// tenant's hour accumulator / RU EWMA have been folded. Untouched
   /// ticks fold as ru=0 (their metrics rows are all-zero), so catch-up
@@ -622,15 +657,33 @@ class ClusterSim {
   friend class ControlStage;
 
   /// Settles one client request that the proxy plane resolved locally
-  /// (cache hit or throttle) without touching the data plane. Tenant
-  /// metrics update in place (tenant-private, safe from a parallel
-  /// region); if the request tracks its outcome, the outcome is appended
-  /// to `deferred` for serial publication instead of being published
-  /// inline — admission may run tenant-concurrently.
+  /// (cache hit or throttle) without touching the data plane. Counter /
+  /// latency-sum updates land in `m` — either rt.current directly
+  /// (injected admission) or a per-worker scratch merged once per tick
+  /// (generated morsels); histogram and value-size accumulators stay on
+  /// `rt` (tenant-private either way). If the request tracks its
+  /// outcome, the outcome is appended to `deferred` for serial
+  /// publication instead of being published inline — admission may run
+  /// tenant-concurrently.
   void SettleLocalProxyResult(
       TenantRuntime& rt, const ClientRequest& req,
       const proxy::ProxyHandleResult& res,
-      std::vector<std::pair<uint64_t, ClientOutcome>>* deferred);
+      std::vector<std::pair<uint64_t, ClientOutcome>>* deferred,
+      TenantTickMetrics& m);
+
+  /// Fused admit/route resolve, called from ProxyAdmit's per-tenant
+  /// morsels for non-scan forwards admitted before any scan this tick:
+  /// computes the same routing decision the Route stage's serial walk
+  /// would and writes it into fwd.ctx (node / hedge_node on success,
+  /// route_failed on failure — the serial walk performs failure
+  /// *settlement* at the forward's position, so quota refunds and
+  /// outcome publication keep their serial order). Touches only
+  /// tenant-private state (cached route table, RR cursors, `m`) plus
+  /// read-only node / meta state; placement is frozen between the Fault
+  /// and Control stages, so morsel-time resolution sees exactly the
+  /// state the serial walk would have.
+  void FusedRoutePoint(TenantRuntime& rt, PendingForward& fwd,
+                       TenantTickMetrics& m);
 
   /// Delivers a settled outcome: to its subscription callback if one is
   /// pending, otherwise into the table for TakeOutcome. Serial sections

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 #include "common/smallvec.h"
@@ -244,31 +245,45 @@ void GenerateStage::Run(TickContext& ctx) {
 
 void ProxyAdmitStage::AdmitOne(
     TenantRuntime& rt, const ClientRequest& req,
-    std::vector<PendingForward>& out,
-    std::vector<std::pair<uint64_t, ClientOutcome>>& deferred) {
-  rt.current.issued++;
+    std::vector<PendingForward>& out, size_t& out_count,
+    std::vector<std::pair<uint64_t, ClientOutcome>>& deferred,
+    TenantTickMetrics& m) {
+  m.issued++;
 
   // Writes invalidate the key across the tenant's proxy caches (a
   // write-through invalidation broadcast; keeps the synchronous client
   // API read-your-writes while the paper's model remains eventually
-  // consistent under races).
+  // consistent under races). req.key_hash is Fnv1a64(key) == HashString,
+  // computed once at generate/inject time.
   if (!IsReadOp(req.op)) {
-    const uint64_t h = HashString(req.key);
-    for (auto& p : rt.proxies) p->InvalidateCacheHashed(h, req.key);
+    for (auto& p : rt.proxies) p->InvalidateCacheHashed(req.key_hash, req.key);
   }
 
-  size_t proxy_index = rt.router->Route(req.key, rt.router_rng);
+  size_t proxy_index = rt.router->RouteHashed(req.key_hash, rt.router_rng);
   proxy::Proxy& px = *rt.proxies[proxy_index];
-  proxy::ProxyHandleResult res = px.Handle(req);
-  if (res.action == proxy::ProxyHandleResult::Action::kForward) {
-    PendingForward fwd;
-    fwd.request = std::move(res.forward);
+  // Recycle the next forward slot: HandleInto assigns every NodeRequest
+  // field, so the slot's string capacity is reused and the hot path
+  // neither constructs nor moves a PendingForward.
+  if (out_count == out.size()) out.emplace_back();
+  PendingForward& fwd = out[out_count];
+  proxy::ProxyHandleResult local;
+  local.action = px.HandleInto(req, req.key_hash, fwd.request, local);
+  if (local.action == proxy::ProxyHandleResult::Action::kForward) {
+    fwd.ctx = RequestContext{};
     fwd.ctx.tenant = req.tenant;
     fwd.ctx.proxy_index = proxy_index;
     fwd.ctx.track_outcome = req.track_outcome;
-    out.push_back(std::move(fwd));
+    if (req.op == OpType::kScan) {
+      // A scan's fan-out (serial Route walk) may refresh the routing
+      // table and advance cursors; anything admitted after it this tick
+      // must resolve serially, in order, to stay bit-identical.
+      rt.route_fuse_stop_stamp = sim_->touch_epoch_;
+    } else if (rt.route_fuse_stop_stamp != sim_->touch_epoch_) {
+      sim_->FusedRoutePoint(rt, fwd, m);
+    }
+    out_count++;
   } else {
-    sim_->SettleLocalProxyResult(rt, req, res, &deferred);
+    sim_->SettleLocalProxyResult(rt, req, local, &deferred, m);
   }
 }
 
@@ -276,31 +291,38 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
   ClusterSim& sim = *sim_;
 
   // Bulk per-tenant traffic, tenants concurrently: every touched piece
-  // of state — proxies, router RNG stream, tick metrics — is private to
-  // the tenant, and generated requests never track outcomes, so nothing
-  // sim-wide is written. Each tenant fills its own forward buffer.
+  // of state — proxies, router RNG stream, routing cache (the fused
+  // resolve), scratch metrics — is private to the tenant, and generated
+  // requests never track outcomes, so nothing sim-wide is written. Each
+  // tenant's forwards stay in its traffic slot (recycled in place);
+  // Route walks the slots directly, so there is no merge copy. Metric
+  // increments go through a per-slot scratch folded into rt.current
+  // once — rt.current's doubles are still +0.0 here (the settle path
+  // runs later), so the fold is bit-exact against serial accumulation.
   sim.executor_->MorselFor(
       "ProxyAdmit", ctx.traffic.size(), 1,
       [this, &sim, &ctx](size_t begin, size_t end, int) {
         for (size_t i = begin; i < end; i++) {
           TickContext::TenantTraffic& tt = ctx.traffic[i];
           auto it = sim.tenants_.find(tt.tenant);
-          if (it == sim.tenants_.end()) continue;
+          if (it == sim.tenants_.end()) {
+            // A stale slot would make Route re-walk last tick's forwards.
+            tt.forwards.clear();
+            continue;
+          }
           std::vector<std::pair<uint64_t, ClientOutcome>> unused;
+          TenantTickMetrics scratch;
+          size_t fwd_count = 0;
           for (const ClientRequest& req : tt.requests) {
             // Generated traffic never tracks outcomes; nothing defers.
             assert(!req.track_outcome);
-            AdmitOne(it->second, req, tt.forwards, unused);
+            AdmitOne(it->second, req, tt.forwards, fwd_count, unused,
+                     scratch);
           }
+          tt.forwards.resize(fwd_count);
+          it->second.current.MergeFrom(scratch);
         }
       });
-  // Deterministic merge in tenant-id order.
-  for (TickContext::TenantTraffic& tt : ctx.traffic) {
-    for (PendingForward& fwd : tt.forwards) {
-      ctx.forwards.push_back(std::move(fwd));
-    }
-    tt.forwards.clear();
-  }
 
   // Injected requests (async clients, tests) are admitted in batches:
   // grouped by tenant (injection order preserved within a tenant) and
@@ -371,9 +393,14 @@ void ProxyAdmitStage::Run(TickContext& ctx) {
           for (size_t i = begin; i < end; i++) {
             InjectedBatch& b = injected_batches_[i];
             InjectedBuffers& buf = injected_buffers_[i];
+            // Injected batches write rt.current directly (tenant-private
+            // here), preserving the legacy accumulation order exactly.
+            size_t fwd_count = 0;
             for (uint32_t r = 0; r < b.count; r++) {
-              AdmitOne(*b.rt, *b.requests[r], buf.forwards, buf.deferred);
+              AdmitOne(*b.rt, *b.requests[r], buf.forwards, fwd_count,
+                       buf.deferred, b.rt->current);
             }
+            buf.forwards.resize(fwd_count);
           }
         });
     for (size_t i = 0; i < injected_batches_.size(); i++) {
@@ -442,7 +469,12 @@ void RouteStage::Run(TickContext& ctx) {
   // table, register the in-flight contexts (sim-wide table), and batch
   // forwards per destination node. The destination must be alive AND
   // acknowledge itself primary for the partition — the node-side check
-  // that stands in for a production MOVED reply.
+  // that stands in for a production MOVED reply. Most forwards arrive
+  // already resolved (the fused admit/route pass in ProxyAdmit); the
+  // serial walk then only registers them. Scans, fused failures, and
+  // unfused stragglers (anything admitted after a scan, plus background
+  // refresh fetches) resolve here, in admission order, exactly as the
+  // fully serial walk did.
   if (ctx.node_batches.size() < sim.nodes_.size()) {
     ctx.node_batches.resize(sim.nodes_.size());
   }
@@ -450,12 +482,12 @@ void RouteStage::Run(TickContext& ctx) {
   // Last tick's scan sub-requests were moved into the nodes by its
   // RouteSubmit pass; reclaim the slots.
   sim.scan_sub_scratch_.clear();
-  // Forwards arrive in per-tenant runs (the ProxyAdmit merge order), so
-  // memoizing the last runtime lookup turns the per-forward map find
-  // into a branch.
+  // Forwards arrive in per-tenant runs (traffic slots are tenant-id
+  // ordered; injected forwards are batched per tenant), so memoizing the
+  // last runtime lookup turns the per-forward map find into a branch.
   TenantId memo_tid = 0;
   TenantRuntime* memo_rt = nullptr;
-  for (PendingForward& fwd : ctx.forwards) {
+  auto route_one = [&](PendingForward& fwd) {
     NodeRequest& req = fwd.request;
     TenantRuntime* rt;
     if (memo_rt != nullptr && fwd.ctx.tenant == memo_tid) {
@@ -470,6 +502,14 @@ void RouteStage::Run(TickContext& ctx) {
       // Finalize only seals touched tenants. Idempotent per tick.
       if (rt != nullptr) sim.TouchTenant(fwd.ctx.tenant, *rt);
     }
+    // Fused success: the admit pass already resolved the destination
+    // against the same frozen placement; just register and batch.
+    if (fwd.ctx.node != kInvalidNode) {
+      sim.inflight_[req.req_id] = fwd.ctx;
+      assert(static_cast<size_t>(fwd.ctx.node) < batches.size());
+      batches[static_cast<size_t>(fwd.ctx.node)].push_back(&req);
+      return;
+    }
     // Scans target a key RANGE: hash partitioning scatters any range
     // across every partition, so the forward expands into one leg per
     // partition (sim.RouteScanFanout) instead of resolving one primary.
@@ -480,13 +520,13 @@ void RouteStage::Run(TickContext& ctx) {
               req.req_id,
               ClientOutcome{Status::Unavailable("no such tenant"), ""});
         }
-        continue;
+        return;
       }
       sim.RouteScanFanout(fwd, *rt, batches);
-      continue;
+      return;
     }
     node::DataNode* n = nullptr;
-    if (rt != nullptr) {
+    if (rt != nullptr && !fwd.ctx.route_failed) {
       const bool eventual_read = req.consistency == Consistency::kEventual &&
                                  IsReadOp(req.op) && !req.background_refresh;
       if (eventual_read) {
@@ -526,7 +566,10 @@ void RouteStage::Run(TickContext& ctx) {
       }
     }
     if (n == nullptr) {
-      if (req.background_refresh) continue;  // Refresh silently dropped.
+      // Either the fused pass flagged route_failed, or the serial
+      // resolve above failed; settlement is identical and happens here,
+      // at the forward's position in admission order.
+      if (req.background_refresh) return;  // Refresh silently dropped.
       if (rt != nullptr) {
         rt->current.errors++;
         rt->current.unavailable++;
@@ -539,7 +582,7 @@ void RouteStage::Run(TickContext& ctx) {
         sim.PublishOutcome(req.req_id,
                            ClientOutcome{Status::Unavailable("no primary"), ""});
       }
-      continue;
+      return;
     }
     fwd.ctx.node = n->id();
     sim.inflight_[req.req_id] = fwd.ctx;
@@ -547,7 +590,14 @@ void RouteStage::Run(TickContext& ctx) {
     // id indexes the batch table directly.
     assert(static_cast<size_t>(n->id()) < batches.size());
     batches[static_cast<size_t>(n->id())].push_back(&req);
+  };
+  // Generated forwards live in their traffic slots (tenant-id order —
+  // the legacy merge order), then injected forwards and background
+  // refresh fetches in ctx.forwards.
+  for (TickContext::TenantTraffic& tt : ctx.traffic) {
+    for (PendingForward& fwd : tt.forwards) route_one(fwd);
   }
+  for (PendingForward& fwd : ctx.forwards) route_one(fwd);
 
   // Parallel pass: submission — partition-quota admission and WFQ
   // enqueue — touches only the destination node's state. Each node sees
@@ -794,13 +844,19 @@ void ReplicateStage::Run(TickContext& ctx) {
               n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
               continue;
             }
-            for (const storage::ReplRecord* rec :
-                 sh.src->repl_log().Delta(sh.after, sh.through)) {
-              if (!n->ApplyReplicated(sh.tenant, sh.partition, *rec)) {
-                // Unexpected gap: fall back to a full re-seed.
-                n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
-                break;
-              }
+            bool gapped = false;
+            sh.src->repl_log().ForEachDelta(
+                sh.after, sh.through,
+                [&](const storage::ReplRecordPtr& rec) {
+                  if (!n->ApplyReplicated(sh.tenant, sh.partition, rec)) {
+                    gapped = true;
+                    return false;
+                  }
+                  return true;
+                });
+            if (gapped) {
+              // Unexpected gap: fall back to a full re-seed.
+              n->ResyncReplica(sh.tenant, sh.partition, *sh.src);
             }
           }
         }
@@ -922,6 +978,21 @@ TickPipeline::TickPipeline(ClusterSim* sim) {
 
 void TickPipeline::RunTick() {
   ctx_.Reset();
+  if (stage_timing_) {
+    if (stage_nanos_.size() < stages_.size()) {
+      stage_nanos_.resize(stages_.size(), 0);
+    }
+    for (size_t i = 0; i < stages_.size(); i++) {
+      TraceSpan span(trace_, stages_[i]->name(), 0);
+      auto t0 = std::chrono::steady_clock::now();
+      stages_[i]->Run(ctx_);
+      auto t1 = std::chrono::steady_clock::now();
+      stage_nanos_[i] += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+    }
+    return;
+  }
   for (auto& stage : stages_) {
     TraceSpan span(trace_, stage->name(), 0);
     stage->Run(ctx_);

@@ -74,6 +74,7 @@ namespace sim {
 
 class ClusterSim;
 struct TenantRuntime;
+struct TenantTickMetrics;
 
 /// Everything produced and consumed within one tick. Owned by the
 /// TickPipeline and REUSED across ticks: Reset() clears the logical
@@ -100,9 +101,12 @@ struct TickContext {
   /// synchronous abase::Client facade), in injection order. Handled
   /// after the bulk per-tenant traffic.
   std::vector<ClientRequest> injected;
-  /// ProxyAdmit -> Route. Requests admitted toward the data plane, in
-  /// deterministic order: per-tenant traffic (tenant-id order), then
-  /// injected forwards, then background refresh fetches.
+  /// ProxyAdmit -> Route: injected forwards then background refresh
+  /// fetches. Generated forwards stay in their tenant's traffic slot
+  /// (TenantTraffic::forwards) — Route walks the slots in tenant-id
+  /// order first, then this buffer, so the overall routing order is
+  /// unchanged while the per-tick move-merge of every generated forward
+  /// into one flat vector is gone.
   std::vector<PendingForward> forwards;
   /// Route scratch: per-node batch spans into `forwards` (outer index =
   /// dense node id). Pointers are only valid within the tick.
@@ -190,13 +194,22 @@ class ProxyAdmitStage final : public Stage {
   void Run(TickContext& ctx) override;
 
  private:
-  /// Handles one client request against its tenant's proxy plane,
-  /// appending to `out` if the proxy forwards it and to `deferred` if it
-  /// settled locally with a tracked outcome. Safe to run
-  /// tenant-concurrently: both buffers are tenant-private.
+  /// Handles one client request against its tenant's proxy plane. On
+  /// forward the request is materialized into out[out_count++] — a
+  /// recycled PendingForward slot whose string capacity is reused
+  /// (callers resize(out_count) after the batch; slots past the cursor
+  /// hold stale-but-capacitated strings). Locally settled tracked
+  /// outcomes append to `deferred`. Metric increments land in `m`: the
+  /// caller passes rt.current (injected batches, preserving the legacy
+  /// accumulation order) or a per-worker scratch merged once per batch
+  /// (generated morsels). Non-scan forwards admitted before any scan
+  /// this tick are also *routed* here (ClusterSim::FusedRoutePoint),
+  /// fusing the admit and route walks. Safe to run tenant-concurrently:
+  /// every touched buffer is tenant-private.
   void AdmitOne(TenantRuntime& rt, const ClientRequest& req,
-                std::vector<PendingForward>& out,
-                std::vector<std::pair<uint64_t, ClientOutcome>>& deferred);
+                std::vector<PendingForward>& out, size_t& out_count,
+                std::vector<std::pair<uint64_t, ClientOutcome>>& deferred,
+                TenantTickMetrics& m);
 
   /// One tenant's slice of this tick's injected requests. The pointer
   /// array lives in the stage arena (trivially destructible, dies at the
@@ -358,6 +371,23 @@ class TickPipeline {
   /// detaches; the untraced path costs one branch per stage).
   void SetTrace(TraceWriter* t) { trace_ = t; }
 
+  /// Wall-clock per-stage cost attribution (bench instrumentation):
+  /// when enabled, RunTick wraps every stage in a steady_clock pair and
+  /// accumulates the elapsed nanoseconds per stage index. Timing is an
+  /// observation only — it never feeds back into the simulation, so
+  /// determinism is untouched. Off by default (two clock reads per
+  /// stage per tick are measurable at millions of ticks).
+  void SetStageTiming(bool enabled) { stage_timing_ = enabled; }
+
+  /// Accumulated nanoseconds spent in stage `i` since the last reset
+  /// (0 when timing was never enabled).
+  uint64_t stage_nanos(size_t i) const {
+    return i < stage_nanos_.size() ? stage_nanos_[i] : 0;
+  }
+  void ResetStageNanos() {
+    for (uint64_t& n : stage_nanos_) n = 0;
+  }
+
   size_t num_stages() const { return stages_.size(); }
   Stage& stage(size_t i) { return *stages_[i]; }
 
@@ -365,6 +395,8 @@ class TickPipeline {
   std::vector<std::unique_ptr<Stage>> stages_;
   TickContext ctx_;
   TraceWriter* trace_ = nullptr;
+  bool stage_timing_ = false;
+  std::vector<uint64_t> stage_nanos_;
 };
 
 }  // namespace sim

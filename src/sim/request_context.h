@@ -57,6 +57,12 @@ struct RequestContext {
   /// that leg), never directly into tenant metrics — the merged result
   /// settles once under the base request id.
   bool scan_part = false;
+  /// Set by the fused admit/route pass when the forward could not be
+  /// routed (no serving primary / replica even after a redirect chase).
+  /// The Route stage's serial walk performs the failure settlement —
+  /// error metrics, quota refund, outcome publication — at the forward's
+  /// position, exactly where the unfused walk would have.
+  bool route_failed = false;
 };
 
 /// A proxy-admitted request on its way to the data plane: the output of

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/keyspace.h"
 
 namespace abase {
@@ -151,6 +152,7 @@ void WorkloadGenerator::Tick(Micros now, Micros tick_len,
     req.track_outcome = false;
     uint64_t key_index = SampleKeyIndex();
     KeyInto(key_index, req.key);
+    req.key_hash = Fnv1a64(req.key);
 
     bool is_hash = rng_.NextBool(profile_.hash_op_fraction);
     bool is_read = rng_.NextBool(profile_.read_ratio);
@@ -166,6 +168,7 @@ void WorkloadGenerator::Tick(Micros now, Micros tick_len,
       req.op = OpType::kScan;
       req.consistency = Consistency::kPrimary;
       ScanPrefixInto(key_index, req.key);
+      req.key_hash = Fnv1a64(req.key);
       req.field = PrefixUpperBound(req.key);
       req.scan_limit = profile_.scan_limit;
       continue;

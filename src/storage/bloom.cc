@@ -27,7 +27,10 @@ void BloomFilter::Add(std::string_view key) {
 }
 
 bool BloomFilter::MayContain(std::string_view key) const {
-  uint64_t h1 = Fnv1a64(key);
+  return MayContainHashed(Fnv1a64(key));
+}
+
+bool BloomFilter::MayContainHashed(uint64_t h1) const {
   uint64_t h2 = Mix64(h1);
   for (int i = 0; i < num_probes_; i++) {
     uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bit_count_;

@@ -23,6 +23,11 @@ class BloomFilter {
   /// False negatives never occur; false positives at the configured rate.
   bool MayContain(std::string_view key) const;
 
+  /// MayContain for a caller holding the key's FNV-1a 64 hash already
+  /// (a KeyRef threaded through the read path): identical verdict to
+  /// MayContain(key) without re-hashing. `h1` must equal Fnv1a64(key).
+  bool MayContainHashed(uint64_t h1) const;
+
   size_t bit_count() const { return bit_count_; }
   int num_probes() const { return num_probes_; }
 

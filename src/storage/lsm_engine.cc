@@ -21,8 +21,14 @@ LsmEngine::LsmEngine(LsmOptions options, const Clock* clock)
 
 void LsmEngine::WriteEntry(const std::string& key, ValueEntry entry) {
   entry.seq = next_seq_++;
-  if (options_.enable_wal) wal_.Append(key, entry);
-  if (options_.enable_repl_log) repl_log_.Append(key, entry);
+  if (options_.enable_wal || options_.enable_repl_log) {
+    // One materialized copy feeds both logs (and, via the Replicate
+    // shipping path, every replica's logs): the second log is a
+    // refcount bump, not another key/value copy.
+    ReplRecordPtr rec = MakeReplRecord(key, entry);
+    if (options_.enable_wal) wal_.Append(rec);
+    if (options_.enable_repl_log) repl_log_.Append(std::move(rec));
+  }
   mem_.Put(key, std::move(entry));
   stats_.puts++;
   MaybeFlush();
@@ -90,10 +96,13 @@ const ValueEntry* LsmEngine::FindEntry(std::string_view key, ReadIo* io) {
     return e;
   }
   // Probe runs newest-to-oldest: level order, and within a level the
-  // most recently added run first.
+  // most recently added run first. The key is hashed once here; every
+  // run's bloom probe reuses the interned hash.
+  const KeyRef kref = KeyRef::From(key);
   for (const auto& level : levels_) {
     for (auto it = level.rbegin(); it != level.rend(); ++it) {
-      SstProbe probe = (*it)->Get(key);
+      size_t hint = 0;
+      SstProbe probe = (*it)->Get(kref, &hint);
       if (probe.block_reads == 0) {
         stats_.bloom_filtered++;
         continue;
@@ -143,6 +152,11 @@ void LsmEngine::MultiFind(const std::string_view* keys, size_t n,
   }
   if (mfind_pending_.empty()) return;
 
+  // Intern each missing key's hash once; every run probe below reuses it
+  // instead of re-hashing per run (the batch's main repeated cost).
+  if (mfind_krefs_.size() < n) mfind_krefs_.resize(n);
+  for (uint32_t i : mfind_pending_) mfind_krefs_[i] = KeyRef::From(keys[i]);
+
   // Ascending key order lets each run's binary search resume from the
   // previous key's lower bound. Equal keys probe the same position twice,
   // matching two serial lookups.
@@ -159,7 +173,7 @@ void LsmEngine::MultiFind(const std::string_view* keys, size_t n,
       size_t hint = 0;
       size_t w = 0;
       for (uint32_t i : mfind_pending_) {
-        SstProbe probe = run.Get(keys[i], &hint);
+        SstProbe probe = run.Get(mfind_krefs_[i], &hint);
         if (probe.block_reads == 0) {
           stats_.bloom_filtered++;
           mfind_pending_[w++] = i;
@@ -593,17 +607,24 @@ std::vector<std::pair<std::string, ValueEntry>> LsmEngine::MergeRuns(
 // Replication
 // ---------------------------------------------------------------------------
 
-Status LsmEngine::ApplyReplicated(const ReplRecord& rec) {
-  if (rec.entry.seq != next_seq_) {
+Status LsmEngine::ApplyReplicated(const ReplRecordPtr& rec) {
+  if (rec->entry.seq != next_seq_) {
     return Status::InvalidArgument("replication stream gap");
   }
-  next_seq_ = rec.entry.seq + 1;
-  if (options_.enable_wal) wal_.Append(rec.key, rec.entry);
-  if (options_.enable_repl_log) repl_log_.Append(rec.key, rec.entry);
-  mem_.Put(rec.key, rec.entry);
+  next_seq_ = rec->entry.seq + 1;
+  // The shipped record is the primary's materialized copy; retaining it
+  // in this replica's logs is two refcount bumps. Only the memtable —
+  // the mutable store — takes its own copy.
+  if (options_.enable_wal) wal_.Append(rec);
+  if (options_.enable_repl_log) repl_log_.Append(rec);
+  mem_.Put(rec->key, rec->entry);
   stats_.repl_applied++;
   MaybeFlush();
   return Status::OK();
+}
+
+Status LsmEngine::ApplyReplicated(const ReplRecord& rec) {
+  return ApplyReplicated(std::make_shared<const ReplRecord>(rec));
 }
 
 void LsmEngine::ResyncFrom(const LsmEngine& src) {
@@ -628,7 +649,7 @@ void LsmEngine::CrashAndRecover() {
   if (!options_.enable_wal) return;
   // Replay preserves original sequence numbers so ordering against
   // flushed runs stays correct.
-  wal_.ForEach([this](const WalRecord& rec) { mem_.Put(rec.key, rec.entry); });
+  wal_.ForEach([this](const ReplRecord& rec) { mem_.Put(rec.key, rec.entry); });
 }
 
 uint64_t LsmEngine::ApproximateDataBytes() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/key_ref.h"
 #include "common/status.h"
 #include "storage/memtable.h"
 #include "storage/replication_log.h"
@@ -263,10 +264,16 @@ class LsmEngine {
   uint64_t applied_seq() const { return next_seq_ - 1; }
 
   /// Applies one record of a primary's replication stream. The stream is
-  /// strictly ordered: `rec.entry.seq` must be exactly applied_seq() + 1,
+  /// strictly ordered: `rec->entry.seq` must be exactly applied_seq() + 1,
   /// otherwise InvalidArgument (the shipper must fall back to a snapshot
   /// resync). Writes through the WAL and this engine's own replication
   /// log, so a replica survives crashes and can itself be promoted.
+  /// Retaining the shared record in both logs costs refcount bumps, not
+  /// copies; only the memtable copy is materialized here.
+  Status ApplyReplicated(const ReplRecordPtr& rec);
+
+  /// Convenience for callers holding a loose record (tests, mostly):
+  /// materializes a shared copy and applies it.
   Status ApplyReplicated(const ReplRecord& rec);
 
   /// Re-seeds this engine with a full snapshot of `src`: memtable, WAL,
@@ -325,6 +332,9 @@ class LsmEngine {
   LsmStats stats_;
   /// MultiFind scratch (kept across calls to avoid re-allocation).
   std::vector<uint32_t> mfind_pending_;
+  /// Per-key interned (view, hash) handles for the pending misses —
+  /// hashed once per batch, reused by every run's bloom probe.
+  std::vector<KeyRef> mfind_krefs_;
 
   /// One merge source of a ScanRange call: the memtable's sorted view
   /// (pointer rows) or one SSTable run (value rows). `age` orders

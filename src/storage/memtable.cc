@@ -19,14 +19,17 @@ void MemTable::Put(const std::string& key, ValueEntry entry) {
 }
 
 const ValueEntry* MemTable::Get(std::string_view key) const {
-  // C++17 unordered_map lacks heterogeneous lookup; the temporary stays
-  // in SSO range for the simulator's short keys.
-  auto it = table_.find(std::string(key));
+  // C++17 unordered_map lacks heterogeneous lookup; the scratch string
+  // retains its capacity across probes so the lookup key never
+  // allocates in steady state (not even past SSO range).
+  lookup_scratch_.assign(key.data(), key.size());
+  auto it = table_.find(lookup_scratch_);
   return it == table_.end() ? nullptr : &it->second;
 }
 
 ValueEntry* MemTable::GetMutable(std::string_view key) {
-  auto it = table_.find(std::string(key));
+  lookup_scratch_.assign(key.data(), key.size());
+  auto it = table_.find(lookup_scratch_);
   return it == table_.end() ? nullptr : &it->second;
 }
 

@@ -84,6 +84,9 @@ class MemTable {
   std::unordered_map<std::string, ValueEntry> table_;
   mutable std::vector<const Row*> sorted_;
   mutable bool sorted_dirty_ = false;
+  /// Lookup key scratch: capacity retained across Get calls so probing
+  /// never allocates (C++17 unordered_map lacks heterogeneous find).
+  mutable std::string lookup_scratch_;
   uint64_t bytes_ = 0;
 };
 

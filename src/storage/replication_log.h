@@ -13,7 +13,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/value.h"
@@ -28,27 +30,50 @@ struct ReplRecord {
   ValueEntry entry;
 };
 
+/// Records are immutable once appended, so the WAL, the primary's
+/// replication log, and every replica's logs all share ONE materialized
+/// copy: appending an already-materialized record to another log is a
+/// refcount bump, not a key/value copy. This is the write path's main
+/// allocation saver — a replicated write used to copy (key, entry) into
+/// six containers across the placement; now it is materialized once on
+/// the primary and once per replica memtable.
+using ReplRecordPtr = std::shared_ptr<const ReplRecord>;
+
+/// Builds the single shared copy of a mutation (the one allocation the
+/// log fan-out performs).
+inline ReplRecordPtr MakeReplRecord(const std::string& key,
+                                    const ValueEntry& entry) {
+  return std::make_shared<const ReplRecord>(ReplRecord{key, entry});
+}
+
 /// Append-only, contiguously-sequenced mutation log with prefix
 /// truncation. Records are indexed by stream sequence: record `seq`
 /// lives at `records_[seq - first_seq()]`.
 class ReplicationLog {
  public:
+  /// Shares an already-materialized record: no key/value copy.
+  void Append(ReplRecordPtr rec) {
+    assert(records_.empty() || rec->entry.seq == last_seq() + 1);
+    bytes_ += rec->key.size() + rec->entry.PayloadBytes();
+    records_.push_back(std::move(rec));
+  }
+
+  /// Convenience for callers (tests, mostly) holding a loose key/entry.
   void Append(std::string key, const ValueEntry& entry) {
-    assert(records_.empty() || entry.seq == last_seq() + 1);
-    bytes_ += key.size() + entry.PayloadBytes();
-    records_.push_back(ReplRecord{std::move(key), entry});
+    Append(std::make_shared<const ReplRecord>(
+        ReplRecord{std::move(key), entry}));
   }
 
   /// First retained sequence (first_seq() > 1 after truncation).
   uint64_t first_seq() const {
     return records_.empty() ? truncated_through_ + 1
-                            : records_.front().entry.seq;
+                            : records_.front()->entry.seq;
   }
 
   /// Last appended sequence (0 when nothing was ever appended).
   uint64_t last_seq() const {
     return records_.empty() ? truncated_through_
-                            : records_.back().entry.seq;
+                            : records_.back()->entry.seq;
   }
 
   /// Whether a replica whose cursor is `applied_seq` can be caught up by
@@ -62,16 +87,27 @@ class ReplicationLog {
   std::vector<const ReplRecord*> Delta(uint64_t after_seq,
                                        uint64_t through_seq) const {
     std::vector<const ReplRecord*> out;
-    if (records_.empty() || through_seq <= after_seq) return out;
+    ForEachDelta(after_seq, through_seq, [&out](const ReplRecordPtr& rec) {
+      out.push_back(rec.get());
+      return true;
+    });
+    return out;
+  }
+
+  /// Zero-allocation form of Delta for the per-tick shipping loop:
+  /// visits the same records in the same (oldest-first) order. `fn`
+  /// receives the shared record handle (so a destination log can retain
+  /// it without copying) and returns false to stop early.
+  template <typename Fn>
+  void ForEachDelta(uint64_t after_seq, uint64_t through_seq,
+                    Fn&& fn) const {
+    if (records_.empty() || through_seq <= after_seq) return;
     const uint64_t lo = first_seq();
     assert(after_seq + 1 >= lo);
     const uint64_t hi = std::min(through_seq, last_seq());
-    if (hi <= after_seq) return out;
-    out.reserve(static_cast<size_t>(hi - after_seq));
     for (uint64_t seq = after_seq + 1; seq <= hi; seq++) {
-      out.push_back(&records_[static_cast<size_t>(seq - lo)]);
+      if (!fn(records_[static_cast<size_t>(seq - lo)])) return;
     }
-    return out;
   }
 
   /// Payload bytes of the records after `after_seq` (catch-up sizing).
@@ -80,7 +116,7 @@ class ReplicationLog {
     const uint64_t lo = first_seq();
     for (uint64_t seq = std::max(after_seq + 1, lo); seq <= last_seq();
          seq++) {
-      const ReplRecord& rec = records_[static_cast<size_t>(seq - lo)];
+      const ReplRecord& rec = *records_[static_cast<size_t>(seq - lo)];
       total += rec.key.size() + rec.entry.PayloadBytes();
     }
     return total;
@@ -91,14 +127,14 @@ class ReplicationLog {
   void TruncateThrough(uint64_t seq) {
     size_t keep_from = 0;
     while (keep_from < records_.size() &&
-           records_[keep_from].entry.seq <= seq) {
-      bytes_ -= records_[keep_from].key.size() +
-                records_[keep_from].entry.PayloadBytes();
+           records_[keep_from]->entry.seq <= seq) {
+      bytes_ -= records_[keep_from]->key.size() +
+                records_[keep_from]->entry.PayloadBytes();
       keep_from++;
     }
     if (keep_from == 0) return;
     truncated_through_ =
-        std::max(truncated_through_, records_[keep_from - 1].entry.seq);
+        std::max(truncated_through_, records_[keep_from - 1]->entry.seq);
     records_.erase(records_.begin(),
                    records_.begin() + static_cast<ptrdiff_t>(keep_from));
   }
@@ -107,7 +143,7 @@ class ReplicationLog {
   uint64_t bytes() const { return bytes_; }
 
  private:
-  std::vector<ReplRecord> records_;
+  std::vector<ReplRecordPtr> records_;
   uint64_t bytes_ = 0;
   uint64_t truncated_through_ = 0;  ///< Highest seq dropped by truncation.
 };

@@ -20,12 +20,17 @@ SsTable::SsTable(uint64_t id,
 
 SstProbe SsTable::Get(std::string_view key) const {
   size_t hint = 0;
-  return Get(key, &hint);
+  return Get(KeyRef::From(key), &hint);
 }
 
 SstProbe SsTable::Get(std::string_view key, size_t* hint) const {
+  return Get(KeyRef::From(key), hint);
+}
+
+SstProbe SsTable::Get(const KeyRef& kref, size_t* hint) const {
+  const std::string_view key = kref.view();
   SstProbe probe;
-  if (!KeyInRange(key) || !bloom_.MayContain(key)) return probe;
+  if (!KeyInRange(key) || !bloom_.MayContainHashed(kref.hash)) return probe;
   // Bloom said "maybe": charge one data-block read whether or not the key
   // is actually present (a false positive still reads the block).
   probe.block_reads = 1;

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/key_ref.h"
 #include "storage/bloom.h"
 #include "storage/value.h"
 
@@ -40,6 +41,12 @@ class SsTable {
   /// to this key's lower bound. Identical result and block-read charge
   /// to the plain Get.
   SstProbe Get(std::string_view key, size_t* hint) const;
+
+  /// Interned-key form: the engine hashes a key ONCE per lookup
+  /// (KeyRef::From) and every run's bloom probe reuses key.hash instead
+  /// of re-hashing — the old path paid one FNV pass per run per miss.
+  /// Identical result and block-read charge to the string_view form.
+  SstProbe Get(const KeyRef& key, size_t* hint) const;
 
   uint64_t id() const { return id_; }
   size_t entry_count() const { return rows_.size(); }

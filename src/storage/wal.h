@@ -5,21 +5,17 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "storage/replication_log.h"
 #include "storage/value.h"
 
 namespace abase {
 namespace storage {
-
-/// One logical WAL record: a full key/value mutation.
-struct WalRecord {
-  std::string key;
-  ValueEntry entry;
-};
 
 /// Append-only log with truncation at flush boundaries.
 ///
@@ -27,16 +23,28 @@ struct WalRecord {
 /// appends never relocate earlier records (a flat vector's growth
 /// reallocation moved the whole backlog, which showed up in profiles),
 /// and flush-time truncation retires whole chunks in O(1).
+///
+/// Records are the shared immutable ReplRecord copies (see
+/// replication_log.h): when the replication log retains the same write,
+/// the two logs hold one materialized record between them, and a
+/// replica's WAL append of a shipped record is a refcount bump.
 class WriteAheadLog {
  public:
-  void Append(std::string key, const ValueEntry& entry) {
-    bytes_ += key.size() + entry.PayloadBytes();
+  /// Shares an already-materialized record: no key/value copy.
+  void Append(ReplRecordPtr rec) {
+    bytes_ += rec->key.size() + rec->entry.PayloadBytes();
     if (chunks_.empty() || chunks_.back().size() == kChunk) {
       chunks_.emplace_back();
       chunks_.back().reserve(kChunk);
     }
-    chunks_.back().push_back(WalRecord{std::move(key), entry});
+    chunks_.back().push_back(std::move(rec));
     count_++;
+  }
+
+  /// Convenience for callers holding a loose key/entry.
+  void Append(std::string key, const ValueEntry& entry) {
+    Append(std::make_shared<const ReplRecord>(
+        ReplRecord{std::move(key), entry}));
   }
 
   /// Drops all records up to and including sequence `seq` (called after
@@ -44,19 +52,19 @@ class WriteAheadLog {
   /// appended in nondecreasing sequence order.
   void TruncateThrough(uint64_t seq) {
     while (!chunks_.empty()) {
-      std::vector<WalRecord>& front = chunks_.front();
-      if (!front.empty() && front.back().entry.seq <= seq) {
-        for (const WalRecord& rec : front) {
-          bytes_ -= rec.key.size() + rec.entry.PayloadBytes();
+      std::vector<ReplRecordPtr>& front = chunks_.front();
+      if (!front.empty() && front.back()->entry.seq <= seq) {
+        for (const ReplRecordPtr& rec : front) {
+          bytes_ -= rec->key.size() + rec->entry.PayloadBytes();
         }
         count_ -= front.size();
         chunks_.pop_front();
         continue;
       }
       size_t keep_from = 0;
-      while (keep_from < front.size() && front[keep_from].entry.seq <= seq) {
-        bytes_ -= front[keep_from].key.size() +
-                  front[keep_from].entry.PayloadBytes();
+      while (keep_from < front.size() && front[keep_from]->entry.seq <= seq) {
+        bytes_ -= front[keep_from]->key.size() +
+                  front[keep_from]->entry.PayloadBytes();
         keep_from++;
       }
       if (keep_from > 0) {
@@ -73,7 +81,7 @@ class WriteAheadLog {
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const auto& chunk : chunks_) {
-      for (const WalRecord& rec : chunk) fn(rec);
+      for (const ReplRecordPtr& rec : chunk) fn(*rec);
     }
   }
 
@@ -89,7 +97,7 @@ class WriteAheadLog {
  private:
   static constexpr size_t kChunk = 1024;
 
-  std::deque<std::vector<WalRecord>> chunks_;
+  std::deque<std::vector<ReplRecordPtr>> chunks_;
   size_t count_ = 0;
   uint64_t bytes_ = 0;
 };

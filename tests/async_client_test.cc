@@ -96,6 +96,33 @@ TEST(AsyncClientTest, SubmitBatchMatchesSyncMGet) {
   EXPECT_TRUE(futures[8]->status.IsNotFound());
 }
 
+TEST(AsyncClientTest, MSetAndMDelBatchRoundTrip) {
+  // MSet and MDel ride the same batched-submission core as MGet: the
+  // whole batch is injected before any tick runs. Statuses come back
+  // in input order, and the deletes are observable afterwards.
+  Cluster cluster;
+  PoolId pool = cluster.CreatePool(3);
+  ASSERT_TRUE(cluster.CreateTenant(AsyncTenant(1), pool).ok());
+  Client client = cluster.OpenClient(1);
+
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; i++) {
+    keys.push_back("md:" + std::to_string(i));
+    pairs.emplace_back(keys.back(), "v" + std::to_string(i));
+  }
+  std::vector<Status> set_status = client.MSet(pairs);
+  ASSERT_EQ(set_status.size(), pairs.size());
+  for (const Status& st : set_status) EXPECT_TRUE(st.ok());
+
+  std::vector<Status> del_status = client.MDel(keys);
+  ASSERT_EQ(del_status.size(), keys.size());
+  for (const Status& st : del_status) EXPECT_TRUE(st.ok());
+  for (const std::string& key : keys) {
+    EXPECT_TRUE(client.Get(key).status().IsNotFound()) << key;
+  }
+}
+
 TEST(AsyncClientTest, ConcurrentSessionsUseDisjointIdSubSpaces) {
   // Historically both OpenClient(tenant) sessions started their request
   // ids at the same value, so two sessions with commands in flight

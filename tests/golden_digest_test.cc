@@ -15,6 +15,12 @@
 // To re-record after an intentional behavior change, run with
 // GOLDEN_RECORD=1 in the environment; the test prints the new digests
 // instead of asserting, and the constants below should be updated.
+//
+// ABASE_GOLDEN_DENSE=1 forces every fixed-golden scenario onto the
+// legacy dense tick (they default to the sparse active-set walk): the
+// recorded digests must reproduce under BOTH tick modes, which keeps
+// the dense oracle honest against the fused admit/route pass and the
+// active-set walks. CI runs the suite a second time this way.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -97,10 +103,17 @@ meta::TenantConfig GoldenTenant(TenantId id, double quota,
 /// 64 closed-loop async clients at pipeline depth 16 (the
 /// pipeline_test fleet scenario); digest covers every reply plus the
 /// tenant's metric history.
+/// See the file comment: CI sets ABASE_GOLDEN_DENSE=1 to assert the
+/// same goldens under legacy dense ticking.
+bool ForceDenseTick() {
+  return std::getenv("ABASE_GOLDEN_DENSE") != nullptr;
+}
+
 uint64_t RunAsyncClientDigest(int workers) {
   ClusterOptions copts;
   copts.sim.seed = 2025;
   copts.sim.data_plane_workers = workers;
+  copts.sim.dense_tick = ForceDenseTick();
   Cluster cluster(copts);
   PoolId pool = cluster.CreatePool(8);
   meta::TenantConfig cfg = GoldenTenant(1, /*quota=*/500000);
@@ -173,6 +186,7 @@ uint64_t RunFailoverDigest(int workers) {
   sim::SimOptions opt;
   opt.seed = 4321;
   opt.data_plane_workers = workers;
+  opt.dense_tick = ForceDenseTick();
   sim::ClusterSim sim(opt);
   PoolId pool = sim.AddPool(16);
 
@@ -217,6 +231,7 @@ uint64_t RunMidRunSplitDigest(int workers) {
   sim::SimOptions opt;
   opt.seed = 4242;
   opt.data_plane_workers = workers;
+  opt.dense_tick = ForceDenseTick();
   opt.split_bytes_per_tick = 8 << 10;
   sim::ClusterSim sim(opt);
   PoolId pool = sim.AddPool(8);
@@ -270,6 +285,7 @@ uint64_t RunGrayFailureDigest(int workers) {
   sim::SimOptions opt;
   opt.seed = 777;
   opt.data_plane_workers = workers;
+  opt.dense_tick = ForceDenseTick();
   opt.node.service_time.enabled = true;
   opt.node.service_time.dist = latency::DistKind::kLognormal;
   opt.node.service_time.mean_micros = 150;

@@ -327,10 +327,12 @@ TEST_F(MetaTest, FailNodeRebuildPlacesRealDataOnTargets) {
     for (size_t r = 1; r < reps.size(); r++) {
       for (auto& n : nodes_) {
         if (n->id() != reps[r]) continue;
-        for (const storage::ReplRecord* rec :
-             engine->repl_log().Delta(0, engine->applied_seq())) {
-          ASSERT_TRUE(n->ApplyReplicated(1, p, *rec));
-        }
+        engine->repl_log().ForEachDelta(
+            0, engine->applied_seq(),
+            [&](const storage::ReplRecordPtr& rec) {
+              EXPECT_TRUE(n->ApplyReplicated(1, p, rec));
+              return true;
+            });
       }
     }
   }
@@ -379,10 +381,12 @@ TEST_F(MetaTest, ExecuteReReplicationReplacesDeadSlotWithRealCopy) {
   for (size_t r = 1; r < t->partitions[0].replicas.size(); r++) {
     for (auto& n : nodes_) {
       if (n->id() != t->partitions[0].replicas[r]) continue;
-      for (const storage::ReplRecord* rec :
-           engine->repl_log().Delta(0, engine->applied_seq())) {
-        ASSERT_TRUE(n->ApplyReplicated(1, 0, *rec));
-      }
+      engine->repl_log().ForEachDelta(
+          0, engine->applied_seq(),
+          [&](const storage::ReplRecordPtr& rec) {
+            EXPECT_TRUE(n->ApplyReplicated(1, 0, rec));
+            return true;
+          });
     }
   }
 
